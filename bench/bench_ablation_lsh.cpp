@@ -1,0 +1,100 @@
+// Ablation: LSH family choice inside MKFSE (DESIGN.md substrate choice).
+//
+// MKFSE needs an LSH family over keyword bigram vectors. We compare the
+// MinHash family (collision probability = Jaccard of the bigram sets; our
+// default) against the 2-stable Gaussian family, on the two properties that
+// matter:
+//   * fuzziness  — a typo'd keyword should still hit the index;
+//   * distinctness — unrelated keywords should not collide (the property
+//     the Table-IV frequency analysis and ranked retrieval rely on).
+//
+// Usage: bench_ablation_lsh [--words=N] [--trials=N] [--seed=S]
+#include <set>
+
+#include "bench_common.hpp"
+#include "data/email_corpus.hpp"
+#include "text/bigram.hpp"
+#include "text/lsh.hpp"
+
+using namespace aspe;
+using text::LshFamilyKind;
+
+int main(int argc, char** argv) {
+  const CliFlags flags(argc, argv);
+  const auto num_words =
+      static_cast<std::size_t>(flags.get_int("words", 300));
+  const auto trials = static_cast<std::size_t>(flags.get_int("trials", 20));
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 2017));
+
+  bench::print_banner("Ablation: LSH family for the MKFSE pipeline",
+                      "MinHash vs 2-stable Gaussian on bigram vectors");
+  std::printf("%zu vocabulary words, %zu independent families, l = 3\n\n",
+              num_words, trials);
+
+  struct Config {
+    std::string name;
+    LshFamilyKind kind;
+    double width;
+  };
+  const std::vector<Config> configs = {
+      {"minhash", LshFamilyKind::MinHash, 0.0},
+      {"pstable_w0.5", LshFamilyKind::PStable, 0.5},
+      {"pstable_w2", LshFamilyKind::PStable, 2.0},
+      {"pstable_w4", LshFamilyKind::PStable, 4.0},
+  };
+
+  const std::vector<std::pair<std::string, std::string>> typo_pairs = {
+      {"signature", "signatura"}, {"network", "netwerk"},
+      {"database", "databose"},   {"encryption", "encryptoin"},
+      {"protocol", "protocul"},
+  };
+
+  bench::TablePrinter table(
+      {"family", "typo_hit", "uniq_patterns", "distinct_pos"}, 15);
+  table.print_header();
+
+  for (const auto& config : configs) {
+    double typo_hits = 0.0, typo_total = 0.0;
+    double uniq_sum = 0.0;
+    double pos_sum = 0.0;
+    for (std::size_t t = 0; t < trials; ++t) {
+      rng::Rng rng(seed + t * 977);
+      text::LshOptions opt;
+      opt.num_functions = 3;
+      opt.family = config.kind;
+      if (config.width > 0.0) opt.bucket_width = config.width;
+      const text::LshFamily fam(text::kBigramDim, 500, opt, rng);
+
+      for (const auto& [word, typo] : typo_pairs) {
+        const auto p1 = fam.positions(text::bigram_vector(word));
+        const auto p2 = fam.positions(text::bigram_vector(typo));
+        for (std::size_t f = 0; f < 3; ++f) {
+          typo_hits += p1[f] == p2[f];
+          typo_total += 1.0;
+        }
+      }
+
+      std::set<std::vector<std::size_t>> patterns;
+      std::set<std::size_t> positions;
+      for (std::size_t w = 0; w < num_words; ++w) {
+        const auto pos = fam.positions(text::bigram_vector(
+            data::EmailCorpusGenerator::word_for(w)));
+        patterns.insert(pos);
+        positions.insert(pos.begin(), pos.end());
+      }
+      uniq_sum += static_cast<double>(patterns.size()) /
+                  static_cast<double>(num_words);
+      pos_sum += static_cast<double>(positions.size());
+    }
+    table.print_row({config.name, bench::fmt(typo_hits / typo_total),
+                     bench::fmt(uniq_sum / trials),
+                     bench::fmt(pos_sum / trials, 0)});
+  }
+
+  std::printf(
+      "\nReading: MinHash delivers both a high typo collision rate AND near\n"
+      "perfect pattern distinctness; the Gaussian family trades one against\n"
+      "the other through its bucket width and achieves neither at once on\n"
+      "bigram sets. That is why MinHash is the default family here.\n");
+  return 0;
+}

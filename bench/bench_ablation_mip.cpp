@@ -1,0 +1,116 @@
+// Ablation: components of the MIP attack solver (DESIGN.md §4.1).
+//
+// The paper used Gurobi as a black box; our substitute stacks a primal
+// heuristic (LP/correlation prefix scan -> exact 2-variable refit -> grow ->
+// maximum-likelihood polish) on branch-and-bound. This bench isolates the
+// contribution of each stage:
+//
+//   bnb         : pure branch and bound, no heuristic
+//   heuristic   : full primal heuristic (the default)
+//   lp_root     : heuristic with LP-relaxation ordering forced
+//   corr_root   : heuristic with correlation ordering forced
+//
+// Usage: bench_ablation_mip [--d=60] [--queries=N] [--seed=S]
+#include "bench_common.hpp"
+#include "core/metrics.hpp"
+#include "core/mip_attack.hpp"
+#include "data/quest.hpp"
+#include "sse/adversary_view.hpp"
+#include "sse/system.hpp"
+
+using namespace aspe;
+
+namespace {
+
+struct Variant {
+  const char* name;
+  core::MipAttackOptions options;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliFlags flags(argc, argv);
+  const auto d = static_cast<std::size_t>(flags.get_int("d", 60));
+  const auto num_queries =
+      static_cast<std::size_t>(flags.get_int("queries", 8));
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 2017));
+
+  bench::print_banner("Ablation: MIP attack solver components",
+                      "Gurobi-substitute design choices (DESIGN.md §4.1)");
+  std::printf("d = m = %zu, rho = 0.25, sigma = 0.5, %zu queries\n\n", d,
+              num_queries);
+
+  std::vector<Variant> variants;
+  {
+    Variant v{"bnb", {}};
+    v.options.use_heuristic = false;
+    v.options.solver.time_limit_seconds = 5.0;
+    variants.push_back(v);
+  }
+  {
+    Variant v{"heuristic", {}};
+    variants.push_back(v);
+  }
+  {
+    Variant v{"lp_root", {}};
+    v.options.root_ordering = core::RootOrdering::LpRelaxation;
+    variants.push_back(v);
+  }
+  {
+    Variant v{"corr_root", {}};
+    v.options.root_ordering = core::RootOrdering::Correlation;
+    variants.push_back(v);
+  }
+
+  // One shared scenario so variants are comparable.
+  scheme::MrseOptions opt;
+  opt.vocab_dim = d;
+  opt.sigma = 0.5;
+  sse::RankedSearchSystem system(opt, seed);
+  rng::Rng rng(seed ^ 0xabc);
+  data::QuestOptions qopt;
+  qopt.num_items = d;
+  qopt.density = 0.25;
+  qopt.num_transactions = d;
+  system.upload_records(data::QuestGenerator(qopt, rng.child(1)).generate());
+  std::vector<BitVec> queries;
+  for (std::size_t qi = 0; qi < num_queries; ++qi) {
+    queries.push_back(rng.binary_with_k_ones(d, 10));
+    system.ranked_query(queries.back(), 10);
+  }
+  std::vector<std::size_t> ids;
+  for (std::size_t i = 0; i < d; ++i) ids.push_back(i);
+  const auto view = sse::leak_known_records(system, ids);
+
+  bench::TablePrinter table(
+      {"variant", "P@query", "R@query", "Time(s)", "solved"}, 12);
+  table.print_header();
+  for (const auto& variant : variants) {
+    int solved = 0;
+    double seconds = 0.0;
+    std::vector<core::PrecisionRecall> prs;
+    for (std::size_t qi = 0; qi < num_queries; ++qi) {
+      const auto res =
+          core::run_mip_attack(view, qi, opt.mu, opt.sigma, variant.options);
+      if (!res.found) continue;
+      ++solved;
+      seconds += res.seconds;
+      prs.push_back(core::binary_precision_recall(queries[qi], res.query));
+    }
+    const auto avg = core::average(prs);
+    table.print_row({variant.name,
+                     avg.precision_valid ? bench::fmt(avg.precision) : "-",
+                     avg.recall_valid ? bench::fmt(avg.recall) : "-",
+                     bench::fmt(solved > 0 ? seconds / solved : 0.0, 3),
+                     std::to_string(solved) + "/" +
+                         std::to_string(num_queries)});
+  }
+
+  std::printf(
+      "\nReading: pure B&B stalls (few solves within its budget) while the\n"
+      "primal heuristic solves every instance in milliseconds with higher\n"
+      "accuracy; LP and correlation orderings are interchangeable at this\n"
+      "scale (correlation is the one that scales to d = 1000).\n");
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Ablation: MRSE's security/utility trade-off (§IV + §VI-A discussion).
+//
+// "While injecting more noises can deter this attack, it also distorts the
+// relative rank of answers, making the noisy top-k answers less useful."
+// This bench quantifies both sides of that sentence: as sigma grows, the MIP
+// attack's precision/recall falls — and so does the top-k overlap between
+// the noisy ranking and the true ranking.
+//
+// Usage: bench_ablation_noise [--d=60] [--sigmas=0.25,0.5,1,2] [--queries=N]
+#include "bench_common.hpp"
+#include "core/metrics.hpp"
+#include "core/mip_attack.hpp"
+#include "data/quest.hpp"
+#include "sse/adversary_view.hpp"
+#include "sse/system.hpp"
+
+using namespace aspe;
+
+int main(int argc, char** argv) {
+  const CliFlags flags(argc, argv);
+  const auto d = static_cast<std::size_t>(flags.get_int("d", 60));
+  const std::vector<double> sigmas =
+      flags.get_double_list("sigmas", {0.25, 0.5, 1.0, 2.0});
+  const auto num_queries =
+      static_cast<std::size_t>(flags.get_int("queries", 10));
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 2017));
+  const std::size_t k = 10;
+
+  bench::print_banner(
+      "Ablation: noise level sigma vs attack accuracy AND search utility",
+      "the trade-off argued in §IV / §VI-A (more noise deters MIP but breaks "
+      "top-k)");
+  std::printf("d = m = %zu, rho = 0.25, top-%zu utility, %zu queries\n\n", d,
+              k, num_queries);
+
+  bench::TablePrinter table(
+      {"sigma", "P@query", "R@query", "topk_util", "solved"}, 12);
+  table.print_header();
+
+  for (double sigma : sigmas) {
+    scheme::MrseOptions opt;
+    opt.vocab_dim = d;
+    opt.sigma = sigma;
+    opt.mu = 1.0;
+    sse::RankedSearchSystem system(opt, seed + std::size_t(sigma * 100));
+    rng::Rng rng(seed ^ std::size_t(sigma * 1000));
+
+    data::QuestOptions qopt;
+    qopt.num_items = d;
+    qopt.density = 0.25;
+    qopt.num_transactions = d;
+    system.upload_records(data::QuestGenerator(qopt, rng.child(1)).generate());
+
+    std::vector<BitVec> queries;
+    double utility = 0.0;
+    for (std::size_t qi = 0; qi < num_queries; ++qi) {
+      queries.push_back(rng.binary_with_k_ones(d, 10));
+      const auto noisy = system.ranked_query(queries.back(), k);
+      utility +=
+          core::top_k_overlap(system.plaintext_top_k(queries.back(), k), noisy);
+    }
+    utility /= static_cast<double>(num_queries);
+
+    std::vector<std::size_t> ids;
+    for (std::size_t i = 0; i < d; ++i) ids.push_back(i);
+    const auto view = sse::leak_known_records(system, ids);
+
+    int solved = 0;
+    std::vector<core::PrecisionRecall> prs;
+    for (std::size_t qi = 0; qi < num_queries; ++qi) {
+      const auto res = core::run_mip_attack(view, qi, opt.mu, sigma);
+      if (!res.found) continue;
+      ++solved;
+      prs.push_back(core::binary_precision_recall(queries[qi], res.query));
+    }
+    const auto avg = core::average(prs);
+    table.print_row({bench::fmt(sigma, 2),
+                     avg.precision_valid ? bench::fmt(avg.precision) : "-",
+                     avg.recall_valid ? bench::fmt(avg.recall) : "-",
+                     bench::fmt(utility),
+                     std::to_string(solved) + "/" +
+                         std::to_string(num_queries)});
+  }
+
+  std::printf(
+      "\nReading: there is no sigma that defeats the attack while keeping\n"
+      "the ranking useful — by the time P/R degrade, topk_util has already\n"
+      "collapsed. This is the paper's argument for why noise injection does\n"
+      "not rescue MRSE.\n");
+  return 0;
+}

@@ -1,0 +1,157 @@
+// Ablation: components of the SNMF attack (Algorithm 3 design choices).
+//
+//   anls / mu          : factorization algorithm (Kim-Park ANLS vs
+//                        multiplicative updates)
+//   balance on/off     : latent-row rescaling before the fixed theta = 0.5
+//                        threshold (NMF's diagonal-scale ambiguity)
+//   restarts L         : best-of-L restarts (the paper's outer loop)
+//   theta              : binarization threshold sweep
+//
+// Usage: bench_ablation_snmf [--d=16] [--m=64] [--rho=0.3] [--seed=S]
+#include "bench_common.hpp"
+#include "common/stopwatch.hpp"
+#include "core/metrics.hpp"
+#include "core/snmf_attack.hpp"
+#include "scheme/split_encryptor.hpp"
+
+using namespace aspe;
+
+namespace {
+
+struct Scenario {
+  std::vector<BitVec> truth_idx, truth_trap;
+  sse::CoaView view;
+};
+
+Scenario make_scenario(std::size_t d, std::size_t m, double rho,
+                       std::uint64_t seed) {
+  rng::Rng rng(seed);
+  scheme::SplitEncryptor enc(d, rng);
+  Scenario s;
+  for (std::size_t i = 0; i < m; ++i) {
+    s.truth_idx.push_back(rng.binary_bernoulli(d, rho));
+    s.view.cipher_indexes.push_back(
+        enc.encrypt_index(to_real(s.truth_idx.back()), rng));
+    s.truth_trap.push_back(rng.binary_bernoulli(d, rho * 0.8));
+    s.view.cipher_trapdoors.push_back(
+        enc.encrypt_trapdoor(to_real(s.truth_trap.back()), rng));
+  }
+  return s;
+}
+
+core::PrecisionRecall evaluate(const Scenario& s,
+                               const core::SnmfAttackResult& res) {
+  const auto perm = core::align_latent_dimensions(
+      s.truth_idx, s.truth_trap, res.indexes, res.trapdoors);
+  std::vector<core::PrecisionRecall> prs;
+  for (std::size_t i = 0; i < s.truth_idx.size(); ++i) {
+    prs.push_back(core::binary_precision_recall(
+        s.truth_idx[i], core::apply_permutation(res.indexes[i], perm)));
+    prs.push_back(core::binary_precision_recall(
+        s.truth_trap[i], core::apply_permutation(res.trapdoors[i], perm)));
+  }
+  return core::average(prs);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliFlags flags(argc, argv);
+  // Deliberately lean regime (m = 2d only, sparse-ish data, tight iteration
+  // budget) so the variants actually separate.
+  const auto d = static_cast<std::size_t>(flags.get_int("d", 28));
+  const auto m = static_cast<std::size_t>(flags.get_int("m", 56));
+  const double rho = flags.get_double("rho", 0.15);
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 2017));
+
+  bench::print_banner("Ablation: SNMF attack components",
+                      "Algorithm 3 design choices (algorithm, balance, L, "
+                      "theta)");
+  std::printf("d = %zu, m = n = %zu, rho = %.2f\n\n", d, m, rho);
+
+  const Scenario s = make_scenario(d, m, rho, seed);
+
+  struct Variant {
+    std::string name;
+    core::SnmfAttackOptions options;
+  };
+  std::vector<Variant> variants;
+  auto base = [&] {
+    core::SnmfAttackOptions o;
+    o.rank = d;
+    o.restarts = 3;
+    o.nmf.max_iterations = 120;
+    o.nmf.rel_tol = 1e-6;
+    return o;
+  };
+  {
+    Variant v{"anls_L3", base()};
+    variants.push_back(v);
+  }
+  {
+    Variant v{"mu_L3", base()};
+    v.options.nmf.algorithm = nmf::Algorithm::MultiplicativeUpdate;
+    v.options.nmf.max_iterations = 600;
+    variants.push_back(v);
+  }
+  {
+    Variant v{"anls_L1", base()};
+    v.options.restarts = 1;
+    variants.push_back(v);
+  }
+  {
+    Variant v{"anls_L6", base()};
+    v.options.restarts = 6;
+    variants.push_back(v);
+  }
+  {
+    Variant v{"no_balance", base()};
+    v.options.balance = false;
+    variants.push_back(v);
+  }
+  {
+    // Balance matters most for MU, whose factors drift in scale.
+    Variant v{"mu_no_balance", base()};
+    v.options.nmf.algorithm = nmf::Algorithm::MultiplicativeUpdate;
+    v.options.nmf.max_iterations = 600;
+    v.options.balance = false;
+    variants.push_back(v);
+  }
+  for (double theta : {0.3, 0.7}) {
+    Variant v{"theta_" + bench::fmt(theta, 1), base()};
+    v.options.theta = theta;
+    variants.push_back(v);
+  }
+  {
+    // Deterministic SVD seeding: restarts are pointless, so L = 1.
+    Variant v{"nndsvd_L1", base()};
+    v.options.nmf.init = nmf::Initialization::Nndsvd;
+    v.options.restarts = 1;
+    variants.push_back(v);
+  }
+
+  bench::TablePrinter table({"variant", "P", "R", "fit_err", "Time(s)"}, 12);
+  table.print_header();
+  for (const auto& variant : variants) {
+    rng::Rng rng(seed * 31 + 5);  // same attack seed across variants
+    Stopwatch watch;
+    const auto res = core::run_snmf_attack(s.view, variant.options, rng);
+    const double seconds = watch.seconds();
+    const auto pr = evaluate(s, res);
+    table.print_row({variant.name,
+                     pr.precision_valid ? bench::fmt(pr.precision) : "-",
+                     pr.recall_valid ? bench::fmt(pr.recall) : "-",
+                     bench::fmt(res.best_fit_error, 3),
+                     bench::fmt(seconds, 2)});
+  }
+
+  std::printf(
+      "\nReading: a single random restart (anls_L1) occasionally lands in a\n"
+      "poor optimum — the paper's best-of-L loop is what makes the attack\n"
+      "reliable; the deterministic NNDSVD seed (nndsvd_L1) removes that\n"
+      "fragility outright at L = 1. ANLS reaches lower fit error than MU at\n"
+      "comparable time. Once converged, factors are already near-binary, so\n"
+      "the attack is robust to the exact theta and to the balance step\n"
+      "(which exists for MU-style runs whose factor scales drift).\n");
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Shared scaffolding for the per-table/figure bench binaries.
+//
+// Every binary runs with no arguments at a laptop-friendly scale and accepts
+// --full for the paper-scale configuration plus fine-grained overrides
+// (--dims, --queries, --seed, ...). Output is a plain-text table mirroring
+// the corresponding table/figure of the paper.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/cli.hpp"
+
+namespace aspe::bench {
+
+/// Fixed-width table printer.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers,
+                        std::size_t col_width = 12)
+      : headers_(std::move(headers)), width_(col_width) {}
+
+  void print_header() const {
+    for (const auto& h : headers_) std::printf("%-*s", int(width_), h.c_str());
+    std::printf("\n");
+    for (std::size_t i = 0; i < headers_.size() * width_; ++i)
+      std::printf("-");
+    std::printf("\n");
+  }
+
+  void print_row(const std::vector<std::string>& cells) const {
+    for (const auto& c : cells) std::printf("%-*s", int(width_), c.c_str());
+    std::printf("\n");
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::size_t width_;
+};
+
+inline std::string fmt(double v, int precision = 4) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+inline std::string fmt_pct(double v) { return fmt(v, 4); }
+
+inline std::string fmt_sci(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.2e", v);
+  return buf;
+}
+
+inline void print_banner(const char* title, const char* paper_ref) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", title);
+  std::printf("reproduces: %s\n", paper_ref);
+  std::printf("==============================================================\n");
+}
+
+}  // namespace aspe::bench

@@ -1,0 +1,161 @@
+// Micro-benchmarks (google-benchmark) for the substrates: linear algebra,
+// simplex, NNLS/NMF, text pipeline, encryption throughput and the LEP attack
+// kernel. These are ablation-style numbers, not paper reproductions.
+#include <benchmark/benchmark.h>
+
+#include "core/lep.hpp"
+#include "data/queries.hpp"
+#include "linalg/lu.hpp"
+#include "linalg/random_matrix.hpp"
+#include "nmf/nmf.hpp"
+#include "nmf/nnls.hpp"
+#include "opt/simplex.hpp"
+#include "scheme/mkfse.hpp"
+#include "scheme/scheme2.hpp"
+#include "sse/adversary_view.hpp"
+#include "sse/system.hpp"
+#include "text/bloom_filter.hpp"
+
+using namespace aspe;
+
+namespace {
+
+void BM_LuSolve(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  rng::Rng rng(1);
+  const auto a = linalg::random_invertible(n, rng);
+  const Vec b = rng.uniform_vec(n, -1.0, 1.0);
+  for (auto _ : state) {
+    linalg::LuDecomposition lu(a);
+    benchmark::DoNotOptimize(lu.solve(b));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_LuSolve)->Arg(32)->Arg(64)->Arg(128)->Arg(256)->Complexity();
+
+void BM_MatrixMultiply(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  rng::Rng rng(2);
+  const auto a = linalg::random_matrix(n, rng);
+  const auto b = linalg::random_matrix(n, rng);
+  for (auto _ : state) benchmark::DoNotOptimize(a * b);
+}
+BENCHMARK(BM_MatrixMultiply)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_SimplexLp(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  rng::Rng rng(3);
+  opt::Model m;
+  for (std::size_t j = 0; j < n; ++j) m.add_variable(0.0, 1.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    opt::LinExpr e;
+    for (std::size_t j = 0; j < n; ++j) e.push_back({j, rng.uniform(0.0, 1.0)});
+    m.add_constraint(std::move(e), opt::Sense::LessEqual,
+                     0.3 * static_cast<double>(n));
+  }
+  opt::LinExpr obj;
+  for (std::size_t j = 0; j < n; ++j) obj.push_back({j, -rng.uniform(0.0, 1.0)});
+  m.set_objective(std::move(obj));
+  for (auto _ : state) benchmark::DoNotOptimize(opt::solve_lp(m));
+}
+BENCHMARK(BM_SimplexLp)->Arg(20)->Arg(50)->Arg(100);
+
+void BM_Nnls(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  rng::Rng rng(4);
+  linalg::Matrix a(2 * n, n);
+  for (auto& x : a.data()) x = rng.uniform(0.0, 1.0);
+  const Vec b = rng.uniform_vec(2 * n, 0.0, 1.0);
+  for (auto _ : state) benchmark::DoNotOptimize(nmf::nnls(a, b));
+}
+BENCHMARK(BM_Nnls)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_SparseNmfIteration(benchmark::State& state) {
+  const auto d = static_cast<std::size_t>(state.range(0));
+  rng::Rng rng(5);
+  linalg::Matrix w(d, 2 * d), h(d, 2 * d);
+  for (auto& x : w.data()) x = rng.bernoulli(0.3) ? 1.0 : 0.0;
+  for (auto& x : h.data()) x = rng.bernoulli(0.3) ? 1.0 : 0.0;
+  const linalg::Matrix r = w.transpose() * h;
+  nmf::SparseNmfOptions opt;
+  opt.max_iterations = 1;
+  opt.rel_tol = 0.0;
+  opt.algorithm = nmf::Algorithm::MultiplicativeUpdate;
+  for (auto _ : state) {
+    rng::Rng run_rng(6);
+    benchmark::DoNotOptimize(nmf::sparse_nmf(r, d, opt, run_rng));
+  }
+}
+BENCHMARK(BM_SparseNmfIteration)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_BloomEncode(benchmark::State& state) {
+  std::vector<std::string> keywords;
+  for (int i = 0; i < 30; ++i) keywords.push_back("keyword" + std::to_string(i));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(text::encode_keywords(keywords, 500, 3, 42));
+  }
+}
+BENCHMARK(BM_BloomEncode);
+
+void BM_Scheme2EncryptRecord(benchmark::State& state) {
+  const auto d = static_cast<std::size_t>(state.range(0));
+  rng::Rng rng(7);
+  scheme::Scheme2Options opt;
+  opt.record_dim = d;
+  const scheme::AspeScheme2 scheme(opt, rng);
+  const Vec p = rng.uniform_vec(d, -1.0, 1.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scheme.encrypt_record(p, rng));
+  }
+}
+BENCHMARK(BM_Scheme2EncryptRecord)->Arg(32)->Arg(128)->Arg(512);
+
+void BM_CipherScore(benchmark::State& state) {
+  const auto d = static_cast<std::size_t>(state.range(0));
+  rng::Rng rng(8);
+  scheme::Scheme2Options opt;
+  opt.record_dim = d;
+  const scheme::AspeScheme2 scheme(opt, rng);
+  const auto ci = scheme.encrypt_record(rng.uniform_vec(d, -1.0, 1.0), rng);
+  const auto ct = scheme.encrypt_query(rng.uniform_vec(d, -1.0, 1.0), rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scheme::cipher_score(ci, ct));
+  }
+}
+BENCHMARK(BM_CipherScore)->Arg(128)->Arg(512);
+
+void BM_MkfseIndex(benchmark::State& state) {
+  rng::Rng rng(9);
+  scheme::MkfseOptions opt;
+  const scheme::Mkfse scheme(opt, rng);
+  std::vector<std::string> keywords;
+  for (int i = 0; i < 10; ++i) keywords.push_back("word" + std::to_string(i));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scheme.build_index(keywords));
+  }
+}
+BENCHMARK(BM_MkfseIndex);
+
+void BM_LepAttack(benchmark::State& state) {
+  const auto d = static_cast<std::size_t>(state.range(0));
+  scheme::Scheme2Options opt;
+  opt.record_dim = d;
+  sse::SecureKnnSystem system(opt, 10);
+  rng::Rng rng(11);
+  system.upload_records(data::real_records(d + 5, d, -1.0, 1.0, rng));
+  for (std::size_t j = 0; j < d + 3; ++j) {
+    system.knn_query(rng.uniform_vec(d, -1.0, 1.0), 3);
+  }
+  std::vector<std::size_t> ids;
+  for (std::size_t i = 0; i <= d; ++i) ids.push_back(i);
+  const auto view = sse::leak_known_records(system, ids);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::run_lep_attack(view));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_LepAttack)->Arg(16)->Arg(32)->Arg(64)->Complexity();
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,96 @@
+// §III.A quantified: the previous attack of Xiao et al. [26] cannot be
+// executed as described, while LEP achieves complete disclosure on the very
+// same deployment.
+//
+// For each dimension d we build one ASPE-Scheme-2 deployment and report:
+//   * naive attack under the implicit r = 1 guess: reconstruction error and
+//     violation of the quadratic constraint I[d] = -0.5||P||^2;
+//   * solution spread across 5 random r-guesses (well-posed would be ~0);
+//   * LEP on the same deployment: exact recovery.
+//
+// Usage: bench_naive [--dims=4,8,16] [--seed=S]
+#include "bench_common.hpp"
+#include "core/lep.hpp"
+#include "core/naive_attack.hpp"
+#include "linalg/vector_ops.hpp"
+#include "sse/adversary_view.hpp"
+#include "sse/system.hpp"
+
+using namespace aspe;
+
+int main(int argc, char** argv) {
+  const CliFlags flags(argc, argv);
+  const std::vector<int> dims = flags.get_int_list("dims", {4, 8, 16});
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 2017));
+
+  bench::print_banner(
+      "Prior attack [26] vs LEP on identical ASPE deployments",
+      "§III.A: the [26] equations have 2d unknowns + a quadratic term");
+
+  bench::TablePrinter table({"d", "naive_err", "quad_gap", "spread",
+                             "lep_err"},
+                            12);
+  table.print_header();
+
+  for (int d_int : dims) {
+    const auto d = static_cast<std::size_t>(d_int);
+    scheme::Scheme2Options opt;
+    opt.record_dim = d;
+    sse::SecureKnnSystem system(opt, seed + d);
+    rng::Rng rng(seed * 3 + d);
+
+    const Vec target = rng.uniform_vec(d, -2.0, 2.0);
+    std::vector<Vec> records = {target};
+    for (std::size_t i = 0; i < d + 4; ++i) {
+      records.push_back(rng.uniform_vec(d, -2.0, 2.0));
+    }
+    system.upload_records(records);
+
+    // Queries with plaintext known to the [26]-style adversary.
+    core::NaiveAttackInput input;
+    rng::Rng enc_rng(seed * 7 + d);
+    for (std::size_t j = 0; j < d + 2; ++j) {
+      const Vec q = rng.uniform_vec(d, -2.0, 2.0);
+      const double r = rng.uniform(0.5, 2.0);
+      input.known_queries.push_back(q);
+      input.cipher_trapdoors.push_back(
+          system.scheme().encrypt_query_with_r(q, r, enc_rng));
+      // Also route through the server so LEP sees the trapdoors.
+      system.server().process_query(input.cipher_trapdoors.back(), 2);
+    }
+    input.cipher_index = system.server().indexes()[0];
+
+    const auto naive = core::run_naive_attack(input);
+    const double naive_err =
+        linalg::norm(linalg::sub(naive.recovered_record, target));
+
+    std::vector<Vec> guesses;
+    rng::Rng guess_rng(seed + 99);
+    for (int g = 0; g < 5; ++g) {
+      guesses.push_back(
+          guess_rng.uniform_vec(input.known_queries.size(), 0.5, 2.0));
+    }
+    const double spread = core::naive_attack_solution_spread(input, guesses);
+
+    std::vector<std::size_t> ids;
+    for (std::size_t i = 0; i <= d; ++i) ids.push_back(i);
+    const auto lep =
+        core::run_lep_attack(sse::leak_known_records(system, ids));
+    double lep_err = 0.0;
+    for (std::size_t i = 0; i < records.size(); ++i) {
+      lep_err = std::max(lep_err, linalg::max_abs(linalg::sub(
+                                      lep.records[i], records[i])));
+    }
+
+    table.print_row({std::to_string(d), bench::fmt(naive_err, 3),
+                     bench::fmt(naive.quadratic_gap, 3),
+                     bench::fmt(spread, 3), bench::fmt_sci(lep_err)});
+  }
+
+  std::printf(
+      "\nReading: the naive attack's output is far from the true record\n"
+      "(naive_err), internally inconsistent (quad_gap >> 0) and changes\n"
+      "entirely with the unknowable r-guess (spread). LEP, run with the\n"
+      "proper KPA knowledge on the same deployment, is exact (lep_err).\n");
+  return 0;
+}

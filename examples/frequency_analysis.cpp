@@ -1,0 +1,74 @@
+// Scenario: the Table-IV statistical attack as a story. A mailing list sends
+// the same announcement to many employees; the duplicates survive MKFSE's
+// deterministic camouflage, survive encryption, and survive the SNMF
+// reconstruction — so a ciphertext-only adversary with background knowledge
+// ("the most common email is the weekly all-hands reminder") labels
+// plaintexts by frequency alone.
+//
+//   $ ./frequency_analysis
+#include <cstdio>
+
+#include "core/metrics.hpp"
+#include "core/snmf_attack.hpp"
+#include "data/email_corpus.hpp"
+#include "sse/adversary_view.hpp"
+#include "sse/system.hpp"
+
+using namespace aspe;
+
+int main() {
+  rng::Rng rng(31);
+
+  // A corpus where a few emails repeat many times (mailing-list copies).
+  data::EmailCorpusOptions copt;
+  copt.num_emails = 120;
+  copt.vocabulary_size = 500;
+  copt.min_keywords = 3;
+  copt.max_keywords = 7;
+  copt.duplicate_fraction = 0.25;
+  const auto emails = data::EmailCorpusGenerator(copt, rng.child(1)).generate();
+
+  scheme::MkfseOptions options;
+  options.bloom_bits = 16;
+  sse::FuzzySearchSystem system(options, /*seed=*/8);
+  std::vector<std::vector<std::string>> docs;
+  for (const auto& e : emails) docs.push_back(e.keywords);
+  system.upload_documents(docs);
+  for (int j = 0; j < 120; ++j) {
+    const auto& doc = docs[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(docs.size()) - 1))];
+    system.fuzzy_query({doc[0], doc[1 % doc.size()]}, 3);
+  }
+
+  // Ground truth frequency of plaintext indexes.
+  const auto truth_top = core::top_frequencies(system.plaintext_indexes(), 5);
+
+  // Ciphertext-only reconstruction.
+  core::SnmfAttackOptions aopt;
+  aopt.rank = options.bloom_bits;
+  aopt.restarts = 4;
+  aopt.nmf.max_iterations = 300;
+  rng::Rng attack_rng(9);
+  const auto attack =
+      core::run_snmf_attack(sse::observe(system.server()), aopt, attack_rng);
+  const auto recon_top = core::top_frequencies(attack.indexes, 5);
+
+  std::printf("five most frequent emails (plaintext vs ciphertext-only):\n");
+  std::printf("%-8s%-14s%-14s\n", "rank", "I freq", "I* freq");
+  for (std::size_t r = 0; r < 5; ++r) {
+    std::printf("%-8zu%-14zu%-14zu\n", r + 1,
+                r < truth_top.size() ? truth_top[r].second : 0,
+                r < recon_top.size() ? recon_top[r].second : 0);
+  }
+
+  // With background knowledge, frequency labels plaintexts.
+  const auto& most_frequent = emails[truth_top[0].first];
+  std::printf(
+      "\nadversary: \"the #1 email repeats %zu times; company folklore says\n"
+      "that's the all-hands reminder\" -> content of %zu ciphertexts labeled.\n"
+      "Its actual keywords were:",
+      truth_top[0].second, truth_top[0].second);
+  for (const auto& k : most_frequent.keywords) std::printf(" %s", k.c_str());
+  std::printf("\n");
+  return 0;
+}

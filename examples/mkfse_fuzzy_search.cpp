@@ -1,0 +1,88 @@
+// Scenario: multi-keyword *fuzzy* search with MKFSE (Wang et al. [22]) —
+// typo-tolerant encrypted search via bigram vectors + LSH + bloom filters —
+// and the §V ciphertext-only SNMF attack that reconstructs the camouflaged
+// index bits without any plaintext knowledge.
+//
+//   $ ./mkfse_fuzzy_search
+#include <cstdio>
+
+#include "core/metrics.hpp"
+#include "core/snmf_attack.hpp"
+#include "sse/adversary_view.hpp"
+#include "sse/system.hpp"
+
+using namespace aspe;
+
+int main() {
+  scheme::MkfseOptions options;
+  options.bloom_bits = 16;  // miniature filter so the demo runs in seconds
+  options.lsh_functions = 2;
+  sse::FuzzySearchSystem system(options, /*seed=*/5);
+
+  const std::vector<std::vector<std::string>> documents = {
+      {"wireless", "network", "protocol"},
+      {"database", "indexing", "btree"},
+      {"machine", "learning", "gradient"},
+      {"quantum", "entanglement", "qubit"},
+      {"compiler", "optimization", "register"},
+      {"network", "security", "firewall"},
+  };
+  // Upload several re-encryptions of the corpus (fresh ciphertexts, same
+  // deterministic camouflaged indexes) to give the COA adversary material.
+  std::vector<std::vector<std::string>> uploads;
+  for (int copy = 0; copy < 8; ++copy) {
+    for (const auto& doc : documents) uploads.push_back(doc);
+  }
+  system.upload_documents(uploads);
+  std::printf("uploaded %zu encrypted document indexes (d = %zu bits)\n",
+              uploads.size(), options.bloom_bits);
+
+  // Fuzzy search tolerates typos: "netwerk" still finds network documents.
+  const auto hits = system.fuzzy_query({"netwerk"}, 2);
+  std::printf("\nfuzzy query \"netwerk\" top-2: docs #%zu, #%zu\n",
+              hits[0] % documents.size(), hits[1] % documents.size());
+
+  // More observed queries...
+  rng::Rng rng(6);
+  for (int j = 0; j < 47; ++j) {
+    const auto& doc = documents[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(documents.size()) - 1))];
+    system.fuzzy_query({doc[0], doc[1]}, 2);
+  }
+
+  // The COA adversary: nothing but the ciphertexts the server stores.
+  core::SnmfAttackOptions aopt;
+  aopt.rank = options.bloom_bits;
+  aopt.restarts = 4;
+  aopt.nmf.max_iterations = 300;
+  rng::Rng attack_rng(7);
+  const auto attack =
+      core::run_snmf_attack(sse::observe(system.server()), aopt, attack_rng);
+
+  const auto perm = core::align_latent_dimensions(
+      system.plaintext_indexes(), system.plaintext_trapdoors(), attack.indexes,
+      attack.trapdoors);
+  std::vector<core::PrecisionRecall> prs;
+  for (std::size_t i = 0; i < uploads.size(); ++i) {
+    prs.push_back(core::binary_precision_recall(
+        system.plaintext_indexes()[i],
+        core::apply_permutation(attack.indexes[i], perm)));
+  }
+  const auto avg = core::average(prs);
+  std::printf(
+      "\nSNMF ciphertext-only reconstruction: precision %.2f, recall %.2f\n",
+      avg.precision, avg.recall);
+
+  // The similarity structure leaks: identical documents have identical I*.
+  std::size_t identical = 0;
+  for (std::size_t i = 0; i < documents.size(); ++i) {
+    identical += attack.indexes[i] ==
+                 attack.indexes[i + documents.size()];  // copy of same doc
+  }
+  std::printf(
+      "identical-document detection from ciphertexts alone: %zu/%zu\n"
+      "(the camouflage is deterministic -> similarity and frequency leak;\n"
+      "Security Risk 3)\n",
+      identical, documents.size());
+  return 0;
+}

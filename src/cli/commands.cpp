@@ -1,0 +1,404 @@
+#include "cli/commands.hpp"
+
+#include <fstream>
+#include <functional>
+#include <map>
+#include <ostream>
+#include <sstream>
+
+#include "common/cli.hpp"
+#include "common/error.hpp"
+#include "core/lep.hpp"
+#include "core/mip_attack.hpp"
+#include "core/snmf_attack.hpp"
+#include "data/quest.hpp"
+#include "io/key_io.hpp"
+#include "io/serialization.hpp"
+#include "rng/rng.hpp"
+
+namespace aspe::cli {
+
+namespace {
+
+std::ifstream open_input(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw io::IoError("cannot open input file: " + path);
+  return f;
+}
+
+std::ofstream open_output(const std::string& path) {
+  std::ofstream f(path);
+  if (!f) throw io::IoError("cannot open output file: " + path);
+  return f;
+}
+
+std::string required(const CliFlags& flags, const std::string& name) {
+  const std::string v = flags.get_string(name, "");
+  require(!v.empty(), "missing required flag --" + name);
+  return v;
+}
+
+// ----------------------------------------------------------------- commands
+
+int cmd_keygen(const CliFlags& flags, std::ostream& out) {
+  const auto dim = static_cast<std::size_t>(flags.get_int("dim", 0));
+  require(dim > 0, "keygen: --dim must be positive");
+  rng::Rng rng(static_cast<std::uint64_t>(flags.get_int("seed", 2017)));
+  const scheme::SplitEncryptor key(dim, rng);
+  auto f = open_output(required(flags, "key"));
+  io::write_split_encryptor(f, key);
+  out << "wrote " << dim << "-dimensional split-encryptor key to "
+      << flags.get_string("key", "") << "\n";
+  return 0;
+}
+
+int cmd_gen_data(const CliFlags& flags, std::ostream& out) {
+  const auto d = static_cast<std::size_t>(flags.get_int("d", 0));
+  require(d > 0, "gen-data: --d must be positive");
+  const auto count = static_cast<std::size_t>(flags.get_int("count", 100));
+  rng::Rng rng(static_cast<std::uint64_t>(flags.get_int("seed", 2017)));
+  std::vector<Vec> as_vecs;
+  as_vecs.reserve(count);
+  if (flags.get_bool("real", false)) {
+    // Real-valued records (the LEP attack's domain: for binary records the
+    // quadratic index coordinate is linear in P and d+1 independent
+    // indexes cannot exist).
+    const double lo = flags.get_double("lo", -1.0);
+    const double hi = flags.get_double("hi", 1.0);
+    for (std::size_t i = 0; i < count; ++i) {
+      as_vecs.push_back(rng.uniform_vec(d, lo, hi));
+    }
+    out << "wrote " << count << " real-valued records (d=" << d << ") to "
+        << flags.get_string("out", "") << "\n";
+  } else {
+    data::QuestOptions qopt;
+    qopt.num_items = d;
+    qopt.density = flags.get_double("rho", 0.2);
+    qopt.num_transactions = count;
+    for (const auto& r :
+         data::QuestGenerator(qopt, std::move(rng)).generate()) {
+      as_vecs.push_back(to_real(r));
+    }
+    out << "wrote " << count << " binary records (d=" << d
+        << ", rho=" << qopt.density << ") to " << flags.get_string("out", "")
+        << "\n";
+  }
+  auto f = open_output(required(flags, "out"));
+  io::write_vec_list(f, as_vecs);
+  return 0;
+}
+
+int cmd_encrypt(const CliFlags& flags, std::ostream& out, bool trapdoor) {
+  auto key_file = open_input(required(flags, "key"));
+  const scheme::SplitEncryptor key = io::read_split_encryptor(key_file);
+  auto plain_file = open_input(required(flags, "plain"));
+  const auto plain = io::read_vec_list(plain_file);
+  require(!plain.empty(), "encrypt: no plaintext records in input");
+  rng::Rng rng(static_cast<std::uint64_t>(flags.get_int("seed", 1)));
+  std::vector<scheme::CipherPair> db;
+  db.reserve(plain.size());
+  for (const auto& v : plain) {
+    db.push_back(trapdoor ? key.encrypt_trapdoor(v, rng)
+                          : key.encrypt_index(v, rng));
+  }
+  auto f = open_output(required(flags, "out"));
+  io::write_encrypted_database(f, db);
+  out << "encrypted " << db.size() << (trapdoor ? " trapdoors" : " indexes")
+      << " under " << flags.get_string("key", "") << "\n";
+  return 0;
+}
+
+int cmd_decrypt(const CliFlags& flags, std::ostream& out) {
+  auto key_file = open_input(required(flags, "key"));
+  const scheme::SplitEncryptor key = io::read_split_encryptor(key_file);
+  auto db_file = open_input(required(flags, "db"));
+  const auto db = io::read_encrypted_database(db_file);
+  const bool trapdoor = flags.get_bool("trapdoor", false);
+  std::vector<Vec> plain;
+  plain.reserve(db.size());
+  for (const auto& c : db) {
+    plain.push_back(trapdoor ? key.decrypt_trapdoor(c) : key.decrypt_index(c));
+  }
+  auto f = open_output(required(flags, "out"));
+  io::write_vec_list(f, plain);
+  out << "decrypted " << plain.size() << " records\n";
+  return 0;
+}
+
+int cmd_score(const CliFlags& flags, std::ostream& out) {
+  auto db_file = open_input(required(flags, "db"));
+  const auto db = io::read_encrypted_database(db_file);
+  auto trap_file = open_input(required(flags, "trapdoors"));
+  const auto trapdoors = io::read_encrypted_database(trap_file);
+  require(!db.empty() && !trapdoors.empty(), "score: empty inputs");
+  out << "score matrix (" << db.size() << " x " << trapdoors.size() << ")\n";
+  out.precision(6);
+  for (const auto& index : db) {
+    for (const auto& t : trapdoors) {
+      out << scheme::cipher_score(index, t) << ' ';
+    }
+    out << '\n';
+  }
+  return 0;
+}
+
+int cmd_attack_snmf(const CliFlags& flags, std::ostream& out) {
+  auto db_file = open_input(required(flags, "db"));
+  auto trap_file = open_input(required(flags, "trapdoors"));
+  sse::CoaView view;
+  view.cipher_indexes = io::read_encrypted_database(db_file);
+  view.cipher_trapdoors = io::read_encrypted_database(trap_file);
+
+  core::SnmfAttackOptions aopt;
+  aopt.rank = static_cast<std::size_t>(flags.get_int("rank", 0));
+  if (aopt.rank == 0) {
+    // No --rank given: estimate d from the numerical rank of the score
+    // matrix (rank(R) <= d with equality given enough ciphertexts).
+    aopt.rank = core::estimate_latent_dimension(core::build_score_matrix(
+        view.cipher_indexes, view.cipher_trapdoors));
+    require(aopt.rank > 0, "attack-snmf: rank estimation found a zero matrix");
+    out << "estimated latent dimension d = " << aopt.rank
+        << " from rank(R)\n";
+  }
+  aopt.restarts = static_cast<std::size_t>(flags.get_int("restarts", 3));
+  aopt.nmf.max_iterations =
+      static_cast<std::size_t>(flags.get_int("iters", 250));
+  rng::Rng rng(static_cast<std::uint64_t>(flags.get_int("seed", 2017)));
+  const auto res = core::run_snmf_attack(view, aopt, rng);
+
+  auto f = open_output(required(flags, "out"));
+  f << "# reconstructed indexes (" << res.indexes.size() << ")\n";
+  io::write_bitvec_list(f, res.indexes);
+  f << "# reconstructed trapdoors (" << res.trapdoors.size() << ")\n";
+  io::write_bitvec_list(f, res.trapdoors);
+  out << "SNMF attack: reconstructed " << res.indexes.size()
+      << " indexes and " << res.trapdoors.size()
+      << " trapdoors (fit error " << res.best_fit_error << ")\n";
+  return 0;
+}
+
+int cmd_make_index(const CliFlags& flags, std::ostream& out) {
+  auto plain_file = open_input(required(flags, "plain"));
+  const auto records = io::read_vec_list(plain_file);
+  std::vector<Vec> indexes;
+  indexes.reserve(records.size());
+  for (const auto& p : records) indexes.push_back(scheme::make_index(p));
+  auto f = open_output(required(flags, "out"));
+  io::write_vec_list(f, indexes);
+  out << "built " << indexes.size() << " ASPE indexes (P, -0.5||P||^2)\n";
+  return 0;
+}
+
+int cmd_make_trapdoor(const CliFlags& flags, std::ostream& out) {
+  auto plain_file = open_input(required(flags, "plain"));
+  const auto queries = io::read_vec_list(plain_file);
+  rng::Rng rng(static_cast<std::uint64_t>(flags.get_int("seed", 1)));
+  std::vector<Vec> trapdoors;
+  trapdoors.reserve(queries.size());
+  for (const auto& q : queries) {
+    trapdoors.push_back(scheme::make_trapdoor(q, rng.uniform(0.5, 2.0)));
+  }
+  auto f = open_output(required(flags, "out"));
+  io::write_vec_list(f, trapdoors);
+  out << "built " << trapdoors.size() << " ASPE trapdoors r(Q, 1)\n";
+  return 0;
+}
+
+scheme::Mrse make_mrse(const CliFlags& flags, std::size_t d, rng::Rng& rng) {
+  scheme::MrseOptions mopt;
+  mopt.vocab_dim = d;
+  mopt.num_dummies = static_cast<std::size_t>(flags.get_int("u", 8));
+  mopt.mu = flags.get_double("mu", 1.0);
+  mopt.sigma = flags.get_double("sigma", 0.5);
+  return scheme::Mrse(mopt, rng);
+}
+
+BitVec to_bits(const Vec& v) {
+  BitVec b(v.size());
+  for (std::size_t k = 0; k < v.size(); ++k) b[k] = v[k] > 0.5 ? 1 : 0;
+  return b;
+}
+
+int cmd_mrse_index(const CliFlags& flags, std::ostream& out) {
+  auto plain_file = open_input(required(flags, "plain"));
+  const auto records = io::read_vec_list(plain_file);
+  require(!records.empty(), "mrse-index: no records");
+  rng::Rng rng(static_cast<std::uint64_t>(flags.get_int("seed", 1)));
+  const scheme::Mrse mrse = make_mrse(flags, records[0].size(), rng);
+  std::vector<Vec> indexes;
+  indexes.reserve(records.size());
+  for (const auto& p : records) {
+    indexes.push_back(mrse.build_index(to_bits(p), rng));
+  }
+  auto f = open_output(required(flags, "out"));
+  io::write_vec_list(f, indexes);
+  out << "built " << indexes.size() << " MRSE indexes (d+U+1 = "
+      << indexes[0].size() << ")\n";
+  return 0;
+}
+
+int cmd_mrse_trapdoor(const CliFlags& flags, std::ostream& out) {
+  auto plain_file = open_input(required(flags, "plain"));
+  const auto queries = io::read_vec_list(plain_file);
+  require(!queries.empty(), "mrse-trapdoor: no queries");
+  rng::Rng rng(static_cast<std::uint64_t>(flags.get_int("seed", 1)));
+  const scheme::Mrse mrse = make_mrse(flags, queries[0].size(), rng);
+  std::vector<Vec> trapdoors;
+  trapdoors.reserve(queries.size());
+  for (const auto& q : queries) {
+    trapdoors.push_back(mrse.build_trapdoor(to_bits(q), rng));
+  }
+  auto f = open_output(required(flags, "out"));
+  io::write_vec_list(f, trapdoors);
+  out << "built " << trapdoors.size() << " MRSE trapdoors\n";
+  return 0;
+}
+
+int cmd_attack_lep(const CliFlags& flags, std::ostream& out) {
+  // Known pairs: plaintext *records* P_i (vec list) aligned with the first
+  // entries of the ciphertext database. The attack derives I_i itself.
+  auto plain_file = open_input(required(flags, "known-plain"));
+  const auto known_records = io::read_vec_list(plain_file);
+  auto db_file = open_input(required(flags, "db"));
+  auto trap_file = open_input(required(flags, "trapdoors"));
+
+  sse::KpaView view;
+  view.observed.cipher_indexes = io::read_encrypted_database(db_file);
+  view.observed.cipher_trapdoors = io::read_encrypted_database(trap_file);
+  require(known_records.size() <= view.observed.cipher_indexes.size(),
+          "attack-lep: more known records than ciphertexts");
+  for (std::size_t i = 0; i < known_records.size(); ++i) {
+    view.known_pairs.push_back({scheme::make_index(known_records[i]),
+                                view.observed.cipher_indexes[i]});
+  }
+
+  const auto res = core::run_lep_attack(view);
+  auto rec_file = open_output(required(flags, "out-records"));
+  io::write_vec_list(rec_file, res.records);
+  auto query_file = open_output(required(flags, "out-queries"));
+  io::write_vec_list(query_file, res.queries);
+  out << "LEP attack: recovered " << res.records.size() << " records and "
+      << res.queries.size() << " queries (complete disclosure)\n";
+  return 0;
+}
+
+int cmd_attack_mip(const CliFlags& flags, std::ostream& out) {
+  // Known pairs: binary plaintext records aligned with the ciphertext DB.
+  auto plain_file = open_input(required(flags, "known-plain"));
+  const auto known = io::read_vec_list(plain_file);
+  auto db_file = open_input(required(flags, "db"));
+  const auto db = io::read_encrypted_database(db_file);
+  auto trap_file = open_input(required(flags, "trapdoors"));
+  const auto trapdoors = io::read_encrypted_database(trap_file);
+  require(known.size() <= db.size(),
+          "attack-mip: more known records than ciphertexts");
+  require(!trapdoors.empty(), "attack-mip: no trapdoors");
+
+  std::vector<sse::KnownBinaryPair> pairs;
+  for (std::size_t i = 0; i < known.size(); ++i) {
+    BitVec bits(known[i].size());
+    for (std::size_t k = 0; k < known[i].size(); ++k) {
+      bits[k] = known[i][k] > 0.5 ? 1 : 0;
+    }
+    pairs.push_back({std::move(bits), db[i]});
+  }
+
+  core::MipAttackOptions aopt;
+  aopt.l = flags.get_double("l", 3.0);
+  aopt.solver.time_limit_seconds = flags.get_double("time-limit", 30.0);
+  const double mu = flags.get_double("mu", 1.0);
+  const double sigma = flags.get_double("sigma", 0.5);
+  const auto target =
+      static_cast<std::size_t>(flags.get_int("trapdoor-id", 0));
+  require(target < trapdoors.size(), "attack-mip: bad --trapdoor-id");
+
+  const auto res =
+      core::run_mip_attack(pairs, trapdoors[target], mu, sigma, aopt);
+  if (!res.found) {
+    out << "MIP attack: no feasible query found within limits\n";
+    return 3;
+  }
+  auto f = open_output(required(flags, "out"));
+  io::write_bitvec_list(f, {res.query});
+  out << "MIP attack: reconstructed query with " << popcount(res.query)
+      << " keywords in " << res.seconds << "s (rhat=" << res.rhat
+      << ", that=" << res.that << ")\n";
+  return 0;
+}
+
+int cmd_help(std::ostream& out) {
+  out << "aspe_cli — drive the ASPE toolkit from files\n"
+         "\n"
+         "  keygen      --dim=N --key=key.txt [--seed=S]\n"
+         "  gen-data    --d=N --out=plain.txt [--rho=R] [--count=M] [--seed=S]\n"
+         "              [--real [--lo=A] [--hi=B]]  (real-valued records)\n"
+         "  encrypt     --key=key.txt --plain=plain.txt --out=db.txt [--seed=S]\n"
+         "  trapdoor    --key=key.txt --plain=queries.txt --out=trap.txt [--seed=S]\n"
+         "  decrypt     --key=key.txt --db=db.txt --out=plain.txt [--trapdoor]\n"
+         "  make-index     --plain=records.txt --out=indexes.txt\n"
+         "  make-trapdoor  --plain=queries.txt --out=trapdoors.txt [--seed=S]\n"
+         "  mrse-index     --plain=records.txt --out=indexes.txt\n"
+         "                 [--u=U] [--mu=..] [--sigma=..] [--seed=S]\n"
+         "  mrse-trapdoor  --plain=queries.txt --out=trapdoors.txt (same flags)\n"
+         "  score       --db=db.txt --trapdoors=trap.txt\n"
+         "  attack-snmf --db=db.txt --trapdoors=trap.txt --out=recon.txt\n"
+         "              [--rank=N (estimated from rank(R) when omitted)]\n"
+         "              [--restarts=L] [--iters=N] [--seed=S]\n"
+         "  attack-lep  --known-plain=leak.txt --db=db.txt --trapdoors=trap.txt\n"
+         "              --out-records=rec.txt --out-queries=q.txt\n"
+         "              (leak.txt: records aligned with the first db entries;\n"
+         "               needs d+1 linearly independent ones)\n"
+         "  attack-mip  --known-plain=leak.txt --db=db.txt --trapdoors=trap.txt\n"
+         "              --out=q.txt [--trapdoor-id=J] [--mu=..] [--sigma=..]\n"
+         "              [--l=3] [--time-limit=30]\n"
+         "  help\n"
+         "\n"
+         "Files use the io/ text formats; `score` and `attack-snmf` need no\n"
+         "key — that is the point of the paper.\n";
+  return 0;
+}
+
+}  // namespace
+
+int run_command(const std::vector<std::string>& args, std::ostream& out,
+                std::ostream& err) {
+  if (args.empty()) {
+    cmd_help(err);
+    return 2;
+  }
+  const std::string& name = args[0];
+  std::vector<const char*> argv = {"aspe_cli"};
+  for (std::size_t i = 1; i < args.size(); ++i) argv.push_back(args[i].c_str());
+  try {
+    const CliFlags flags(static_cast<int>(argv.size()), argv.data());
+    if (name == "keygen") return cmd_keygen(flags, out);
+    if (name == "gen-data") return cmd_gen_data(flags, out);
+    if (name == "encrypt") return cmd_encrypt(flags, out, /*trapdoor=*/false);
+    if (name == "trapdoor") return cmd_encrypt(flags, out, /*trapdoor=*/true);
+    if (name == "decrypt") return cmd_decrypt(flags, out);
+    if (name == "score") return cmd_score(flags, out);
+    if (name == "make-index") return cmd_make_index(flags, out);
+    if (name == "make-trapdoor") return cmd_make_trapdoor(flags, out);
+    if (name == "mrse-index") return cmd_mrse_index(flags, out);
+    if (name == "mrse-trapdoor") return cmd_mrse_trapdoor(flags, out);
+    if (name == "attack-snmf") return cmd_attack_snmf(flags, out);
+    if (name == "attack-lep") return cmd_attack_lep(flags, out);
+    if (name == "attack-mip") return cmd_attack_mip(flags, out);
+    if (name == "help" || name == "--help") return cmd_help(out);
+    err << "unknown command: " << name << "\n";
+    cmd_help(err);
+    return 2;
+  } catch (const Error& e) {
+    err << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
+
+int run_command(int argc, const char* const* argv, std::ostream& out,
+                std::ostream& err) {
+  std::vector<std::string> args;
+  for (int i = 1; i < argc; ++i) args.emplace_back(argv[i]);
+  return run_command(args, out, err);
+}
+
+}  // namespace aspe::cli

@@ -1,0 +1,28 @@
+// The aspe_cli command layer: file-based key generation, encryption, data
+// generation, scoring and attacks. Kept out of main() so each command is
+// unit-testable.
+//
+// File formats are the io/ module's text records: a key file holds a
+// SplitEncryptor, a plaintext file is a list of `vec` records, a ciphertext
+// file an `encrypted_db` block, a binary reconstruction a list of `bits`
+// records.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace aspe::cli {
+
+/// Run one subcommand: args[0] is the command name ("keygen", "encrypt",
+/// "trapdoor", "gen-data", "score", "decrypt", "attack-snmf", "help").
+/// Human-readable output goes to `out`, diagnostics to `err`.
+/// Returns a process exit code (0 = success).
+int run_command(const std::vector<std::string>& args, std::ostream& out,
+                std::ostream& err);
+
+/// argv adapter used by tools/aspe_cli.cpp.
+int run_command(int argc, const char* const* argv, std::ostream& out,
+                std::ostream& err);
+
+}  // namespace aspe::cli

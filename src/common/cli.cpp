@@ -1,0 +1,89 @@
+#include "common/cli.hpp"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace aspe {
+
+CliFlags::CliFlags(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      throw InvalidArgument("unexpected positional argument: " + arg);
+    }
+    arg = arg.substr(2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      values_[arg] = argv[++i];
+    } else {
+      values_[arg] = "";  // boolean switch
+    }
+  }
+}
+
+bool CliFlags::has(const std::string& name) const {
+  return values_.count(name) != 0;
+}
+
+std::string CliFlags::get_string(const std::string& name,
+                                 const std::string& fallback) const {
+  const auto it = values_.find(name);
+  return it == values_.end() ? fallback : it->second;
+}
+
+int CliFlags::get_int(const std::string& name, int fallback) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  return std::stoi(it->second);
+}
+
+double CliFlags::get_double(const std::string& name, double fallback) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  return std::stod(it->second);
+}
+
+bool CliFlags::get_bool(const std::string& name, bool fallback) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  if (it->second.empty() || it->second == "true" || it->second == "1") {
+    return true;
+  }
+  if (it->second == "false" || it->second == "0") return false;
+  throw InvalidArgument("bad boolean value for --" + name + ": " + it->second);
+}
+
+namespace {
+template <class T, class Parse>
+std::vector<T> parse_list(const std::string& text, Parse parse) {
+  std::vector<T> out;
+  std::stringstream ss(text);
+  std::string tok;
+  while (std::getline(ss, tok, ',')) {
+    if (!tok.empty()) out.push_back(parse(tok));
+  }
+  return out;
+}
+}  // namespace
+
+std::vector<int> CliFlags::get_int_list(const std::string& name,
+                                        const std::vector<int>& fallback) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  return parse_list<int>(it->second,
+                         [](const std::string& s) { return std::stoi(s); });
+}
+
+std::vector<double> CliFlags::get_double_list(
+    const std::string& name, const std::vector<double>& fallback) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  return parse_list<double>(it->second,
+                            [](const std::string& s) { return std::stod(s); });
+}
+
+}  // namespace aspe

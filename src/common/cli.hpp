@@ -1,0 +1,45 @@
+// Tiny command-line flag parser for the bench and example binaries.
+//
+// Supports flags of the form `--name=value`, `--name value`, and boolean
+// switches `--name`. Unknown flags raise an error so typos do not silently
+// run the wrong experiment.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace aspe {
+
+class CliFlags {
+ public:
+  CliFlags(int argc, const char* const* argv);
+
+  /// True if `--name` was passed (with or without a value).
+  [[nodiscard]] bool has(const std::string& name) const;
+
+  [[nodiscard]] std::string get_string(const std::string& name,
+                                       const std::string& fallback) const;
+  [[nodiscard]] int get_int(const std::string& name, int fallback) const;
+  [[nodiscard]] double get_double(const std::string& name,
+                                  double fallback) const;
+  [[nodiscard]] bool get_bool(const std::string& name, bool fallback) const;
+
+  /// Comma-separated list of ints, e.g. --dims=100,500,1000.
+  [[nodiscard]] std::vector<int> get_int_list(
+      const std::string& name, const std::vector<int>& fallback) const;
+
+  /// Comma-separated list of doubles.
+  [[nodiscard]] std::vector<double> get_double_list(
+      const std::string& name, const std::vector<double>& fallback) const;
+
+  /// Flags seen on the command line (for help/diagnostics).
+  [[nodiscard]] const std::map<std::string, std::string>& all() const {
+    return values_;
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace aspe

@@ -1,0 +1,38 @@
+// Error handling primitives shared across the library.
+//
+// The library reports contract violations and unrecoverable numerical
+// conditions via exceptions derived from `aspe::Error`, so callers can
+// distinguish library failures from standard-library ones.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace aspe {
+
+/// Base class for all errors thrown by the aspe library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when a caller violates a documented precondition
+/// (dimension mismatch, empty input, out-of-range parameter, ...).
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(const std::string& what) : Error(what) {}
+};
+
+/// Thrown when a numerical routine cannot proceed
+/// (singular matrix, rank-deficient system, non-SPD matrix, ...).
+class NumericalError : public Error {
+ public:
+  explicit NumericalError(const std::string& what) : Error(what) {}
+};
+
+/// Require `cond`; throw InvalidArgument with `msg` otherwise.
+inline void require(bool cond, const std::string& msg) {
+  if (!cond) throw InvalidArgument(msg);
+}
+
+}  // namespace aspe

@@ -1,0 +1,38 @@
+// Core value types shared across modules.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace aspe {
+
+/// Dense real vector. All records, indexes and trapdoors are column vectors
+/// stored as `Vec` (the paper's P_i, Q_j, I_i, T_j).
+using Vec = std::vector<double>;
+
+/// Binary vector over {0,1}. Used for MRSE/MKFSE data, bloom filters and the
+/// reconstructed vectors produced by the MIP and SNMF attacks.
+using BitVec = std::vector<std::uint8_t>;
+
+/// Convert a binary vector to a real vector.
+inline Vec to_real(const BitVec& b) {
+  Vec v(b.size());
+  for (std::size_t i = 0; i < b.size(); ++i) v[i] = static_cast<double>(b[i]);
+  return v;
+}
+
+/// Number of ones in a binary vector.
+inline std::size_t popcount(const BitVec& b) {
+  std::size_t n = 0;
+  for (auto x : b) n += (x != 0);
+  return n;
+}
+
+/// Density of ones in a binary vector (|v| / d). Returns 0 for empty input.
+inline double density(const BitVec& b) {
+  return b.empty() ? 0.0
+                   : static_cast<double>(popcount(b)) /
+                         static_cast<double>(b.size());
+}
+
+}  // namespace aspe

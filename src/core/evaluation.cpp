@@ -1,0 +1,68 @@
+#include "core/evaluation.hpp"
+
+#include "common/error.hpp"
+
+namespace aspe::core {
+
+SnmfEvaluation evaluate_snmf(const std::vector<BitVec>& truth_indexes,
+                             const std::vector<BitVec>& truth_trapdoors,
+                             const SnmfAttackResult& result) {
+  require(truth_indexes.size() == result.indexes.size(),
+          "evaluate_snmf: index count mismatch");
+  require(truth_trapdoors.size() == result.trapdoors.size(),
+          "evaluate_snmf: trapdoor count mismatch");
+
+  SnmfEvaluation eval;
+  eval.alignment = align_latent_dimensions(truth_indexes, truth_trapdoors,
+                                           result.indexes, result.trapdoors);
+  std::vector<PrecisionRecall> idx_prs, trap_prs, all_prs;
+  for (std::size_t i = 0; i < truth_indexes.size(); ++i) {
+    auto pr = binary_precision_recall(
+        truth_indexes[i], apply_permutation(result.indexes[i], eval.alignment));
+    idx_prs.push_back(pr);
+    all_prs.push_back(pr);
+  }
+  for (std::size_t j = 0; j < truth_trapdoors.size(); ++j) {
+    auto pr = binary_precision_recall(
+        truth_trapdoors[j],
+        apply_permutation(result.trapdoors[j], eval.alignment));
+    trap_prs.push_back(pr);
+    all_prs.push_back(pr);
+  }
+  eval.indexes = average(idx_prs);
+  eval.trapdoors = average(trap_prs);
+  eval.combined = average(all_prs);
+  return eval;
+}
+
+MipBatchReport run_mip_attack_batch(const sse::MrseKpaView& view, double mu,
+                                    double sigma,
+                                    const std::vector<BitVec>& truth_queries,
+                                    const MipAttackOptions& options) {
+  const std::size_t n = view.observed.cipher_trapdoors.size();
+  require(truth_queries.empty() || truth_queries.size() == n,
+          "run_mip_attack_batch: truth/trapdoor count mismatch");
+
+  MipBatchReport report;
+  std::vector<PrecisionRecall> prs;
+  for (std::size_t j = 0; j < n; ++j) {
+    MipBatchEntry entry;
+    entry.trapdoor_id = j;
+    entry.attack = run_mip_attack(view, j, mu, sigma, options);
+    ++report.attempted;
+    if (entry.attack.found) {
+      ++report.solved;
+      report.total_seconds += entry.attack.seconds;
+      if (!truth_queries.empty()) {
+        entry.accuracy =
+            binary_precision_recall(truth_queries[j], entry.attack.query);
+        prs.push_back(*entry.accuracy);
+      }
+    }
+    report.entries.push_back(std::move(entry));
+  }
+  report.average_accuracy = average(prs);
+  return report;
+}
+
+}  // namespace aspe::core

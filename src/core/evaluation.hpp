@@ -1,0 +1,64 @@
+// Shared evaluation harnesses for the attacks (used by tests, benches and
+// downstream experiments).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "core/metrics.hpp"
+#include "core/mip_attack.hpp"
+#include "core/snmf_attack.hpp"
+
+namespace aspe::core {
+
+/// Aggregate view of a SNMF reconstruction against ground truth: average
+/// precision/recall of indexes and trapdoors after the optimal latent
+/// relabeling (DESIGN.md §4.5).
+struct SnmfEvaluation {
+  PrecisionRecall indexes;
+  PrecisionRecall trapdoors;
+  PrecisionRecall combined;
+  /// The latent permutation used (recon position -> truth position).
+  std::vector<std::size_t> alignment;
+};
+
+[[nodiscard]] SnmfEvaluation evaluate_snmf(
+    const std::vector<BitVec>& truth_indexes,
+    const std::vector<BitVec>& truth_trapdoors,
+    const SnmfAttackResult& result);
+
+/// One row of a batch MIP attack: the per-trapdoor outcome plus accuracy
+/// against the true query when ground truth is supplied.
+struct MipBatchEntry {
+  std::size_t trapdoor_id = 0;
+  MipAttackResult attack;
+  std::optional<PrecisionRecall> accuracy;  // set when truth was provided
+};
+
+struct MipBatchReport {
+  std::vector<MipBatchEntry> entries;
+  std::size_t attempted = 0;
+  std::size_t solved = 0;
+  double total_seconds = 0.0;
+  PrecisionRecall average_accuracy;  // over solved entries with truth
+
+  [[nodiscard]] double solve_rate() const {
+    return attempted == 0 ? 0.0
+                          : static_cast<double>(solved) /
+                                static_cast<double>(attempted);
+  }
+  [[nodiscard]] double average_seconds() const {
+    return solved == 0 ? 0.0 : total_seconds / static_cast<double>(solved);
+  }
+};
+
+/// Attack every observed trapdoor of a KPA view. `truth_queries`, when
+/// non-empty, must parallel the observed trapdoors and enables accuracy
+/// aggregation.
+[[nodiscard]] MipBatchReport run_mip_attack_batch(
+    const sse::MrseKpaView& view, double mu, double sigma,
+    const std::vector<BitVec>& truth_queries = {},
+    const MipAttackOptions& options = {});
+
+}  // namespace aspe::core

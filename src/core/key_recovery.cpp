@@ -1,0 +1,69 @@
+#include "core/key_recovery.hpp"
+
+#include "common/error.hpp"
+#include "linalg/lu.hpp"
+#include "linalg/solve.hpp"
+
+namespace aspe::core {
+
+using linalg::IndependenceTracker;
+using linalg::LuDecomposition;
+using linalg::Matrix;
+
+KeyRecoveryResult run_scheme1_key_recovery(const Scheme1KpaView& view) {
+  require(!view.known_records.empty(), "key recovery: no known pairs");
+  require(view.known_records.size() == view.known_cipher_indexes.size(),
+          "key recovery: pair count mismatch");
+  const std::size_t d = view.known_records[0].size();
+  const std::size_t n = d + 1;
+
+  // Select n pairs with linearly independent plain indexes.
+  IndependenceTracker tracker(n);
+  std::vector<Vec> plain_rows, cipher_rows;
+  for (std::size_t i = 0;
+       i < view.known_records.size() && !tracker.complete(); ++i) {
+    require(view.known_records[i].size() == d,
+            "key recovery: inconsistent record dimensions");
+    Vec index = scheme::make_index(view.known_records[i]);
+    if (tracker.try_add(index)) {
+      plain_rows.push_back(std::move(index));
+      require(view.known_cipher_indexes[i].size() == n,
+              "key recovery: inconsistent ciphertext dimensions");
+      cipher_rows.push_back(view.known_cipher_indexes[i]);
+    }
+  }
+  if (!tracker.complete()) {
+    throw NumericalError(
+        "key recovery: fewer than d+1 linearly independent known records");
+  }
+
+  KeyRecoveryResult result;
+  // A M = B with A rows = plain indexes, B rows = cipher indexes.
+  const LuDecomposition a_lu{Matrix::from_rows(plain_rows)};
+  if (a_lu.is_singular()) {
+    throw NumericalError("key recovery: known-pair system singular");
+  }
+  result.recovered_key = a_lu.solve(Matrix::from_rows(cipher_rows));
+
+  // Decrypt indexes: I = (M^T)^{-1} I'.
+  const LuDecomposition mt_lu{result.recovered_key.transpose()};
+  if (mt_lu.is_singular()) {
+    throw NumericalError("key recovery: recovered key singular");
+  }
+  for (const auto& cipher : view.cipher_indexes) {
+    require(cipher.size() == n, "key recovery: bad ciphertext length");
+    result.records.push_back(
+        scheme::record_from_index(mt_lu.solve(cipher)));
+  }
+  // Decrypt trapdoors: T = M T'.
+  for (const auto& cipher : view.cipher_trapdoors) {
+    require(cipher.size() == n, "key recovery: bad trapdoor length");
+    const auto rq = scheme::query_from_trapdoor(
+        result.recovered_key.apply(cipher));
+    result.queries.push_back(rq.q);
+    result.query_multipliers.push_back(rq.r);
+  }
+  return result;
+}
+
+}  // namespace aspe::core

@@ -1,0 +1,41 @@
+// KPA key recovery against ASPE Scheme 1 (Theorem 4 of Wong et al. [25]).
+//
+// Scheme 1 encrypts deterministically with a single matrix (I' = M^T I), so
+// d+1 linearly independent known pairs reveal M by solving A M = B — after
+// which the adversary decrypts *everything*, including all trapdoors. This
+// is the baseline break the Scheme-2 enhancement was designed to prevent
+// (and which LEP shows it does not).
+#pragma once
+
+#include <vector>
+
+#include "linalg/matrix.hpp"
+#include "scheme/plain_index.hpp"
+
+namespace aspe::core {
+
+/// What a Scheme-1 KPA adversary sees. Scheme-1 ciphertexts are plain
+/// (d+1)-vectors, not share pairs.
+struct Scheme1KpaView {
+  /// Leaked plaintext records P_i with their ciphertext indexes I'_i.
+  std::vector<Vec> known_records;
+  std::vector<Vec> known_cipher_indexes;
+  /// Everything stored / observed at the server.
+  std::vector<Vec> cipher_indexes;
+  std::vector<Vec> cipher_trapdoors;
+};
+
+struct KeyRecoveryResult {
+  linalg::Matrix recovered_key;  // M
+  /// Decryptions of every observed ciphertext.
+  std::vector<Vec> records;      // P_i for each cipher index
+  std::vector<Vec> queries;      // Q_j for each cipher trapdoor
+  std::vector<double> query_multipliers;  // r_j
+};
+
+/// Run the Theorem-4 attack. Requires at least d+1 known pairs with linearly
+/// independent plain indexes; throws NumericalError otherwise.
+[[nodiscard]] KeyRecoveryResult run_scheme1_key_recovery(
+    const Scheme1KpaView& view);
+
+}  // namespace aspe::core

@@ -1,0 +1,104 @@
+#include "core/lep.hpp"
+
+#include "common/error.hpp"
+#include "linalg/lu.hpp"
+#include "linalg/solve.hpp"
+
+namespace aspe::core {
+
+using linalg::IndependenceTracker;
+using linalg::LuDecomposition;
+using linalg::Matrix;
+using scheme::cipher_score;
+
+LepResult run_lep_attack(const sse::KpaView& view, const LepOptions& options) {
+  require(!view.known_pairs.empty(), "LEP: no known plaintext-ciphertext pairs");
+  const std::size_t n = view.known_pairs[0].plain_index.size();  // d + 1
+
+  // Select n known pairs with linearly independent plain indexes.
+  IndependenceTracker pair_tracker(n, options.independence_tol);
+  std::vector<std::size_t> chosen;
+  for (std::size_t i = 0; i < view.known_pairs.size() && !pair_tracker.complete();
+       ++i) {
+    require(view.known_pairs[i].plain_index.size() == n,
+            "LEP: inconsistent known-pair dimensions");
+    if (pair_tracker.try_add(view.known_pairs[i].plain_index)) {
+      chosen.push_back(i);
+    }
+  }
+  if (!pair_tracker.complete()) {
+    throw NumericalError(
+        "LEP: fewer than d+1 linearly independent known records (the paper's "
+        "KPA assumption is not met)");
+  }
+
+  // Step 1 system matrix A: rows are the chosen plain indexes I_i.
+  std::vector<Vec> a_rows;
+  a_rows.reserve(n);
+  for (auto i : chosen) a_rows.push_back(view.known_pairs[i].plain_index);
+  const LuDecomposition a_lu{Matrix::from_rows(a_rows)};
+  if (a_lu.is_singular()) {
+    throw NumericalError("LEP: known-pair system unexpectedly singular");
+  }
+
+  LepResult result;
+  const auto& trapdoor_ciphers = view.observed.cipher_trapdoors;
+  result.trapdoors.reserve(trapdoor_ciphers.size());
+
+  // Recover every trapdoor; meanwhile collect a basis of n linearly
+  // independent ones for Step 2.
+  IndependenceTracker trapdoor_tracker(n, options.independence_tol);
+  std::vector<std::size_t> basis_ids;
+  for (std::size_t j = 0; j < trapdoor_ciphers.size(); ++j) {
+    Vec rhs(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      rhs[i] = cipher_score(view.known_pairs[chosen[i]].cipher,
+                            trapdoor_ciphers[j]);
+    }
+    Vec t = a_lu.solve(rhs);
+    if (!trapdoor_tracker.complete()) {
+      result.trapdoors_scanned_for_basis = j + 1;
+      if (trapdoor_tracker.try_add(t)) basis_ids.push_back(j);
+    }
+    result.trapdoors.push_back(std::move(t));
+  }
+  if (!trapdoor_tracker.complete()) {
+    throw NumericalError(
+        "LEP: fewer than d+1 linearly independent trapdoors observed; the "
+        "adversary must wait for more queries");
+  }
+
+  // Recover Q_j, r_j from each T_j = r_j (Q_j, 1).
+  result.queries.reserve(result.trapdoors.size());
+  result.query_multipliers.reserve(result.trapdoors.size());
+  for (const auto& t : result.trapdoors) {
+    auto rq = scheme::query_from_trapdoor(t);
+    result.queries.push_back(std::move(rq.q));
+    result.query_multipliers.push_back(rq.r);
+  }
+
+  // Step 2 system matrix B: rows are the basis trapdoors T_j.
+  std::vector<Vec> b_rows;
+  b_rows.reserve(n);
+  for (auto j : basis_ids) b_rows.push_back(result.trapdoors[j]);
+  const LuDecomposition b_lu{Matrix::from_rows(b_rows)};
+  if (b_lu.is_singular()) {
+    throw NumericalError("LEP: trapdoor basis unexpectedly singular");
+  }
+
+  const auto& index_ciphers = view.observed.cipher_indexes;
+  result.indexes.reserve(index_ciphers.size());
+  result.records.reserve(index_ciphers.size());
+  for (const auto& cipher_index : index_ciphers) {
+    Vec rhs(n);
+    for (std::size_t k = 0; k < n; ++k) {
+      rhs[k] = cipher_score(cipher_index, trapdoor_ciphers[basis_ids[k]]);
+    }
+    Vec index = b_lu.solve(rhs);
+    result.records.push_back(scheme::record_from_index(index));
+    result.indexes.push_back(std::move(index));
+  }
+  return result;
+}
+
+}  // namespace aspe::core

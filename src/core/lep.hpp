@@ -1,0 +1,61 @@
+// Algorithm 1 — Linear Equation Program (LEP): the KPA attack on ASPE
+// Scheme 2 (§III.B, Security Risk 1).
+//
+// Given plaintext-ciphertext pairs (I_i, I'_i) for d+1 linearly independent
+// records and the ciphertext trapdoors of processed queries:
+//
+//   Step 1: for each trapdoor T'_j, solve   I_i^T T_j = I'_i^T T'_j,
+//           i = 1..d+1   — a (d+1)x(d+1) linear system with unique
+//           solution T_j. Stop collecting once d+1 linearly independent
+//           T_j are found.
+//   Step 2: with those (T_j, T'_j) pairs, for each remaining ciphertext
+//           index I'_i solve   T_j^T I_i = I'_i^T T'_j,  j = 1..d+1.
+//
+// Output: every processed query's plaintext Q_j (and its r_j) and every
+// record's plaintext P_i — a complete disclosure of the database, with
+// O((d+1)^3) Gaussian-elimination cost (Remark 1).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "scheme/plain_index.hpp"
+#include "sse/adversary_view.hpp"
+
+namespace aspe::core {
+
+struct LepOptions {
+  /// Tolerance for the linear-independence checks.
+  double independence_tol = 1e-9;
+};
+
+struct LepResult {
+  /// Recovered plaintext trapdoors T_j, one per observed ciphertext trapdoor
+  /// (same order as the input view).
+  std::vector<Vec> trapdoors;
+  /// Recovered queries Q_j and their random multipliers r_j.
+  std::vector<Vec> queries;
+  std::vector<double> query_multipliers;
+
+  /// Recovered plaintext indexes I_i for the non-leaked ciphertext indexes
+  /// (same order as the input), and the corresponding records P_i.
+  std::vector<Vec> indexes;
+  std::vector<Vec> records;
+
+  /// How many trapdoors Step 1 processed before finding d+1 linearly
+  /// independent ones.
+  std::size_t trapdoors_scanned_for_basis = 0;
+};
+
+/// Run the LEP attack on a KPA view.
+///
+/// Requirements (the paper's assumptions):
+///  * view.known_pairs contains at least d+1 pairs whose plain indexes are
+///    linearly independent (throws NumericalError otherwise — failure is
+///    detected, never silent garbage);
+///  * view.observed.cipher_trapdoors contains at least d+1 trapdoors with
+///    linearly independent plaintexts (throws NumericalError otherwise).
+[[nodiscard]] LepResult run_lep_attack(const sse::KpaView& view,
+                                       const LepOptions& options = {});
+
+}  // namespace aspe::core

@@ -1,0 +1,155 @@
+#include "core/metrics.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "common/error.hpp"
+#include "linalg/matrix.hpp"
+#include "opt/hungarian.hpp"
+
+namespace aspe::core {
+
+PrecisionRecall binary_precision_recall(const BitVec& truth,
+                                        const BitVec& recon) {
+  require(truth.size() == recon.size(),
+          "binary_precision_recall: length mismatch");
+  std::size_t tp = 0, truth_ones = 0, recon_ones = 0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    const bool t = truth[i] != 0;
+    const bool r = recon[i] != 0;
+    tp += (t && r);
+    truth_ones += t;
+    recon_ones += r;
+  }
+  PrecisionRecall pr;
+  if (recon_ones > 0) {
+    pr.precision = static_cast<double>(tp) / static_cast<double>(recon_ones);
+    pr.precision_valid = true;
+  }
+  if (truth_ones > 0) {
+    pr.recall = static_cast<double>(tp) / static_cast<double>(truth_ones);
+    pr.recall_valid = true;
+  }
+  return pr;
+}
+
+PrecisionRecall average(const std::vector<PrecisionRecall>& prs) {
+  PrecisionRecall out;
+  std::size_t np = 0, nr = 0;
+  for (const auto& pr : prs) {
+    if (pr.precision_valid) {
+      out.precision += pr.precision;
+      ++np;
+    }
+    if (pr.recall_valid) {
+      out.recall += pr.recall;
+      ++nr;
+    }
+  }
+  if (np > 0) {
+    out.precision /= static_cast<double>(np);
+    out.precision_valid = true;
+  }
+  if (nr > 0) {
+    out.recall /= static_cast<double>(nr);
+    out.recall_valid = true;
+  }
+  return out;
+}
+
+double jaccard(const BitVec& a, const BitVec& b) {
+  require(a.size() == b.size(), "jaccard: length mismatch");
+  std::size_t inter = 0, uni = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const bool x = a[i] != 0;
+    const bool y = b[i] != 0;
+    inter += (x && y);
+    uni += (x || y);
+  }
+  return uni == 0 ? 1.0 : static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+std::size_t hamming(const BitVec& a, const BitVec& b) {
+  require(a.size() == b.size(), "hamming: length mismatch");
+  std::size_t h = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) h += (a[i] != 0) != (b[i] != 0);
+  return h;
+}
+
+std::vector<std::size_t> align_latent_dimensions(
+    const std::vector<BitVec>& truth_indexes,
+    const std::vector<BitVec>& truth_trapdoors,
+    const std::vector<BitVec>& recon_indexes,
+    const std::vector<BitVec>& recon_trapdoors) {
+  require(truth_indexes.size() == recon_indexes.size(),
+          "align_latent_dimensions: index count mismatch");
+  require(truth_trapdoors.size() == recon_trapdoors.size(),
+          "align_latent_dimensions: trapdoor count mismatch");
+  require(!truth_indexes.empty() || !truth_trapdoors.empty(),
+          "align_latent_dimensions: nothing to align");
+  const std::size_t d = truth_indexes.empty() ? truth_trapdoors[0].size()
+                                              : truth_indexes[0].size();
+
+  // cost(s, r) = total Hamming mismatch when reconstructed position s is
+  // relabeled as truth position r.
+  linalg::Matrix cost(d, d, 0.0);
+  auto accumulate = [&](const std::vector<BitVec>& truth,
+                        const std::vector<BitVec>& recon) {
+    for (std::size_t v = 0; v < truth.size(); ++v) {
+      require(truth[v].size() == d && recon[v].size() == d,
+              "align_latent_dimensions: inconsistent vector length");
+      for (std::size_t s = 0; s < d; ++s) {
+        const bool rv = recon[v][s] != 0;
+        for (std::size_t r = 0; r < d; ++r) {
+          cost(s, r) += (rv != (truth[v][r] != 0)) ? 1.0 : 0.0;
+        }
+      }
+    }
+  };
+  accumulate(truth_indexes, recon_indexes);
+  accumulate(truth_trapdoors, recon_trapdoors);
+
+  return opt::solve_assignment(cost).row_to_col;
+}
+
+BitVec apply_permutation(const BitVec& v,
+                         const std::vector<std::size_t>& perm) {
+  require(v.size() == perm.size(), "apply_permutation: length mismatch");
+  BitVec out(v.size(), 0);
+  for (std::size_t k = 0; k < v.size(); ++k) out[perm[k]] = v[k];
+  return out;
+}
+
+double top_k_overlap(const std::vector<std::size_t>& truth,
+                     const std::vector<std::size_t>& result) {
+  require(!truth.empty(), "top_k_overlap: empty truth");
+  std::size_t hits = 0;
+  for (auto id : result) {
+    hits += std::count(truth.begin(), truth.end(), id) > 0;
+  }
+  return static_cast<double>(hits) / static_cast<double>(truth.size());
+}
+
+std::vector<std::pair<std::size_t, std::size_t>> top_frequencies(
+    const std::vector<BitVec>& rows, std::size_t k) {
+  std::map<BitVec, std::pair<std::size_t, std::size_t>> groups;  // vec -> (first, count)
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    auto it = groups.find(rows[i]);
+    if (it == groups.end()) {
+      groups.emplace(rows[i], std::make_pair(i, std::size_t{1}));
+    } else {
+      ++it->second.second;
+    }
+  }
+  std::vector<std::pair<std::size_t, std::size_t>> out;  // (first idx, count)
+  out.reserve(groups.size());
+  for (const auto& [vec, info] : groups) out.push_back(info);
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  if (out.size() > k) out.resize(k);
+  return out;
+}
+
+}  // namespace aspe::core

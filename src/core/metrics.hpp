@@ -1,0 +1,66 @@
+// Evaluation metrics for the attacks (§VI "Metrics").
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace aspe::core {
+
+/// Precision / recall of reconstructing the 1's of a binary vector.
+/// precision = |v ∩ v*| / |v*|, recall = |v ∩ v*| / |v| (the paper's
+/// definitions). When |v*| = 0 precision is undefined — `precision_valid`
+/// is false (the paper prints "-"); likewise recall when |v| = 0.
+struct PrecisionRecall {
+  double precision = 0.0;
+  double recall = 0.0;
+  bool precision_valid = false;
+  bool recall_valid = false;
+};
+
+[[nodiscard]] PrecisionRecall binary_precision_recall(const BitVec& truth,
+                                                      const BitVec& recon);
+
+/// Average of many precision/recall results, skipping invalid components.
+[[nodiscard]] PrecisionRecall average(const std::vector<PrecisionRecall>& prs);
+
+/// Jaccard similarity |a ∩ b| / |a ∪ b| (1 when both empty).
+[[nodiscard]] double jaccard(const BitVec& a, const BitVec& b);
+
+/// Hamming distance.
+[[nodiscard]] std::size_t hamming(const BitVec& a, const BitVec& b);
+
+/// Optimal relabeling of reconstructed latent dimensions.
+///
+/// R = I^T T is invariant under permutations of the d latent dimensions, so
+/// any factorization recovers indexes/trapdoors only up to a global position
+/// permutation. This computes the minimum-Hamming-cost assignment between
+/// reconstructed positions and ground-truth positions over all supplied
+/// vectors (Hungarian algorithm) and returns perm with
+/// perm[recon_position] = truth_position.
+[[nodiscard]] std::vector<std::size_t> align_latent_dimensions(
+    const std::vector<BitVec>& truth_indexes,
+    const std::vector<BitVec>& truth_trapdoors,
+    const std::vector<BitVec>& recon_indexes,
+    const std::vector<BitVec>& recon_trapdoors);
+
+/// Apply a latent-dimension permutation to a reconstructed vector:
+/// out[perm[k]] = v[k].
+[[nodiscard]] BitVec apply_permutation(const BitVec& v,
+                                       const std::vector<std::size_t>& perm);
+
+/// Fraction of `truth` ids present in `result` (order-insensitive top-k
+/// overlap). Used to quantify how much MRSE's noise distorts the ranking —
+/// the usefulness side of the paper's noise/accuracy trade-off.
+[[nodiscard]] double top_k_overlap(const std::vector<std::size_t>& truth,
+                                   const std::vector<std::size_t>& result);
+
+/// Frequency analysis (Table IV): group identical vectors and return
+/// (representative first index, count) pairs of the `k` most frequent
+/// vectors, descending by count (ties by first appearance).
+[[nodiscard]] std::vector<std::pair<std::size_t, std::size_t>> top_frequencies(
+    const std::vector<BitVec>& rows, std::size_t k);
+
+}  // namespace aspe::core

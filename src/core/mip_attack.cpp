@@ -1,0 +1,418 @@
+#include "core/mip_attack.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <optional>
+#include <tuple>
+
+#include "common/error.hpp"
+#include "common/stopwatch.hpp"
+#include "opt/simplex.hpp"
+
+namespace aspe::core {
+
+using opt::LinExpr;
+using opt::Model;
+using opt::Sense;
+using scheme::cipher_score;
+
+Model build_mip_attack_model(
+    const std::vector<sse::KnownBinaryPair>& known_pairs,
+    const scheme::CipherPair& cipher_trapdoor, double mu, double sigma,
+    const MipAttackOptions& options) {
+  require(!known_pairs.empty(), "MIP attack: no known pairs");
+  require(sigma > 0.0, "MIP attack: sigma must be positive");
+  const std::size_t d = known_pairs[0].record.size();
+
+  Model model;
+  const std::size_t rhat = model.add_variable(options.rhat_min,
+                                              options.rhat_max,
+                                              opt::VarType::Continuous, "rhat");
+  const std::size_t that = model.add_variable(options.that_min,
+                                              options.that_max,
+                                              opt::VarType::Continuous, "that");
+  std::vector<std::size_t> q(d);
+  for (std::size_t k = 0; k < d; ++k) q[k] = model.add_binary();
+
+  // Constraint 4: the query has at least one keyword.
+  LinExpr at_least_one;
+  for (std::size_t k = 0; k < d; ++k) at_least_one.push_back({q[k], 1.0});
+  model.add_constraint(at_least_one, Sense::GreaterEqual, 1.0);
+
+  // Constraint 5, one band per known pair:
+  //   mu - l sigma <= rhat*c_i - that - P_i.Q <= mu + l sigma
+  const double lo = mu - options.l * sigma;
+  const double hi = mu + options.l * sigma;
+  for (const auto& pair : known_pairs) {
+    require(pair.record.size() == d, "MIP attack: inconsistent record length");
+    const double c = cipher_score(pair.cipher, cipher_trapdoor);
+    LinExpr expr;
+    expr.push_back({rhat, c});
+    expr.push_back({that, -1.0});
+    for (std::size_t k = 0; k < d; ++k) {
+      if (pair.record[k] != 0) expr.push_back({q[k], -1.0});
+    }
+    model.add_constraint(expr, Sense::GreaterEqual, lo);
+    model.add_constraint(std::move(expr), Sense::LessEqual, hi);
+  }
+  return model;
+}
+
+namespace {
+
+/// Result of fitting the two continuous variables for a *fixed* binary Q.
+struct RtFit {
+  bool feasible = false;
+  double rhat = 0.0;
+  double that = 0.0;
+  /// max(0, -g(rhat*)): how far the best (rhat, that) is from satisfying all
+  /// bands; 0 exactly when feasible.
+  double violation = 0.0;
+};
+
+/// With Q fixed, constraint i pins  that in
+/// [rhat*c_i - a_i - (mu + l sigma), rhat*c_i - a_i - (mu - l sigma)].
+/// g(rhat) = min_i hi_i - max_i lo_i (clipped by the that bounds) is concave
+/// piecewise-linear in rhat; maximize it by ternary search.
+RtFit fit_rt(const Vec& c, const Vec& a, double mu, double lsigma,
+             const MipAttackOptions& options) {
+  const auto gap = [&](double rhat, double* mid) {
+    double hi = options.that_max;
+    double lo = options.that_min;
+    for (std::size_t i = 0; i < c.size(); ++i) {
+      const double center = rhat * c[i] - a[i] - mu;
+      hi = std::min(hi, center + lsigma);
+      lo = std::max(lo, center - lsigma);
+    }
+    if (mid != nullptr) *mid = 0.5 * (lo + hi);
+    return hi - lo;
+  };
+  double lo = options.rhat_min;
+  double hi = options.rhat_max;
+  for (int it = 0; it < 200; ++it) {
+    const double m1 = lo + (hi - lo) / 3.0;
+    const double m2 = hi - (hi - lo) / 3.0;
+    if (gap(m1, nullptr) < gap(m2, nullptr)) {
+      lo = m1;
+    } else {
+      hi = m2;
+    }
+  }
+  RtFit fit;
+  const double rhat = 0.5 * (lo + hi);
+  double mid = 0.0;
+  const double g = gap(rhat, &mid);
+  fit.rhat = rhat;
+  fit.that = std::clamp(mid, options.that_min, options.that_max);
+  fit.feasible = g >= 0.0 && fit.that > 0.0;
+  fit.violation = std::max(0.0, -g);
+  return fit;
+}
+
+/// Root-LP rounding + exact (rhat, that) refit + greedy bit-flip repair.
+/// Returns a feasible point when it finds one.
+std::optional<MipAttackResult> primal_heuristic(
+    const std::vector<sse::KnownBinaryPair>& known_pairs, const Vec& c,
+    double mu, double sigma, const MipAttackOptions& options,
+    const Model& model) {
+  const std::size_t d = known_pairs[0].record.size();
+  const std::size_t m = known_pairs.size();
+  const double lsigma = options.l * sigma;
+
+  const bool use_lp =
+      options.root_ordering == RootOrdering::LpRelaxation ||
+      (options.root_ordering == RootOrdering::Auto && m <= 300);
+
+  Vec relaxed_q(d, 0.0);
+  if (use_lp) {
+    const opt::LpResult root = opt::solve_lp(model, options.solver.lp);
+    if (root.status == opt::LpStatus::Infeasible) return std::nullopt;
+    if (root.status == opt::LpStatus::Optimal) {
+      for (std::size_t k = 0; k < d; ++k) relaxed_q[k] = root.x[2 + k];
+    }
+  } else {
+    // Correlation ordering: corr(P_.k , c) per keyword, shifted into [0, 1]
+    // so the grow phase's LP-support preference still works.
+    double cbar = 0.0;
+    for (std::size_t i = 0; i < m; ++i) cbar += c[i];
+    cbar /= static_cast<double>(m);
+    double cvar = 0.0;
+    for (std::size_t i = 0; i < m; ++i) cvar += (c[i] - cbar) * (c[i] - cbar);
+    for (std::size_t k = 0; k < d; ++k) {
+      double pbar = 0.0;
+      for (std::size_t i = 0; i < m; ++i) pbar += known_pairs[i].record[k];
+      pbar /= static_cast<double>(m);
+      double cov = 0.0, pvar = 0.0;
+      for (std::size_t i = 0; i < m; ++i) {
+        const double pk = known_pairs[i].record[k] - pbar;
+        cov += pk * (c[i] - cbar);
+        pvar += pk * pk;
+      }
+      const double denom = std::sqrt(std::max(pvar * cvar, 1e-30));
+      relaxed_q[k] = 0.5 + 0.5 * (cov / denom);  // corr in [-1,1] -> [0,1]
+    }
+  }
+
+  const auto inner_products = [&](const BitVec& q) {
+    Vec a(m, 0.0);
+    for (std::size_t i = 0; i < m; ++i) {
+      const BitVec& p = known_pairs[i].record;
+      double s = 0.0;
+      for (std::size_t k = 0; k < d; ++k) s += (p[k] && q[k]) ? 1.0 : 0.0;
+      a[i] = s;
+    }
+    return a;
+  };
+
+  // Grow phase: a first feasible point is often a *subset* of the true query
+  // (dropping a keyword only shifts the few constraints whose record
+  // contains it). Greedily add keywords that keep the point feasible,
+  // preferring high LP-relaxation values, so the returned point is maximal —
+  // empirically much closer to the true Q (recall) at no precision cost.
+  auto grow = [&](BitVec q, RtFit fit) {
+    for (std::size_t round = 0; round < d; ++round) {
+      std::size_t arg = d;
+      double best_score = -opt::kInfinity;
+      RtFit arg_fit;
+      for (std::size_t k = 0; k < d; ++k) {
+        if (q[k] != 0) continue;
+        q[k] = 1;
+        const RtFit f = fit_rt(c, inner_products(q), mu, lsigma, options);
+        q[k] = 0;
+        if (!f.feasible) continue;
+        // Prefer LP-supported coordinates; break ties toward additions that
+        // leave the most slack in the noise bands.
+        const double score = relaxed_q[k] - 0.01 * f.violation;
+        if (score > best_score) {
+          best_score = score;
+          arg = k;
+          arg_fit = f;
+        }
+      }
+      if (arg == d) break;
+      q[arg] = 1;
+      fit = arg_fit;
+    }
+    return std::make_pair(std::move(q), fit);
+  };
+
+  // Maximum-likelihood polish. Every point in the Eq. (14) feasible set is a
+  // valid output of Algorithm 2, but the set can be loose at small m; the
+  // true query is the feasible point whose implied noise terms
+  // rhat*c_i - that - a_i look most like N(mu, sigma^2). Coordinate-descent
+  // on the residual sum of squares (with (rhat, that) refit by closed-form
+  // regression of a_i + mu on c_i), accepting only feasibility-preserving
+  // flips, pulls an arbitrary feasible point toward the true one.
+  const auto regression_sse = [&](const Vec& a) {
+    const std::size_t n = c.size();
+    double cbar = 0.0, bbar = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      cbar += c[i];
+      bbar += a[i] + mu;
+    }
+    cbar /= static_cast<double>(n);
+    bbar /= static_cast<double>(n);
+    double sxy = 0.0, sxx = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      sxy += (c[i] - cbar) * (a[i] + mu - bbar);
+      sxx += (c[i] - cbar) * (c[i] - cbar);
+    }
+    const double rhat =
+        std::clamp(sxx > 0.0 ? sxy / sxx : options.rhat_min, options.rhat_min,
+                   options.rhat_max);
+    const double that =
+        std::clamp(rhat * cbar - bbar, options.that_min, options.that_max);
+    double sse = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double e = rhat * c[i] - that - (a[i] + mu);
+      sse += e * e;
+    }
+    return sse;
+  };
+
+  // Unconstrained descent: the feasibility requirement is dropped while
+  // walking (the SSE valley between a shrunk feasible point and the true
+  // query passes through infeasible intermediates); only the *final* point
+  // must satisfy Eq. (14).
+  auto polish = [&](BitVec q) {
+    Vec a = inner_products(q);
+    double cur = regression_sse(a);
+    for (std::size_t round = 0; round < 6 * d; ++round) {
+      double best_sse = cur;
+      std::size_t arg = d;
+      for (std::size_t k = 0; k < d; ++k) {
+        if (q[k] != 0 && popcount(q) == 1) continue;  // keep >= 1 keyword
+        const double delta = q[k] != 0 ? -1.0 : 1.0;
+        Vec a2 = a;
+        for (std::size_t i = 0; i < m; ++i) {
+          if (known_pairs[i].record[k] != 0) a2[i] += delta;
+        }
+        const double sse = regression_sse(a2);
+        if (sse < best_sse - 1e-9) {
+          best_sse = sse;
+          arg = k;
+        }
+      }
+      if (arg == d) break;  // local minimum
+      const double delta = q[arg] != 0 ? -1.0 : 1.0;
+      for (std::size_t i = 0; i < m; ++i) {
+        if (known_pairs[i].record[arg] != 0) a[i] += delta;
+      }
+      q[arg] ^= 1;
+      cur = best_sse;
+    }
+    return q;
+  };
+
+  auto package = [&](BitVec q, RtFit fit) {
+    MipAttackResult res;
+    res.found = true;
+    res.status = opt::MipStatus::Feasible;
+    res.query = std::move(q);
+    res.rhat = fit.rhat;
+    res.that = fit.that;
+    return res;
+  };
+
+  const std::size_t max_flips =
+      options.max_repair_flips > 0 ? options.max_repair_flips : 3 * d;
+
+  // Prefix scan: order coordinates by LP value and test every prefix
+  // {top-1, top-2, ..., top-d} as a rounding candidate. This subsumes any
+  // fixed threshold and finds a feasible support size directly.
+  std::vector<std::size_t> order(d);
+  for (std::size_t k = 0; k < d; ++k) order[k] = k;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return relaxed_q[a] > relaxed_q[b];
+  });
+
+  BitVec first_feasible;
+  RtFit first_feasible_fit;
+  bool have_feasible = false;
+  BitVec best_q;
+  double best_violation = opt::kInfinity;
+  BitVec q_prefix(d, 0);
+  for (std::size_t s = 0; s < d; ++s) {
+    q_prefix[order[s]] = 1;
+    const RtFit fit = fit_rt(c, inner_products(q_prefix), mu, lsigma, options);
+    if (fit.feasible && !have_feasible) {
+      first_feasible = q_prefix;
+      first_feasible_fit = fit;
+      have_feasible = true;
+    }
+    if (fit.violation < best_violation) {
+      best_violation = fit.violation;
+      best_q = q_prefix;
+    }
+  }
+
+  // Multi-start maximum-likelihood descent: the SSE landscape has scale
+  // local minima (a shrunk-support point with a proportionally shrunk rhat
+  // fits well), so descend from a ladder of support sizes and keep the
+  // global minimum.
+  {
+    BitVec best_ml;
+    double best_sse = opt::kInfinity;
+    std::size_t s = 1;
+    while (s <= d) {
+      BitVec q0(d, 0);
+      for (std::size_t i = 0; i < s; ++i) q0[order[i]] = 1;
+      BitVec qd = polish(std::move(q0));
+      const double sse = regression_sse(inner_products(qd));
+      if (sse < best_sse) {
+        best_sse = sse;
+        best_ml = std::move(qd);
+      }
+      s = std::max(s + 1, s + s / 3);  // geometric-ish ladder
+    }
+    if (!best_ml.empty()) {
+      const RtFit fit = fit_rt(c, inner_products(best_ml), mu, lsigma, options);
+      if (fit.feasible) return package(std::move(best_ml), fit);
+    }
+  }
+
+  if (have_feasible) {
+    auto [q, fit] = grow(std::move(first_feasible), first_feasible_fit);
+    return package(std::move(q), fit);
+  }
+
+  // Greedy repair from the best rounding: flip the single bit that most
+  // reduces the violation; stop at feasibility or a local minimum.
+  BitVec q = std::move(best_q);
+  for (std::size_t flip = 0; flip < max_flips; ++flip) {
+    double cur = best_violation;
+    std::size_t arg = d;
+    RtFit arg_fit;
+    for (std::size_t k = 0; k < d; ++k) {
+      q[k] ^= 1;
+      if (popcount(q) >= 1) {
+        const RtFit fit = fit_rt(c, inner_products(q), mu, lsigma, options);
+        if (fit.violation < cur - 1e-12) {
+          cur = fit.violation;
+          arg = k;
+          arg_fit = fit;
+        }
+      }
+      q[k] ^= 1;
+    }
+    if (arg == d) break;  // local minimum
+    q[arg] ^= 1;
+    best_violation = cur;
+    if (arg_fit.feasible) return package(q, arg_fit);
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+MipAttackResult run_mip_attack(
+    const std::vector<sse::KnownBinaryPair>& known_pairs,
+    const scheme::CipherPair& cipher_trapdoor, double mu, double sigma,
+    const MipAttackOptions& options) {
+  Model model = build_mip_attack_model(known_pairs, cipher_trapdoor, mu, sigma,
+                                       options);
+  Stopwatch watch;
+
+  if (options.use_heuristic) {
+    Vec c(known_pairs.size());
+    for (std::size_t i = 0; i < known_pairs.size(); ++i) {
+      c[i] = cipher_score(known_pairs[i].cipher, cipher_trapdoor);
+    }
+    auto heuristic =
+        primal_heuristic(known_pairs, c, mu, sigma, options, model);
+    if (heuristic.has_value()) {
+      heuristic->seconds = watch.seconds();
+      return *heuristic;
+    }
+  }
+
+  const opt::MipResult mip = opt::solve_mip(std::move(model), options.solver);
+
+  MipAttackResult result;
+  result.status = mip.status;
+  result.seconds = watch.seconds();
+  result.nodes = mip.nodes_explored;
+  if (!mip.has_solution()) return result;
+
+  result.found = true;
+  result.rhat = mip.x[0];
+  result.that = mip.x[1];
+  const std::size_t d = known_pairs[0].record.size();
+  result.query.resize(d);
+  for (std::size_t k = 0; k < d; ++k) {
+    result.query[k] = mip.x[2 + k] > 0.5 ? 1 : 0;
+  }
+  return result;
+}
+
+MipAttackResult run_mip_attack(const sse::MrseKpaView& view,
+                               std::size_t trapdoor_id, double mu, double sigma,
+                               const MipAttackOptions& options) {
+  require(trapdoor_id < view.observed.cipher_trapdoors.size(),
+          "MIP attack: no such trapdoor");
+  return run_mip_attack(view.known_pairs,
+                        view.observed.cipher_trapdoors[trapdoor_id], mu, sigma,
+                        options);
+}
+
+}  // namespace aspe::core

@@ -1,0 +1,95 @@
+// Algorithm 2 — Mixed Integer Linear Program (MIP): the KPA attack on MRSE
+// (§IV.B, Security Risk 2).
+//
+// The adversary holds m pairs (P_i, I'_i) with binary P_i, the ciphertext
+// trapdoor T'_j of one query, and the public noise parameters (mu, sigma).
+// Rewriting Eq. (12) as
+//
+//   E_i.V_j = rhat * I'_i^T T'_j - that - P_i.Q_j     (rhat = 1/r, that = t/r)
+//
+// and using that E_i.V_j ~ N(mu, sigma^2), the attack searches for
+// (rhat > 0, that > 0, Q_j in {0,1}^d, sum Q_j >= 1) such that each noise
+// term lies in [mu - l*sigma, mu + l*sigma] (Eq. (14)). Any feasible point
+// is returned; the paper sets l = 3 (99% coverage).
+//
+// The Gurobi solver of the paper is replaced by opt::solve_mip (see
+// DESIGN.md §4.1).
+#pragma once
+
+#include <optional>
+
+#include "opt/mip.hpp"
+#include "sse/adversary_view.hpp"
+
+namespace aspe::core {
+
+/// How the primal heuristic ranks candidate keywords.
+enum class RootOrdering {
+  /// LP when the model is small enough, correlation otherwise.
+  Auto,
+  /// Solve the LP relaxation of Eq. (14) at the root (faithful to a
+  /// B&B solver's root node, cost grows with the simplex basis ~ (2m)^2).
+  LpRelaxation,
+  /// Rank keyword k by the empirical correlation between P_i[k] and the
+  /// observed scores c_i — records containing a true query keyword score
+  /// higher. O(m d), scales to the paper's d = 1000 settings.
+  Correlation,
+};
+
+struct MipAttackOptions {
+  double l = 3.0;  // noise interval half width, in sigmas
+  RootOrdering root_ordering = RootOrdering::Auto;
+  /// Bounds making the continuous variables finite for the LP relaxation;
+  /// rhat = 1/r and that = t/r with r in [0.5, 2], t in [0.1, 1] under the
+  /// reference trapdoor generator, so these are generous.
+  double rhat_min = 1e-4;
+  double rhat_max = 1e4;
+  double that_min = 1e-6;
+  double that_max = 1e4;
+  /// Try the primal heuristic (LP rounding + exact 2-variable refit + greedy
+  /// bit-flip repair) before branch and bound. This mirrors the rounding/
+  /// diving heuristics a commercial solver such as Gurobi runs at the root
+  /// node, and is what makes paper-scale instances tractable.
+  bool use_heuristic = true;
+  /// Cap on greedy repair flips (0 selects 3d automatically).
+  std::size_t max_repair_flips = 0;
+  opt::MipOptions solver = default_solver();
+
+  [[nodiscard]] static opt::MipOptions default_solver() {
+    opt::MipOptions s;
+    s.first_feasible = true;  // Algorithm 2 wants any feasible point
+    s.time_limit_seconds = 20.0;
+    return s;
+  }
+};
+
+struct MipAttackResult {
+  bool found = false;
+  BitVec query;        // reconstructed Q_j
+  double rhat = 0.0;   // 1 / r_j
+  double that = 0.0;   // t_j / r_j
+  opt::MipStatus status = opt::MipStatus::NodeLimit;
+  double seconds = 0.0;
+  std::size_t nodes = 0;
+};
+
+/// Attack one ciphertext trapdoor using the KPA view's known pairs.
+/// `mu` and `sigma` are MRSE's public noise parameters.
+[[nodiscard]] MipAttackResult run_mip_attack(
+    const std::vector<sse::KnownBinaryPair>& known_pairs,
+    const scheme::CipherPair& cipher_trapdoor, double mu, double sigma,
+    const MipAttackOptions& options = {});
+
+/// Convenience: attack the j-th observed trapdoor of an MRSE KPA view.
+[[nodiscard]] MipAttackResult run_mip_attack(const sse::MrseKpaView& view,
+                                             std::size_t trapdoor_id,
+                                             double mu, double sigma,
+                                             const MipAttackOptions& options = {});
+
+/// Build the Eq. (14) feasibility model (exposed for tests and ablations).
+[[nodiscard]] opt::Model build_mip_attack_model(
+    const std::vector<sse::KnownBinaryPair>& known_pairs,
+    const scheme::CipherPair& cipher_trapdoor, double mu, double sigma,
+    const MipAttackOptions& options);
+
+}  // namespace aspe::core

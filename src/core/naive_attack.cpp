@@ -1,0 +1,78 @@
+#include "core/naive_attack.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "linalg/lu.hpp"
+#include "linalg/vector_ops.hpp"
+
+namespace aspe::core {
+
+using linalg::LuDecomposition;
+using linalg::Matrix;
+using scheme::cipher_score;
+
+NaiveAttackResult run_naive_attack(const NaiveAttackInput& input) {
+  require(!input.known_queries.empty(), "naive attack: no known queries");
+  const std::size_t d = input.known_queries[0].size();
+  require(input.known_queries.size() == input.cipher_trapdoors.size(),
+          "naive attack: query/trapdoor count mismatch");
+  require(input.known_queries.size() >= d + 1,
+          "naive attack: need at least d+1 known queries to even attempt a "
+          "square system over the (d+1)-dimensional index");
+
+  Vec assumed_r = input.assumed_r;
+  assumed_r.resize(input.known_queries.size(), 1.0);
+
+  // Build the guessed linear system: row j is T_j^T = r_j (Q_j^T, 1) under
+  // the guessed r_j; RHS is the observable ciphertext score.
+  std::vector<Vec> rows;
+  Vec rhs;
+  for (std::size_t j = 0; j < d + 1; ++j) {
+    require(input.known_queries[j].size() == d,
+            "naive attack: inconsistent query dimensions");
+    rows.push_back(
+        scheme::make_trapdoor(input.known_queries[j], assumed_r[j]));
+    rhs.push_back(
+        cipher_score(input.cipher_index, input.cipher_trapdoors[j]));
+  }
+  const LuDecomposition lu{Matrix::from_rows(rows)};
+  if (lu.is_singular()) {
+    throw NumericalError(
+        "naive attack: guessed trapdoor system is singular (queries "
+        "linearly dependent)");
+  }
+
+  NaiveAttackResult result;
+  result.recovered_index = lu.solve(rhs);
+  result.recovered_record = scheme::record_from_index(result.recovered_index);
+  const double expected =
+      -0.5 * linalg::norm_squared(result.recovered_record);
+  result.quadratic_gap = std::abs(result.recovered_index.back() - expected);
+  result.quadratic_consistent =
+      result.quadratic_gap <=
+      1e-6 * std::max(1.0, std::abs(expected));
+  return result;
+}
+
+double naive_attack_solution_spread(const NaiveAttackInput& base,
+                                    const std::vector<Vec>& r_guesses) {
+  require(r_guesses.size() >= 2,
+          "naive_attack_solution_spread: need at least two guesses");
+  std::vector<Vec> solutions;
+  for (const auto& guess : r_guesses) {
+    NaiveAttackInput input = base;
+    input.assumed_r = guess;
+    solutions.push_back(run_naive_attack(input).recovered_record);
+  }
+  double spread = 0.0;
+  for (std::size_t a = 0; a < solutions.size(); ++a) {
+    for (std::size_t b = a + 1; b < solutions.size(); ++b) {
+      spread = std::max(
+          spread, linalg::norm(linalg::sub(solutions[a], solutions[b])));
+    }
+  }
+  return spread;
+}
+
+}  // namespace aspe::core

@@ -1,0 +1,59 @@
+// The *previous* attack on ASPE from Xiao et al. [26], reproduced to
+// demonstrate §III.A's claim that it is not effective.
+//
+// [26] assumes the adversary knows pairs (Q_j, T'_j) for d queries and
+// proposes to learn the index I_i of a record from the "d linear equations"
+//
+//     I'_i^T T'_j = I_i^T T_j ,   T_j = r_j (Q_j^T, 1)^T .
+//
+// The paper's critique (§III.A): the system actually has 2d unknowns (the d
+// random multipliers r_j are unknown too), and the (d+1)-th coordinate of
+// I_i is the *quadratic* term -0.5||P_i||^2, so the equations are not a
+// solvable linear system. To execute the attack at all, the adversary must
+// guess the r_j (e.g. r_j = 1); this module implements exactly that and
+// exposes the failure: the recovered index changes with the guess and
+// violates the quadratic consistency I[d] = -0.5||P||^2.
+#pragma once
+
+#include <vector>
+
+#include "scheme/plain_index.hpp"
+#include "scheme/split_encryptor.hpp"
+
+namespace aspe::core {
+
+struct NaiveAttackInput {
+  /// Known queries Q_j (d-dimensional) with their ciphertext trapdoors.
+  std::vector<Vec> known_queries;
+  std::vector<scheme::CipherPair> cipher_trapdoors;
+  /// The target record's ciphertext index I'_i.
+  scheme::CipherPair cipher_index;
+  /// The adversary's guess for the unknown multipliers r_j (resized with
+  /// 1.0 if shorter than known_queries — the implicit assumption in [26]).
+  Vec assumed_r;
+};
+
+struct NaiveAttackResult {
+  Vec recovered_index;   // (d+1)-dimensional solution of the guessed system
+  Vec recovered_record;  // its first d coordinates
+  /// Whether the solution satisfies I[d] = -0.5||P||^2 (it should if the
+  /// guess were right; §III.A predicts it will not).
+  bool quadratic_consistent = false;
+  /// |I[d] + 0.5||P||^2| — how badly the quadratic constraint is violated.
+  double quadratic_gap = 0.0;
+};
+
+/// Execute the [26] attack under the given r-guess. Requires d+1 known
+/// queries whose trapdoors (under the guess) are linearly independent; the
+/// (d+1)-th equation is needed because I_i has d+1 coordinates.
+/// Throws NumericalError when the guessed system is singular.
+[[nodiscard]] NaiveAttackResult run_naive_attack(const NaiveAttackInput& input);
+
+/// §III.A's non-uniqueness demonstration: run the attack under several
+/// different r-guesses and return the maximum pairwise distance between the
+/// recovered records. A well-posed attack would return ~0; the naive attack
+/// returns a large value because every guess yields a different "solution".
+[[nodiscard]] double naive_attack_solution_spread(
+    const NaiveAttackInput& base, const std::vector<Vec>& r_guesses);
+
+}  // namespace aspe::core

@@ -1,0 +1,56 @@
+#include "core/similarity_inference.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "core/metrics.hpp"
+
+namespace aspe::core {
+
+std::vector<SimilarPair> find_similar_pairs(const std::vector<BitVec>& indexes,
+                                            double threshold) {
+  require(threshold >= 0.0 && threshold <= 1.0,
+          "find_similar_pairs: threshold must be in [0, 1]");
+  std::vector<SimilarPair> pairs;
+  for (std::size_t a = 0; a < indexes.size(); ++a) {
+    for (std::size_t b = a + 1; b < indexes.size(); ++b) {
+      const double j = jaccard(indexes[a], indexes[b]);
+      if (j >= threshold) pairs.push_back({a, b, j});
+    }
+  }
+  std::sort(pairs.begin(), pairs.end(),
+            [](const SimilarPair& x, const SimilarPair& y) {
+              if (x.jaccard != y.jaccard) return x.jaccard > y.jaccard;
+              if (x.a != y.a) return x.a < y.a;
+              return x.b < y.b;
+            });
+  return pairs;
+}
+
+std::vector<PropagatedLabel> propagate_labels(
+    const std::vector<BitVec>& indexes,
+    const std::map<std::size_t, std::string>& known, double threshold) {
+  require(threshold >= 0.0 && threshold <= 1.0,
+          "propagate_labels: threshold must be in [0, 1]");
+  for (const auto& [id, label] : known) {
+    require(id < indexes.size(), "propagate_labels: unknown record id");
+    require(!label.empty(), "propagate_labels: empty label");
+  }
+  std::vector<PropagatedLabel> out(indexes.size());
+  for (std::size_t i = 0; i < indexes.size(); ++i) {
+    const auto self = known.find(i);
+    if (self != known.end()) {
+      out[i] = {self->second, 1.0, i};
+      continue;
+    }
+    for (const auto& [id, label] : known) {
+      const double j = jaccard(indexes[i], indexes[id]);
+      if (j >= threshold && j > out[i].confidence) {
+        out[i] = {label, j, id};
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace aspe::core

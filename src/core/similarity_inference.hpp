@@ -1,0 +1,49 @@
+// Downstream exploitation of the SNMF reconstruction (§VI-B2).
+//
+// "Learning I_i and T_j does not directly lead to the disclosure of
+// plaintext P_i or Q_j", but the deterministic LSH/PRF pipeline implies that
+// similar reconstructed indexes come from similar plaintexts with high
+// probability. The paper's anecdote: reconstructed I*_365 and I*_380 are
+// identical; the adversary who learns that P_365 contains "application
+// approved" concludes P_380 does too — and is right.
+//
+// This module packages that inference: near-duplicate detection over the
+// reconstructed indexes and label propagation from a handful of documents
+// whose content the adversary knows out-of-band.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace aspe::core {
+
+struct SimilarPair {
+  std::size_t a = 0;
+  std::size_t b = 0;
+  double jaccard = 0.0;
+};
+
+/// All pairs (a < b) whose Jaccard similarity is at least `threshold`,
+/// sorted by descending similarity. O(n^2 d) — fine at attack scales.
+[[nodiscard]] std::vector<SimilarPair> find_similar_pairs(
+    const std::vector<BitVec>& indexes, double threshold);
+
+struct PropagatedLabel {
+  std::string label;       // empty = unknown
+  double confidence = 0.0; // Jaccard similarity to the labeled source
+  std::size_t source = 0;  // index of the known record the label came from
+};
+
+/// Propagate `known` labels (record id -> label) to every record whose
+/// reconstructed index has Jaccard similarity >= `threshold` with a labeled
+/// one. Each record receives the label of its most similar labeled source;
+/// labeled records keep their own label with confidence 1.
+[[nodiscard]] std::vector<PropagatedLabel> propagate_labels(
+    const std::vector<BitVec>& indexes,
+    const std::map<std::size_t, std::string>& known, double threshold);
+
+}  // namespace aspe::core

@@ -1,0 +1,91 @@
+#include "core/snmf_attack.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "linalg/svd.hpp"
+
+namespace aspe::core {
+
+using linalg::Matrix;
+
+Matrix build_score_matrix(
+    const std::vector<scheme::CipherPair>& cipher_indexes,
+    const std::vector<scheme::CipherPair>& cipher_trapdoors) {
+  require(!cipher_indexes.empty() && !cipher_trapdoors.empty(),
+          "build_score_matrix: need ciphertexts on both sides");
+  Matrix r(cipher_indexes.size(), cipher_trapdoors.size());
+  for (std::size_t i = 0; i < cipher_indexes.size(); ++i) {
+    for (std::size_t j = 0; j < cipher_trapdoors.size(); ++j) {
+      // I_i and T_j are binary, so I_i^T T_j is a non-negative integer;
+      // rounding removes the encryption's floating-point noise.
+      r(i, j) = std::max(
+          0.0,
+          std::round(cipher_score(cipher_indexes[i], cipher_trapdoors[j])));
+    }
+  }
+  return r;
+}
+
+std::size_t estimate_latent_dimension(const Matrix& scores, double rel_tol) {
+  require(scores.rows() > 0 && scores.cols() > 0,
+          "estimate_latent_dimension: empty score matrix");
+  // One-sided Jacobi SVD needs rows >= cols.
+  if (scores.rows() >= scores.cols()) {
+    return linalg::Svd(scores).rank(rel_tol);
+  }
+  return linalg::Svd(scores.transpose()).rank(rel_tol);
+}
+
+SnmfAttackResult run_snmf_attack(const sse::CoaView& view,
+                                 const SnmfAttackOptions& options,
+                                 rng::Rng& rng) {
+  return run_snmf_attack(
+      build_score_matrix(view.cipher_indexes, view.cipher_trapdoors), options,
+      rng);
+}
+
+SnmfAttackResult run_snmf_attack(const Matrix& scores,
+                                 const SnmfAttackOptions& options,
+                                 rng::Rng& rng) {
+  require(options.rank > 0, "SNMF attack: rank (d) must be set");
+  require(options.restarts > 0, "SNMF attack: need at least one restart");
+
+  // Best of L runs by the sparse-NMF objective (Algorithm 3's loop).
+  nmf::NmfResult best;
+  bool have_best = false;
+  for (std::size_t l = 0; l < options.restarts; ++l) {
+    nmf::NmfResult run = nmf::sparse_nmf(scores, options.rank, options.nmf, rng);
+    if (!have_best || run.objective < best.objective) {
+      best = std::move(run);
+      have_best = true;
+    }
+  }
+
+  if (options.balance) nmf::balance_rows(best.w, best.h);
+  const Matrix wb = nmf::to_binary(best.w, options.theta);
+  const Matrix hb = nmf::to_binary(best.h, options.theta);
+
+  SnmfAttackResult result;
+  result.best_fit_error = best.fit_error;
+  result.restarts_run = options.restarts;
+  result.indexes.reserve(wb.cols());
+  for (std::size_t i = 0; i < wb.cols(); ++i) {
+    BitVec v(options.rank);
+    for (std::size_t k = 0; k < options.rank; ++k) {
+      v[k] = wb(k, i) != 0.0 ? 1 : 0;
+    }
+    result.indexes.push_back(std::move(v));
+  }
+  result.trapdoors.reserve(hb.cols());
+  for (std::size_t j = 0; j < hb.cols(); ++j) {
+    BitVec v(options.rank);
+    for (std::size_t k = 0; k < options.rank; ++k) {
+      v[k] = hb(k, j) != 0.0 ? 1 : 0;
+    }
+    result.trapdoors.push_back(std::move(v));
+  }
+  return result;
+}
+
+}  // namespace aspe::core

@@ -1,0 +1,60 @@
+// Algorithm 3 — Sparse Non-negative Matrix Factorization (SNMF): the COA
+// attack on MKFSE (§V.B, Security Risk 3).
+//
+// From ciphertexts alone the adversary computes the inner-product matrix
+// R[i][j] = I'_i^T T'_j = I_i^T T_j (Eq. (16)), factorizes R ~= I^T T into
+// two d-row non-negative matrices with the sparse-NMF objective (Eq. (18)),
+// keeps the best of L restarts, and binarizes at threshold theta = 0.5.
+// The columns of the factors are the reconstructed indexes I*_i and
+// trapdoors T*_j.
+#pragma once
+
+#include <vector>
+
+#include "linalg/matrix.hpp"
+#include "nmf/nmf.hpp"
+#include "rng/rng.hpp"
+#include "sse/adversary_view.hpp"
+
+namespace aspe::core {
+
+struct SnmfAttackOptions {
+  std::size_t rank = 0;      // d — dimensionality of indexes/trapdoors
+  double theta = 0.5;        // binarization threshold (the paper's choice)
+  std::size_t restarts = 3;  // L — number of sparse_NMF runs
+  nmf::SparseNmfOptions nmf;
+  /// Rescale latent rows before thresholding (W^T H invariant); makes the
+  /// fixed theta meaningful under NMF's diagonal-scale ambiguity.
+  bool balance = true;
+};
+
+struct SnmfAttackResult {
+  std::vector<BitVec> indexes;    // I*_i, one per ciphertext index
+  std::vector<BitVec> trapdoors;  // T*_j, one per ciphertext trapdoor
+  double best_fit_error = 0.0;    // ||R - W^T H||_F of the selected run
+  std::size_t restarts_run = 0;
+};
+
+/// R[i][j] = I'_i^T T'_j — all the COA adversary needs.
+[[nodiscard]] linalg::Matrix build_score_matrix(
+    const std::vector<scheme::CipherPair>& cipher_indexes,
+    const std::vector<scheme::CipherPair>& cipher_trapdoors);
+
+/// Estimate the latent dimension d from the score matrix alone:
+/// R = I^T T has rank <= d, with equality once enough (dense-enough)
+/// indexes and trapdoors are observed. Lets a COA adversary run Algorithm 3
+/// without knowing the scheme's bloom-filter length a priori.
+[[nodiscard]] std::size_t estimate_latent_dimension(
+    const linalg::Matrix& scores, double rel_tol = 1e-8);
+
+/// Run Algorithm 3 on a ciphertext-only view.
+[[nodiscard]] SnmfAttackResult run_snmf_attack(const sse::CoaView& view,
+                                               const SnmfAttackOptions& options,
+                                               rng::Rng& rng);
+
+/// Run Algorithm 3 on a precomputed score matrix (tests/ablations).
+[[nodiscard]] SnmfAttackResult run_snmf_attack(const linalg::Matrix& scores,
+                                               const SnmfAttackOptions& options,
+                                               rng::Rng& rng);
+
+}  // namespace aspe::core

@@ -1,0 +1,34 @@
+#include "data/queries.hpp"
+
+#include "common/error.hpp"
+
+namespace aspe::data {
+
+std::vector<BitVec> binary_queries(std::size_t count, std::size_t d,
+                                   std::size_t ones, rng::Rng& rng) {
+  require(ones >= 1, "binary_queries: queries must have at least one keyword");
+  require(ones <= d, "binary_queries: more ones than dimensions");
+  std::vector<BitVec> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    out.push_back(rng.binary_with_k_ones(d, ones));
+  }
+  return out;
+}
+
+std::vector<Vec> real_queries(std::size_t count, std::size_t d, double lo,
+                              double hi, rng::Rng& rng) {
+  std::vector<Vec> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    out.push_back(rng.uniform_vec(d, lo, hi));
+  }
+  return out;
+}
+
+std::vector<Vec> real_records(std::size_t count, std::size_t d, double lo,
+                              double hi, rng::Rng& rng) {
+  return real_queries(count, d, lo, hi, rng);
+}
+
+}  // namespace aspe::data

@@ -1,0 +1,31 @@
+// Query workload generators for the attack experiments.
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "rng/rng.hpp"
+
+namespace aspe::data {
+
+/// `count` binary query vectors of length `d`, each with `ones` ones placed
+/// uniformly at random — the paper generates 100 queries with density 15/d
+/// ("as suggested in [5]").
+[[nodiscard]] std::vector<BitVec> binary_queries(std::size_t count,
+                                                 std::size_t d,
+                                                 std::size_t ones,
+                                                 rng::Rng& rng);
+
+/// `count` real-valued query points with iid uniform coordinates in
+/// [lo, hi) — the workload for the LEP experiment on real-valued data.
+[[nodiscard]] std::vector<Vec> real_queries(std::size_t count, std::size_t d,
+                                            double lo, double hi,
+                                            rng::Rng& rng);
+
+/// `count` real-valued records, linearly independent by construction is not
+/// guaranteed — use enough of them and check rank at the consumer.
+[[nodiscard]] std::vector<Vec> real_records(std::size_t count, std::size_t d,
+                                            double lo, double hi,
+                                            rng::Rng& rng);
+
+}  // namespace aspe::data

@@ -1,0 +1,32 @@
+#include "io/key_io.hpp"
+
+#include <istream>
+#include <ostream>
+#include <string>
+
+#include "io/serialization.hpp"
+
+namespace aspe::io {
+
+void write_split_encryptor(std::ostream& os,
+                           const scheme::SplitEncryptor& encryptor) {
+  os << "split_encryptor_key_v1\n";
+  write_bitvec(os, encryptor.split_string());
+  write_matrix(os, encryptor.m1());
+  write_matrix(os, encryptor.m2());
+}
+
+scheme::SplitEncryptor read_split_encryptor(std::istream& is) {
+  std::string tag;
+  if (!(is >> tag)) throw IoError("empty key stream");
+  if (tag != "split_encryptor_key_v1") {
+    throw IoError("unrecognized key format: " + tag);
+  }
+  BitVec split = read_bitvec(is);
+  linalg::Matrix m1 = read_matrix(is);
+  linalg::Matrix m2 = read_matrix(is);
+  return scheme::SplitEncryptor(std::move(split), std::move(m1),
+                                std::move(m2));
+}
+
+}  // namespace aspe::io

@@ -1,0 +1,25 @@
+// Persistence for scheme key material.
+//
+// The data owner generates the ASPE key once and must reuse it across
+// sessions (new records must be encrypted under the same (S, M1, M2) or the
+// server-side scores break). This module round-trips the SplitEncryptor —
+// the key apparatus shared by Scheme 2, MRSE and MKFSE.
+//
+// The serialized form contains the *secret key*; treat the stream like a key
+// file.
+#pragma once
+
+#include <iosfwd>
+
+#include "scheme/split_encryptor.hpp"
+
+namespace aspe::io {
+
+void write_split_encryptor(std::ostream& os,
+                           const scheme::SplitEncryptor& encryptor);
+
+/// Throws IoError on malformed input, NumericalError if a persisted key
+/// matrix is singular.
+[[nodiscard]] scheme::SplitEncryptor read_split_encryptor(std::istream& is);
+
+}  // namespace aspe::io

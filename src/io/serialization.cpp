@@ -1,0 +1,146 @@
+#include "io/serialization.hpp"
+
+#include <istream>
+#include <limits>
+#include <ostream>
+
+namespace aspe::io {
+
+namespace {
+
+constexpr int kDoubleDigits = std::numeric_limits<double>::max_digits10;
+
+void expect_tag(std::istream& is, const std::string& tag) {
+  std::string got;
+  if (!(is >> got)) throw IoError("unexpected end of input, wanted " + tag);
+  if (got != tag) throw IoError("expected tag '" + tag + "', got '" + got + "'");
+}
+
+std::size_t read_size(std::istream& is, const char* what) {
+  long long n = 0;
+  if (!(is >> n) || n < 0) {
+    throw IoError(std::string("malformed size for ") + what);
+  }
+  return static_cast<std::size_t>(n);
+}
+
+double read_double(std::istream& is, const char* what) {
+  double x = 0.0;
+  if (!(is >> x)) throw IoError(std::string("malformed value in ") + what);
+  return x;
+}
+
+}  // namespace
+
+void write_vec(std::ostream& os, const Vec& v) {
+  os.precision(kDoubleDigits);
+  os << "vec " << v.size();
+  for (double x : v) os << ' ' << x;
+  os << '\n';
+}
+
+Vec read_vec(std::istream& is) {
+  expect_tag(is, "vec");
+  const std::size_t n = read_size(is, "vec");
+  Vec v(n);
+  for (auto& x : v) x = read_double(is, "vec");
+  return v;
+}
+
+void write_bitvec(std::ostream& os, const BitVec& v) {
+  os << "bits " << v.size() << ' ';
+  for (auto b : v) os << (b != 0 ? '1' : '0');
+  os << '\n';
+}
+
+BitVec read_bitvec(std::istream& is) {
+  expect_tag(is, "bits");
+  const std::size_t n = read_size(is, "bits");
+  std::string payload;
+  if (n > 0 && !(is >> payload)) throw IoError("truncated bit vector");
+  if (n == 0) payload.clear();
+  if (payload.size() != n) throw IoError("bit vector length mismatch");
+  BitVec v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (payload[i] != '0' && payload[i] != '1') {
+      throw IoError("bit vector contains non-binary character");
+    }
+    v[i] = payload[i] == '1' ? 1 : 0;
+  }
+  return v;
+}
+
+void write_matrix(std::ostream& os, const linalg::Matrix& m) {
+  os.precision(kDoubleDigits);
+  os << "matrix " << m.rows() << ' ' << m.cols();
+  for (double x : m.data()) os << ' ' << x;
+  os << '\n';
+}
+
+linalg::Matrix read_matrix(std::istream& is) {
+  expect_tag(is, "matrix");
+  const std::size_t rows = read_size(is, "matrix rows");
+  const std::size_t cols = read_size(is, "matrix cols");
+  linalg::Matrix m(rows, cols);
+  for (auto& x : m.data()) x = read_double(is, "matrix");
+  return m;
+}
+
+void write_cipher_pair(std::ostream& os, const scheme::CipherPair& c) {
+  os << "cipher\n";
+  write_vec(os, c.a);
+  write_vec(os, c.b);
+}
+
+scheme::CipherPair read_cipher_pair(std::istream& is) {
+  expect_tag(is, "cipher");
+  scheme::CipherPair c;
+  c.a = read_vec(is);
+  c.b = read_vec(is);
+  return c;
+}
+
+void write_encrypted_database(std::ostream& os,
+                              const std::vector<scheme::CipherPair>& db) {
+  os << "encrypted_db " << db.size() << '\n';
+  for (const auto& c : db) write_cipher_pair(os, c);
+}
+
+std::vector<scheme::CipherPair> read_encrypted_database(std::istream& is) {
+  expect_tag(is, "encrypted_db");
+  const std::size_t n = read_size(is, "encrypted_db");
+  std::vector<scheme::CipherPair> db;
+  db.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) db.push_back(read_cipher_pair(is));
+  return db;
+}
+
+void write_vec_list(std::ostream& os, const std::vector<Vec>& vs) {
+  for (const auto& v : vs) write_vec(os, v);
+}
+
+std::vector<Vec> read_vec_list(std::istream& is) {
+  std::vector<Vec> out;
+  while (true) {
+    is >> std::ws;
+    if (is.peek() == std::char_traits<char>::eof()) break;
+    out.push_back(read_vec(is));
+  }
+  return out;
+}
+
+void write_bitvec_list(std::ostream& os, const std::vector<BitVec>& vs) {
+  for (const auto& v : vs) write_bitvec(os, v);
+}
+
+std::vector<BitVec> read_bitvec_list(std::istream& is) {
+  std::vector<BitVec> out;
+  while (true) {
+    is >> std::ws;
+    if (is.peek() == std::char_traits<char>::eof()) break;
+    out.push_back(read_bitvec(is));
+  }
+  return out;
+}
+
+}  // namespace aspe::io

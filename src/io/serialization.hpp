@@ -1,0 +1,54 @@
+// Plain-text serialization for the library's value types.
+//
+// A deployed SSE system persists its encrypted database and ships
+// ciphertexts over the wire; this module provides a simple, versioned,
+// locale-independent text format for vectors, matrices and ciphertext
+// pairs, with strict parsing (malformed input throws aspe::IoError, never
+// yields partially-filled objects).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "linalg/matrix.hpp"
+#include "scheme/split_encryptor.hpp"
+
+namespace aspe::io {
+
+/// Thrown on malformed input or stream failure.
+class IoError : public Error {
+ public:
+  explicit IoError(const std::string& what) : Error(what) {}
+};
+
+// Each writer emits a tagged, self-delimiting record; each reader validates
+// the tag and the advertised sizes.
+
+void write_vec(std::ostream& os, const Vec& v);
+[[nodiscard]] Vec read_vec(std::istream& is);
+
+void write_bitvec(std::ostream& os, const BitVec& v);
+[[nodiscard]] BitVec read_bitvec(std::istream& is);
+
+void write_matrix(std::ostream& os, const linalg::Matrix& m);
+[[nodiscard]] linalg::Matrix read_matrix(std::istream& is);
+
+void write_cipher_pair(std::ostream& os, const scheme::CipherPair& c);
+[[nodiscard]] scheme::CipherPair read_cipher_pair(std::istream& is);
+
+/// An encrypted database: ciphertext indexes in upload order.
+void write_encrypted_database(std::ostream& os,
+                              const std::vector<scheme::CipherPair>& db);
+[[nodiscard]] std::vector<scheme::CipherPair> read_encrypted_database(
+    std::istream& is);
+
+/// Unframed record lists: consecutive records until end of stream (the CLI
+/// file format for plaintext vectors / binary vectors).
+void write_vec_list(std::ostream& os, const std::vector<Vec>& vs);
+[[nodiscard]] std::vector<Vec> read_vec_list(std::istream& is);
+void write_bitvec_list(std::ostream& os, const std::vector<BitVec>& vs);
+[[nodiscard]] std::vector<BitVec> read_bitvec_list(std::istream& is);
+
+}  // namespace aspe::io

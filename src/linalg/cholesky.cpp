@@ -1,0 +1,48 @@
+#include "linalg/cholesky.hpp"
+
+#include <cmath>
+
+namespace aspe::linalg {
+
+Cholesky::Cholesky(const Matrix& a) : l_(a.rows(), a.cols(), 0.0) {
+  require(a.rows() == a.cols(), "Cholesky: matrix must be square");
+  const std::size_t n = a.rows();
+  for (std::size_t j = 0; j < n; ++j) {
+    double diag = a(j, j);
+    const double* lj = l_.row_ptr(j);
+    for (std::size_t k = 0; k < j; ++k) diag -= lj[k] * lj[k];
+    if (!(diag > 0.0) || !std::isfinite(diag)) {
+      throw NumericalError("Cholesky: matrix is not positive definite");
+    }
+    const double ljj = std::sqrt(diag);
+    l_(j, j) = ljj;
+    for (std::size_t i = j + 1; i < n; ++i) {
+      double s = a(i, j);
+      const double* li = l_.row_ptr(i);
+      for (std::size_t k = 0; k < j; ++k) s -= li[k] * lj[k];
+      l_(i, j) = s / ljj;
+    }
+  }
+}
+
+Vec Cholesky::solve(const Vec& b) const {
+  const std::size_t n = dim();
+  require(b.size() == n, "Cholesky::solve: dimension mismatch");
+  // L y = b
+  Vec y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double s = b[i];
+    const double* li = l_.row_ptr(i);
+    for (std::size_t j = 0; j < i; ++j) s -= li[j] * y[j];
+    y[i] = s / li[i];
+  }
+  // L^T x = y
+  for (std::size_t ii = n; ii-- > 0;) {
+    double s = y[ii];
+    for (std::size_t j = ii + 1; j < n; ++j) s -= l_(j, ii) * y[j];
+    y[ii] = s / l_(ii, ii);
+  }
+  return y;
+}
+
+}  // namespace aspe::linalg

@@ -1,0 +1,29 @@
+// Cholesky factorization for symmetric positive definite systems.
+//
+// Used by the NNLS/NMF substrate to solve normal equations, and by the
+// least-squares helper in solve.hpp.
+#pragma once
+
+#include "linalg/matrix.hpp"
+
+namespace aspe::linalg {
+
+class Cholesky {
+ public:
+  /// Factor A = L L^T. Throws NumericalError when A is not (numerically)
+  /// positive definite.
+  explicit Cholesky(const Matrix& a);
+
+  /// Solve A x = b.
+  [[nodiscard]] Vec solve(const Vec& b) const;
+
+  [[nodiscard]] std::size_t dim() const { return l_.rows(); }
+
+  /// The lower-triangular factor.
+  [[nodiscard]] const Matrix& factor() const { return l_; }
+
+ private:
+  Matrix l_;
+};
+
+}  // namespace aspe::linalg

@@ -1,0 +1,107 @@
+#include "linalg/lu.hpp"
+
+#include <cmath>
+#include <numeric>
+
+namespace aspe::linalg {
+
+namespace {
+constexpr double kPivotTolerance = 1e-12;
+}
+
+LuDecomposition::LuDecomposition(Matrix a) : lu_(std::move(a)) {
+  require(lu_.rows() == lu_.cols(), "LuDecomposition: matrix must be square");
+  const std::size_t n = lu_.rows();
+  perm_.resize(n);
+  std::iota(perm_.begin(), perm_.end(), std::size_t{0});
+
+  const double scale = std::max(lu_.max_abs(), 1.0);
+  for (std::size_t k = 0; k < n; ++k) {
+    // Partial pivoting: pick the largest remaining entry in column k.
+    std::size_t pivot_row = k;
+    double pivot_val = std::abs(lu_(k, k));
+    for (std::size_t r = k + 1; r < n; ++r) {
+      const double v = std::abs(lu_(r, k));
+      if (v > pivot_val) {
+        pivot_val = v;
+        pivot_row = r;
+      }
+    }
+    if (pivot_val <= kPivotTolerance * scale) {
+      singular_ = true;
+      continue;  // keep factoring remaining columns for rank queries
+    }
+    if (pivot_row != k) {
+      for (std::size_t c = 0; c < n; ++c) {
+        std::swap(lu_(k, c), lu_(pivot_row, c));
+      }
+      std::swap(perm_[k], perm_[pivot_row]);
+      sign_ = -sign_;
+    }
+    const double inv_pivot = 1.0 / lu_(k, k);
+    for (std::size_t r = k + 1; r < n; ++r) {
+      const double factor = lu_(r, k) * inv_pivot;
+      lu_(r, k) = factor;
+      if (factor == 0.0) continue;
+      const double* uk = lu_.row_ptr(k);
+      double* ur = lu_.row_ptr(r);
+      for (std::size_t c = k + 1; c < n; ++c) ur[c] -= factor * uk[c];
+    }
+  }
+}
+
+Vec LuDecomposition::solve(const Vec& b) const {
+  const std::size_t n = dim();
+  require(b.size() == n, "LuDecomposition::solve: dimension mismatch");
+  if (singular_) {
+    throw NumericalError("LuDecomposition::solve: matrix is singular");
+  }
+  // Forward substitution on the permuted RHS (L has unit diagonal).
+  Vec y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double s = b[perm_[i]];
+    const double* li = lu_.row_ptr(i);
+    for (std::size_t j = 0; j < i; ++j) s -= li[j] * y[j];
+    y[i] = s;
+  }
+  // Back substitution on U.
+  for (std::size_t ii = n; ii-- > 0;) {
+    double s = y[ii];
+    const double* ui = lu_.row_ptr(ii);
+    for (std::size_t j = ii + 1; j < n; ++j) s -= ui[j] * y[j];
+    y[ii] = s / ui[ii];
+  }
+  return y;
+}
+
+Matrix LuDecomposition::solve(const Matrix& b) const {
+  require(b.rows() == dim(), "LuDecomposition::solve: dimension mismatch");
+  Matrix x(b.rows(), b.cols());
+  for (std::size_t c = 0; c < b.cols(); ++c) x.set_col(c, solve(b.col(c)));
+  return x;
+}
+
+Matrix LuDecomposition::inverse() const {
+  return solve(Matrix::identity(dim()));
+}
+
+double LuDecomposition::determinant() const {
+  if (singular_) return 0.0;
+  double det = sign_;
+  for (std::size_t i = 0; i < dim(); ++i) det *= lu_(i, i);
+  return det;
+}
+
+double LuDecomposition::pivot_ratio() const {
+  if (singular_ || dim() == 0) return 0.0;
+  double lo = std::abs(lu_(0, 0));
+  double hi = lo;
+  for (std::size_t i = 1; i < dim(); ++i) {
+    const double p = std::abs(lu_(i, i));
+    lo = std::min(lo, p);
+    hi = std::max(hi, p);
+  }
+  return hi == 0.0 ? 0.0 : lo / hi;
+}
+
+}  // namespace aspe::linalg

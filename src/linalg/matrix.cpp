@@ -1,0 +1,173 @@
+#include "linalg/matrix.hpp"
+
+#include <cmath>
+#include <ostream>
+
+namespace aspe::linalg {
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows) {
+  rows_ = rows.size();
+  cols_ = rows_ == 0 ? 0 : rows.begin()->size();
+  data_.reserve(rows_ * cols_);
+  for (const auto& r : rows) {
+    require(r.size() == cols_, "Matrix: ragged initializer list");
+    data_.insert(data_.end(), r.begin(), r.end());
+  }
+}
+
+double& Matrix::at(std::size_t r, std::size_t c) {
+  require(r < rows_ && c < cols_, "Matrix::at: index out of range");
+  return (*this)(r, c);
+}
+
+double Matrix::at(std::size_t r, std::size_t c) const {
+  require(r < rows_ && c < cols_, "Matrix::at: index out of range");
+  return (*this)(r, c);
+}
+
+Vec Matrix::row(std::size_t r) const {
+  require(r < rows_, "Matrix::row: index out of range");
+  return Vec(row_ptr(r), row_ptr(r) + cols_);
+}
+
+Vec Matrix::col(std::size_t c) const {
+  require(c < cols_, "Matrix::col: index out of range");
+  Vec v(rows_);
+  for (std::size_t r = 0; r < rows_; ++r) v[r] = (*this)(r, c);
+  return v;
+}
+
+void Matrix::set_row(std::size_t r, const Vec& v) {
+  require(r < rows_ && v.size() == cols_, "Matrix::set_row: bad row");
+  for (std::size_t c = 0; c < cols_; ++c) (*this)(r, c) = v[c];
+}
+
+void Matrix::set_col(std::size_t c, const Vec& v) {
+  require(c < cols_ && v.size() == rows_, "Matrix::set_col: bad column");
+  for (std::size_t r = 0; r < rows_; ++r) (*this)(r, c) = v[r];
+}
+
+Matrix Matrix::transpose() const {
+  Matrix t(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) t(c, r) = (*this)(r, c);
+  }
+  return t;
+}
+
+Matrix& Matrix::operator+=(const Matrix& o) {
+  require(rows_ == o.rows_ && cols_ == o.cols_, "Matrix::+=: shape mismatch");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += o.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator-=(const Matrix& o) {
+  require(rows_ == o.rows_ && cols_ == o.cols_, "Matrix::-=: shape mismatch");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= o.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator*=(double s) {
+  for (auto& x : data_) x *= s;
+  return *this;
+}
+
+Matrix operator*(const Matrix& a, const Matrix& b) {
+  require(a.cols() == b.rows(), "Matrix::*: inner dimension mismatch");
+  Matrix c(a.rows(), b.cols(), 0.0);
+  // i-k-j order: streams through b's rows, cache friendly for row-major data.
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    double* ci = c.row_ptr(i);
+    for (std::size_t k = 0; k < a.cols(); ++k) {
+      const double aik = a(i, k);
+      if (aik == 0.0) continue;
+      const double* bk = b.row_ptr(k);
+      for (std::size_t j = 0; j < b.cols(); ++j) ci[j] += aik * bk[j];
+    }
+  }
+  return c;
+}
+
+Vec Matrix::apply(const Vec& x) const {
+  require(x.size() == cols_, "Matrix::apply: dimension mismatch");
+  Vec y(rows_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const double* a = row_ptr(r);
+    double s = 0.0;
+    for (std::size_t c = 0; c < cols_; ++c) s += a[c] * x[c];
+    y[r] = s;
+  }
+  return y;
+}
+
+Vec Matrix::apply_transposed(const Vec& x) const {
+  require(x.size() == rows_, "Matrix::apply_transposed: dimension mismatch");
+  Vec y(cols_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const double* a = row_ptr(r);
+    const double xr = x[r];
+    if (xr == 0.0) continue;
+    for (std::size_t c = 0; c < cols_; ++c) y[c] += a[c] * xr;
+  }
+  return y;
+}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::from_columns(const std::vector<Vec>& cols) {
+  require(!cols.empty(), "Matrix::from_columns: no columns");
+  const std::size_t n = cols[0].size();
+  Matrix m(n, cols.size());
+  for (std::size_t c = 0; c < cols.size(); ++c) {
+    require(cols[c].size() == n, "Matrix::from_columns: ragged columns");
+    m.set_col(c, cols[c]);
+  }
+  return m;
+}
+
+Matrix Matrix::from_rows(const std::vector<Vec>& rows) {
+  require(!rows.empty(), "Matrix::from_rows: no rows");
+  const std::size_t n = rows[0].size();
+  Matrix m(rows.size(), n);
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    require(rows[r].size() == n, "Matrix::from_rows: ragged rows");
+    m.set_row(r, rows[r]);
+  }
+  return m;
+}
+
+double Matrix::frobenius_norm() const {
+  double s = 0.0;
+  for (auto x : data_) s += x * x;
+  return std::sqrt(s);
+}
+
+double Matrix::max_abs() const {
+  double m = 0.0;
+  for (auto x : data_) m = std::max(m, std::abs(x));
+  return m;
+}
+
+bool Matrix::approx_equal(const Matrix& o, double tol) const {
+  if (rows_ != o.rows_ || cols_ != o.cols_) return false;
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    if (std::abs(data_[i] - o.data_[i]) > tol) return false;
+  }
+  return true;
+}
+
+std::ostream& operator<<(std::ostream& os, const Matrix& m) {
+  os << "Matrix(" << m.rows() << "x" << m.cols() << ")[\n";
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    os << "  ";
+    for (std::size_t c = 0; c < m.cols(); ++c) os << m(r, c) << ' ';
+    os << '\n';
+  }
+  return os << ']';
+}
+
+}  // namespace aspe::linalg

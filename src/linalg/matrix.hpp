@@ -1,0 +1,109 @@
+// Dense row-major matrix of doubles.
+//
+// This is the numerical base of the whole library: key matrices of the
+// encryption schemes, the linear systems of the LEP attack, simplex tableaus
+// and NMF factors are all `Matrix` values. Eigen is deliberately not used —
+// the substrate is part of the reproduction.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <iosfwd>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+
+namespace aspe::linalg {
+
+class Matrix {
+ public:
+  Matrix() = default;
+
+  /// rows x cols matrix filled with `fill`.
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  /// Brace construction from rows: Matrix{{1,2},{3,4}}.
+  Matrix(std::initializer_list<std::initializer_list<double>> rows);
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+  [[nodiscard]] bool empty() const { return data_.empty(); }
+
+  double& operator()(std::size_t r, std::size_t c) {
+    return data_[r * cols_ + c];
+  }
+  double operator()(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+
+  /// Bounds-checked access (throws InvalidArgument when out of range).
+  double& at(std::size_t r, std::size_t c);
+  [[nodiscard]] double at(std::size_t r, std::size_t c) const;
+
+  /// Raw storage, row-major.
+  [[nodiscard]] const Vec& data() const { return data_; }
+  Vec& data() { return data_; }
+
+  /// Pointer to the start of row r.
+  double* row_ptr(std::size_t r) { return data_.data() + r * cols_; }
+  [[nodiscard]] const double* row_ptr(std::size_t r) const {
+    return data_.data() + r * cols_;
+  }
+
+  [[nodiscard]] Vec row(std::size_t r) const;
+  [[nodiscard]] Vec col(std::size_t c) const;
+  void set_row(std::size_t r, const Vec& v);
+  void set_col(std::size_t c, const Vec& v);
+
+  [[nodiscard]] Matrix transpose() const;
+
+  Matrix& operator+=(const Matrix& o);
+  Matrix& operator-=(const Matrix& o);
+  Matrix& operator*=(double s);
+
+  friend Matrix operator+(Matrix a, const Matrix& b) { return a += b; }
+  friend Matrix operator-(Matrix a, const Matrix& b) { return a -= b; }
+  friend Matrix operator*(Matrix a, double s) { return a *= s; }
+  friend Matrix operator*(double s, Matrix a) { return a *= s; }
+
+  /// Matrix product (throws on inner-dimension mismatch).
+  friend Matrix operator*(const Matrix& a, const Matrix& b);
+
+  /// Matrix-vector product A x.
+  [[nodiscard]] Vec apply(const Vec& x) const;
+
+  /// Transposed matrix-vector product A^T x (no explicit transpose formed).
+  [[nodiscard]] Vec apply_transposed(const Vec& x) const;
+
+  [[nodiscard]] static Matrix identity(std::size_t n);
+
+  /// Matrix whose columns are the given vectors (all the same length).
+  [[nodiscard]] static Matrix from_columns(const std::vector<Vec>& cols);
+
+  /// Matrix whose rows are the given vectors.
+  [[nodiscard]] static Matrix from_rows(const std::vector<Vec>& rows);
+
+  /// Frobenius norm.
+  [[nodiscard]] double frobenius_norm() const;
+
+  /// Largest |a_ij|.
+  [[nodiscard]] double max_abs() const;
+
+  /// Elementwise comparison within absolute tolerance.
+  [[nodiscard]] bool approx_equal(const Matrix& o, double tol) const;
+
+  friend bool operator==(const Matrix& a, const Matrix& b) {
+    return a.rows_ == b.rows_ && a.cols_ == b.cols_ && a.data_ == b.data_;
+  }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  Vec data_;
+};
+
+/// Human-readable print (tests/debugging; not a serialization format).
+std::ostream& operator<<(std::ostream& os, const Matrix& m);
+
+}  // namespace aspe::linalg

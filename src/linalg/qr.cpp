@@ -1,0 +1,103 @@
+#include "linalg/qr.hpp"
+
+#include <cmath>
+
+namespace aspe::linalg {
+
+QrDecomposition::QrDecomposition(Matrix a) : qr_(std::move(a)) {
+  const std::size_t m = qr_.rows();
+  const std::size_t n = qr_.cols();
+  require(m >= n, "QrDecomposition: need rows >= cols");
+  require(n > 0, "QrDecomposition: empty matrix");
+  tau_.assign(n, 0.0);
+
+  for (std::size_t k = 0; k < n; ++k) {
+    // Householder vector for column k below row k.
+    double norm_sq = 0.0;
+    for (std::size_t i = k; i < m; ++i) norm_sq += qr_(i, k) * qr_(i, k);
+    const double norm = std::sqrt(norm_sq);
+    if (norm == 0.0) {
+      tau_[k] = 0.0;  // zero column; R_kk = 0 marks rank deficiency
+      continue;
+    }
+    const double alpha = qr_(k, k) >= 0.0 ? -norm : norm;
+    // v = x - alpha e1 (stored in place, normalized so v[0] = 1).
+    const double v0 = qr_(k, k) - alpha;
+    qr_(k, k) = alpha;
+    for (std::size_t i = k + 1; i < m; ++i) qr_(i, k) /= v0;
+    tau_[k] = -v0 / alpha;  // beta = 2 / (v^T v) expressed via v0 and alpha
+
+    // Apply H = I - tau v v^T to the remaining columns.
+    for (std::size_t j = k + 1; j < n; ++j) {
+      double s = qr_(k, j);
+      for (std::size_t i = k + 1; i < m; ++i) s += qr_(i, k) * qr_(i, j);
+      s *= tau_[k];
+      qr_(k, j) -= s;
+      for (std::size_t i = k + 1; i < m; ++i) qr_(i, j) -= s * qr_(i, k);
+    }
+  }
+}
+
+Vec QrDecomposition::apply_qt(const Vec& b) const {
+  const std::size_t m = rows();
+  const std::size_t n = cols();
+  require(b.size() == m, "QrDecomposition::apply_qt: dimension mismatch");
+  Vec y = b;
+  for (std::size_t k = 0; k < n; ++k) {
+    if (tau_[k] == 0.0) continue;
+    double s = y[k];
+    for (std::size_t i = k + 1; i < m; ++i) s += qr_(i, k) * y[i];
+    s *= tau_[k];
+    y[k] -= s;
+    for (std::size_t i = k + 1; i < m; ++i) y[i] -= s * qr_(i, k);
+  }
+  return y;
+}
+
+Vec QrDecomposition::solve(const Vec& b) const {
+  const std::size_t n = cols();
+  Vec y = apply_qt(b);
+  // Back substitution on R.
+  const double scale = std::max(qr_.max_abs(), 1.0);
+  Vec x(n);
+  for (std::size_t kk = n; kk-- > 0;) {
+    double s = y[kk];
+    for (std::size_t j = kk + 1; j < n; ++j) s -= qr_(kk, j) * x[j];
+    const double rkk = qr_(kk, kk);
+    if (std::abs(rkk) <= 1e-12 * scale) {
+      throw NumericalError("QrDecomposition::solve: rank-deficient system");
+    }
+    x[kk] = s / rkk;
+  }
+  return x;
+}
+
+Matrix QrDecomposition::r() const {
+  const std::size_t n = cols();
+  Matrix out(n, n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i; j < n; ++j) out(i, j) = qr_(i, j);
+  }
+  return out;
+}
+
+std::size_t QrDecomposition::rank(double rel_tol) const {
+  const std::size_t n = cols();
+  double largest = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    largest = std::max(largest, std::abs(qr_(i, i)));
+  }
+  if (largest == 0.0) return 0;
+  std::size_t r = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (std::abs(qr_(i, i)) > rel_tol * largest) ++r;
+  }
+  return r;
+}
+
+Vec solve_least_squares_qr(const Matrix& a, const Vec& b) {
+  require(a.rows() == b.size(), "solve_least_squares_qr: dimension mismatch");
+  return QrDecomposition(a).solve(b);
+}
+
+}  // namespace aspe::linalg

@@ -1,0 +1,43 @@
+// Householder QR decomposition.
+//
+// Used for numerically robust least squares (the normal-equation path in
+// solve.hpp squares the condition number; QR does not) and for rank checks
+// on tall matrices. A = Q R with Q orthonormal (m x n, thin) and R upper
+// triangular (n x n).
+#pragma once
+
+#include "linalg/matrix.hpp"
+
+namespace aspe::linalg {
+
+class QrDecomposition {
+ public:
+  /// Factor an m x n matrix with m >= n.
+  explicit QrDecomposition(Matrix a);
+
+  /// Least-squares solution of min ||A x - b||_2.
+  /// Throws NumericalError when A is (numerically) rank deficient.
+  [[nodiscard]] Vec solve(const Vec& b) const;
+
+  /// The triangular factor R (n x n).
+  [[nodiscard]] Matrix r() const;
+
+  /// Apply Q^T to a length-m vector.
+  [[nodiscard]] Vec apply_qt(const Vec& b) const;
+
+  /// Numerical rank from |R_ii| relative to the largest diagonal.
+  [[nodiscard]] std::size_t rank(double rel_tol = 1e-10) const;
+
+  [[nodiscard]] std::size_t rows() const { return qr_.rows(); }
+  [[nodiscard]] std::size_t cols() const { return qr_.cols(); }
+
+ private:
+  Matrix qr_;  // Householder vectors below the diagonal, R on and above
+  Vec tau_;    // Householder coefficients
+};
+
+/// Least squares via QR (preferred over solve_least_squares for
+/// ill-conditioned systems).
+[[nodiscard]] Vec solve_least_squares_qr(const Matrix& a, const Vec& b);
+
+}  // namespace aspe::linalg

@@ -1,0 +1,35 @@
+#include "linalg/random_matrix.hpp"
+
+#include <cmath>
+
+#include "linalg/lu.hpp"
+
+namespace aspe::linalg {
+
+Matrix random_matrix(std::size_t n, rng::Rng& rng, double lo, double hi) {
+  require(n > 0, "random_matrix: dimension must be positive");
+  Matrix m(n, n);
+  for (auto& x : m.data()) x = rng.uniform(lo, hi);
+  return m;
+}
+
+Matrix random_invertible(std::size_t n, rng::Rng& rng) {
+  return random_invertible_pair(n, rng).m;
+}
+
+InvertiblePair random_invertible_pair(std::size_t n, rng::Rng& rng) {
+  // A random continuous matrix is invertible with probability 1; the loop
+  // guards against numerically borderline draws.
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    Matrix m = random_matrix(n, rng);
+    LuDecomposition lu(m);
+    // Reject draws with tiny pivots relative to the matrix scale; keeps the
+    // inverse well conditioned so ciphertext arithmetic stays accurate.
+    if (lu.is_singular() || lu.pivot_ratio() < 1e-9) continue;
+    return {std::move(m), lu.inverse()};
+  }
+  throw NumericalError(
+      "random_invertible_pair: failed to draw an invertible matrix");
+}
+
+}  // namespace aspe::linalg

@@ -1,0 +1,26 @@
+// Random matrix generation for scheme key material.
+#pragma once
+
+#include "linalg/matrix.hpp"
+#include "rng/rng.hpp"
+
+namespace aspe::linalg {
+
+/// n x n matrix with iid uniform entries in [lo, hi).
+[[nodiscard]] Matrix random_matrix(std::size_t n, rng::Rng& rng,
+                                   double lo = -1.0, double hi = 1.0);
+
+/// Random invertible n x n matrix with a bounded condition heuristic: entries
+/// iid uniform, resampled until |det| is comfortably away from zero. This is
+/// the secret-key generator for ASPE's M, M1, M2.
+[[nodiscard]] Matrix random_invertible(std::size_t n, rng::Rng& rng);
+
+/// Random invertible matrix together with its inverse (one LU factorization).
+struct InvertiblePair {
+  Matrix m;
+  Matrix m_inv;
+};
+[[nodiscard]] InvertiblePair random_invertible_pair(std::size_t n,
+                                                    rng::Rng& rng);
+
+}  // namespace aspe::linalg

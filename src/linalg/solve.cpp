@@ -1,0 +1,103 @@
+#include "linalg/solve.hpp"
+
+#include <cmath>
+
+#include "linalg/cholesky.hpp"
+#include "linalg/vector_ops.hpp"
+
+namespace aspe::linalg {
+
+Vec solve(const Matrix& a, const Vec& b) { return LuDecomposition(a).solve(b); }
+
+Matrix inverse(const Matrix& a) { return LuDecomposition(a).inverse(); }
+
+std::size_t rank(Matrix a, double rel_tol) {
+  const std::size_t m = a.rows();
+  const std::size_t n = a.cols();
+  const double tol = rel_tol * std::max(a.max_abs(), 1.0);
+  std::size_t rank = 0;
+  std::size_t row = 0;
+  for (std::size_t col = 0; col < n && row < m; ++col) {
+    std::size_t pivot = row;
+    double best = std::abs(a(row, col));
+    for (std::size_t r = row + 1; r < m; ++r) {
+      const double v = std::abs(a(r, col));
+      if (v > best) {
+        best = v;
+        pivot = r;
+      }
+    }
+    if (best <= tol) continue;
+    if (pivot != row) {
+      for (std::size_t c = 0; c < n; ++c) std::swap(a(row, c), a(pivot, c));
+    }
+    const double inv = 1.0 / a(row, col);
+    for (std::size_t r = row + 1; r < m; ++r) {
+      const double f = a(r, col) * inv;
+      if (f == 0.0) continue;
+      for (std::size_t c = col; c < n; ++c) a(r, c) -= f * a(row, c);
+    }
+    ++row;
+    ++rank;
+  }
+  return rank;
+}
+
+Vec solve_least_squares(const Matrix& a, const Vec& b, double ridge) {
+  require(a.rows() == b.size(), "solve_least_squares: dimension mismatch");
+  const std::size_t n = a.cols();
+  // Normal equations: (A^T A + ridge I) x = A^T b.
+  Matrix ata(n, n, 0.0);
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    const double* ar = a.row_ptr(r);
+    for (std::size_t i = 0; i < n; ++i) {
+      const double ari = ar[i];
+      if (ari == 0.0) continue;
+      double* row = ata.row_ptr(i);
+      for (std::size_t j = i; j < n; ++j) row[j] += ari * ar[j];
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    ata(i, i) += ridge;
+    for (std::size_t j = 0; j < i; ++j) ata(i, j) = ata(j, i);
+  }
+  const Vec atb = a.apply_transposed(b);
+  return Cholesky(ata).solve(atb);
+}
+
+IndependenceTracker::IndependenceTracker(std::size_t dim, double tol)
+    : dim_(dim), tol_(tol) {
+  require(dim > 0, "IndependenceTracker: dimension must be positive");
+}
+
+bool IndependenceTracker::try_add(const Vec& v) {
+  require(v.size() == dim_, "IndependenceTracker: dimension mismatch");
+  if (complete()) return false;
+  // Reduce v against the current echelon basis.
+  Vec r = v;
+  const double scale = std::max(max_abs(v), 1.0);
+  for (std::size_t i = 0; i < basis_.size(); ++i) {
+    const std::size_t p = pivot_cols_[i];
+    if (r[p] == 0.0) continue;
+    const double f = r[p] / basis_[i][p];
+    axpy(-f, basis_[i], r);
+    r[p] = 0.0;  // cancel exactly to avoid drift
+  }
+  // Find the largest remaining entry as the new pivot.
+  std::size_t pivot = 0;
+  double best = 0.0;
+  for (std::size_t c = 0; c < dim_; ++c) {
+    const double x = std::abs(r[c]);
+    if (x > best) {
+      best = x;
+      pivot = c;
+    }
+  }
+  if (best <= tol_ * scale) return false;  // dependent on accepted vectors
+  basis_.push_back(std::move(r));
+  pivot_cols_.push_back(pivot);
+  ++count_;
+  return true;
+}
+
+}  // namespace aspe::linalg

@@ -1,0 +1,50 @@
+// High-level linear-system helpers built on the LU and Cholesky kernels.
+#pragma once
+
+#include "linalg/lu.hpp"
+#include "linalg/matrix.hpp"
+
+namespace aspe::linalg {
+
+/// Solve A x = b for square A (throws NumericalError when singular).
+[[nodiscard]] Vec solve(const Matrix& a, const Vec& b);
+
+/// A^{-1} (throws NumericalError when singular).
+[[nodiscard]] Matrix inverse(const Matrix& a);
+
+/// Numerical rank via Gaussian elimination with partial pivoting.
+/// `rel_tol` scales with the largest entry of the matrix.
+[[nodiscard]] std::size_t rank(Matrix a, double rel_tol = 1e-9);
+
+/// Least-squares solution of min ||A x - b||_2 via normal equations with a
+/// small Tikhonov ridge for robustness (A must have full column rank or be
+/// close to it). Suitable for the modest condition numbers that arise here.
+[[nodiscard]] Vec solve_least_squares(const Matrix& a, const Vec& b,
+                                      double ridge = 0.0);
+
+/// Incremental linear-independence tracker. Used by the LEP attack to stop
+/// collecting trapdoors as soon as d+1 linearly independent ones are found.
+class IndependenceTracker {
+ public:
+  /// Track vectors of length `dim`.
+  explicit IndependenceTracker(std::size_t dim, double tol = 1e-9);
+
+  /// Try to add `v`. Returns true (and keeps it) when v is linearly
+  /// independent of everything accepted so far; false otherwise.
+  bool try_add(const Vec& v);
+
+  [[nodiscard]] std::size_t count() const { return count_; }
+  [[nodiscard]] std::size_t dim() const { return dim_; }
+  [[nodiscard]] bool complete() const { return count_ == dim_; }
+
+ private:
+  std::size_t dim_;
+  double tol_;
+  std::size_t count_ = 0;
+  // Row-echelon basis of the accepted vectors; pivot_cols_[r] is the pivot
+  // column of basis_ row r.
+  std::vector<Vec> basis_;
+  std::vector<std::size_t> pivot_cols_;
+};
+
+}  // namespace aspe::linalg

@@ -1,0 +1,115 @@
+#include "linalg/svd.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace aspe::linalg {
+
+Svd::Svd(Matrix a, const SvdOptions& options) : u_(std::move(a)) {
+  const std::size_t m = u_.rows();
+  const std::size_t n = u_.cols();
+  require(m >= n, "Svd: need rows >= cols");
+  require(n > 0, "Svd: empty matrix");
+  v_ = Matrix::identity(n);
+
+  // One-sided Jacobi: rotate column pairs of U until all are orthogonal.
+  const double scale = std::max(u_.max_abs(), 1e-300);
+  for (std::size_t sweep = 0; sweep < options.max_sweeps; ++sweep) {
+    bool converged = true;
+    for (std::size_t p = 0; p + 1 < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        double app = 0.0, aqq = 0.0, apq = 0.0;
+        for (std::size_t i = 0; i < m; ++i) {
+          app += u_(i, p) * u_(i, p);
+          aqq += u_(i, q) * u_(i, q);
+          apq += u_(i, p) * u_(i, q);
+        }
+        if (std::abs(apq) <=
+            options.tol * scale * scale + options.tol * std::sqrt(app * aqq)) {
+          continue;
+        }
+        converged = false;
+        // Jacobi rotation zeroing the (p, q) Gram entry.
+        const double tau = (aqq - app) / (2.0 * apq);
+        const double t = (tau >= 0.0 ? 1.0 : -1.0) /
+                         (std::abs(tau) + std::sqrt(1.0 + tau * tau));
+        const double c = 1.0 / std::sqrt(1.0 + t * t);
+        const double s = c * t;
+        for (std::size_t i = 0; i < m; ++i) {
+          const double up = u_(i, p);
+          const double uq = u_(i, q);
+          u_(i, p) = c * up - s * uq;
+          u_(i, q) = s * up + c * uq;
+        }
+        for (std::size_t i = 0; i < n; ++i) {
+          const double vp = v_(i, p);
+          const double vq = v_(i, q);
+          v_(i, p) = c * vp - s * vq;
+          v_(i, q) = s * vp + c * vq;
+        }
+      }
+    }
+    if (converged) break;
+  }
+
+  // Singular values = column norms; normalize U.
+  s_.resize(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    double norm = 0.0;
+    for (std::size_t i = 0; i < m; ++i) norm += u_(i, j) * u_(i, j);
+    s_[j] = std::sqrt(norm);
+    if (s_[j] > 0.0) {
+      for (std::size_t i = 0; i < m; ++i) u_(i, j) /= s_[j];
+    }
+  }
+
+  // Sort descending (stable permutation applied to U, S, V).
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a1, std::size_t b1) {
+                     return s_[a1] > s_[b1];
+                   });
+  Matrix u_sorted(m, n), v_sorted(n, n);
+  Vec s_sorted(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    s_sorted[j] = s_[order[j]];
+    for (std::size_t i = 0; i < m; ++i) u_sorted(i, j) = u_(i, order[j]);
+    for (std::size_t i = 0; i < n; ++i) v_sorted(i, j) = v_(i, order[j]);
+  }
+  u_ = std::move(u_sorted);
+  s_ = std::move(s_sorted);
+  v_ = std::move(v_sorted);
+}
+
+std::size_t Svd::rank(double rel_tol) const {
+  if (s_.empty() || s_[0] == 0.0) return 0;
+  std::size_t r = 0;
+  for (double sv : s_) r += sv > rel_tol * s_[0];
+  return r;
+}
+
+double Svd::condition_number() const {
+  if (s_.empty() || s_.back() == 0.0) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return s_[0] / s_.back();
+}
+
+Matrix Svd::reconstruct(std::size_t rank_limit) const {
+  const std::size_t m = u_.rows();
+  const std::size_t n = u_.cols();
+  const std::size_t k = rank_limit == 0 ? n : std::min(rank_limit, n);
+  Matrix out(m, n, 0.0);
+  for (std::size_t r = 0; r < k; ++r) {
+    for (std::size_t i = 0; i < m; ++i) {
+      const double us = u_(i, r) * s_[r];
+      if (us == 0.0) continue;
+      for (std::size_t j = 0; j < n; ++j) out(i, j) += us * v_(j, r);
+    }
+  }
+  return out;
+}
+
+}  // namespace aspe::linalg

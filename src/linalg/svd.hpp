@@ -1,0 +1,41 @@
+// Singular value decomposition via one-sided Jacobi rotations.
+//
+// A (m x n, m >= n) = U S V^T with U m x n column-orthonormal, S diagonal
+// (descending), V n x n orthogonal. Used for numerical rank diagnostics and
+// for the NNDSVD initialization of the sparse-NMF solver.
+#pragma once
+
+#include "linalg/matrix.hpp"
+
+namespace aspe::linalg {
+
+struct SvdOptions {
+  std::size_t max_sweeps = 60;
+  double tol = 1e-12;  // off-diagonal convergence tolerance (relative)
+};
+
+class Svd {
+ public:
+  /// Factor an m x n matrix with m >= n. Throws InvalidArgument on shape.
+  explicit Svd(Matrix a, const SvdOptions& options = {});
+
+  [[nodiscard]] const Matrix& u() const { return u_; }
+  [[nodiscard]] const Vec& singular_values() const { return s_; }
+  [[nodiscard]] const Matrix& v() const { return v_; }
+
+  /// Numerical rank: singular values above rel_tol * s_max.
+  [[nodiscard]] std::size_t rank(double rel_tol = 1e-10) const;
+
+  /// s_max / s_min (infinity when singular).
+  [[nodiscard]] double condition_number() const;
+
+  /// Reconstruct U S V^T (tests / low-rank truncation).
+  [[nodiscard]] Matrix reconstruct(std::size_t rank_limit = 0) const;
+
+ private:
+  Matrix u_;  // m x n
+  Vec s_;     // n, descending
+  Matrix v_;  // n x n
+};
+
+}  // namespace aspe::linalg

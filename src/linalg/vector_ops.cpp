@@ -1,0 +1,77 @@
+#include "linalg/vector_ops.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace aspe::linalg {
+
+double dot(const Vec& a, const Vec& b) {
+  require(a.size() == b.size(), "dot: length mismatch");
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+double norm(const Vec& v) { return std::sqrt(norm_squared(v)); }
+
+double norm_squared(const Vec& v) {
+  double s = 0.0;
+  for (auto x : v) s += x * x;
+  return s;
+}
+
+double norm1(const Vec& v) {
+  double s = 0.0;
+  for (auto x : v) s += std::abs(x);
+  return s;
+}
+
+double max_abs(const Vec& v) {
+  double m = 0.0;
+  for (auto x : v) m = std::max(m, std::abs(x));
+  return m;
+}
+
+void axpy(double alpha, const Vec& x, Vec& y) {
+  require(x.size() == y.size(), "axpy: length mismatch");
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+Vec add(const Vec& a, const Vec& b) {
+  require(a.size() == b.size(), "add: length mismatch");
+  Vec c(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) c[i] = a[i] + b[i];
+  return c;
+}
+
+Vec sub(const Vec& a, const Vec& b) {
+  require(a.size() == b.size(), "sub: length mismatch");
+  Vec c(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) c[i] = a[i] - b[i];
+  return c;
+}
+
+Vec scale(double alpha, const Vec& v) {
+  Vec c(v.size());
+  for (std::size_t i = 0; i < v.size(); ++i) c[i] = alpha * v[i];
+  return c;
+}
+
+Vec concat(const Vec& a, const Vec& b) {
+  Vec c;
+  c.reserve(a.size() + b.size());
+  c.insert(c.end(), a.begin(), a.end());
+  c.insert(c.end(), b.begin(), b.end());
+  return c;
+}
+
+bool approx_equal(const Vec& a, const Vec& b, double tol) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (std::abs(a[i] - b[i]) > tol) return false;
+  }
+  return true;
+}
+
+}  // namespace aspe::linalg

@@ -1,0 +1,41 @@
+// Free functions on dense vectors (aspe::Vec).
+#pragma once
+
+#include "common/types.hpp"
+
+namespace aspe::linalg {
+
+/// Inner product a . b (throws on length mismatch).
+[[nodiscard]] double dot(const Vec& a, const Vec& b);
+
+/// Euclidean norm ||v||.
+[[nodiscard]] double norm(const Vec& v);
+
+/// Squared Euclidean norm ||v||^2 (the paper's ||P_i||^2).
+[[nodiscard]] double norm_squared(const Vec& v);
+
+/// L1 norm.
+[[nodiscard]] double norm1(const Vec& v);
+
+/// Largest |v_i|.
+[[nodiscard]] double max_abs(const Vec& v);
+
+/// y += alpha * x.
+void axpy(double alpha, const Vec& x, Vec& y);
+
+/// Elementwise sum.
+[[nodiscard]] Vec add(const Vec& a, const Vec& b);
+
+/// Elementwise difference.
+[[nodiscard]] Vec sub(const Vec& a, const Vec& b);
+
+/// alpha * v.
+[[nodiscard]] Vec scale(double alpha, const Vec& v);
+
+/// Concatenate two vectors.
+[[nodiscard]] Vec concat(const Vec& a, const Vec& b);
+
+/// True when all |a_i - b_i| <= tol (and lengths match).
+[[nodiscard]] bool approx_equal(const Vec& a, const Vec& b, double tol);
+
+}  // namespace aspe::linalg

@@ -1,0 +1,301 @@
+#include "nmf/nmf.hpp"
+
+#include <cmath>
+
+#include "linalg/svd.hpp"
+#include "nmf/nnls.hpp"
+
+namespace aspe::nmf {
+
+using linalg::Matrix;
+
+namespace {
+
+/// G = M M^T for a d x k matrix M (result d x d).
+Matrix gram_rows(const Matrix& m) {
+  const std::size_t d = m.rows();
+  Matrix g(d, d, 0.0);
+  for (std::size_t i = 0; i < d; ++i) {
+    for (std::size_t j = i; j < d; ++j) {
+      const double* mi = m.row_ptr(i);
+      const double* mj = m.row_ptr(j);
+      double s = 0.0;
+      for (std::size_t k = 0; k < m.cols(); ++k) s += mi[k] * mj[k];
+      g(i, j) = s;
+      g(j, i) = s;
+    }
+  }
+  return g;
+}
+
+double objective(const Matrix& r, const Matrix& w, const Matrix& h, double eta,
+                 double lambda, double* fit_error) {
+  // fit = ||R - W^T H||_F^2, computed blockwise without forming W^T H.
+  double fit = 0.0;
+  const std::size_t d = w.rows();
+  for (std::size_t i = 0; i < r.rows(); ++i) {
+    for (std::size_t j = 0; j < r.cols(); ++j) {
+      double pred = 0.0;
+      for (std::size_t k = 0; k < d; ++k) pred += w(k, i) * h(k, j);
+      const double diff = r(i, j) - pred;
+      fit += diff * diff;
+    }
+  }
+  if (fit_error != nullptr) *fit_error = std::sqrt(fit);
+  double wfro = 0.0;
+  for (auto x : w.data()) wfro += x * x;
+  double l1sq = 0.0;
+  for (std::size_t j = 0; j < h.cols(); ++j) {
+    double colsum = 0.0;
+    for (std::size_t k = 0; k < h.rows(); ++k) colsum += h(k, j);
+    l1sq += colsum * colsum;
+  }
+  return 0.5 * fit + 0.5 * eta * wfro + 0.5 * lambda * l1sq;
+}
+
+/// ANLS half step: solve for H in min ||R - W^T H|| + lambda L1^2 columns.
+/// Gram trick: G = W W^T + lambda * ones, F = W R.
+void update_h_anls(const Matrix& r, const Matrix& w, Matrix& h,
+                   double lambda) {
+  const std::size_t d = w.rows();
+  Matrix g = gram_rows(w);
+  for (auto& x : g.data()) x += lambda;
+  // Tiny ridge keeps principal submatrices SPD when W rows are degenerate.
+  for (std::size_t k = 0; k < d; ++k) g(k, k) += 1e-10;
+  // F = W R  (d x n).
+  const std::size_t n = r.cols();
+  Matrix f(d, n, 0.0);
+  for (std::size_t k = 0; k < d; ++k) {
+    double* fk = f.row_ptr(k);
+    for (std::size_t i = 0; i < r.rows(); ++i) {
+      const double wki = w(k, i);
+      if (wki == 0.0) continue;
+      const double* ri = r.row_ptr(i);
+      for (std::size_t j = 0; j < n; ++j) fk[j] += wki * ri[j];
+    }
+  }
+  for (std::size_t j = 0; j < n; ++j) {
+    h.set_col(j, nnls_gram(g, f.col(j)));
+  }
+}
+
+/// ANLS half step for W: min ||R^T - H^T W|| + eta ||W||^2.
+/// Gram: G = H H^T + eta I, F = H R^T.
+void update_w_anls(const Matrix& r, Matrix& w, const Matrix& h, double eta) {
+  const std::size_t d = h.rows();
+  Matrix g = gram_rows(h);
+  for (std::size_t k = 0; k < d; ++k) g(k, k) += eta + 1e-10;
+  const std::size_t m = r.rows();
+  Matrix f(d, m, 0.0);
+  for (std::size_t k = 0; k < d; ++k) {
+    double* fk = f.row_ptr(k);
+    for (std::size_t j = 0; j < r.cols(); ++j) {
+      const double hkj = h(k, j);
+      if (hkj == 0.0) continue;
+      for (std::size_t i = 0; i < m; ++i) fk[i] += hkj * r(i, j);
+    }
+  }
+  for (std::size_t i = 0; i < m; ++i) {
+    w.set_col(i, nnls_gram(g, f.col(i)));
+  }
+}
+
+/// Multiplicative updates for the same objective.
+void update_mu(const Matrix& r, Matrix& w, Matrix& h, double eta,
+               double lambda) {
+  constexpr double kEps = 1e-12;
+  const std::size_t d = w.rows();
+  const std::size_t m = w.cols();
+  const std::size_t n = h.cols();
+
+  // H <- H .* (W R) ./ (W W^T H + lambda * ones * H + eps)
+  {
+    Matrix wwt = gram_rows(w);
+    Matrix numer(d, n, 0.0);
+    for (std::size_t k = 0; k < d; ++k) {
+      double* nk = numer.row_ptr(k);
+      for (std::size_t i = 0; i < m; ++i) {
+        const double wki = w(k, i);
+        if (wki == 0.0) continue;
+        const double* ri = r.row_ptr(i);
+        for (std::size_t j = 0; j < n; ++j) nk[j] += wki * ri[j];
+      }
+    }
+    Matrix denom = wwt * h;
+    // + lambda * (column sums of H broadcast to every row)
+    for (std::size_t j = 0; j < n; ++j) {
+      double colsum = 0.0;
+      for (std::size_t k = 0; k < d; ++k) colsum += h(k, j);
+      for (std::size_t k = 0; k < d; ++k) denom(k, j) += lambda * colsum;
+    }
+    for (std::size_t k = 0; k < d; ++k) {
+      for (std::size_t j = 0; j < n; ++j) {
+        h(k, j) *= numer(k, j) / (denom(k, j) + kEps);
+      }
+    }
+  }
+
+  // W <- W .* (H R^T) ./ (H H^T W + eta W + eps)
+  {
+    Matrix hht = gram_rows(h);
+    Matrix numer(d, m, 0.0);
+    for (std::size_t k = 0; k < d; ++k) {
+      double* nk = numer.row_ptr(k);
+      for (std::size_t j = 0; j < n; ++j) {
+        const double hkj = h(k, j);
+        if (hkj == 0.0) continue;
+        for (std::size_t i = 0; i < m; ++i) nk[i] += hkj * r(i, j);
+      }
+    }
+    Matrix denom = hht * w;
+    for (std::size_t k = 0; k < d; ++k) {
+      for (std::size_t i = 0; i < m; ++i) {
+        denom(k, i) += eta * w(k, i);
+        w(k, i) *= numer(k, i) / (denom(k, i) + kEps);
+      }
+    }
+  }
+}
+
+/// NNDSVD: seed (W, H) from the leading singular triplets of R, keeping the
+/// dominant sign pattern of each rank-1 term (Boutsidis & Gallopoulos 2008,
+/// the "NNDSVDa"-style epsilon fill so multiplicative updates can escape
+/// exact zeros). W is d x m, H is d x n with R ~= W^T H.
+void nndsvd_init(const Matrix& r, std::size_t rank, Matrix& w, Matrix& h,
+                 double fill) {
+  const std::size_t m = r.rows();
+  const std::size_t n = r.cols();
+  // Svd needs rows >= cols; factor R or R^T accordingly and swap roles.
+  const bool transposed = m < n;
+  const linalg::Svd svd(transposed ? r.transpose() : r);
+  // After the swap: left singular vectors correspond to rows of length
+  // max(m, n); map them back to the record side / trapdoor side.
+  const Matrix& left = svd.u();   // (max) x k
+  const Matrix& right = svd.v();  // (min) x k
+  const Vec& sing = svd.singular_values();
+  const std::size_t k_avail = sing.size();
+
+  for (auto& x : w.data()) x = fill;
+  for (auto& x : h.data()) x = fill;
+
+  for (std::size_t t = 0; t < std::min(rank, k_avail); ++t) {
+    // Split the t-th pair into positive/negative parts.
+    Vec up(left.rows()), un(left.rows());
+    for (std::size_t i = 0; i < left.rows(); ++i) {
+      up[i] = std::max(left(i, t), 0.0);
+      un[i] = std::max(-left(i, t), 0.0);
+    }
+    Vec vp(right.rows()), vn(right.rows());
+    for (std::size_t i = 0; i < right.rows(); ++i) {
+      vp[i] = std::max(right(i, t), 0.0);
+      vn[i] = std::max(-right(i, t), 0.0);
+    }
+    auto norm = [](const Vec& v) {
+      double s = 0.0;
+      for (double x : v) s += x * x;
+      return std::sqrt(s);
+    };
+    const double mp = norm(up) * norm(vp);
+    const double mn = norm(un) * norm(vn);
+    const Vec& lu = mp >= mn ? up : un;
+    const Vec& rv = mp >= mn ? vp : vn;
+    const double mass = std::max(mp >= mn ? mp : mn, 1e-300);
+    const double scale = std::sqrt(sing[t] * mass);
+    const double lu_norm = std::max(norm(lu), 1e-300);
+    const double rv_norm = std::max(norm(rv), 1e-300);
+    // Row t of W spans the record axis (length m), row t of H the trapdoor
+    // axis (length n); undo the transpose swap.
+    for (std::size_t i = 0; i < m; ++i) {
+      const double val = transposed ? rv[i] / rv_norm : lu[i] / lu_norm;
+      w(t, i) += scale * val;
+    }
+    for (std::size_t j = 0; j < n; ++j) {
+      const double val = transposed ? lu[j] / lu_norm : rv[j] / rv_norm;
+      h(t, j) += scale * val;
+    }
+  }
+}
+
+}  // namespace
+
+NmfResult sparse_nmf(const Matrix& r, std::size_t rank,
+                     const SparseNmfOptions& options, rng::Rng& rng) {
+  require(rank > 0, "sparse_nmf: rank must be positive");
+  require(r.rows() > 0 && r.cols() > 0, "sparse_nmf: empty input");
+  for (auto x : r.data()) {
+    require(x >= 0.0, "sparse_nmf: input matrix must be non-negative");
+  }
+  const std::size_t m = r.rows();
+  const std::size_t n = r.cols();
+
+  double mean = 0.0;
+  for (auto x : r.data()) mean += x;
+  mean /= static_cast<double>(m * n);
+  const double init_scale =
+      std::sqrt(std::max(mean, 1e-6) / static_cast<double>(rank));
+  NmfResult result;
+  result.w = Matrix(rank, m);
+  result.h = Matrix(rank, n);
+  if (options.init == Initialization::Nndsvd) {
+    // Deterministic SVD-based seed; the epsilon fill keeps multiplicative
+    // updates from locking onto exact zeros.
+    nndsvd_init(r, rank, result.w, result.h, 0.01 * init_scale);
+  } else {
+    // Random non-negative init scaled so W^T H matches R's mean magnitude.
+    for (auto& x : result.w.data()) x = rng.uniform(0.0, 1.0) * init_scale;
+    for (auto& x : result.h.data()) x = rng.uniform(0.0, 1.0) * init_scale;
+  }
+
+  double prev_obj = objective(r, result.w, result.h, options.eta,
+                              options.lambda, nullptr);
+  for (std::size_t it = 0; it < options.max_iterations; ++it) {
+    if (options.algorithm == Algorithm::Anls) {
+      update_h_anls(r, result.w, result.h, options.lambda);
+      update_w_anls(r, result.w, result.h, options.eta);
+    } else {
+      update_mu(r, result.w, result.h, options.eta, options.lambda);
+    }
+    result.iterations = it + 1;
+    const double obj = objective(r, result.w, result.h, options.eta,
+                                 options.lambda, nullptr);
+    if (std::abs(prev_obj - obj) <=
+        options.rel_tol * std::max(1.0, std::abs(prev_obj))) {
+      prev_obj = obj;
+      break;
+    }
+    prev_obj = obj;
+  }
+  result.objective =
+      objective(r, result.w, result.h, options.eta, options.lambda,
+                &result.fit_error);
+  return result;
+}
+
+void balance_rows(Matrix& w, Matrix& h) {
+  require(w.rows() == h.rows(), "balance_rows: rank mismatch");
+  for (std::size_t k = 0; k < w.rows(); ++k) {
+    double wn = 0.0, hn = 0.0;
+    for (std::size_t i = 0; i < w.cols(); ++i) wn = std::max(wn, w(k, i));
+    for (std::size_t j = 0; j < h.cols(); ++j) hn = std::max(hn, h(k, j));
+    if (wn <= 0.0 || hn <= 0.0) continue;
+    // Scale so both rows peak at the same value (geometric mean), keeping
+    // the product W^T H unchanged.
+    const double target = std::sqrt(wn * hn);
+    const double sw = target / wn;
+    for (std::size_t i = 0; i < w.cols(); ++i) w(k, i) *= sw;
+    const double sh = target / hn;
+    for (std::size_t j = 0; j < h.cols(); ++j) h(k, j) *= sh;
+  }
+}
+
+Matrix to_binary(const Matrix& m, double theta) {
+  Matrix b(m.rows(), m.cols());
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    for (std::size_t j = 0; j < m.cols(); ++j) {
+      b(i, j) = m(i, j) < theta ? 0.0 : 1.0;
+    }
+  }
+  return b;
+}
+
+}  // namespace aspe::nmf

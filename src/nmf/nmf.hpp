@@ -1,0 +1,64 @@
+// Sparse non-negative matrix factorization.
+//
+// Implements the objective the paper optimizes in Algorithm 3 (Eq. 18):
+//
+//   min_{W>=0, H>=0}  1/2 ||R - W^T H||_F^2
+//                   + eta/2 ||W||_F^2  +  lambda/2 sum_j ||h_j||_1^2
+//
+// where R is m x n, W is d x m (columns = indexes I_i) and H is d x n
+// (columns = trapdoors T_j). Two algorithms are provided:
+//   * ANLS  — alternating non-negativity-constrained least squares
+//             (Kim & Park 2007, the paper's citation [12]); accurate,
+//             per-iteration cost dominated by active-set NNLS solves.
+//   * MU    — multiplicative updates adapted to the same objective; cheaper
+//             per iteration, used for the larger benchmark settings.
+#pragma once
+
+#include "linalg/matrix.hpp"
+#include "rng/rng.hpp"
+
+namespace aspe::nmf {
+
+enum class Algorithm { Anls, MultiplicativeUpdate };
+
+enum class Initialization {
+  /// iid uniform entries scaled to R's magnitude (the classic default; runs
+  /// differ per restart, which is what Algorithm 3's best-of-L exploits).
+  Random,
+  /// NNDSVD (Boutsidis & Gallopoulos 2008): deterministic initialization
+  /// from the leading singular triplets of R. Faster convergence on
+  /// well-conditioned inputs; restarts become pointless (deterministic).
+  Nndsvd,
+};
+
+struct SparseNmfOptions {
+  double eta = 0.01;     // Frobenius penalty on W
+  double lambda = 0.01;  // L1^2 penalty on columns of H
+  std::size_t max_iterations = 200;
+  double rel_tol = 1e-5;  // stop when relative objective change is below
+  Algorithm algorithm = Algorithm::Anls;
+  Initialization init = Initialization::Random;
+};
+
+struct NmfResult {
+  linalg::Matrix w;  // d x m, non-negative
+  linalg::Matrix h;  // d x n, non-negative
+  double objective = 0.0;   // final value of Eq. (18)
+  double fit_error = 0.0;   // ||R - W^T H||_F
+  std::size_t iterations = 0;
+};
+
+/// One run of sparse NMF from a random non-negative initialization.
+/// `rank` is the paper's d (bloom-filter length).
+[[nodiscard]] NmfResult sparse_nmf(const linalg::Matrix& r, std::size_t rank,
+                                   const SparseNmfOptions& options,
+                                   rng::Rng& rng);
+
+/// Rescale latent dimensions so rows of W and H carry comparable magnitude
+/// (W^T H is invariant). Makes the fixed binarization threshold meaningful.
+void balance_rows(linalg::Matrix& w, linalg::Matrix& h);
+
+/// The paper's ConvertToBinaryMatrix: entries below `theta` -> 0, else 1.
+[[nodiscard]] linalg::Matrix to_binary(const linalg::Matrix& m, double theta);
+
+}  // namespace aspe::nmf

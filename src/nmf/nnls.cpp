@@ -1,0 +1,133 @@
+#include "nmf/nnls.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "linalg/cholesky.hpp"
+
+namespace aspe::nmf {
+
+using linalg::Cholesky;
+using linalg::Matrix;
+
+namespace {
+
+/// Solve G_PP z_P = f_P restricted to the passive set.
+Vec solve_passive(const Matrix& g, const Vec& f,
+                  const std::vector<std::size_t>& passive) {
+  const std::size_t k = passive.size();
+  Matrix gpp(k, k);
+  Vec fp(k);
+  for (std::size_t a = 0; a < k; ++a) {
+    fp[a] = f[passive[a]];
+    for (std::size_t b = 0; b < k; ++b) {
+      gpp(a, b) = g(passive[a], passive[b]);
+    }
+  }
+  return Cholesky(gpp).solve(fp);
+}
+
+}  // namespace
+
+Vec nnls_gram(const Matrix& g, const Vec& f, const NnlsOptions& options) {
+  require(g.rows() == g.cols(), "nnls_gram: Gram matrix must be square");
+  require(f.size() == g.rows(), "nnls_gram: dimension mismatch");
+  const std::size_t n = g.rows();
+  const std::size_t max_outer = options.max_outer_iterations > 0
+                                    ? options.max_outer_iterations
+                                    : 3 * n + 30;
+
+  Vec x(n, 0.0);
+  std::vector<bool> in_passive(n, false);
+  std::vector<std::size_t> passive;
+
+  // Scale-aware dual tolerance.
+  double scale = 1.0;
+  for (auto v : f) scale = std::max(scale, std::abs(v));
+  const double tol = options.tol * scale;
+
+  for (std::size_t outer = 0; outer < max_outer; ++outer) {
+    // Dual w = f - G x.
+    Vec w = f;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (x[i] == 0.0) continue;
+      const double xi = x[i];
+      const double* gi = g.row_ptr(i);
+      for (std::size_t j = 0; j < n; ++j) w[j] -= gi[j] * xi;
+    }
+    // Most positive dual among active (zero) variables.
+    std::size_t enter = n;
+    double best = tol;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (in_passive[j]) continue;
+      if (w[j] > best) {
+        best = w[j];
+        enter = j;
+      }
+    }
+    if (enter == n) break;  // KKT satisfied
+    in_passive[enter] = true;
+    passive.push_back(enter);
+
+    // Inner loop: restore primal feasibility of the passive LS solution.
+    for (std::size_t inner = 0; inner < 4 * n + 40; ++inner) {
+      Vec z = solve_passive(g, f, passive);
+      double alpha = 1.0;
+      bool all_positive = true;
+      for (std::size_t a = 0; a < passive.size(); ++a) {
+        if (z[a] > 0.0) continue;
+        all_positive = false;
+        const std::size_t j = passive[a];
+        const double denom = x[j] - z[a];
+        if (denom > 0.0) alpha = std::min(alpha, x[j] / denom);
+      }
+      if (all_positive) {
+        Vec nx(n, 0.0);
+        for (std::size_t a = 0; a < passive.size(); ++a) {
+          nx[passive[a]] = z[a];
+        }
+        x = std::move(nx);
+        break;
+      }
+      // Step toward z until the first passive variable hits zero.
+      Vec nx(n, 0.0);
+      for (std::size_t a = 0; a < passive.size(); ++a) {
+        const std::size_t j = passive[a];
+        nx[j] = x[j] + alpha * (z[a] - x[j]);
+      }
+      x = std::move(nx);
+      // Drop passive variables that became (numerically) zero.
+      std::vector<std::size_t> next;
+      next.reserve(passive.size());
+      for (auto j : passive) {
+        if (x[j] > 1e-12) {
+          next.push_back(j);
+        } else {
+          x[j] = 0.0;
+          in_passive[j] = false;
+        }
+      }
+      passive = std::move(next);
+      if (passive.empty()) break;
+    }
+  }
+  return x;
+}
+
+Vec nnls(const Matrix& a, const Vec& b, const NnlsOptions& options) {
+  require(a.rows() == b.size(), "nnls: dimension mismatch");
+  const std::size_t n = a.cols();
+  Matrix g(n, n, 0.0);
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    const double* ar = a.row_ptr(r);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (ar[i] == 0.0) continue;
+      double* gi = g.row_ptr(i);
+      for (std::size_t j = 0; j < n; ++j) gi[j] += ar[i] * ar[j];
+    }
+  }
+  const Vec f = a.apply_transposed(b);
+  return nnls_gram(g, f, options);
+}
+
+}  // namespace aspe::nmf

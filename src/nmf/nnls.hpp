@@ -1,0 +1,28 @@
+// Non-negative least squares (Lawson-Hanson active set).
+//
+// Kernel of the ANLS sparse-NMF solver (Kim & Park 2007, the paper's
+// reference [12]): each NMF half-step is a batch of NNLS problems sharing one
+// Gram matrix.
+#pragma once
+
+#include "linalg/matrix.hpp"
+
+namespace aspe::nmf {
+
+struct NnlsOptions {
+  std::size_t max_outer_iterations = 0;  // 0 => 3 * num_vars + 30
+  double tol = 1e-10;                    // dual feasibility tolerance
+};
+
+/// Solve min ||A x - b||_2, x >= 0, given the Gram matrix G = A^T A and
+/// f = A^T b. G must be symmetric positive definite on every principal
+/// submatrix encountered (guaranteed when A has full column rank or a ridge
+/// was added).
+[[nodiscard]] Vec nnls_gram(const linalg::Matrix& g, const Vec& f,
+                            const NnlsOptions& options = {});
+
+/// Convenience wrapper forming G and f from A and b.
+[[nodiscard]] Vec nnls(const linalg::Matrix& a, const Vec& b,
+                       const NnlsOptions& options = {});
+
+}  // namespace aspe::nmf

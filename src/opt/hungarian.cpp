@@ -1,0 +1,72 @@
+#include "opt/hungarian.hpp"
+
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace aspe::opt {
+
+AssignmentResult solve_assignment(const linalg::Matrix& cost) {
+  require(cost.rows() == cost.cols(), "solve_assignment: matrix must be square");
+  require(cost.rows() > 0, "solve_assignment: empty matrix");
+  const std::size_t n = cost.rows();
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+
+  // Classic O(n^3) Hungarian with row/column potentials and 1-based
+  // sentinel column 0 (match[0] holds the row currently being augmented).
+  std::vector<double> u(n + 1, 0.0), v(n + 1, 0.0);
+  std::vector<std::size_t> match(n + 1, 0);  // match[col] = row (1-based)
+  std::vector<std::size_t> way(n + 1, 0);
+
+  for (std::size_t i = 1; i <= n; ++i) {
+    match[0] = i;
+    std::size_t j0 = 0;
+    std::vector<double> minv(n + 1, kInf);
+    std::vector<bool> used(n + 1, false);
+    do {
+      used[j0] = true;
+      const std::size_t i0 = match[j0];
+      double delta = kInf;
+      std::size_t j1 = 0;
+      for (std::size_t j = 1; j <= n; ++j) {
+        if (used[j]) continue;
+        const double cur = cost(i0 - 1, j - 1) - u[i0] - v[j];
+        if (cur < minv[j]) {
+          minv[j] = cur;
+          way[j] = j0;
+        }
+        if (minv[j] < delta) {
+          delta = minv[j];
+          j1 = j;
+        }
+      }
+      for (std::size_t j = 0; j <= n; ++j) {
+        if (used[j]) {
+          u[match[j]] += delta;
+          v[j] -= delta;
+        } else {
+          minv[j] -= delta;
+        }
+      }
+      j0 = j1;
+    } while (match[j0] != 0);
+    // Augment along the alternating path.
+    do {
+      const std::size_t j1 = way[j0];
+      match[j0] = match[j1];
+      j0 = j1;
+    } while (j0 != 0);
+  }
+
+  AssignmentResult result;
+  result.row_to_col.assign(n, 0);
+  for (std::size_t j = 1; j <= n; ++j) {
+    result.row_to_col[match[j] - 1] = j - 1;
+  }
+  for (std::size_t r = 0; r < n; ++r) {
+    result.total_cost += cost(r, result.row_to_col[r]);
+  }
+  return result;
+}
+
+}  // namespace aspe::opt

@@ -1,0 +1,26 @@
+// Hungarian algorithm (Jonker-Volgenant potentials variant) for the linear
+// assignment problem.
+//
+// Used by the SNMF-attack evaluation to align reconstructed NMF latent
+// dimensions with ground-truth bloom-filter positions: R = I^T T is invariant
+// under any permutation of the d latent dimensions, so precision/recall is
+// measured after an optimal relabeling (see DESIGN.md §4.5).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace aspe::opt {
+
+struct AssignmentResult {
+  /// row_to_col[r] = column assigned to row r.
+  std::vector<std::size_t> row_to_col;
+  double total_cost = 0.0;
+};
+
+/// Minimum-cost perfect matching on a square cost matrix. O(n^3).
+[[nodiscard]] AssignmentResult solve_assignment(const linalg::Matrix& cost);
+
+}  // namespace aspe::opt

@@ -1,0 +1,175 @@
+#include "opt/mip.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "common/stopwatch.hpp"
+#include "opt/presolve.hpp"
+
+namespace aspe::opt {
+
+namespace {
+
+struct Node {
+  std::size_t var;
+  double lb;
+  double ub;
+  std::size_t depth;
+};
+
+/// Index of the integer variable whose LP value is most fractional;
+/// model.num_variables() when the point is integral.
+std::size_t most_fractional(const Model& model, const Vec& x, double tol) {
+  std::size_t best = model.num_variables();
+  double best_frac = tol;
+  for (std::size_t j = 0; j < model.num_variables(); ++j) {
+    if (model.variable(j).type == VarType::Continuous) continue;
+    const double f = x[j] - std::floor(x[j]);
+    const double frac = std::min(f, 1.0 - f);
+    if (frac > best_frac) {
+      best_frac = frac;
+      best = j;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+MipResult solve_mip(Model model, const MipOptions& options) {
+  MipResult result;
+  Stopwatch watch;
+
+  if (options.use_presolve) {
+    const PresolveResult pre = presolve(model);
+    if (pre.infeasible) {
+      result.status = MipStatus::Infeasible;
+      result.seconds = watch.seconds();
+      return result;
+    }
+  }
+
+  // Remember original bounds so nodes can restore them after backtracking.
+  const std::size_t n = model.num_variables();
+  Vec orig_lb(n), orig_ub(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    orig_lb[j] = model.variable(j).lb;
+    orig_ub[j] = model.variable(j).ub;
+  }
+
+  double incumbent_obj = kInfinity;
+  bool have_incumbent = false;
+  bool search_truncated = false;
+
+  // Depth-first stack. Each entry carries the *complete* bound overrides of
+  // its path (small: only branched variables differ from the originals).
+  struct StackEntry {
+    std::vector<Node> path;  // bound changes from root to this node
+  };
+  std::vector<StackEntry> stack;
+  stack.push_back({});
+
+  while (!stack.empty()) {
+    if (result.nodes_explored >= options.max_nodes) {
+      search_truncated = true;
+      break;
+    }
+    if (watch.seconds() > options.time_limit_seconds) {
+      search_truncated = true;
+      break;
+    }
+    const StackEntry entry = std::move(stack.back());
+    stack.pop_back();
+    ++result.nodes_explored;
+
+    // Apply this node's bounds.
+    for (std::size_t j = 0; j < n; ++j) model.set_bounds(j, orig_lb[j], orig_ub[j]);
+    bool bounds_ok = true;
+    for (const auto& nd : entry.path) {
+      if (nd.lb > nd.ub) {
+        bounds_ok = false;
+        break;
+      }
+      model.set_bounds(nd.var, nd.lb, nd.ub);
+    }
+    if (!bounds_ok) continue;
+
+    const LpResult lp = solve_lp(model, options.lp);
+    if (lp.status == LpStatus::Infeasible) continue;
+    if (lp.status == LpStatus::IterationLimit) {
+      search_truncated = true;
+      continue;
+    }
+    if (lp.status == LpStatus::Unbounded) {
+      // Unbounded relaxation at the root of a minimization with integer
+      // variables: treat as unbounded problem -> report via exception.
+      throw NumericalError("solve_mip: LP relaxation is unbounded");
+    }
+
+    // Bound pruning.
+    if (have_incumbent && lp.objective >= incumbent_obj - 1e-9) continue;
+
+    const std::size_t frac = most_fractional(model, lp.x, options.int_tol);
+    if (frac == n) {
+      // Integer feasible.
+      if (!have_incumbent || lp.objective < incumbent_obj) {
+        have_incumbent = true;
+        incumbent_obj = lp.objective;
+        result.x = lp.x;
+        // Snap integer variables exactly.
+        for (std::size_t j = 0; j < n; ++j) {
+          if (model.variable(j).type != VarType::Continuous) {
+            result.x[j] = std::round(result.x[j]);
+          }
+        }
+        result.objective = incumbent_obj;
+      }
+      if (options.first_feasible) {
+        result.status = MipStatus::Feasible;
+        result.seconds = watch.seconds();
+        return result;
+      }
+      continue;
+    }
+
+    // Branch. Push the far child first so the near (nearest-integer) child is
+    // explored next -> diving behaviour.
+    const double v = lp.x[frac];
+    const double floor_v = std::floor(v);
+    const double ceil_v = floor_v + 1.0;
+    const std::size_t depth = entry.path.size();
+
+    // `model` currently carries this node's bounds, so its variable bounds
+    // are the effective ones to intersect with.
+    const double eff_lb = model.variable(frac).lb;
+    const double eff_ub = model.variable(frac).ub;
+    StackEntry down = entry;  // x_frac <= floor(v)
+    down.path.push_back({frac, eff_lb, floor_v, depth});
+    StackEntry up = entry;  // x_frac >= ceil(v)
+    up.path.push_back({frac, ceil_v, eff_ub, depth});
+
+    const bool near_is_up = (v - floor_v) >= 0.5;
+    if (near_is_up) {
+      stack.push_back(std::move(down));
+      stack.push_back(std::move(up));
+    } else {
+      stack.push_back(std::move(up));
+      stack.push_back(std::move(down));
+    }
+  }
+
+  result.seconds = watch.seconds();
+  if (have_incumbent) {
+    result.status = search_truncated ? MipStatus::Feasible : MipStatus::Optimal;
+  } else if (search_truncated) {
+    result.status = watch.seconds() > options.time_limit_seconds
+                        ? MipStatus::TimeLimit
+                        : MipStatus::NodeLimit;
+  } else {
+    result.status = MipStatus::Infeasible;
+  }
+  if (have_incumbent) result.objective = incumbent_obj;
+  return result;
+}
+
+}  // namespace aspe::opt

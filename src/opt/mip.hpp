@@ -1,0 +1,53 @@
+// Branch-and-bound solver for mixed binary/continuous linear programs.
+//
+// Together with the simplex this replaces the Gurobi dependency of the
+// paper's Algorithm 2 (the MIP attack). The attack uses it as a feasibility
+// search: objective 0, stop at the first integer-feasible point — which makes
+// depth-first most-fractional branching with nearest-integer-first child
+// ordering behave like an LP diving heuristic with backtracking.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+
+#include "common/types.hpp"
+#include "opt/model.hpp"
+#include "opt/simplex.hpp"
+
+namespace aspe::opt {
+
+enum class MipStatus {
+  Optimal,        // proved optimal (search exhausted)
+  Feasible,       // integer-feasible found, search stopped early
+  Infeasible,     // proved infeasible
+  NodeLimit,      // node budget exhausted without a feasible point
+  TimeLimit,      // wall-clock budget exhausted without a feasible point
+};
+
+struct MipResult {
+  MipStatus status = MipStatus::NodeLimit;
+  Vec x;                   // best integer-feasible point (when found)
+  double objective = 0.0;  // objective at x
+  std::size_t nodes_explored = 0;
+  double seconds = 0.0;
+
+  [[nodiscard]] bool has_solution() const {
+    return status == MipStatus::Optimal || status == MipStatus::Feasible;
+  }
+};
+
+struct MipOptions {
+  /// Stop at the first integer-feasible solution (the attack's mode).
+  bool first_feasible = false;
+  /// Run presolve (bound tightening) on the root model before the search.
+  bool use_presolve = true;
+  std::size_t max_nodes = 200000;
+  double time_limit_seconds = 60.0;
+  double int_tol = 1e-6;
+  SimplexOptions lp;
+};
+
+/// Solve a mixed-integer linear program by LP-based branch and bound.
+[[nodiscard]] MipResult solve_mip(Model model, const MipOptions& options = {});
+
+}  // namespace aspe::opt

@@ -1,0 +1,126 @@
+#include "opt/presolve.hpp"
+
+#include <cmath>
+
+namespace aspe::opt {
+
+namespace {
+
+/// Minimum and maximum of a linear expression over the variable box.
+struct Activity {
+  double lo = 0.0;
+  double hi = 0.0;
+};
+
+Activity row_activity(const Model& m, const LinExpr& terms) {
+  Activity act;
+  for (const auto& t : terms) {
+    const Variable& v = m.variable(t.var);
+    if (t.coef >= 0.0) {
+      act.lo += t.coef * v.lb;
+      act.hi += t.coef * v.ub;  // may be +inf
+    } else {
+      act.lo += t.coef * v.ub;  // may be -inf
+      act.hi += t.coef * v.lb;
+    }
+  }
+  return act;
+}
+
+}  // namespace
+
+PresolveResult presolve(Model& model, const PresolveOptions& options) {
+  PresolveResult result;
+
+  for (std::size_t round = 0; round < options.max_rounds; ++round) {
+    result.rounds = round + 1;
+    bool changed = false;
+
+    for (std::size_t ci = 0; ci < model.num_constraints(); ++ci) {
+      const Constraint& row = model.constraint(ci);
+      const Activity act = row_activity(model, row.terms);
+
+      // Infeasibility / redundancy detection.
+      const double tol = options.feas_tol *
+                         (1.0 + std::abs(row.rhs));
+      switch (row.sense) {
+        case Sense::LessEqual:
+          if (act.lo > row.rhs + tol) {
+            result.infeasible = true;
+            return result;
+          }
+          if (act.hi <= row.rhs + tol) ++result.redundant_rows;
+          break;
+        case Sense::GreaterEqual:
+          if (act.hi < row.rhs - tol) {
+            result.infeasible = true;
+            return result;
+          }
+          if (act.lo >= row.rhs - tol) ++result.redundant_rows;
+          break;
+        case Sense::Equal:
+          if (act.lo > row.rhs + tol || act.hi < row.rhs - tol) {
+            result.infeasible = true;
+            return result;
+          }
+          break;
+      }
+
+      // Bound tightening: for each variable, the row minus the best-case
+      // activity of the *other* terms bounds coef * x.
+      for (const auto& t : row.terms) {
+        if (t.coef == 0.0) continue;
+        const Variable& v = model.variable(t.var);
+        const double self_lo = t.coef >= 0.0 ? t.coef * v.lb : t.coef * v.ub;
+        const double self_hi = t.coef >= 0.0 ? t.coef * v.ub : t.coef * v.lb;
+        const double rest_lo = act.lo - self_lo;
+        const double rest_hi = act.hi - self_hi;
+
+        double new_lb = v.lb;
+        double new_ub = v.ub;
+        // <= : coef*x <= rhs - rest_lo
+        if (row.sense != Sense::GreaterEqual && std::isfinite(rest_lo)) {
+          const double cap = row.rhs - rest_lo;
+          if (t.coef > 0.0) {
+            new_ub = std::min(new_ub, cap / t.coef);
+          } else {
+            new_lb = std::max(new_lb, cap / t.coef);
+          }
+        }
+        // >= : coef*x >= rhs - rest_hi
+        if (row.sense != Sense::LessEqual && std::isfinite(rest_hi)) {
+          const double floor_v = row.rhs - rest_hi;
+          if (t.coef > 0.0) {
+            new_lb = std::max(new_lb, floor_v / t.coef);
+          } else {
+            new_ub = std::min(new_ub, floor_v / t.coef);
+          }
+        }
+        if (v.type != VarType::Continuous) {
+          new_lb = std::ceil(new_lb - options.feas_tol);
+          new_ub = std::floor(new_ub + options.feas_tol);
+        }
+        const bool tighter_lb = new_lb > v.lb + options.feas_tol;
+        const bool tighter_ub = new_ub < v.ub - options.feas_tol;
+        if (!tighter_lb && !tighter_ub) continue;
+        if (new_lb > new_ub + options.feas_tol) {
+          result.infeasible = true;
+          return result;
+        }
+        model.set_bounds(t.var, std::max(v.lb, new_lb),
+                         std::min(v.ub, std::max(new_ub, new_lb)));
+        ++result.bounds_tightened;
+        changed = true;
+      }
+    }
+    if (!changed) break;
+  }
+
+  for (std::size_t j = 0; j < model.num_variables(); ++j) {
+    const Variable& v = model.variable(j);
+    if (v.ub - v.lb <= options.feas_tol) ++result.variables_fixed;
+  }
+  return result;
+}
+
+}  // namespace aspe::opt

@@ -1,0 +1,347 @@
+#include "opt/simplex.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "linalg/matrix.hpp"
+
+namespace aspe::opt {
+
+namespace {
+
+using linalg::Matrix;
+
+enum class VarStatus : std::uint8_t { AtLower, AtUpper, Basic };
+
+// Internal solver state. Variable layout: [0, n) structural, [n, n+s) slacks
+// (one per inequality row), [n+s, n+s+m) artificials (one per row).
+class Simplex {
+ public:
+  Simplex(const Model& model, const SimplexOptions& opt)
+      : model_(model), opt_(opt) {
+    build();
+  }
+
+  LpResult run() {
+    LpResult result;
+
+    // ---- Phase 1: minimize the sum of artificials. ----
+    Vec phase1_cost(total_, 0.0);
+    for (std::size_t a = 0; a < m_; ++a) phase1_cost[art_begin_ + a] = 1.0;
+    const LpStatus s1 = optimize(phase1_cost, result.iterations);
+    if (s1 == LpStatus::IterationLimit) return result;
+    double art_sum = 0.0;
+    for (std::size_t a = 0; a < m_; ++a) art_sum += value(art_begin_ + a);
+    if (art_sum > opt_.feas_tol * std::max(1.0, rhs_scale_)) {
+      result.status = LpStatus::Infeasible;
+      return result;
+    }
+
+    // ---- Phase 2: the real objective, artificials pinned to zero. ----
+    for (std::size_t a = 0; a < m_; ++a) {
+      ub_[art_begin_ + a] = 0.0;
+      // A nonbasic artificial must sit at a bound; both bounds are now 0.
+      if (status_[art_begin_ + a] == VarStatus::AtUpper) {
+        status_[art_begin_ + a] = VarStatus::AtLower;
+      }
+    }
+    Vec phase2_cost(total_, 0.0);
+    for (const auto& t : model_.objective()) phase2_cost[t.var] += t.coef;
+    const LpStatus s2 = optimize(phase2_cost, result.iterations);
+    result.status = s2;
+    if (s2 != LpStatus::Optimal) return result;
+
+    result.x.resize(n_);
+    for (std::size_t j = 0; j < n_; ++j) result.x[j] = value(j);
+    result.objective = model_.objective_value(result.x);
+    return result;
+  }
+
+ private:
+  void build() {
+    n_ = model_.num_variables();
+    m_ = model_.num_constraints();
+    require(m_ > 0, "solve_lp: model has no constraints");
+
+    // Structural columns, dense column-major.
+    a_cols_.assign(n_, Vec(m_, 0.0));
+    rhs_.resize(m_);
+    slack_row_.clear();
+    slack_sign_.clear();
+    for (std::size_t i = 0; i < m_; ++i) {
+      const Constraint& c = model_.constraint(i);
+      for (const auto& t : c.terms) a_cols_[t.var][i] += t.coef;
+      rhs_[i] = c.rhs;
+      if (c.sense == Sense::LessEqual) {
+        slack_row_.push_back(i);
+        slack_sign_.push_back(1.0);
+      } else if (c.sense == Sense::GreaterEqual) {
+        slack_row_.push_back(i);
+        slack_sign_.push_back(-1.0);
+      }
+    }
+    slack_begin_ = n_;
+    art_begin_ = n_ + slack_row_.size();
+    total_ = art_begin_ + m_;
+
+    lb_.assign(total_, 0.0);
+    ub_.assign(total_, kInfinity);
+    for (std::size_t j = 0; j < n_; ++j) {
+      lb_[j] = model_.variable(j).lb;
+      ub_[j] = model_.variable(j).ub;
+    }
+
+    rhs_scale_ = 1.0;
+    for (auto b : rhs_) rhs_scale_ = std::max(rhs_scale_, std::abs(b));
+
+    // Start: structurals and slacks nonbasic at their lower bound;
+    // artificials absorb the residual and form the initial basis.
+    status_.assign(total_, VarStatus::AtLower);
+    Vec residual = rhs_;
+    for (std::size_t j = 0; j < n_; ++j) {
+      if (lb_[j] == 0.0) continue;
+      for (std::size_t i = 0; i < m_; ++i) residual[i] -= a_cols_[j][i] * lb_[j];
+    }
+    art_sign_.resize(m_);
+    basis_.resize(m_);
+    xb_.resize(m_);
+    for (std::size_t i = 0; i < m_; ++i) {
+      art_sign_[i] = residual[i] >= 0.0 ? 1.0 : -1.0;
+      basis_[i] = art_begin_ + i;
+      status_[art_begin_ + i] = VarStatus::Basic;
+      xb_[i] = std::abs(residual[i]);
+    }
+    binv_ = Matrix::identity(m_);
+    // With the sign-adjusted artificial basis, B = diag(art_sign_), so
+    // B^{-1} = diag(art_sign_).
+    for (std::size_t i = 0; i < m_; ++i) binv_(i, i) = art_sign_[i];
+  }
+
+  // Column j of the full constraint matrix, materialized on demand.
+  // Slack/artificial columns are singletons; avoid storing them densely.
+  double col_dot(const Vec& y, std::size_t j) const {
+    if (j < n_) {
+      const Vec& col = a_cols_[j];
+      double s = 0.0;
+      for (std::size_t i = 0; i < m_; ++i) s += y[i] * col[i];
+      return s;
+    }
+    if (j < art_begin_) {
+      const std::size_t k = j - slack_begin_;
+      return slack_sign_[k] * y[slack_row_[k]];
+    }
+    const std::size_t k = j - art_begin_;
+    return art_sign_[k] * y[k];
+  }
+
+  // d = B^{-1} A_j.
+  Vec compute_d(std::size_t j) const {
+    Vec d(m_, 0.0);
+    if (j < n_) {
+      const Vec& col = a_cols_[j];
+      for (std::size_t k = 0; k < m_; ++k) {
+        const double v = col[k];
+        if (v == 0.0) continue;
+        for (std::size_t i = 0; i < m_; ++i) d[i] += binv_(i, k) * v;
+      }
+    } else if (j < art_begin_) {
+      const std::size_t k = j - slack_begin_;
+      const std::size_t row = slack_row_[k];
+      for (std::size_t i = 0; i < m_; ++i) {
+        d[i] = slack_sign_[k] * binv_(i, row);
+      }
+    } else {
+      const std::size_t k = j - art_begin_;
+      for (std::size_t i = 0; i < m_; ++i) d[i] = art_sign_[k] * binv_(i, k);
+    }
+    return d;
+  }
+
+  double value(std::size_t j) const {
+    switch (status_[j]) {
+      case VarStatus::AtLower:
+        return lb_[j];
+      case VarStatus::AtUpper:
+        return ub_[j];
+      case VarStatus::Basic:
+        for (std::size_t i = 0; i < m_; ++i) {
+          if (basis_[i] == j) return xb_[i];
+        }
+        return 0.0;  // unreachable
+    }
+    return 0.0;
+  }
+
+  LpStatus optimize(const Vec& cost, std::size_t& iteration_counter) {
+    const std::size_t max_iters =
+        opt_.max_iterations > 0 ? opt_.max_iterations
+                                : 200 * (m_ + total_) + 2000;
+    const std::size_t bland_after = 20 * (m_ + total_) + 500;
+    std::size_t local_iters = 0;
+
+    while (true) {
+      if (local_iters++ > max_iters) return LpStatus::IterationLimit;
+      ++iteration_counter;
+      const bool bland = local_iters > bland_after;
+
+      // y^T = c_B^T B^{-1}
+      Vec y(m_, 0.0);
+      for (std::size_t i = 0; i < m_; ++i) {
+        const double cb = cost[basis_[i]];
+        if (cb == 0.0) continue;
+        for (std::size_t k = 0; k < m_; ++k) y[k] += cb * binv_(i, k);
+      }
+
+      // Pricing.
+      std::size_t entering = total_;
+      double best_score = opt_.opt_tol;
+      int enter_dir = 0;
+      for (std::size_t j = 0; j < total_; ++j) {
+        const VarStatus st = status_[j];
+        if (st == VarStatus::Basic) continue;
+        if (lb_[j] == ub_[j]) continue;  // fixed variable can never improve
+        const double rc = cost[j] - col_dot(y, j);
+        double score = 0.0;
+        int dir = 0;
+        if (st == VarStatus::AtLower && rc < -opt_.opt_tol) {
+          score = -rc;
+          dir = +1;
+        } else if (st == VarStatus::AtUpper && rc > opt_.opt_tol) {
+          score = rc;
+          dir = -1;
+        } else {
+          continue;
+        }
+        if (bland) {  // first eligible index
+          entering = j;
+          enter_dir = dir;
+          break;
+        }
+        if (score > best_score) {
+          best_score = score;
+          entering = j;
+          enter_dir = dir;
+        }
+      }
+      if (entering == total_) return LpStatus::Optimal;
+
+      const Vec d = compute_d(entering);
+
+      // Ratio test. Moving the entering variable by t in direction
+      // enter_dir changes basic values by -t * enter_dir * d.
+      double t_limit = ub_[entering] - lb_[entering];  // bound-flip distance
+      std::ptrdiff_t leaving_row = -1;                 // -1 => bound flip
+      bool leaving_to_upper = false;
+      double best_pivot_mag = 0.0;
+      for (std::size_t i = 0; i < m_; ++i) {
+        const double g = enter_dir * d[i];
+        const std::size_t bj = basis_[i];
+        double t = kInfinity;
+        bool to_upper = false;
+        if (g > opt_.opt_tol) {  // basic variable decreases toward its lb
+          t = (xb_[i] - lb_[bj]) / g;
+        } else if (g < -opt_.opt_tol) {  // increases toward its ub
+          if (ub_[bj] == kInfinity) continue;
+          t = (ub_[bj] - xb_[i]) / (-g);
+          to_upper = true;
+        } else {
+          continue;
+        }
+        t = std::max(t, 0.0);
+        const double mag = std::abs(g);
+        const bool better =
+            t < t_limit - 1e-12 ||
+            (t < t_limit + 1e-12 && leaving_row >= 0 && mag > best_pivot_mag);
+        if (better) {
+          t_limit = std::min(t, t_limit);
+          leaving_row = static_cast<std::ptrdiff_t>(i);
+          leaving_to_upper = to_upper;
+          best_pivot_mag = mag;
+        }
+      }
+
+      if (t_limit == kInfinity) return LpStatus::Unbounded;
+
+      if (leaving_row < 0) {
+        // Bound flip: the entering variable runs to its opposite bound.
+        for (std::size_t i = 0; i < m_; ++i) {
+          xb_[i] -= t_limit * enter_dir * d[i];
+        }
+        status_[entering] = enter_dir > 0 ? VarStatus::AtUpper
+                                          : VarStatus::AtLower;
+        continue;
+      }
+
+      // Basis change.
+      const auto r = static_cast<std::size_t>(leaving_row);
+      const std::size_t leaving = basis_[r];
+      for (std::size_t i = 0; i < m_; ++i) {
+        xb_[i] -= t_limit * enter_dir * d[i];
+      }
+      const double entering_value =
+          (enter_dir > 0 ? lb_[entering] : ub_[entering]) +
+          enter_dir * t_limit;
+
+      // Gauss-Jordan update of B^{-1} with pivot d[r].
+      const double pivot = d[r];
+      double* br = binv_.row_ptr(r);
+      const double inv_pivot = 1.0 / pivot;
+      for (std::size_t k = 0; k < m_; ++k) br[k] *= inv_pivot;
+      for (std::size_t i = 0; i < m_; ++i) {
+        if (i == r || d[i] == 0.0) continue;
+        const double f = d[i];
+        double* bi = binv_.row_ptr(i);
+        for (std::size_t k = 0; k < m_; ++k) bi[k] -= f * br[k];
+      }
+
+      basis_[r] = entering;
+      xb_[r] = entering_value;
+      status_[entering] = VarStatus::Basic;
+      status_[leaving] =
+          leaving_to_upper ? VarStatus::AtUpper : VarStatus::AtLower;
+      // Clamp small drift on the leaving variable's row mates.
+      for (std::size_t i = 0; i < m_; ++i) {
+        const std::size_t bj = basis_[i];
+        if (xb_[i] < lb_[bj] && xb_[i] > lb_[bj] - opt_.feas_tol) {
+          xb_[i] = lb_[bj];
+        }
+        if (ub_[bj] != kInfinity && xb_[i] > ub_[bj] &&
+            xb_[i] < ub_[bj] + opt_.feas_tol) {
+          xb_[i] = ub_[bj];
+        }
+      }
+    }
+  }
+
+  const Model& model_;
+  SimplexOptions opt_;
+
+  std::size_t n_ = 0;      // structural variables
+  std::size_t m_ = 0;      // rows
+  std::size_t total_ = 0;  // structural + slack + artificial
+  std::size_t slack_begin_ = 0;
+  std::size_t art_begin_ = 0;
+
+  std::vector<Vec> a_cols_;  // structural columns (dense, length m)
+  std::vector<std::size_t> slack_row_;
+  Vec slack_sign_;
+  Vec art_sign_;
+  Vec rhs_;
+  double rhs_scale_ = 1.0;
+
+  Vec lb_, ub_;
+  std::vector<VarStatus> status_;
+  std::vector<std::size_t> basis_;
+  Vec xb_;
+  Matrix binv_;
+};
+
+}  // namespace
+
+LpResult solve_lp(const Model& model, const SimplexOptions& options) {
+  require(model.num_variables() > 0, "solve_lp: model has no variables");
+  Simplex s(model, options);
+  return s.run();
+}
+
+}  // namespace aspe::opt

@@ -1,0 +1,38 @@
+// Bounded-variable primal simplex (two-phase, dense revised form).
+//
+// Solves the LP relaxations for the branch-and-bound MIP solver. Variables
+// carry individual [lb, ub] bounds (lb finite; ub may be +inf), so binary
+// branching does not blow up the row count. Anti-cycling via a Bland-rule
+// fallback after a Dantzig-pricing burn-in.
+#pragma once
+
+#include <cstddef>
+
+#include "common/types.hpp"
+#include "opt/model.hpp"
+
+namespace aspe::opt {
+
+enum class LpStatus { Optimal, Infeasible, Unbounded, IterationLimit };
+
+struct LpResult {
+  LpStatus status = LpStatus::IterationLimit;
+  Vec x;                   // structural variable values (valid when Optimal)
+  double objective = 0.0;  // objective at x
+  std::size_t iterations = 0;
+};
+
+struct SimplexOptions {
+  /// Hard iteration cap; 0 selects an automatic cap based on problem size.
+  std::size_t max_iterations = 0;
+  /// Feasibility tolerance on basic-variable bounds and phase-1 residual.
+  double feas_tol = 1e-7;
+  /// Reduced-cost optimality tolerance.
+  double opt_tol = 1e-9;
+};
+
+/// Solve the LP relaxation of `model` (integrality ignored).
+[[nodiscard]] LpResult solve_lp(const Model& model,
+                                const SimplexOptions& options = {});
+
+}  // namespace aspe::opt

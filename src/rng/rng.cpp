@@ -1,0 +1,41 @@
+#include "rng/rng.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace aspe::rng {
+
+BitVec Rng::binary_with_k_ones(std::size_t n, std::size_t k) {
+  require(k <= n, "binary_with_k_ones: k exceeds length");
+  BitVec v(n, 0);
+  for (auto idx : sample_without_replacement(n, k)) v[idx] = 1;
+  return v;
+}
+
+std::vector<std::size_t> Rng::sample_without_replacement(std::size_t n,
+                                                         std::size_t k) {
+  require(k <= n, "sample_without_replacement: k exceeds population");
+  // Partial Fisher-Yates: O(n) memory, O(n + k) time; adequate at the data
+  // sizes used here (n <= a few thousand).
+  std::vector<std::size_t> pool(n);
+  std::iota(pool.begin(), pool.end(), std::size_t{0});
+  for (std::size_t i = 0; i < k; ++i) {
+    const auto j = static_cast<std::size_t>(
+        uniform_int(static_cast<std::int64_t>(i),
+                    static_cast<std::int64_t>(n) - 1));
+    std::swap(pool[i], pool[j]);
+  }
+  pool.resize(k);
+  return pool;
+}
+
+std::vector<std::size_t> Rng::permutation(std::size_t n) {
+  std::vector<std::size_t> p(n);
+  std::iota(p.begin(), p.end(), std::size_t{0});
+  std::shuffle(p.begin(), p.end(), engine_);
+  return p;
+}
+
+}  // namespace aspe::rng

@@ -1,0 +1,117 @@
+// Deterministic, seedable random number generation used by every module.
+//
+// All randomized components of the library (key generation, noise injection,
+// data generators, NMF initialization, ...) take an `Rng&` so experiments are
+// reproducible from a single seed. `Rng::child(tag)` derives independent
+// streams for sub-components without sharing mutable state.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace aspe::rng {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(mix(seed)) {}
+
+  /// Derive an independent child generator. Children with different tags (or
+  /// from different parents) produce statistically independent streams.
+  [[nodiscard]] Rng child(std::uint64_t tag) {
+    return Rng(mix(engine_()) ^ mix(tag ^ 0x9e3779b97f4a7c15ULL));
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) {
+    std::uniform_real_distribution<double> d(lo, hi);
+    return d(engine_);
+  }
+
+  /// Uniform integer in [lo, hi] (inclusive).
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    std::uniform_int_distribution<std::int64_t> d(lo, hi);
+    return d(engine_);
+  }
+
+  /// Gaussian with the given mean and standard deviation.
+  double normal(double mean, double stddev) {
+    std::normal_distribution<double> d(mean, stddev);
+    return d(engine_);
+  }
+
+  /// Bernoulli trial with probability p of true.
+  bool bernoulli(double p) {
+    std::bernoulli_distribution d(p);
+    return d(engine_);
+  }
+
+  /// Poisson sample with the given mean.
+  int poisson(double mean) {
+    std::poisson_distribution<int> d(mean);
+    return d(engine_);
+  }
+
+  /// Vector of n iid uniform doubles in [lo, hi).
+  Vec uniform_vec(std::size_t n, double lo, double hi) {
+    Vec v(n);
+    for (auto& x : v) x = uniform(lo, hi);
+    return v;
+  }
+
+  /// Vector of n iid Gaussians.
+  Vec normal_vec(std::size_t n, double mean, double stddev) {
+    Vec v(n);
+    for (auto& x : v) x = normal(mean, stddev);
+    return v;
+  }
+
+  /// Binary vector of length n with exactly k ones in uniformly random
+  /// positions. Throws if k > n.
+  BitVec binary_with_k_ones(std::size_t n, std::size_t k);
+
+  /// Binary vector of length n with each bit 1 independently with prob p.
+  BitVec binary_bernoulli(std::size_t n, double p) {
+    BitVec v(n);
+    for (auto& x : v) x = bernoulli(p) ? 1 : 0;
+    return v;
+  }
+
+  /// k distinct indices sampled uniformly from [0, n) (order randomized).
+  std::vector<std::size_t> sample_without_replacement(std::size_t n,
+                                                      std::size_t k);
+
+  /// Random permutation of [0, n).
+  std::vector<std::size_t> permutation(std::size_t n);
+
+  /// Shuffle a sequence in place.
+  template <class Seq>
+  void shuffle(Seq& seq) {
+    std::shuffle(seq.begin(), seq.end(), engine_);
+  }
+
+  /// Weighted index sample: returns i with probability weights[i] / sum.
+  std::size_t discrete(const std::vector<double>& weights) {
+    std::discrete_distribution<std::size_t> d(weights.begin(), weights.end());
+    return d(engine_);
+  }
+
+  /// Access the underlying engine (for std distributions not wrapped here).
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  static std::uint64_t mix(std::uint64_t x) {
+    // splitmix64 finalizer: decorrelates adjacent seeds.
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+  }
+
+  std::mt19937_64 engine_;
+};
+
+}  // namespace aspe::rng

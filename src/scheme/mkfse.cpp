@@ -1,0 +1,43 @@
+#include "scheme/mkfse.hpp"
+
+#include "common/error.hpp"
+#include "text/bigram.hpp"
+
+namespace aspe::scheme {
+
+namespace {
+text::LshOptions lsh_options(const MkfseOptions& o) {
+  text::LshOptions l;
+  l.num_functions = o.lsh_functions;
+  l.bucket_width = o.lsh_bucket_width;
+  return l;
+}
+}  // namespace
+
+Mkfse::Mkfse(const MkfseOptions& options, rng::Rng& rng)
+    : d_(options.bloom_bits),
+      lsh_(text::kBigramDim, options.bloom_bits, lsh_options(options), rng),
+      camouflage_(options.bloom_bits, rng.engine()()),
+      encryptor_(options.bloom_bits, rng) {
+  require(d_ > 0, "Mkfse: bloom length must be positive");
+}
+
+BitVec Mkfse::build_index(const std::vector<std::string>& keywords) const {
+  std::vector<BitVec> bigrams;
+  bigrams.reserve(keywords.size());
+  for (const auto& k : keywords) bigrams.push_back(text::bigram_vector(k));
+  return camouflage_.apply(lsh_.encode(bigrams));
+}
+
+CipherPair Mkfse::encrypt_index(const BitVec& index, rng::Rng& rng) const {
+  require(index.size() == d_, "Mkfse::encrypt_index: bad dimension");
+  return encryptor_.encrypt_index(to_real(index), rng);
+}
+
+CipherPair Mkfse::encrypt_trapdoor(const BitVec& trapdoor,
+                                   rng::Rng& rng) const {
+  require(trapdoor.size() == d_, "Mkfse::encrypt_trapdoor: bad dimension");
+  return encryptor_.encrypt_trapdoor(to_real(trapdoor), rng);
+}
+
+}  // namespace aspe::scheme

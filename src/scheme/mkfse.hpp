@@ -1,0 +1,70 @@
+// MKFSE — privacy-preserving multi-keyword fuzzy search (Wang et al. [22]),
+// the "ASPE with camouflaging enhancement" of §V and the target of the SNMF
+// attack.
+//
+// Index / trapdoor generation (Eq. (15)):
+//
+//   I = f(LSH(P), K)     T = f(LSH(Q), K)
+//
+// Each keyword is turned into a bigram vector, hashed by l LSH functions
+// into a d-bit bloom filter, and the resulting binary vector is camouflaged
+// by a keyed pseudo-random permutation f. The camouflaged binary vectors are
+// then encrypted with the Scheme-2 apparatus, preserving I'^T T' = I^T T
+// (Eq. (16)). Crucially, the whole pipeline is *deterministic* given K — the
+// property the COA attack of §V exploits.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "rng/rng.hpp"
+#include "scheme/split_encryptor.hpp"
+#include "text/lsh.hpp"
+#include "text/prf.hpp"
+
+namespace aspe::scheme {
+
+struct MkfseOptions {
+  std::size_t bloom_bits = 500;   // d (index/trapdoor length)
+  std::size_t lsh_functions = 2;  // l
+  double lsh_bucket_width = 4.0;
+};
+
+class Mkfse {
+ public:
+  Mkfse(const MkfseOptions& options, rng::Rng& rng);
+
+  /// The camouflaged binary index I of a keyword set (deterministic).
+  [[nodiscard]] BitVec build_index(
+      const std::vector<std::string>& keywords) const;
+
+  /// The camouflaged binary trapdoor T of a query keyword set — same
+  /// pipeline as the index, as in Eq. (15).
+  [[nodiscard]] BitVec build_trapdoor(
+      const std::vector<std::string>& keywords) const {
+    return build_index(keywords);
+  }
+
+  [[nodiscard]] CipherPair encrypt_index(const BitVec& index,
+                                         rng::Rng& rng) const;
+  [[nodiscard]] CipherPair encrypt_trapdoor(const BitVec& trapdoor,
+                                            rng::Rng& rng) const;
+
+  /// Relevance score I'^T T' = I^T T (Eq. (16)).
+  [[nodiscard]] static double score(const CipherPair& index,
+                                    const CipherPair& trapdoor) {
+    return cipher_score(index, trapdoor);
+  }
+
+  [[nodiscard]] std::size_t bloom_bits() const { return d_; }
+  [[nodiscard]] const SplitEncryptor& encryptor() const { return encryptor_; }
+  [[nodiscard]] const text::LshFamily& lsh() const { return lsh_; }
+
+ private:
+  std::size_t d_;
+  text::LshFamily lsh_;
+  text::KeyedPermutation camouflage_;
+  SplitEncryptor encryptor_;
+};
+
+}  // namespace aspe::scheme

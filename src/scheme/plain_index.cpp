@@ -1,0 +1,52 @@
+#include "scheme/plain_index.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "linalg/vector_ops.hpp"
+
+namespace aspe::scheme {
+
+Vec make_index(const Vec& p) {
+  require(!p.empty(), "make_index: empty record");
+  Vec index = p;
+  index.push_back(-0.5 * linalg::norm_squared(p));
+  return index;
+}
+
+Vec make_trapdoor(const Vec& q, double r) {
+  require(!q.empty(), "make_trapdoor: empty query");
+  require(r != 0.0, "make_trapdoor: r must be non-zero");
+  Vec t(q.size() + 1);
+  for (std::size_t i = 0; i < q.size(); ++i) t[i] = r * q[i];
+  t[q.size()] = r;
+  return t;
+}
+
+Vec record_from_index(const Vec& index) {
+  require(index.size() >= 2, "record_from_index: index too short");
+  return Vec(index.begin(), index.end() - 1);
+}
+
+bool index_is_consistent(const Vec& index, double tol) {
+  if (index.size() < 2) return false;
+  const Vec p = record_from_index(index);
+  const double expected = -0.5 * linalg::norm_squared(p);
+  const double scale = std::max(1.0, std::abs(expected));
+  return std::abs(index.back() - expected) <= tol * scale;
+}
+
+RecoveredQuery query_from_trapdoor(const Vec& trapdoor) {
+  require(trapdoor.size() >= 2, "query_from_trapdoor: trapdoor too short");
+  const double r = trapdoor.back();
+  require(std::abs(r) > 1e-12, "query_from_trapdoor: degenerate trapdoor");
+  Vec q(trapdoor.begin(), trapdoor.end() - 1);
+  for (auto& x : q) x /= r;
+  return {std::move(q), r};
+}
+
+double plain_score(const Vec& index, const Vec& trapdoor) {
+  return linalg::dot(index, trapdoor);
+}
+
+}  // namespace aspe::scheme

@@ -1,0 +1,38 @@
+// Plaintext index / trapdoor construction (Eq. (1) of the paper).
+//
+//   I_i = (P_i^T, -0.5 ||P_i||^2)^T          (d+1 dimensional)
+//   T_j = r_j (Q_j^T, 1)^T                   (d+1 dimensional, r_j > 0)
+//
+// These are the "sensitive" intermediate representations: P_i and I_i are
+// derivable from each other, and Q_j is derivable from T_j — which is what
+// makes the LEP attack a complete plaintext disclosure.
+#pragma once
+
+#include "common/types.hpp"
+
+namespace aspe::scheme {
+
+/// I = (P, -0.5 ||P||^2).
+[[nodiscard]] Vec make_index(const Vec& p);
+
+/// T = r (Q, 1). Requires r != 0 (the scheme draws r > 0).
+[[nodiscard]] Vec make_trapdoor(const Vec& q, double r);
+
+/// Recover P from I (drops the quadratic coordinate).
+[[nodiscard]] Vec record_from_index(const Vec& index);
+
+/// Check that the last coordinate of `index` equals -0.5||P||^2 within tol.
+[[nodiscard]] bool index_is_consistent(const Vec& index, double tol = 1e-6);
+
+struct RecoveredQuery {
+  Vec q;
+  double r = 0.0;
+};
+
+/// Recover (Q, r) from T = r (Q, 1): r is the last coordinate.
+[[nodiscard]] RecoveredQuery query_from_trapdoor(const Vec& trapdoor);
+
+/// The preserved quantity of Eq. (3): I^T T = r (P.Q - 0.5||P||^2).
+[[nodiscard]] double plain_score(const Vec& index, const Vec& trapdoor);
+
+}  // namespace aspe::scheme

@@ -1,0 +1,66 @@
+#include "scheme/scheme1.hpp"
+
+#include "common/error.hpp"
+#include "linalg/random_matrix.hpp"
+#include "linalg/solve.hpp"
+#include "linalg/vector_ops.hpp"
+
+namespace aspe::scheme {
+
+AspeScheme1::AspeScheme1(std::size_t d, rng::Rng& rng) : d_(d) {
+  require(d > 0, "AspeScheme1: record dimension must be positive");
+  auto key = linalg::random_invertible_pair(d + 1, rng);
+  m_ = std::move(key.m);
+  m_inv_ = std::move(key.m_inv);
+  m_t_ = m_.transpose();
+  m_inv_t_ = m_inv_.transpose();
+}
+
+Vec AspeScheme1::encrypt_record(const Vec& p) const {
+  require(p.size() == d_, "AspeScheme1::encrypt_record: bad dimension");
+  return m_t_.apply(make_index(p));
+}
+
+Vec AspeScheme1::encrypt_query(const Vec& q, rng::Rng& rng) const {
+  return encrypt_query_with_r(q, rng.uniform(0.5, 2.0));
+}
+
+Vec AspeScheme1::encrypt_query_with_r(const Vec& q, double r) const {
+  require(q.size() == d_, "AspeScheme1::encrypt_query: bad dimension");
+  return m_inv_.apply(make_trapdoor(q, r));
+}
+
+double AspeScheme1::score(const Vec& enc_index, const Vec& enc_trapdoor) {
+  return linalg::dot(enc_index, enc_trapdoor);
+}
+
+Vec AspeScheme1::decrypt_index(const Vec& enc_index) const {
+  return m_inv_t_.apply(enc_index);
+}
+
+Vec AspeScheme1::decrypt_trapdoor(const Vec& enc_trapdoor) const {
+  return m_.apply(enc_trapdoor);
+}
+
+linalg::Matrix AspeScheme1::recover_key_from_known_pairs(
+    const std::vector<Vec>& plain_indexes,
+    const std::vector<Vec>& cipher_indexes) {
+  require(!plain_indexes.empty(), "recover_key: no pairs");
+  require(plain_indexes.size() == cipher_indexes.size(),
+          "recover_key: pair count mismatch");
+  const std::size_t n = plain_indexes[0].size();
+  require(plain_indexes.size() == n,
+          "recover_key: need exactly dim(I) independent pairs");
+  // I' = M^T I for each pair; stack as  A X = B  with A rows = plain
+  // indexes, B rows = cipher indexes, X = M.  (Row r of A times M equals
+  // row r of B because (M^T I)^T = I^T M.)
+  const auto a = linalg::Matrix::from_rows(plain_indexes);
+  const auto b = linalg::Matrix::from_rows(cipher_indexes);
+  linalg::LuDecomposition lu(a);
+  if (lu.is_singular()) {
+    throw NumericalError("recover_key: known indexes are linearly dependent");
+  }
+  return lu.solve(b);  // X = A^{-1} B = M
+}
+
+}  // namespace aspe::scheme

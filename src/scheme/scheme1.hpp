@@ -1,0 +1,54 @@
+// ASPE Scheme 1 — the basic scheme of Wong et al. [25] (Eq. (2)):
+//
+//   I' = M^T I      T' = M^{-1} T
+//
+// with a single secret invertible matrix M. Preserves I.T exactly, but
+// Theorem 4 of [25] already shows it falls to a KPA adversary with d+1
+// linearly independent known pairs (key recovery); implemented here as the
+// baseline the paper's Scheme-2 attack is compared against.
+#pragma once
+
+#include "linalg/matrix.hpp"
+#include "rng/rng.hpp"
+#include "scheme/plain_index.hpp"
+
+namespace aspe::scheme {
+
+class AspeScheme1 {
+ public:
+  /// Key for d-dimensional records (the key matrix is (d+1) x (d+1)).
+  AspeScheme1(std::size_t d, rng::Rng& rng);
+
+  /// Encrypt a record P (length d): returns M^T I with I = (P, -0.5||P||^2).
+  [[nodiscard]] Vec encrypt_record(const Vec& p) const;
+
+  /// Encrypt a query Q (length d) with a fresh random r > 0.
+  [[nodiscard]] Vec encrypt_query(const Vec& q, rng::Rng& rng) const;
+
+  /// Encrypt a query with a caller-chosen r (tests).
+  [[nodiscard]] Vec encrypt_query_with_r(const Vec& q, double r) const;
+
+  /// Ciphertext score I'^T T' = I^T T.
+  [[nodiscard]] static double score(const Vec& enc_index,
+                                    const Vec& enc_trapdoor);
+
+  /// Key-holder decryption.
+  [[nodiscard]] Vec decrypt_index(const Vec& enc_index) const;
+  [[nodiscard]] Vec decrypt_trapdoor(const Vec& enc_trapdoor) const;
+
+  /// Theorem 4 of [25]: recover the key matrix M from d+1 known (I, I')
+  /// pairs with linearly independent I (solves A M = B where A stacks the
+  /// plain indexes as rows and B the cipher indexes).
+  [[nodiscard]] static linalg::Matrix recover_key_from_known_pairs(
+      const std::vector<Vec>& plain_indexes,
+      const std::vector<Vec>& cipher_indexes);
+
+  [[nodiscard]] std::size_t record_dim() const { return d_; }
+  [[nodiscard]] const linalg::Matrix& key() const { return m_; }
+
+ private:
+  std::size_t d_;
+  linalg::Matrix m_, m_inv_, m_t_, m_inv_t_;
+};
+
+}  // namespace aspe::scheme

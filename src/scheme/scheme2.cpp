@@ -1,0 +1,63 @@
+#include "scheme/scheme2.hpp"
+
+#include "common/error.hpp"
+#include "linalg/vector_ops.hpp"
+
+namespace aspe::scheme {
+
+AspeScheme2::AspeScheme2(const Scheme2Options& options, rng::Rng& rng)
+    : d_(options.record_dim),
+      w_(options.padding_dims),
+      encryptor_(options.record_dim + 1 + options.padding_dims, rng) {
+  require(d_ > 0, "AspeScheme2: record dimension must be positive");
+  // beta entries bounded away from zero so pad_index can always solve the
+  // orthogonality constraint for the last coordinate.
+  beta_.resize(w_);
+  for (auto& x : beta_) {
+    x = rng.uniform(0.5, 1.5) * (rng.bernoulli(0.5) ? 1.0 : -1.0);
+  }
+}
+
+Vec AspeScheme2::pad_index(Vec index, rng::Rng& rng) const {
+  if (w_ == 0) return index;
+  // Random u with beta.u = 0: draw w-1 coordinates freely, solve the last.
+  Vec u(w_, 0.0);
+  if (w_ == 1) {
+    u[0] = 0.0;
+  } else {
+    double acc = 0.0;
+    for (std::size_t k = 0; k + 1 < w_; ++k) {
+      u[k] = rng.uniform(-1.0, 1.0);
+      acc += beta_[k] * u[k];
+    }
+    u[w_ - 1] = -acc / beta_[w_ - 1];
+  }
+  index.insert(index.end(), u.begin(), u.end());
+  return index;
+}
+
+Vec AspeScheme2::pad_trapdoor(Vec trapdoor, rng::Rng& rng) const {
+  if (w_ == 0) return trapdoor;
+  const double s = rng.uniform(-1.0, 1.0);
+  for (std::size_t k = 0; k < w_; ++k) trapdoor.push_back(s * beta_[k]);
+  return trapdoor;
+}
+
+CipherPair AspeScheme2::encrypt_record(const Vec& p, rng::Rng& rng) const {
+  require(p.size() == d_, "AspeScheme2::encrypt_record: bad dimension");
+  return encryptor_.encrypt_index(pad_index(make_index(p), rng), rng);
+}
+
+CipherPair AspeScheme2::encrypt_query(const Vec& q, rng::Rng& rng) const {
+  return encrypt_query_with_r(q, rng.uniform(0.5, 2.0), rng);
+}
+
+CipherPair AspeScheme2::encrypt_query_with_r(const Vec& q, double r,
+                                             rng::Rng& rng) const {
+  require(q.size() == d_, "AspeScheme2::encrypt_query: bad dimension");
+  require(r > 0.0, "AspeScheme2::encrypt_query: r must be positive");
+  return encryptor_.encrypt_trapdoor(pad_trapdoor(make_trapdoor(q, r), rng),
+                                     rng);
+}
+
+}  // namespace aspe::scheme

@@ -1,0 +1,75 @@
+// ASPE Scheme 2 — the enhanced scheme of Wong et al. [25], the paper's
+// "ASPE" and the target of the LEP attack (§III).
+//
+// Two tricks on top of Scheme 1:
+//  1. The (d+1)-dimensional index/trapdoor is padded with w artificial
+//     attributes whose inner product is always 0. Construction here: the key
+//     holds a secret vector beta (length w); each index is padded with a
+//     random u with beta.u = 0, each trapdoor with s*beta for a fresh random
+//     scalar s — so the padded contribution is s*(beta.u) = 0 for every
+//     (index, trapdoor) pair, as the paper requires.
+//  2. The padded vectors are share-split with a secret bit string S and
+//     encrypted with two matrices M1, M2 (SplitEncryptor).
+//
+// Theorem 6 of [25] claimed this resists a level-3 (KPA) attack; §III of the
+// paper refutes that claim with Algorithm 1 (core/lep.hpp).
+#pragma once
+
+#include <cstddef>
+
+#include "rng/rng.hpp"
+#include "scheme/plain_index.hpp"
+#include "scheme/split_encryptor.hpp"
+
+namespace aspe::scheme {
+
+struct Scheme2Options {
+  std::size_t record_dim = 0;    // d
+  std::size_t padding_dims = 4;  // w
+};
+
+class AspeScheme2 {
+ public:
+  AspeScheme2(const Scheme2Options& options, rng::Rng& rng);
+
+  /// Encrypt a record P (length d).
+  [[nodiscard]] CipherPair encrypt_record(const Vec& p, rng::Rng& rng) const;
+
+  /// Encrypt a query Q (length d) with a fresh random r > 0.
+  [[nodiscard]] CipherPair encrypt_query(const Vec& q, rng::Rng& rng) const;
+
+  /// Encrypt a query with caller-chosen r (tests).
+  [[nodiscard]] CipherPair encrypt_query_with_r(const Vec& q, double r,
+                                                rng::Rng& rng) const;
+
+  /// The preserved quantity (Eq. (7)): r (P.Q - 0.5||P||^2).
+  [[nodiscard]] static double score(const CipherPair& index,
+                                    const CipherPair& trapdoor) {
+    return cipher_score(index, trapdoor);
+  }
+
+  /// The (d+1)-dimensional plaintext index of P — what a KPA adversary can
+  /// derive from a leaked plaintext record.
+  [[nodiscard]] static Vec plaintext_index(const Vec& p) {
+    return make_index(p);
+  }
+
+  [[nodiscard]] std::size_t record_dim() const { return d_; }
+  [[nodiscard]] std::size_t padding_dims() const { return w_; }
+  /// Total encrypted dimension d' = d + 1 + w.
+  [[nodiscard]] std::size_t cipher_dim() const { return encryptor_.dim(); }
+
+  /// Key-holder access (tests / trusted client).
+  [[nodiscard]] const SplitEncryptor& encryptor() const { return encryptor_; }
+
+ private:
+  [[nodiscard]] Vec pad_index(Vec index, rng::Rng& rng) const;
+  [[nodiscard]] Vec pad_trapdoor(Vec trapdoor, rng::Rng& rng) const;
+
+  std::size_t d_;
+  std::size_t w_;
+  Vec beta_;  // secret padding direction (length w)
+  SplitEncryptor encryptor_;
+};
+
+}  // namespace aspe::scheme

@@ -1,0 +1,111 @@
+#include "scheme/split_encryptor.hpp"
+
+#include "common/error.hpp"
+#include "linalg/lu.hpp"
+#include "linalg/random_matrix.hpp"
+#include "linalg/vector_ops.hpp"
+
+namespace aspe::scheme {
+
+double cipher_score(const CipherPair& index, const CipherPair& trapdoor) {
+  return linalg::dot(index.a, trapdoor.a) + linalg::dot(index.b, trapdoor.b);
+}
+
+SplitEncryptor::SplitEncryptor(std::size_t dim, rng::Rng& rng) {
+  require(dim > 0, "SplitEncryptor: dimension must be positive");
+  split_ = rng.binary_bernoulli(dim, 0.5);
+  auto k1 = linalg::random_invertible_pair(dim, rng);
+  auto k2 = linalg::random_invertible_pair(dim, rng);
+  m1_ = std::move(k1.m);
+  m1_inv_ = std::move(k1.m_inv);
+  m2_ = std::move(k2.m);
+  m2_inv_ = std::move(k2.m_inv);
+  m1_t_ = m1_.transpose();
+  m2_t_ = m2_.transpose();
+  m1_inv_t_ = m1_inv_.transpose();
+  m2_inv_t_ = m2_inv_.transpose();
+}
+
+SplitEncryptor::SplitEncryptor(BitVec split, linalg::Matrix m1,
+                               linalg::Matrix m2)
+    : split_(std::move(split)), m1_(std::move(m1)), m2_(std::move(m2)) {
+  const std::size_t n = split_.size();
+  require(n > 0, "SplitEncryptor: empty split string");
+  require(m1_.rows() == n && m1_.cols() == n && m2_.rows() == n &&
+              m2_.cols() == n,
+          "SplitEncryptor: key matrix shape must match the split string");
+  m1_inv_ = linalg::LuDecomposition(m1_).inverse();  // throws when singular
+  m2_inv_ = linalg::LuDecomposition(m2_).inverse();
+  m1_t_ = m1_.transpose();
+  m2_t_ = m2_.transpose();
+  m1_inv_t_ = m1_inv_.transpose();
+  m2_inv_t_ = m2_inv_.transpose();
+}
+
+CipherPair SplitEncryptor::encrypt_index(const Vec& index,
+                                         rng::Rng& rng) const {
+  require(index.size() == dim(), "SplitEncryptor::encrypt_index: bad length");
+  Vec a(dim()), b(dim());
+  for (std::size_t k = 0; k < dim(); ++k) {
+    if (split_[k] == 0) {
+      // duplicate
+      a[k] = index[k];
+      b[k] = index[k];
+    } else {
+      // random split: a + b = index[k], share magnitude tied to the value's
+      // own scale so ciphertexts stay numerically tame.
+      const double spread = std::abs(index[k]) + 1.0;
+      const double s = rng.uniform(-spread, spread);
+      a[k] = s;
+      b[k] = index[k] - s;
+    }
+  }
+  return {m1_t_.apply(a), m2_t_.apply(b)};
+}
+
+CipherPair SplitEncryptor::encrypt_trapdoor(const Vec& trapdoor,
+                                            rng::Rng& rng) const {
+  require(trapdoor.size() == dim(),
+          "SplitEncryptor::encrypt_trapdoor: bad length");
+  Vec a(dim()), b(dim());
+  for (std::size_t k = 0; k < dim(); ++k) {
+    if (split_[k] == 1) {
+      a[k] = trapdoor[k];
+      b[k] = trapdoor[k];
+    } else {
+      const double spread = std::abs(trapdoor[k]) + 1.0;
+      const double s = rng.uniform(-spread, spread);
+      a[k] = s;
+      b[k] = trapdoor[k] - s;
+    }
+  }
+  return {m1_inv_.apply(a), m2_inv_.apply(b)};
+}
+
+Vec SplitEncryptor::decrypt_index(const CipherPair& cipher) const {
+  require(cipher.a.size() == dim() && cipher.b.size() == dim(),
+          "SplitEncryptor::decrypt_index: bad ciphertext");
+  // Ia = (M1^T)^{-1} I'a, Ib = (M2^T)^{-1} I'b.
+  const Vec a = m1_inv_t_.apply(cipher.a);
+  const Vec b = m2_inv_t_.apply(cipher.b);
+  Vec index(dim());
+  for (std::size_t k = 0; k < dim(); ++k) {
+    index[k] = split_[k] == 0 ? a[k] : a[k] + b[k];
+  }
+  return index;
+}
+
+Vec SplitEncryptor::decrypt_trapdoor(const CipherPair& cipher) const {
+  require(cipher.a.size() == dim() && cipher.b.size() == dim(),
+          "SplitEncryptor::decrypt_trapdoor: bad ciphertext");
+  // Ta = M1 T'a, Tb = M2 T'b.
+  const Vec a = m1_.apply(cipher.a);
+  const Vec b = m2_.apply(cipher.b);
+  Vec trapdoor(dim());
+  for (std::size_t k = 0; k < dim(); ++k) {
+    trapdoor[k] = split_[k] == 1 ? a[k] : a[k] + b[k];
+  }
+  return trapdoor;
+}
+
+}  // namespace aspe::scheme

@@ -1,0 +1,38 @@
+#include "sse/adversary_view.hpp"
+
+#include "common/error.hpp"
+
+namespace aspe::sse {
+
+CoaView observe(const CloudServer& server) {
+  return CoaView{server.indexes(), server.observed_trapdoors()};
+}
+
+KpaView leak_known_records(const SecureKnnSystem& system,
+                           const std::vector<std::size_t>& ids) {
+  KpaView view;
+  view.observed = observe(system.server());
+  view.known_pairs.reserve(ids.size());
+  for (auto id : ids) {
+    require(id < system.records().size(), "leak_known_records: bad record id");
+    view.known_pairs.push_back(
+        {scheme::AspeScheme2::plaintext_index(system.records()[id]),
+         system.server().indexes()[id]});
+  }
+  return view;
+}
+
+MrseKpaView leak_known_records(const RankedSearchSystem& system,
+                               const std::vector<std::size_t>& ids) {
+  MrseKpaView view;
+  view.observed = observe(system.server());
+  view.known_pairs.reserve(ids.size());
+  for (auto id : ids) {
+    require(id < system.records().size(), "leak_known_records: bad record id");
+    view.known_pairs.push_back(
+        {system.records()[id], system.server().indexes()[id]});
+  }
+  return view;
+}
+
+}  // namespace aspe::sse

@@ -1,0 +1,62 @@
+// What each adversary model can see (§I.A of the paper).
+//
+//   COA — ciphertexts only: every stored index and every observed trapdoor.
+//   KPA — COA plus plaintext-ciphertext pairs for some records.
+//
+// These structs are the *only* inputs the attack algorithms in core/ accept;
+// the type system thereby documents which threat model each attack needs.
+#pragma once
+
+#include <vector>
+
+#include "scheme/split_encryptor.hpp"
+#include "sse/system.hpp"
+
+namespace aspe::sse {
+
+/// Ciphertext-only view (COA).
+struct CoaView {
+  std::vector<scheme::CipherPair> cipher_indexes;
+  std::vector<scheme::CipherPair> cipher_trapdoors;
+};
+
+/// A leaked plaintext-ciphertext pair for a real-valued record: the
+/// adversary knows P_i, hence I_i = (P_i, -0.5||P_i||^2), and observes I'_i.
+struct KnownIndexPair {
+  Vec plain_index;               // I_i (d+1 dimensional)
+  scheme::CipherPair cipher;     // I'_i
+};
+
+/// A leaked pair for a binary record (MRSE): the adversary knows the binary
+/// P_i and observes I'_i (the noisy index itself stays hidden).
+struct KnownBinaryPair {
+  BitVec record;                 // P_i
+  scheme::CipherPair cipher;     // I'_i
+};
+
+/// Known-plaintext view (KPA) against Scheme 2.
+struct KpaView {
+  std::vector<KnownIndexPair> known_pairs;
+  CoaView observed;
+};
+
+/// Known-plaintext view (KPA) against MRSE.
+struct MrseKpaView {
+  std::vector<KnownBinaryPair> known_pairs;
+  CoaView observed;
+};
+
+/// Everything a curious server has seen.
+[[nodiscard]] CoaView observe(const CloudServer& server);
+
+/// Simulate the KPA leak against a SecureKnnSystem: the adversary acquires
+/// the plaintext of the records with the given ids (e.g. "someone joined the
+/// club and a new ciphertext appeared").
+[[nodiscard]] KpaView leak_known_records(const SecureKnnSystem& system,
+                                         const std::vector<std::size_t>& ids);
+
+/// Simulate the KPA leak against a RankedSearchSystem (MRSE).
+[[nodiscard]] MrseKpaView leak_known_records(const RankedSearchSystem& system,
+                                             const std::vector<std::size_t>& ids);
+
+}  // namespace aspe::sse

@@ -1,0 +1,131 @@
+// The SSE system of Figure 1: data owner, cloud server, authorized users.
+//
+// The cloud server is honest-but-curious: it executes queries faithfully but
+// records everything it sees (ciphertext indexes and trapdoors) — which is
+// exactly the adversary's vantage point (sse/adversary_view.hpp).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "scheme/mkfse.hpp"
+#include "scheme/mrse.hpp"
+#include "scheme/scheme2.hpp"
+
+namespace aspe::sse {
+
+/// Honest-but-curious ciphertext store and query processor.
+class CloudServer {
+ public:
+  /// Store an encrypted index; returns the record id.
+  std::size_t upload_index(scheme::CipherPair index);
+
+  /// Score every stored record against a trapdoor (Eq. (6)).
+  [[nodiscard]] Vec scores(const scheme::CipherPair& trapdoor) const;
+
+  /// Ids of the k records with the highest score, descending. This is the
+  /// server-side ranking of Theorem 3 in [25] (for Scheme 2, higher score
+  /// means nearer to the query point; for MRSE/MKFSE, higher relevance).
+  [[nodiscard]] std::vector<std::size_t> top_k(
+      const scheme::CipherPair& trapdoor, std::size_t k) const;
+
+  /// Process a user query: record the trapdoor (the curious part), then
+  /// return the top-k ids.
+  std::vector<std::size_t> process_query(const scheme::CipherPair& trapdoor,
+                                         std::size_t k);
+
+  [[nodiscard]] const std::vector<scheme::CipherPair>& indexes() const {
+    return indexes_;
+  }
+  [[nodiscard]] const std::vector<scheme::CipherPair>& observed_trapdoors()
+      const {
+    return trapdoors_;
+  }
+  [[nodiscard]] std::size_t num_records() const { return indexes_.size(); }
+
+ private:
+  std::vector<scheme::CipherPair> indexes_;
+  std::vector<scheme::CipherPair> trapdoors_;
+};
+
+/// Secure kNN over real-valued points with ASPE Scheme 2 (the Wong et al.
+/// application). Bundles owner, server and client roles of Figure 1.
+class SecureKnnSystem {
+ public:
+  SecureKnnSystem(const scheme::Scheme2Options& options, std::uint64_t seed);
+
+  /// Data-owner side: encrypt and upload records.
+  void upload_records(const std::vector<Vec>& records);
+
+  /// Authorized-user side: encrypt the query, send it, get top-k nearest
+  /// record ids (by Euclidean distance, computed on ciphertexts).
+  std::vector<std::size_t> knn_query(const Vec& q, std::size_t k);
+
+  /// Ground-truth kNN on plaintext (trusted side, for verification).
+  [[nodiscard]] std::vector<std::size_t> plaintext_knn(const Vec& q,
+                                                       std::size_t k) const;
+
+  [[nodiscard]] const CloudServer& server() const { return server_; }
+  [[nodiscard]] CloudServer& server() { return server_; }
+  [[nodiscard]] const scheme::AspeScheme2& scheme() const { return scheme_; }
+  [[nodiscard]] const std::vector<Vec>& records() const { return records_; }
+
+ private:
+  rng::Rng rng_;
+  scheme::AspeScheme2 scheme_;
+  CloudServer server_;
+  std::vector<Vec> records_;
+};
+
+/// Multi-keyword ranked search with MRSE.
+class RankedSearchSystem {
+ public:
+  RankedSearchSystem(const scheme::MrseOptions& options, std::uint64_t seed);
+
+  void upload_records(const std::vector<BitVec>& records);
+  std::vector<std::size_t> ranked_query(const BitVec& q, std::size_t k);
+
+  /// True (noise-free) top-k by inner-product similarity.
+  [[nodiscard]] std::vector<std::size_t> plaintext_top_k(const BitVec& q,
+                                                         std::size_t k) const;
+
+  [[nodiscard]] const CloudServer& server() const { return server_; }
+  [[nodiscard]] const scheme::Mrse& scheme() const { return scheme_; }
+  [[nodiscard]] const std::vector<BitVec>& records() const { return records_; }
+
+ private:
+  rng::Rng rng_;
+  scheme::Mrse scheme_;
+  CloudServer server_;
+  std::vector<BitVec> records_;
+};
+
+/// Multi-keyword fuzzy search with MKFSE over keyword documents.
+class FuzzySearchSystem {
+ public:
+  FuzzySearchSystem(const scheme::MkfseOptions& options, std::uint64_t seed);
+
+  void upload_documents(const std::vector<std::vector<std::string>>& docs);
+  std::vector<std::size_t> fuzzy_query(const std::vector<std::string>& keywords,
+                                       std::size_t k);
+
+  [[nodiscard]] const CloudServer& server() const { return server_; }
+  [[nodiscard]] const scheme::Mkfse& scheme() const { return scheme_; }
+  /// The camouflaged binary indexes (trusted side ground truth for the
+  /// attack evaluation).
+  [[nodiscard]] const std::vector<BitVec>& plaintext_indexes() const {
+    return plain_indexes_;
+  }
+  [[nodiscard]] const std::vector<BitVec>& plaintext_trapdoors() const {
+    return plain_trapdoors_;
+  }
+
+ private:
+  rng::Rng rng_;
+  scheme::Mkfse scheme_;
+  CloudServer server_;
+  std::vector<BitVec> plain_indexes_;
+  std::vector<BitVec> plain_trapdoors_;
+};
+
+}  // namespace aspe::sse

@@ -1,0 +1,42 @@
+#include "text/bigram.hpp"
+
+#include <cctype>
+
+#include "common/error.hpp"
+
+namespace aspe::text {
+
+BitVec bigram_vector(const std::string& keyword) {
+  BitVec v(kBigramDim, 0);
+  char prev = 0;
+  for (char raw : keyword) {
+    const auto uc = static_cast<unsigned char>(raw);
+    if (std::isalpha(uc) == 0) {
+      prev = 0;
+      continue;
+    }
+    const char c = static_cast<char>(std::tolower(uc));
+    if (prev != 0) {
+      const std::size_t idx = static_cast<std::size_t>(prev - 'a') * 26 +
+                              static_cast<std::size_t>(c - 'a');
+      v[idx] = 1;
+    }
+    prev = c;
+  }
+  return v;
+}
+
+double bigram_similarity(const BitVec& a, const BitVec& b) {
+  require(a.size() == b.size(), "bigram_similarity: length mismatch");
+  std::size_t inter = 0;
+  std::size_t uni = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const bool ai = a[i] != 0;
+    const bool bi = b[i] != 0;
+    inter += (ai && bi);
+    uni += (ai || bi);
+  }
+  return uni == 0 ? 1.0 : static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+}  // namespace aspe::text

@@ -1,0 +1,25 @@
+// Bigram vector encoding of keywords (the MKFSE fuzzy-matching primitive).
+//
+// MKFSE [22] transforms each keyword into a binary "bigram set" vector over
+// the 26x26 letter-pair alphabet so that keywords within small edit distance
+// have nearby vectors; LSH then maps nearby vectors to the same bloom-filter
+// positions.
+#pragma once
+
+#include <string>
+
+#include "common/types.hpp"
+
+namespace aspe::text {
+
+/// Dimension of the bigram space (26 letters squared).
+inline constexpr std::size_t kBigramDim = 26 * 26;
+
+/// Binary bigram-set vector of a keyword. Non-letter characters are ignored;
+/// uppercase folds to lowercase. "network" -> {ne, et, tw, wo, or, rk}.
+[[nodiscard]] BitVec bigram_vector(const std::string& keyword);
+
+/// Jaccard similarity of two bigram vectors (1 when both empty).
+[[nodiscard]] double bigram_similarity(const BitVec& a, const BitVec& b);
+
+}  // namespace aspe::text

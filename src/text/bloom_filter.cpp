@@ -1,0 +1,72 @@
+#include "text/bloom_filter.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace aspe::text {
+
+namespace {
+// FNV-1a, then a splitmix-style avalanche keyed by (seed, which).
+std::uint64_t hash_string(const std::string& s, std::uint64_t key) {
+  std::uint64_t h = 1469598103934665603ULL ^ key;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdULL;
+  h ^= h >> 33;
+  h *= 0xc4ceb9fe1a85ec53ULL;
+  h ^= h >> 33;
+  return h;
+}
+}  // namespace
+
+BloomFilter::BloomFilter(std::size_t bits, std::size_t num_hashes,
+                         std::uint64_t seed)
+    : bits_(bits, 0), num_hashes_(num_hashes), seed_(seed) {
+  require(bits > 0, "BloomFilter: bit length must be positive");
+  require(num_hashes > 0, "BloomFilter: need at least one hash function");
+}
+
+std::size_t BloomFilter::hash(const std::string& item, std::size_t which) const {
+  // Kirsch-Mitzenmacher double hashing: h_i = h1 + i * h2.
+  const std::uint64_t h1 = hash_string(item, seed_);
+  const std::uint64_t h2 = hash_string(item, seed_ ^ 0x5851f42d4c957f2dULL) | 1;
+  return static_cast<std::size_t>((h1 + which * h2) % bits_.size());
+}
+
+void BloomFilter::insert(const std::string& item) {
+  for (std::size_t i = 0; i < num_hashes_; ++i) bits_[hash(item, i)] = 1;
+}
+
+bool BloomFilter::possibly_contains(const std::string& item) const {
+  for (std::size_t i = 0; i < num_hashes_; ++i) {
+    if (bits_[hash(item, i)] == 0) return false;
+  }
+  return true;
+}
+
+std::vector<std::size_t> BloomFilter::positions(const std::string& item) const {
+  std::vector<std::size_t> pos;
+  pos.reserve(num_hashes_);
+  for (std::size_t i = 0; i < num_hashes_; ++i) pos.push_back(hash(item, i));
+  std::sort(pos.begin(), pos.end());
+  pos.erase(std::unique(pos.begin(), pos.end()), pos.end());
+  return pos;
+}
+
+std::size_t BloomFilter::ones() const { return popcount(bits_); }
+
+void BloomFilter::clear() { std::fill(bits_.begin(), bits_.end(), 0); }
+
+BitVec encode_keywords(const std::vector<std::string>& keywords,
+                       std::size_t bits, std::size_t num_hashes,
+                       std::uint64_t seed) {
+  BloomFilter bf(bits, num_hashes, seed);
+  for (const auto& k : keywords) bf.insert(k);
+  return bf.bits();
+}
+
+}  // namespace aspe::text

@@ -1,0 +1,51 @@
+// Bloom filter over strings (the index representation of §VI's Enron
+// experiments, following Goh [9] and Wang et al. [22]).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace aspe::text {
+
+class BloomFilter {
+ public:
+  /// `bits` positions, `num_hashes` independent hash functions derived from
+  /// `seed`. The same (bits, num_hashes, seed) triple reproduces the same
+  /// mapping — the generation is deterministic, which is exactly the property
+  /// §V's statistical attack exploits.
+  BloomFilter(std::size_t bits, std::size_t num_hashes, std::uint64_t seed);
+
+  void insert(const std::string& item);
+
+  /// True when every position of `item` is set (may be a false positive).
+  [[nodiscard]] bool possibly_contains(const std::string& item) const;
+
+  /// The h positions an item maps to (deduplicated, sorted).
+  [[nodiscard]] std::vector<std::size_t> positions(
+      const std::string& item) const;
+
+  [[nodiscard]] std::size_t size() const { return bits_.size(); }
+  [[nodiscard]] std::size_t num_hashes() const { return num_hashes_; }
+  [[nodiscard]] const BitVec& bits() const { return bits_; }
+  [[nodiscard]] std::size_t ones() const;
+
+  void clear();
+
+ private:
+  [[nodiscard]] std::size_t hash(const std::string& item,
+                                 std::size_t which) const;
+
+  BitVec bits_;
+  std::size_t num_hashes_;
+  std::uint64_t seed_;
+};
+
+/// Encode a keyword set into a length-`bits` bloom-filter vector.
+[[nodiscard]] BitVec encode_keywords(const std::vector<std::string>& keywords,
+                                     std::size_t bits, std::size_t num_hashes,
+                                     std::uint64_t seed);
+
+}  // namespace aspe::text

@@ -1,0 +1,92 @@
+#include "text/lsh.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace aspe::text {
+
+namespace {
+std::uint64_t mix(std::uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+}  // namespace
+
+LshFamily::LshFamily(std::size_t input_dim, std::size_t output_range,
+                     const LshOptions& options, rng::Rng& rng)
+    : input_dim_(input_dim),
+      output_range_(output_range),
+      family_(options.family),
+      bucket_width_(options.bucket_width),
+      num_functions_(options.num_functions) {
+  require(input_dim > 0, "LshFamily: input dimension must be positive");
+  require(output_range > 0, "LshFamily: output range must be positive");
+  require(options.num_functions > 0, "LshFamily: need at least one function");
+  if (family_ == LshFamilyKind::PStable) {
+    require(options.bucket_width > 0.0, "LshFamily: bucket width must be > 0");
+    a_.reserve(num_functions_);
+    b_.reserve(num_functions_);
+    for (std::size_t i = 0; i < num_functions_; ++i) {
+      a_.push_back(rng.normal_vec(input_dim, 0.0, 1.0));
+      b_.push_back(rng.uniform(0.0, bucket_width_));
+    }
+  } else {
+    minhash_key_.reserve(num_functions_);
+    for (std::size_t i = 0; i < num_functions_; ++i) {
+      minhash_key_.push_back(rng.engine()());
+    }
+  }
+}
+
+std::size_t LshFamily::position(const BitVec& v, std::size_t which) const {
+  require(v.size() == input_dim_, "LshFamily::position: dimension mismatch");
+  require(which < num_functions_, "LshFamily::position: no such function");
+  if (family_ == LshFamilyKind::PStable) {
+    double proj = b_[which];
+    const Vec& a = a_[which];
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      if (v[i] != 0) proj += a[i];
+    }
+    const auto bucket =
+        static_cast<long long>(std::floor(proj / bucket_width_));
+    // Spread the (signed) bucket id across the output range.
+    const auto x = mix(static_cast<std::uint64_t>(bucket) ^
+                       (0x9e3779b97f4a7c15ULL * (which + 1)));
+    return static_cast<std::size_t>(x % output_range_);
+  }
+  // MinHash: the minimum keyed hash over the set bits. Two sets collide with
+  // probability exactly their Jaccard similarity. An all-zero vector gets a
+  // sentinel bucket.
+  std::uint64_t best = std::numeric_limits<std::uint64_t>::max();
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (v[i] == 0) continue;
+    best = std::min(best, mix(minhash_key_[which] ^ (i * 0x9e3779b97f4a7c15ULL)));
+  }
+  return static_cast<std::size_t>(mix(best ^ minhash_key_[which]) %
+                                  output_range_);
+}
+
+std::vector<std::size_t> LshFamily::positions(const BitVec& v) const {
+  std::vector<std::size_t> pos;
+  pos.reserve(num_functions_);
+  for (std::size_t i = 0; i < num_functions_; ++i) {
+    pos.push_back(position(v, i));
+  }
+  return pos;
+}
+
+BitVec LshFamily::encode(const std::vector<BitVec>& bigram_vectors) const {
+  BitVec out(output_range_, 0);
+  for (const auto& v : bigram_vectors) {
+    for (auto p : positions(v)) out[p] = 1;
+  }
+  return out;
+}
+
+}  // namespace aspe::text

@@ -1,0 +1,64 @@
+// Locality-sensitive hashing over bigram vectors (the MKFSE construction).
+//
+// MKFSE [22] inserts each keyword's bigram vector into a bloom filter through
+// l LSH functions, so that keywords within small edit distance collide in
+// most positions (fuzzy matching). Two families are provided (cf. the
+// family comparison in Pauleve et al. [17], the paper's LSH reference):
+//
+//  * MinHash (default): collision probability equals the Jaccard similarity
+//    of the bigram *sets* — typo'd words (Jaccard ~0.6+) collide often while
+//    unrelated words essentially never do. Best suited to binary vectors.
+//  * PStable: the 2-stable (Gaussian) family h(x) = floor((a.x + b) / w).
+//    Kept as an ablation; on bigram sets its typo/unrelated gap is narrow.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+#include "rng/rng.hpp"
+
+namespace aspe::text {
+
+enum class LshFamilyKind { MinHash, PStable };
+
+struct LshOptions {
+  std::size_t num_functions = 2;  // the paper's l
+  LshFamilyKind family = LshFamilyKind::MinHash;
+  double bucket_width = 4.0;  // PStable only: the family's w parameter
+};
+
+class LshFamily {
+ public:
+  /// Family of `options.num_functions` p-stable hash functions on
+  /// `input_dim`-dimensional vectors, each mapping into [0, output_range).
+  LshFamily(std::size_t input_dim, std::size_t output_range,
+            const LshOptions& options, rng::Rng& rng);
+
+  /// Position of `v` under function `which`.
+  [[nodiscard]] std::size_t position(const BitVec& v, std::size_t which) const;
+
+  /// All l positions of `v` (duplicates possible, as in a bloom filter).
+  [[nodiscard]] std::vector<std::size_t> positions(const BitVec& v) const;
+
+  /// Encode a set of bigram vectors into a length-`output_range` binary
+  /// vector by setting every LSH position of every vector (the MKFSE index /
+  /// trapdoor before camouflage).
+  [[nodiscard]] BitVec encode(const std::vector<BitVec>& bigram_vectors) const;
+
+  [[nodiscard]] std::size_t num_functions() const { return num_functions_; }
+  [[nodiscard]] std::size_t input_dim() const { return input_dim_; }
+  [[nodiscard]] std::size_t output_range() const { return output_range_; }
+
+ private:
+  std::size_t input_dim_;
+  std::size_t output_range_;
+  LshFamilyKind family_;
+  double bucket_width_;
+  std::size_t num_functions_;
+  std::vector<Vec> a_;                      // PStable: Gaussian projections
+  Vec b_;                                   // PStable: offsets in [0, w)
+  std::vector<std::uint64_t> minhash_key_;  // MinHash: per-function key
+};
+
+}  // namespace aspe::text

@@ -1,0 +1,30 @@
+#include "text/prf.hpp"
+
+#include "common/error.hpp"
+#include "rng/rng.hpp"
+
+namespace aspe::text {
+
+KeyedPermutation::KeyedPermutation(std::size_t dim, std::uint64_t key) {
+  require(dim > 0, "KeyedPermutation: dimension must be positive");
+  rng::Rng rng(key ^ 0xa076bc9156befbadULL);
+  forward_ = rng.permutation(dim);
+  inverse_.resize(dim);
+  for (std::size_t i = 0; i < dim; ++i) inverse_[forward_[i]] = i;
+}
+
+BitVec KeyedPermutation::apply(const BitVec& v) const {
+  require(v.size() == dim(), "KeyedPermutation::apply: dimension mismatch");
+  BitVec out(v.size());
+  for (std::size_t i = 0; i < v.size(); ++i) out[forward_[i]] = v[i];
+  return out;
+}
+
+BitVec KeyedPermutation::invert(const BitVec& v) const {
+  require(v.size() == dim(), "KeyedPermutation::invert: dimension mismatch");
+  BitVec out(v.size());
+  for (std::size_t i = 0; i < v.size(); ++i) out[inverse_[i]] = v[i];
+  return out;
+}
+
+}  // namespace aspe::text

@@ -1,0 +1,37 @@
+// Keyed pseudo-random permutation — the MKFSE camouflage layer.
+//
+// The paper models MKFSE's pseudo-random function f as "permuting the
+// positions of the 0/1 string with the permutation determined by the secret
+// key K" (§V.A). The permutation is deterministic given K, which is exactly
+// the weakness §V exploits.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace aspe::text {
+
+class KeyedPermutation {
+ public:
+  /// Permutation of [0, dim) derived from the secret key.
+  KeyedPermutation(std::size_t dim, std::uint64_t key);
+
+  /// Apply: output[perm[i]] = input[i].
+  [[nodiscard]] BitVec apply(const BitVec& v) const;
+
+  /// Invert the permutation (requires the key holder).
+  [[nodiscard]] BitVec invert(const BitVec& v) const;
+
+  [[nodiscard]] std::size_t dim() const { return forward_.size(); }
+  [[nodiscard]] const std::vector<std::size_t>& forward() const {
+    return forward_;
+  }
+
+ private:
+  std::vector<std::size_t> forward_;
+  std::vector<std::size_t> inverse_;
+};
+
+}  // namespace aspe::text

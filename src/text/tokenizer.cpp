@@ -1,0 +1,57 @@
+#include "text/tokenizer.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <unordered_set>
+
+namespace aspe::text {
+
+namespace {
+const std::unordered_set<std::string>& stopwords() {
+  static const std::unordered_set<std::string> kStopwords = {
+      "a",    "an",   "and",  "are",  "as",   "at",   "be",   "but",
+      "by",   "for",  "from", "has",  "have", "he",   "her",  "his",
+      "i",    "if",   "in",   "is",   "it",   "its",  "not",  "of",
+      "on",   "or",   "she",  "that", "the",  "their", "they", "this",
+      "to",   "was",  "we",   "were", "will", "with", "you",  "your"};
+  return kStopwords;
+}
+}  // namespace
+
+bool is_stopword(const std::string& word) {
+  return stopwords().count(word) != 0;
+}
+
+std::vector<std::string> tokenize(const std::string& document,
+                                  std::size_t min_length) {
+  std::vector<std::string> tokens;
+  std::string current;
+  auto flush = [&] {
+    if (current.size() >= min_length && !is_stopword(current)) {
+      tokens.push_back(current);
+    }
+    current.clear();
+  };
+  for (char raw : document) {
+    const auto c = static_cast<unsigned char>(raw);
+    if (std::isalnum(c) != 0) {
+      current.push_back(static_cast<char>(std::tolower(c)));
+    } else {
+      flush();
+    }
+  }
+  flush();
+  return tokens;
+}
+
+std::vector<std::string> extract_keywords(const std::string& document,
+                                          std::size_t min_length) {
+  std::vector<std::string> keywords;
+  std::unordered_set<std::string> seen;
+  for (auto& tok : tokenize(document, min_length)) {
+    if (seen.insert(tok).second) keywords.push_back(std::move(tok));
+  }
+  return keywords;
+}
+
+}  // namespace aspe::text

@@ -1,0 +1,21 @@
+// Keyword extraction for the document-oriented schemes (MRSE, MKFSE).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace aspe::text {
+
+/// Lowercase, split on non-alphanumeric characters, drop tokens shorter than
+/// `min_length` and a small built-in English stopword list.
+[[nodiscard]] std::vector<std::string> tokenize(const std::string& document,
+                                                std::size_t min_length = 2);
+
+/// Distinct keywords of a document, in first-appearance order.
+[[nodiscard]] std::vector<std::string> extract_keywords(
+    const std::string& document, std::size_t min_length = 2);
+
+/// True when `word` is in the built-in stopword list.
+[[nodiscard]] bool is_stopword(const std::string& word);
+
+}  // namespace aspe::text

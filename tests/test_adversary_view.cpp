@@ -1,0 +1,73 @@
+#include "sse/adversary_view.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "data/queries.hpp"
+#include "linalg/vector_ops.hpp"
+#include "rng/rng.hpp"
+
+namespace aspe::sse {
+namespace {
+
+TEST(AdversaryView, ObserveMirrorsServerState) {
+  scheme::Scheme2Options opt;
+  opt.record_dim = 3;
+  SecureKnnSystem system(opt, 1);
+  rng::Rng rng(2);
+  system.upload_records(data::real_records(6, 3, 0.0, 1.0, rng));
+  system.knn_query(Vec{0.1, 0.2, 0.3}, 2);
+  system.knn_query(Vec{0.9, 0.8, 0.7}, 2);
+
+  const CoaView view = observe(system.server());
+  EXPECT_EQ(view.cipher_indexes.size(), 6u);
+  EXPECT_EQ(view.cipher_trapdoors.size(), 2u);
+}
+
+TEST(AdversaryView, LeakKnownRecordsBuildsPlainIndexes) {
+  scheme::Scheme2Options opt;
+  opt.record_dim = 4;
+  SecureKnnSystem system(opt, 3);
+  rng::Rng rng(4);
+  const auto records = data::real_records(8, 4, -1.0, 1.0, rng);
+  system.upload_records(records);
+
+  const KpaView view = leak_known_records(system, {1, 3, 5});
+  ASSERT_EQ(view.known_pairs.size(), 3u);
+  // plain_index must be (P, -0.5||P||^2) of the leaked record.
+  const Vec expected = scheme::make_index(records[3]);
+  EXPECT_TRUE(
+      linalg::approx_equal(view.known_pairs[1].plain_index, expected, 1e-12));
+  // cipher must be the very ciphertext the server stores.
+  EXPECT_EQ(view.known_pairs[1].cipher.a, system.server().indexes()[3].a);
+}
+
+TEST(AdversaryView, LeakRejectsBadIds) {
+  scheme::Scheme2Options opt;
+  opt.record_dim = 2;
+  SecureKnnSystem system(opt, 5);
+  rng::Rng rng(6);
+  system.upload_records(data::real_records(2, 2, 0.0, 1.0, rng));
+  EXPECT_THROW(leak_known_records(system, {7}), InvalidArgument);
+}
+
+TEST(AdversaryView, MrseLeakCarriesBinaryRecords) {
+  scheme::MrseOptions opt;
+  opt.vocab_dim = 10;
+  RankedSearchSystem system(opt, 7);
+  rng::Rng rng(8);
+  std::vector<BitVec> records;
+  for (int i = 0; i < 5; ++i) records.push_back(rng.binary_bernoulli(10, 0.4));
+  system.upload_records(records);
+  system.ranked_query(rng.binary_with_k_ones(10, 2), 3);
+
+  const MrseKpaView view = leak_known_records(system, {0, 4});
+  ASSERT_EQ(view.known_pairs.size(), 2u);
+  EXPECT_EQ(view.known_pairs[0].record, records[0]);
+  EXPECT_EQ(view.known_pairs[1].record, records[4]);
+  EXPECT_EQ(view.observed.cipher_trapdoors.size(), 1u);
+  EXPECT_THROW(leak_known_records(system, {99}), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace aspe::sse

@@ -1,0 +1,232 @@
+// Cross-cutting property suites: invariants that must hold for every attack
+// regardless of parameters (swept with TEST_P).
+#include <gtest/gtest.h>
+
+#include "core/lep.hpp"
+#include "core/metrics.hpp"
+#include "core/mip_attack.hpp"
+#include "core/snmf_attack.hpp"
+#include "data/queries.hpp"
+#include "data/quest.hpp"
+#include "linalg/vector_ops.hpp"
+#include "rng/rng.hpp"
+#include "scheme/scheme1.hpp"
+#include "scheme/scheme2.hpp"
+#include "sse/adversary_view.hpp"
+#include "sse/system.hpp"
+
+namespace aspe {
+namespace {
+
+// ---------------------------------------------------------------- schemes
+
+class SchemeEquivalence
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::uint64_t>> {
+};
+
+TEST_P(SchemeEquivalence, Scheme1AndScheme2ScoresAgree) {
+  // Both schemes preserve the same plaintext quantity (Eq. 3 vs Eq. 7), so
+  // for identical (P, Q, r) their ciphertext scores must agree exactly.
+  const auto [d, seed] = GetParam();
+  rng::Rng rng(seed);
+  const scheme::AspeScheme1 s1(d, rng);
+  scheme::Scheme2Options opt;
+  opt.record_dim = d;
+  const scheme::AspeScheme2 s2(opt, rng);
+  for (int trial = 0; trial < 5; ++trial) {
+    const Vec p = rng.uniform_vec(d, -2.0, 2.0);
+    const Vec q = rng.uniform_vec(d, -2.0, 2.0);
+    const double r = rng.uniform(0.5, 2.0);
+    const double score1 =
+        scheme::AspeScheme1::score(s1.encrypt_record(p),
+                                   s1.encrypt_query_with_r(q, r));
+    const double score2 = scheme::AspeScheme2::score(
+        s2.encrypt_record(p, rng), s2.encrypt_query_with_r(q, r, rng));
+    EXPECT_NEAR(score1, score2, 1e-6 * (1.0 + std::abs(score1)));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Dims, SchemeEquivalence,
+    ::testing::Combine(::testing::Values<std::size_t>(2, 7, 15),
+                       ::testing::Values<std::uint64_t>(5, 123)));
+
+// ---------------------------------------------------------------- LEP
+
+class LepInvariants : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LepInvariants, RecoveredTrapdoorsReproduceAllObservedScores) {
+  // The recovered T_j must satisfy I_i^T T_j = I'_i^T T'_j not only for the
+  // pairs used in the solve but for *every* leaked pair (consistency of the
+  // linear model).
+  const std::uint64_t seed = GetParam();
+  const std::size_t d = 7;
+  scheme::Scheme2Options opt;
+  opt.record_dim = d;
+  sse::SecureKnnSystem system(opt, seed);
+  rng::Rng rng(seed + 1);
+  system.upload_records(data::real_records(d + 6, d, -2.0, 2.0, rng));
+  for (std::size_t j = 0; j < d + 3; ++j) {
+    system.knn_query(rng.uniform_vec(d, -2.0, 2.0), 2);
+  }
+  std::vector<std::size_t> ids;
+  for (std::size_t i = 0; i < d + 4; ++i) ids.push_back(i);  // extra leaks
+  const auto view = sse::leak_known_records(system, ids);
+  const auto result = core::run_lep_attack(view);
+
+  for (std::size_t j = 0; j < result.trapdoors.size(); ++j) {
+    for (const auto& pair : view.known_pairs) {
+      const double lhs = scheme::cipher_score(
+          pair.cipher, view.observed.cipher_trapdoors[j]);
+      const double rhs = linalg::dot(pair.plain_index, result.trapdoors[j]);
+      EXPECT_NEAR(lhs, rhs, 1e-5 * (1.0 + std::abs(lhs)));
+    }
+  }
+}
+
+TEST_P(LepInvariants, RecoveredMultipliersArePositiveAndBounded) {
+  const std::uint64_t seed = GetParam();
+  const std::size_t d = 5;
+  scheme::Scheme2Options opt;
+  opt.record_dim = d;
+  sse::SecureKnnSystem system(opt, seed * 3);
+  rng::Rng rng(seed + 9);
+  system.upload_records(data::real_records(d + 4, d, -2.0, 2.0, rng));
+  for (std::size_t j = 0; j < d + 2; ++j) {
+    system.knn_query(rng.uniform_vec(d, -2.0, 2.0), 2);
+  }
+  std::vector<std::size_t> ids;
+  for (std::size_t i = 0; i <= d; ++i) ids.push_back(i);
+  const auto result =
+      core::run_lep_attack(sse::leak_known_records(system, ids));
+  for (double r : result.query_multipliers) {
+    // The reference trapdoor generator draws r in [0.5, 2].
+    EXPECT_GT(r, 0.5 - 1e-6);
+    EXPECT_LT(r, 2.0 + 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LepInvariants,
+                         ::testing::Values<std::uint64_t>(3, 17, 2026));
+
+// ---------------------------------------------------------------- MIP
+
+class MipInvariants
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(MipInvariants, AnyReturnedSolutionSatisfiesEveryBand) {
+  // Whatever point the solver returns, it must satisfy Eq. (14) — for every
+  // (sigma, rho) combination.
+  const auto [sigma, rho] = GetParam();
+  const std::size_t d = 24, m = 24;
+  scheme::MrseOptions opt;
+  opt.vocab_dim = d;
+  opt.sigma = sigma;
+  sse::RankedSearchSystem system(opt, 91);
+  rng::Rng rng(92);
+  data::QuestOptions qopt;
+  qopt.num_items = d;
+  qopt.density = rho;
+  qopt.num_transactions = m;
+  system.upload_records(data::QuestGenerator(qopt, rng.child(1)).generate());
+  const BitVec q = rng.binary_with_k_ones(d, 5);
+  system.ranked_query(q, 5);
+  std::vector<std::size_t> ids;
+  for (std::size_t i = 0; i < m; ++i) ids.push_back(i);
+  const auto view = sse::leak_known_records(system, ids);
+
+  core::MipAttackOptions aopt;
+  aopt.solver.time_limit_seconds = 10.0;
+  const auto res = core::run_mip_attack(view, 0, opt.mu, sigma, aopt);
+  if (!res.found) GTEST_SKIP() << "no solution in budget (allowed)";
+
+  EXPECT_GE(popcount(res.query), 1u);  // constraint 4
+  for (const auto& pair : view.known_pairs) {
+    const double c = scheme::cipher_score(pair.cipher,
+                                          view.observed.cipher_trapdoors[0]);
+    double pq = 0.0;
+    for (std::size_t k = 0; k < d; ++k) {
+      pq += (pair.record[k] && res.query[k]) ? 1.0 : 0.0;
+    }
+    const double noise = res.rhat * c - res.that - pq;
+    EXPECT_GE(noise, opt.mu - aopt.l * sigma - 1e-5);
+    EXPECT_LE(noise, opt.mu + aopt.l * sigma + 1e-5);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    NoiseGrid, MipInvariants,
+    ::testing::Combine(::testing::Values(0.5, 1.0),
+                       ::testing::Values(0.05, 0.2, 0.35)));
+
+// ---------------------------------------------------------------- SNMF
+
+class SnmfInvariants : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SnmfInvariants, BinarizedReconstructionApproximatesScoreMatrix) {
+  // The binarized factors must reproduce most entries of R — the defining
+  // property of Eq. (17), independent of any latent alignment.
+  const std::uint64_t seed = GetParam();
+  rng::Rng rng(seed);
+  const std::size_t d = 10, m = 40;
+  scheme::SplitEncryptor enc(d, rng);
+  sse::CoaView view;
+  for (std::size_t i = 0; i < m; ++i) {
+    view.cipher_indexes.push_back(
+        enc.encrypt_index(to_real(rng.binary_bernoulli(d, 0.3)), rng));
+    view.cipher_trapdoors.push_back(
+        enc.encrypt_trapdoor(to_real(rng.binary_bernoulli(d, 0.25)), rng));
+  }
+  const auto r = core::build_score_matrix(view.cipher_indexes,
+                                          view.cipher_trapdoors);
+  core::SnmfAttackOptions aopt;
+  aopt.rank = d;
+  aopt.restarts = 3;
+  aopt.nmf.max_iterations = 250;
+  rng::Rng attack_rng(seed * 7);
+  const auto res = core::run_snmf_attack(view, aopt, attack_rng);
+
+  std::size_t matches = 0;
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < m; ++j) {
+      double pred = 0.0;
+      for (std::size_t k = 0; k < d; ++k) {
+        pred += (res.indexes[i][k] && res.trapdoors[j][k]) ? 1.0 : 0.0;
+      }
+      matches += std::abs(pred - r(i, j)) < 0.5;
+    }
+  }
+  EXPECT_GT(static_cast<double>(matches) / static_cast<double>(m * m), 0.85);
+}
+
+TEST_P(SnmfInvariants, OutputShapesMatchInputs) {
+  const std::uint64_t seed = GetParam();
+  rng::Rng rng(seed + 100);
+  const std::size_t d = 6, m = 15, n = 11;
+  scheme::SplitEncryptor enc(d, rng);
+  sse::CoaView view;
+  for (std::size_t i = 0; i < m; ++i) {
+    view.cipher_indexes.push_back(
+        enc.encrypt_index(to_real(rng.binary_bernoulli(d, 0.4)), rng));
+  }
+  for (std::size_t j = 0; j < n; ++j) {
+    view.cipher_trapdoors.push_back(
+        enc.encrypt_trapdoor(to_real(rng.binary_bernoulli(d, 0.4)), rng));
+  }
+  core::SnmfAttackOptions aopt;
+  aopt.rank = d;
+  aopt.restarts = 1;
+  aopt.nmf.max_iterations = 50;
+  rng::Rng attack_rng(seed);
+  const auto res = core::run_snmf_attack(view, aopt, attack_rng);
+  ASSERT_EQ(res.indexes.size(), m);
+  ASSERT_EQ(res.trapdoors.size(), n);
+  for (const auto& v : res.indexes) EXPECT_EQ(v.size(), d);
+  for (const auto& v : res.trapdoors) EXPECT_EQ(v.size(), d);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SnmfInvariants,
+                         ::testing::Values<std::uint64_t>(1, 42, 777));
+
+}  // namespace
+}  // namespace aspe

@@ -1,0 +1,73 @@
+#include "text/bigram.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace aspe::text {
+namespace {
+
+std::size_t idx(char a, char b) {
+  return static_cast<std::size_t>(a - 'a') * 26 +
+         static_cast<std::size_t>(b - 'a');
+}
+
+TEST(Bigram, EncodesAdjacentLetterPairs) {
+  const BitVec v = bigram_vector("net");
+  EXPECT_EQ(v.size(), kBigramDim);
+  EXPECT_EQ(popcount(v), 2u);
+  EXPECT_EQ(v[idx('n', 'e')], 1);
+  EXPECT_EQ(v[idx('e', 't')], 1);
+}
+
+TEST(Bigram, CaseInsensitive) {
+  EXPECT_EQ(bigram_vector("Network"), bigram_vector("network"));
+}
+
+TEST(Bigram, NonLettersBreakPairs) {
+  // "ab-cd" has bigrams ab and cd but NOT bc.
+  const BitVec v = bigram_vector("ab-cd");
+  EXPECT_EQ(v[idx('a', 'b')], 1);
+  EXPECT_EQ(v[idx('c', 'd')], 1);
+  EXPECT_EQ(v[idx('b', 'c')], 0);
+}
+
+TEST(Bigram, RepeatedBigramsSetOnce) {
+  // "aaa" has bigram aa twice -> still one bit.
+  const BitVec v = bigram_vector("aaa");
+  EXPECT_EQ(popcount(v), 1u);
+  EXPECT_EQ(v[idx('a', 'a')], 1);
+}
+
+TEST(Bigram, SingleLetterAndEmptyAreZero) {
+  EXPECT_EQ(popcount(bigram_vector("x")), 0u);
+  EXPECT_EQ(popcount(bigram_vector("")), 0u);
+}
+
+TEST(Bigram, TypoKeepsHighSimilarity) {
+  // The fuzzy-search property: one-letter typos preserve most bigrams.
+  const BitVec a = bigram_vector("network");
+  const BitVec b = bigram_vector("netwerk");
+  const BitVec c = bigram_vector("database");
+  EXPECT_GT(bigram_similarity(a, b), 0.4);
+  EXPECT_GT(bigram_similarity(a, b), bigram_similarity(a, c));
+  EXPECT_DOUBLE_EQ(bigram_similarity(a, a), 1.0);
+}
+
+TEST(Bigram, SimilarityOfDisjointIsZero) {
+  EXPECT_DOUBLE_EQ(bigram_similarity(bigram_vector("abab"),
+                                     bigram_vector("cdcd")),
+                   0.0);
+}
+
+TEST(Bigram, SimilarityEmptyVectorsIsOne) {
+  const BitVec zero(kBigramDim, 0);
+  EXPECT_DOUBLE_EQ(bigram_similarity(zero, zero), 1.0);
+}
+
+TEST(Bigram, SimilarityLengthChecked) {
+  EXPECT_THROW(bigram_similarity(BitVec(3, 0), BitVec(4, 0)), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace aspe::text

@@ -1,0 +1,95 @@
+#include "text/bloom_filter.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace aspe::text {
+namespace {
+
+TEST(Bloom, InsertedItemsAlwaysFound) {
+  BloomFilter bf(256, 4, 1);
+  const std::vector<std::string> items = {"alpha", "beta", "gamma", "delta"};
+  for (const auto& s : items) bf.insert(s);
+  for (const auto& s : items) EXPECT_TRUE(bf.possibly_contains(s)) << s;
+}
+
+TEST(Bloom, EmptyFilterContainsNothing) {
+  BloomFilter bf(256, 4, 1);
+  EXPECT_FALSE(bf.possibly_contains("anything"));
+  EXPECT_EQ(bf.ones(), 0u);
+}
+
+TEST(Bloom, DeterministicAcrossInstances) {
+  // Same (bits, hashes, seed) => identical encoding; this determinism is the
+  // property the paper's statistical attack exploits.
+  BloomFilter a(500, 3, 42), b(500, 3, 42);
+  a.insert("application");
+  a.insert("approved");
+  b.insert("application");
+  b.insert("approved");
+  EXPECT_EQ(a.bits(), b.bits());
+}
+
+TEST(Bloom, DifferentSeedsGiveDifferentEncodings) {
+  BloomFilter a(500, 3, 1), b(500, 3, 2);
+  a.insert("application");
+  b.insert("application");
+  EXPECT_NE(a.bits(), b.bits());
+}
+
+TEST(Bloom, PositionsAreSortedDistinctAndWithinRange) {
+  BloomFilter bf(100, 8, 7);
+  const auto pos = bf.positions("keyword");
+  EXPECT_LE(pos.size(), 8u);
+  EXPECT_GE(pos.size(), 1u);
+  for (std::size_t i = 0; i < pos.size(); ++i) {
+    EXPECT_LT(pos[i], 100u);
+    if (i > 0) EXPECT_LT(pos[i - 1], pos[i]);
+  }
+}
+
+TEST(Bloom, FalsePositiveRateReasonable) {
+  // 500 bits, 3 hashes, 30 items: FPR should be low but non-negative.
+  BloomFilter bf(500, 3, 11);
+  for (int i = 0; i < 30; ++i) bf.insert("present" + std::to_string(i));
+  int fp = 0;
+  const int probes = 2000;
+  for (int i = 0; i < probes; ++i) {
+    fp += bf.possibly_contains("absent" + std::to_string(i));
+  }
+  EXPECT_LT(static_cast<double>(fp) / probes, 0.05);
+}
+
+TEST(Bloom, ClearResets) {
+  BloomFilter bf(64, 2, 3);
+  bf.insert("x");
+  EXPECT_GT(bf.ones(), 0u);
+  bf.clear();
+  EXPECT_EQ(bf.ones(), 0u);
+  EXPECT_FALSE(bf.possibly_contains("x"));
+}
+
+TEST(Bloom, ParameterValidation) {
+  EXPECT_THROW(BloomFilter(0, 2, 1), InvalidArgument);
+  EXPECT_THROW(BloomFilter(10, 0, 1), InvalidArgument);
+}
+
+TEST(Bloom, EncodeKeywordsMatchesManualInsertion) {
+  BloomFilter bf(200, 3, 9);
+  bf.insert("secure");
+  bf.insert("knn");
+  EXPECT_EQ(encode_keywords({"secure", "knn"}, 200, 3, 9), bf.bits());
+}
+
+TEST(Bloom, DensityGrowsWithKeywordCount) {
+  std::vector<std::string> few = {"a1", "b2"};
+  std::vector<std::string> many;
+  for (int i = 0; i < 40; ++i) many.push_back("kw" + std::to_string(i));
+  const auto sparse = encode_keywords(few, 500, 3, 5);
+  const auto dense = encode_keywords(many, 500, 3, 5);
+  EXPECT_LT(popcount(sparse), popcount(dense));
+}
+
+}  // namespace
+}  // namespace aspe::text

@@ -1,0 +1,73 @@
+#include "common/cli.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/stopwatch.hpp"
+
+namespace aspe {
+namespace {
+
+CliFlags parse(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv = {"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return CliFlags(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Cli, EqualsSyntax) {
+  const auto flags = parse({"--dims=100", "--sigma=0.5"});
+  EXPECT_EQ(flags.get_int("dims", 0), 100);
+  EXPECT_DOUBLE_EQ(flags.get_double("sigma", 0.0), 0.5);
+}
+
+TEST(Cli, SpaceSyntax) {
+  const auto flags = parse({"--name", "enron", "--count", "7"});
+  EXPECT_EQ(flags.get_string("name", ""), "enron");
+  EXPECT_EQ(flags.get_int("count", 0), 7);
+}
+
+TEST(Cli, BooleanSwitch) {
+  const auto flags = parse({"--full"});
+  EXPECT_TRUE(flags.has("full"));
+  EXPECT_TRUE(flags.get_bool("full", false));
+  EXPECT_FALSE(flags.get_bool("other", false));
+  EXPECT_TRUE(flags.get_bool("other", true));
+}
+
+TEST(Cli, ExplicitBooleanValues) {
+  EXPECT_TRUE(parse({"--x=true"}).get_bool("x", false));
+  EXPECT_TRUE(parse({"--x=1"}).get_bool("x", false));
+  EXPECT_FALSE(parse({"--x=false"}).get_bool("x", true));
+  EXPECT_FALSE(parse({"--x=0"}).get_bool("x", true));
+  EXPECT_THROW(parse({"--x=maybe"}).get_bool("x", true), InvalidArgument);
+}
+
+TEST(Cli, FallbacksWhenMissing) {
+  const auto flags = parse({});
+  EXPECT_EQ(flags.get_int("missing", 42), 42);
+  EXPECT_DOUBLE_EQ(flags.get_double("missing", 1.5), 1.5);
+  EXPECT_EQ(flags.get_string("missing", "dflt"), "dflt");
+}
+
+TEST(Cli, IntAndDoubleLists) {
+  const auto flags = parse({"--dims=100,500,1000", "--rhos=0.05,0.2,0.35"});
+  EXPECT_EQ(flags.get_int_list("dims", {}), (std::vector<int>{100, 500, 1000}));
+  EXPECT_EQ(flags.get_double_list("rhos", {}),
+            (std::vector<double>{0.05, 0.2, 0.35}));
+  EXPECT_EQ(flags.get_int_list("missing", {1, 2}), (std::vector<int>{1, 2}));
+}
+
+TEST(Cli, RejectsPositional) {
+  EXPECT_THROW(parse({"oops"}), InvalidArgument);
+}
+
+TEST(Stopwatch, MeasuresElapsedTime) {
+  Stopwatch w;
+  EXPECT_GE(w.seconds(), 0.0);
+  EXPECT_LT(w.seconds(), 5.0);
+  w.reset();
+  EXPECT_GE(w.millis(), 0.0);
+}
+
+}  // namespace
+}  // namespace aspe

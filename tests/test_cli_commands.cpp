@@ -1,0 +1,299 @@
+// End-to-end tests of the aspe_cli command layer: a full keygen -> generate
+// -> encrypt -> score -> attack pipeline through real files.
+#include "cli/commands.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "core/metrics.hpp"
+#include "io/serialization.hpp"
+
+namespace aspe::cli {
+namespace {
+
+namespace fs = std::filesystem;
+
+class CliPipeline : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("aspe_cli_test_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  std::string path(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+
+  int run(std::initializer_list<std::string> args, std::string* out_text =
+                                                       nullptr) {
+    std::ostringstream out, err;
+    const int code = run_command(std::vector<std::string>(args), out, err);
+    if (out_text != nullptr) *out_text = out.str();
+    if (code != 0 && err_.empty()) err_ = err.str();
+    return code;
+  }
+
+  fs::path dir_;
+  std::string err_;
+};
+
+TEST_F(CliPipeline, FullEncryptScoreAttackRoundTrip) {
+  const std::size_t d = 10;
+  ASSERT_EQ(run({"keygen", "--dim=" + std::to_string(d),
+                 "--key=" + path("key.txt"), "--seed=5"}),
+            0)
+      << err_;
+  ASSERT_EQ(run({"gen-data", "--d=" + std::to_string(d), "--rho=0.3",
+                 "--count=40", "--seed=6", "--out=" + path("plain.txt")}),
+            0)
+      << err_;
+  ASSERT_EQ(run({"gen-data", "--d=" + std::to_string(d), "--rho=0.25",
+                 "--count=40", "--seed=7", "--out=" + path("queries.txt")}),
+            0)
+      << err_;
+  ASSERT_EQ(run({"encrypt", "--key=" + path("key.txt"),
+                 "--plain=" + path("plain.txt"), "--out=" + path("db.txt"),
+                 "--seed=8"}),
+            0)
+      << err_;
+  ASSERT_EQ(run({"trapdoor", "--key=" + path("key.txt"),
+                 "--plain=" + path("queries.txt"),
+                 "--out=" + path("trap.txt"), "--seed=9"}),
+            0)
+      << err_;
+
+  // Scoring needs no key.
+  std::string score_text;
+  ASSERT_EQ(run({"score", "--db=" + path("db.txt"),
+                 "--trapdoors=" + path("trap.txt")},
+                &score_text),
+            0)
+      << err_;
+  EXPECT_NE(score_text.find("score matrix (40 x 40)"), std::string::npos);
+
+  // Decrypt round trip (key holder).
+  ASSERT_EQ(run({"decrypt", "--key=" + path("key.txt"),
+                 "--db=" + path("db.txt"), "--out=" + path("plain2.txt")}),
+            0)
+      << err_;
+  std::ifstream p1(path("plain.txt")), p2(path("plain2.txt"));
+  const auto v1 = io::read_vec_list(p1);
+  const auto v2 = io::read_vec_list(p2);
+  ASSERT_EQ(v1.size(), v2.size());
+  for (std::size_t i = 0; i < v1.size(); ++i) {
+    for (std::size_t k = 0; k < v1[i].size(); ++k) {
+      EXPECT_NEAR(v1[i][k], v2[i][k], 1e-6);
+    }
+  }
+
+  // COA attack from the two ciphertext files alone — without even telling
+  // it the dimension (estimated from rank(R)).
+  std::string attack_text;
+  ASSERT_EQ(run({"attack-snmf", "--db=" + path("db.txt"),
+                 "--trapdoors=" + path("trap.txt"), "--restarts=3",
+                 "--out=" + path("recon.txt"), "--seed=10"},
+                &attack_text),
+            0)
+      << err_;
+  EXPECT_NE(attack_text.find("estimated latent dimension d = " +
+                             std::to_string(d)),
+            std::string::npos)
+      << attack_text;
+
+  // The reconstruction must carry real information: compare against the
+  // plaintext after optimal alignment.
+  std::ifstream rf(path("recon.txt"));
+  std::string header;
+  std::getline(rf, header);  // "# reconstructed indexes (...)"
+  std::vector<BitVec> recon_idx, recon_trap;
+  for (int i = 0; i < 40; ++i) recon_idx.push_back(io::read_bitvec(rf));
+  rf >> std::ws;
+  std::getline(rf, header);  // trapdoor header
+  for (int i = 0; i < 40; ++i) recon_trap.push_back(io::read_bitvec(rf));
+
+  auto to_bits = [](const Vec& v) {
+    BitVec b(v.size());
+    for (std::size_t k = 0; k < v.size(); ++k) b[k] = v[k] > 0.5 ? 1 : 0;
+    return b;
+  };
+  std::ifstream pf(path("plain.txt")), qf(path("queries.txt"));
+  std::vector<BitVec> truth_idx, truth_trap;
+  for (const auto& v : io::read_vec_list(pf)) truth_idx.push_back(to_bits(v));
+  for (const auto& v : io::read_vec_list(qf)) truth_trap.push_back(to_bits(v));
+
+  const auto perm = core::align_latent_dimensions(truth_idx, truth_trap,
+                                                  recon_idx, recon_trap);
+  std::vector<core::PrecisionRecall> prs;
+  for (std::size_t i = 0; i < truth_idx.size(); ++i) {
+    prs.push_back(core::binary_precision_recall(
+        truth_idx[i], core::apply_permutation(recon_idx[i], perm)));
+  }
+  const auto avg = core::average(prs);
+  EXPECT_GE(avg.precision, 0.7);
+  EXPECT_GE(avg.recall, 0.7);
+}
+
+TEST_F(CliPipeline, LepAttackPipelineRecoversDatabase) {
+  const std::size_t d = 5;
+  // LEP needs real-valued records: for binary ones the quadratic index
+  // coordinate is linear in P and d+1 independent indexes cannot exist.
+  ASSERT_EQ(run({"gen-data", "--d=" + std::to_string(d), "--real",
+                 "--count=12", "--seed=21", "--out=" + path("records.txt")}),
+            0)
+      << err_;
+  ASSERT_EQ(run({"gen-data", "--d=" + std::to_string(d), "--real",
+                 "--count=9", "--seed=22", "--out=" + path("queries.txt")}),
+            0)
+      << err_;
+
+  // Plaintext-side transforms, then encryption at dim d+1.
+  ASSERT_EQ(run({"make-index", "--plain=" + path("records.txt"),
+                 "--out=" + path("indexes.txt")}),
+            0)
+      << err_;
+  ASSERT_EQ(run({"make-trapdoor", "--plain=" + path("queries.txt"),
+                 "--out=" + path("trapdoors.txt"), "--seed=23"}),
+            0)
+      << err_;
+  ASSERT_EQ(run({"keygen", "--dim=" + std::to_string(d + 1),
+                 "--key=" + path("key.txt"), "--seed=24"}),
+            0)
+      << err_;
+  ASSERT_EQ(run({"encrypt", "--key=" + path("key.txt"),
+                 "--plain=" + path("indexes.txt"), "--out=" + path("db.txt"),
+                 "--seed=25"}),
+            0)
+      << err_;
+  ASSERT_EQ(run({"trapdoor", "--key=" + path("key.txt"),
+                 "--plain=" + path("trapdoors.txt"),
+                 "--out=" + path("trap.txt"), "--seed=26"}),
+            0)
+      << err_;
+
+  // KPA leak: all plaintext records (binary vectors repeat at small d, so
+  // give the attack the whole pool; it selects an independent subset).
+  {
+    std::ifstream rf(path("records.txt"));
+    const auto records = io::read_vec_list(rf);
+    std::ofstream lf(path("leak.txt"));
+    io::write_vec_list(lf, records);
+  }
+  ASSERT_EQ(run({"attack-lep", "--known-plain=" + path("leak.txt"),
+                 "--db=" + path("db.txt"), "--trapdoors=" + path("trap.txt"),
+                 "--out-records=" + path("rec.txt"),
+                 "--out-queries=" + path("q.txt")}),
+            0)
+      << err_;
+
+  // Complete disclosure: recovered records equal the originals.
+  std::ifstream truth_f(path("records.txt")), rec_f(path("rec.txt"));
+  const auto truth = io::read_vec_list(truth_f);
+  const auto recovered = io::read_vec_list(rec_f);
+  ASSERT_EQ(recovered.size(), truth.size());
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    for (std::size_t k = 0; k < d; ++k) {
+      EXPECT_NEAR(recovered[i][k], truth[i][k], 1e-5);
+    }
+  }
+  std::ifstream qt(path("queries.txt")), qr(path("q.txt"));
+  const auto true_q = io::read_vec_list(qt);
+  const auto rec_q = io::read_vec_list(qr);
+  ASSERT_EQ(rec_q.size(), true_q.size());
+  for (std::size_t j = 0; j < true_q.size(); ++j) {
+    for (std::size_t k = 0; k < d; ++k) {
+      EXPECT_NEAR(rec_q[j][k], true_q[j][k], 1e-5);
+    }
+  }
+}
+
+TEST_F(CliPipeline, MipAttackPipelineReconstructsQuery) {
+  const std::size_t d = 24;
+  ASSERT_EQ(run({"gen-data", "--d=" + std::to_string(d), "--rho=0.25",
+                 "--count=24", "--seed=31", "--out=" + path("records.txt")}),
+            0)
+      << err_;
+  ASSERT_EQ(run({"gen-data", "--d=" + std::to_string(d), "--rho=0.2",
+                 "--count=1", "--seed=32", "--out=" + path("query.txt")}),
+            0)
+      << err_;
+
+  ASSERT_EQ(run({"mrse-index", "--plain=" + path("records.txt"),
+                 "--out=" + path("indexes.txt"), "--seed=33"}),
+            0)
+      << err_;
+  ASSERT_EQ(run({"mrse-trapdoor", "--plain=" + path("query.txt"),
+                 "--out=" + path("trapdoor_plain.txt"), "--seed=34"}),
+            0)
+      << err_;
+  ASSERT_EQ(run({"keygen", "--dim=" + std::to_string(d + 8 + 1),
+                 "--key=" + path("key.txt"), "--seed=35"}),
+            0)
+      << err_;
+  ASSERT_EQ(run({"encrypt", "--key=" + path("key.txt"),
+                 "--plain=" + path("indexes.txt"), "--out=" + path("db.txt"),
+                 "--seed=36"}),
+            0)
+      << err_;
+  ASSERT_EQ(run({"trapdoor", "--key=" + path("key.txt"),
+                 "--plain=" + path("trapdoor_plain.txt"),
+                 "--out=" + path("trap.txt"), "--seed=37"}),
+            0)
+      << err_;
+
+  std::string text;
+  const int code = run({"attack-mip", "--known-plain=" + path("records.txt"),
+                        "--db=" + path("db.txt"),
+                        "--trapdoors=" + path("trap.txt"),
+                        "--out=" + path("recon.txt"), "--mu=1.0",
+                        "--sigma=0.5"},
+                       &text);
+  ASSERT_EQ(code, 0) << err_;
+  EXPECT_NE(text.find("reconstructed query"), std::string::npos);
+
+  // Reconstruction should overlap the true query.
+  std::ifstream rf(path("recon.txt")), qf(path("query.txt"));
+  const BitVec recon = io::read_bitvec(rf);
+  const auto true_q_vec = io::read_vec_list(qf)[0];
+  BitVec truth(true_q_vec.size());
+  for (std::size_t k = 0; k < truth.size(); ++k) {
+    truth[k] = true_q_vec[k] > 0.5 ? 1 : 0;
+  }
+  const auto pr = core::binary_precision_recall(truth, recon);
+  EXPECT_GE(pr.recall, 0.3);  // modest bar at this miniature scale
+}
+
+TEST_F(CliPipeline, HelpAndUnknownCommand) {
+  std::string text;
+  EXPECT_EQ(run({"help"}, &text), 0);
+  EXPECT_NE(text.find("attack-snmf"), std::string::npos);
+  EXPECT_EQ(run({"definitely-not-a-command"}), 2);
+  EXPECT_EQ(run({}), 2);
+}
+
+TEST_F(CliPipeline, MissingFlagsFailCleanly) {
+  EXPECT_EQ(run({"keygen"}), 1);              // no --dim/--key
+  EXPECT_EQ(run({"encrypt"}), 1);             // no --key
+  EXPECT_EQ(run({"attack-snmf"}), 1);         // no inputs
+  EXPECT_EQ(run({"score", "--db=/nonexistent/x", "--trapdoors=/nonexistent/y"}),
+            1);
+}
+
+TEST_F(CliPipeline, KeyMismatchDetectedByDimensions) {
+  ASSERT_EQ(run({"keygen", "--dim=4", "--key=" + path("k4.txt")}), 0);
+  ASSERT_EQ(run({"gen-data", "--d=6", "--count=3", "--out=" + path("p6.txt")}),
+            0);
+  // Encrypting 6-dimensional plaintext under a 4-dimensional key must fail.
+  EXPECT_EQ(run({"encrypt", "--key=" + path("k4.txt"),
+                 "--plain=" + path("p6.txt"), "--out=" + path("db.txt")}),
+            1);
+}
+
+}  // namespace
+}  // namespace aspe::cli

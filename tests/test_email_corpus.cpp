@@ -1,0 +1,149 @@
+#include "data/email_corpus.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "text/bigram.hpp"
+
+#include "common/error.hpp"
+
+namespace aspe::data {
+namespace {
+
+EmailCorpusOptions small_options() {
+  EmailCorpusOptions opt;
+  opt.num_emails = 400;
+  opt.vocabulary_size = 800;
+  opt.min_keywords = 5;
+  opt.max_keywords = 30;
+  opt.duplicate_fraction = 0.1;
+  return opt;
+}
+
+TEST(EmailCorpus, GeneratesRequestedCount) {
+  EmailCorpusGenerator gen(small_options(), rng::Rng(1));
+  const auto emails = gen.generate();
+  EXPECT_EQ(emails.size(), 400u);
+  for (std::size_t i = 0; i < emails.size(); ++i) EXPECT_EQ(emails[i].id, i);
+}
+
+TEST(EmailCorpus, KeywordCountsWithinRange) {
+  EmailCorpusGenerator gen(small_options(), rng::Rng(2));
+  for (const auto& e : gen.generate()) {
+    EXPECT_GE(e.keywords.size(), 5u);
+    EXPECT_LE(e.keywords.size(), 30u);
+  }
+}
+
+TEST(EmailCorpus, DuplicatesShareKeywordsWithOriginal) {
+  EmailCorpusGenerator gen(small_options(), rng::Rng(3));
+  const auto emails = gen.generate();
+  std::size_t dups = 0;
+  for (const auto& e : emails) {
+    if (e.duplicate_of == Email::kUnique) continue;
+    ++dups;
+    ASSERT_LT(e.duplicate_of, emails.size());
+    EXPECT_EQ(e.keywords, emails[e.duplicate_of].keywords);
+    // duplicate_of always points at an original, never a copy-of-copy.
+    EXPECT_EQ(emails[e.duplicate_of].duplicate_of, Email::kUnique);
+  }
+  EXPECT_GT(dups, 10u);  // ~10% of 400
+}
+
+TEST(EmailCorpus, DuplicateFrequencyHasHeavyTail) {
+  // A few originals should accumulate several copies (Table IV's setting).
+  EmailCorpusOptions opt = small_options();
+  opt.num_emails = 2000;
+  opt.duplicate_fraction = 0.08;
+  EmailCorpusGenerator gen(opt, rng::Rng(4));
+  const auto emails = gen.generate();
+  std::map<std::size_t, std::size_t> copies;  // original -> count
+  for (const auto& e : emails) {
+    if (e.duplicate_of != Email::kUnique) ++copies[e.duplicate_of];
+  }
+  std::size_t max_copies = 0;
+  for (const auto& [orig, c] : copies) max_copies = std::max(max_copies, c);
+  EXPECT_GE(max_copies, 4u);
+}
+
+TEST(EmailCorpus, ZipfVocabularyEarlyWordsFrequent) {
+  EmailCorpusGenerator gen(small_options(), rng::Rng(5));
+  const auto emails = gen.generate();
+  std::size_t early = 0, late = 0;
+  for (const auto& e : emails) {
+    for (const auto& k : e.keywords) {
+      const std::size_t id = gen.index_for(k);
+      if (id < 40) ++early;
+      if (id >= 760) ++late;
+    }
+  }
+  EXPECT_GT(early, 3 * (late + 1));
+}
+
+TEST(EmailCorpus, WordEncodingRoundTripsAndIsAlphabetic) {
+  EmailCorpusGenerator gen(small_options(), rng::Rng(6));
+  for (std::size_t i : {0u, 1u, 25u, 26u, 399u}) {
+    const std::string w = EmailCorpusGenerator::word_for(i);
+    EXPECT_EQ(gen.index_for(w), i);
+    for (char c : w) {
+      EXPECT_TRUE(c >= 'a' && c <= 'z') << w;
+    }
+  }
+  EXPECT_THROW(gen.index_for("x123"), InvalidArgument);
+  EXPECT_THROW(gen.index_for("notaword"), InvalidArgument);
+}
+
+TEST(EmailCorpus, WordsAreDiverseUnderBigramEncoding) {
+  // Regression test: digit-bearing or sequential words have degenerate
+  // bigram vectors, which collapses the MKFSE bigram/LSH pipeline.
+  std::size_t distinct_bigramsets = 0;
+  std::set<BitVec> seen;
+  for (std::size_t i = 0; i < 200; ++i) {
+    seen.insert(text::bigram_vector(EmailCorpusGenerator::word_for(i)));
+  }
+  distinct_bigramsets = seen.size();
+  EXPECT_GE(distinct_bigramsets, 195u);
+}
+
+TEST(EmailCorpus, EncodeCorpusDeterministicAndDuplicatePreserving) {
+  EmailCorpusGenerator gen(small_options(), rng::Rng(6));
+  const auto emails = gen.generate();
+  const auto rows = encode_corpus(emails, 500, 3, 99);
+  ASSERT_EQ(rows.size(), emails.size());
+  for (const auto& e : emails) {
+    EXPECT_EQ(rows[e.id].size(), 500u);
+    if (e.duplicate_of != Email::kUnique) {
+      // Identical keyword sets -> identical bloom filters (determinism).
+      EXPECT_EQ(rows[e.id], rows[e.duplicate_of]);
+    }
+  }
+}
+
+TEST(EmailCorpus, FilterByDensitySelectsBand) {
+  std::vector<BitVec> rows = {
+      BitVec{1, 0, 0, 0, 0, 0, 0, 0, 0, 0},  // 10%
+      BitVec{1, 1, 1, 0, 0, 0, 0, 0, 0, 0},  // 30%
+      BitVec{1, 1, 1, 1, 1, 1, 1, 1, 0, 0},  // 80%
+      BitVec{0, 0, 0, 0, 0, 0, 0, 0, 0, 0},  // 0%
+  };
+  const auto keep = filter_by_density(rows, 0.05, 0.35);
+  ASSERT_EQ(keep.size(), 2u);
+  EXPECT_EQ(keep[0], 0u);
+  EXPECT_EQ(keep[1], 1u);
+  EXPECT_THROW(filter_by_density(rows, 0.5, 0.1), InvalidArgument);
+}
+
+TEST(EmailCorpus, ParameterValidation) {
+  EmailCorpusOptions opt = small_options();
+  opt.min_keywords = 10;
+  opt.max_keywords = 5;
+  EXPECT_THROW(EmailCorpusGenerator(opt, rng::Rng(1)), InvalidArgument);
+  opt = small_options();
+  opt.duplicate_fraction = 1.0;
+  EXPECT_THROW(EmailCorpusGenerator(opt, rng::Rng(1)), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace aspe::data

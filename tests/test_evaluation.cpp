@@ -1,0 +1,136 @@
+#include "core/evaluation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "data/quest.hpp"
+#include "rng/rng.hpp"
+#include "scheme/split_encryptor.hpp"
+#include "sse/adversary_view.hpp"
+#include "sse/system.hpp"
+
+namespace aspe::core {
+namespace {
+
+TEST(EvaluateSnmf, PerfectReconstructionScoresOne) {
+  rng::Rng rng(1);
+  std::vector<BitVec> idx, trap;
+  for (int i = 0; i < 10; ++i) idx.push_back(rng.binary_bernoulli(8, 0.4));
+  for (int j = 0; j < 6; ++j) trap.push_back(rng.binary_bernoulli(8, 0.3));
+  SnmfAttackResult res;
+  res.indexes = idx;
+  res.trapdoors = trap;
+  const auto eval = evaluate_snmf(idx, trap, res);
+  EXPECT_DOUBLE_EQ(eval.combined.precision, 1.0);
+  EXPECT_DOUBLE_EQ(eval.combined.recall, 1.0);
+  // Alignment of an already-aligned reconstruction is (generically) identity.
+  for (std::size_t k = 0; k < 8; ++k) EXPECT_EQ(eval.alignment[k], k);
+}
+
+TEST(EvaluateSnmf, PermutedReconstructionStillScoresOne) {
+  // The whole point of the alignment: a globally relabeled reconstruction
+  // carries the same information.
+  rng::Rng rng(2);
+  std::vector<BitVec> idx, trap;
+  for (int i = 0; i < 12; ++i) idx.push_back(rng.binary_bernoulli(9, 0.4));
+  for (int j = 0; j < 8; ++j) trap.push_back(rng.binary_bernoulli(9, 0.3));
+  const auto sigma = rng.permutation(9);
+  auto scramble = [&](const BitVec& v) {
+    BitVec out(9);
+    for (std::size_t k = 0; k < 9; ++k) out[k] = v[sigma[k]];
+    return out;
+  };
+  SnmfAttackResult res;
+  for (const auto& v : idx) res.indexes.push_back(scramble(v));
+  for (const auto& v : trap) res.trapdoors.push_back(scramble(v));
+  const auto eval = evaluate_snmf(idx, trap, res);
+  EXPECT_DOUBLE_EQ(eval.combined.precision, 1.0);
+  EXPECT_DOUBLE_EQ(eval.combined.recall, 1.0);
+}
+
+TEST(EvaluateSnmf, SeparatesIndexAndTrapdoorAccuracy) {
+  std::vector<BitVec> idx = {{1, 0, 0}, {0, 1, 0}};
+  std::vector<BitVec> trap = {{1, 1, 0}};
+  SnmfAttackResult res;
+  res.indexes = idx;                 // perfect
+  res.trapdoors = {{0, 0, 1}};       // wrong
+  const auto eval = evaluate_snmf(idx, trap, res);
+  EXPECT_GT(eval.indexes.recall, eval.trapdoors.recall);
+}
+
+TEST(EvaluateSnmf, CountMismatchThrows) {
+  SnmfAttackResult res;
+  res.indexes = {{1, 0}};
+  EXPECT_THROW(evaluate_snmf({}, {}, res), InvalidArgument);
+}
+
+TEST(MipBatch, AttacksEveryTrapdoorAndAggregates) {
+  const std::size_t d = 24, m = 24;
+  scheme::MrseOptions opt;
+  opt.vocab_dim = d;
+  opt.sigma = 0.5;
+  sse::RankedSearchSystem system(opt, 11);
+  rng::Rng rng(12);
+  data::QuestOptions qopt;
+  qopt.num_items = d;
+  qopt.density = 0.25;
+  qopt.num_transactions = m;
+  system.upload_records(data::QuestGenerator(qopt, rng.child(1)).generate());
+
+  std::vector<BitVec> queries;
+  for (int j = 0; j < 4; ++j) {
+    queries.push_back(rng.binary_with_k_ones(d, 5));
+    system.ranked_query(queries.back(), 5);
+  }
+  std::vector<std::size_t> ids;
+  for (std::size_t i = 0; i < m; ++i) ids.push_back(i);
+  const auto view = sse::leak_known_records(system, ids);
+
+  MipAttackOptions aopt;
+  aopt.solver.time_limit_seconds = 10.0;
+  const auto report = run_mip_attack_batch(view, opt.mu, opt.sigma, queries,
+                                           aopt);
+  EXPECT_EQ(report.attempted, 4u);
+  EXPECT_EQ(report.entries.size(), 4u);
+  EXPECT_GT(report.solved, 0u);
+  EXPECT_GT(report.solve_rate(), 0.0);
+  EXPECT_GE(report.average_seconds(), 0.0);
+  for (const auto& entry : report.entries) {
+    if (entry.attack.found) {
+      ASSERT_TRUE(entry.accuracy.has_value());
+    }
+  }
+  EXPECT_TRUE(report.average_accuracy.precision_valid);
+}
+
+TEST(MipBatch, WorksWithoutGroundTruth) {
+  const std::size_t d = 16, m = 16;
+  scheme::MrseOptions opt;
+  opt.vocab_dim = d;
+  sse::RankedSearchSystem system(opt, 13);
+  rng::Rng rng(14);
+  data::QuestOptions qopt;
+  qopt.num_items = d;
+  qopt.density = 0.3;
+  qopt.num_transactions = m;
+  system.upload_records(data::QuestGenerator(qopt, rng.child(1)).generate());
+  system.ranked_query(rng.binary_with_k_ones(d, 3), 5);
+  std::vector<std::size_t> ids;
+  for (std::size_t i = 0; i < m; ++i) ids.push_back(i);
+  const auto report = run_mip_attack_batch(
+      sse::leak_known_records(system, ids), opt.mu, opt.sigma);
+  EXPECT_EQ(report.attempted, 1u);
+  for (const auto& entry : report.entries) {
+    EXPECT_FALSE(entry.accuracy.has_value());
+  }
+  EXPECT_FALSE(report.average_accuracy.precision_valid);
+}
+
+TEST(MipBatch, TruthCountMismatchThrows) {
+  sse::MrseKpaView view;
+  EXPECT_THROW(run_mip_attack_batch(view, 1.0, 0.5, {BitVec{1, 0}}),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace aspe::core

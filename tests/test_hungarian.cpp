@@ -1,0 +1,81 @@
+#include "opt/hungarian.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "rng/rng.hpp"
+
+namespace aspe::opt {
+namespace {
+
+using linalg::Matrix;
+
+TEST(Hungarian, TrivialSingle) {
+  const auto r = solve_assignment(Matrix{{5.0}});
+  EXPECT_EQ(r.row_to_col, std::vector<std::size_t>{0});
+  EXPECT_DOUBLE_EQ(r.total_cost, 5.0);
+}
+
+TEST(Hungarian, KnownThreeByThree) {
+  // Optimal: (0,1), (1,0), (2,2) with cost 1 + 2 + 3 = 6.
+  const Matrix cost{{8, 1, 7}, {2, 9, 9}, {9, 8, 3}};
+  const auto r = solve_assignment(cost);
+  EXPECT_DOUBLE_EQ(r.total_cost, 6.0);
+  EXPECT_EQ(r.row_to_col[0], 1u);
+  EXPECT_EQ(r.row_to_col[1], 0u);
+  EXPECT_EQ(r.row_to_col[2], 2u);
+}
+
+TEST(Hungarian, IdentityCostPrefersDiagonal) {
+  Matrix cost(4, 4, 1.0);
+  for (std::size_t i = 0; i < 4; ++i) cost(i, i) = 0.0;
+  const auto r = solve_assignment(cost);
+  EXPECT_DOUBLE_EQ(r.total_cost, 0.0);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_EQ(r.row_to_col[i], i);
+}
+
+TEST(Hungarian, ResultIsPermutation) {
+  rng::Rng rng(3);
+  Matrix cost(12, 12);
+  for (auto& x : cost.data()) x = rng.uniform(0.0, 100.0);
+  const auto r = solve_assignment(cost);
+  std::vector<std::size_t> sorted = r.row_to_col;
+  std::sort(sorted.begin(), sorted.end());
+  for (std::size_t i = 0; i < 12; ++i) EXPECT_EQ(sorted[i], i);
+}
+
+TEST(Hungarian, MatchesBruteForceOnRandomInstances) {
+  rng::Rng rng(7);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t n = 2 + static_cast<std::size_t>(rng.uniform_int(0, 4));
+    Matrix cost(n, n);
+    for (auto& x : cost.data()) x = std::round(rng.uniform(0.0, 20.0));
+    const auto r = solve_assignment(cost);
+
+    std::vector<std::size_t> perm(n);
+    std::iota(perm.begin(), perm.end(), std::size_t{0});
+    double best = 1e300;
+    do {
+      double c = 0.0;
+      for (std::size_t i = 0; i < n; ++i) c += cost(i, perm[i]);
+      best = std::min(best, c);
+    } while (std::next_permutation(perm.begin(), perm.end()));
+    EXPECT_DOUBLE_EQ(r.total_cost, best) << "trial " << trial;
+  }
+}
+
+TEST(Hungarian, NegativeCostsSupported) {
+  const Matrix cost{{-5, 0}, {0, -5}};
+  const auto r = solve_assignment(cost);
+  EXPECT_DOUBLE_EQ(r.total_cost, -10.0);
+}
+
+TEST(Hungarian, RejectsNonSquareAndEmpty) {
+  EXPECT_THROW(solve_assignment(Matrix(2, 3)), InvalidArgument);
+  EXPECT_THROW(solve_assignment(Matrix(0, 0)), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace aspe::opt

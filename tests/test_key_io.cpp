@@ -1,0 +1,76 @@
+#include "io/key_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "io/serialization.hpp"
+
+#include "linalg/vector_ops.hpp"
+#include "rng/rng.hpp"
+
+namespace aspe::io {
+namespace {
+
+TEST(KeyIo, RoundTripPreservesEncryptionBehaviour) {
+  rng::Rng rng(1);
+  const scheme::SplitEncryptor original(6, rng);
+  std::stringstream ss;
+  write_split_encryptor(ss, original);
+  const scheme::SplitEncryptor loaded = read_split_encryptor(ss);
+
+  EXPECT_EQ(loaded.split_string(), original.split_string());
+  EXPECT_TRUE(loaded.m1().approx_equal(original.m1(), 0.0));
+
+  // A ciphertext produced under the original key must decrypt under the
+  // loaded key and score correctly against trapdoors from either.
+  rng::Rng enc_rng(2);
+  const Vec index = enc_rng.uniform_vec(6, -2.0, 2.0);
+  const Vec trapdoor = enc_rng.uniform_vec(6, -2.0, 2.0);
+  const auto ci = original.encrypt_index(index, enc_rng);
+  const auto ct = loaded.encrypt_trapdoor(trapdoor, enc_rng);
+  EXPECT_NEAR(scheme::cipher_score(ci, ct), linalg::dot(index, trapdoor),
+              1e-6);
+  EXPECT_TRUE(linalg::approx_equal(loaded.decrypt_index(ci), index, 1e-6));
+}
+
+TEST(KeyIo, FromPartsValidatesShapes) {
+  rng::Rng rng(3);
+  const scheme::SplitEncryptor enc(4, rng);
+  EXPECT_THROW(
+      scheme::SplitEncryptor(BitVec{1, 0, 1}, enc.m1(), enc.m2()),
+      InvalidArgument);  // split length 3 vs 4x4 matrices
+  EXPECT_THROW(scheme::SplitEncryptor(BitVec{}, linalg::Matrix(0, 0),
+                                      linalg::Matrix(0, 0)),
+               InvalidArgument);
+}
+
+TEST(KeyIo, FromPartsRejectsSingularKeys) {
+  rng::Rng rng(4);
+  const scheme::SplitEncryptor enc(3, rng);
+  const linalg::Matrix singular(3, 3, 1.0);  // rank 1
+  EXPECT_THROW(
+      scheme::SplitEncryptor(enc.split_string(), singular, enc.m2()),
+      NumericalError);
+}
+
+TEST(KeyIo, RejectsForeignFormats) {
+  std::stringstream ss("rsa_private_key_v1 ...");
+  EXPECT_THROW(read_split_encryptor(ss), IoError);
+  std::stringstream empty;
+  EXPECT_THROW(read_split_encryptor(empty), IoError);
+}
+
+TEST(KeyIo, TruncatedKeyDetected) {
+  rng::Rng rng(5);
+  const scheme::SplitEncryptor enc(4, rng);
+  std::stringstream ss;
+  write_split_encryptor(ss, enc);
+  std::string text = ss.str();
+  text.resize(text.size() / 2);
+  std::stringstream truncated(text);
+  EXPECT_THROW(read_split_encryptor(truncated), IoError);
+}
+
+}  // namespace
+}  // namespace aspe::io

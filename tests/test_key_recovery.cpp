@@ -1,0 +1,102 @@
+#include "core/key_recovery.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "data/queries.hpp"
+#include "linalg/vector_ops.hpp"
+#include "rng/rng.hpp"
+#include "scheme/scheme1.hpp"
+
+namespace aspe::core {
+namespace {
+
+struct Scenario {
+  std::vector<Vec> records;
+  std::vector<Vec> queries;
+  Scheme1KpaView view;
+};
+
+Scenario make_scenario(std::size_t d, std::size_t num_records,
+                       std::size_t num_queries, std::size_t num_leaked,
+                       std::uint64_t seed) {
+  rng::Rng rng(seed);
+  const scheme::AspeScheme1 scheme(d, rng);
+  Scenario s;
+  s.records = data::real_records(num_records, d, -2.0, 2.0, rng);
+  for (const auto& p : s.records) {
+    s.view.cipher_indexes.push_back(scheme.encrypt_record(p));
+  }
+  for (std::size_t j = 0; j < num_queries; ++j) {
+    s.queries.push_back(rng.uniform_vec(d, -2.0, 2.0));
+    s.view.cipher_trapdoors.push_back(
+        scheme.encrypt_query(s.queries.back(), rng));
+  }
+  for (std::size_t i = 0; i < num_leaked; ++i) {
+    s.view.known_records.push_back(s.records[i]);
+    s.view.known_cipher_indexes.push_back(s.view.cipher_indexes[i]);
+  }
+  return s;
+}
+
+class KeyRecoverySweep
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::uint64_t>> {
+};
+
+TEST_P(KeyRecoverySweep, CompleteDisclosure) {
+  const auto [d, seed] = GetParam();
+  const Scenario s = make_scenario(d, d + 8, 6, d + 1, seed);
+  const KeyRecoveryResult r = run_scheme1_key_recovery(s.view);
+  for (std::size_t i = 0; i < s.records.size(); ++i) {
+    EXPECT_TRUE(linalg::approx_equal(r.records[i], s.records[i], 1e-5));
+  }
+  for (std::size_t j = 0; j < s.queries.size(); ++j) {
+    EXPECT_TRUE(linalg::approx_equal(r.queries[j], s.queries[j], 1e-5));
+    EXPECT_GT(r.query_multipliers[j], 0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Dims, KeyRecoverySweep,
+    ::testing::Combine(::testing::Values<std::size_t>(2, 6, 14),
+                       ::testing::Values<std::uint64_t>(1, 99)));
+
+TEST(KeyRecovery, ExtraLeaksHarmless) {
+  const Scenario s = make_scenario(5, 12, 3, 10, 7);
+  EXPECT_NO_THROW(run_scheme1_key_recovery(s.view));
+}
+
+TEST(KeyRecovery, TooFewPairsRejected) {
+  Scenario s = make_scenario(6, 10, 2, 4, 9);  // 4 < d+1 = 7
+  EXPECT_THROW(run_scheme1_key_recovery(s.view), NumericalError);
+}
+
+TEST(KeyRecovery, DependentPairsRejected) {
+  Scenario s = make_scenario(4, 10, 2, 5, 11);
+  for (std::size_t i = 1; i < s.view.known_records.size(); ++i) {
+    s.view.known_records[i] = s.view.known_records[0];
+    s.view.known_cipher_indexes[i] = s.view.known_cipher_indexes[0];
+  }
+  EXPECT_THROW(run_scheme1_key_recovery(s.view), NumericalError);
+}
+
+TEST(KeyRecovery, EmptyViewRejected) {
+  EXPECT_THROW(run_scheme1_key_recovery(Scheme1KpaView{}), InvalidArgument);
+}
+
+TEST(KeyRecovery, RecoveredKeyMatchesTrueKey) {
+  rng::Rng rng(13);
+  const std::size_t d = 5;
+  const scheme::AspeScheme1 scheme(d, rng);
+  Scheme1KpaView view;
+  for (std::size_t i = 0; i <= d; ++i) {
+    const Vec p = rng.uniform_vec(d, -1.0, 1.0);
+    view.known_records.push_back(p);
+    view.known_cipher_indexes.push_back(scheme.encrypt_record(p));
+  }
+  const KeyRecoveryResult r = run_scheme1_key_recovery(view);
+  EXPECT_TRUE(r.recovered_key.approx_equal(scheme.key(), 1e-6));
+}
+
+}  // namespace
+}  // namespace aspe::core

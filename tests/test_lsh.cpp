@@ -1,0 +1,145 @@
+#include "text/lsh.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "rng/rng.hpp"
+#include "text/bigram.hpp"
+
+#include <set>
+
+namespace aspe::text {
+namespace {
+
+LshFamily make_family(std::size_t dim, std::size_t range, std::size_t l,
+                      LshFamilyKind kind, std::uint64_t seed,
+                      double width = 4.0) {
+  rng::Rng rng(seed);
+  LshOptions opt;
+  opt.num_functions = l;
+  opt.family = kind;
+  opt.bucket_width = width;
+  return LshFamily(dim, range, opt, rng);
+}
+
+class LshBothFamilies : public ::testing::TestWithParam<LshFamilyKind> {};
+
+TEST_P(LshBothFamilies, Deterministic) {
+  auto fam = make_family(kBigramDim, 500, 3, GetParam(), 1);
+  const BitVec v = bigram_vector("network");
+  EXPECT_EQ(fam.positions(v), fam.positions(v));
+}
+
+TEST_P(LshBothFamilies, PositionsWithinRange) {
+  auto fam = make_family(kBigramDim, 97, 5, GetParam(), 2);
+  const auto pos = fam.positions(bigram_vector("database"));
+  EXPECT_EQ(pos.size(), 5u);
+  for (auto p : pos) EXPECT_LT(p, 97u);
+}
+
+TEST_P(LshBothFamilies, IdenticalInputsCollideAlways) {
+  auto fam = make_family(kBigramDim, 500, 2, GetParam(), 3);
+  EXPECT_EQ(fam.positions(bigram_vector("secure")),
+            fam.positions(bigram_vector("secure")));
+}
+
+TEST_P(LshBothFamilies, NearbyInputsCollideMoreThanFarOnes) {
+  // The defining LSH property, measured over many independent families:
+  // a one-letter typo collides far more often than an unrelated word.
+  int near_hits = 0, far_hits = 0;
+  const int families = 120;
+  for (int f = 0; f < families; ++f) {
+    auto fam = make_family(kBigramDim, 500, 1, GetParam(),
+                           static_cast<std::uint64_t>(f) + 10, 6.0);
+    const auto base = fam.position(bigram_vector("signature"), 0);
+    near_hits += (fam.position(bigram_vector("signatura"), 0) == base);
+    far_hits += (fam.position(bigram_vector("blockchain"), 0) == base);
+  }
+  EXPECT_GT(near_hits, far_hits + families / 10);
+}
+
+TEST_P(LshBothFamilies, EncodeSetsAtMostLBitsPerKeyword) {
+  auto fam = make_family(kBigramDim, 500, 2, GetParam(), 5);
+  const BitVec enc = fam.encode({bigram_vector("alpha")});
+  EXPECT_LE(popcount(enc), 2u);
+  EXPECT_GE(popcount(enc), 1u);
+  EXPECT_EQ(enc.size(), 500u);
+}
+
+TEST_P(LshBothFamilies, EncodeUnionOverKeywords) {
+  auto fam = make_family(kBigramDim, 500, 2, GetParam(), 6);
+  const BitVec a = fam.encode({bigram_vector("alpha")});
+  const BitVec b = fam.encode({bigram_vector("omega")});
+  const BitVec both =
+      fam.encode({bigram_vector("alpha"), bigram_vector("omega")});
+  for (std::size_t i = 0; i < 500; ++i) {
+    EXPECT_EQ(both[i], (a[i] || b[i]) ? 1 : 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Families, LshBothFamilies,
+                         ::testing::Values(LshFamilyKind::MinHash,
+                                           LshFamilyKind::PStable),
+                         [](const auto& info) {
+                           return info.param == LshFamilyKind::MinHash
+                                      ? "MinHash"
+                                      : "PStable";
+                         });
+
+TEST(Lsh, MinHashCollisionRateTracksJaccard) {
+  // For MinHash, P[collision] = Jaccard(bigram sets). Estimate over many
+  // functions and compare against the true Jaccard within a loose band.
+  const BitVec a = bigram_vector("signature");
+  const BitVec b = bigram_vector("signatura");
+  const double jac = bigram_similarity(a, b);
+  rng::Rng rng(7);
+  LshOptions opt;
+  opt.num_functions = 400;
+  opt.family = LshFamilyKind::MinHash;
+  const LshFamily fam(kBigramDim, 1u << 20, opt, rng);
+  int hits = 0;
+  for (std::size_t i = 0; i < 400; ++i) {
+    hits += fam.position(a, i) == fam.position(b, i);
+  }
+  EXPECT_NEAR(hits / 400.0, jac, 0.12);
+}
+
+TEST(Lsh, MinHashSeparatesUnrelatedWords) {
+  // Distinct words map to distinct position patterns almost always — the
+  // property the Table-IV frequency analysis relies on.
+  auto fam = make_family(kBigramDim, 500, 3, LshFamilyKind::MinHash, 8);
+  std::set<std::vector<std::size_t>> patterns;
+  const int words = 200;
+  rng::Rng word_rng(99);
+  for (int i = 0; i < words; ++i) {
+    std::string w;
+    for (int c = 0; c < 7; ++c) {
+      w.push_back(static_cast<char>('a' + word_rng.uniform_int(0, 25)));
+    }
+    patterns.insert(fam.positions(bigram_vector(w)));
+  }
+  EXPECT_GE(patterns.size(), static_cast<std::size_t>(words * 0.9));
+}
+
+TEST(Lsh, ZeroVectorGetsStablePosition) {
+  auto fam = make_family(kBigramDim, 500, 2, LshFamilyKind::MinHash, 9);
+  const BitVec zero(kBigramDim, 0);
+  EXPECT_EQ(fam.positions(zero), fam.positions(zero));
+}
+
+TEST(Lsh, DimensionValidation) {
+  auto fam = make_family(10, 100, 2, LshFamilyKind::MinHash, 10);
+  EXPECT_THROW(fam.position(BitVec(9, 0), 0), InvalidArgument);
+  EXPECT_THROW(fam.position(BitVec(10, 0), 2), InvalidArgument);
+  rng::Rng rng(1);
+  LshOptions bad;
+  bad.num_functions = 0;
+  EXPECT_THROW(LshFamily(10, 100, bad, rng), InvalidArgument);
+  bad.num_functions = 1;
+  bad.family = LshFamilyKind::PStable;
+  bad.bucket_width = 0.0;
+  EXPECT_THROW(LshFamily(10, 100, bad, rng), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace aspe::text

@@ -1,0 +1,98 @@
+#include "linalg/lu.hpp"
+
+#include <gtest/gtest.h>
+
+#include "linalg/random_matrix.hpp"
+#include "linalg/vector_ops.hpp"
+#include "rng/rng.hpp"
+
+namespace aspe::linalg {
+namespace {
+
+TEST(Lu, SolvesKnownSystem) {
+  const Matrix a{{2, 1}, {1, 3}};
+  const LuDecomposition lu(a);
+  ASSERT_FALSE(lu.is_singular());
+  const Vec x = lu.solve(Vec{5, 10});
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(Lu, RequiresSquare) {
+  EXPECT_THROW(LuDecomposition(Matrix(2, 3)), InvalidArgument);
+}
+
+TEST(Lu, DetectsSingular) {
+  const Matrix a{{1, 2}, {2, 4}};
+  const LuDecomposition lu(a);
+  EXPECT_TRUE(lu.is_singular());
+  EXPECT_DOUBLE_EQ(lu.determinant(), 0.0);
+  EXPECT_THROW(lu.solve(Vec{1, 2}), NumericalError);
+}
+
+TEST(Lu, DeterminantOfKnownMatrices) {
+  EXPECT_NEAR(LuDecomposition(Matrix{{3}}).determinant(), 3.0, 1e-12);
+  EXPECT_NEAR(LuDecomposition(Matrix{{1, 2}, {3, 4}}).determinant(), -2.0,
+              1e-12);
+  // Permutation matrix: determinant -1.
+  EXPECT_NEAR(LuDecomposition(Matrix{{0, 1}, {1, 0}}).determinant(), -1.0,
+              1e-12);
+  // Triangular: product of diagonal.
+  EXPECT_NEAR(
+      LuDecomposition(Matrix{{2, 5, 1}, {0, 3, 7}, {0, 0, 4}}).determinant(),
+      24.0, 1e-9);
+}
+
+TEST(Lu, PivotingHandlesZeroLeadingEntry) {
+  const Matrix a{{0, 1}, {1, 0}};
+  const LuDecomposition lu(a);
+  ASSERT_FALSE(lu.is_singular());
+  const Vec x = lu.solve(Vec{3, 7});
+  EXPECT_NEAR(x[0], 7.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(Lu, InverseTimesOriginalIsIdentity) {
+  rng::Rng rng(5);
+  const Matrix a = random_invertible(6, rng);
+  const Matrix inv = LuDecomposition(a).inverse();
+  EXPECT_TRUE((a * inv).approx_equal(Matrix::identity(6), 1e-8));
+  EXPECT_TRUE((inv * a).approx_equal(Matrix::identity(6), 1e-8));
+}
+
+TEST(Lu, SolveMatrixColumnwise) {
+  const Matrix a{{2, 0}, {0, 4}};
+  const Matrix b{{2, 4}, {8, 12}};
+  const Matrix x = LuDecomposition(a).solve(b);
+  EXPECT_TRUE(x.approx_equal(Matrix{{1, 2}, {2, 3}}, 1e-12));
+}
+
+TEST(Lu, PivotRatioPositiveForWellConditioned) {
+  const LuDecomposition lu(Matrix::identity(4));
+  EXPECT_DOUBLE_EQ(lu.pivot_ratio(), 1.0);
+}
+
+TEST(Lu, PivotRatioZeroForSingular) {
+  const LuDecomposition lu(Matrix{{1, 1}, {1, 1}});
+  EXPECT_DOUBLE_EQ(lu.pivot_ratio(), 0.0);
+}
+
+TEST(Lu, ResidualSmallOnRandomSystems) {
+  rng::Rng rng(99);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t n = 1 + static_cast<std::size_t>(rng.uniform_int(1, 30));
+    const Matrix a = random_invertible(n, rng);
+    const Vec b = rng.uniform_vec(n, -10.0, 10.0);
+    const Vec x = LuDecomposition(a).solve(b);
+    const Vec residual = sub(a.apply(x), b);
+    EXPECT_LT(norm(residual), 1e-7 * (1.0 + norm(b))) << "n=" << n;
+  }
+}
+
+TEST(Lu, SolveDimensionChecked) {
+  const LuDecomposition lu(Matrix::identity(3));
+  EXPECT_THROW(lu.solve(Vec{1, 2}), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace aspe::linalg

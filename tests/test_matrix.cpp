@@ -1,0 +1,164 @@
+#include "linalg/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/error.hpp"
+#include "linalg/vector_ops.hpp"
+
+namespace aspe::linalg {
+namespace {
+
+TEST(Matrix, ConstructionAndFill) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  for (std::size_t r = 0; r < 2; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) EXPECT_DOUBLE_EQ(m(r, c), 1.5);
+  }
+}
+
+TEST(Matrix, InitializerList) {
+  Matrix m{{1, 2}, {3, 4}, {5, 6}};
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 2u);
+  EXPECT_DOUBLE_EQ(m(2, 1), 6.0);
+}
+
+TEST(Matrix, RaggedInitializerThrows) {
+  EXPECT_THROW((Matrix{{1, 2}, {3}}), InvalidArgument);
+}
+
+TEST(Matrix, AtBoundsChecked) {
+  Matrix m(2, 2);
+  EXPECT_THROW(m.at(2, 0), InvalidArgument);
+  EXPECT_THROW(m.at(0, 2), InvalidArgument);
+  EXPECT_NO_THROW(m.at(1, 1));
+}
+
+TEST(Matrix, RowColRoundTrip) {
+  Matrix m{{1, 2, 3}, {4, 5, 6}};
+  EXPECT_EQ(m.row(1), (Vec{4, 5, 6}));
+  EXPECT_EQ(m.col(2), (Vec{3, 6}));
+  m.set_row(0, {7, 8, 9});
+  EXPECT_EQ(m.row(0), (Vec{7, 8, 9}));
+  m.set_col(0, {-1, -2});
+  EXPECT_DOUBLE_EQ(m(1, 0), -2.0);
+}
+
+TEST(Matrix, Transpose) {
+  Matrix m{{1, 2, 3}, {4, 5, 6}};
+  const Matrix t = m.transpose();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  for (std::size_t r = 0; r < 2; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) EXPECT_DOUBLE_EQ(t(c, r), m(r, c));
+  }
+  EXPECT_TRUE(t.transpose().approx_equal(m, 0.0));
+}
+
+TEST(Matrix, Arithmetic) {
+  Matrix a{{1, 2}, {3, 4}};
+  Matrix b{{5, 6}, {7, 8}};
+  EXPECT_TRUE((a + b).approx_equal(Matrix{{6, 8}, {10, 12}}, 1e-15));
+  EXPECT_TRUE((b - a).approx_equal(Matrix{{4, 4}, {4, 4}}, 1e-15));
+  EXPECT_TRUE((a * 2.0).approx_equal(Matrix{{2, 4}, {6, 8}}, 1e-15));
+  EXPECT_TRUE((2.0 * a).approx_equal(Matrix{{2, 4}, {6, 8}}, 1e-15));
+}
+
+TEST(Matrix, ShapeMismatchThrows) {
+  Matrix a(2, 2), b(2, 3);
+  EXPECT_THROW(a += b, InvalidArgument);
+  EXPECT_THROW(a -= b, InvalidArgument);
+  EXPECT_THROW(b * a, InvalidArgument);
+}
+
+TEST(Matrix, Product) {
+  Matrix a{{1, 2, 3}, {4, 5, 6}};
+  Matrix b{{7, 8}, {9, 10}, {11, 12}};
+  const Matrix c = a * b;
+  EXPECT_TRUE(c.approx_equal(Matrix{{58, 64}, {139, 154}}, 1e-12));
+}
+
+TEST(Matrix, IdentityIsNeutral) {
+  Matrix a{{1, 2}, {3, 4}};
+  const Matrix i = Matrix::identity(2);
+  EXPECT_TRUE((a * i).approx_equal(a, 1e-15));
+  EXPECT_TRUE((i * a).approx_equal(a, 1e-15));
+}
+
+TEST(Matrix, ApplyMatchesProduct) {
+  Matrix a{{1, 2, 3}, {4, 5, 6}};
+  const Vec x = {1, -1, 2};
+  const Vec y = a.apply(x);
+  EXPECT_EQ(y, (Vec{5, 11}));
+}
+
+TEST(Matrix, ApplyTransposedMatchesExplicitTranspose) {
+  Matrix a{{1, 2, 3}, {4, 5, 6}};
+  const Vec x = {2, -1};
+  EXPECT_EQ(a.apply_transposed(x), a.transpose().apply(x));
+}
+
+TEST(Matrix, ApplyDimensionChecked) {
+  Matrix a(2, 3);
+  EXPECT_THROW(a.apply(Vec{1, 2}), InvalidArgument);
+  EXPECT_THROW(a.apply_transposed(Vec{1, 2, 3}), InvalidArgument);
+}
+
+TEST(Matrix, FromColumnsAndRows) {
+  const std::vector<Vec> cols = {{1, 2}, {3, 4}, {5, 6}};
+  const Matrix m = Matrix::from_columns(cols);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_DOUBLE_EQ(m(1, 2), 6.0);
+  const Matrix r = Matrix::from_rows(cols);
+  EXPECT_EQ(r.rows(), 3u);
+  EXPECT_EQ(r.cols(), 2u);
+  EXPECT_DOUBLE_EQ(r(2, 0), 5.0);
+  EXPECT_THROW(Matrix::from_rows({{1, 2}, {3}}), InvalidArgument);
+}
+
+TEST(Matrix, Norms) {
+  Matrix m{{3, 0}, {0, 4}};
+  EXPECT_DOUBLE_EQ(m.frobenius_norm(), 5.0);
+  EXPECT_DOUBLE_EQ(m.max_abs(), 4.0);
+}
+
+TEST(Matrix, StreamOutputContainsShape) {
+  Matrix m(2, 2, 1.0);
+  std::ostringstream os;
+  os << m;
+  EXPECT_NE(os.str().find("2x2"), std::string::npos);
+}
+
+TEST(VectorOps, DotAndNorms) {
+  const Vec a = {1, 2, 3};
+  const Vec b = {4, -5, 6};
+  EXPECT_DOUBLE_EQ(dot(a, b), 12.0);
+  EXPECT_DOUBLE_EQ(norm_squared(a), 14.0);
+  EXPECT_DOUBLE_EQ(norm(Vec{3, 4}), 5.0);
+  EXPECT_DOUBLE_EQ(norm1(b), 15.0);
+  EXPECT_DOUBLE_EQ(max_abs(b), 6.0);
+  EXPECT_THROW(dot(a, Vec{1}), InvalidArgument);
+}
+
+TEST(VectorOps, AxpyAddSubScaleConcat) {
+  Vec y = {1, 1};
+  axpy(2.0, Vec{3, -1}, y);
+  EXPECT_EQ(y, (Vec{7, -1}));
+  EXPECT_EQ(add(Vec{1, 2}, Vec{3, 4}), (Vec{4, 6}));
+  EXPECT_EQ(sub(Vec{1, 2}, Vec{3, 4}), (Vec{-2, -2}));
+  EXPECT_EQ(scale(3.0, Vec{1, -2}), (Vec{3, -6}));
+  EXPECT_EQ(concat(Vec{1}, Vec{2, 3}), (Vec{1, 2, 3}));
+}
+
+TEST(VectorOps, ApproxEqual) {
+  EXPECT_TRUE(approx_equal(Vec{1.0, 2.0}, Vec{1.0 + 1e-10, 2.0}, 1e-9));
+  EXPECT_FALSE(approx_equal(Vec{1.0, 2.0}, Vec{1.1, 2.0}, 1e-9));
+  EXPECT_FALSE(approx_equal(Vec{1.0}, Vec{1.0, 2.0}, 1e-9));
+}
+
+}  // namespace
+}  // namespace aspe::linalg

@@ -1,0 +1,168 @@
+#include "core/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "rng/rng.hpp"
+
+namespace aspe::core {
+namespace {
+
+TEST(PrecisionRecall, PerfectReconstruction) {
+  const BitVec v{1, 0, 1, 1, 0};
+  const auto pr = binary_precision_recall(v, v);
+  EXPECT_TRUE(pr.precision_valid);
+  EXPECT_TRUE(pr.recall_valid);
+  EXPECT_DOUBLE_EQ(pr.precision, 1.0);
+  EXPECT_DOUBLE_EQ(pr.recall, 1.0);
+}
+
+TEST(PrecisionRecall, PartialOverlap) {
+  const BitVec truth{1, 1, 1, 0, 0};
+  const BitVec recon{1, 0, 0, 1, 0};
+  const auto pr = binary_precision_recall(truth, recon);
+  EXPECT_DOUBLE_EQ(pr.precision, 0.5);       // 1 of 2 predicted
+  EXPECT_DOUBLE_EQ(pr.recall, 1.0 / 3.0);    // 1 of 3 true
+}
+
+TEST(PrecisionRecall, EmptyReconstructionInvalidPrecision) {
+  const auto pr = binary_precision_recall(BitVec{1, 0}, BitVec{0, 0});
+  EXPECT_FALSE(pr.precision_valid);
+  EXPECT_TRUE(pr.recall_valid);
+  EXPECT_DOUBLE_EQ(pr.recall, 0.0);
+}
+
+TEST(PrecisionRecall, EmptyTruthInvalidRecall) {
+  const auto pr = binary_precision_recall(BitVec{0, 0}, BitVec{1, 0});
+  EXPECT_TRUE(pr.precision_valid);
+  EXPECT_FALSE(pr.recall_valid);
+  EXPECT_DOUBLE_EQ(pr.precision, 0.0);
+}
+
+TEST(PrecisionRecall, LengthChecked) {
+  EXPECT_THROW(binary_precision_recall(BitVec{1}, BitVec{1, 0}),
+               InvalidArgument);
+}
+
+TEST(PrecisionRecall, AverageSkipsInvalid) {
+  std::vector<PrecisionRecall> prs = {
+      {1.0, 0.5, true, true},
+      {0.0, 0.25, false, true},  // precision invalid
+      {0.5, 0.0, true, false},   // recall invalid
+  };
+  const auto avg = average(prs);
+  EXPECT_DOUBLE_EQ(avg.precision, 0.75);  // (1 + 0.5) / 2
+  EXPECT_DOUBLE_EQ(avg.recall, 0.375);    // (0.5 + 0.25) / 2
+}
+
+TEST(PrecisionRecall, AverageOfNothingIsInvalid) {
+  const auto avg = average({});
+  EXPECT_FALSE(avg.precision_valid);
+  EXPECT_FALSE(avg.recall_valid);
+}
+
+TEST(Jaccard, KnownValues) {
+  EXPECT_DOUBLE_EQ(jaccard(BitVec{1, 1, 0}, BitVec{1, 0, 1}), 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(jaccard(BitVec{0, 0}, BitVec{0, 0}), 1.0);
+  EXPECT_DOUBLE_EQ(jaccard(BitVec{1, 1}, BitVec{1, 1}), 1.0);
+  EXPECT_DOUBLE_EQ(jaccard(BitVec{1, 0}, BitVec{0, 1}), 0.0);
+}
+
+TEST(Hamming, KnownValues) {
+  EXPECT_EQ(hamming(BitVec{1, 0, 1}, BitVec{1, 1, 0}), 2u);
+  EXPECT_EQ(hamming(BitVec{}, BitVec{}), 0u);
+  EXPECT_THROW(hamming(BitVec{1}, BitVec{1, 0}), InvalidArgument);
+}
+
+TEST(AlignLatentDimensions, RecoversPlantedPermutation) {
+  rng::Rng rng(5);
+  const std::size_t d = 12;
+  std::vector<BitVec> truth_idx, truth_trap;
+  for (int i = 0; i < 20; ++i) truth_idx.push_back(rng.binary_bernoulli(d, 0.3));
+  for (int j = 0; j < 15; ++j) truth_trap.push_back(rng.binary_bernoulli(d, 0.2));
+
+  // Scramble positions with a known permutation: recon[k] = truth[sigma[k]]
+  // i.e. recon position k holds truth position sigma[k].
+  const auto sigma = rng.permutation(d);
+  auto scramble = [&](const BitVec& v) {
+    BitVec out(d);
+    for (std::size_t k = 0; k < d; ++k) out[k] = v[sigma[k]];
+    return out;
+  };
+  std::vector<BitVec> recon_idx, recon_trap;
+  for (const auto& v : truth_idx) recon_idx.push_back(scramble(v));
+  for (const auto& v : truth_trap) recon_trap.push_back(scramble(v));
+
+  const auto perm =
+      align_latent_dimensions(truth_idx, truth_trap, recon_idx, recon_trap);
+  // Applying perm to a reconstructed vector must give back the truth.
+  for (std::size_t i = 0; i < truth_idx.size(); ++i) {
+    EXPECT_EQ(apply_permutation(recon_idx[i], perm), truth_idx[i]);
+  }
+  for (std::size_t j = 0; j < truth_trap.size(); ++j) {
+    EXPECT_EQ(apply_permutation(recon_trap[j], perm), truth_trap[j]);
+  }
+}
+
+TEST(AlignLatentDimensions, ToleratesNoise) {
+  // A few flipped bits must not derail the alignment.
+  rng::Rng rng(6);
+  const std::size_t d = 10;
+  std::vector<BitVec> truth_idx;
+  for (int i = 0; i < 30; ++i) truth_idx.push_back(rng.binary_bernoulli(d, 0.4));
+  const auto sigma = rng.permutation(d);
+  std::vector<BitVec> recon_idx;
+  for (const auto& v : truth_idx) {
+    BitVec out(d);
+    for (std::size_t k = 0; k < d; ++k) out[k] = v[sigma[k]];
+    if (rng.bernoulli(0.2)) {
+      const auto flip = static_cast<std::size_t>(rng.uniform_int(0, d - 1));
+      out[flip] ^= 1;
+    }
+    recon_idx.push_back(std::move(out));
+  }
+  const auto perm = align_latent_dimensions(truth_idx, {}, recon_idx, {});
+  // sigma maps recon position k -> truth position sigma[k]; perm should too.
+  std::size_t agree = 0;
+  for (std::size_t k = 0; k < d; ++k) agree += perm[k] == sigma[k];
+  EXPECT_GE(agree, d - 1);
+}
+
+TEST(AlignLatentDimensions, Validation) {
+  EXPECT_THROW(align_latent_dimensions({}, {}, {}, {}), InvalidArgument);
+  EXPECT_THROW(align_latent_dimensions({BitVec{1, 0}}, {}, {}, {}),
+               InvalidArgument);
+}
+
+TEST(ApplyPermutation, Basic) {
+  EXPECT_EQ(apply_permutation(BitVec{1, 0, 1}, {2, 0, 1}),
+            (BitVec{0, 1, 1}));
+  EXPECT_THROW(apply_permutation(BitVec{1}, {0, 1}), InvalidArgument);
+}
+
+TEST(TopKOverlap, FullPartialAndNone) {
+  EXPECT_DOUBLE_EQ(top_k_overlap({1, 2, 3}, {3, 2, 1}), 1.0);
+  EXPECT_DOUBLE_EQ(top_k_overlap({1, 2, 3}, {1, 9, 8}), 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(top_k_overlap({1, 2}, {7, 8}), 0.0);
+  EXPECT_DOUBLE_EQ(top_k_overlap({5}, {}), 0.0);
+  EXPECT_THROW(top_k_overlap({}, {1}), InvalidArgument);
+}
+
+TEST(TopFrequencies, CountsAndOrders) {
+  const BitVec a{1, 0}, b{0, 1}, c{1, 1};
+  const std::vector<BitVec> rows = {a, b, a, c, a, b};
+  const auto top = top_frequencies(rows, 2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].first, 0u);   // first occurrence of a
+  EXPECT_EQ(top[0].second, 3u);  // a repeats 3 times
+  EXPECT_EQ(top[1].first, 1u);
+  EXPECT_EQ(top[1].second, 2u);
+}
+
+TEST(TopFrequencies, KLargerThanGroups) {
+  const auto top = top_frequencies({BitVec{1}, BitVec{0}}, 10);
+  EXPECT_EQ(top.size(), 2u);
+}
+
+}  // namespace
+}  // namespace aspe::core

@@ -1,0 +1,162 @@
+#include "core/mip_attack.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/metrics.hpp"
+#include "data/quest.hpp"
+#include "data/queries.hpp"
+#include "rng/rng.hpp"
+
+namespace aspe::core {
+namespace {
+
+struct Scenario {
+  std::vector<BitVec> records;
+  BitVec query;
+  sse::MrseKpaView view;
+  double mu;
+  double sigma;
+};
+
+Scenario make_scenario(std::size_t d, std::size_t m, double density,
+                       double sigma, std::size_t query_ones,
+                       std::uint64_t seed) {
+  scheme::MrseOptions opt;
+  opt.vocab_dim = d;
+  opt.sigma = sigma;
+  opt.mu = 1.0;
+  sse::RankedSearchSystem system(opt, seed);
+  rng::Rng rng(seed ^ 0x5555);
+
+  Scenario s;
+  s.mu = opt.mu;
+  s.sigma = sigma;
+  data::QuestOptions qopt;
+  qopt.num_items = d;
+  qopt.density = density;
+  qopt.num_transactions = m;
+  s.records = data::QuestGenerator(qopt, rng.child(1)).generate();
+  system.upload_records(s.records);
+
+  s.query = rng.binary_with_k_ones(d, query_ones);
+  system.ranked_query(s.query, 5);
+
+  std::vector<std::size_t> all_ids;
+  for (std::size_t i = 0; i < m; ++i) all_ids.push_back(i);
+  s.view = sse::leak_known_records(system, all_ids);
+  return s;
+}
+
+MipAttackOptions fast_options() {
+  MipAttackOptions opt;
+  opt.solver.time_limit_seconds = 15.0;
+  return opt;
+}
+
+TEST(MipAttack, ReconstructsQueryOnModerateDensity) {
+  // d = m = 30, rho = 20%, sigma = 0.5 — the "realistic" regime of Table II
+  // at reduced scale. Expect high precision/recall of the found solution.
+  const Scenario s = make_scenario(30, 30, 0.20, 0.5, 5, 1);
+  const MipAttackResult res =
+      run_mip_attack(s.view, 0, s.mu, s.sigma, fast_options());
+  ASSERT_TRUE(res.found) << "status=" << static_cast<int>(res.status);
+  const auto pr = binary_precision_recall(s.query, res.query);
+  EXPECT_GE(pr.precision, 0.6);
+  EXPECT_GE(pr.recall, 0.6);
+}
+
+TEST(MipAttack, TrueQueryIsAlwaysFeasibleForLargeL) {
+  // Feasibility sanity: with l large, the true (rhat, that, Q) satisfies
+  // every constraint, so the model must be feasible.
+  const Scenario s = make_scenario(20, 20, 0.25, 0.5, 4, 3);
+  MipAttackOptions opt = fast_options();
+  opt.l = 6.0;
+  const MipAttackResult res = run_mip_attack(s.view, 0, s.mu, s.sigma, opt);
+  EXPECT_TRUE(res.found);
+}
+
+TEST(MipAttack, SolutionSatisfiesNoiseBand) {
+  const Scenario s = make_scenario(24, 24, 0.2, 0.5, 4, 5);
+  const MipAttackOptions opt = fast_options();
+  const MipAttackResult res = run_mip_attack(s.view, 0, s.mu, s.sigma, opt);
+  ASSERT_TRUE(res.found);
+  EXPECT_GT(res.rhat, 0.0);
+  EXPECT_GT(res.that, 0.0);
+  // Recheck Eq. (14) on the returned point.
+  for (const auto& pair : s.view.known_pairs) {
+    const double c = scheme::cipher_score(
+        pair.cipher, s.view.observed.cipher_trapdoors[0]);
+    double pq = 0.0;
+    for (std::size_t k = 0; k < res.query.size(); ++k) {
+      pq += pair.record[k] && res.query[k] ? 1.0 : 0.0;
+    }
+    const double noise = res.rhat * c - res.that - pq;
+    EXPECT_GE(noise, s.mu - opt.l * s.sigma - 1e-5);
+    EXPECT_LE(noise, s.mu + opt.l * s.sigma + 1e-5);
+  }
+}
+
+TEST(MipAttack, MorePairsImproveAccuracy) {
+  // The paper's Figure 2 trend at miniature scale: accuracy grows with m.
+  double small_f1 = 0.0, large_f1 = 0.0;
+  int small_found = 0, large_found = 0;
+  for (std::uint64_t seed = 10; seed < 14; ++seed) {
+    const Scenario small = make_scenario(24, 6, 0.25, 0.5, 4, seed);
+    const Scenario large = make_scenario(24, 36, 0.25, 0.5, 4, seed);
+    const auto rs =
+        run_mip_attack(small.view, 0, small.mu, small.sigma, fast_options());
+    const auto rl =
+        run_mip_attack(large.view, 0, large.mu, large.sigma, fast_options());
+    auto f1 = [](const PrecisionRecall& pr) {
+      const double p = pr.precision_valid ? pr.precision : 0.0;
+      const double r = pr.recall_valid ? pr.recall : 0.0;
+      return p + r > 0 ? 2 * p * r / (p + r) : 0.0;
+    };
+    if (rs.found) {
+      small_f1 += f1(binary_precision_recall(small.query, rs.query));
+      ++small_found;
+    }
+    if (rl.found) {
+      large_f1 += f1(binary_precision_recall(large.query, rl.query));
+      ++large_found;
+    }
+  }
+  ASSERT_GT(large_found, 0);
+  if (small_found > 0) {
+    EXPECT_GE(large_f1 / large_found, small_f1 / small_found - 0.15);
+  }
+}
+
+TEST(MipAttack, InfeasibleWhenBandTooTight) {
+  // l -> 0 shrinks the noise band to a point; the model should be infeasible
+  // (or at least find nothing) because actual noises are spread out.
+  const Scenario s = make_scenario(16, 16, 0.3, 0.5, 3, 21);
+  MipAttackOptions opt = fast_options();
+  opt.l = 1e-6;
+  const MipAttackResult res = run_mip_attack(s.view, 0, s.mu, s.sigma, opt);
+  EXPECT_FALSE(res.found);
+}
+
+TEST(MipAttack, ModelShape) {
+  const Scenario s = make_scenario(10, 7, 0.3, 0.5, 2, 23);
+  const opt::Model model = build_mip_attack_model(
+      s.view.known_pairs, s.view.observed.cipher_trapdoors[0], s.mu, s.sigma,
+      MipAttackOptions{});
+  // 2 continuous + d binaries; 1 cardinality row + 2 rows per pair.
+  EXPECT_EQ(model.num_variables(), 2u + 10u);
+  EXPECT_EQ(model.num_constraints(), 1u + 2u * 7u);
+  EXPECT_TRUE(model.has_integer_variables());
+}
+
+TEST(MipAttack, Validation) {
+  EXPECT_THROW(
+      build_mip_attack_model({}, scheme::CipherPair{}, 1.0, 0.5,
+                             MipAttackOptions{}),
+      InvalidArgument);
+  const Scenario s = make_scenario(8, 5, 0.3, 0.5, 2, 25);
+  EXPECT_THROW(run_mip_attack(s.view, 9, s.mu, s.sigma, MipAttackOptions{}),
+               InvalidArgument);  // trapdoor id out of range
+}
+
+}  // namespace
+}  // namespace aspe::core

@@ -1,0 +1,110 @@
+#include "scheme/mkfse.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "rng/rng.hpp"
+
+namespace aspe::scheme {
+namespace {
+
+MkfseOptions options(std::size_t bits = 200, std::size_t l = 2) {
+  MkfseOptions opt;
+  opt.bloom_bits = bits;
+  opt.lsh_functions = l;
+  return opt;
+}
+
+std::size_t bits_dot(const BitVec& a, const BitVec& b) {
+  std::size_t s = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) s += a[i] && b[i];
+  return s;
+}
+
+TEST(Mkfse, IndexGenerationIsDeterministic) {
+  // Eq. (15) is deterministic given the key — the root cause of §V's attack.
+  rng::Rng rng(1);
+  const Mkfse scheme(options(), rng);
+  const std::vector<std::string> kws = {"cloud", "encryption", "search"};
+  EXPECT_EQ(scheme.build_index(kws), scheme.build_index(kws));
+  EXPECT_EQ(scheme.build_index(kws), scheme.build_trapdoor(kws));
+}
+
+TEST(Mkfse, DifferentKeywordSetsGiveDifferentIndexes) {
+  rng::Rng rng(2);
+  const Mkfse scheme(options(), rng);
+  EXPECT_NE(scheme.build_index({"alpha", "beta"}),
+            scheme.build_index({"gamma", "delta"}));
+}
+
+TEST(Mkfse, ScoreEqualsPlainInnerProduct) {
+  // Eq. (16): I'^T T' = I^T T exactly (up to fp noise).
+  rng::Rng rng(3);
+  const Mkfse scheme(options(150), rng);
+  const std::vector<std::vector<std::string>> docs = {
+      {"secure", "nearest", "neighbor"},
+      {"cloud", "storage", "privacy", "secure"},
+      {"matrix", "factorization"},
+  };
+  const std::vector<std::string> query = {"secure", "cloud"};
+  const BitVec trapdoor = scheme.build_trapdoor(query);
+  const CipherPair ct = scheme.encrypt_trapdoor(trapdoor, rng);
+  for (const auto& doc : docs) {
+    const BitVec index = scheme.build_index(doc);
+    const CipherPair ci = scheme.encrypt_index(index, rng);
+    EXPECT_NEAR(Mkfse::score(ci, ct),
+                static_cast<double>(bits_dot(index, trapdoor)), 1e-5);
+  }
+}
+
+TEST(Mkfse, MatchingKeywordsRaiseScore) {
+  rng::Rng rng(4);
+  const Mkfse scheme(options(300), rng);
+  const BitVec t = scheme.build_trapdoor({"privacy", "preserving", "search"});
+  const BitVec match = scheme.build_index({"privacy", "preserving", "search",
+                                           "cloud"});
+  const BitVec nomatch = scheme.build_index({"unrelated", "words", "here"});
+  EXPECT_GT(bits_dot(match, t), bits_dot(nomatch, t));
+}
+
+TEST(Mkfse, FuzzyMatchingToleratesTypos) {
+  // A one-letter typo should still collide in most LSH positions, giving a
+  // higher score than a different word. Averaged over keys to be robust.
+  int fuzzy_wins = 0;
+  for (int seed = 0; seed < 12; ++seed) {
+    rng::Rng rng(100 + seed);
+    const Mkfse scheme(options(300, 3), rng);
+    const BitVec t = scheme.build_trapdoor({"signature"});
+    const std::size_t typo =
+        bits_dot(scheme.build_index({"signatura"}), t);
+    const std::size_t other =
+        bits_dot(scheme.build_index({"blockchain"}), t);
+    fuzzy_wins += typo > other;
+  }
+  EXPECT_GE(fuzzy_wins, 6);
+}
+
+TEST(Mkfse, CamouflageChangesRawBloomPositions) {
+  // The same keyword set under different keys lands on different positions.
+  rng::Rng rng1(5), rng2(6);
+  const Mkfse a(options(), rng1);
+  const Mkfse b(options(), rng2);
+  EXPECT_NE(a.build_index({"cloud", "secure"}),
+            b.build_index({"cloud", "secure"}));
+}
+
+TEST(Mkfse, EmptyKeywordSetGivesZeroVector) {
+  rng::Rng rng(7);
+  const Mkfse scheme(options(), rng);
+  EXPECT_EQ(popcount(scheme.build_index({})), 0u);
+}
+
+TEST(Mkfse, EncryptionValidation) {
+  rng::Rng rng(8);
+  const Mkfse scheme(options(100), rng);
+  EXPECT_THROW(scheme.encrypt_index(BitVec(99, 0), rng), InvalidArgument);
+  EXPECT_THROW(scheme.encrypt_trapdoor(BitVec(101, 0), rng), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace aspe::scheme

@@ -1,0 +1,159 @@
+#include "scheme/mrse.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "rng/rng.hpp"
+
+namespace aspe::scheme {
+namespace {
+
+MrseOptions options(std::size_t d, std::size_t u = 8, double mu = 1.0,
+                    double sigma = 0.5) {
+  MrseOptions opt;
+  opt.vocab_dim = d;
+  opt.num_dummies = u;
+  opt.mu = mu;
+  opt.sigma = sigma;
+  return opt;
+}
+
+double bits_dot(const BitVec& a, const BitVec& b) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) s += a[i] && b[i] ? 1.0 : 0.0;
+  return s;
+}
+
+TEST(Mrse, IndexLayoutMatchesEquationEleven) {
+  rng::Rng rng(1);
+  const Mrse scheme(options(10), rng);
+  const BitVec p = rng.binary_with_k_ones(10, 4);
+  const Vec index = scheme.build_index(p, rng);
+  ASSERT_EQ(index.size(), 10u + 8u + 1u);
+  for (std::size_t k = 0; k < 10; ++k) {
+    EXPECT_DOUBLE_EQ(index[k], static_cast<double>(p[k]));
+  }
+  EXPECT_DOUBLE_EQ(index.back(), 1.0);
+  // Noise entries within the documented uniform range.
+  const double center = 2.0 * 1.0 / 8.0;
+  const double half = scheme.noise_half_width();
+  for (std::size_t k = 10; k < 18; ++k) {
+    EXPECT_GE(index[k], center - half);
+    EXPECT_LE(index[k], center + half);
+  }
+}
+
+TEST(Mrse, TrapdoorLayoutAndSecrets) {
+  rng::Rng rng(2);
+  const Mrse scheme(options(10), rng);
+  const BitVec q = rng.binary_with_k_ones(10, 3);
+  MrseTrapdoorSecrets secrets;
+  const Vec t = scheme.build_trapdoor(q, rng, &secrets);
+  ASSERT_EQ(t.size(), 19u);
+  EXPECT_GT(secrets.r, 0.0);
+  EXPECT_GT(secrets.t, 0.0);
+  EXPECT_EQ(popcount(secrets.v), 4u);  // exactly U/2 ones
+  for (std::size_t k = 0; k < 10; ++k) {
+    EXPECT_DOUBLE_EQ(t[k], secrets.r * q[k]);
+  }
+  for (std::size_t k = 0; k < 8; ++k) {
+    EXPECT_DOUBLE_EQ(t[10 + k], secrets.r * secrets.v[k]);
+  }
+  EXPECT_DOUBLE_EQ(t.back(), secrets.t);
+}
+
+TEST(Mrse, ScoreMatchesEquationTwelve) {
+  // I'^T T' = r (P.Q + E.V) + t, verified against the plaintext quantities.
+  rng::Rng rng(3);
+  const Mrse scheme(options(12), rng);
+  for (int trial = 0; trial < 15; ++trial) {
+    const BitVec p = rng.binary_bernoulli(12, 0.3);
+    const BitVec q = rng.binary_with_k_ones(12, 3);
+    const Vec index = scheme.build_index(p, rng);
+    MrseTrapdoorSecrets s;
+    const Vec trapdoor = scheme.build_trapdoor(q, rng, &s);
+    double ev = 0.0;
+    for (std::size_t k = 0; k < 8; ++k) ev += index[12 + k] * s.v[k];
+    const double expected = s.r * (bits_dot(p, q) + ev) + s.t;
+
+    const CipherPair ci = scheme.encrypt_index(index, rng);
+    const CipherPair ct = scheme.encrypt_trapdoor(trapdoor, rng);
+    EXPECT_NEAR(Mrse::score(ci, ct), expected,
+                1e-6 * (1.0 + std::abs(expected)));
+  }
+}
+
+TEST(Mrse, AggregateNoiseMomentsMatchTargetDistribution) {
+  // E.V over random E and V (U/2 ones) must have mean mu and stddev sigma.
+  rng::Rng rng(4);
+  const double mu = 1.5, sigma = 0.7;
+  const std::size_t u = 16;
+  const Mrse scheme(options(4, u, mu, sigma), rng);
+  const int n = 8000;
+  double sum = 0.0, sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const Vec index = scheme.build_index(BitVec(4, 0), rng);
+    const BitVec v = rng.binary_with_k_ones(u, u / 2);
+    double ev = 0.0;
+    for (std::size_t k = 0; k < u; ++k) ev += index[4 + k] * v[k];
+    sum += ev;
+    sq += ev * ev;
+  }
+  const double mean = sum / n;
+  const double stddev = std::sqrt(sq / n - mean * mean);
+  EXPECT_NEAR(mean, mu, 0.05);
+  EXPECT_NEAR(stddev, sigma, 0.08);
+}
+
+TEST(Mrse, NoisyTopKApproximatesTrueTopKWithModerateSigma) {
+  // sigma = 0.5 ("realistic" per the paper) must keep the noisy ranking
+  // close to the true ranking; this is the usefulness precondition of
+  // Claim 1.
+  rng::Rng rng(5);
+  const std::size_t d = 40, n_records = 60;
+  const Mrse scheme(options(d, 8, 1.0, 0.5), rng);
+  std::vector<BitVec> records;
+  std::vector<CipherPair> ciphers;
+  for (std::size_t i = 0; i < n_records; ++i) {
+    records.push_back(rng.binary_bernoulli(d, 0.25));
+    ciphers.push_back(scheme.encrypt_record(records.back(), rng));
+  }
+  const BitVec q = rng.binary_with_k_ones(d, 8);
+  const CipherPair ct = scheme.encrypt_query(q, rng);
+
+  // Noisy top-10 vs true top-10 overlap.
+  std::vector<std::pair<double, std::size_t>> noisy, truth;
+  for (std::size_t i = 0; i < n_records; ++i) {
+    noisy.push_back({-Mrse::score(ciphers[i], ct), i});
+    truth.push_back({-bits_dot(records[i], q), i});
+  }
+  std::sort(noisy.begin(), noisy.end());
+  std::sort(truth.begin(), truth.end());
+  std::size_t overlap = 0;
+  for (std::size_t a = 0; a < 10; ++a) {
+    for (std::size_t b = 0; b < 10; ++b) {
+      overlap += noisy[a].second == truth[b].second;
+    }
+  }
+  EXPECT_GE(overlap, 5u);
+}
+
+TEST(Mrse, Validation) {
+  rng::Rng rng(6);
+  EXPECT_THROW(Mrse(options(0), rng), InvalidArgument);
+  auto bad = options(4);
+  bad.num_dummies = 3;  // odd
+  EXPECT_THROW(Mrse(bad, rng), InvalidArgument);
+  bad = options(4);
+  bad.sigma = 0.0;
+  EXPECT_THROW(Mrse(bad, rng), InvalidArgument);
+  const Mrse scheme(options(4), rng);
+  EXPECT_THROW(scheme.build_index(BitVec(3, 0), rng), InvalidArgument);
+  EXPECT_THROW(scheme.build_trapdoor(BitVec(5, 0), rng), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace aspe::scheme

@@ -1,0 +1,135 @@
+// Tests reproducing §III.A: the previous attack from [26] cannot be executed
+// as described, whereas LEP succeeds in the same setting.
+#include "core/naive_attack.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "core/lep.hpp"
+#include "linalg/vector_ops.hpp"
+#include "rng/rng.hpp"
+#include "scheme/scheme2.hpp"
+#include "sse/adversary_view.hpp"
+#include "sse/system.hpp"
+
+namespace aspe::core {
+namespace {
+
+struct Scenario {
+  Vec target_record;
+  std::vector<Vec> queries;
+  std::vector<double> true_r;
+  NaiveAttackInput input;
+  sse::SecureKnnSystem system;
+  Scenario(std::size_t d, std::uint64_t seed)
+      : system(make_options(d), seed) {}
+  static scheme::Scheme2Options make_options(std::size_t d) {
+    scheme::Scheme2Options opt;
+    opt.record_dim = d;
+    return opt;
+  }
+};
+
+Scenario make_scenario(std::size_t d, std::uint64_t seed) {
+  Scenario s(d, seed);
+  rng::Rng rng(seed ^ 0x77);
+  s.target_record = rng.uniform_vec(d, -2.0, 2.0);
+  s.system.upload_records({s.target_record});
+
+  // The adversary of [26] knows (Q_j, T'_j) pairs. We expose them by
+  // encrypting queries with known plaintext; r_j stays hidden inside the
+  // trapdoor as in a real deployment.
+  rng::Rng enc_rng(seed ^ 0x99);
+  for (std::size_t j = 0; j < d + 2; ++j) {
+    s.queries.push_back(rng.uniform_vec(d, -2.0, 2.0));
+    const double r = rng.uniform(0.5, 2.0);
+    s.true_r.push_back(r);
+    s.input.cipher_trapdoors.push_back(
+        s.system.scheme().encrypt_query_with_r(s.queries[j], r, enc_rng));
+    s.input.known_queries.push_back(s.queries[j]);
+  }
+  s.input.cipher_index = s.system.server().indexes()[0];
+  return s;
+}
+
+TEST(NaiveAttack, SucceedsOnlyWithTheTrueHiddenMultipliers) {
+  // Sanity: if the adversary magically knew every r_j, the linear system is
+  // well posed and recovers the record. (This is precisely the information
+  // [26] does not have.)
+  auto s = make_scenario(6, 1);
+  s.input.assumed_r = s.true_r;
+  const auto res = run_naive_attack(s.input);
+  EXPECT_TRUE(res.quadratic_consistent);
+  EXPECT_TRUE(linalg::approx_equal(res.recovered_record, s.target_record, 1e-5));
+}
+
+TEST(NaiveAttack, FailsUnderTheImplicitUnitGuess) {
+  // Executed as described (r_j implicitly 1), the attack produces garbage:
+  // wrong record and a violated quadratic constraint.
+  auto s = make_scenario(6, 2);
+  const auto res = run_naive_attack(s.input);  // assumed_r defaults to 1
+  EXPECT_FALSE(res.quadratic_consistent);
+  EXPECT_GT(linalg::norm(linalg::sub(res.recovered_record, s.target_record)),
+            0.5);
+}
+
+TEST(NaiveAttack, EveryGuessYieldsADifferentSolution) {
+  // §III.A: with the r_j unknown there are 2d unknowns in d equations — the
+  // "solution" is an artifact of the guess.
+  auto s = make_scenario(5, 3);
+  rng::Rng rng(4);
+  std::vector<Vec> guesses;
+  for (int g = 0; g < 4; ++g) {
+    guesses.push_back(rng.uniform_vec(s.input.known_queries.size(), 0.5, 2.0));
+  }
+  const double spread = naive_attack_solution_spread(s.input, guesses);
+  EXPECT_GT(spread, 0.5);
+}
+
+TEST(NaiveAttack, LepSucceedsOnTheSameDeployment) {
+  // The contrast the paper draws: same scheme, same observations plus the
+  // *record-side* knowledge of the proper KPA model — complete disclosure.
+  const std::size_t d = 5;
+  scheme::Scheme2Options opt;
+  opt.record_dim = d;
+  sse::SecureKnnSystem system(opt, 7);
+  rng::Rng rng(8);
+  std::vector<Vec> records;
+  for (std::size_t i = 0; i < d + 3; ++i) {
+    records.push_back(rng.uniform_vec(d, -2.0, 2.0));
+  }
+  system.upload_records(records);
+  for (std::size_t j = 0; j < d + 2; ++j) {
+    system.knn_query(rng.uniform_vec(d, -2.0, 2.0), 2);
+  }
+  std::vector<std::size_t> ids;
+  for (std::size_t i = 0; i <= d; ++i) ids.push_back(i);
+  const auto lep = run_lep_attack(sse::leak_known_records(system, ids));
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    EXPECT_TRUE(linalg::approx_equal(lep.records[i], records[i], 1e-5));
+  }
+}
+
+TEST(NaiveAttack, Validation) {
+  NaiveAttackInput empty;
+  EXPECT_THROW(run_naive_attack(empty), InvalidArgument);
+
+  auto s = make_scenario(4, 9);
+  s.input.known_queries.resize(3);  // fewer than d+1
+  s.input.cipher_trapdoors.resize(3);
+  EXPECT_THROW(run_naive_attack(s.input), InvalidArgument);
+
+  auto s2 = make_scenario(4, 10);
+  EXPECT_THROW(naive_attack_solution_spread(s2.input, {Vec{1.0}}),
+               InvalidArgument);
+}
+
+TEST(NaiveAttack, SingularGuessedSystemDetected) {
+  auto s = make_scenario(4, 11);
+  // Make all known queries identical -> dependent rows.
+  for (auto& q : s.input.known_queries) q = s.input.known_queries[0];
+  EXPECT_THROW(run_naive_attack(s.input), NumericalError);
+}
+
+}  // namespace
+}  // namespace aspe::core

@@ -1,0 +1,118 @@
+// Edge-case suite for the NMF substrate: degenerate inputs that the attack
+// pipeline can produce (empty queries, rank-deficient score matrices, ...).
+#include <gtest/gtest.h>
+
+#include "nmf/nmf.hpp"
+#include "rng/rng.hpp"
+
+namespace aspe::nmf {
+namespace {
+
+using linalg::Matrix;
+
+TEST(NmfEdge, ZeroMatrixFactorsToNearZero) {
+  rng::Rng rng(1);
+  SparseNmfOptions opt;
+  opt.max_iterations = 100;
+  const NmfResult res = sparse_nmf(Matrix(6, 8, 0.0), 3, opt, rng);
+  EXPECT_LT(res.fit_error, 1e-3);
+  // Product must be ~0 everywhere.
+  const Matrix prod = res.w.transpose() * res.h;
+  EXPECT_LT(prod.max_abs(), 1e-2);
+}
+
+TEST(NmfEdge, RankOneMatrixRecoveredWithExcessRank) {
+  // Requested rank (3) exceeds the true rank (1): fit must still be exact.
+  rng::Rng rng(2);
+  Matrix w(1, 10), h(1, 12);
+  for (auto& x : w.data()) x = rng.bernoulli(0.5) ? 1.0 : 0.0;
+  for (auto& x : h.data()) x = rng.bernoulli(0.5) ? 1.0 : 0.0;
+  const Matrix r = w.transpose() * h;
+  SparseNmfOptions opt;
+  opt.max_iterations = 300;
+  opt.eta = 1e-4;
+  opt.lambda = 1e-4;
+  double best = 1e300;
+  for (int l = 0; l < 3; ++l) {
+    best = std::min(best, sparse_nmf(r, 3, opt, rng).fit_error);
+  }
+  EXPECT_LT(best, 0.05 * (1.0 + r.frobenius_norm()));
+}
+
+TEST(NmfEdge, SingleRowAndSingleColumn) {
+  rng::Rng rng(3);
+  SparseNmfOptions opt;
+  opt.max_iterations = 100;
+  const Matrix row(1, 7, 2.0);
+  const NmfResult r1 = sparse_nmf(row, 2, opt, rng);
+  EXPECT_EQ(r1.w.cols(), 1u);
+  EXPECT_EQ(r1.h.cols(), 7u);
+  EXPECT_LT(r1.fit_error, 0.5);
+
+  const Matrix col(7, 1, 3.0);
+  const NmfResult r2 = sparse_nmf(col, 2, opt, rng);
+  EXPECT_EQ(r2.w.cols(), 7u);
+  EXPECT_EQ(r2.h.cols(), 1u);
+  EXPECT_LT(r2.fit_error, 0.5);
+}
+
+TEST(NmfEdge, IdenticalColumnsGetIdenticalFactors) {
+  // Duplicate trapdoors (the Table-IV situation) must produce (near-)
+  // duplicate factor columns after binarization.
+  rng::Rng rng(4);
+  Matrix w(4, 20), h(4, 10);
+  for (auto& x : w.data()) x = rng.bernoulli(0.4) ? 1.0 : 0.0;
+  for (auto& x : h.data()) x = rng.bernoulli(0.4) ? 1.0 : 0.0;
+  // Make columns 3 and 7 of h identical.
+  for (std::size_t k = 0; k < 4; ++k) h(k, 7) = h(k, 3);
+  const Matrix r = w.transpose() * h;
+  SparseNmfOptions opt;
+  opt.max_iterations = 400;
+  opt.rel_tol = 1e-9;
+  NmfResult best;
+  bool have = false;
+  for (int l = 0; l < 4; ++l) {
+    NmfResult res = sparse_nmf(r, 4, opt, rng);
+    if (!have || res.objective < best.objective) {
+      best = std::move(res);
+      have = true;
+    }
+  }
+  balance_rows(best.w, best.h);
+  const Matrix hb = to_binary(best.h, 0.5);
+  for (std::size_t k = 0; k < 4; ++k) {
+    EXPECT_DOUBLE_EQ(hb(k, 3), hb(k, 7));
+  }
+}
+
+TEST(NmfEdge, RankLargerThanMatrixDimensionsWorks) {
+  rng::Rng rng(5);
+  Matrix r(3, 3, 1.0);
+  SparseNmfOptions opt;
+  opt.max_iterations = 50;
+  const NmfResult res = sparse_nmf(r, 5, opt, rng);  // rank 5 > 3
+  EXPECT_EQ(res.w.rows(), 5u);
+  EXPECT_LT(res.fit_error, 0.5);
+}
+
+TEST(NmfEdge, IterationBudgetZeroReturnsInitialization) {
+  rng::Rng rng(6);
+  SparseNmfOptions opt;
+  opt.max_iterations = 0;
+  const NmfResult res = sparse_nmf(Matrix(4, 4, 1.0), 2, opt, rng);
+  EXPECT_EQ(res.iterations, 0u);
+  for (auto x : res.w.data()) EXPECT_GE(x, 0.0);
+}
+
+TEST(NmfEdge, ConvergenceStopsEarlyOnEasyInput) {
+  rng::Rng rng(7);
+  const Matrix r(5, 5, 0.0);
+  SparseNmfOptions opt;
+  opt.max_iterations = 10000;
+  opt.rel_tol = 1e-4;
+  const NmfResult res = sparse_nmf(r, 2, opt, rng);
+  EXPECT_LT(res.iterations, 200u);  // must not burn the whole budget
+}
+
+}  // namespace
+}  // namespace aspe::nmf

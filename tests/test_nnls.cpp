@@ -1,0 +1,93 @@
+#include "nmf/nnls.hpp"
+
+#include <gtest/gtest.h>
+
+#include "linalg/vector_ops.hpp"
+#include "rng/rng.hpp"
+
+namespace aspe::nmf {
+namespace {
+
+using linalg::Matrix;
+
+TEST(Nnls, UnconstrainedOptimumAlreadyNonNegative) {
+  // A = I, b = (1, 2): x = b exactly.
+  const Vec x = nnls(Matrix::identity(2), Vec{1.0, 2.0});
+  EXPECT_NEAR(x[0], 1.0, 1e-9);
+  EXPECT_NEAR(x[1], 2.0, 1e-9);
+}
+
+TEST(Nnls, ClampsNegativeComponent) {
+  // A = I, b = (-1, 2): NNLS optimum is (0, 2).
+  const Vec x = nnls(Matrix::identity(2), Vec{-1.0, 2.0});
+  EXPECT_NEAR(x[0], 0.0, 1e-12);
+  EXPECT_NEAR(x[1], 2.0, 1e-9);
+}
+
+TEST(Nnls, LawsonHansonReferenceProblem) {
+  // Classic reference instance (Lawson & Hanson, Ch. 23 style).
+  const Matrix a{{1, 1, 1}, {1, 2, 3}, {1, 3, 6}, {1, 4, 10}};
+  const Vec b{0.7, 2.1, 4.1, 6.9};
+  const Vec x = nnls(a, b);
+  // Verify KKT conditions instead of hard-coded values: x >= 0 and the
+  // gradient A^T(Ax - b) is >= 0, ~0 on the support.
+  ASSERT_EQ(x.size(), 3u);
+  Vec residual = a.apply(x);
+  for (std::size_t i = 0; i < b.size(); ++i) residual[i] -= b[i];
+  const Vec grad = a.apply_transposed(residual);
+  for (std::size_t j = 0; j < 3; ++j) {
+    EXPECT_GE(x[j], -1e-12);
+    EXPECT_GE(grad[j], -1e-6);
+    if (x[j] > 1e-8) EXPECT_NEAR(grad[j], 0.0, 1e-6);
+  }
+}
+
+TEST(Nnls, RecoversPlantedNonNegativeSolution) {
+  rng::Rng rng(5);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t n = 3 + static_cast<std::size_t>(rng.uniform_int(0, 5));
+    const std::size_t rows = n + 4;
+    Matrix a(rows, n);
+    for (auto& v : a.data()) v = rng.uniform(0.0, 1.0);
+    Vec planted(n);
+    for (auto& v : planted) v = rng.bernoulli(0.6) ? rng.uniform(0.0, 3.0) : 0.0;
+    const Vec b = a.apply(planted);
+    const Vec x = nnls(a, b);
+    // Consistent system: residual must be ~0 (solution may differ if the
+    // planted support is not unique, but the fit must be exact).
+    Vec r = a.apply(x);
+    for (std::size_t i = 0; i < rows; ++i) r[i] -= b[i];
+    EXPECT_LT(linalg::norm(r), 1e-6) << "trial " << trial;
+  }
+}
+
+TEST(Nnls, GramInterfaceMatchesDirect) {
+  rng::Rng rng(9);
+  const Matrix a{{1, 2}, {3, 4}, {5, 6}};
+  const Vec b{1, -2, 3};
+  Matrix g(2, 2, 0.0);
+  for (std::size_t i = 0; i < 2; ++i) {
+    for (std::size_t j = 0; j < 2; ++j) {
+      for (std::size_t r = 0; r < 3; ++r) g(i, j) += a(r, i) * a(r, j);
+    }
+  }
+  const Vec f = a.apply_transposed(b);
+  const Vec x1 = nnls(a, b);
+  const Vec x2 = nnls_gram(g, f);
+  EXPECT_TRUE(linalg::approx_equal(x1, x2, 1e-8));
+}
+
+TEST(Nnls, ZeroRhsGivesZero) {
+  const Vec x = nnls(Matrix{{1, 2}, {3, 4}}, Vec{0, 0});
+  EXPECT_NEAR(x[0], 0.0, 1e-12);
+  EXPECT_NEAR(x[1], 0.0, 1e-12);
+}
+
+TEST(Nnls, DimensionChecks) {
+  EXPECT_THROW(nnls(Matrix(2, 2), Vec{1, 2, 3}), InvalidArgument);
+  EXPECT_THROW(nnls_gram(Matrix(2, 3), Vec{1, 2}), InvalidArgument);
+  EXPECT_THROW(nnls_gram(Matrix(2, 2), Vec{1}), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace aspe::nmf

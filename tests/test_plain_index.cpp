@@ -1,0 +1,86 @@
+#include "scheme/plain_index.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "linalg/vector_ops.hpp"
+#include "rng/rng.hpp"
+
+namespace aspe::scheme {
+namespace {
+
+TEST(PlainIndex, MakeIndexAppendsQuadraticTerm) {
+  const Vec index = make_index(Vec{3.0, 4.0});
+  ASSERT_EQ(index.size(), 3u);
+  EXPECT_DOUBLE_EQ(index[0], 3.0);
+  EXPECT_DOUBLE_EQ(index[1], 4.0);
+  EXPECT_DOUBLE_EQ(index[2], -12.5);  // -0.5 * 25
+}
+
+TEST(PlainIndex, MakeTrapdoorScalesByR) {
+  const Vec t = make_trapdoor(Vec{1.0, -2.0}, 3.0);
+  ASSERT_EQ(t.size(), 3u);
+  EXPECT_DOUBLE_EQ(t[0], 3.0);
+  EXPECT_DOUBLE_EQ(t[1], -6.0);
+  EXPECT_DOUBLE_EQ(t[2], 3.0);
+}
+
+TEST(PlainIndex, RoundTrips) {
+  rng::Rng rng(1);
+  const Vec p = rng.uniform_vec(7, -5.0, 5.0);
+  EXPECT_EQ(record_from_index(make_index(p)), p);
+
+  const Vec q = rng.uniform_vec(7, -5.0, 5.0);
+  const auto rec = query_from_trapdoor(make_trapdoor(q, 1.7));
+  EXPECT_NEAR(rec.r, 1.7, 1e-12);
+  EXPECT_TRUE(linalg::approx_equal(rec.q, q, 1e-12));
+}
+
+TEST(PlainIndex, ConsistencyCheck) {
+  EXPECT_TRUE(index_is_consistent(make_index(Vec{1.0, 2.0, 3.0})));
+  Vec broken = make_index(Vec{1.0, 2.0, 3.0});
+  broken.back() += 1.0;
+  EXPECT_FALSE(index_is_consistent(broken));
+  EXPECT_FALSE(index_is_consistent(Vec{1.0}));
+}
+
+TEST(PlainIndex, ScoreEqualsEquationThree) {
+  // I^T T = r (P.Q - 0.5 ||P||^2).
+  rng::Rng rng(2);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Vec p = rng.uniform_vec(5, -2.0, 2.0);
+    const Vec q = rng.uniform_vec(5, -2.0, 2.0);
+    const double r = rng.uniform(0.5, 2.0);
+    const double score = plain_score(make_index(p), make_trapdoor(q, r));
+    const double expected =
+        r * (linalg::dot(p, q) - 0.5 * linalg::norm_squared(p));
+    EXPECT_NEAR(score, expected, 1e-10);
+  }
+}
+
+TEST(PlainIndex, DistanceComparisonProperty) {
+  // Theorem 3 of [25]: P1 nearer to Q than P2 iff (I1 - I2)^T T > 0.
+  rng::Rng rng(3);
+  for (int trial = 0; trial < 50; ++trial) {
+    const Vec p1 = rng.uniform_vec(4, -3.0, 3.0);
+    const Vec p2 = rng.uniform_vec(4, -3.0, 3.0);
+    const Vec q = rng.uniform_vec(4, -3.0, 3.0);
+    const double r = rng.uniform(0.1, 5.0);
+    const double d1 = linalg::norm_squared(linalg::sub(p1, q));
+    const double d2 = linalg::norm_squared(linalg::sub(p2, q));
+    const double s1 = plain_score(make_index(p1), make_trapdoor(q, r));
+    const double s2 = plain_score(make_index(p2), make_trapdoor(q, r));
+    EXPECT_EQ(d1 < d2, s1 > s2) << "trial " << trial;
+  }
+}
+
+TEST(PlainIndex, Validation) {
+  EXPECT_THROW(make_index(Vec{}), InvalidArgument);
+  EXPECT_THROW(make_trapdoor(Vec{}, 1.0), InvalidArgument);
+  EXPECT_THROW(make_trapdoor(Vec{1.0}, 0.0), InvalidArgument);
+  EXPECT_THROW(record_from_index(Vec{1.0}), InvalidArgument);
+  EXPECT_THROW(query_from_trapdoor(Vec{1.0, 0.0}), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace aspe::scheme

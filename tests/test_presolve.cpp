@@ -1,0 +1,166 @@
+#include "opt/presolve.hpp"
+
+#include <gtest/gtest.h>
+
+#include "opt/mip.hpp"
+#include "opt/simplex.hpp"
+
+namespace aspe::opt {
+namespace {
+
+TEST(Presolve, TightensUpperBoundFromRow) {
+  // x + y <= 4, y >= 0 -> x <= 4 (was 100).
+  Model m;
+  const auto x = m.add_variable(0.0, 100.0);
+  const auto y = m.add_variable(0.0, 100.0);
+  m.add_constraint({{x, 1.0}, {y, 1.0}}, Sense::LessEqual, 4.0);
+  const PresolveResult r = presolve(m);
+  EXPECT_FALSE(r.infeasible);
+  EXPECT_GT(r.bounds_tightened, 0u);
+  EXPECT_NEAR(m.variable(x).ub, 4.0, 1e-9);
+  EXPECT_NEAR(m.variable(y).ub, 4.0, 1e-9);
+}
+
+TEST(Presolve, TightensLowerBoundFromGreaterEqual) {
+  // 2x >= 6 with x in [0, 100] -> x >= 3.
+  Model m;
+  const auto x = m.add_variable(0.0, 100.0);
+  m.add_constraint({{x, 2.0}}, Sense::GreaterEqual, 6.0);
+  const PresolveResult r = presolve(m);
+  EXPECT_FALSE(r.infeasible);
+  EXPECT_NEAR(m.variable(x).lb, 3.0, 1e-9);
+}
+
+TEST(Presolve, NegativeCoefficientsHandled) {
+  // -x <= -5 -> x >= 5.
+  Model m;
+  const auto x = m.add_variable(0.0, 100.0);
+  m.add_constraint({{x, -1.0}}, Sense::LessEqual, -5.0);
+  (void)presolve(m);
+  EXPECT_NEAR(m.variable(x).lb, 5.0, 1e-9);
+}
+
+TEST(Presolve, RoundsIntegerBounds) {
+  // 3x <= 10, x integer -> x <= 3 (not 10/3).
+  Model m;
+  const auto x = m.add_variable(0.0, 100.0, VarType::Integer);
+  m.add_constraint({{x, 3.0}}, Sense::LessEqual, 10.0);
+  (void)presolve(m);
+  EXPECT_NEAR(m.variable(x).ub, 3.0, 1e-9);
+}
+
+TEST(Presolve, DetectsTriviallyInfeasibleRow) {
+  // x + y >= 10 with x, y in [0, 4] -> max activity 8 < 10.
+  Model m;
+  const auto x = m.add_variable(0.0, 4.0);
+  const auto y = m.add_variable(0.0, 4.0);
+  m.add_constraint({{x, 1.0}, {y, 1.0}}, Sense::GreaterEqual, 10.0);
+  EXPECT_TRUE(presolve(m).infeasible);
+}
+
+TEST(Presolve, DetectsInfeasibleThroughPropagation) {
+  // x <= 2 (from row 1), then x >= 3 (row 2): box collapses.
+  Model m;
+  const auto x = m.add_variable(0.0, 100.0);
+  m.add_constraint({{x, 1.0}}, Sense::LessEqual, 2.0);
+  m.add_constraint({{x, 1.0}}, Sense::GreaterEqual, 3.0);
+  EXPECT_TRUE(presolve(m).infeasible);
+}
+
+TEST(Presolve, CountsRedundantRows) {
+  // x <= 100 is redundant once x in [0, 1].
+  Model m;
+  (void)m.add_variable(0.0, 1.0);
+  m.add_constraint({{0, 1.0}}, Sense::LessEqual, 100.0);
+  const PresolveResult r = presolve(m);
+  EXPECT_EQ(r.redundant_rows, 1u);
+}
+
+TEST(Presolve, FixesCollapsedVariables) {
+  // x >= 1 and x <= 1 via rows.
+  Model m;
+  (void)m.add_variable(0.0, 10.0);
+  m.add_constraint({{0, 1.0}}, Sense::GreaterEqual, 1.0);
+  m.add_constraint({{0, 1.0}}, Sense::LessEqual, 1.0);
+  const PresolveResult r = presolve(m);
+  EXPECT_FALSE(r.infeasible);
+  EXPECT_EQ(r.variables_fixed, 1u);
+}
+
+TEST(Presolve, EqualityPropagatesBothDirections) {
+  // x + y = 3 with y in [0, 1] -> x in [2, 3].
+  Model m;
+  const auto x = m.add_variable(0.0, 100.0);
+  (void)m.add_variable(0.0, 1.0);
+  m.add_constraint({{x, 1.0}, {1, 1.0}}, Sense::Equal, 3.0);
+  (void)presolve(m);
+  EXPECT_NEAR(m.variable(x).lb, 2.0, 1e-9);
+  EXPECT_NEAR(m.variable(x).ub, 3.0, 1e-9);
+}
+
+TEST(Presolve, InfiniteBoundsDoNotPoisonActivity) {
+  // y unbounded above: the <= row cannot tighten x from rest_lo if rest is
+  // finite, but must not produce NaN/garbage.
+  Model m;
+  const auto x = m.add_variable(0.0, kInfinity);
+  const auto y = m.add_variable(0.0, kInfinity);
+  m.add_constraint({{x, 1.0}, {y, 1.0}}, Sense::LessEqual, 7.0);
+  const PresolveResult r = presolve(m);
+  EXPECT_FALSE(r.infeasible);
+  EXPECT_NEAR(m.variable(x).ub, 7.0, 1e-9);
+  EXPECT_NEAR(m.variable(y).ub, 7.0, 1e-9);
+}
+
+TEST(Presolve, PreservesOptimalSolutions) {
+  // Presolve must not cut off the optimum: compare LP solves with and
+  // without it on a small model.
+  Model m;
+  const auto x = m.add_variable(0.0, 50.0);
+  const auto y = m.add_variable(0.0, 50.0);
+  m.add_constraint({{x, 2.0}, {y, 1.0}}, Sense::LessEqual, 10.0);
+  m.add_constraint({{x, 1.0}, {y, 3.0}}, Sense::LessEqual, 15.0);
+  m.set_objective({{x, -3.0}, {y, -2.0}});
+  Model tightened = m;
+  (void)presolve(tightened);
+  const LpResult before = solve_lp(m);
+  const LpResult after = solve_lp(tightened);
+  ASSERT_EQ(before.status, LpStatus::Optimal);
+  ASSERT_EQ(after.status, LpStatus::Optimal);
+  EXPECT_NEAR(before.objective, after.objective, 1e-7);
+}
+
+TEST(Presolve, MipSolveWithAndWithoutPresolveAgree) {
+  Model m;
+  LinExpr row, obj;
+  for (int i = 0; i < 8; ++i) {
+    const auto v = m.add_binary();
+    row.push_back({v, static_cast<double>(1 + i % 3)});
+    obj.push_back({v, -static_cast<double>(2 + i % 5)});
+  }
+  m.add_constraint(std::move(row), Sense::LessEqual, 7.0);
+  m.set_objective(std::move(obj));
+  MipOptions with;
+  MipOptions without;
+  without.use_presolve = false;
+  const MipResult a = solve_mip(m, with);
+  const MipResult b = solve_mip(m, without);
+  ASSERT_EQ(a.status, MipStatus::Optimal);
+  ASSERT_EQ(b.status, MipStatus::Optimal);
+  EXPECT_NEAR(a.objective, b.objective, 1e-9);
+}
+
+TEST(Presolve, TerminatesOnMaxRounds) {
+  Model m;
+  const auto x = m.add_variable(0.0, 1e9);
+  const auto y = m.add_variable(0.0, 1e9);
+  // Ping-pong rows that tighten alternately.
+  m.add_constraint({{x, 1.0}, {y, -0.5}}, Sense::LessEqual, 1.0);
+  m.add_constraint({{y, 1.0}, {x, -0.5}}, Sense::LessEqual, 1.0);
+  PresolveOptions opt;
+  opt.max_rounds = 3;
+  const PresolveResult r = presolve(m, opt);
+  EXPECT_LE(r.rounds, 3u);
+}
+
+}  // namespace
+}  // namespace aspe::opt

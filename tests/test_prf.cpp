@@ -1,0 +1,74 @@
+#include "text/prf.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "rng/rng.hpp"
+
+namespace aspe::text {
+namespace {
+
+TEST(Prf, ApplyInvertRoundTrip) {
+  rng::Rng rng(1);
+  const KeyedPermutation perm(64, 12345);
+  const BitVec v = rng.binary_bernoulli(64, 0.4);
+  EXPECT_EQ(perm.invert(perm.apply(v)), v);
+  EXPECT_EQ(perm.apply(perm.invert(v)), v);
+}
+
+TEST(Prf, DeterministicInKey) {
+  const KeyedPermutation a(32, 99), b(32, 99);
+  EXPECT_EQ(a.forward(), b.forward());
+}
+
+TEST(Prf, DifferentKeysDifferentPermutations) {
+  const KeyedPermutation a(32, 1), b(32, 2);
+  EXPECT_NE(a.forward(), b.forward());
+}
+
+TEST(Prf, PreservesPopcount) {
+  rng::Rng rng(3);
+  const KeyedPermutation perm(100, 7);
+  for (int t = 0; t < 10; ++t) {
+    const BitVec v = rng.binary_bernoulli(100, 0.3);
+    EXPECT_EQ(popcount(perm.apply(v)), popcount(v));
+  }
+}
+
+TEST(Prf, PreservesInnerProduct) {
+  // The property MKFSE relies on: permuting both sides preserves I.T.
+  rng::Rng rng(5);
+  const KeyedPermutation perm(80, 11);
+  for (int t = 0; t < 10; ++t) {
+    const BitVec a = rng.binary_bernoulli(80, 0.3);
+    const BitVec b = rng.binary_bernoulli(80, 0.3);
+    std::size_t plain = 0, permuted = 0;
+    const BitVec pa = perm.apply(a);
+    const BitVec pb = perm.apply(b);
+    for (std::size_t i = 0; i < 80; ++i) {
+      plain += a[i] & b[i];
+      permuted += pa[i] & pb[i];
+    }
+    EXPECT_EQ(plain, permuted);
+  }
+}
+
+TEST(Prf, ForwardIsBijection) {
+  const KeyedPermutation perm(128, 17);
+  std::vector<bool> seen(128, false);
+  for (auto p : perm.forward()) {
+    ASSERT_LT(p, 128u);
+    EXPECT_FALSE(seen[p]);
+    seen[p] = true;
+  }
+}
+
+TEST(Prf, DimensionChecks) {
+  EXPECT_THROW(KeyedPermutation(0, 1), InvalidArgument);
+  const KeyedPermutation perm(8, 1);
+  EXPECT_THROW(perm.apply(BitVec(7, 0)), InvalidArgument);
+  EXPECT_THROW(perm.invert(BitVec(9, 0)), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace aspe::text

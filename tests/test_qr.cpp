@@ -1,0 +1,110 @@
+#include "linalg/qr.hpp"
+
+#include <gtest/gtest.h>
+
+#include "linalg/random_matrix.hpp"
+#include "linalg/solve.hpp"
+#include "linalg/vector_ops.hpp"
+#include "rng/rng.hpp"
+
+namespace aspe::linalg {
+namespace {
+
+TEST(Qr, ReconstructsSquareMatrix) {
+  rng::Rng rng(1);
+  const Matrix a = random_matrix(6, rng);
+  const QrDecomposition qr(a);
+  // Verify via solve: QR x = b must equal A x = b.
+  const Vec b = rng.uniform_vec(6, -1.0, 1.0);
+  const Vec x_qr = qr.solve(b);
+  const Vec x_lu = solve(a, b);
+  EXPECT_TRUE(approx_equal(x_qr, x_lu, 1e-8));
+}
+
+TEST(Qr, RIsUpperTriangular) {
+  rng::Rng rng(2);
+  Matrix a(8, 4);
+  for (auto& x : a.data()) x = rng.uniform(-2.0, 2.0);
+  const Matrix r = QrDecomposition(a).r();
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t j = 0; j < i; ++j) EXPECT_DOUBLE_EQ(r(i, j), 0.0);
+  }
+}
+
+TEST(Qr, LeastSquaresMatchesNormalEquations) {
+  rng::Rng rng(3);
+  for (int trial = 0; trial < 10; ++trial) {
+    Matrix a(12, 5);
+    for (auto& x : a.data()) x = rng.uniform(-1.0, 1.0);
+    const Vec b = rng.uniform_vec(12, -1.0, 1.0);
+    const Vec x_qr = solve_least_squares_qr(a, b);
+    const Vec x_ne = solve_least_squares(a, b);
+    EXPECT_TRUE(approx_equal(x_qr, x_ne, 1e-6)) << "trial " << trial;
+  }
+}
+
+TEST(Qr, ExactOnConsistentOverdeterminedSystem) {
+  rng::Rng rng(4);
+  Matrix a(20, 6);
+  for (auto& x : a.data()) x = rng.uniform(-1.0, 1.0);
+  const Vec planted = rng.uniform_vec(6, -2.0, 2.0);
+  const Vec b = a.apply(planted);
+  EXPECT_TRUE(approx_equal(solve_least_squares_qr(a, b), planted, 1e-9));
+}
+
+TEST(Qr, HandlesIllConditionedBetterThanNormalEquations) {
+  // Vandermonde-ish matrix: condition^2 overwhelms the normal equations but
+  // QR still produces a small residual.
+  const std::size_t m = 12, n = 6;
+  Matrix a(m, n);
+  for (std::size_t i = 0; i < m; ++i) {
+    double t = static_cast<double>(i) / (m - 1);
+    double p = 1.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      a(i, j) = p;
+      p *= t;
+    }
+  }
+  rng::Rng rng(5);
+  const Vec planted = rng.uniform_vec(n, -1.0, 1.0);
+  const Vec b = a.apply(planted);
+  const Vec x = solve_least_squares_qr(a, b);
+  Vec residual = a.apply(x);
+  for (std::size_t i = 0; i < m; ++i) residual[i] -= b[i];
+  EXPECT_LT(norm(residual), 1e-8);
+}
+
+TEST(Qr, RankDetection) {
+  Matrix full{{1, 0}, {0, 1}, {1, 1}};
+  EXPECT_EQ(QrDecomposition(full).rank(), 2u);
+  Matrix deficient{{1, 2}, {2, 4}, {3, 6}};
+  EXPECT_EQ(QrDecomposition(deficient).rank(), 1u);
+  Matrix zero(3, 2, 0.0);
+  EXPECT_EQ(QrDecomposition(zero).rank(), 0u);
+}
+
+TEST(Qr, SolveThrowsOnRankDeficient) {
+  const Matrix deficient{{1, 2}, {2, 4}, {3, 6}};
+  const QrDecomposition qr(deficient);
+  EXPECT_THROW(qr.solve(Vec{1, 2, 3}), NumericalError);
+}
+
+TEST(Qr, ApplyQtPreservesNorm) {
+  rng::Rng rng(6);
+  Matrix a(10, 10);
+  for (auto& x : a.data()) x = rng.uniform(-1.0, 1.0);
+  const QrDecomposition qr(a);
+  const Vec b = rng.uniform_vec(10, -1.0, 1.0);
+  // Q orthogonal => ||Q^T b|| = ||b|| (square case: full Q).
+  EXPECT_NEAR(norm(qr.apply_qt(b)), norm(b), 1e-9);
+}
+
+TEST(Qr, Validation) {
+  EXPECT_THROW(QrDecomposition(Matrix(2, 3)), InvalidArgument);  // wide
+  EXPECT_THROW(QrDecomposition(Matrix(0, 0)), InvalidArgument);
+  const QrDecomposition qr(Matrix::identity(3));
+  EXPECT_THROW(qr.solve(Vec{1, 2}), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace aspe::linalg

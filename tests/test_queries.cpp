@@ -1,0 +1,50 @@
+#include "data/queries.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace aspe::data {
+namespace {
+
+TEST(Queries, BinaryQueriesExactOnes) {
+  rng::Rng rng(1);
+  const auto qs = binary_queries(50, 500, 15, rng);
+  ASSERT_EQ(qs.size(), 50u);
+  for (const auto& q : qs) {
+    EXPECT_EQ(q.size(), 500u);
+    EXPECT_EQ(popcount(q), 15u);
+  }
+}
+
+TEST(Queries, BinaryQueriesValidation) {
+  rng::Rng rng(1);
+  EXPECT_THROW(binary_queries(1, 10, 0, rng), InvalidArgument);
+  EXPECT_THROW(binary_queries(1, 10, 11, rng), InvalidArgument);
+}
+
+TEST(Queries, RealQueriesRangeAndShape) {
+  rng::Rng rng(2);
+  const auto qs = real_queries(20, 8, -1.0, 2.0, rng);
+  ASSERT_EQ(qs.size(), 20u);
+  for (const auto& q : qs) {
+    EXPECT_EQ(q.size(), 8u);
+    for (double x : q) {
+      EXPECT_GE(x, -1.0);
+      EXPECT_LT(x, 2.0);
+    }
+  }
+}
+
+TEST(Queries, RealRecordsDistinct) {
+  rng::Rng rng(3);
+  const auto rs = real_records(5, 4, 0.0, 1.0, rng);
+  for (std::size_t i = 0; i < rs.size(); ++i) {
+    for (std::size_t j = i + 1; j < rs.size(); ++j) {
+      EXPECT_NE(rs[i], rs[j]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace aspe::data

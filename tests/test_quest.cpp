@@ -1,0 +1,105 @@
+#include "data/quest.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace aspe::data {
+namespace {
+
+TEST(Quest, ShapeAndNonEmptyTransactions) {
+  QuestOptions opt;
+  opt.num_items = 50;
+  opt.density = 0.2;
+  opt.num_transactions = 40;
+  QuestGenerator gen(opt, rng::Rng(1));
+  const auto rows = gen.generate();
+  ASSERT_EQ(rows.size(), 40u);
+  for (const auto& r : rows) {
+    EXPECT_EQ(r.size(), 50u);
+    EXPECT_GE(popcount(r), 1u);  // every transaction has at least one item
+  }
+}
+
+TEST(Quest, AverageDensityMatchesTarget) {
+  for (double rho : {0.05, 0.2, 0.35}) {
+    QuestOptions opt;
+    opt.num_items = 200;
+    opt.density = rho;
+    opt.num_transactions = 300;
+    QuestGenerator gen(opt, rng::Rng(7));
+    const auto rows = gen.generate();
+    EXPECT_NEAR(average_density(rows), rho, 0.03) << "rho=" << rho;
+  }
+}
+
+TEST(Quest, ZipfMakesEarlyItemsMoreFrequent) {
+  QuestOptions opt;
+  opt.num_items = 100;
+  opt.density = 0.1;
+  opt.num_transactions = 600;
+  opt.zipf_exponent = 1.0;
+  QuestGenerator gen(opt, rng::Rng(3));
+  const auto rows = gen.generate();
+  std::size_t first_decile = 0, last_decile = 0;
+  for (const auto& r : rows) {
+    for (std::size_t i = 0; i < 10; ++i) first_decile += r[i];
+    for (std::size_t i = 90; i < 100; ++i) last_decile += r[i];
+  }
+  EXPECT_GT(first_decile, 2 * last_decile);
+}
+
+TEST(Quest, UniformExponentBalancesItems) {
+  QuestOptions opt;
+  opt.num_items = 40;
+  opt.density = 0.25;
+  opt.num_transactions = 800;
+  opt.zipf_exponent = 0.0;
+  QuestGenerator gen(opt, rng::Rng(9));
+  const auto rows = gen.generate();
+  std::vector<std::size_t> counts(40, 0);
+  for (const auto& r : rows) {
+    for (std::size_t i = 0; i < 40; ++i) counts[i] += r[i];
+  }
+  const double expected = 0.25 * 800;
+  for (auto c : counts) {
+    EXPECT_NEAR(static_cast<double>(c), expected, expected * 0.4);
+  }
+}
+
+TEST(Quest, DeterministicForSeed) {
+  QuestOptions opt;
+  opt.num_items = 30;
+  opt.num_transactions = 10;
+  QuestGenerator a(opt, rng::Rng(5)), b(opt, rng::Rng(5));
+  EXPECT_EQ(a.generate(), b.generate());
+}
+
+TEST(Quest, FullDensityFillsEverything) {
+  QuestOptions opt;
+  opt.num_items = 10;
+  opt.density = 1.0;
+  opt.num_transactions = 5;
+  QuestGenerator gen(opt, rng::Rng(2));
+  for (const auto& r : gen.generate()) {
+    EXPECT_GE(popcount(r), 7u);  // Poisson(10) clamped to <= 10
+  }
+}
+
+TEST(Quest, ParameterValidation) {
+  QuestOptions opt;
+  opt.num_items = 0;
+  EXPECT_THROW(QuestGenerator(opt, rng::Rng(1)), InvalidArgument);
+  opt.num_items = 10;
+  opt.density = 0.0;
+  EXPECT_THROW(QuestGenerator(opt, rng::Rng(1)), InvalidArgument);
+  opt.density = 1.5;
+  EXPECT_THROW(QuestGenerator(opt, rng::Rng(1)), InvalidArgument);
+}
+
+TEST(Quest, AverageDensityOfEmptySetIsZero) {
+  EXPECT_DOUBLE_EQ(average_density({}), 0.0);
+}
+
+}  // namespace
+}  // namespace aspe::data

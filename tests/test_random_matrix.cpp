@@ -1,0 +1,58 @@
+#include "linalg/random_matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include "linalg/lu.hpp"
+#include "linalg/solve.hpp"
+#include "rng/rng.hpp"
+
+namespace aspe::linalg {
+namespace {
+
+TEST(RandomMatrix, EntriesInRange) {
+  rng::Rng rng(1);
+  const Matrix m = random_matrix(8, rng, -2.0, 3.0);
+  for (auto x : m.data()) {
+    EXPECT_GE(x, -2.0);
+    EXPECT_LT(x, 3.0);
+  }
+}
+
+TEST(RandomMatrix, ZeroDimensionThrows) {
+  rng::Rng rng(1);
+  EXPECT_THROW(random_matrix(0, rng), InvalidArgument);
+}
+
+TEST(RandomInvertible, ProducesInvertible) {
+  rng::Rng rng(2);
+  for (std::size_t n : {1u, 2u, 5u, 20u}) {
+    const Matrix m = random_invertible(n, rng);
+    EXPECT_FALSE(LuDecomposition(m).is_singular()) << "n=" << n;
+  }
+}
+
+TEST(RandomInvertible, PairInverseIsConsistent) {
+  rng::Rng rng(3);
+  const auto pair = random_invertible_pair(7, rng);
+  EXPECT_TRUE((pair.m * pair.m_inv).approx_equal(Matrix::identity(7), 1e-8));
+  EXPECT_TRUE((pair.m_inv * pair.m).approx_equal(Matrix::identity(7), 1e-8));
+}
+
+TEST(RandomInvertible, LargeDimensionStillWellConditioned) {
+  // The acceptance test must not over/underflow at the dimensions the
+  // schemes use (d' = 500+ for the paper's Enron experiments).
+  rng::Rng rng(4);
+  const auto pair = random_invertible_pair(128, rng);
+  EXPECT_TRUE(
+      (pair.m * pair.m_inv).approx_equal(Matrix::identity(128), 1e-6));
+}
+
+TEST(RandomInvertible, DistinctDraws) {
+  rng::Rng rng(5);
+  const Matrix a = random_invertible(4, rng);
+  const Matrix b = random_invertible(4, rng);
+  EXPECT_FALSE(a.approx_equal(b, 1e-12));
+}
+
+}  // namespace
+}  // namespace aspe::linalg

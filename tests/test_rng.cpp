@@ -1,0 +1,183 @@
+#include "rng/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+
+#include "common/error.hpp"
+
+namespace aspe::rng {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.uniform(0.0, 1.0), b.uniform(0.0, 1.0));
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    same += (a.uniform_int(0, 1 << 30) == b.uniform_int(0, 1 << 30));
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, AdjacentSeedsDecorrelated) {
+  // The splitmix finalizer must avoid the classic mt19937 similar-seed trap.
+  Rng a(100), b(101);
+  double mean_a = 0.0, mean_b = 0.0;
+  int matches = 0;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = a.uniform(0.0, 1.0);
+    const double y = b.uniform(0.0, 1.0);
+    mean_a += x;
+    mean_b += y;
+    matches += std::abs(x - y) < 1e-12;
+  }
+  EXPECT_EQ(matches, 0);
+  EXPECT_NEAR(mean_a / 1000.0, 0.5, 0.05);
+  EXPECT_NEAR(mean_b / 1000.0, 0.5, 0.05);
+}
+
+TEST(Rng, UniformRespectsRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform(-2.5, 3.5);
+    EXPECT_GE(x, -2.5);
+    EXPECT_LT(x, 3.5);
+  }
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng rng(7);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(rng.uniform_int(0, 4));
+  EXPECT_EQ(seen.size(), 5u);
+  EXPECT_EQ(*seen.begin(), 0);
+  EXPECT_EQ(*seen.rbegin(), 4);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(11);
+  const int n = 20000;
+  double sum = 0.0, sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal(3.0, 2.0);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 3.0, 0.1);
+  EXPECT_NEAR(var, 4.0, 0.25);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(13);
+  int ones = 0;
+  for (int i = 0; i < 10000; ++i) ones += rng.bernoulli(0.3);
+  EXPECT_NEAR(ones / 10000.0, 0.3, 0.03);
+}
+
+TEST(Rng, BinaryWithKOnesExactCount) {
+  Rng rng(17);
+  for (std::size_t k : {0u, 1u, 5u, 50u, 100u}) {
+    const BitVec v = rng.binary_with_k_ones(100, k);
+    EXPECT_EQ(v.size(), 100u);
+    EXPECT_EQ(popcount(v), k);
+  }
+}
+
+TEST(Rng, BinaryWithKOnesRejectsOversizedK) {
+  Rng rng(17);
+  EXPECT_THROW(rng.binary_with_k_ones(10, 11), InvalidArgument);
+}
+
+TEST(Rng, BinaryWithKOnesUniformPositions) {
+  Rng rng(19);
+  std::vector<int> counts(20, 0);
+  const int trials = 4000;
+  for (int t = 0; t < trials; ++t) {
+    const BitVec v = rng.binary_with_k_ones(20, 5);
+    for (std::size_t i = 0; i < 20; ++i) counts[i] += v[i];
+  }
+  // Each position should be set about trials * 5/20 = 1000 times.
+  for (int c : counts) EXPECT_NEAR(c, 1000, 150);
+}
+
+TEST(Rng, BinaryBernoulliDensity) {
+  Rng rng(43);
+  const BitVec v = rng.binary_bernoulli(20000, 0.35);
+  EXPECT_NEAR(density(v), 0.35, 0.02);
+}
+
+TEST(Rng, SampleWithoutReplacementDistinct) {
+  Rng rng(23);
+  const auto s = rng.sample_without_replacement(50, 20);
+  EXPECT_EQ(s.size(), 20u);
+  std::set<std::size_t> uniq(s.begin(), s.end());
+  EXPECT_EQ(uniq.size(), 20u);
+  for (auto x : s) EXPECT_LT(x, 50u);
+}
+
+TEST(Rng, SampleWithoutReplacementFullPopulation) {
+  Rng rng(23);
+  auto s = rng.sample_without_replacement(10, 10);
+  std::sort(s.begin(), s.end());
+  for (std::size_t i = 0; i < 10; ++i) EXPECT_EQ(s[i], i);
+}
+
+TEST(Rng, PermutationIsBijection) {
+  Rng rng(29);
+  auto p = rng.permutation(64);
+  std::vector<bool> seen(64, false);
+  for (auto x : p) {
+    ASSERT_LT(x, 64u);
+    EXPECT_FALSE(seen[x]);
+    seen[x] = true;
+  }
+}
+
+TEST(Rng, DiscreteRespectsWeights) {
+  Rng rng(31);
+  std::vector<double> w = {1.0, 0.0, 3.0};
+  std::vector<int> counts(3, 0);
+  for (int i = 0; i < 8000; ++i) ++counts[rng.discrete(w)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(counts[0] / 8000.0, 0.25, 0.03);
+  EXPECT_NEAR(counts[2] / 8000.0, 0.75, 0.03);
+}
+
+TEST(Rng, ChildStreamsIndependent) {
+  Rng parent(37);
+  Rng c1 = parent.child(1);
+  Rng c2 = parent.child(2);
+  int same = 0;
+  for (int i = 0; i < 200; ++i) {
+    same += std::abs(c1.uniform(0.0, 1.0) - c2.uniform(0.0, 1.0)) < 1e-12;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, PoissonMean) {
+  Rng rng(41);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) sum += rng.poisson(6.5);
+  EXPECT_NEAR(sum / 10000.0, 6.5, 0.2);
+}
+
+TEST(Types, PopcountAndDensity) {
+  EXPECT_EQ(popcount(BitVec{}), 0u);
+  EXPECT_EQ(popcount(BitVec{1, 0, 1, 1}), 3u);
+  EXPECT_DOUBLE_EQ(density(BitVec{}), 0.0);
+  EXPECT_DOUBLE_EQ(density(BitVec{1, 0, 1, 0}), 0.5);
+  EXPECT_EQ(to_real(BitVec{1, 0, 1}), (Vec{1.0, 0.0, 1.0}));
+}
+
+}  // namespace
+}  // namespace aspe::rng

@@ -1,0 +1,125 @@
+#include "scheme/scheme1.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "linalg/lu.hpp"
+#include "linalg/vector_ops.hpp"
+#include "rng/rng.hpp"
+
+namespace aspe::scheme {
+namespace {
+
+TEST(Scheme1, PreservesIndexTrapdoorInnerProduct) {
+  rng::Rng rng(1);
+  const AspeScheme1 scheme(6, rng);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Vec p = rng.uniform_vec(6, -3.0, 3.0);
+    const Vec q = rng.uniform_vec(6, -3.0, 3.0);
+    const double r = rng.uniform(0.5, 2.0);
+    const Vec ci = scheme.encrypt_record(p);
+    const Vec ct = scheme.encrypt_query_with_r(q, r);
+    const double expected = plain_score(make_index(p), make_trapdoor(q, r));
+    EXPECT_NEAR(AspeScheme1::score(ci, ct), expected,
+                1e-7 * (1.0 + std::abs(expected)));
+  }
+}
+
+TEST(Scheme1, RankingMatchesPlaintextDistance) {
+  rng::Rng rng(2);
+  const AspeScheme1 scheme(4, rng);
+  const Vec q = rng.uniform_vec(4, -1.0, 1.0);
+  const Vec ct = scheme.encrypt_query(q, rng);
+  Vec prev_p;
+  for (int trial = 0; trial < 30; ++trial) {
+    const Vec p1 = rng.uniform_vec(4, -2.0, 2.0);
+    const Vec p2 = rng.uniform_vec(4, -2.0, 2.0);
+    const double d1 = linalg::norm_squared(linalg::sub(p1, q));
+    const double d2 = linalg::norm_squared(linalg::sub(p2, q));
+    const double s1 = AspeScheme1::score(scheme.encrypt_record(p1), ct);
+    const double s2 = AspeScheme1::score(scheme.encrypt_record(p2), ct);
+    EXPECT_EQ(d1 < d2, s1 > s2);
+  }
+}
+
+TEST(Scheme1, EncryptionIsDeterministicGivenR) {
+  // Scheme 1 has no share splitting: same plaintext + same r => same
+  // ciphertext. (This is one reason it is weaker than Scheme 2.)
+  rng::Rng rng(3);
+  const AspeScheme1 scheme(5, rng);
+  const Vec p = rng.uniform_vec(5, -1.0, 1.0);
+  EXPECT_TRUE(linalg::approx_equal(scheme.encrypt_record(p),
+                                   scheme.encrypt_record(p), 0.0));
+}
+
+TEST(Scheme1, DecryptInvertsEncrypt) {
+  rng::Rng rng(4);
+  const AspeScheme1 scheme(5, rng);
+  const Vec p = rng.uniform_vec(5, -2.0, 2.0);
+  const Vec index = scheme.decrypt_index(scheme.encrypt_record(p));
+  EXPECT_TRUE(linalg::approx_equal(index, make_index(p), 1e-8));
+  EXPECT_TRUE(index_is_consistent(index, 1e-6));
+
+  const Vec q = rng.uniform_vec(5, -2.0, 2.0);
+  const Vec trapdoor =
+      scheme.decrypt_trapdoor(scheme.encrypt_query_with_r(q, 1.25));
+  const auto rec = query_from_trapdoor(trapdoor);
+  EXPECT_NEAR(rec.r, 1.25, 1e-8);
+  EXPECT_TRUE(linalg::approx_equal(rec.q, q, 1e-8));
+}
+
+TEST(Scheme1, Theorem4KeyRecoveryFromKnownPairs) {
+  // The known KPA break of Scheme 1: d+1 independent (I, I') pairs reveal M.
+  rng::Rng rng(5);
+  const std::size_t d = 6;
+  const AspeScheme1 scheme(d, rng);
+
+  std::vector<Vec> plain, cipher;
+  for (std::size_t i = 0; i < d + 1; ++i) {
+    const Vec p = rng.uniform_vec(d, -2.0, 2.0);
+    plain.push_back(make_index(p));
+    cipher.push_back(scheme.encrypt_record(p));
+  }
+  const linalg::Matrix recovered =
+      AspeScheme1::recover_key_from_known_pairs(plain, cipher);
+  EXPECT_TRUE(recovered.approx_equal(scheme.key(), 1e-6));
+
+  // With the key, the adversary decrypts an unseen record exactly.
+  const Vec secret = rng.uniform_vec(d, -2.0, 2.0);
+  const Vec ci = scheme.encrypt_record(secret);
+  const Vec recovered_index =
+      linalg::LuDecomposition(recovered.transpose()).solve(ci);
+  EXPECT_TRUE(
+      linalg::approx_equal(record_from_index(recovered_index), secret, 1e-6));
+}
+
+TEST(Scheme1, KeyRecoveryRejectsDependentPairs) {
+  rng::Rng rng(6);
+  const std::size_t d = 4;
+  const AspeScheme1 scheme(d, rng);
+  const Vec p = rng.uniform_vec(d, -1.0, 1.0);
+  // All pairs identical -> rank 1, must be detected.
+  std::vector<Vec> plain(d + 1, make_index(p));
+  std::vector<Vec> cipher(d + 1, scheme.encrypt_record(p));
+  EXPECT_THROW(AspeScheme1::recover_key_from_known_pairs(plain, cipher),
+               NumericalError);
+}
+
+TEST(Scheme1, KeyRecoveryValidatesShapes) {
+  EXPECT_THROW(AspeScheme1::recover_key_from_known_pairs({}, {}),
+               InvalidArgument);
+  EXPECT_THROW(AspeScheme1::recover_key_from_known_pairs({{1.0, 2.0}},
+                                                         {{1.0, 2.0}}),
+               InvalidArgument);  // needs dim-many pairs
+}
+
+TEST(Scheme1, DimensionValidation) {
+  rng::Rng rng(7);
+  EXPECT_THROW(AspeScheme1(0, rng), InvalidArgument);
+  const AspeScheme1 scheme(3, rng);
+  EXPECT_THROW(scheme.encrypt_record(Vec(2, 0.0)), InvalidArgument);
+  EXPECT_THROW(scheme.encrypt_query_with_r(Vec(4, 0.0), 1.0), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace aspe::scheme

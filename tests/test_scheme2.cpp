@@ -1,0 +1,116 @@
+#include "scheme/scheme2.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "linalg/vector_ops.hpp"
+#include "rng/rng.hpp"
+
+namespace aspe::scheme {
+namespace {
+
+/// Sweep (d, w, seed): Eq. (7) must hold for every configuration, including
+/// w = 0 (no padding) and w = 1 (degenerate padding).
+class Scheme2Property
+    : public ::testing::TestWithParam<
+          std::tuple<std::size_t, std::size_t, std::uint64_t>> {};
+
+TEST_P(Scheme2Property, PreservesScoreEquationSeven) {
+  const auto [d, w, seed] = GetParam();
+  rng::Rng rng(seed);
+  Scheme2Options opt;
+  opt.record_dim = d;
+  opt.padding_dims = w;
+  const AspeScheme2 scheme(opt, rng);
+  EXPECT_EQ(scheme.cipher_dim(), d + 1 + w);
+
+  for (int trial = 0; trial < 8; ++trial) {
+    const Vec p = rng.uniform_vec(d, -3.0, 3.0);
+    const Vec q = rng.uniform_vec(d, -3.0, 3.0);
+    const double r = rng.uniform(0.5, 2.0);
+    const CipherPair ci = scheme.encrypt_record(p, rng);
+    const CipherPair ct = scheme.encrypt_query_with_r(q, r, rng);
+    const double expected =
+        r * (linalg::dot(p, q) - 0.5 * linalg::norm_squared(p));
+    EXPECT_NEAR(AspeScheme2::score(ci, ct), expected,
+                1e-6 * (1.0 + std::abs(expected)))
+        << "d=" << d << " w=" << w << " trial=" << trial;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configurations, Scheme2Property,
+    ::testing::Combine(::testing::Values<std::size_t>(1, 2, 5, 12),
+                       ::testing::Values<std::size_t>(0, 1, 4, 9),
+                       ::testing::Values<std::uint64_t>(3, 77)));
+
+TEST(Scheme2, RankingMatchesPlaintextDistance) {
+  rng::Rng rng(1);
+  Scheme2Options opt;
+  opt.record_dim = 5;
+  const AspeScheme2 scheme(opt, rng);
+  const Vec q = rng.uniform_vec(5, -1.0, 1.0);
+  const CipherPair ct = scheme.encrypt_query(q, rng);
+  for (int trial = 0; trial < 30; ++trial) {
+    const Vec p1 = rng.uniform_vec(5, -2.0, 2.0);
+    const Vec p2 = rng.uniform_vec(5, -2.0, 2.0);
+    const double d1 = linalg::norm_squared(linalg::sub(p1, q));
+    const double d2 = linalg::norm_squared(linalg::sub(p2, q));
+    const double s1 = AspeScheme2::score(scheme.encrypt_record(p1, rng), ct);
+    const double s2 = AspeScheme2::score(scheme.encrypt_record(p2, rng), ct);
+    EXPECT_EQ(d1 < d2, s1 > s2) << "trial " << trial;
+  }
+}
+
+TEST(Scheme2, EncryptionIsRandomized) {
+  // Unlike Scheme 1, re-encrypting the same record gives fresh ciphertext.
+  rng::Rng rng(2);
+  Scheme2Options opt;
+  opt.record_dim = 6;
+  const AspeScheme2 scheme(opt, rng);
+  const Vec p = rng.uniform_vec(6, -1.0, 1.0);
+  const CipherPair c1 = scheme.encrypt_record(p, rng);
+  const CipherPair c2 = scheme.encrypt_record(p, rng);
+  EXPECT_FALSE(linalg::approx_equal(c1.a, c2.a, 1e-9));
+}
+
+TEST(Scheme2, PaddingInnerProductIsZero) {
+  // The w artificial attributes must never perturb the score, over many
+  // random records and queries (the paper's "inner product equal to 0").
+  rng::Rng rng(3);
+  Scheme2Options with_pad;
+  with_pad.record_dim = 4;
+  with_pad.padding_dims = 6;
+  const AspeScheme2 scheme(with_pad, rng);
+  for (int trial = 0; trial < 25; ++trial) {
+    const Vec p = rng.uniform_vec(4, -2.0, 2.0);
+    const Vec q = rng.uniform_vec(4, -2.0, 2.0);
+    const double r = rng.uniform(0.5, 2.0);
+    const double score = AspeScheme2::score(
+        scheme.encrypt_record(p, rng), scheme.encrypt_query_with_r(q, r, rng));
+    const double unpadded =
+        r * (linalg::dot(p, q) - 0.5 * linalg::norm_squared(p));
+    EXPECT_NEAR(score, unpadded, 1e-6 * (1.0 + std::abs(unpadded)));
+  }
+}
+
+TEST(Scheme2, PlaintextIndexMatchesEquationOne) {
+  const Vec p{1.0, 2.0};
+  const Vec index = AspeScheme2::plaintext_index(p);
+  ASSERT_EQ(index.size(), 3u);
+  EXPECT_DOUBLE_EQ(index[2], -2.5);
+}
+
+TEST(Scheme2, Validation) {
+  rng::Rng rng(4);
+  Scheme2Options opt;  // record_dim = 0
+  EXPECT_THROW(AspeScheme2(opt, rng), InvalidArgument);
+  opt.record_dim = 3;
+  const AspeScheme2 scheme(opt, rng);
+  EXPECT_THROW(scheme.encrypt_record(Vec(2, 0.0), rng), InvalidArgument);
+  EXPECT_THROW(scheme.encrypt_query_with_r(Vec(3, 0.0), -1.0, rng),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace aspe::scheme

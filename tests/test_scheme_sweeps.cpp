@@ -1,0 +1,173 @@
+// Parameterized sweeps over MRSE and MKFSE configurations: the defining
+// equations must hold for every parameter combination.
+#include <gtest/gtest.h>
+
+#include "data/email_corpus.hpp"
+#include "rng/rng.hpp"
+#include "scheme/mkfse.hpp"
+#include "scheme/mrse.hpp"
+#include "text/bloom_filter.hpp"
+
+namespace aspe::scheme {
+namespace {
+
+// ------------------------------------------------------------------ MRSE
+
+class MrseSweep : public ::testing::TestWithParam<
+                      std::tuple<std::size_t, std::size_t, double, double>> {};
+
+TEST_P(MrseSweep, EquationTwelveHolds) {
+  const auto [d, u, mu, sigma] = GetParam();
+  MrseOptions opt;
+  opt.vocab_dim = d;
+  opt.num_dummies = u;
+  opt.mu = mu;
+  opt.sigma = sigma;
+  rng::Rng rng(d * 131 + u * 17 + std::size_t(mu * 10) + std::size_t(sigma * 100));
+  const Mrse scheme(opt, rng);
+
+  for (int trial = 0; trial < 5; ++trial) {
+    const BitVec p = rng.binary_bernoulli(d, 0.3);
+    const BitVec q = rng.binary_with_k_ones(d, std::max<std::size_t>(1, d / 5));
+    const Vec index = scheme.build_index(p, rng);
+    MrseTrapdoorSecrets secrets;
+    const Vec trapdoor = scheme.build_trapdoor(q, rng, &secrets);
+
+    double pq = 0.0;
+    for (std::size_t k = 0; k < d; ++k) pq += (p[k] && q[k]) ? 1.0 : 0.0;
+    double ev = 0.0;
+    for (std::size_t k = 0; k < u; ++k) ev += index[d + k] * secrets.v[k];
+    const double expected = secrets.r * (pq + ev) + secrets.t;
+
+    const double score = Mrse::score(scheme.encrypt_index(index, rng),
+                                     scheme.encrypt_trapdoor(trapdoor, rng));
+    EXPECT_NEAR(score, expected, 1e-6 * (1.0 + std::abs(expected)))
+        << "d=" << d << " U=" << u << " mu=" << mu << " sigma=" << sigma;
+  }
+}
+
+TEST_P(MrseSweep, NoiseEntriesWithinDocumentedRange) {
+  const auto [d, u, mu, sigma] = GetParam();
+  MrseOptions opt;
+  opt.vocab_dim = d;
+  opt.num_dummies = u;
+  opt.mu = mu;
+  opt.sigma = sigma;
+  rng::Rng rng(42 + d + u);
+  const Mrse scheme(opt, rng);
+  const double center = 2.0 * mu / static_cast<double>(u);
+  const double half = scheme.noise_half_width();
+  for (int trial = 0; trial < 10; ++trial) {
+    const Vec index = scheme.build_index(BitVec(d, 0), rng);
+    for (std::size_t k = 0; k < u; ++k) {
+      EXPECT_GE(index[d + k], center - half - 1e-12);
+      EXPECT_LE(index[d + k], center + half + 1e-12);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, MrseSweep,
+    ::testing::Combine(::testing::Values<std::size_t>(5, 20),    // d
+                       ::testing::Values<std::size_t>(2, 8, 16), // U
+                       ::testing::Values(0.5, 2.0),              // mu
+                       ::testing::Values(0.25, 1.0)));           // sigma
+
+// ------------------------------------------------------------------ MKFSE
+
+class MkfseSweep : public ::testing::TestWithParam<
+                       std::tuple<std::size_t, std::size_t>> {};
+
+TEST_P(MkfseSweep, EquationSixteenHolds) {
+  const auto [bits, l] = GetParam();
+  MkfseOptions opt;
+  opt.bloom_bits = bits;
+  opt.lsh_functions = l;
+  rng::Rng rng(bits * 7 + l);
+  const Mkfse scheme(opt, rng);
+
+  const std::vector<std::vector<std::string>> docs = {
+      {"alpha", "bravo"}, {"charlie", "delta", "echo"}, {"foxtrot"}};
+  const std::vector<std::string> query = {"alpha", "charlie"};
+  const BitVec t = scheme.build_trapdoor(query);
+  const CipherPair ct = scheme.encrypt_trapdoor(t, rng);
+  for (const auto& doc : docs) {
+    const BitVec i = scheme.build_index(doc);
+    double expected = 0.0;
+    for (std::size_t k = 0; k < bits; ++k) {
+      expected += (i[k] && t[k]) ? 1.0 : 0.0;
+    }
+    EXPECT_NEAR(Mkfse::score(scheme.encrypt_index(i, rng), ct), expected,
+                1e-5)
+        << "bits=" << bits << " l=" << l;
+  }
+}
+
+TEST_P(MkfseSweep, IndexStaysWithinPopcountBudget) {
+  // Each keyword contributes at most l positions.
+  const auto [bits, l] = GetParam();
+  MkfseOptions opt;
+  opt.bloom_bits = bits;
+  opt.lsh_functions = l;
+  rng::Rng rng(bits * 13 + l);
+  const Mkfse scheme(opt, rng);
+  const std::vector<std::string> keywords = {"one", "two", "three", "four"};
+  const BitVec index = scheme.build_index(keywords);
+  EXPECT_LE(popcount(index), keywords.size() * l);
+  EXPECT_GE(popcount(index), 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, MkfseSweep,
+    ::testing::Combine(::testing::Values<std::size_t>(64, 200, 500),  // bits
+                       ::testing::Values<std::size_t>(1, 2, 4)));     // l
+
+// ------------------------------------------- bloom-filter Jaccard fidelity
+
+TEST(BloomJaccard, ApproximatesKeywordSetSimilarity) {
+  // §VI-B2 reports a tiny relative error when approximating document
+  // similarity by bloom-filter similarity (2.79e-4 % at d = 500). Verify the
+  // approximation quality on the synthetic corpus at the same d.
+  rng::Rng rng(9);
+  data::EmailCorpusOptions copt;
+  copt.num_emails = 60;
+  copt.vocabulary_size = 1000;
+  copt.min_keywords = 4;
+  copt.max_keywords = 15;  // keep the filter load low, as in [22]
+  copt.duplicate_fraction = 0.0;
+  const auto emails = data::EmailCorpusGenerator(copt, rng.child(1)).generate();
+  const auto blooms = data::encode_corpus(emails, 500, 3, 7);
+
+  auto keyword_jaccard = [](const data::Email& a, const data::Email& b) {
+    std::size_t inter = 0;
+    for (const auto& k : a.keywords) {
+      for (const auto& k2 : b.keywords) inter += k == k2;
+    }
+    const std::size_t uni = a.keywords.size() + b.keywords.size() - inter;
+    return uni == 0 ? 1.0 : static_cast<double>(inter) / uni;
+  };
+  auto bloom_jaccard = [](const BitVec& a, const BitVec& b) {
+    std::size_t inter = 0, uni = 0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      inter += a[i] && b[i];
+      uni += a[i] || b[i];
+    }
+    return uni == 0 ? 1.0 : static_cast<double>(inter) / uni;
+  };
+
+  double total_err = 0.0;
+  std::size_t pairs = 0;
+  for (std::size_t a = 0; a < emails.size(); ++a) {
+    for (std::size_t b = a + 1; b < emails.size(); ++b) {
+      total_err += std::abs(keyword_jaccard(emails[a], emails[b]) -
+                            bloom_jaccard(blooms[a], blooms[b]));
+      ++pairs;
+    }
+  }
+  // Average absolute error well under 5% of the similarity scale — enough
+  // for "similar blooms => similar documents" inference.
+  EXPECT_LT(total_err / static_cast<double>(pairs), 0.05);
+}
+
+}  // namespace
+}  // namespace aspe::scheme

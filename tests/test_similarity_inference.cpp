@@ -1,0 +1,122 @@
+#include "core/similarity_inference.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "core/snmf_attack.hpp"
+#include "rng/rng.hpp"
+#include "scheme/mkfse.hpp"
+
+namespace aspe::core {
+namespace {
+
+TEST(SimilarPairs, FindsDuplicatesFirst) {
+  const BitVec a{1, 1, 0, 0};
+  const BitVec b{1, 1, 0, 0};  // duplicate of a
+  const BitVec c{1, 0, 1, 0};  // jaccard 1/3 with a
+  const BitVec d{0, 0, 0, 1};  // disjoint
+  const auto pairs = find_similar_pairs({a, b, c, d}, 0.3);
+  ASSERT_GE(pairs.size(), 2u);
+  EXPECT_EQ(pairs[0].a, 0u);
+  EXPECT_EQ(pairs[0].b, 1u);
+  EXPECT_DOUBLE_EQ(pairs[0].jaccard, 1.0);
+  // (a, c) and (b, c) at 1/3 follow; (x, d) excluded by the threshold.
+  for (const auto& p : pairs) {
+    EXPECT_NE(p.b, 3u);
+    EXPECT_GE(p.jaccard, 0.3);
+  }
+}
+
+TEST(SimilarPairs, ThresholdOneKeepsOnlyExactMatches) {
+  const auto pairs =
+      find_similar_pairs({BitVec{1, 0}, BitVec{1, 0}, BitVec{1, 1}}, 1.0);
+  ASSERT_EQ(pairs.size(), 1u);
+  EXPECT_EQ(pairs[0].a, 0u);
+  EXPECT_EQ(pairs[0].b, 1u);
+}
+
+TEST(SimilarPairs, ThresholdValidation) {
+  EXPECT_THROW(find_similar_pairs({}, -0.1), InvalidArgument);
+  EXPECT_THROW(find_similar_pairs({}, 1.1), InvalidArgument);
+}
+
+TEST(PropagateLabels, LabelsSpreadToDuplicates) {
+  const BitVec doc{1, 1, 0, 1};
+  const BitVec other{0, 0, 1, 0};
+  const auto labels = propagate_labels({doc, doc, other},
+                                       {{0, "application approved"}}, 0.9);
+  ASSERT_EQ(labels.size(), 3u);
+  EXPECT_EQ(labels[0].label, "application approved");
+  EXPECT_DOUBLE_EQ(labels[0].confidence, 1.0);
+  EXPECT_EQ(labels[1].label, "application approved");
+  EXPECT_DOUBLE_EQ(labels[1].confidence, 1.0);
+  EXPECT_EQ(labels[1].source, 0u);
+  EXPECT_TRUE(labels[2].label.empty());
+}
+
+TEST(PropagateLabels, PicksMostSimilarSource) {
+  const BitVec target{1, 1, 1, 0, 0, 0};
+  const BitVec near{1, 1, 1, 1, 0, 0};   // jaccard 3/4
+  const BitVec far{1, 0, 0, 0, 0, 1};    // jaccard 1/6... below threshold
+  const auto labels = propagate_labels({near, far, target},
+                                       {{0, "memo"}, {1, "invoice"}}, 0.5);
+  EXPECT_EQ(labels[2].label, "memo");
+  EXPECT_EQ(labels[2].source, 0u);
+  EXPECT_NEAR(labels[2].confidence, 0.75, 1e-12);
+}
+
+TEST(PropagateLabels, Validation) {
+  EXPECT_THROW(propagate_labels({BitVec{1}}, {{5, "x"}}, 0.5),
+               InvalidArgument);
+  EXPECT_THROW(propagate_labels({BitVec{1}}, {{0, ""}}, 0.5), InvalidArgument);
+  EXPECT_THROW(propagate_labels({}, {}, 2.0), InvalidArgument);
+}
+
+TEST(SimilarityInference, EndToEndThroughSnmfReconstruction) {
+  // The paper's P_365/P_380 story: two identical documents; the adversary
+  // knows the content of one, reconstructs indexes from ciphertexts alone,
+  // and labels the other through I* similarity.
+  rng::Rng rng(3);
+  scheme::MkfseOptions opt;
+  opt.bloom_bits = 14;
+  const scheme::Mkfse scheme(opt, rng);
+
+  const std::vector<std::vector<std::string>> docs = {
+      {"application", "approved", "loan"},
+      {"meeting", "agenda", "monday"},
+      {"application", "approved", "loan"},  // duplicate of doc 0
+      {"invoice", "payment", "overdue"},
+      {"server", "outage", "report"},
+      {"quarterly", "numbers", "draft"},
+  };
+  sse::CoaView view;
+  for (int copy = 0; copy < 6; ++copy) {
+    for (const auto& d : docs) {
+      view.cipher_indexes.push_back(
+          scheme.encrypt_index(scheme.build_index(d), rng));
+    }
+  }
+  for (int j = 0; j < 36; ++j) {
+    const auto& d = docs[static_cast<std::size_t>(j) % docs.size()];
+    view.cipher_trapdoors.push_back(
+        scheme.encrypt_trapdoor(scheme.build_trapdoor({d[0], d[1]}), rng));
+  }
+
+  SnmfAttackOptions aopt;
+  aopt.rank = opt.bloom_bits;
+  aopt.restarts = 4;
+  aopt.nmf.max_iterations = 300;
+  rng::Rng attack_rng(4);
+  const auto res = run_snmf_attack(view, aopt, attack_rng);
+
+  // Adversary knows doc 0's content; doc 2 (its duplicate) must inherit it.
+  const auto labels =
+      propagate_labels(res.indexes, {{0, "application approved"}}, 0.95);
+  EXPECT_EQ(labels[2].label, "application approved");
+  // Unrelated docs must stay unlabeled.
+  EXPECT_TRUE(labels[1].label.empty());
+  EXPECT_TRUE(labels[3].label.empty());
+}
+
+}  // namespace
+}  // namespace aspe::core

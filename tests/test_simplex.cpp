@@ -1,0 +1,225 @@
+#include "opt/simplex.hpp"
+
+#include <gtest/gtest.h>
+
+#include "rng/rng.hpp"
+
+namespace aspe::opt {
+namespace {
+
+TEST(Simplex, TextbookMaximization) {
+  // max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18, x,y >= 0
+  // -> x = 2, y = 6, objective 36. We minimize the negation.
+  Model m;
+  const auto x = m.add_variable(0.0, kInfinity);
+  const auto y = m.add_variable(0.0, kInfinity);
+  m.add_constraint({{x, 1.0}}, Sense::LessEqual, 4.0);
+  m.add_constraint({{y, 2.0}}, Sense::LessEqual, 12.0);
+  m.add_constraint({{x, 3.0}, {y, 2.0}}, Sense::LessEqual, 18.0);
+  m.set_objective({{x, -3.0}, {y, -5.0}});
+  const LpResult r = solve_lp(m);
+  ASSERT_EQ(r.status, LpStatus::Optimal);
+  EXPECT_NEAR(r.x[0], 2.0, 1e-7);
+  EXPECT_NEAR(r.x[1], 6.0, 1e-7);
+  EXPECT_NEAR(r.objective, -36.0, 1e-7);
+}
+
+TEST(Simplex, EqualityConstraints) {
+  // min x + y s.t. x + 2y = 4, x - y = 1 -> unique point (2, 1).
+  Model m;
+  const auto x = m.add_variable(0.0, kInfinity);
+  const auto y = m.add_variable(0.0, kInfinity);
+  m.add_constraint({{x, 1.0}, {y, 2.0}}, Sense::Equal, 4.0);
+  m.add_constraint({{x, 1.0}, {y, -1.0}}, Sense::Equal, 1.0);
+  m.set_objective({{x, 1.0}, {y, 1.0}});
+  const LpResult r = solve_lp(m);
+  ASSERT_EQ(r.status, LpStatus::Optimal);
+  EXPECT_NEAR(r.x[0], 2.0, 1e-7);
+  EXPECT_NEAR(r.x[1], 1.0, 1e-7);
+}
+
+TEST(Simplex, GreaterEqualAndMinimization) {
+  // Classic diet LP: min 0.6a + 0.35b s.t. 5a+7b >= 8, 4a+2b >= 15.
+  Model m;
+  const auto a = m.add_variable(0.0, kInfinity);
+  const auto b = m.add_variable(0.0, kInfinity);
+  m.add_constraint({{a, 5.0}, {b, 7.0}}, Sense::GreaterEqual, 8.0);
+  m.add_constraint({{a, 4.0}, {b, 2.0}}, Sense::GreaterEqual, 15.0);
+  m.set_objective({{a, 0.6}, {b, 0.35}});
+  const LpResult r = solve_lp(m);
+  ASSERT_EQ(r.status, LpStatus::Optimal);
+  EXPECT_LE(m.max_violation(r.x), 1e-6);
+  // Optimum at a = 15/4, b = 0.
+  EXPECT_NEAR(r.x[0], 3.75, 1e-6);
+  EXPECT_NEAR(r.x[1], 0.0, 1e-6);
+}
+
+TEST(Simplex, DetectsInfeasible) {
+  Model m;
+  const auto x = m.add_variable(0.0, kInfinity);
+  m.add_constraint({{x, 1.0}}, Sense::LessEqual, 1.0);
+  m.add_constraint({{x, 1.0}}, Sense::GreaterEqual, 2.0);
+  EXPECT_EQ(solve_lp(m).status, LpStatus::Infeasible);
+}
+
+TEST(Simplex, DetectsInfeasibleBounds) {
+  Model m;
+  const auto x = m.add_variable(0.0, 1.0);
+  const auto y = m.add_variable(0.0, 1.0);
+  m.add_constraint({{x, 1.0}, {y, 1.0}}, Sense::GreaterEqual, 3.0);
+  EXPECT_EQ(solve_lp(m).status, LpStatus::Infeasible);
+}
+
+TEST(Simplex, DetectsUnbounded) {
+  Model m;
+  const auto x = m.add_variable(0.0, kInfinity);
+  m.add_constraint({{x, -1.0}}, Sense::LessEqual, 0.0);  // x >= 0, no cap
+  m.set_objective({{x, -1.0}});                          // min -x
+  EXPECT_EQ(solve_lp(m).status, LpStatus::Unbounded);
+}
+
+TEST(Simplex, VariableBoundsRespectedWithoutRows) {
+  // min -x - y with x in [1, 3], y in [0, 2], x + y <= 4.
+  Model m;
+  const auto x = m.add_variable(1.0, 3.0);
+  const auto y = m.add_variable(0.0, 2.0);
+  m.add_constraint({{x, 1.0}, {y, 1.0}}, Sense::LessEqual, 4.0);
+  m.set_objective({{x, -1.0}, {y, -1.0}});
+  const LpResult r = solve_lp(m);
+  ASSERT_EQ(r.status, LpStatus::Optimal);
+  EXPECT_NEAR(r.objective, -4.0, 1e-7);
+  EXPECT_GE(r.x[0], 1.0 - 1e-9);
+  EXPECT_LE(r.x[0], 3.0 + 1e-9);
+}
+
+TEST(Simplex, NegativeLowerBounds) {
+  // min x + y with x, y in [-5, 5], x + y >= -3 -> objective -3.
+  Model m;
+  const auto x = m.add_variable(-5.0, 5.0);
+  const auto y = m.add_variable(-5.0, 5.0);
+  m.add_constraint({{x, 1.0}, {y, 1.0}}, Sense::GreaterEqual, -3.0);
+  m.set_objective({{x, 1.0}, {y, 1.0}});
+  const LpResult r = solve_lp(m);
+  ASSERT_EQ(r.status, LpStatus::Optimal);
+  EXPECT_NEAR(r.objective, -3.0, 1e-7);
+}
+
+TEST(Simplex, FixedVariable) {
+  Model m;
+  const auto x = m.add_variable(2.0, 2.0);  // fixed
+  const auto y = m.add_variable(0.0, kInfinity);
+  m.add_constraint({{x, 1.0}, {y, 1.0}}, Sense::LessEqual, 5.0);
+  m.set_objective({{y, -1.0}});
+  const LpResult r = solve_lp(m);
+  ASSERT_EQ(r.status, LpStatus::Optimal);
+  EXPECT_NEAR(r.x[0], 2.0, 1e-9);
+  EXPECT_NEAR(r.x[1], 3.0, 1e-7);
+}
+
+TEST(Simplex, ZeroObjectiveIsFeasibilitySearch) {
+  Model m;
+  const auto x = m.add_variable(0.0, 10.0);
+  m.add_constraint({{x, 2.0}}, Sense::Equal, 7.0);
+  const LpResult r = solve_lp(m);
+  ASSERT_EQ(r.status, LpStatus::Optimal);
+  EXPECT_NEAR(r.x[0], 3.5, 1e-8);
+}
+
+TEST(Simplex, DegenerateConstraintsTerminate) {
+  // Redundant constraints (degenerate vertices) must not cycle.
+  Model m;
+  const auto x = m.add_variable(0.0, kInfinity);
+  const auto y = m.add_variable(0.0, kInfinity);
+  for (int i = 0; i < 5; ++i) {
+    m.add_constraint({{x, 1.0}, {y, 1.0}}, Sense::LessEqual, 2.0);
+  }
+  m.add_constraint({{x, 1.0}}, Sense::LessEqual, 2.0);
+  m.set_objective({{x, -1.0}, {y, -1.0}});
+  const LpResult r = solve_lp(m);
+  ASSERT_EQ(r.status, LpStatus::Optimal);
+  EXPECT_NEAR(r.objective, -2.0, 1e-7);
+}
+
+TEST(Simplex, RandomFeasibleLpsHaveValidSolutions) {
+  // Property sweep: random LPs with a known interior point stay feasible and
+  // the returned point satisfies all rows and bounds.
+  rng::Rng rng(77);
+  for (int trial = 0; trial < 25; ++trial) {
+    const std::size_t n = 2 + static_cast<std::size_t>(rng.uniform_int(0, 5));
+    const std::size_t rows = 1 + static_cast<std::size_t>(rng.uniform_int(0, 7));
+    Model m;
+    Vec interior(n);
+    for (std::size_t j = 0; j < n; ++j) {
+      interior[j] = rng.uniform(-2.0, 2.0);
+      m.add_variable(interior[j] - rng.uniform(0.5, 3.0),
+                     interior[j] + rng.uniform(0.5, 3.0));
+    }
+    for (std::size_t i = 0; i < rows; ++i) {
+      LinExpr e;
+      double lhs_at_interior = 0.0;
+      for (std::size_t j = 0; j < n; ++j) {
+        const double c = rng.uniform(-1.0, 1.0);
+        e.push_back({j, c});
+        lhs_at_interior += c * interior[j];
+      }
+      // Slack the row so the interior point satisfies it.
+      m.add_constraint(std::move(e), Sense::LessEqual,
+                       lhs_at_interior + rng.uniform(0.1, 2.0));
+    }
+    LinExpr obj;
+    for (std::size_t j = 0; j < n; ++j) obj.push_back({j, rng.uniform(-1.0, 1.0)});
+    m.set_objective(std::move(obj));
+    const LpResult r = solve_lp(m);
+    ASSERT_EQ(r.status, LpStatus::Optimal) << "trial " << trial;
+    EXPECT_LE(m.max_violation(r.x), 1e-6) << "trial " << trial;
+    for (std::size_t j = 0; j < n; ++j) {
+      EXPECT_GE(r.x[j], m.variable(j).lb - 1e-7);
+      EXPECT_LE(r.x[j], m.variable(j).ub + 1e-7);
+    }
+    // Optimality sanity: no better than the trivial bound-combination min.
+    EXPECT_LE(r.objective, m.objective_value(interior) + 1e-7);
+  }
+}
+
+TEST(Simplex, RejectsEmptyModel) {
+  Model m;
+  EXPECT_THROW(solve_lp(m), InvalidArgument);
+  m.add_variable(0.0, 1.0);
+  EXPECT_THROW(solve_lp(m), InvalidArgument);  // no constraints
+}
+
+TEST(Model, DuplicateTermsAreSummed) {
+  Model m;
+  const auto x = m.add_variable(0.0, 10.0);
+  m.add_constraint({{x, 1.0}, {x, 1.0}}, Sense::Equal, 6.0);
+  const LpResult r = solve_lp(m);
+  ASSERT_EQ(r.status, LpStatus::Optimal);
+  EXPECT_NEAR(r.x[0], 3.0, 1e-8);
+}
+
+TEST(Model, Validation) {
+  Model m;
+  EXPECT_THROW(m.add_variable(2.0, 1.0), InvalidArgument);
+  EXPECT_THROW(m.add_variable(-kInfinity, 1.0), InvalidArgument);
+  EXPECT_THROW(m.add_variable(0.0, 2.0, VarType::Binary), InvalidArgument);
+  const auto x = m.add_variable(0.0, 1.0);
+  EXPECT_THROW(m.add_constraint({{x + 1, 1.0}}, Sense::Equal, 0.0),
+               InvalidArgument);
+  EXPECT_THROW(m.set_objective({{x + 1, 1.0}}), InvalidArgument);
+  EXPECT_FALSE(m.has_integer_variables());
+  m.add_binary();
+  EXPECT_TRUE(m.has_integer_variables());
+}
+
+TEST(Model, MaxViolationMeasuresAllSenses) {
+  Model m;
+  const auto x = m.add_variable(0.0, 10.0);
+  m.add_constraint({{x, 1.0}}, Sense::LessEqual, 1.0);
+  m.add_constraint({{x, 1.0}}, Sense::GreaterEqual, -1.0);
+  m.add_constraint({{x, 1.0}}, Sense::Equal, 2.0);
+  EXPECT_NEAR(m.max_violation(Vec{3.0}), 2.0, 1e-12);  // <= violated by 2
+  EXPECT_NEAR(m.max_violation(Vec{2.0}), 1.0, 1e-12);  // <= violated by 1
+}
+
+}  // namespace
+}  // namespace aspe::opt

@@ -1,0 +1,184 @@
+// Stress and pathology suite for the simplex: degenerate, redundant,
+// ill-scaled and adversarial instances, plus brute-force cross-checks.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "opt/simplex.hpp"
+#include "rng/rng.hpp"
+
+namespace aspe::opt {
+namespace {
+
+TEST(SimplexStress, KleeMintyCubes) {
+  // Klee-Minty: max 2^{n-1} x1 + ... + x_n with the twisted cube
+  // constraints; optimum 5^n at the last vertex. Dantzig pricing visits
+  // exponentially many vertices on the unperturbed form — the solver must
+  // still terminate and return the right optimum.
+  for (std::size_t n : {3u, 5u, 7u}) {
+    Model m;
+    for (std::size_t j = 0; j < n; ++j) m.add_variable(0.0, kInfinity);
+    for (std::size_t i = 0; i < n; ++i) {
+      LinExpr e;
+      for (std::size_t j = 0; j < i; ++j) {
+        e.push_back({j, 2.0 * std::pow(2.0, static_cast<double>(i - j))});
+      }
+      e.push_back({i, 1.0});
+      m.add_constraint(std::move(e), Sense::LessEqual,
+                       std::pow(5.0, static_cast<double>(i + 1)));
+    }
+    LinExpr obj;
+    for (std::size_t j = 0; j < n; ++j) {
+      obj.push_back({j, -std::pow(2.0, static_cast<double>(n - 1 - j))});
+    }
+    m.set_objective(std::move(obj));
+    const LpResult r = solve_lp(m);
+    ASSERT_EQ(r.status, LpStatus::Optimal) << "n=" << n;
+    EXPECT_NEAR(r.objective, -std::pow(5.0, static_cast<double>(n)),
+                1e-6 * std::pow(5.0, static_cast<double>(n)));
+  }
+}
+
+TEST(SimplexStress, BealeCycle) {
+  // Beale's classic cycling example; without anti-cycling safeguards the
+  // Dantzig rule loops forever. Optimum: 0.05 at x = (1/25, 0, 1, 0).
+  Model m;
+  for (int j = 0; j < 4; ++j) m.add_variable(0.0, kInfinity);
+  m.add_constraint({{0, 0.25}, {1, -60.0}, {2, -1.0 / 25.0}, {3, 9.0}},
+                   Sense::LessEqual, 0.0);
+  m.add_constraint({{0, 0.5}, {1, -90.0}, {2, -1.0 / 50.0}, {3, 3.0}},
+                   Sense::LessEqual, 0.0);
+  m.add_constraint({{2, 1.0}}, Sense::LessEqual, 1.0);
+  m.set_objective({{0, -0.75}, {1, 150.0}, {2, -0.02}, {3, 6.0}});
+  const LpResult r = solve_lp(m);
+  ASSERT_EQ(r.status, LpStatus::Optimal);
+  // Optimum -1/20 at x = (0.04, 0, 1, 0).
+  EXPECT_NEAR(r.objective, -0.05, 1e-8);
+}
+
+TEST(SimplexStress, HighlyRedundantRows) {
+  Model m;
+  const auto x = m.add_variable(0.0, kInfinity);
+  const auto y = m.add_variable(0.0, kInfinity);
+  for (int i = 0; i < 40; ++i) {
+    m.add_constraint({{x, 1.0}, {y, 1.0}}, Sense::LessEqual,
+                     10.0 + (i % 3) * 1e-9);
+  }
+  m.set_objective({{x, -1.0}, {y, -2.0}});
+  const LpResult r = solve_lp(m);
+  ASSERT_EQ(r.status, LpStatus::Optimal);
+  EXPECT_NEAR(r.objective, -20.0, 1e-6);
+}
+
+TEST(SimplexStress, BadlyScaledCoefficients) {
+  // Coefficients spanning 9 orders of magnitude.
+  Model m;
+  const auto x = m.add_variable(0.0, kInfinity);
+  const auto y = m.add_variable(0.0, kInfinity);
+  m.add_constraint({{x, 1e6}, {y, 1.0}}, Sense::LessEqual, 2e6);
+  m.add_constraint({{x, 1.0}, {y, 1e-3}}, Sense::LessEqual, 3.0);
+  m.set_objective({{x, -1.0}, {y, -1e-3}});
+  const LpResult r = solve_lp(m);
+  ASSERT_EQ(r.status, LpStatus::Optimal);
+  EXPECT_LE(m.max_violation(r.x), 1e-4);
+}
+
+TEST(SimplexStress, EqualityOnlySquareSystem) {
+  // Pure linear system posed as an LP: must return its unique solution.
+  Model m;
+  for (int j = 0; j < 3; ++j) m.add_variable(-100.0, 100.0);
+  m.add_constraint({{0, 1.0}, {1, 1.0}, {2, 1.0}}, Sense::Equal, 6.0);
+  m.add_constraint({{0, 1.0}, {1, -1.0}}, Sense::Equal, 0.0);
+  m.add_constraint({{2, 2.0}}, Sense::Equal, 4.0);
+  const LpResult r = solve_lp(m);
+  ASSERT_EQ(r.status, LpStatus::Optimal);
+  EXPECT_NEAR(r.x[0], 2.0, 1e-7);
+  EXPECT_NEAR(r.x[1], 2.0, 1e-7);
+  EXPECT_NEAR(r.x[2], 2.0, 1e-7);
+}
+
+TEST(SimplexStress, AllVariablesAtUpperBound) {
+  Model m;
+  for (int j = 0; j < 5; ++j) m.add_variable(0.0, 1.0);
+  LinExpr sum;
+  for (std::size_t j = 0; j < 5; ++j) sum.push_back({j, 1.0});
+  m.add_constraint(sum, Sense::LessEqual, 100.0);  // slack constraint
+  LinExpr obj;
+  for (std::size_t j = 0; j < 5; ++j) obj.push_back({j, -1.0});
+  m.set_objective(obj);
+  const LpResult r = solve_lp(m);
+  ASSERT_EQ(r.status, LpStatus::Optimal);
+  for (double v : r.x) EXPECT_NEAR(v, 1.0, 1e-9);
+}
+
+TEST(SimplexStress, RandomLpsAgainstVertexEnumeration) {
+  // 2-variable LPs solved exactly by enumerating constraint intersections.
+  rng::Rng rng(31);
+  for (int trial = 0; trial < 40; ++trial) {
+    const int rows = 3 + static_cast<int>(rng.uniform_int(0, 4));
+    std::vector<double> a(rows), b(rows), c(rows);
+    Model m;
+    const auto x = m.add_variable(0.0, 10.0);
+    const auto y = m.add_variable(0.0, 10.0);
+    for (int i = 0; i < rows; ++i) {
+      a[i] = rng.uniform(-1.0, 1.0);
+      b[i] = rng.uniform(-1.0, 1.0);
+      c[i] = rng.uniform(0.5, 4.0);  // keeps origin feasible
+      m.add_constraint({{x, a[i]}, {y, b[i]}}, Sense::LessEqual, c[i]);
+    }
+    const double cx = rng.uniform(-1.0, 1.0);
+    const double cy = rng.uniform(-1.0, 1.0);
+    m.set_objective({{x, cx}, {y, cy}});
+    const LpResult r = solve_lp(m);
+    ASSERT_EQ(r.status, LpStatus::Optimal) << trial;
+
+    // Enumerate candidate vertices: constraint/constraint and
+    // constraint/bound intersections plus box corners.
+    std::vector<std::pair<double, double>> cands = {
+        {0, 0}, {0, 10}, {10, 0}, {10, 10}};
+    auto add_if_valid = [&](double px, double py) {
+      if (px < -1e-9 || px > 10 + 1e-9 || py < -1e-9 || py > 10 + 1e-9) return;
+      cands.push_back({px, py});
+    };
+    for (int i = 0; i < rows; ++i) {
+      if (std::abs(a[i]) > 1e-12) add_if_valid(c[i] / a[i], 0.0);
+      if (std::abs(b[i]) > 1e-12) add_if_valid(0.0, c[i] / b[i]);
+      if (std::abs(a[i]) > 1e-12) add_if_valid((c[i] - 10 * b[i]) / a[i], 10.0);
+      if (std::abs(b[i]) > 1e-12) add_if_valid(10.0, (c[i] - 10 * a[i]) / b[i]);
+      for (int j = i + 1; j < rows; ++j) {
+        const double det = a[i] * b[j] - a[j] * b[i];
+        if (std::abs(det) < 1e-12) continue;
+        add_if_valid((c[i] * b[j] - c[j] * b[i]) / det,
+                     (a[i] * c[j] - a[j] * c[i]) / det);
+      }
+    }
+    double best = 0.0;  // origin is feasible with objective 0
+    for (auto [px, py] : cands) {
+      bool ok = true;
+      for (int i = 0; i < rows; ++i) {
+        if (a[i] * px + b[i] * py > c[i] + 1e-7) ok = false;
+      }
+      if (ok) best = std::min(best, cx * px + cy * py);
+    }
+    EXPECT_NEAR(r.objective, best, 1e-5) << "trial " << trial;
+  }
+}
+
+TEST(SimplexStress, LargeSparseFeasibilitySystem) {
+  // A chain system x_{i+1} - x_i = 1 with x_0 = 0: unique solution x_i = i.
+  const std::size_t n = 60;
+  Model m;
+  for (std::size_t j = 0; j < n; ++j) m.add_variable(-1000.0, 1000.0);
+  m.add_constraint({{0, 1.0}}, Sense::Equal, 0.0);
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    m.add_constraint({{i + 1, 1.0}, {i, -1.0}}, Sense::Equal, 1.0);
+  }
+  const LpResult r = solve_lp(m);
+  ASSERT_EQ(r.status, LpStatus::Optimal);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(r.x[i], static_cast<double>(i), 1e-6);
+  }
+}
+
+}  // namespace
+}  // namespace aspe::opt

@@ -1,0 +1,121 @@
+#include "linalg/solve.hpp"
+
+#include <gtest/gtest.h>
+
+#include "linalg/cholesky.hpp"
+#include "linalg/random_matrix.hpp"
+#include "linalg/vector_ops.hpp"
+#include "rng/rng.hpp"
+
+namespace aspe::linalg {
+namespace {
+
+TEST(Solve, BasicSystem) {
+  const Vec x = solve(Matrix{{1, 1}, {1, -1}}, Vec{4, 0});
+  EXPECT_NEAR(x[0], 2.0, 1e-12);
+  EXPECT_NEAR(x[1], 2.0, 1e-12);
+}
+
+TEST(Solve, InverseMatchesLu) {
+  rng::Rng rng(3);
+  const Matrix a = random_invertible(5, rng);
+  EXPECT_TRUE((inverse(a) * a).approx_equal(Matrix::identity(5), 1e-8));
+}
+
+TEST(Rank, FullAndDeficient) {
+  EXPECT_EQ(rank(Matrix::identity(4)), 4u);
+  EXPECT_EQ(rank(Matrix{{1, 2}, {2, 4}}), 1u);
+  EXPECT_EQ(rank(Matrix(3, 3, 0.0)), 0u);
+  // Wide and tall matrices.
+  EXPECT_EQ(rank(Matrix{{1, 0, 0}, {0, 1, 0}}), 2u);
+  EXPECT_EQ(rank(Matrix{{1, 0}, {0, 1}, {1, 1}}), 2u);
+}
+
+TEST(Rank, RandomMatrixFullRankWithHighProbability) {
+  rng::Rng rng(17);
+  const Matrix a = random_matrix(12, rng);
+  EXPECT_EQ(rank(a), 12u);
+}
+
+TEST(Cholesky, SolvesSpdSystem) {
+  const Matrix a{{4, 2}, {2, 3}};
+  const Cholesky chol(a);
+  const Vec x = chol.solve(Vec{10, 9});
+  const Vec b = a.apply(x);
+  EXPECT_NEAR(b[0], 10.0, 1e-10);
+  EXPECT_NEAR(b[1], 9.0, 1e-10);
+}
+
+TEST(Cholesky, FactorReconstructs) {
+  const Matrix a{{9, 3, 0}, {3, 5, 2}, {0, 2, 8}};
+  const Cholesky chol(a);
+  const Matrix l = chol.factor();
+  EXPECT_TRUE((l * l.transpose()).approx_equal(a, 1e-10));
+}
+
+TEST(Cholesky, RejectsIndefinite) {
+  EXPECT_THROW(Cholesky(Matrix{{1, 2}, {2, 1}}), NumericalError);
+  EXPECT_THROW(Cholesky(Matrix{{-1}}), NumericalError);
+}
+
+TEST(LeastSquares, ExactForConsistentSystem) {
+  // Overdetermined but consistent: y = 2x over three samples.
+  const Matrix a{{1}, {2}, {3}};
+  const Vec x = solve_least_squares(a, Vec{2, 4, 6});
+  ASSERT_EQ(x.size(), 1u);
+  EXPECT_NEAR(x[0], 2.0, 1e-10);
+}
+
+TEST(LeastSquares, MinimizesResidual) {
+  // Fit line b = c0 + c1 t through (0,1), (1,3), (2,4): LS solution known.
+  const Matrix a{{1, 0}, {1, 1}, {1, 2}};
+  const Vec x = solve_least_squares(a, Vec{1, 3, 4});
+  EXPECT_NEAR(x[0], 7.0 / 6.0, 1e-9);
+  EXPECT_NEAR(x[1], 1.5, 1e-9);
+}
+
+TEST(IndependenceTracker, AcceptsBasisRejectsDependent) {
+  IndependenceTracker tracker(3);
+  EXPECT_TRUE(tracker.try_add(Vec{1, 0, 0}));
+  EXPECT_TRUE(tracker.try_add(Vec{1, 1, 0}));
+  EXPECT_FALSE(tracker.try_add(Vec{2, 1, 0}));  // in span of first two
+  EXPECT_FALSE(tracker.complete());
+  EXPECT_TRUE(tracker.try_add(Vec{0, 0, 5}));
+  EXPECT_TRUE(tracker.complete());
+  // Complete tracker refuses further vectors.
+  EXPECT_FALSE(tracker.try_add(Vec{1, 2, 3}));
+  EXPECT_EQ(tracker.count(), 3u);
+}
+
+TEST(IndependenceTracker, RejectsZeroVector) {
+  IndependenceTracker tracker(2);
+  EXPECT_FALSE(tracker.try_add(Vec{0, 0}));
+  EXPECT_EQ(tracker.count(), 0u);
+}
+
+TEST(IndependenceTracker, NearlyDependentRejected) {
+  IndependenceTracker tracker(2, 1e-6);
+  EXPECT_TRUE(tracker.try_add(Vec{1, 0}));
+  EXPECT_FALSE(tracker.try_add(Vec{1, 1e-9}));
+}
+
+TEST(IndependenceTracker, RandomVectorsCompleteBasis) {
+  rng::Rng rng(7);
+  IndependenceTracker tracker(10);
+  std::size_t attempts = 0;
+  while (!tracker.complete() && attempts < 20) {
+    tracker.try_add(rng.uniform_vec(10, -1.0, 1.0));
+    ++attempts;
+  }
+  EXPECT_TRUE(tracker.complete());
+  EXPECT_EQ(attempts, 10u);  // random reals are independent w.p. 1
+}
+
+TEST(IndependenceTracker, DimensionChecked) {
+  IndependenceTracker tracker(3);
+  EXPECT_THROW(tracker.try_add(Vec{1, 2}), InvalidArgument);
+  EXPECT_THROW(IndependenceTracker(0), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace aspe::linalg

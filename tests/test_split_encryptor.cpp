@@ -1,0 +1,110 @@
+#include "scheme/split_encryptor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "linalg/vector_ops.hpp"
+#include "rng/rng.hpp"
+
+namespace aspe::scheme {
+namespace {
+
+/// Property sweep across dimensions and seeds.
+class SplitEncryptorProperty
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::uint64_t>> {};
+
+TEST_P(SplitEncryptorProperty, PreservesInnerProduct) {
+  const auto [dim, seed] = GetParam();
+  rng::Rng rng(seed);
+  const SplitEncryptor enc(dim, rng);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Vec index = rng.uniform_vec(dim, -5.0, 5.0);
+    const Vec trapdoor = rng.uniform_vec(dim, -5.0, 5.0);
+    const CipherPair ci = enc.encrypt_index(index, rng);
+    const CipherPair ct = enc.encrypt_trapdoor(trapdoor, rng);
+    EXPECT_NEAR(cipher_score(ci, ct), linalg::dot(index, trapdoor),
+                1e-6 * (1.0 + std::abs(linalg::dot(index, trapdoor))))
+        << "dim=" << dim << " trial=" << trial;
+  }
+}
+
+TEST_P(SplitEncryptorProperty, DecryptInvertsEncrypt) {
+  const auto [dim, seed] = GetParam();
+  rng::Rng rng(seed ^ 0xabcddcba);
+  const SplitEncryptor enc(dim, rng);
+  const Vec index = rng.uniform_vec(dim, -3.0, 3.0);
+  const Vec trapdoor = rng.uniform_vec(dim, -3.0, 3.0);
+  EXPECT_TRUE(linalg::approx_equal(
+      enc.decrypt_index(enc.encrypt_index(index, rng)), index, 1e-7));
+  EXPECT_TRUE(linalg::approx_equal(
+      enc.decrypt_trapdoor(enc.encrypt_trapdoor(trapdoor, rng)), trapdoor,
+      1e-7));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DimsAndSeeds, SplitEncryptorProperty,
+    ::testing::Combine(::testing::Values<std::size_t>(1, 2, 5, 16, 64),
+                       ::testing::Values<std::uint64_t>(1, 42, 2026)));
+
+TEST(SplitEncryptor, EncryptionIsRandomized) {
+  // The share split injects fresh randomness: two encryptions of the same
+  // plaintext differ (this is what defeats Scheme 1's key-recovery attack).
+  rng::Rng rng(7);
+  const SplitEncryptor enc(8, rng);
+  const Vec index = rng.uniform_vec(8, -1.0, 1.0);
+  const CipherPair c1 = enc.encrypt_index(index, rng);
+  const CipherPair c2 = enc.encrypt_index(index, rng);
+  EXPECT_FALSE(linalg::approx_equal(c1.a, c2.a, 1e-9));
+  // ... but both decrypt to the same plaintext.
+  EXPECT_TRUE(linalg::approx_equal(enc.decrypt_index(c1),
+                                   enc.decrypt_index(c2), 1e-7));
+}
+
+TEST(SplitEncryptor, TrapdoorEncryptionIsRandomizedWhenSplitHasZeros) {
+  rng::Rng rng(8);
+  const SplitEncryptor enc(32, rng);  // ~16 split positions w.h.p.
+  const Vec t = rng.uniform_vec(32, -1.0, 1.0);
+  const CipherPair c1 = enc.encrypt_trapdoor(t, rng);
+  const CipherPair c2 = enc.encrypt_trapdoor(t, rng);
+  EXPECT_FALSE(linalg::approx_equal(c1.a, c2.a, 1e-9));
+}
+
+TEST(SplitEncryptor, IndexIndexProductNotPreserved) {
+  // The asymmetry property: the server cannot compare two indexes.
+  rng::Rng rng(9);
+  const SplitEncryptor enc(16, rng);
+  const Vec i1 = rng.uniform_vec(16, -2.0, 2.0);
+  const Vec i2 = rng.uniform_vec(16, -2.0, 2.0);
+  const CipherPair c1 = enc.encrypt_index(i1, rng);
+  const CipherPair c2 = enc.encrypt_index(i2, rng);
+  const double cipher_dot = cipher_score(c1, c2);
+  EXPECT_GT(std::abs(cipher_dot - linalg::dot(i1, i2)), 1e-3);
+}
+
+TEST(SplitEncryptor, SplitStringIsBalanced) {
+  rng::Rng rng(10);
+  const SplitEncryptor enc(256, rng);
+  const double frac = density(enc.split_string());
+  EXPECT_GT(frac, 0.3);
+  EXPECT_LT(frac, 0.7);
+}
+
+TEST(SplitEncryptor, DimensionValidation) {
+  rng::Rng rng(11);
+  EXPECT_THROW(SplitEncryptor(0, rng), InvalidArgument);
+  const SplitEncryptor enc(4, rng);
+  EXPECT_THROW(enc.encrypt_index(Vec(3, 0.0), rng), InvalidArgument);
+  EXPECT_THROW(enc.encrypt_trapdoor(Vec(5, 0.0), rng), InvalidArgument);
+  EXPECT_THROW(enc.decrypt_index(CipherPair{Vec(3, 0.0), Vec(4, 0.0)}),
+               InvalidArgument);
+}
+
+TEST(CipherScore, LengthChecked) {
+  EXPECT_THROW(
+      cipher_score(CipherPair{Vec{1.0}, Vec{1.0}},
+                   CipherPair{Vec{1.0, 2.0}, Vec{1.0}}),
+      InvalidArgument);
+}
+
+}  // namespace
+}  // namespace aspe::scheme

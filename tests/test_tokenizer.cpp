@@ -1,0 +1,63 @@
+#include "text/tokenizer.hpp"
+
+#include <gtest/gtest.h>
+
+namespace aspe::text {
+namespace {
+
+TEST(Tokenizer, LowercasesAndSplits) {
+  const auto toks = tokenize("Hello, World! FOO-bar");
+  ASSERT_EQ(toks.size(), 4u);
+  EXPECT_EQ(toks[0], "hello");
+  EXPECT_EQ(toks[1], "world");
+  EXPECT_EQ(toks[2], "foo");
+  EXPECT_EQ(toks[3], "bar");
+}
+
+TEST(Tokenizer, DropsStopwordsAndShortTokens) {
+  const auto toks = tokenize("the cat and a dog x", 2);
+  ASSERT_EQ(toks.size(), 2u);
+  EXPECT_EQ(toks[0], "cat");
+  EXPECT_EQ(toks[1], "dog");
+}
+
+TEST(Tokenizer, MinLengthRespected) {
+  const auto toks = tokenize("go went gone", 3);
+  ASSERT_EQ(toks.size(), 2u);
+  EXPECT_EQ(toks[0], "went");
+}
+
+TEST(Tokenizer, KeepsDigitsInTokens) {
+  const auto toks = tokenize("meeting2026 at room42");
+  ASSERT_EQ(toks.size(), 2u);
+  EXPECT_EQ(toks[0], "meeting2026");
+  EXPECT_EQ(toks[1], "room42");
+}
+
+TEST(Tokenizer, EmptyAndPunctuationOnly) {
+  EXPECT_TRUE(tokenize("").empty());
+  EXPECT_TRUE(tokenize("... --- !!!").empty());
+}
+
+TEST(Tokenizer, TrailingTokenFlushed) {
+  const auto toks = tokenize("application approved");
+  ASSERT_EQ(toks.size(), 2u);
+  EXPECT_EQ(toks.back(), "approved");
+}
+
+TEST(ExtractKeywords, DeduplicatesPreservingOrder) {
+  const auto kw = extract_keywords("cloud data cloud server data cloud");
+  ASSERT_EQ(kw.size(), 3u);
+  EXPECT_EQ(kw[0], "cloud");
+  EXPECT_EQ(kw[1], "data");
+  EXPECT_EQ(kw[2], "server");
+}
+
+TEST(Stopwords, MembershipChecks) {
+  EXPECT_TRUE(is_stopword("the"));
+  EXPECT_TRUE(is_stopword("with"));
+  EXPECT_FALSE(is_stopword("encryption"));
+}
+
+}  // namespace
+}  // namespace aspe::text

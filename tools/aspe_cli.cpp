@@ -1,0 +1,8 @@
+// aspe_cli — command-line driver for the ASPE toolkit (see cli/commands.hpp).
+#include <iostream>
+
+#include "cli/commands.hpp"
+
+int main(int argc, char** argv) {
+  return aspe::cli::run_command(argc, argv, std::cout, std::cerr);
+}

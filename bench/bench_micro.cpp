@@ -3,15 +3,22 @@
 // kernel. These are ablation-style numbers, not paper reproductions.
 #include <benchmark/benchmark.h>
 
+#include <map>
+#include <string>
+
+#include "common/stopwatch.hpp"
 #include "core/lep.hpp"
+#include "core/snmf_attack.hpp"
 #include "data/queries.hpp"
 #include "linalg/lu.hpp"
 #include "linalg/random_matrix.hpp"
 #include "nmf/nmf.hpp"
 #include "nmf/nnls.hpp"
 #include "opt/simplex.hpp"
+#include "par/thread_pool.hpp"
 #include "scheme/mkfse.hpp"
 #include "scheme/scheme2.hpp"
+#include "scheme/split_encryptor.hpp"
 #include "sse/adversary_view.hpp"
 #include "sse/system.hpp"
 #include "text/bloom_filter.hpp"
@@ -135,6 +142,95 @@ void BM_MkfseIndex(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_MkfseIndex);
+
+// ------------------------------------------------------ thread-count sweeps
+//
+// Each sweep runs the same kernel at 1/2/4/8 threads and reports the speedup
+// relative to its own single-thread run (registration order guarantees the
+// t=1 baseline runs first). Results are bit-identical across the sweep —
+// only the wall clock moves.
+
+/// Remember the t=1 average seconds per kernel and report baseline/current.
+double record_speedup(const std::string& kernel, std::size_t threads,
+                      double avg_seconds) {
+  static std::map<std::string, double> baseline;
+  if (threads == 1) baseline[kernel] = avg_seconds;
+  const auto it = baseline.find(kernel);
+  if (it == baseline.end() || avg_seconds <= 0.0) return 0.0;
+  return it->second / avg_seconds;
+}
+
+void BM_MatrixMultiplyThreads(benchmark::State& state) {
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  rng::Rng rng(12);
+  const auto a = linalg::random_matrix(192, rng);
+  const auto b = linalg::random_matrix(192, rng);
+  par::set_default_threads(threads);
+  Stopwatch watch;
+  std::size_t iters = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a * b);
+    ++iters;
+  }
+  const double avg = watch.seconds() / static_cast<double>(std::max<std::size_t>(iters, 1));
+  par::set_default_threads(0);
+  state.counters["threads"] = static_cast<double>(threads);
+  state.counters["speedup"] = record_speedup("matmul", threads, avg);
+}
+BENCHMARK(BM_MatrixMultiplyThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_BuildScoreMatrixThreads(benchmark::State& state) {
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  const std::size_t d = 24, m = 96, n = 96;
+  rng::Rng rng(13);
+  scheme::SplitEncryptor enc(d, rng);
+  std::vector<scheme::CipherPair> indexes, trapdoors;
+  for (std::size_t i = 0; i < m; ++i) {
+    indexes.push_back(
+        enc.encrypt_index(to_real(rng.binary_bernoulli(d, 0.3)), rng));
+  }
+  for (std::size_t j = 0; j < n; ++j) {
+    trapdoors.push_back(
+        enc.encrypt_trapdoor(to_real(rng.binary_bernoulli(d, 0.25)), rng));
+  }
+  Stopwatch watch;
+  std::size_t iters = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::build_score_matrix(indexes, trapdoors, threads));
+    ++iters;
+  }
+  const double avg = watch.seconds() / static_cast<double>(std::max<std::size_t>(iters, 1));
+  state.counters["threads"] = static_cast<double>(threads);
+  state.counters["speedup"] = record_speedup("score_matrix", threads, avg);
+}
+BENCHMARK(BM_BuildScoreMatrixThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_SnmfRestartsThreads(benchmark::State& state) {
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  const std::size_t d = 12;
+  rng::Rng rng(14);
+  linalg::Matrix w(d, 3 * d), h(d, 3 * d);
+  for (auto& x : w.data()) x = rng.bernoulli(0.3) ? 1.0 : 0.0;
+  for (auto& x : h.data()) x = rng.bernoulli(0.3) ? 1.0 : 0.0;
+  const linalg::Matrix scores = w.transpose() * h;
+  core::SnmfAttackOptions opt;
+  opt.rank = d;
+  opt.restarts = 8;
+  opt.nmf.max_iterations = 60;
+  core::ExecContext ctx;
+  ctx.threads = threads;
+  ctx.seed = 15;
+  Stopwatch watch;
+  std::size_t iters = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::run_snmf_attack(scores, opt, ctx));
+    ++iters;
+  }
+  const double avg = watch.seconds() / static_cast<double>(std::max<std::size_t>(iters, 1));
+  state.counters["threads"] = static_cast<double>(threads);
+  state.counters["speedup"] = record_speedup("snmf_restarts", threads, avg);
+}
+BENCHMARK(BM_SnmfRestartsThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
 
 void BM_LepAttack(benchmark::State& state) {
   const auto d = static_cast<std::size_t>(state.range(0));

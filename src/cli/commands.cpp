@@ -14,6 +14,7 @@
 #include "data/quest.hpp"
 #include "io/key_io.hpp"
 #include "io/serialization.hpp"
+#include "par/thread_pool.hpp"
 #include "rng/rng.hpp"
 
 namespace aspe::cli {
@@ -36,6 +37,22 @@ std::string required(const CliFlags& flags, const std::string& name) {
   const std::string v = flags.get_string(name, "");
   require(!v.empty(), "missing required flag --" + name);
   return v;
+}
+
+/// Build the execution policy for an attack command from the global
+/// `--threads` flag (default 1, so existing invocations reproduce their
+/// serial outputs exactly) and the command's `--seed`.
+core::ExecContext make_exec_context(const CliFlags& flags,
+                                    std::uint64_t seed) {
+  core::ExecContext ctx;
+  ctx.threads = flags.get_threads(1);
+  ctx.seed = seed;
+  if (flags.has("threads")) {
+    // Publishes the width as the process default and grows the shared pool
+    // when the request exceeds its current size.
+    par::set_default_threads(ctx.threads);
+  }
+  return ctx;
 }
 
 // ----------------------------------------------------------------- commands
@@ -149,13 +166,17 @@ int cmd_attack_snmf(const CliFlags& flags, std::ostream& out) {
   view.cipher_indexes = io::read_encrypted_database(db_file);
   view.cipher_trapdoors = io::read_encrypted_database(trap_file);
 
+  const core::ExecContext ctx = make_exec_context(
+      flags, static_cast<std::uint64_t>(flags.get_int("seed", 2017)));
+
   core::SnmfAttackOptions aopt;
   aopt.rank = static_cast<std::size_t>(flags.get_int("rank", 0));
   if (aopt.rank == 0) {
     // No --rank given: estimate d from the numerical rank of the score
-    // matrix (rank(R) <= d with equality given enough ciphertexts).
+    // matrix (rank(R) <= d with equality given enough ciphertexts). The
+    // temporary score matrix is donated to the SVD (rvalue overload).
     aopt.rank = core::estimate_latent_dimension(core::build_score_matrix(
-        view.cipher_indexes, view.cipher_trapdoors));
+        view.cipher_indexes, view.cipher_trapdoors, ctx.threads));
     require(aopt.rank > 0, "attack-snmf: rank estimation found a zero matrix");
     out << "estimated latent dimension d = " << aopt.rank
         << " from rank(R)\n";
@@ -163,8 +184,7 @@ int cmd_attack_snmf(const CliFlags& flags, std::ostream& out) {
   aopt.restarts = static_cast<std::size_t>(flags.get_int("restarts", 3));
   aopt.nmf.max_iterations =
       static_cast<std::size_t>(flags.get_int("iters", 250));
-  rng::Rng rng(static_cast<std::uint64_t>(flags.get_int("seed", 2017)));
-  const auto res = core::run_snmf_attack(view, aopt, rng);
+  const auto res = core::run_snmf_attack(view, aopt, ctx);
 
   auto f = open_output(required(flags, "out"));
   f << "# reconstructed indexes (" << res.indexes.size() << ")\n";
@@ -272,7 +292,9 @@ int cmd_attack_lep(const CliFlags& flags, std::ostream& out) {
                                 view.observed.cipher_indexes[i]});
   }
 
-  const auto res = core::run_lep_attack(view);
+  // LEP consumes no randomness; the context only carries the thread count.
+  const auto res = core::run_lep_attack(view, core::LepOptions{},
+                                        make_exec_context(flags, 0));
   auto rec_file = open_output(required(flags, "out-records"));
   io::write_vec_list(rec_file, res.records);
   auto query_file = open_output(required(flags, "out-queries"));
@@ -312,8 +334,9 @@ int cmd_attack_mip(const CliFlags& flags, std::ostream& out) {
       static_cast<std::size_t>(flags.get_int("trapdoor-id", 0));
   require(target < trapdoors.size(), "attack-mip: bad --trapdoor-id");
 
-  const auto res =
-      core::run_mip_attack(pairs, trapdoors[target], mu, sigma, aopt);
+  // MIP consumes no randomness; the context only carries the thread count.
+  const auto res = core::run_mip_attack(pairs, trapdoors[target], mu, sigma,
+                                        aopt, make_exec_context(flags, 0));
   if (!res.found) {
     out << "MIP attack: no feasible query found within limits\n";
     return 3;
@@ -352,6 +375,10 @@ int cmd_help(std::ostream& out) {
          "              --out=q.txt [--trapdoor-id=J] [--mu=..] [--sigma=..]\n"
          "              [--l=3] [--time-limit=30]\n"
          "  help\n"
+         "\n"
+         "Every attack-* command also accepts the global --threads=N flag:\n"
+         "N parallel threads (0 or `all` = every hardware thread; default 1).\n"
+         "Results are bit-identical for any thread count.\n"
          "\n"
          "Files use the io/ text formats; `score` and `attack-snmf` need no\n"
          "key — that is the point of the paper.\n";

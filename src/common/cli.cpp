@@ -86,4 +86,26 @@ std::vector<double> CliFlags::get_double_list(
                             [](const std::string& s) { return std::stod(s); });
 }
 
+std::size_t CliFlags::get_threads(std::size_t fallback) const {
+  const auto it = values_.find("threads");
+  if (it == values_.end()) return fallback;
+  if (it->second == "all" || it->second == "0") return 0;
+  int n = 0;
+  try {
+    std::size_t consumed = 0;
+    n = std::stoi(it->second, &consumed);
+    if (consumed != it->second.size()) {
+      throw InvalidArgument("--threads expects a number or 'all', got " +
+                            it->second);
+    }
+  } catch (const std::logic_error&) {
+    throw InvalidArgument("--threads expects a number or 'all', got " +
+                          it->second);
+  }
+  if (n < 0) {
+    throw InvalidArgument("--threads must be >= 0, got " + it->second);
+  }
+  return static_cast<std::size_t>(n);
+}
+
 }  // namespace aspe

@@ -5,6 +5,7 @@
 // run the wrong experiment.
 #pragma once
 
+#include <cstddef>
 #include <map>
 #include <string>
 #include <vector>
@@ -32,6 +33,12 @@ class CliFlags {
   /// Comma-separated list of doubles.
   [[nodiscard]] std::vector<double> get_double_list(
       const std::string& name, const std::vector<double>& fallback) const;
+
+  /// The global `--threads N` flag: N >= 1 is an explicit width, `--threads 0`
+  /// (or `--threads all`) means every hardware thread. Returns `fallback`
+  /// when the flag is absent; commands default to 1 so existing invocations
+  /// keep their exact serial outputs.
+  [[nodiscard]] std::size_t get_threads(std::size_t fallback = 1) const;
 
   /// Flags seen on the command line (for help/diagnostics).
   [[nodiscard]] const std::map<std::string, std::string>& all() const {

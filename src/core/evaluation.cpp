@@ -1,6 +1,7 @@
 #include "core/evaluation.hpp"
 
 #include "common/error.hpp"
+#include "par/parallel.hpp"
 
 namespace aspe::core {
 
@@ -39,16 +40,36 @@ MipBatchReport run_mip_attack_batch(const sse::MrseKpaView& view, double mu,
                                     double sigma,
                                     const std::vector<BitVec>& truth_queries,
                                     const MipAttackOptions& options) {
+  ExecContext ctx;
+  ctx.threads = 1;
+  return run_mip_attack_batch(view, mu, sigma, truth_queries, options, ctx);
+}
+
+MipBatchReport run_mip_attack_batch(const sse::MrseKpaView& view, double mu,
+                                    double sigma,
+                                    const std::vector<BitVec>& truth_queries,
+                                    const MipAttackOptions& options,
+                                    const ExecContext& ctx) {
   const std::size_t n = view.observed.cipher_trapdoors.size();
   require(truth_queries.empty() || truth_queries.size() == n,
           "run_mip_attack_batch: truth/trapdoor count mismatch");
 
   MipBatchReport report;
+  report.entries.assign(n, MipBatchEntry{});
+  // The per-trapdoor attacks are independent: fan them out, then aggregate
+  // the report sequentially in trapdoor order so counters and averages match
+  // the serial loop exactly.
+  par::parallel_for(
+      0, n, 1,
+      [&](std::size_t j) {
+        report.entries[j].trapdoor_id = j;
+        report.entries[j].attack = run_mip_attack(view, j, mu, sigma, options, ctx);
+      },
+      ctx.resolved_threads());
+
   std::vector<PrecisionRecall> prs;
   for (std::size_t j = 0; j < n; ++j) {
-    MipBatchEntry entry;
-    entry.trapdoor_id = j;
-    entry.attack = run_mip_attack(view, j, mu, sigma, options);
+    MipBatchEntry& entry = report.entries[j];
     ++report.attempted;
     if (entry.attack.found) {
       ++report.solved;
@@ -59,7 +80,6 @@ MipBatchReport run_mip_attack_batch(const sse::MrseKpaView& view, double mu,
         prs.push_back(*entry.accuracy);
       }
     }
-    report.entries.push_back(std::move(entry));
   }
   report.average_accuracy = average(prs);
   return report;

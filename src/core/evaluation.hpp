@@ -61,4 +61,13 @@ struct MipBatchReport {
     const std::vector<BitVec>& truth_queries = {},
     const MipAttackOptions& options = {});
 
+/// ExecContext overload: per-trapdoor attacks fan out over ctx.threads (the
+/// inner heuristics then run serially — one attack per pool chunk), and the
+/// report is aggregated in trapdoor order. Every recovered query matches the
+/// serial run bit for bit; only the wall-clock `seconds` fields differ.
+[[nodiscard]] MipBatchReport run_mip_attack_batch(
+    const sse::MrseKpaView& view, double mu, double sigma,
+    const std::vector<BitVec>& truth_queries, const MipAttackOptions& options,
+    const ExecContext& ctx);
+
 }  // namespace aspe::core

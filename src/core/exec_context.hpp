@@ -1,0 +1,42 @@
+// ExecContext — the uniform execution-policy parameter of the attack entry
+// points (run_lep_attack / run_mip_attack / run_snmf_attack).
+//
+// One struct carries everything that is about *how* an attack runs rather
+// than *what* it computes: the thread budget, the RNG seed, and the
+// determinism contract. All attacks guarantee bit-identical results across
+// thread counts for a fixed seed (timing fields excluded); see
+// README "Parallelism" for how that is achieved.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "par/thread_pool.hpp"
+
+namespace aspe::core {
+
+struct ExecContext {
+  /// Thread budget for the attack's parallel sections. 0 = the process-wide
+  /// default (par::set_default_threads / hardware_concurrency); 1 = serial.
+  std::size_t threads = 1;
+
+  /// Root seed for every randomized component of the attack.
+  std::uint64_t seed = 2017;
+
+  /// When true (the default), randomized attacks draw their per-restart
+  /// initial states in restart order from the single root stream — exactly
+  /// the RNG-consumption schedule of the legacy serial path — so the result
+  /// is bit-identical both across thread counts and to the pre-ExecContext
+  /// overloads for the same seed. When false, restart l derives its state
+  /// from Rng(seed).split(l) instead: still reproducible and still
+  /// thread-count independent, but a different (order-independent) stream
+  /// than the legacy one.
+  bool deterministic = true;
+
+  /// The width parallel sections should use (resolves the 0 default).
+  [[nodiscard]] std::size_t resolved_threads() const {
+    return threads == 0 ? par::default_threads() : threads;
+  }
+};
+
+}  // namespace aspe::core

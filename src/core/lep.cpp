@@ -3,6 +3,7 @@
 #include "common/error.hpp"
 #include "linalg/lu.hpp"
 #include "linalg/solve.hpp"
+#include "par/parallel.hpp"
 
 namespace aspe::core {
 
@@ -12,6 +13,15 @@ using linalg::Matrix;
 using scheme::cipher_score;
 
 LepResult run_lep_attack(const sse::KpaView& view, const LepOptions& options) {
+  // Legacy entry point: serial execution, unchanged behavior.
+  ExecContext ctx;
+  ctx.threads = 1;
+  return run_lep_attack(view, options, ctx);
+}
+
+LepResult run_lep_attack(const sse::KpaView& view, const LepOptions& options,
+                         const ExecContext& ctx) {
+  const std::size_t threads = ctx.resolved_threads();
   require(!view.known_pairs.empty(), "LEP: no known plaintext-ciphertext pairs");
   const std::size_t n = view.known_pairs[0].plain_index.size();  // d + 1
 
@@ -43,24 +53,29 @@ LepResult run_lep_attack(const sse::KpaView& view, const LepOptions& options) {
 
   LepResult result;
   const auto& trapdoor_ciphers = view.observed.cipher_trapdoors;
-  result.trapdoors.reserve(trapdoor_ciphers.size());
 
-  // Recover every trapdoor; meanwhile collect a basis of n linearly
-  // independent ones for Step 2.
+  // Recover every trapdoor. The per-trapdoor solves are independent, so they
+  // fan out; the basis scan below stays sequential so the selected basis (and
+  // trapdoors_scanned_for_basis) matches the serial implementation exactly.
+  result.trapdoors.assign(trapdoor_ciphers.size(), Vec{});
+  par::parallel_for(
+      0, trapdoor_ciphers.size(), 1,
+      [&](std::size_t j) {
+        Vec rhs(n);
+        for (std::size_t i = 0; i < n; ++i) {
+          rhs[i] = cipher_score(view.known_pairs[chosen[i]].cipher,
+                                trapdoor_ciphers[j]);
+        }
+        result.trapdoors[j] = a_lu.solve(rhs);
+      },
+      threads);
+
   IndependenceTracker trapdoor_tracker(n, options.independence_tol);
   std::vector<std::size_t> basis_ids;
-  for (std::size_t j = 0; j < trapdoor_ciphers.size(); ++j) {
-    Vec rhs(n);
-    for (std::size_t i = 0; i < n; ++i) {
-      rhs[i] = cipher_score(view.known_pairs[chosen[i]].cipher,
-                            trapdoor_ciphers[j]);
-    }
-    Vec t = a_lu.solve(rhs);
-    if (!trapdoor_tracker.complete()) {
-      result.trapdoors_scanned_for_basis = j + 1;
-      if (trapdoor_tracker.try_add(t)) basis_ids.push_back(j);
-    }
-    result.trapdoors.push_back(std::move(t));
+  for (std::size_t j = 0;
+       j < result.trapdoors.size() && !trapdoor_tracker.complete(); ++j) {
+    result.trapdoors_scanned_for_basis = j + 1;
+    if (trapdoor_tracker.try_add(result.trapdoors[j])) basis_ids.push_back(j);
   }
   if (!trapdoor_tracker.complete()) {
     throw NumericalError(
@@ -87,17 +102,21 @@ LepResult run_lep_attack(const sse::KpaView& view, const LepOptions& options) {
   }
 
   const auto& index_ciphers = view.observed.cipher_indexes;
-  result.indexes.reserve(index_ciphers.size());
-  result.records.reserve(index_ciphers.size());
-  for (const auto& cipher_index : index_ciphers) {
-    Vec rhs(n);
-    for (std::size_t k = 0; k < n; ++k) {
-      rhs[k] = cipher_score(cipher_index, trapdoor_ciphers[basis_ids[k]]);
-    }
-    Vec index = b_lu.solve(rhs);
-    result.records.push_back(scheme::record_from_index(index));
-    result.indexes.push_back(std::move(index));
-  }
+  result.indexes.assign(index_ciphers.size(), Vec{});
+  result.records.assign(index_ciphers.size(), Vec{});
+  par::parallel_for(
+      0, index_ciphers.size(), 1,
+      [&](std::size_t idx) {
+        Vec rhs(n);
+        for (std::size_t k = 0; k < n; ++k) {
+          rhs[k] =
+              cipher_score(index_ciphers[idx], trapdoor_ciphers[basis_ids[k]]);
+        }
+        Vec index = b_lu.solve(rhs);
+        result.records[idx] = scheme::record_from_index(index);
+        result.indexes[idx] = std::move(index);
+      },
+      threads);
   return result;
 }
 

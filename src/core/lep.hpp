@@ -19,6 +19,7 @@
 #include <optional>
 #include <vector>
 
+#include "core/exec_context.hpp"
 #include "scheme/plain_index.hpp"
 #include "sse/adversary_view.hpp"
 
@@ -57,5 +58,13 @@ struct LepResult {
 ///    linearly independent plaintexts (throws NumericalError otherwise).
 [[nodiscard]] LepResult run_lep_attack(const sse::KpaView& view,
                                        const LepOptions& options = {});
+
+/// ExecContext overload: the per-trapdoor and per-index linear solves (the
+/// O((d+1)^3) bulk of Remark 1) fan out over ctx.threads. The basis scan
+/// stays sequential, so the result is bit-identical to the serial path.
+/// The attack consumes no randomness; ctx.seed is unused.
+[[nodiscard]] LepResult run_lep_attack(const sse::KpaView& view,
+                                       const LepOptions& options,
+                                       const ExecContext& ctx);
 
 }  // namespace aspe::core

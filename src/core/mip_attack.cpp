@@ -8,6 +8,7 @@
 #include "common/error.hpp"
 #include "common/stopwatch.hpp"
 #include "opt/simplex.hpp"
+#include "par/parallel.hpp"
 
 namespace aspe::core {
 
@@ -109,15 +110,35 @@ RtFit fit_rt(const Vec& c, const Vec& a, double mu, double lsigma,
   return fit;
 }
 
+/// Choose a chunk grain so each chunk carries enough work to amortize the
+/// dispatch cost. Depends only on the per-item work estimate, never on the
+/// thread count, so chunk boundaries (and results) stay deterministic.
+std::size_t grain_for(std::size_t work_per_item) {
+  constexpr std::size_t kGrainWork = std::size_t{1} << 14;
+  return std::max<std::size_t>(
+      1, kGrainWork / std::max<std::size_t>(work_per_item, 1));
+}
+
 /// Root-LP rounding + exact (rhat, that) refit + greedy bit-flip repair.
-/// Returns a feasible point when it finds one.
+/// Returns a feasible point when it finds one. Candidate evaluations fan out
+/// over `threads`; every selection scan stays in ascending keyword order, so
+/// the result is bit-identical to the serial implementation (all candidate
+/// inputs are small-integer vectors — exact in doubles under any grouping).
 std::optional<MipAttackResult> primal_heuristic(
     const std::vector<sse::KnownBinaryPair>& known_pairs, const Vec& c,
     double mu, double sigma, const MipAttackOptions& options,
-    const Model& model) {
+    const Model& model, std::size_t threads) {
   const std::size_t d = known_pairs[0].record.size();
   const std::size_t m = known_pairs.size();
   const double lsigma = options.l * sigma;
+
+  // a +/- delta on the rows whose record contains keyword k — the O(m)
+  // incremental form of inner_products after flipping bit k.
+  const auto add_column = [&](Vec& a, std::size_t k, double delta) {
+    for (std::size_t i = 0; i < m; ++i) {
+      if (known_pairs[i].record[k] != 0) a[i] += delta;
+    }
+  };
 
   const bool use_lp =
       options.root_ordering == RootOrdering::LpRelaxation ||
@@ -138,19 +159,23 @@ std::optional<MipAttackResult> primal_heuristic(
     cbar /= static_cast<double>(m);
     double cvar = 0.0;
     for (std::size_t i = 0; i < m; ++i) cvar += (c[i] - cbar) * (c[i] - cbar);
-    for (std::size_t k = 0; k < d; ++k) {
-      double pbar = 0.0;
-      for (std::size_t i = 0; i < m; ++i) pbar += known_pairs[i].record[k];
-      pbar /= static_cast<double>(m);
-      double cov = 0.0, pvar = 0.0;
-      for (std::size_t i = 0; i < m; ++i) {
-        const double pk = known_pairs[i].record[k] - pbar;
-        cov += pk * (c[i] - cbar);
-        pvar += pk * pk;
-      }
-      const double denom = std::sqrt(std::max(pvar * cvar, 1e-30));
-      relaxed_q[k] = 0.5 + 0.5 * (cov / denom);  // corr in [-1,1] -> [0,1]
-    }
+    // Each keyword's correlation writes one disjoint slot of relaxed_q.
+    par::parallel_for(
+        0, d, grain_for(3 * m),
+        [&](std::size_t k) {
+          double pbar = 0.0;
+          for (std::size_t i = 0; i < m; ++i) pbar += known_pairs[i].record[k];
+          pbar /= static_cast<double>(m);
+          double cov = 0.0, pvar = 0.0;
+          for (std::size_t i = 0; i < m; ++i) {
+            const double pk = known_pairs[i].record[k] - pbar;
+            cov += pk * (c[i] - cbar);
+            pvar += pk * pk;
+          }
+          const double denom = std::sqrt(std::max(pvar * cvar, 1e-30));
+          relaxed_q[k] = 0.5 + 0.5 * (cov / denom);  // corr in [-1,1] -> [0,1]
+        },
+        threads);
   }
 
   const auto inner_products = [&](const BitVec& q) {
@@ -170,28 +195,42 @@ std::optional<MipAttackResult> primal_heuristic(
   // preferring high LP-relaxation values, so the returned point is maximal —
   // empirically much closer to the true Q (recall) at no precision cost.
   auto grow = [&](BitVec q, RtFit fit) {
+    Vec a = inner_products(q);
+    std::vector<RtFit> fits(d);
     for (std::size_t round = 0; round < d; ++round) {
+      // Evaluate every candidate addition in parallel (each probe refits the
+      // two continuous variables against a + column_k — exact integers, so
+      // identical to the serial recomputation)...
+      par::parallel_for(
+          0, d, grain_for(200 * m),
+          [&](std::size_t k) {
+            if (q[k] != 0) {
+              fits[k] = RtFit{};
+              return;
+            }
+            Vec a2 = a;
+            add_column(a2, k, 1.0);
+            fits[k] = fit_rt(c, a2, mu, lsigma, options);
+          },
+          threads);
+      // ...then select in ascending keyword order, exactly like the serial
+      // scan did.
       std::size_t arg = d;
       double best_score = -opt::kInfinity;
-      RtFit arg_fit;
       for (std::size_t k = 0; k < d; ++k) {
-        if (q[k] != 0) continue;
-        q[k] = 1;
-        const RtFit f = fit_rt(c, inner_products(q), mu, lsigma, options);
-        q[k] = 0;
-        if (!f.feasible) continue;
+        if (q[k] != 0 || !fits[k].feasible) continue;
         // Prefer LP-supported coordinates; break ties toward additions that
         // leave the most slack in the noise bands.
-        const double score = relaxed_q[k] - 0.01 * f.violation;
+        const double score = relaxed_q[k] - 0.01 * fits[k].violation;
         if (score > best_score) {
           best_score = score;
           arg = k;
-          arg_fit = f;
         }
       }
       if (arg == d) break;
       q[arg] = 1;
-      fit = arg_fit;
+      add_column(a, arg, 1.0);
+      fit = fits[arg];
     }
     return std::make_pair(std::move(q), fit);
   };
@@ -237,27 +276,33 @@ std::optional<MipAttackResult> primal_heuristic(
   auto polish = [&](BitVec q) {
     Vec a = inner_products(q);
     double cur = regression_sse(a);
+    std::vector<double> sse(d);
     for (std::size_t round = 0; round < 6 * d; ++round) {
+      const std::size_t ones = popcount(q);
+      // Probe every single-bit flip in parallel; each probe's a2 is exact,
+      // so sse[k] matches the serial recomputation bit for bit.
+      par::parallel_for(
+          0, d, grain_for(4 * m),
+          [&](std::size_t k) {
+            if (q[k] != 0 && ones == 1) {  // keep >= 1 keyword
+              sse[k] = opt::kInfinity;
+              return;
+            }
+            Vec a2 = a;
+            add_column(a2, k, q[k] != 0 ? -1.0 : 1.0);
+            sse[k] = regression_sse(a2);
+          },
+          threads);
       double best_sse = cur;
       std::size_t arg = d;
       for (std::size_t k = 0; k < d; ++k) {
-        if (q[k] != 0 && popcount(q) == 1) continue;  // keep >= 1 keyword
-        const double delta = q[k] != 0 ? -1.0 : 1.0;
-        Vec a2 = a;
-        for (std::size_t i = 0; i < m; ++i) {
-          if (known_pairs[i].record[k] != 0) a2[i] += delta;
-        }
-        const double sse = regression_sse(a2);
-        if (sse < best_sse - 1e-9) {
-          best_sse = sse;
+        if (sse[k] < best_sse - 1e-9) {
+          best_sse = sse[k];
           arg = k;
         }
       }
       if (arg == d) break;  // local minimum
-      const double delta = q[arg] != 0 ? -1.0 : 1.0;
-      for (std::size_t i = 0; i < m; ++i) {
-        if (known_pairs[i].record[arg] != 0) a[i] += delta;
-      }
+      add_column(a, arg, q[arg] != 0 ? -1.0 : 1.0);
       q[arg] ^= 1;
       cur = best_sse;
     }
@@ -286,6 +331,25 @@ std::optional<MipAttackResult> primal_heuristic(
     return relaxed_q[a] > relaxed_q[b];
   });
 
+  // Fit every prefix in parallel. A chunk rebuilds the prefix inner products
+  // at its start (a_s is a 0/1 column sum — exact in doubles under any
+  // grouping) and then extends incrementally, so fits[s] is bit-identical to
+  // the serial one-prefix-at-a-time recomputation. The grain is a function
+  // of d alone; 16-ish chunks keep the rebuild cost a small fraction of the
+  // fit_rt work.
+  std::vector<RtFit> prefix_fits(d);
+  par::default_pool().run_chunked(
+      0, d, std::max<std::size_t>(1, (d + 15) / 16),
+      [&](std::size_t lo, std::size_t hi) {
+        Vec a(m, 0.0);
+        for (std::size_t s = 0; s < lo; ++s) add_column(a, order[s], 1.0);
+        for (std::size_t s = lo; s < hi; ++s) {
+          add_column(a, order[s], 1.0);
+          prefix_fits[s] = fit_rt(c, a, mu, lsigma, options);
+        }
+      },
+      threads);
+
   BitVec first_feasible;
   RtFit first_feasible_fit;
   bool have_feasible = false;
@@ -294,7 +358,7 @@ std::optional<MipAttackResult> primal_heuristic(
   BitVec q_prefix(d, 0);
   for (std::size_t s = 0; s < d; ++s) {
     q_prefix[order[s]] = 1;
-    const RtFit fit = fit_rt(c, inner_products(q_prefix), mu, lsigma, options);
+    const RtFit& fit = prefix_fits[s];
     if (fit.feasible && !have_feasible) {
       first_feasible = q_prefix;
       first_feasible_fit = fit;
@@ -337,28 +401,40 @@ std::optional<MipAttackResult> primal_heuristic(
   }
 
   // Greedy repair from the best rounding: flip the single bit that most
-  // reduces the violation; stop at feasibility or a local minimum.
+  // reduces the violation; stop at feasibility or a local minimum. Candidate
+  // flips are probed in parallel, selected in ascending keyword order.
   BitVec q = std::move(best_q);
+  Vec a = inner_products(q);
+  std::vector<RtFit> flip_fits(d);
   for (std::size_t flip = 0; flip < max_flips; ++flip) {
+    const std::size_t ones = popcount(q);
+    par::parallel_for(
+        0, d, grain_for(200 * m),
+        [&](std::size_t k) {
+          const std::size_t flipped = q[k] != 0 ? ones - 1 : ones + 1;
+          if (flipped < 1) {
+            flip_fits[k] = RtFit{};
+            flip_fits[k].violation = opt::kInfinity;
+            return;
+          }
+          Vec a2 = a;
+          add_column(a2, k, q[k] != 0 ? -1.0 : 1.0);
+          flip_fits[k] = fit_rt(c, a2, mu, lsigma, options);
+        },
+        threads);
     double cur = best_violation;
     std::size_t arg = d;
-    RtFit arg_fit;
     for (std::size_t k = 0; k < d; ++k) {
-      q[k] ^= 1;
-      if (popcount(q) >= 1) {
-        const RtFit fit = fit_rt(c, inner_products(q), mu, lsigma, options);
-        if (fit.violation < cur - 1e-12) {
-          cur = fit.violation;
-          arg = k;
-          arg_fit = fit;
-        }
+      if (flip_fits[k].violation < cur - 1e-12) {
+        cur = flip_fits[k].violation;
+        arg = k;
       }
-      q[k] ^= 1;
     }
     if (arg == d) break;  // local minimum
+    add_column(a, arg, q[arg] != 0 ? -1.0 : 1.0);
     q[arg] ^= 1;
     best_violation = cur;
-    if (arg_fit.feasible) return package(q, arg_fit);
+    if (flip_fits[arg].feasible) return package(q, flip_fits[arg]);
   }
   return std::nullopt;
 }
@@ -369,6 +445,16 @@ MipAttackResult run_mip_attack(
     const std::vector<sse::KnownBinaryPair>& known_pairs,
     const scheme::CipherPair& cipher_trapdoor, double mu, double sigma,
     const MipAttackOptions& options) {
+  // Legacy entry point: serial execution, unchanged behavior.
+  ExecContext ctx;
+  ctx.threads = 1;
+  return run_mip_attack(known_pairs, cipher_trapdoor, mu, sigma, options, ctx);
+}
+
+MipAttackResult run_mip_attack(
+    const std::vector<sse::KnownBinaryPair>& known_pairs,
+    const scheme::CipherPair& cipher_trapdoor, double mu, double sigma,
+    const MipAttackOptions& options, const ExecContext& ctx) {
   Model model = build_mip_attack_model(known_pairs, cipher_trapdoor, mu, sigma,
                                        options);
   Stopwatch watch;
@@ -378,8 +464,8 @@ MipAttackResult run_mip_attack(
     for (std::size_t i = 0; i < known_pairs.size(); ++i) {
       c[i] = cipher_score(known_pairs[i].cipher, cipher_trapdoor);
     }
-    auto heuristic =
-        primal_heuristic(known_pairs, c, mu, sigma, options, model);
+    auto heuristic = primal_heuristic(known_pairs, c, mu, sigma, options,
+                                      model, ctx.resolved_threads());
     if (heuristic.has_value()) {
       heuristic->seconds = watch.seconds();
       return *heuristic;
@@ -408,11 +494,20 @@ MipAttackResult run_mip_attack(
 MipAttackResult run_mip_attack(const sse::MrseKpaView& view,
                                std::size_t trapdoor_id, double mu, double sigma,
                                const MipAttackOptions& options) {
+  ExecContext ctx;
+  ctx.threads = 1;
+  return run_mip_attack(view, trapdoor_id, mu, sigma, options, ctx);
+}
+
+MipAttackResult run_mip_attack(const sse::MrseKpaView& view,
+                               std::size_t trapdoor_id, double mu, double sigma,
+                               const MipAttackOptions& options,
+                               const ExecContext& ctx) {
   require(trapdoor_id < view.observed.cipher_trapdoors.size(),
           "MIP attack: no such trapdoor");
   return run_mip_attack(view.known_pairs,
                         view.observed.cipher_trapdoors[trapdoor_id], mu, sigma,
-                        options);
+                        options, ctx);
 }
 
 }  // namespace aspe::core

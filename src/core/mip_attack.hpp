@@ -18,6 +18,7 @@
 
 #include <optional>
 
+#include "core/exec_context.hpp"
 #include "opt/mip.hpp"
 #include "sse/adversary_view.hpp"
 
@@ -80,11 +81,29 @@ struct MipAttackResult {
     const scheme::CipherPair& cipher_trapdoor, double mu, double sigma,
     const MipAttackOptions& options = {});
 
+/// ExecContext overload: the primal heuristic's candidate evaluations (the
+/// per-keyword fit_rt / SSE probes that dominate Algorithm 2's runtime) fan
+/// out over ctx.threads, with selection done serially in keyword order —
+/// the recovered query is bit-identical to the serial path. The attack
+/// consumes no randomness; ctx.seed is unused. Only `seconds` (wall clock)
+/// varies across thread counts.
+[[nodiscard]] MipAttackResult run_mip_attack(
+    const std::vector<sse::KnownBinaryPair>& known_pairs,
+    const scheme::CipherPair& cipher_trapdoor, double mu, double sigma,
+    const MipAttackOptions& options, const ExecContext& ctx);
+
 /// Convenience: attack the j-th observed trapdoor of an MRSE KPA view.
 [[nodiscard]] MipAttackResult run_mip_attack(const sse::MrseKpaView& view,
                                              std::size_t trapdoor_id,
                                              double mu, double sigma,
                                              const MipAttackOptions& options = {});
+
+/// ExecContext overload of the per-view convenience entry point.
+[[nodiscard]] MipAttackResult run_mip_attack(const sse::MrseKpaView& view,
+                                             std::size_t trapdoor_id,
+                                             double mu, double sigma,
+                                             const MipAttackOptions& options,
+                                             const ExecContext& ctx);
 
 /// Build the Eq. (14) feasibility model (exposed for tests and ablations).
 [[nodiscard]] opt::Model build_mip_attack_model(

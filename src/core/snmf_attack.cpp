@@ -1,9 +1,11 @@
 #include "core/snmf_attack.hpp"
 
 #include <cmath>
+#include <utility>
 
 #include "common/error.hpp"
 #include "linalg/svd.hpp"
+#include "par/parallel.hpp"
 
 namespace aspe::core {
 
@@ -11,64 +13,84 @@ using linalg::Matrix;
 
 Matrix build_score_matrix(
     const std::vector<scheme::CipherPair>& cipher_indexes,
-    const std::vector<scheme::CipherPair>& cipher_trapdoors) {
+    const std::vector<scheme::CipherPair>& cipher_trapdoors,
+    std::size_t threads) {
   require(!cipher_indexes.empty() && !cipher_trapdoors.empty(),
           "build_score_matrix: need ciphertexts on both sides");
   Matrix r(cipher_indexes.size(), cipher_trapdoors.size());
-  for (std::size_t i = 0; i < cipher_indexes.size(); ++i) {
-    for (std::size_t j = 0; j < cipher_trapdoors.size(); ++j) {
-      // I_i and T_j are binary, so I_i^T T_j is a non-negative integer;
-      // rounding removes the encryption's floating-point noise.
-      r(i, j) = std::max(
-          0.0,
-          std::round(cipher_score(cipher_indexes[i], cipher_trapdoors[j])));
-    }
-  }
+  // Each row of R is one cipher index scored against every trapdoor; rows
+  // are independent, so the all-pairs sweep fans out cleanly.
+  par::parallel_for(
+      0, cipher_indexes.size(), 1,
+      [&](std::size_t i) {
+        for (std::size_t j = 0; j < cipher_trapdoors.size(); ++j) {
+          // I_i and T_j are binary, so I_i^T T_j is a non-negative integer;
+          // rounding removes the encryption's floating-point noise.
+          r(i, j) = std::max(
+              0.0, std::round(
+                       cipher_score(cipher_indexes[i], cipher_trapdoors[j])));
+        }
+      },
+      threads);
   return r;
 }
 
 std::size_t estimate_latent_dimension(const Matrix& scores, double rel_tol) {
   require(scores.rows() > 0 && scores.cols() > 0,
           "estimate_latent_dimension: empty score matrix");
-  // One-sided Jacobi SVD needs rows >= cols.
+  // One-sided Jacobi SVD needs rows >= cols; rank is transpose-invariant.
   if (scores.rows() >= scores.cols()) {
     return linalg::Svd(scores).rank(rel_tol);
   }
   return linalg::Svd(scores.transpose()).rank(rel_tol);
 }
 
-SnmfAttackResult run_snmf_attack(const sse::CoaView& view,
-                                 const SnmfAttackOptions& options,
-                                 rng::Rng& rng) {
-  return run_snmf_attack(
-      build_score_matrix(view.cipher_indexes, view.cipher_trapdoors), options,
-      rng);
+std::size_t estimate_latent_dimension(Matrix&& scores, double rel_tol) {
+  require(scores.rows() > 0 && scores.cols() > 0,
+          "estimate_latent_dimension: empty score matrix");
+  if (scores.rows() >= scores.cols()) {
+    // The Jacobi sweep rotates in place; moving the caller's matrix into
+    // the Svd avoids duplicating the full score matrix.
+    return linalg::Svd(std::move(scores)).rank(rel_tol);
+  }
+  return linalg::Svd(scores.transpose()).rank(rel_tol);
 }
 
-SnmfAttackResult run_snmf_attack(const Matrix& scores,
-                                 const SnmfAttackOptions& options,
-                                 rng::Rng& rng) {
-  require(options.rank > 0, "SNMF attack: rank (d) must be set");
-  require(options.restarts > 0, "SNMF attack: need at least one restart");
+namespace {
 
-  // Best of L runs by the sparse-NMF objective (Algorithm 3's loop).
-  nmf::NmfResult best;
-  bool have_best = false;
-  for (std::size_t l = 0; l < options.restarts; ++l) {
-    nmf::NmfResult run = nmf::sparse_nmf(scores, options.rank, options.nmf, rng);
-    if (!have_best || run.objective < best.objective) {
-      best = std::move(run);
-      have_best = true;
-    }
+/// Best-of-L restarts from pre-drawn initializations (Algorithm 3's loop).
+/// Restarts run in parallel; the winner is the lowest objective with ties
+/// broken toward the smallest restart id, which is exactly what the serial
+/// first-strictly-better scan selects.
+SnmfAttackResult run_restarts(const Matrix& scores,
+                              const SnmfAttackOptions& options,
+                              std::vector<nmf::NmfInit> inits,
+                              std::size_t threads) {
+  const std::size_t restarts = inits.size();
+  std::vector<nmf::NmfResult> runs(restarts);
+  par::parallel_for(
+      0, restarts, 1,
+      [&](std::size_t l) {
+        // Inner NMF parallel sections serialize automatically when the
+        // restart itself runs inside a pool chunk (nested fallback).
+        runs[l] = nmf::sparse_nmf_from_init(scores, options.rank, options.nmf,
+                                            std::move(inits[l]), threads);
+      },
+      threads);
+
+  std::size_t best = 0;
+  for (std::size_t l = 1; l < restarts; ++l) {
+    if (runs[l].objective < runs[best].objective) best = l;
   }
+  nmf::NmfResult selected = std::move(runs[best]);
 
-  if (options.balance) nmf::balance_rows(best.w, best.h);
-  const Matrix wb = nmf::to_binary(best.w, options.theta);
-  const Matrix hb = nmf::to_binary(best.h, options.theta);
+  if (options.balance) nmf::balance_rows(selected.w, selected.h);
+  const Matrix wb = nmf::to_binary(selected.w, options.theta);
+  const Matrix hb = nmf::to_binary(selected.h, options.theta);
 
   SnmfAttackResult result;
-  result.best_fit_error = best.fit_error;
-  result.restarts_run = options.restarts;
+  result.best_fit_error = selected.fit_error;
+  result.restarts_run = restarts;
   result.indexes.reserve(wb.cols());
   for (std::size_t i = 0; i < wb.cols(); ++i) {
     BitVec v(options.rank);
@@ -86,6 +108,77 @@ SnmfAttackResult run_snmf_attack(const Matrix& scores,
     result.trapdoors.push_back(std::move(v));
   }
   return result;
+}
+
+/// Draw the L restart initializations in restart order from `root` — the
+/// same RNG-consumption schedule as the legacy serial loop (the NMF
+/// iterations themselves consume no randomness), so parallel restarts stay
+/// bit-identical to it.
+std::vector<nmf::NmfInit> sequential_inits(const Matrix& scores,
+                                           const SnmfAttackOptions& options,
+                                           rng::Rng& root) {
+  std::vector<nmf::NmfInit> inits;
+  inits.reserve(options.restarts);
+  for (std::size_t l = 0; l < options.restarts; ++l) {
+    inits.push_back(nmf::nmf_initialize(scores, options.rank, options.nmf, root));
+  }
+  return inits;
+}
+
+void validate(const SnmfAttackOptions& options) {
+  require(options.rank > 0, "SNMF attack: rank (d) must be set");
+  require(options.restarts > 0, "SNMF attack: need at least one restart");
+}
+
+}  // namespace
+
+SnmfAttackResult run_snmf_attack(const sse::CoaView& view,
+                                 const SnmfAttackOptions& options,
+                                 const ExecContext& ctx) {
+  return run_snmf_attack(
+      build_score_matrix(view.cipher_indexes, view.cipher_trapdoors,
+                         ctx.threads),
+      options, ctx);
+}
+
+SnmfAttackResult run_snmf_attack(const Matrix& scores,
+                                 const SnmfAttackOptions& options,
+                                 const ExecContext& ctx) {
+  validate(options);
+  rng::Rng root(ctx.seed);
+  std::vector<nmf::NmfInit> inits;
+  if (ctx.deterministic) {
+    inits = sequential_inits(scores, options, root);
+  } else {
+    // Order-independent split streams: restart l is seeded by (seed, l)
+    // alone. Still reproducible across thread counts, but a different
+    // stream than the legacy sequential draw.
+    inits.reserve(options.restarts);
+    for (std::size_t l = 0; l < options.restarts; ++l) {
+      rng::Rng stream = root.split(l);
+      inits.push_back(
+          nmf::nmf_initialize(scores, options.rank, options.nmf, stream));
+    }
+  }
+  return run_restarts(scores, options, std::move(inits), ctx.resolved_threads());
+}
+
+SnmfAttackResult run_snmf_attack(const sse::CoaView& view,
+                                 const SnmfAttackOptions& options,
+                                 rng::Rng& rng) {
+  return run_snmf_attack(
+      build_score_matrix(view.cipher_indexes, view.cipher_trapdoors), options,
+      rng);
+}
+
+SnmfAttackResult run_snmf_attack(const Matrix& scores,
+                                 const SnmfAttackOptions& options,
+                                 rng::Rng& rng) {
+  validate(options);
+  // Thin forwarding wrapper: draw from the caller's stream, run serially —
+  // RNG consumption and output match the pre-ExecContext implementation.
+  return run_restarts(scores, options, sequential_inits(scores, options, rng),
+                      /*threads=*/1);
 }
 
 }  // namespace aspe::core

@@ -11,6 +11,7 @@
 
 #include <vector>
 
+#include "core/exec_context.hpp"
 #include "linalg/matrix.hpp"
 #include "nmf/nmf.hpp"
 #include "rng/rng.hpp"
@@ -35,10 +36,13 @@ struct SnmfAttackResult {
   std::size_t restarts_run = 0;
 };
 
-/// R[i][j] = I'_i^T T'_j — all the COA adversary needs.
+/// R[i][j] = I'_i^T T'_j — all the COA adversary needs. The all-pairs sweep
+/// fans rows out over `threads` (0 = process default); every entry is
+/// written exactly once, so the result is identical at any width.
 [[nodiscard]] linalg::Matrix build_score_matrix(
     const std::vector<scheme::CipherPair>& cipher_indexes,
-    const std::vector<scheme::CipherPair>& cipher_trapdoors);
+    const std::vector<scheme::CipherPair>& cipher_trapdoors,
+    std::size_t threads = 0);
 
 /// Estimate the latent dimension d from the score matrix alone:
 /// R = I^T T has rank <= d, with equality once enough (dense-enough)
@@ -47,12 +51,32 @@ struct SnmfAttackResult {
 [[nodiscard]] std::size_t estimate_latent_dimension(
     const linalg::Matrix& scores, double rel_tol = 1e-8);
 
-/// Run Algorithm 3 on a ciphertext-only view.
+/// Rvalue overload: donates the caller's matrix to the SVD working storage
+/// on the rows >= cols path, skipping the full-matrix copy.
+[[nodiscard]] std::size_t estimate_latent_dimension(linalg::Matrix&& scores,
+                                                    double rel_tol = 1e-8);
+
+/// Run Algorithm 3 on a ciphertext-only view with an explicit execution
+/// policy. For a fixed ctx.seed the result is bit-identical for every
+/// ctx.threads, and (with ctx.deterministic, the default) also to the
+/// legacy rng::Rng& overload seeded with rng::Rng(ctx.seed).
+[[nodiscard]] SnmfAttackResult run_snmf_attack(const sse::CoaView& view,
+                                               const SnmfAttackOptions& options,
+                                               const ExecContext& ctx);
+
+/// Run Algorithm 3 on a precomputed score matrix with an execution policy.
+[[nodiscard]] SnmfAttackResult run_snmf_attack(const linalg::Matrix& scores,
+                                               const SnmfAttackOptions& options,
+                                               const ExecContext& ctx);
+
+/// Legacy entry point: serial restarts drawing from the caller's stream.
+/// Thin wrapper over the ExecContext path; behavior (and RNG consumption)
+/// is unchanged from the pre-ExecContext versions.
 [[nodiscard]] SnmfAttackResult run_snmf_attack(const sse::CoaView& view,
                                                const SnmfAttackOptions& options,
                                                rng::Rng& rng);
 
-/// Run Algorithm 3 on a precomputed score matrix (tests/ablations).
+/// Legacy entry point on a precomputed score matrix (tests/ablations).
 [[nodiscard]] SnmfAttackResult run_snmf_attack(const linalg::Matrix& scores,
                                                const SnmfAttackOptions& options,
                                                rng::Rng& rng);

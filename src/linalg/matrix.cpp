@@ -1,9 +1,27 @@
 #include "linalg/matrix.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <ostream>
 
+#include "par/parallel.hpp"
+
 namespace aspe::linalg {
+
+namespace {
+
+// Products smaller than this many scalar multiply-adds are not worth the
+// pool dispatch; measured crossover is a few hundred thousand flops.
+constexpr std::size_t kParallelFlopThreshold = std::size_t{1} << 18;
+
+// Grain chosen so each chunk carries roughly the threshold's worth of work.
+std::size_t row_grain(std::size_t rows, std::size_t flops_per_row) {
+  const std::size_t grain =
+      kParallelFlopThreshold / std::max<std::size_t>(flops_per_row, 1);
+  return std::clamp<std::size_t>(grain, 1, std::max<std::size_t>(rows, 1));
+}
+
+}  // namespace
 
 Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows) {
   rows_ = rows.size();
@@ -76,7 +94,7 @@ Matrix operator*(const Matrix& a, const Matrix& b) {
   require(a.cols() == b.rows(), "Matrix::*: inner dimension mismatch");
   Matrix c(a.rows(), b.cols(), 0.0);
   // i-k-j order: streams through b's rows, cache friendly for row-major data.
-  for (std::size_t i = 0; i < a.rows(); ++i) {
+  const auto compute_row = [&](std::size_t i) {
     double* ci = c.row_ptr(i);
     for (std::size_t k = 0; k < a.cols(); ++k) {
       const double aik = a(i, k);
@@ -84,6 +102,15 @@ Matrix operator*(const Matrix& a, const Matrix& b) {
       const double* bk = b.row_ptr(k);
       for (std::size_t j = 0; j < b.cols(); ++j) ci[j] += aik * bk[j];
     }
+  };
+  // Each output row is accumulated by exactly one thread in the same k-j
+  // order as the serial loop, so the product is bit-identical at any width.
+  const std::size_t flops_per_row = a.cols() * b.cols();
+  if (a.rows() * flops_per_row >= kParallelFlopThreshold && a.rows() > 1) {
+    par::parallel_for(0, a.rows(), row_grain(a.rows(), flops_per_row),
+                      compute_row);
+  } else {
+    for (std::size_t i = 0; i < a.rows(); ++i) compute_row(i);
   }
   return c;
 }
@@ -91,11 +118,16 @@ Matrix operator*(const Matrix& a, const Matrix& b) {
 Vec Matrix::apply(const Vec& x) const {
   require(x.size() == cols_, "Matrix::apply: dimension mismatch");
   Vec y(rows_, 0.0);
-  for (std::size_t r = 0; r < rows_; ++r) {
+  const auto compute_row = [&](std::size_t r) {
     const double* a = row_ptr(r);
     double s = 0.0;
     for (std::size_t c = 0; c < cols_; ++c) s += a[c] * x[c];
     y[r] = s;
+  };
+  if (rows_ * cols_ >= kParallelFlopThreshold && rows_ > 1) {
+    par::parallel_for(0, rows_, row_grain(rows_, cols_), compute_row);
+  } else {
+    for (std::size_t r = 0; r < rows_; ++r) compute_row(r);
   }
   return y;
 }
@@ -147,6 +179,20 @@ double Matrix::frobenius_norm() const {
 }
 
 double Matrix::max_abs() const {
+  // max is exact under any grouping, so the parallel reduction is
+  // bit-identical to the serial scan regardless of chunking.
+  if (data_.size() >= kParallelFlopThreshold) {
+    return par::parallel_reduce(
+        std::size_t{0}, data_.size(), std::size_t{1} << 16, 0.0,
+        [&](std::size_t lo, std::size_t hi) {
+          double m = 0.0;
+          for (std::size_t i = lo; i < hi; ++i) {
+            m = std::max(m, std::abs(data_[i]));
+          }
+          return m;
+        },
+        [](double a, double b) { return std::max(a, b); });
+  }
   double m = 0.0;
   for (auto x : data_) m = std::max(m, std::abs(x));
   return m;

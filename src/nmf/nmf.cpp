@@ -1,9 +1,11 @@
 #include "nmf/nmf.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "linalg/svd.hpp"
 #include "nmf/nnls.hpp"
+#include "par/parallel.hpp"
 
 namespace aspe::nmf {
 
@@ -11,11 +13,31 @@ using linalg::Matrix;
 
 namespace {
 
-/// G = M M^T for a d x k matrix M (result d x d).
-Matrix gram_rows(const Matrix& m) {
+// Loops below this many scalar operations run serially; the pool dispatch
+// costs more than it saves on the small factors of the unit tests.
+constexpr std::size_t kParallelWorkThreshold = std::size_t{1} << 16;
+
+/// parallel_for with a work gate: fans out only when count * work_per_item
+/// justifies it. Every call site writes disjoint state per index, so the
+/// parallel and serial paths are bit-identical.
+template <class Fn>
+void for_each_index(std::size_t count, std::size_t work_per_item,
+                    std::size_t threads, Fn&& fn) {
+  if (count > 1 && count * work_per_item >= kParallelWorkThreshold) {
+    const std::size_t grain = std::max<std::size_t>(
+        1, kParallelWorkThreshold / std::max<std::size_t>(work_per_item, 1));
+    par::parallel_for(0, count, grain, fn, threads);
+  } else {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+  }
+}
+
+/// G = M M^T for a d x k matrix M (result d x d). Row i of the loop owns
+/// the entries (i, j>=i) and their mirrors, so rows parallelize cleanly.
+Matrix gram_rows(const Matrix& m, std::size_t threads) {
   const std::size_t d = m.rows();
   Matrix g(d, d, 0.0);
-  for (std::size_t i = 0; i < d; ++i) {
+  for_each_index(d, d * m.cols() / 2 + 1, threads, [&](std::size_t i) {
     for (std::size_t j = i; j < d; ++j) {
       const double* mi = m.row_ptr(i);
       const double* mj = m.row_ptr(j);
@@ -24,7 +46,7 @@ Matrix gram_rows(const Matrix& m) {
       g(i, j) = s;
       g(j, i) = s;
     }
-  }
+  });
   return g;
 }
 
@@ -55,17 +77,17 @@ double objective(const Matrix& r, const Matrix& w, const Matrix& h, double eta,
 
 /// ANLS half step: solve for H in min ||R - W^T H|| + lambda L1^2 columns.
 /// Gram trick: G = W W^T + lambda * ones, F = W R.
-void update_h_anls(const Matrix& r, const Matrix& w, Matrix& h,
-                   double lambda) {
+void update_h_anls(const Matrix& r, const Matrix& w, Matrix& h, double lambda,
+                   std::size_t threads) {
   const std::size_t d = w.rows();
-  Matrix g = gram_rows(w);
+  Matrix g = gram_rows(w, threads);
   for (auto& x : g.data()) x += lambda;
   // Tiny ridge keeps principal submatrices SPD when W rows are degenerate.
   for (std::size_t k = 0; k < d; ++k) g(k, k) += 1e-10;
-  // F = W R  (d x n).
+  // F = W R  (d x n): each row of F is owned by one thread.
   const std::size_t n = r.cols();
   Matrix f(d, n, 0.0);
-  for (std::size_t k = 0; k < d; ++k) {
+  for_each_index(d, r.rows() * n, threads, [&](std::size_t k) {
     double* fk = f.row_ptr(k);
     for (std::size_t i = 0; i < r.rows(); ++i) {
       const double wki = w(k, i);
@@ -73,36 +95,38 @@ void update_h_anls(const Matrix& r, const Matrix& w, Matrix& h,
       const double* ri = r.row_ptr(i);
       for (std::size_t j = 0; j < n; ++j) fk[j] += wki * ri[j];
     }
-  }
-  for (std::size_t j = 0; j < n; ++j) {
+  });
+  // Columns of H are independent NNLS solves — the ANLS hot spot.
+  for_each_index(n, d * d * d + d * d, threads, [&](std::size_t j) {
     h.set_col(j, nnls_gram(g, f.col(j)));
-  }
+  });
 }
 
 /// ANLS half step for W: min ||R^T - H^T W|| + eta ||W||^2.
 /// Gram: G = H H^T + eta I, F = H R^T.
-void update_w_anls(const Matrix& r, Matrix& w, const Matrix& h, double eta) {
+void update_w_anls(const Matrix& r, Matrix& w, const Matrix& h, double eta,
+                   std::size_t threads) {
   const std::size_t d = h.rows();
-  Matrix g = gram_rows(h);
+  Matrix g = gram_rows(h, threads);
   for (std::size_t k = 0; k < d; ++k) g(k, k) += eta + 1e-10;
   const std::size_t m = r.rows();
   Matrix f(d, m, 0.0);
-  for (std::size_t k = 0; k < d; ++k) {
+  for_each_index(d, r.cols() * m, threads, [&](std::size_t k) {
     double* fk = f.row_ptr(k);
     for (std::size_t j = 0; j < r.cols(); ++j) {
       const double hkj = h(k, j);
       if (hkj == 0.0) continue;
       for (std::size_t i = 0; i < m; ++i) fk[i] += hkj * r(i, j);
     }
-  }
-  for (std::size_t i = 0; i < m; ++i) {
+  });
+  for_each_index(m, d * d * d + d * d, threads, [&](std::size_t i) {
     w.set_col(i, nnls_gram(g, f.col(i)));
-  }
+  });
 }
 
 /// Multiplicative updates for the same objective.
 void update_mu(const Matrix& r, Matrix& w, Matrix& h, double eta,
-               double lambda) {
+               double lambda, std::size_t threads) {
   constexpr double kEps = 1e-12;
   const std::size_t d = w.rows();
   const std::size_t m = w.cols();
@@ -110,9 +134,9 @@ void update_mu(const Matrix& r, Matrix& w, Matrix& h, double eta,
 
   // H <- H .* (W R) ./ (W W^T H + lambda * ones * H + eps)
   {
-    Matrix wwt = gram_rows(w);
+    Matrix wwt = gram_rows(w, threads);
     Matrix numer(d, n, 0.0);
-    for (std::size_t k = 0; k < d; ++k) {
+    for_each_index(d, m * n, threads, [&](std::size_t k) {
       double* nk = numer.row_ptr(k);
       for (std::size_t i = 0; i < m; ++i) {
         const double wki = w(k, i);
@@ -120,40 +144,40 @@ void update_mu(const Matrix& r, Matrix& w, Matrix& h, double eta,
         const double* ri = r.row_ptr(i);
         for (std::size_t j = 0; j < n; ++j) nk[j] += wki * ri[j];
       }
-    }
+    });
     Matrix denom = wwt * h;
     // + lambda * (column sums of H broadcast to every row)
-    for (std::size_t j = 0; j < n; ++j) {
+    for_each_index(n, 2 * d, threads, [&](std::size_t j) {
       double colsum = 0.0;
       for (std::size_t k = 0; k < d; ++k) colsum += h(k, j);
       for (std::size_t k = 0; k < d; ++k) denom(k, j) += lambda * colsum;
-    }
-    for (std::size_t k = 0; k < d; ++k) {
+    });
+    for_each_index(d, n, threads, [&](std::size_t k) {
       for (std::size_t j = 0; j < n; ++j) {
         h(k, j) *= numer(k, j) / (denom(k, j) + kEps);
       }
-    }
+    });
   }
 
   // W <- W .* (H R^T) ./ (H H^T W + eta W + eps)
   {
-    Matrix hht = gram_rows(h);
+    Matrix hht = gram_rows(h, threads);
     Matrix numer(d, m, 0.0);
-    for (std::size_t k = 0; k < d; ++k) {
+    for_each_index(d, m * n, threads, [&](std::size_t k) {
       double* nk = numer.row_ptr(k);
       for (std::size_t j = 0; j < n; ++j) {
         const double hkj = h(k, j);
         if (hkj == 0.0) continue;
         for (std::size_t i = 0; i < m; ++i) nk[i] += hkj * r(i, j);
       }
-    }
+    });
     Matrix denom = hht * w;
-    for (std::size_t k = 0; k < d; ++k) {
+    for_each_index(d, m, threads, [&](std::size_t k) {
       for (std::size_t i = 0; i < m; ++i) {
         denom(k, i) += eta * w(k, i);
         w(k, i) *= numer(k, i) / (denom(k, i) + kEps);
       }
-    }
+    });
   }
 }
 
@@ -218,8 +242,8 @@ void nndsvd_init(const Matrix& r, std::size_t rank, Matrix& w, Matrix& h,
 
 }  // namespace
 
-NmfResult sparse_nmf(const Matrix& r, std::size_t rank,
-                     const SparseNmfOptions& options, rng::Rng& rng) {
+NmfInit nmf_initialize(const Matrix& r, std::size_t rank,
+                       const SparseNmfOptions& options, rng::Rng& rng) {
   require(rank > 0, "sparse_nmf: rank must be positive");
   require(r.rows() > 0 && r.cols() > 0, "sparse_nmf: empty input");
   for (auto x : r.data()) {
@@ -233,27 +257,41 @@ NmfResult sparse_nmf(const Matrix& r, std::size_t rank,
   mean /= static_cast<double>(m * n);
   const double init_scale =
       std::sqrt(std::max(mean, 1e-6) / static_cast<double>(rank));
-  NmfResult result;
-  result.w = Matrix(rank, m);
-  result.h = Matrix(rank, n);
+  NmfInit init;
+  init.w = Matrix(rank, m);
+  init.h = Matrix(rank, n);
   if (options.init == Initialization::Nndsvd) {
     // Deterministic SVD-based seed; the epsilon fill keeps multiplicative
     // updates from locking onto exact zeros.
-    nndsvd_init(r, rank, result.w, result.h, 0.01 * init_scale);
+    nndsvd_init(r, rank, init.w, init.h, 0.01 * init_scale);
   } else {
     // Random non-negative init scaled so W^T H matches R's mean magnitude.
-    for (auto& x : result.w.data()) x = rng.uniform(0.0, 1.0) * init_scale;
-    for (auto& x : result.h.data()) x = rng.uniform(0.0, 1.0) * init_scale;
+    for (auto& x : init.w.data()) x = rng.uniform(0.0, 1.0) * init_scale;
+    for (auto& x : init.h.data()) x = rng.uniform(0.0, 1.0) * init_scale;
   }
+  return init;
+}
+
+NmfResult sparse_nmf_from_init(const Matrix& r, std::size_t rank,
+                               const SparseNmfOptions& options, NmfInit init,
+                               std::size_t threads) {
+  require(rank > 0 && init.w.rows() == rank && init.h.rows() == rank,
+          "sparse_nmf_from_init: init rank mismatch");
+  require(init.w.cols() == r.rows() && init.h.cols() == r.cols(),
+          "sparse_nmf_from_init: init shape mismatch");
+
+  NmfResult result;
+  result.w = std::move(init.w);
+  result.h = std::move(init.h);
 
   double prev_obj = objective(r, result.w, result.h, options.eta,
                               options.lambda, nullptr);
   for (std::size_t it = 0; it < options.max_iterations; ++it) {
     if (options.algorithm == Algorithm::Anls) {
-      update_h_anls(r, result.w, result.h, options.lambda);
-      update_w_anls(r, result.w, result.h, options.eta);
+      update_h_anls(r, result.w, result.h, options.lambda, threads);
+      update_w_anls(r, result.w, result.h, options.eta, threads);
     } else {
-      update_mu(r, result.w, result.h, options.eta, options.lambda);
+      update_mu(r, result.w, result.h, options.eta, options.lambda, threads);
     }
     result.iterations = it + 1;
     const double obj = objective(r, result.w, result.h, options.eta,
@@ -269,6 +307,12 @@ NmfResult sparse_nmf(const Matrix& r, std::size_t rank,
       objective(r, result.w, result.h, options.eta, options.lambda,
                 &result.fit_error);
   return result;
+}
+
+NmfResult sparse_nmf(const Matrix& r, std::size_t rank,
+                     const SparseNmfOptions& options, rng::Rng& rng) {
+  return sparse_nmf_from_init(r, rank, options,
+                              nmf_initialize(r, rank, options, rng));
 }
 
 void balance_rows(Matrix& w, Matrix& h) {

@@ -48,8 +48,33 @@ struct NmfResult {
   std::size_t iterations = 0;
 };
 
+/// Initial (W, H) pair for one sparse-NMF run. Drawing the initialization
+/// is the only step that consumes RNG state, so restarts can pre-draw their
+/// inits in restart order and then optimize in parallel with results
+/// bit-identical to the serial loop (see core::run_snmf_attack).
+struct NmfInit {
+  linalg::Matrix w;  // d x m
+  linalg::Matrix h;  // d x n
+};
+
+/// Draw the initial factors for one run (Random init consumes rng; Nndsvd
+/// is deterministic and leaves rng untouched). Validates r and rank.
+[[nodiscard]] NmfInit nmf_initialize(const linalg::Matrix& r, std::size_t rank,
+                                     const SparseNmfOptions& options,
+                                     rng::Rng& rng);
+
+/// Run the ANLS / MU iterations from a given initialization. `threads` caps
+/// the width of the per-iteration parallel sections (0 = process default);
+/// the result is bit-identical for any width.
+[[nodiscard]] NmfResult sparse_nmf_from_init(const linalg::Matrix& r,
+                                             std::size_t rank,
+                                             const SparseNmfOptions& options,
+                                             NmfInit init,
+                                             std::size_t threads = 0);
+
 /// One run of sparse NMF from a random non-negative initialization.
-/// `rank` is the paper's d (bloom-filter length).
+/// `rank` is the paper's d (bloom-filter length). Equivalent to
+/// nmf_initialize + sparse_nmf_from_init.
 [[nodiscard]] NmfResult sparse_nmf(const linalg::Matrix& r, std::size_t rank,
                                    const SparseNmfOptions& options,
                                    rng::Rng& rng);

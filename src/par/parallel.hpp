@@ -1,0 +1,59 @@
+// parallel_for / parallel_reduce on top of the shared ThreadPool.
+//
+// Both primitives are deterministic by construction: chunk boundaries are a
+// pure function of (range, grain), and parallel_reduce combines the chunk
+// results in ascending chunk order. A body that writes disjoint state per
+// index therefore produces bit-identical results for any thread count, and
+// a reduction is bit-identical as long as the *chunking* stays fixed — the
+// same (begin, end, grain) triple always sums in the same order.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "par/thread_pool.hpp"
+
+namespace aspe::par {
+
+/// Invoke fn(i) for every i in [begin, end), fanned out over the default
+/// pool in grain-sized chunks. `threads` caps the width (0 = the process
+/// default set by set_default_threads / --threads). Blocks until done;
+/// rethrows the first exception thrown by fn on the calling thread.
+template <class Fn>
+void parallel_for(std::size_t begin, std::size_t end, std::size_t grain,
+                  Fn&& fn, std::size_t threads = 0) {
+  default_pool().run_chunked(
+      begin, end, grain,
+      [&fn](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) fn(i);
+      },
+      threads);
+}
+
+/// Chunked reduction: map_chunk(lo, hi) -> T per grain-sized chunk of
+/// [begin, end), then combine(acc, chunk_value) in ascending chunk order.
+/// The combine order depends only on (begin, end, grain), so floating-point
+/// reductions are reproducible across thread counts.
+template <class T, class MapFn, class CombineFn>
+[[nodiscard]] T parallel_reduce(std::size_t begin, std::size_t end,
+                                std::size_t grain, T identity, MapFn&& map_chunk,
+                                CombineFn&& combine, std::size_t threads = 0) {
+  if (end <= begin) return identity;
+  if (grain == 0) grain = 1;
+  const std::size_t chunks = (end - begin + grain - 1) / grain;
+  std::vector<T> partial(chunks, identity);
+  default_pool().run_chunked(
+      begin, end, grain,
+      [&](std::size_t lo, std::size_t hi) {
+        partial[(lo - begin) / grain] = map_chunk(lo, hi);
+      },
+      threads);
+  T acc = std::move(identity);
+  for (std::size_t c = 0; c < chunks; ++c) {
+    acc = combine(std::move(acc), std::move(partial[c]));
+  }
+  return acc;
+}
+
+}  // namespace aspe::par

@@ -1,0 +1,204 @@
+#include "par/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+
+#include "common/error.hpp"
+
+namespace aspe::par {
+
+namespace {
+
+thread_local bool t_in_parallel_region = false;
+
+struct RegionGuard {
+  RegionGuard() { t_in_parallel_region = true; }
+  ~RegionGuard() { t_in_parallel_region = false; }
+};
+
+std::size_t hardware_threads() {
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc == 0 ? 1 : static_cast<std::size_t>(hc);
+}
+
+}  // namespace
+
+struct ThreadPool::Batch {
+  const std::function<void(std::size_t, std::size_t)>* fn = nullptr;
+  std::size_t begin = 0;
+  std::size_t end = 0;
+  std::size_t grain = 1;
+  std::size_t chunks = 0;
+  std::size_t max_helpers = 0;       // workers allowed in (caller not counted)
+  std::atomic<std::size_t> next{0};  // next chunk index to claim
+  std::atomic<std::size_t> pending{0};  // chunks not yet finished
+  std::atomic<bool> cancelled{false};
+  std::size_t inside = 0;  // workers currently in work_on (guarded by mu_)
+  std::exception_ptr error;  // first chunk exception (guarded by mu_)
+};
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  wake_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+std::size_t ThreadPool::workers() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return workers_.size();
+}
+
+void ThreadPool::ensure_workers(std::size_t count) {
+  std::lock_guard<std::mutex> lock(mu_);
+  while (workers_.size() < count) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+bool ThreadPool::in_parallel_region() { return t_in_parallel_region; }
+
+void ThreadPool::work_on(Batch& batch, std::mutex& mu,
+                         std::condition_variable& done_cv) {
+  RegionGuard region;  // nested parallel sections inside chunks go serial
+  while (true) {
+    const std::size_t c = batch.next.fetch_add(1, std::memory_order_relaxed);
+    if (c >= batch.chunks) break;
+    const std::size_t lo = batch.begin + c * batch.grain;
+    const std::size_t hi = std::min(batch.end, lo + batch.grain);
+    if (!batch.cancelled.load(std::memory_order_relaxed)) {
+      try {
+        (*batch.fn)(lo, hi);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mu);
+        if (batch.error == nullptr) batch.error = std::current_exception();
+        batch.cancelled.store(true, std::memory_order_relaxed);
+      }
+    }
+    if (batch.pending.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      // Last chunk done: wake the caller. Locking before notify pairs with
+      // the caller's predicate check under the same mutex (no lost wakeup).
+      std::lock_guard<std::mutex> lock(mu);
+      done_cv.notify_all();
+    }
+  }
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen_generation = 0;
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    wake_cv_.wait(lock, [&] {
+      return stop_ || (current_ != nullptr && generation_ != seen_generation);
+    });
+    if (stop_) return;
+    seen_generation = generation_;
+    Batch* batch = current_;
+    if (batch->inside >= batch->max_helpers) continue;  // width cap reached
+    ++batch->inside;
+    lock.unlock();
+    work_on(*batch, mu_, done_cv_);
+    lock.lock();
+    --batch->inside;
+    if (batch->inside == 0) done_cv_.notify_all();
+  }
+}
+
+void ThreadPool::run_chunked(
+    std::size_t begin, std::size_t end, std::size_t grain,
+    const std::function<void(std::size_t, std::size_t)>& chunk_fn,
+    std::size_t max_threads) {
+  if (end <= begin) return;
+  if (grain == 0) grain = 1;
+  const std::size_t chunks = (end - begin + grain - 1) / grain;
+
+  std::size_t width = max_threads == 0 ? default_threads() : max_threads;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    width = std::min({width, chunks, workers_.size() + 1});
+  }
+
+  const auto run_serial = [&] {
+    // Serial fallback (single thread requested, tiny range, a nested call,
+    // or a batch already in flight from another thread): same chunk
+    // boundaries, same order, exceptions propagate as-is.
+    for (std::size_t c = 0; c < chunks; ++c) {
+      const std::size_t lo = begin + c * grain;
+      chunk_fn(lo, std::min(end, lo + grain));
+    }
+  };
+  if (width <= 1 || in_parallel_region()) {
+    run_serial();
+    return;
+  }
+
+  Batch batch;
+  batch.fn = &chunk_fn;
+  batch.begin = begin;
+  batch.end = end;
+  batch.grain = grain;
+  batch.chunks = chunks;
+  batch.max_helpers = width - 1;  // the caller participates too
+  batch.pending.store(chunks, std::memory_order_relaxed);
+
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (current_ != nullptr) {
+      // The pool runs one batch at a time; a second concurrent top-level
+      // caller degrades to serial rather than corrupting the active batch.
+      lock.unlock();
+      run_serial();
+      return;
+    }
+    current_ = &batch;
+    ++generation_;
+  }
+  wake_cv_.notify_all();
+
+  work_on(batch, mu_, done_cv_);
+
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [&] {
+    return batch.pending.load(std::memory_order_acquire) == 0 &&
+           batch.inside == 0;
+  });
+  current_ = nullptr;
+  const std::exception_ptr error = batch.error;
+  lock.unlock();
+  if (error != nullptr) std::rethrow_exception(error);
+}
+
+namespace {
+
+std::atomic<std::size_t> g_default_threads{0};  // 0 = not yet resolved
+
+}  // namespace
+
+ThreadPool& default_pool() {
+  // At least 4-wide so thread sweeps and the determinism tests exercise real
+  // concurrency even on single-core machines (workers just timeslice there).
+  static ThreadPool pool(std::max<std::size_t>(hardware_threads(), 4) - 1);
+  return pool;
+}
+
+void set_default_threads(std::size_t n) {
+  if (n == 0) n = hardware_threads();
+  g_default_threads.store(n, std::memory_order_relaxed);
+  if (n > 1) default_pool().ensure_workers(n - 1);
+}
+
+std::size_t default_threads() {
+  const std::size_t n = g_default_threads.load(std::memory_order_relaxed);
+  return n == 0 ? hardware_threads() : n;
+}
+
+}  // namespace aspe::par

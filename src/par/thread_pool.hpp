@@ -1,0 +1,89 @@
+// Shared parallel-execution substrate (aspe::par).
+//
+// One process-wide pool of persistent worker threads serves every parallel
+// section in the library: the dense matrix kernels, the SNMF restart loop,
+// the score-matrix build and the per-instance attack sweeps. The design
+// goals, in order:
+//
+//  * determinism — chunk boundaries depend only on (range, grain), never on
+//    the thread count or on scheduling. A loop whose chunks write disjoint
+//    state, or whose chunk results are combined in chunk order, produces
+//    bit-identical output for 1 thread, N threads, or the serial fallback.
+//  * robustness — an exception thrown inside a chunk is captured, the
+//    remaining chunks are cancelled, and the exception is rethrown on the
+//    calling thread. Nested parallel sections (a parallel_for issued from
+//    inside a pool chunk) fall back to serial instead of deadlocking.
+//  * zero configuration — the default pool is sized from
+//    hardware_concurrency() on first use; set_default_threads() (the CLI's
+//    global --threads flag) adjusts the effective width at runtime.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace aspe::par {
+
+class ThreadPool {
+ public:
+  /// Pool with `threads` worker threads (0 workers = always-serial pool).
+  /// Callers of run_chunked participate too, so total width is workers + 1.
+  explicit ThreadPool(std::size_t threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of worker threads owned by the pool.
+  [[nodiscard]] std::size_t workers() const;
+
+  /// Spawn additional workers until the pool owns at least `count`.
+  void ensure_workers(std::size_t count);
+
+  /// Invoke chunk_fn(lo, hi) over [begin, end) split into grain-sized
+  /// chunks, using at most max_threads threads including the caller
+  /// (0 = workers() + 1). Blocks until every chunk ran; rethrows the first
+  /// chunk exception on the calling thread. Chunks are claimed dynamically,
+  /// but chunk *boundaries* depend only on (begin, end, grain), so callers
+  /// with disjoint chunk writes are bit-identical for any thread count.
+  void run_chunked(std::size_t begin, std::size_t end, std::size_t grain,
+                   const std::function<void(std::size_t, std::size_t)>& chunk_fn,
+                   std::size_t max_threads = 0);
+
+  /// True while the calling thread is executing inside a pool chunk; used
+  /// by run_chunked to serialize nested parallel sections.
+  [[nodiscard]] static bool in_parallel_region();
+
+ private:
+  struct Batch;
+
+  void worker_loop();
+  static void work_on(Batch& batch, std::mutex& mu,
+                      std::condition_variable& done_cv);
+
+  mutable std::mutex mu_;
+  std::condition_variable wake_cv_;  // workers wait here for a new batch
+  std::condition_variable done_cv_;  // the caller waits here for completion
+  std::vector<std::thread> workers_;
+  Batch* current_ = nullptr;
+  std::uint64_t generation_ = 0;  // bumped per batch so workers join once
+  bool stop_ = false;
+};
+
+/// The process-wide pool shared by all parallel algorithms. Created on first
+/// use with enough workers for hardware_concurrency() (at least 4-wide, so
+/// thread-sweep tests exercise real concurrency even on small machines).
+ThreadPool& default_pool();
+
+/// Effective width used when a parallel section does not specify a thread
+/// count: initially hardware_concurrency(). `n = 0` resets to that default;
+/// n > the current pool size grows the pool.
+void set_default_threads(std::size_t n);
+[[nodiscard]] std::size_t default_threads();
+
+}  // namespace aspe::par

@@ -17,12 +17,21 @@ namespace aspe::rng {
 
 class Rng {
  public:
-  explicit Rng(std::uint64_t seed) : engine_(mix(seed)) {}
+  explicit Rng(std::uint64_t seed) : engine_(mix(seed)), stream_(mix(seed)) {}
 
   /// Derive an independent child generator. Children with different tags (or
   /// from different parents) produce statistically independent streams.
+  /// Consumes state: the result depends on how much the parent has drawn.
   [[nodiscard]] Rng child(std::uint64_t tag) {
     return Rng(mix(engine_()) ^ mix(tag ^ 0x9e3779b97f4a7c15ULL));
+  }
+
+  /// Derive an independent stream from the *original seed* and a tag,
+  /// without touching the parent's state. Unlike child(), split(tag) is
+  /// order-independent — the same (seed, tag) pair always yields the same
+  /// stream — which is what parallel per-restart seeding needs.
+  [[nodiscard]] Rng split(std::uint64_t tag) const {
+    return Rng(stream_ ^ mix(tag ^ 0x9e3779b97f4a7c15ULL));
   }
 
   /// Uniform double in [lo, hi).
@@ -112,6 +121,7 @@ class Rng {
   }
 
   std::mt19937_64 engine_;
+  std::uint64_t stream_;  // mixed seed identity; basis of split()
 };
 
 }  // namespace aspe::rng

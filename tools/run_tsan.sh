@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Build the tree with ThreadSanitizer and run the tier-1 test suite under it.
+# Usage: tools/run_tsan.sh [build-dir]   (default: build-tsan)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build-tsan}"
+
+cmake -B "$BUILD_DIR" -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DASPE_SANITIZE=thread
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+
+# halt_on_error makes a data race fail the ctest invocation instead of just
+# printing a report; second_deadlock_stack improves lock-order diagnostics.
+export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1 ${TSAN_OPTIONS:-}"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"

@@ -3,13 +3,16 @@
 // kernel. These are ablation-style numbers, not paper reproductions.
 #include <benchmark/benchmark.h>
 
+#include <fstream>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "common/stopwatch.hpp"
 #include "core/lep.hpp"
 #include "core/snmf_attack.hpp"
 #include "data/queries.hpp"
+#include "linalg/kernels.hpp"
 #include "linalg/lu.hpp"
 #include "linalg/random_matrix.hpp"
 #include "nmf/nmf.hpp"
@@ -232,6 +235,137 @@ void BM_SnmfRestartsThreads(benchmark::State& state) {
 }
 BENCHMARK(BM_SnmfRestartsThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
 
+// -------------------------------------------------- GEMM GFLOP/s sweep
+//
+// Blocked packed kernel throughput across sizes and thread counts, plus a
+// seed-style naive triple-loop reference at 512 for the speedup headline.
+// Every run is appended to a registry that main() dumps to
+// BENCH_linalg.json next to the binary's working directory.
+
+struct LinalgRecord {
+  std::string kernel;
+  std::size_t n = 0;
+  std::size_t threads = 0;
+  double seconds = 0.0;
+  double gflops = 0.0;
+};
+
+std::vector<LinalgRecord>& linalg_records() {
+  static std::vector<LinalgRecord> records;
+  return records;
+}
+
+void BM_GemmGflops(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto threads = static_cast<std::size_t>(state.range(1));
+  rng::Rng rng(21);
+  const auto a = linalg::random_matrix(n, rng);
+  const auto b = linalg::random_matrix(n, rng);
+  linalg::Matrix c(n, n);
+  Stopwatch watch;
+  std::size_t iters = 0;
+  for (auto _ : state) {
+    linalg::gemm(1.0, a.cview(), linalg::Op::None, b.cview(),
+                 linalg::Op::None, 0.0, c.view(), threads);
+    benchmark::DoNotOptimize(c.data().data());
+    ++iters;
+  }
+  const double avg =
+      watch.seconds() / static_cast<double>(std::max<std::size_t>(iters, 1));
+  const double flops = 2.0 * static_cast<double>(n) * static_cast<double>(n) *
+                       static_cast<double>(n);
+  const double gflops = avg > 0.0 ? flops / avg / 1e9 : 0.0;
+  state.counters["threads"] = static_cast<double>(threads);
+  state.counters["GFLOPs"] = gflops;
+  linalg_records().push_back({"gemm_blocked", n, threads, avg, gflops});
+}
+BENCHMARK(BM_GemmGflops)
+    ->Args({128, 1})
+    ->Args({128, 4})
+    ->Args({128, 8})
+    ->Args({256, 1})
+    ->Args({256, 4})
+    ->Args({256, 8})
+    ->Args({512, 1})
+    ->Args({512, 4})
+    ->Args({512, 8})
+    ->Args({1024, 1})
+    ->Args({1024, 4})
+    ->Args({1024, 8});
+
+void BM_GemmNaiveReference(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  rng::Rng rng(21);
+  const auto a = linalg::random_matrix(n, rng);
+  const auto b = linalg::random_matrix(n, rng);
+  linalg::Matrix c(n, n);
+  Stopwatch watch;
+  std::size_t iters = 0;
+  for (auto _ : state) {
+    // Seed-era operator*: serial i-k-j triple loop with a zero skip.
+    for (auto& x : c.data()) x = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      double* ci = c.row_ptr(i);
+      for (std::size_t k = 0; k < n; ++k) {
+        const double av = a(i, k);
+        if (av == 0.0) continue;
+        const double* bk = b.row_ptr(k);
+        for (std::size_t j = 0; j < n; ++j) ci[j] += av * bk[j];
+      }
+    }
+    benchmark::DoNotOptimize(c.data().data());
+    ++iters;
+  }
+  const double avg =
+      watch.seconds() / static_cast<double>(std::max<std::size_t>(iters, 1));
+  const double flops = 2.0 * static_cast<double>(n) * static_cast<double>(n) *
+                       static_cast<double>(n);
+  const double gflops = avg > 0.0 ? flops / avg / 1e9 : 0.0;
+  state.counters["GFLOPs"] = gflops;
+  linalg_records().push_back({"gemm_naive", n, 1, avg, gflops});
+}
+BENCHMARK(BM_GemmNaiveReference)->Arg(512);
+
+/// BENCH_linalg.json: the sweep records plus the blocked-vs-naive headline
+/// ratio at 512 single-thread (the PR's acceptance number).
+void write_linalg_json(const std::string& path) {
+  if (linalg_records().empty()) return;  // sweep filtered out on this run
+  // google-benchmark re-invokes each case while calibrating iteration
+  // counts; keep only the last (fully measured) record per configuration.
+  std::vector<LinalgRecord> records;
+  for (const auto& r : linalg_records()) {
+    bool replaced = false;
+    for (auto& kept : records) {
+      if (kept.kernel == r.kernel && kept.n == r.n &&
+          kept.threads == r.threads) {
+        kept = r;
+        replaced = true;
+        break;
+      }
+    }
+    if (!replaced) records.push_back(r);
+  }
+  double naive512 = 0.0;
+  double blocked512_t1 = 0.0;
+  for (const auto& r : records) {
+    if (r.kernel == "gemm_naive" && r.n == 512) naive512 = r.seconds;
+    if (r.kernel == "gemm_blocked" && r.n == 512 && r.threads == 1) {
+      blocked512_t1 = r.seconds;
+    }
+  }
+  std::ofstream out(path);
+  out << "{\n  \"benchmark\": \"linalg_gemm_sweep\",\n  \"results\": [\n";
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const auto& r = records[i];
+    out << "    {\"kernel\": \"" << r.kernel << "\", \"n\": " << r.n
+        << ", \"threads\": " << r.threads << ", \"seconds\": " << r.seconds
+        << ", \"gflops\": " << r.gflops << "}"
+        << (i + 1 < records.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n  \"speedup_blocked_vs_naive_512_t1\": "
+      << (blocked512_t1 > 0.0 ? naive512 / blocked512_t1 : 0.0) << "\n}\n";
+}
+
 void BM_LepAttack(benchmark::State& state) {
   const auto d = static_cast<std::size_t>(state.range(0));
   scheme::Scheme2Options opt;
@@ -254,4 +388,13 @@ BENCHMARK(BM_LepAttack)->Arg(16)->Arg(32)->Arg(64)->Complexity();
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): identical behaviour, plus the
+// BENCH_linalg.json dump after the runs.
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  write_linalg_json("BENCH_linalg.json");
+  return 0;
+}

@@ -1,9 +1,11 @@
 #include "core/snmf_attack.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <utility>
 
 #include "common/error.hpp"
+#include "linalg/kernels.hpp"
 #include "linalg/svd.hpp"
 #include "par/parallel.hpp"
 
@@ -11,24 +13,51 @@ namespace aspe::core {
 
 using linalg::Matrix;
 
+namespace {
+
+/// Stack one ciphertext half per row (pairs must share dimensions).
+Matrix pack_half(const std::vector<scheme::CipherPair>& pairs,
+                 std::size_t dim, bool first_half) {
+  Matrix out(pairs.size(), dim);
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    const Vec& half = first_half ? pairs[i].a : pairs[i].b;
+    require(half.size() == dim, "build_score_matrix: ragged ciphertexts");
+    std::copy(half.begin(), half.end(), out.row_ptr(i));
+  }
+  return out;
+}
+
+}  // namespace
+
 Matrix build_score_matrix(
     const std::vector<scheme::CipherPair>& cipher_indexes,
     const std::vector<scheme::CipherPair>& cipher_trapdoors,
     std::size_t threads) {
   require(!cipher_indexes.empty() && !cipher_trapdoors.empty(),
           "build_score_matrix: need ciphertexts on both sides");
+  // cipher_score(I, T) = I_a . T_a + I_b . T_b, so the all-pairs score
+  // sweep is two gemms over the stacked ciphertext halves:
+  // R = Ia Ta^T + Ib Tb^T (transposition is an op flag, never a copy).
+  const std::size_t da = cipher_indexes[0].a.size();
+  const std::size_t db = cipher_indexes[0].b.size();
+  const Matrix ia = pack_half(cipher_indexes, da, true);
+  const Matrix ib = pack_half(cipher_indexes, db, false);
+  const Matrix ta = pack_half(cipher_trapdoors, da, true);
+  const Matrix tb = pack_half(cipher_trapdoors, db, false);
   Matrix r(cipher_indexes.size(), cipher_trapdoors.size());
-  // Each row of R is one cipher index scored against every trapdoor; rows
-  // are independent, so the all-pairs sweep fans out cleanly.
+  linalg::gemm(1.0, ia.cview(), linalg::Op::None, ta.cview(),
+               linalg::Op::Transpose, 0.0, r.view(), threads);
+  linalg::gemm(1.0, ib.cview(), linalg::Op::None, tb.cview(),
+               linalg::Op::Transpose, 1.0, r.view(), threads);
+  // I_i and T_j are binary, so I_i^T T_j is a non-negative integer; rounding
+  // removes the encryption's floating-point noise (and any summation-order
+  // jitter between the blocked and naive gemm paths).
   par::parallel_for(
-      0, cipher_indexes.size(), 1,
+      0, r.rows(), 1,
       [&](std::size_t i) {
-        for (std::size_t j = 0; j < cipher_trapdoors.size(); ++j) {
-          // I_i and T_j are binary, so I_i^T T_j is a non-negative integer;
-          // rounding removes the encryption's floating-point noise.
-          r(i, j) = std::max(
-              0.0, std::round(
-                       cipher_score(cipher_indexes[i], cipher_trapdoors[j])));
+        double* ri = r.row_ptr(i);
+        for (std::size_t j = 0; j < r.cols(); ++j) {
+          ri[j] = std::max(0.0, std::round(ri[j]));
         }
       },
       threads);
@@ -38,11 +67,13 @@ Matrix build_score_matrix(
 std::size_t estimate_latent_dimension(const Matrix& scores, double rel_tol) {
   require(scores.rows() > 0 && scores.cols() > 0,
           "estimate_latent_dimension: empty score matrix");
-  // One-sided Jacobi SVD needs rows >= cols; rank is transpose-invariant.
+  // One-sided Jacobi SVD needs rows >= cols; rank is transpose-invariant,
+  // so the wide case reads the scores through a transposed view straight
+  // into the Svd working storage — no scores.transpose() temporary.
   if (scores.rows() >= scores.cols()) {
     return linalg::Svd(scores).rank(rel_tol);
   }
-  return linalg::Svd(scores.transpose()).rank(rel_tol);
+  return linalg::Svd(scores.cview(), linalg::Op::Transpose).rank(rel_tol);
 }
 
 std::size_t estimate_latent_dimension(Matrix&& scores, double rel_tol) {
@@ -53,7 +84,7 @@ std::size_t estimate_latent_dimension(Matrix&& scores, double rel_tol) {
     // the Svd avoids duplicating the full score matrix.
     return linalg::Svd(std::move(scores)).rank(rel_tol);
   }
-  return linalg::Svd(scores.transpose()).rank(rel_tol);
+  return linalg::Svd(scores.cview(), linalg::Op::Transpose).rank(rel_tol);
 }
 
 namespace {

@@ -2,24 +2,23 @@
 
 #include <cmath>
 
+#include "linalg/kernels.hpp"
+
 namespace aspe::linalg {
 
 Cholesky::Cholesky(const Matrix& a) : l_(a.rows(), a.cols(), 0.0) {
   require(a.rows() == a.cols(), "Cholesky: matrix must be square");
   const std::size_t n = a.rows();
   for (std::size_t j = 0; j < n; ++j) {
-    double diag = a(j, j);
-    const double* lj = l_.row_ptr(j);
-    for (std::size_t k = 0; k < j; ++k) diag -= lj[k] * lj[k];
+    const ConstVecView lj = l_.row_view(j).subvec(0, j);
+    const double diag = a(j, j) - dot(lj, lj);
     if (!(diag > 0.0) || !std::isfinite(diag)) {
       throw NumericalError("Cholesky: matrix is not positive definite");
     }
     const double ljj = std::sqrt(diag);
     l_(j, j) = ljj;
     for (std::size_t i = j + 1; i < n; ++i) {
-      double s = a(i, j);
-      const double* li = l_.row_ptr(i);
-      for (std::size_t k = 0; k < j; ++k) s -= li[k] * lj[k];
+      const double s = a(i, j) - dot(l_.row_view(i).subvec(0, j), lj);
       l_(i, j) = s / ljj;
     }
   }
@@ -30,16 +29,16 @@ Vec Cholesky::solve(const Vec& b) const {
   require(b.size() == n, "Cholesky::solve: dimension mismatch");
   // L y = b
   Vec y(n);
+  const ConstVecView yv(y);
   for (std::size_t i = 0; i < n; ++i) {
-    double s = b[i];
-    const double* li = l_.row_ptr(i);
-    for (std::size_t j = 0; j < i; ++j) s -= li[j] * y[j];
-    y[i] = s / li[i];
+    const double s = b[i] - dot(l_.row_view(i).subvec(0, i), yv.subvec(0, i));
+    y[i] = s / l_(i, i);
   }
-  // L^T x = y
+  // L^T x = y (columns of L read through strided views)
   for (std::size_t ii = n; ii-- > 0;) {
-    double s = y[ii];
-    for (std::size_t j = ii + 1; j < n; ++j) s -= l_(j, ii) * y[j];
+    const std::size_t tail = n - ii - 1;
+    const double s = y[ii] - dot(l_.col_view(ii).subvec(ii + 1, tail),
+                                 yv.subvec(ii + 1, tail));
     y[ii] = s / l_(ii, ii);
   }
   return y;

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <numeric>
 
+#include "linalg/kernels.hpp"
+
 namespace aspe::linalg {
 
 namespace {
@@ -39,13 +41,14 @@ LuDecomposition::LuDecomposition(Matrix a) : lu_(std::move(a)) {
       sign_ = -sign_;
     }
     const double inv_pivot = 1.0 / lu_(k, k);
+    // Rank-1 trailing update, row by row: U_r[k+1:] -= factor * U_k[k+1:].
+    const ConstVecView pivot_tail =
+        lu_.row_view(k).subvec(k + 1, n - k - 1);
     for (std::size_t r = k + 1; r < n; ++r) {
       const double factor = lu_(r, k) * inv_pivot;
       lu_(r, k) = factor;
       if (factor == 0.0) continue;
-      const double* uk = lu_.row_ptr(k);
-      double* ur = lu_.row_ptr(r);
-      for (std::size_t c = k + 1; c < n; ++c) ur[c] -= factor * uk[c];
+      axpy(-factor, pivot_tail, lu_.row_view(r).subvec(k + 1, n - k - 1));
     }
   }
 }
@@ -53,31 +56,41 @@ LuDecomposition::LuDecomposition(Matrix a) : lu_(std::move(a)) {
 Vec LuDecomposition::solve(const Vec& b) const {
   const std::size_t n = dim();
   require(b.size() == n, "LuDecomposition::solve: dimension mismatch");
+  Vec y(n);
+  solve_into(ConstVecView(b), VecView(y));
+  return y;
+}
+
+void LuDecomposition::solve_into(ConstVecView b, VecView x) const {
+  const std::size_t n = dim();
+  require(b.size() == n && x.size() == n,
+          "LuDecomposition::solve_into: dimension mismatch");
   if (singular_) {
     throw NumericalError("LuDecomposition::solve: matrix is singular");
   }
   // Forward substitution on the permuted RHS (L has unit diagonal).
   Vec y(n);
+  const ConstVecView yv(y);
   for (std::size_t i = 0; i < n; ++i) {
-    double s = b[perm_[i]];
-    const double* li = lu_.row_ptr(i);
-    for (std::size_t j = 0; j < i; ++j) s -= li[j] * y[j];
-    y[i] = s;
+    y[i] = b[perm_[i]] - dot(lu_.row_view(i).subvec(0, i), yv.subvec(0, i));
   }
   // Back substitution on U.
   for (std::size_t ii = n; ii-- > 0;) {
-    double s = y[ii];
-    const double* ui = lu_.row_ptr(ii);
-    for (std::size_t j = ii + 1; j < n; ++j) s -= ui[j] * y[j];
-    y[ii] = s / ui[ii];
+    const double s =
+        y[ii] - dot(lu_.row_view(ii).subvec(ii + 1, n - ii - 1),
+                    yv.subvec(ii + 1, n - ii - 1));
+    y[ii] = s / lu_(ii, ii);
   }
-  return y;
+  for (std::size_t i = 0; i < n; ++i) x[i] = y[i];
 }
 
 Matrix LuDecomposition::solve(const Matrix& b) const {
   require(b.rows() == dim(), "LuDecomposition::solve: dimension mismatch");
+  // Column views on both sides: no per-column copies in or out.
   Matrix x(b.rows(), b.cols());
-  for (std::size_t c = 0; c < b.cols(); ++c) x.set_col(c, solve(b.col(c)));
+  for (std::size_t c = 0; c < b.cols(); ++c) {
+    solve_into(b.col_view(c), x.col_view(c));
+  }
   return x;
 }
 

@@ -24,7 +24,11 @@ class LuDecomposition {
   /// Solve A x = b.
   [[nodiscard]] Vec solve(const Vec& b) const;
 
-  /// Solve A X = B column by column.
+  /// Solve A x = b through strided views (b and x may be matrix columns;
+  /// they must not alias each other).
+  void solve_into(ConstVecView b, VecView x) const;
+
+  /// Solve A X = B column by column (via column views, no copies).
   [[nodiscard]] Matrix solve(const Matrix& b) const;
 
   /// A^{-1} (throws NumericalError when singular).

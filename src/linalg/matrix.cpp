@@ -4,22 +4,15 @@
 #include <cmath>
 #include <ostream>
 
+#include "linalg/kernels.hpp"
 #include "par/parallel.hpp"
 
 namespace aspe::linalg {
 
 namespace {
 
-// Products smaller than this many scalar multiply-adds are not worth the
-// pool dispatch; measured crossover is a few hundred thousand flops.
+// Scans smaller than this are not worth the pool dispatch.
 constexpr std::size_t kParallelFlopThreshold = std::size_t{1} << 18;
-
-// Grain chosen so each chunk carries roughly the threshold's worth of work.
-std::size_t row_grain(std::size_t rows, std::size_t flops_per_row) {
-  const std::size_t grain =
-      kParallelFlopThreshold / std::max<std::size_t>(flops_per_row, 1);
-  return std::clamp<std::size_t>(grain, 1, std::max<std::size_t>(rows, 1));
-}
 
 }  // namespace
 
@@ -67,9 +60,7 @@ void Matrix::set_col(std::size_t c, const Vec& v) {
 
 Matrix Matrix::transpose() const {
   Matrix t(cols_, rows_);
-  for (std::size_t r = 0; r < rows_; ++r) {
-    for (std::size_t c = 0; c < cols_; ++c) t(c, r) = (*this)(r, c);
-  }
+  transpose_copy(cview(), t.view());
   return t;
 }
 
@@ -93,54 +84,21 @@ Matrix& Matrix::operator*=(double s) {
 Matrix operator*(const Matrix& a, const Matrix& b) {
   require(a.cols() == b.rows(), "Matrix::*: inner dimension mismatch");
   Matrix c(a.rows(), b.cols(), 0.0);
-  // i-k-j order: streams through b's rows, cache friendly for row-major data.
-  const auto compute_row = [&](std::size_t i) {
-    double* ci = c.row_ptr(i);
-    for (std::size_t k = 0; k < a.cols(); ++k) {
-      const double aik = a(i, k);
-      if (aik == 0.0) continue;
-      const double* bk = b.row_ptr(k);
-      for (std::size_t j = 0; j < b.cols(); ++j) ci[j] += aik * bk[j];
-    }
-  };
-  // Each output row is accumulated by exactly one thread in the same k-j
-  // order as the serial loop, so the product is bit-identical at any width.
-  const std::size_t flops_per_row = a.cols() * b.cols();
-  if (a.rows() * flops_per_row >= kParallelFlopThreshold && a.rows() > 1) {
-    par::parallel_for(0, a.rows(), row_grain(a.rows(), flops_per_row),
-                      compute_row);
-  } else {
-    for (std::size_t i = 0; i < a.rows(); ++i) compute_row(i);
-  }
+  gemm(1.0, a.cview(), Op::None, b.cview(), Op::None, 0.0, c.view());
   return c;
 }
 
 Vec Matrix::apply(const Vec& x) const {
   require(x.size() == cols_, "Matrix::apply: dimension mismatch");
   Vec y(rows_, 0.0);
-  const auto compute_row = [&](std::size_t r) {
-    const double* a = row_ptr(r);
-    double s = 0.0;
-    for (std::size_t c = 0; c < cols_; ++c) s += a[c] * x[c];
-    y[r] = s;
-  };
-  if (rows_ * cols_ >= kParallelFlopThreshold && rows_ > 1) {
-    par::parallel_for(0, rows_, row_grain(rows_, cols_), compute_row);
-  } else {
-    for (std::size_t r = 0; r < rows_; ++r) compute_row(r);
-  }
+  gemv(1.0, cview(), Op::None, ConstVecView(x), 0.0, VecView(y));
   return y;
 }
 
 Vec Matrix::apply_transposed(const Vec& x) const {
   require(x.size() == rows_, "Matrix::apply_transposed: dimension mismatch");
   Vec y(cols_, 0.0);
-  for (std::size_t r = 0; r < rows_; ++r) {
-    const double* a = row_ptr(r);
-    const double xr = x[r];
-    if (xr == 0.0) continue;
-    for (std::size_t c = 0; c < cols_; ++c) y[c] += a[c] * xr;
-  }
+  gemv(1.0, cview(), Op::Transpose, ConstVecView(x), 0.0, VecView(y));
   return y;
 }
 

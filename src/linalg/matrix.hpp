@@ -12,6 +12,7 @@
 
 #include "common/error.hpp"
 #include "common/types.hpp"
+#include "linalg/matrix_view.hpp"
 
 namespace aspe::linalg {
 
@@ -55,6 +56,43 @@ class Matrix {
   [[nodiscard]] Vec col(std::size_t c) const;
   void set_row(std::size_t r, const Vec& v);
   void set_col(std::size_t c, const Vec& v);
+
+  // ---- Non-owning views (see linalg/matrix_view.hpp for lifetime rules).
+
+  [[nodiscard]] MatrixView view() {
+    return {data_.data(), rows_, cols_, cols_};
+  }
+  [[nodiscard]] ConstMatrixView view() const { return cview(); }
+  [[nodiscard]] ConstMatrixView cview() const {
+    return {data_.data(), rows_, cols_, cols_};
+  }
+
+  // NOLINTNEXTLINE(google-explicit-constructor): a Matrix is its own view.
+  operator MatrixView() { return view(); }
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  operator ConstMatrixView() const { return cview(); }
+
+  /// Sub-block [r0, r0+nr) x [c0, c0+nc) as a strided view.
+  [[nodiscard]] MatrixView block(std::size_t r0, std::size_t c0,
+                                 std::size_t nr, std::size_t nc) {
+    return view().block(r0, c0, nr, nc);
+  }
+  [[nodiscard]] ConstMatrixView block(std::size_t r0, std::size_t c0,
+                                      std::size_t nr, std::size_t nc) const {
+    return cview().block(r0, c0, nr, nc);
+  }
+
+  /// Row r as a contiguous view (unlike row(), no copy).
+  [[nodiscard]] VecView row_view(std::size_t r) { return view().row(r); }
+  [[nodiscard]] ConstVecView row_view(std::size_t r) const {
+    return cview().row(r);
+  }
+
+  /// Column c as a strided view (stride = cols()); unlike col(), no copy.
+  [[nodiscard]] VecView col_view(std::size_t c) { return view().col(c); }
+  [[nodiscard]] ConstVecView col_view(std::size_t c) const {
+    return cview().col(c);
+  }
 
   [[nodiscard]] Matrix transpose() const;
 

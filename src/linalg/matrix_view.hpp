@@ -1,0 +1,202 @@
+// Non-owning strided views over dense double storage.
+//
+// A view is a pointer plus shape plus stride — no allocation, no copy.
+// `MatrixView` / `ConstMatrixView` describe a row-major block whose rows are
+// `row_stride()` apart (>= cols(), so sub-blocks of a larger matrix are
+// views too). `VecView` / `ConstVecView` describe a strided 1-D range, which
+// is how a matrix column (stride = row_stride) or row (stride = 1) is passed
+// to a kernel without materializing it.
+//
+// Lifetime: a view never outlives the storage it points into. Views taken
+// from a `Matrix` are invalidated by anything that reallocates the matrix
+// (assignment, move-from, resize via `operator=`). The kernel layer
+// (`linalg/kernels.hpp`) requires that output views do not alias input views;
+// inputs may freely alias each other (e.g. gemm(A, A^T)).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+
+namespace aspe::linalg {
+
+/// Transposition flag for the kernel layer: op(A) = A or A^T. Transposition
+/// is interpretation, never a materialized copy.
+enum class Op : std::uint8_t { None, Transpose };
+
+/// Read-only strided range of doubles.
+class ConstVecView {
+ public:
+  ConstVecView() = default;
+  ConstVecView(const double* data, std::size_t size, std::size_t stride = 1)
+      : data_(data), size_(size), stride_(stride) {}
+  // NOLINTNEXTLINE(google-explicit-constructor): a Vec is naturally a view.
+  ConstVecView(const Vec& v) : data_(v.data()), size_(v.size()), stride_(1) {}
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] std::size_t stride() const { return stride_; }
+  [[nodiscard]] bool contiguous() const { return stride_ == 1; }
+  [[nodiscard]] const double* data() const { return data_; }
+
+  double operator[](std::size_t i) const { return data_[i * stride_]; }
+
+  /// View of elements [offset, offset + count).
+  [[nodiscard]] ConstVecView subvec(std::size_t offset,
+                                    std::size_t count) const {
+    require(offset + count <= size_, "ConstVecView::subvec: out of range");
+    return {data_ + offset * stride_, count, stride_};
+  }
+
+  /// Materialize into an owning Vec (tests / slow paths only).
+  [[nodiscard]] Vec to_vec() const {
+    Vec v(size_);
+    for (std::size_t i = 0; i < size_; ++i) v[i] = (*this)[i];
+    return v;
+  }
+
+ private:
+  const double* data_ = nullptr;
+  std::size_t size_ = 0;
+  std::size_t stride_ = 1;
+};
+
+/// Mutable strided range of doubles.
+class VecView {
+ public:
+  VecView() = default;
+  VecView(double* data, std::size_t size, std::size_t stride = 1)
+      : data_(data), size_(size), stride_(stride) {}
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  VecView(Vec& v) : data_(v.data()), size_(v.size()), stride_(1) {}
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] std::size_t stride() const { return stride_; }
+  [[nodiscard]] bool contiguous() const { return stride_ == 1; }
+  [[nodiscard]] double* data() const { return data_; }
+
+  double& operator[](std::size_t i) const { return data_[i * stride_]; }
+
+  [[nodiscard]] VecView subvec(std::size_t offset, std::size_t count) const {
+    require(offset + count <= size_, "VecView::subvec: out of range");
+    return {data_ + offset * stride_, count, stride_};
+  }
+
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  operator ConstVecView() const { return {data_, size_, stride_}; }
+
+ private:
+  double* data_ = nullptr;
+  std::size_t size_ = 0;
+  std::size_t stride_ = 1;
+};
+
+/// Read-only row-major matrix block: element (r, c) lives at
+/// data[r * row_stride + c], row_stride >= cols.
+class ConstMatrixView {
+ public:
+  ConstMatrixView() = default;
+  ConstMatrixView(const double* data, std::size_t rows, std::size_t cols,
+                  std::size_t row_stride)
+      : data_(data), rows_(rows), cols_(cols), stride_(row_stride) {}
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+  [[nodiscard]] std::size_t row_stride() const { return stride_; }
+  [[nodiscard]] const double* data() const { return data_; }
+  [[nodiscard]] bool empty() const { return rows_ == 0 || cols_ == 0; }
+
+  double operator()(std::size_t r, std::size_t c) const {
+    return data_[r * stride_ + c];
+  }
+  [[nodiscard]] const double* row_ptr(std::size_t r) const {
+    return data_ + r * stride_;
+  }
+
+  [[nodiscard]] ConstVecView row(std::size_t r) const {
+    require(r < rows_, "ConstMatrixView::row: index out of range");
+    return {row_ptr(r), cols_, 1};
+  }
+  [[nodiscard]] ConstVecView col(std::size_t c) const {
+    require(c < cols_, "ConstMatrixView::col: index out of range");
+    return {data_ + c, rows_, stride_};
+  }
+
+  /// Sub-block [r0, r0+nr) x [c0, c0+nc).
+  [[nodiscard]] ConstMatrixView block(std::size_t r0, std::size_t c0,
+                                      std::size_t nr, std::size_t nc) const {
+    require(r0 + nr <= rows_ && c0 + nc <= cols_,
+            "ConstMatrixView::block: out of range");
+    return {data_ + r0 * stride_ + c0, nr, nc, stride_};
+  }
+
+ private:
+  const double* data_ = nullptr;
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::size_t stride_ = 0;
+};
+
+/// Mutable row-major matrix block.
+class MatrixView {
+ public:
+  MatrixView() = default;
+  MatrixView(double* data, std::size_t rows, std::size_t cols,
+             std::size_t row_stride)
+      : data_(data), rows_(rows), cols_(cols), stride_(row_stride) {}
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+  [[nodiscard]] std::size_t row_stride() const { return stride_; }
+  [[nodiscard]] double* data() const { return data_; }
+  [[nodiscard]] bool empty() const { return rows_ == 0 || cols_ == 0; }
+
+  double& operator()(std::size_t r, std::size_t c) const {
+    return data_[r * stride_ + c];
+  }
+  [[nodiscard]] double* row_ptr(std::size_t r) const {
+    return data_ + r * stride_;
+  }
+
+  [[nodiscard]] VecView row(std::size_t r) const {
+    require(r < rows_, "MatrixView::row: index out of range");
+    return {row_ptr(r), cols_, 1};
+  }
+  [[nodiscard]] VecView col(std::size_t c) const {
+    require(c < cols_, "MatrixView::col: index out of range");
+    return {data_ + c, rows_, stride_};
+  }
+
+  [[nodiscard]] MatrixView block(std::size_t r0, std::size_t c0,
+                                 std::size_t nr, std::size_t nc) const {
+    require(r0 + nr <= rows_ && c0 + nc <= cols_,
+            "MatrixView::block: out of range");
+    return {data_ + r0 * stride_ + c0, nr, nc, stride_};
+  }
+
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  operator ConstMatrixView() const { return {data_, rows_, cols_, stride_}; }
+
+ private:
+  double* data_ = nullptr;
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::size_t stride_ = 0;
+};
+
+/// Logical row count of op(A).
+inline std::size_t op_rows(const ConstMatrixView& a, Op op) {
+  return op == Op::None ? a.rows() : a.cols();
+}
+/// Logical column count of op(A).
+inline std::size_t op_cols(const ConstMatrixView& a, Op op) {
+  return op == Op::None ? a.cols() : a.rows();
+}
+/// Element (r, c) of op(A).
+inline double op_at(const ConstMatrixView& a, Op op, std::size_t r,
+                    std::size_t c) {
+  return op == Op::None ? a(r, c) : a(c, r);
+}
+
+}  // namespace aspe::linalg

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "linalg/kernels.hpp"
+
 namespace aspe::linalg {
 
 QrDecomposition::QrDecomposition(Matrix a) : qr_(std::move(a)) {
@@ -12,10 +14,9 @@ QrDecomposition::QrDecomposition(Matrix a) : qr_(std::move(a)) {
   tau_.assign(n, 0.0);
 
   for (std::size_t k = 0; k < n; ++k) {
-    // Householder vector for column k below row k.
-    double norm_sq = 0.0;
-    for (std::size_t i = k; i < m; ++i) norm_sq += qr_(i, k) * qr_(i, k);
-    const double norm = std::sqrt(norm_sq);
+    // Householder vector for column k below row k (a strided panel view).
+    const VecView panel_k = qr_.col_view(k).subvec(k, m - k);
+    const double norm = std::sqrt(dot(panel_k, panel_k));
     if (norm == 0.0) {
       tau_[k] = 0.0;  // zero column; R_kk = 0 marks rank deficiency
       continue;
@@ -24,16 +25,16 @@ QrDecomposition::QrDecomposition(Matrix a) : qr_(std::move(a)) {
     // v = x - alpha e1 (stored in place, normalized so v[0] = 1).
     const double v0 = qr_(k, k) - alpha;
     qr_(k, k) = alpha;
-    for (std::size_t i = k + 1; i < m; ++i) qr_(i, k) /= v0;
+    const VecView v = qr_.col_view(k).subvec(k + 1, m - k - 1);
+    for (std::size_t i = 0; i < v.size(); ++i) v[i] /= v0;
     tau_[k] = -v0 / alpha;  // beta = 2 / (v^T v) expressed via v0 and alpha
 
     // Apply H = I - tau v v^T to the remaining columns.
     for (std::size_t j = k + 1; j < n; ++j) {
-      double s = qr_(k, j);
-      for (std::size_t i = k + 1; i < m; ++i) s += qr_(i, k) * qr_(i, j);
-      s *= tau_[k];
+      const VecView cj = qr_.col_view(j).subvec(k + 1, m - k - 1);
+      double s = tau_[k] * (qr_(k, j) + dot(v, cj));
       qr_(k, j) -= s;
-      for (std::size_t i = k + 1; i < m; ++i) qr_(i, j) -= s * qr_(i, k);
+      axpy(-s, v, cj);
     }
   }
 }
@@ -43,13 +44,14 @@ Vec QrDecomposition::apply_qt(const Vec& b) const {
   const std::size_t n = cols();
   require(b.size() == m, "QrDecomposition::apply_qt: dimension mismatch");
   Vec y = b;
+  const VecView yv(y);
   for (std::size_t k = 0; k < n; ++k) {
     if (tau_[k] == 0.0) continue;
-    double s = y[k];
-    for (std::size_t i = k + 1; i < m; ++i) s += qr_(i, k) * y[i];
-    s *= tau_[k];
+    const ConstVecView v = qr_.col_view(k).subvec(k + 1, m - k - 1);
+    const VecView tail = yv.subvec(k + 1, m - k - 1);
+    const double s = tau_[k] * (y[k] + dot(v, tail));
     y[k] -= s;
-    for (std::size_t i = k + 1; i < m; ++i) y[i] -= s * qr_(i, k);
+    axpy(-s, v, tail);
   }
   return y;
 }

@@ -4,9 +4,47 @@
 #include <cmath>
 #include <numeric>
 
+#include "linalg/kernels.hpp"
+
 namespace aspe::linalg {
 
+namespace {
+
+/// The three Gram entries of a column pair in one fused pass (the Jacobi
+/// convergence test needs all of app, aqq, apq; one traversal of the two
+/// strided columns instead of three dot calls).
+void gram_pair(ConstVecView up, ConstVecView uq, double& app, double& aqq,
+               double& apq) {
+  app = aqq = apq = 0.0;
+  for (std::size_t i = 0; i < up.size(); ++i) {
+    const double a = up[i];
+    const double b = uq[i];
+    app += a * a;
+    aqq += b * b;
+    apq += a * b;
+  }
+}
+
+}  // namespace
+
 Svd::Svd(Matrix a, const SvdOptions& options) : u_(std::move(a)) {
+  factor(options);
+}
+
+Svd::Svd(ConstMatrixView a, Op op, const SvdOptions& options)
+    : u_(op_rows(a, op), op_cols(a, op)) {
+  if (op == Op::None) {
+    for (std::size_t r = 0; r < a.rows(); ++r) {
+      const double* src = a.row_ptr(r);
+      std::copy(src, src + a.cols(), u_.row_ptr(r));
+    }
+  } else {
+    transpose_copy(a, u_.view());
+  }
+  factor(options);
+}
+
+void Svd::factor(const SvdOptions& options) {
   const std::size_t m = u_.rows();
   const std::size_t n = u_.cols();
   require(m >= n, "Svd: need rows >= cols");
@@ -14,17 +52,14 @@ Svd::Svd(Matrix a, const SvdOptions& options) : u_(std::move(a)) {
   v_ = Matrix::identity(n);
 
   // One-sided Jacobi: rotate column pairs of U until all are orthogonal.
+  // Columns are strided views; the rotation is the shared rot kernel.
   const double scale = std::max(u_.max_abs(), 1e-300);
   for (std::size_t sweep = 0; sweep < options.max_sweeps; ++sweep) {
     bool converged = true;
     for (std::size_t p = 0; p + 1 < n; ++p) {
       for (std::size_t q = p + 1; q < n; ++q) {
         double app = 0.0, aqq = 0.0, apq = 0.0;
-        for (std::size_t i = 0; i < m; ++i) {
-          app += u_(i, p) * u_(i, p);
-          aqq += u_(i, q) * u_(i, q);
-          apq += u_(i, p) * u_(i, q);
-        }
+        gram_pair(u_.col_view(p), u_.col_view(q), app, aqq, apq);
         if (std::abs(apq) <=
             options.tol * scale * scale + options.tol * std::sqrt(app * aqq)) {
           continue;
@@ -36,18 +71,8 @@ Svd::Svd(Matrix a, const SvdOptions& options) : u_(std::move(a)) {
                          (std::abs(tau) + std::sqrt(1.0 + tau * tau));
         const double c = 1.0 / std::sqrt(1.0 + t * t);
         const double s = c * t;
-        for (std::size_t i = 0; i < m; ++i) {
-          const double up = u_(i, p);
-          const double uq = u_(i, q);
-          u_(i, p) = c * up - s * uq;
-          u_(i, q) = s * up + c * uq;
-        }
-        for (std::size_t i = 0; i < n; ++i) {
-          const double vp = v_(i, p);
-          const double vq = v_(i, q);
-          v_(i, p) = c * vp - s * vq;
-          v_(i, q) = s * vp + c * vq;
-        }
+        rot(u_.col_view(p), u_.col_view(q), c, s);
+        rot(v_.col_view(p), v_.col_view(q), c, s);
       }
     }
     if (converged) break;
@@ -56,12 +81,9 @@ Svd::Svd(Matrix a, const SvdOptions& options) : u_(std::move(a)) {
   // Singular values = column norms; normalize U.
   s_.resize(n);
   for (std::size_t j = 0; j < n; ++j) {
-    double norm = 0.0;
-    for (std::size_t i = 0; i < m; ++i) norm += u_(i, j) * u_(i, j);
-    s_[j] = std::sqrt(norm);
-    if (s_[j] > 0.0) {
-      for (std::size_t i = 0; i < m; ++i) u_(i, j) /= s_[j];
-    }
+    const VecView col = u_.col_view(j);
+    s_[j] = std::sqrt(dot(col, col));
+    if (s_[j] > 0.0) scal(1.0 / s_[j], col);
   }
 
   // Sort descending (stable permutation applied to U, S, V).

@@ -19,6 +19,13 @@ class Svd {
   /// Factor an m x n matrix with m >= n. Throws InvalidArgument on shape.
   explicit Svd(Matrix a, const SvdOptions& options = {});
 
+  /// Factor op(a) (op(a) must have rows >= cols). With Op::Transpose the
+  /// input is read through the strided view straight into the working
+  /// storage — no transposed Matrix temporary is materialized. Singular
+  /// values are transpose-invariant, so rank callers can always pick the
+  /// thin orientation this way.
+  explicit Svd(ConstMatrixView a, Op op, const SvdOptions& options = {});
+
   [[nodiscard]] const Matrix& u() const { return u_; }
   [[nodiscard]] const Vec& singular_values() const { return s_; }
   [[nodiscard]] const Matrix& v() const { return v_; }
@@ -33,6 +40,8 @@ class Svd {
   [[nodiscard]] Matrix reconstruct(std::size_t rank_limit = 0) const;
 
  private:
+  void factor(const SvdOptions& options);
+
   Matrix u_;  // m x n
   Vec s_;     // n, descending
   Matrix v_;  // n x n

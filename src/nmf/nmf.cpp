@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "linalg/kernels.hpp"
 #include "linalg/svd.hpp"
 #include "nmf/nnls.hpp"
 #include "par/parallel.hpp"
@@ -10,6 +11,7 @@
 namespace aspe::nmf {
 
 using linalg::Matrix;
+using linalg::Op;
 
 namespace {
 
@@ -32,21 +34,11 @@ void for_each_index(std::size_t count, std::size_t work_per_item,
   }
 }
 
-/// G = M M^T for a d x k matrix M (result d x d). Row i of the loop owns
-/// the entries (i, j>=i) and their mirrors, so rows parallelize cleanly.
+/// G = M M^T for a d x k matrix M (result d x d), via the shared syrk-style
+/// gram kernel (upper triangle mirrored, rows parallelized).
 Matrix gram_rows(const Matrix& m, std::size_t threads) {
-  const std::size_t d = m.rows();
-  Matrix g(d, d, 0.0);
-  for_each_index(d, d * m.cols() / 2 + 1, threads, [&](std::size_t i) {
-    for (std::size_t j = i; j < d; ++j) {
-      const double* mi = m.row_ptr(i);
-      const double* mj = m.row_ptr(j);
-      double s = 0.0;
-      for (std::size_t k = 0; k < m.cols(); ++k) s += mi[k] * mj[k];
-      g(i, j) = s;
-      g(j, i) = s;
-    }
-  });
+  Matrix g(m.rows(), m.rows());
+  linalg::gram(m.cview(), g.view(), threads);
   return g;
 }
 
@@ -84,21 +76,16 @@ void update_h_anls(const Matrix& r, const Matrix& w, Matrix& h, double lambda,
   for (auto& x : g.data()) x += lambda;
   // Tiny ridge keeps principal submatrices SPD when W rows are degenerate.
   for (std::size_t k = 0; k < d; ++k) g(k, k) += 1e-10;
-  // F = W R  (d x n): each row of F is owned by one thread.
+  // F = W R  (d x n) through the blocked gemm kernel.
   const std::size_t n = r.cols();
-  Matrix f(d, n, 0.0);
-  for_each_index(d, r.rows() * n, threads, [&](std::size_t k) {
-    double* fk = f.row_ptr(k);
-    for (std::size_t i = 0; i < r.rows(); ++i) {
-      const double wki = w(k, i);
-      if (wki == 0.0) continue;
-      const double* ri = r.row_ptr(i);
-      for (std::size_t j = 0; j < n; ++j) fk[j] += wki * ri[j];
-    }
-  });
-  // Columns of H are independent NNLS solves — the ANLS hot spot.
+  Matrix f(d, n);
+  linalg::gemm(1.0, w.cview(), Op::None, r.cview(), Op::None, 0.0, f.view(),
+               threads);
+  // Columns of H are independent NNLS solves — the ANLS hot spot. The view
+  // form reads f's column and writes h's column in place: no per-column
+  // Vec copies in the loop.
   for_each_index(n, d * d * d + d * d, threads, [&](std::size_t j) {
-    h.set_col(j, nnls_gram(g, f.col(j)));
+    nnls_gram(g, f.col_view(j), h.col_view(j));
   });
 }
 
@@ -109,18 +96,13 @@ void update_w_anls(const Matrix& r, Matrix& w, const Matrix& h, double eta,
   const std::size_t d = h.rows();
   Matrix g = gram_rows(h, threads);
   for (std::size_t k = 0; k < d; ++k) g(k, k) += eta + 1e-10;
+  // F = H R^T (d x m): transposition is an op flag into gemm, not a copy.
   const std::size_t m = r.rows();
-  Matrix f(d, m, 0.0);
-  for_each_index(d, r.cols() * m, threads, [&](std::size_t k) {
-    double* fk = f.row_ptr(k);
-    for (std::size_t j = 0; j < r.cols(); ++j) {
-      const double hkj = h(k, j);
-      if (hkj == 0.0) continue;
-      for (std::size_t i = 0; i < m; ++i) fk[i] += hkj * r(i, j);
-    }
-  });
+  Matrix f(d, m);
+  linalg::gemm(1.0, h.cview(), Op::None, r.cview(), Op::Transpose, 0.0,
+               f.view(), threads);
   for_each_index(m, d * d * d + d * d, threads, [&](std::size_t i) {
-    w.set_col(i, nnls_gram(g, f.col(i)));
+    nnls_gram(g, f.col_view(i), w.col_view(i));
   });
 }
 
@@ -135,17 +117,12 @@ void update_mu(const Matrix& r, Matrix& w, Matrix& h, double eta,
   // H <- H .* (W R) ./ (W W^T H + lambda * ones * H + eps)
   {
     Matrix wwt = gram_rows(w, threads);
-    Matrix numer(d, n, 0.0);
-    for_each_index(d, m * n, threads, [&](std::size_t k) {
-      double* nk = numer.row_ptr(k);
-      for (std::size_t i = 0; i < m; ++i) {
-        const double wki = w(k, i);
-        if (wki == 0.0) continue;
-        const double* ri = r.row_ptr(i);
-        for (std::size_t j = 0; j < n; ++j) nk[j] += wki * ri[j];
-      }
-    });
-    Matrix denom = wwt * h;
+    Matrix numer(d, n);
+    linalg::gemm(1.0, w.cview(), Op::None, r.cview(), Op::None, 0.0,
+                 numer.view(), threads);
+    Matrix denom(d, n);
+    linalg::gemm(1.0, wwt.cview(), Op::None, h.cview(), Op::None, 0.0,
+                 denom.view(), threads);
     // + lambda * (column sums of H broadcast to every row)
     for_each_index(n, 2 * d, threads, [&](std::size_t j) {
       double colsum = 0.0;
@@ -162,16 +139,12 @@ void update_mu(const Matrix& r, Matrix& w, Matrix& h, double eta,
   // W <- W .* (H R^T) ./ (H H^T W + eta W + eps)
   {
     Matrix hht = gram_rows(h, threads);
-    Matrix numer(d, m, 0.0);
-    for_each_index(d, m * n, threads, [&](std::size_t k) {
-      double* nk = numer.row_ptr(k);
-      for (std::size_t j = 0; j < n; ++j) {
-        const double hkj = h(k, j);
-        if (hkj == 0.0) continue;
-        for (std::size_t i = 0; i < m; ++i) nk[i] += hkj * r(i, j);
-      }
-    });
-    Matrix denom = hht * w;
+    Matrix numer(d, m);
+    linalg::gemm(1.0, h.cview(), Op::None, r.cview(), Op::Transpose, 0.0,
+                 numer.view(), threads);
+    Matrix denom(d, m);
+    linalg::gemm(1.0, hht.cview(), Op::None, w.cview(), Op::None, 0.0,
+                 denom.view(), threads);
     for_each_index(d, m, threads, [&](std::size_t k) {
       for (std::size_t i = 0; i < m; ++i) {
         denom(k, i) += eta * w(k, i);
@@ -189,9 +162,11 @@ void nndsvd_init(const Matrix& r, std::size_t rank, Matrix& w, Matrix& h,
                  double fill) {
   const std::size_t m = r.rows();
   const std::size_t n = r.cols();
-  // Svd needs rows >= cols; factor R or R^T accordingly and swap roles.
+  // Svd needs rows >= cols; factor R or R^T accordingly and swap roles. The
+  // transpose is an op flag into the view constructor, not a materialized
+  // temporary.
   const bool transposed = m < n;
-  const linalg::Svd svd(transposed ? r.transpose() : r);
+  const linalg::Svd svd(r.cview(), transposed ? Op::Transpose : Op::None);
   // After the swap: left singular vectors correspond to rows of length
   // max(m, n); map them back to the record side / trapdoor side.
   const Matrix& left = svd.u();   // (max) x k

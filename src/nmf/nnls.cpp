@@ -4,16 +4,19 @@
 #include <vector>
 
 #include "linalg/cholesky.hpp"
+#include "linalg/kernels.hpp"
 
 namespace aspe::nmf {
 
 using linalg::Cholesky;
+using linalg::ConstVecView;
 using linalg::Matrix;
+using linalg::VecView;
 
 namespace {
 
 /// Solve G_PP z_P = f_P restricted to the passive set.
-Vec solve_passive(const Matrix& g, const Vec& f,
+Vec solve_passive(const Matrix& g, ConstVecView f,
                   const std::vector<std::size_t>& passive) {
   const std::size_t k = passive.size();
   Matrix gpp(k, k);
@@ -29,26 +32,31 @@ Vec solve_passive(const Matrix& g, const Vec& f,
 
 }  // namespace
 
-Vec nnls_gram(const Matrix& g, const Vec& f, const NnlsOptions& options) {
+void nnls_gram(const Matrix& g, ConstVecView f, VecView x,
+               const NnlsOptions& options) {
   require(g.rows() == g.cols(), "nnls_gram: Gram matrix must be square");
-  require(f.size() == g.rows(), "nnls_gram: dimension mismatch");
+  require(f.size() == g.rows() && x.size() == g.rows(),
+          "nnls_gram: dimension mismatch");
   const std::size_t n = g.rows();
   const std::size_t max_outer = options.max_outer_iterations > 0
                                     ? options.max_outer_iterations
                                     : 3 * n + 30;
 
-  Vec x(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) x[i] = 0.0;
   std::vector<bool> in_passive(n, false);
   std::vector<std::size_t> passive;
+  Vec w(n);             // dual, reused across outer iterations
+  Vec step;             // per-passive-var step values (inner loop)
+  step.reserve(n);
 
   // Scale-aware dual tolerance.
   double scale = 1.0;
-  for (auto v : f) scale = std::max(scale, std::abs(v));
+  for (std::size_t i = 0; i < n; ++i) scale = std::max(scale, std::abs(f[i]));
   const double tol = options.tol * scale;
 
   for (std::size_t outer = 0; outer < max_outer; ++outer) {
     // Dual w = f - G x.
-    Vec w = f;
+    for (std::size_t j = 0; j < n; ++j) w[j] = f[j];
     for (std::size_t i = 0; i < n; ++i) {
       if (x[i] == 0.0) continue;
       const double xi = x[i];
@@ -82,20 +90,23 @@ Vec nnls_gram(const Matrix& g, const Vec& f, const NnlsOptions& options) {
         if (denom > 0.0) alpha = std::min(alpha, x[j] / denom);
       }
       if (all_positive) {
-        Vec nx(n, 0.0);
+        for (std::size_t i = 0; i < n; ++i) x[i] = 0.0;
         for (std::size_t a = 0; a < passive.size(); ++a) {
-          nx[passive[a]] = z[a];
+          x[passive[a]] = z[a];
         }
-        x = std::move(nx);
         break;
       }
-      // Step toward z until the first passive variable hits zero.
-      Vec nx(n, 0.0);
+      // Step toward z until the first passive variable hits zero. Step
+      // values are staged in a buffer because x is zeroed before writing.
+      step.resize(passive.size());
       for (std::size_t a = 0; a < passive.size(); ++a) {
         const std::size_t j = passive[a];
-        nx[j] = x[j] + alpha * (z[a] - x[j]);
+        step[a] = x[j] + alpha * (z[a] - x[j]);
       }
-      x = std::move(nx);
+      for (std::size_t i = 0; i < n; ++i) x[i] = 0.0;
+      for (std::size_t a = 0; a < passive.size(); ++a) {
+        x[passive[a]] = step[a];
+      }
       // Drop passive variables that became (numerically) zero.
       std::vector<std::size_t> next;
       next.reserve(passive.size());
@@ -111,6 +122,11 @@ Vec nnls_gram(const Matrix& g, const Vec& f, const NnlsOptions& options) {
       if (passive.empty()) break;
     }
   }
+}
+
+Vec nnls_gram(const Matrix& g, const Vec& f, const NnlsOptions& options) {
+  Vec x(g.rows(), 0.0);
+  nnls_gram(g, ConstVecView(f), VecView(x), options);
   return x;
 }
 
@@ -118,16 +134,12 @@ Vec nnls(const Matrix& a, const Vec& b, const NnlsOptions& options) {
   require(a.rows() == b.size(), "nnls: dimension mismatch");
   const std::size_t n = a.cols();
   Matrix g(n, n, 0.0);
-  for (std::size_t r = 0; r < a.rows(); ++r) {
-    const double* ar = a.row_ptr(r);
-    for (std::size_t i = 0; i < n; ++i) {
-      if (ar[i] == 0.0) continue;
-      double* gi = g.row_ptr(i);
-      for (std::size_t j = 0; j < n; ++j) gi[j] += ar[i] * ar[j];
-    }
-  }
+  linalg::gemm(1.0, a.cview(), linalg::Op::Transpose, a.cview(),
+               linalg::Op::None, 0.0, g.view());
   const Vec f = a.apply_transposed(b);
-  return nnls_gram(g, f, options);
+  Vec x(n, 0.0);
+  nnls_gram(g, ConstVecView(f), VecView(x), options);
+  return x;
 }
 
 }  // namespace aspe::nmf

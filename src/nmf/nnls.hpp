@@ -18,6 +18,15 @@ struct NnlsOptions {
 /// f = A^T b. G must be symmetric positive definite on every principal
 /// submatrix encountered (guaranteed when A has full column rank or a ridge
 /// was added).
+///
+/// View form: f and x may be strided matrix columns; the solution is written
+/// into x in place (x is zeroed first, so it needs no initialization). f and
+/// x must not alias. This is the batch entry point the ANLS solver uses —
+/// one Gram matrix, one NNLS call per column, zero per-column copies.
+void nnls_gram(const linalg::Matrix& g, linalg::ConstVecView f,
+               linalg::VecView x, const NnlsOptions& options = {});
+
+/// Owning convenience wrapper around the view form.
 [[nodiscard]] Vec nnls_gram(const linalg::Matrix& g, const Vec& f,
                             const NnlsOptions& options = {});
 

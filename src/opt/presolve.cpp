@@ -2,9 +2,13 @@
 
 #include <cmath>
 
+#include "linalg/matrix_view.hpp"
+
 namespace aspe::opt {
 
 namespace {
+
+using linalg::ConstVecView;
 
 /// Minimum and maximum of a linear expression over the variable box.
 struct Activity {
@@ -12,16 +16,17 @@ struct Activity {
   double hi = 0.0;
 };
 
-Activity row_activity(const Model& m, const LinExpr& terms) {
+/// Activity against dense bound mirrors read through views — one indexed
+/// load per term instead of a Variable struct lookup.
+Activity row_activity(const LinExpr& terms, ConstVecView lb, ConstVecView ub) {
   Activity act;
   for (const auto& t : terms) {
-    const Variable& v = m.variable(t.var);
     if (t.coef >= 0.0) {
-      act.lo += t.coef * v.lb;
-      act.hi += t.coef * v.ub;  // may be +inf
+      act.lo += t.coef * lb[t.var];
+      act.hi += t.coef * ub[t.var];  // may be +inf
     } else {
-      act.lo += t.coef * v.ub;  // may be -inf
-      act.hi += t.coef * v.lb;
+      act.lo += t.coef * ub[t.var];  // may be -inf
+      act.hi += t.coef * lb[t.var];
     }
   }
   return act;
@@ -32,13 +37,24 @@ Activity row_activity(const Model& m, const LinExpr& terms) {
 PresolveResult presolve(Model& model, const PresolveOptions& options) {
   PresolveResult result;
 
+  // Dense lb/ub mirrors of the variable box, kept in sync with every
+  // set_bounds call so row_activity never walks the Variable table.
+  const std::size_t nvars = model.num_variables();
+  Vec lb(nvars), ub(nvars);
+  for (std::size_t j = 0; j < nvars; ++j) {
+    lb[j] = model.variable(j).lb;
+    ub[j] = model.variable(j).ub;
+  }
+  const ConstVecView lbv(lb);
+  const ConstVecView ubv(ub);
+
   for (std::size_t round = 0; round < options.max_rounds; ++round) {
     result.rounds = round + 1;
     bool changed = false;
 
     for (std::size_t ci = 0; ci < model.num_constraints(); ++ci) {
       const Constraint& row = model.constraint(ci);
-      const Activity act = row_activity(model, row.terms);
+      const Activity act = row_activity(row.terms, lbv, ubv);
 
       // Infeasibility / redundancy detection.
       const double tol = options.feas_tol *
@@ -70,14 +86,15 @@ PresolveResult presolve(Model& model, const PresolveOptions& options) {
       // activity of the *other* terms bounds coef * x.
       for (const auto& t : row.terms) {
         if (t.coef == 0.0) continue;
-        const Variable& v = model.variable(t.var);
-        const double self_lo = t.coef >= 0.0 ? t.coef * v.lb : t.coef * v.ub;
-        const double self_hi = t.coef >= 0.0 ? t.coef * v.ub : t.coef * v.lb;
+        const double vlb = lb[t.var];
+        const double vub = ub[t.var];
+        const double self_lo = t.coef >= 0.0 ? t.coef * vlb : t.coef * vub;
+        const double self_hi = t.coef >= 0.0 ? t.coef * vub : t.coef * vlb;
         const double rest_lo = act.lo - self_lo;
         const double rest_hi = act.hi - self_hi;
 
-        double new_lb = v.lb;
-        double new_ub = v.ub;
+        double new_lb = vlb;
+        double new_ub = vub;
         // <= : coef*x <= rhs - rest_lo
         if (row.sense != Sense::GreaterEqual && std::isfinite(rest_lo)) {
           const double cap = row.rhs - rest_lo;
@@ -96,19 +113,20 @@ PresolveResult presolve(Model& model, const PresolveOptions& options) {
             new_ub = std::min(new_ub, floor_v / t.coef);
           }
         }
-        if (v.type != VarType::Continuous) {
+        if (model.variable(t.var).type != VarType::Continuous) {
           new_lb = std::ceil(new_lb - options.feas_tol);
           new_ub = std::floor(new_ub + options.feas_tol);
         }
-        const bool tighter_lb = new_lb > v.lb + options.feas_tol;
-        const bool tighter_ub = new_ub < v.ub - options.feas_tol;
+        const bool tighter_lb = new_lb > vlb + options.feas_tol;
+        const bool tighter_ub = new_ub < vub - options.feas_tol;
         if (!tighter_lb && !tighter_ub) continue;
         if (new_lb > new_ub + options.feas_tol) {
           result.infeasible = true;
           return result;
         }
-        model.set_bounds(t.var, std::max(v.lb, new_lb),
-                         std::min(v.ub, std::max(new_ub, new_lb)));
+        lb[t.var] = std::max(vlb, new_lb);
+        ub[t.var] = std::min(vub, std::max(new_ub, new_lb));
+        model.set_bounds(t.var, lb[t.var], ub[t.var]);
         ++result.bounds_tightened;
         changed = true;
       }
@@ -116,9 +134,8 @@ PresolveResult presolve(Model& model, const PresolveOptions& options) {
     if (!changed) break;
   }
 
-  for (std::size_t j = 0; j < model.num_variables(); ++j) {
-    const Variable& v = model.variable(j);
-    if (v.ub - v.lb <= options.feas_tol) ++result.variables_fixed;
+  for (std::size_t j = 0; j < nvars; ++j) {
+    if (ub[j] - lb[j] <= options.feas_tol) ++result.variables_fixed;
   }
   return result;
 }

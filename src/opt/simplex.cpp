@@ -3,13 +3,17 @@
 #include <algorithm>
 #include <cmath>
 
+#include "linalg/kernels.hpp"
 #include "linalg/matrix.hpp"
 
 namespace aspe::opt {
 
 namespace {
 
+using linalg::ConstVecView;
 using linalg::Matrix;
+using linalg::Op;
+using linalg::VecView;
 
 enum class VarStatus : std::uint8_t { AtLower, AtUpper, Basic };
 
@@ -63,14 +67,15 @@ class Simplex {
     m_ = model_.num_constraints();
     require(m_ > 0, "solve_lp: model has no constraints");
 
-    // Structural columns, dense column-major.
-    a_cols_.assign(n_, Vec(m_, 0.0));
+    // Structural columns: row j of at_ is column j of A (contiguous, so
+    // pricing and ratio-test read it through row views).
+    at_ = Matrix(n_, m_, 0.0);
     rhs_.resize(m_);
     slack_row_.clear();
     slack_sign_.clear();
     for (std::size_t i = 0; i < m_; ++i) {
       const Constraint& c = model_.constraint(i);
-      for (const auto& t : c.terms) a_cols_[t.var][i] += t.coef;
+      for (const auto& t : c.terms) at_(t.var, i) += t.coef;
       rhs_[i] = c.rhs;
       if (c.sense == Sense::LessEqual) {
         slack_row_.push_back(i);
@@ -100,11 +105,12 @@ class Simplex {
     Vec residual = rhs_;
     for (std::size_t j = 0; j < n_; ++j) {
       if (lb_[j] == 0.0) continue;
-      for (std::size_t i = 0; i < m_; ++i) residual[i] -= a_cols_[j][i] * lb_[j];
+      linalg::axpy(-lb_[j], at_.row_view(j), VecView(residual));
     }
     art_sign_.resize(m_);
     basis_.resize(m_);
     xb_.resize(m_);
+    cb_.resize(m_);
     for (std::size_t i = 0; i < m_; ++i) {
       art_sign_[i] = residual[i] >= 0.0 ? 1.0 : -1.0;
       basis_[i] = art_begin_ + i;
@@ -121,10 +127,7 @@ class Simplex {
   // Slack/artificial columns are singletons; avoid storing them densely.
   double col_dot(const Vec& y, std::size_t j) const {
     if (j < n_) {
-      const Vec& col = a_cols_[j];
-      double s = 0.0;
-      for (std::size_t i = 0; i < m_; ++i) s += y[i] * col[i];
-      return s;
+      return linalg::dot(ConstVecView(y), at_.row_view(j));
     }
     if (j < art_begin_) {
       const std::size_t k = j - slack_begin_;
@@ -138,12 +141,8 @@ class Simplex {
   Vec compute_d(std::size_t j) const {
     Vec d(m_, 0.0);
     if (j < n_) {
-      const Vec& col = a_cols_[j];
-      for (std::size_t k = 0; k < m_; ++k) {
-        const double v = col[k];
-        if (v == 0.0) continue;
-        for (std::size_t i = 0; i < m_; ++i) d[i] += binv_(i, k) * v;
-      }
+      linalg::gemv(1.0, binv_.cview(), Op::None, at_.row_view(j), 0.0,
+                   VecView(d));
     } else if (j < art_begin_) {
       const std::size_t k = j - slack_begin_;
       const std::size_t row = slack_row_[k];
@@ -184,13 +183,11 @@ class Simplex {
       ++iteration_counter;
       const bool bland = local_iters > bland_after;
 
-      // y^T = c_B^T B^{-1}
+      // y^T = c_B^T B^{-1}, i.e. y = (B^{-1})^T c_B via the transposed gemv.
+      for (std::size_t i = 0; i < m_; ++i) cb_[i] = cost[basis_[i]];
       Vec y(m_, 0.0);
-      for (std::size_t i = 0; i < m_; ++i) {
-        const double cb = cost[basis_[i]];
-        if (cb == 0.0) continue;
-        for (std::size_t k = 0; k < m_; ++k) y[k] += cb * binv_(i, k);
-      }
+      linalg::gemv(1.0, binv_.cview(), Op::Transpose, ConstVecView(cb_), 0.0,
+                   VecView(y));
 
       // Pricing.
       std::size_t entering = total_;
@@ -264,9 +261,7 @@ class Simplex {
 
       if (leaving_row < 0) {
         // Bound flip: the entering variable runs to its opposite bound.
-        for (std::size_t i = 0; i < m_; ++i) {
-          xb_[i] -= t_limit * enter_dir * d[i];
-        }
+        linalg::axpy(-(t_limit * enter_dir), ConstVecView(d), VecView(xb_));
         status_[entering] = enter_dir > 0 ? VarStatus::AtUpper
                                           : VarStatus::AtLower;
         continue;
@@ -275,23 +270,20 @@ class Simplex {
       // Basis change.
       const auto r = static_cast<std::size_t>(leaving_row);
       const std::size_t leaving = basis_[r];
-      for (std::size_t i = 0; i < m_; ++i) {
-        xb_[i] -= t_limit * enter_dir * d[i];
-      }
+      linalg::axpy(-(t_limit * enter_dir), ConstVecView(d), VecView(xb_));
       const double entering_value =
           (enter_dir > 0 ? lb_[entering] : ub_[entering]) +
           enter_dir * t_limit;
 
-      // Gauss-Jordan update of B^{-1} with pivot d[r].
+      // Gauss-Jordan update of B^{-1} with pivot d[r], eta-style on row
+      // views: scale the pivot row, then subtract its multiple from the
+      // other rows.
       const double pivot = d[r];
-      double* br = binv_.row_ptr(r);
-      const double inv_pivot = 1.0 / pivot;
-      for (std::size_t k = 0; k < m_; ++k) br[k] *= inv_pivot;
+      const VecView br = binv_.row_view(r);
+      linalg::scal(1.0 / pivot, br);
       for (std::size_t i = 0; i < m_; ++i) {
         if (i == r || d[i] == 0.0) continue;
-        const double f = d[i];
-        double* bi = binv_.row_ptr(i);
-        for (std::size_t k = 0; k < m_; ++k) bi[k] -= f * br[k];
+        linalg::axpy(-d[i], br, binv_.row_view(i));
       }
 
       basis_[r] = entering;
@@ -322,7 +314,7 @@ class Simplex {
   std::size_t slack_begin_ = 0;
   std::size_t art_begin_ = 0;
 
-  std::vector<Vec> a_cols_;  // structural columns (dense, length m)
+  Matrix at_;  // structural columns stored as rows (n x m, A transposed)
   std::vector<std::size_t> slack_row_;
   Vec slack_sign_;
   Vec art_sign_;
@@ -330,6 +322,7 @@ class Simplex {
   double rhs_scale_ = 1.0;
 
   Vec lb_, ub_;
+  Vec cb_;  // scratch: basic costs, refreshed every pricing pass
   std::vector<VarStatus> status_;
   std::vector<std::size_t> basis_;
   Vec xb_;

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Build the tree with AddressSanitizer + UBSan and run the tier-1 test suite
+# under it. Usage: tools/run_asan.sh [build-dir]   (default: build-asan)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build-asan}"
+
+cmake -B "$BUILD_DIR" -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DASPE_SANITIZE=address,undefined
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+
+# halt_on_error turns any report into a test failure; detect_leaks catches
+# view-era lifetime bugs (a kernel writing through a dangling view usually
+# shows up as heap-buffer-overflow first).
+export ASAN_OPTIONS="halt_on_error=1 detect_leaks=1 ${ASAN_OPTIONS:-}"
+export UBSAN_OPTIONS="halt_on_error=1 print_stacktrace=1 ${UBSAN_OPTIONS:-}"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"

@@ -5,7 +5,9 @@
 // maximum-likelihood polish) on branch-and-bound. This bench isolates the
 // contribution of each stage:
 //
-//   bnb         : pure branch and bound, no heuristic
+//   bnb_cold    : pure branch and bound, every node LP solved from scratch
+//   bnb_warm    : pure branch and bound, nodes warm-started from the parent
+//                 basis via the dual simplex (the default solver mode)
 //   heuristic   : full primal heuristic (the default)
 //   lp_root     : heuristic with LP-relaxation ordering forced
 //   corr_root   : heuristic with correlation ordering forced
@@ -43,7 +45,14 @@ int main(int argc, char** argv) {
 
   std::vector<Variant> variants;
   {
-    Variant v{"bnb", {}};
+    Variant v{"bnb_cold", {}};
+    v.options.use_heuristic = false;
+    v.options.solver.time_limit_seconds = 5.0;
+    v.options.solver.warm_start = false;
+    variants.push_back(v);
+  }
+  {
+    Variant v{"bnb_warm", {}};
     v.options.use_heuristic = false;
     v.options.solver.time_limit_seconds = 5.0;
     variants.push_back(v);
@@ -83,16 +92,21 @@ int main(int argc, char** argv) {
   for (std::size_t i = 0; i < d; ++i) ids.push_back(i);
   const auto view = sse::leak_known_records(system, ids);
 
-  bench::TablePrinter table(
-      {"variant", "P@query", "R@query", "Time(s)", "solved"}, 12);
+  bench::TablePrinter table({"variant", "P@query", "R@query", "Time(s)",
+                             "nodes", "LPiters", "solved"},
+                            12);
   table.print_header();
   for (const auto& variant : variants) {
     int solved = 0;
     double seconds = 0.0;
+    std::size_t nodes = 0;
+    std::size_t lp_iters = 0;
     std::vector<core::PrecisionRecall> prs;
     for (std::size_t qi = 0; qi < num_queries; ++qi) {
       const auto res =
           core::run_mip_attack(view, qi, opt.mu, opt.sigma, variant.options);
+      nodes += res.nodes;
+      lp_iters += res.simplex_iterations;
       if (!res.found) continue;
       ++solved;
       seconds += res.seconds;
@@ -103,14 +117,16 @@ int main(int argc, char** argv) {
                      avg.precision_valid ? bench::fmt(avg.precision) : "-",
                      avg.recall_valid ? bench::fmt(avg.recall) : "-",
                      bench::fmt(solved > 0 ? seconds / solved : 0.0, 3),
+                     std::to_string(nodes), std::to_string(lp_iters),
                      std::to_string(solved) + "/" +
                          std::to_string(num_queries)});
   }
 
   std::printf(
-      "\nReading: pure B&B stalls (few solves within its budget) while the\n"
-      "primal heuristic solves every instance in milliseconds with higher\n"
-      "accuracy; LP and correlation orderings are interchangeable at this\n"
-      "scale (correlation is the one that scales to d = 1000).\n");
+      "\nReading: warm-started B&B explores the same tree as the cold solver\n"
+      "for a fraction of the simplex pivots (dual re-solves from the parent\n"
+      "basis); the primal heuristic still solves every instance in\n"
+      "milliseconds with higher accuracy. LP and correlation orderings are\n"
+      "interchangeable at this scale (correlation scales to d = 1000).\n");
   return 0;
 }

@@ -127,7 +127,8 @@ std::size_t grain_for(std::size_t work_per_item) {
 std::optional<MipAttackResult> primal_heuristic(
     const std::vector<sse::KnownBinaryPair>& known_pairs, const Vec& c,
     double mu, double sigma, const MipAttackOptions& options,
-    const Model& model, std::size_t threads) {
+    const Model& model, std::optional<opt::SimplexSolver>& solver,
+    std::size_t threads) {
   const std::size_t d = known_pairs[0].record.size();
   const std::size_t m = known_pairs.size();
   const double lsigma = options.l * sigma;
@@ -146,7 +147,10 @@ std::optional<MipAttackResult> primal_heuristic(
 
   Vec relaxed_q(d, 0.0);
   if (use_lp) {
-    const opt::LpResult root = opt::solve_lp(model, options.solver.lp);
+    // The solver outlives the heuristic: when rounding/repair fails, branch
+    // and bound reuses both the built tableau and the root-LP basis.
+    if (!solver.has_value()) solver.emplace(model, options.solver.lp);
+    const opt::LpResult root = solver->solve();
     if (root.status == opt::LpStatus::Infeasible) return std::nullopt;
     if (root.status == opt::LpStatus::Optimal) {
       for (std::size_t k = 0; k < d; ++k) relaxed_q[k] = root.x[2 + k];
@@ -459,25 +463,33 @@ MipAttackResult run_mip_attack(
                                        options);
   Stopwatch watch;
 
+  // One solver for the whole attack: the heuristic's root LP builds the
+  // tableau and leaves an optimal basis, which then warm-starts the root of
+  // branch and bound. Constructed lazily — the correlation-ordering
+  // heuristic path usually returns without ever touching the simplex.
+  std::optional<opt::SimplexSolver> solver;
+
   if (options.use_heuristic) {
     Vec c(known_pairs.size());
     for (std::size_t i = 0; i < known_pairs.size(); ++i) {
       c[i] = cipher_score(known_pairs[i].cipher, cipher_trapdoor);
     }
     auto heuristic = primal_heuristic(known_pairs, c, mu, sigma, options,
-                                      model, ctx.resolved_threads());
+                                      model, solver, ctx.resolved_threads());
     if (heuristic.has_value()) {
       heuristic->seconds = watch.seconds();
       return *heuristic;
     }
   }
 
-  const opt::MipResult mip = opt::solve_mip(std::move(model), options.solver);
+  if (!solver.has_value()) solver.emplace(model, options.solver.lp);
+  const opt::MipResult mip = opt::solve_mip(model, *solver, options.solver);
 
   MipAttackResult result;
   result.status = mip.status;
   result.seconds = watch.seconds();
   result.nodes = mip.nodes_explored;
+  result.simplex_iterations = mip.simplex_iterations;
   if (!mip.has_solution()) return result;
 
   result.found = true;

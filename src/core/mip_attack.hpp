@@ -72,6 +72,8 @@ struct MipAttackResult {
   opt::MipStatus status = opt::MipStatus::NodeLimit;
   double seconds = 0.0;
   std::size_t nodes = 0;
+  /// Simplex pivots spent in branch and bound (0 on the heuristic path).
+  std::size_t simplex_iterations = 0;
 };
 
 /// Attack one ciphertext trapdoor using the KPA view's known pairs.

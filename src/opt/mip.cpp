@@ -1,6 +1,8 @@
 #include "opt/mip.hpp"
 
 #include <cmath>
+#include <memory>
+#include <utility>
 #include <vector>
 
 #include "common/stopwatch.hpp"
@@ -9,13 +11,6 @@
 namespace aspe::opt {
 
 namespace {
-
-struct Node {
-  std::size_t var;
-  double lb;
-  double ub;
-  std::size_t depth;
-};
 
 /// Index of the integer variable whose LP value is most fractional;
 /// model.num_variables() when the point is integral.
@@ -37,37 +32,69 @@ std::size_t most_fractional(const Model& model, const Vec& x, double tol) {
 }  // namespace
 
 MipResult solve_mip(Model model, const MipOptions& options) {
+  SimplexSolver solver(model, options.lp);
+  return solve_mip(model, solver, options);
+}
+
+MipResult solve_mip(Model& model, SimplexSolver& solver,
+                    const MipOptions& options) {
   MipResult result;
   Stopwatch watch;
+  const SolverStats entry_stats = solver.stats();
+
+  // Bound deltas applied to the solver on the way down the tree; rewound on
+  // backtrack and fully on exit (the caller keeps a usable solver).
+  struct TrailEntry {
+    std::size_t var;
+    double lb, ub;  // solver bounds before this node's delta
+  };
+  std::vector<TrailEntry> trail;
+
+  const auto finalize = [&](MipResult& r) {
+    while (!trail.empty()) {
+      const TrailEntry& t = trail.back();
+      solver.set_bounds(t.var, t.lb, t.ub);
+      trail.pop_back();
+    }
+    r.seconds = watch.seconds();
+    const SolverStats& s = solver.stats();
+    r.lp_warm_solves = s.warm_solves - entry_stats.warm_solves;
+    r.lp_cold_solves = s.cold_solves - entry_stats.cold_solves;
+  };
 
   if (options.use_presolve) {
     const PresolveResult pre = presolve(model);
     if (pre.infeasible) {
       result.status = MipStatus::Infeasible;
-      result.seconds = watch.seconds();
+      finalize(result);
       return result;
     }
+    solver.sync_bounds();
   }
 
-  // Remember original bounds so nodes can restore them after backtracking.
   const std::size_t n = model.num_variables();
-  Vec orig_lb(n), orig_ub(n);
-  for (std::size_t j = 0; j < n; ++j) {
-    orig_lb[j] = model.variable(j).lb;
-    orig_ub[j] = model.variable(j).ub;
-  }
-
   double incumbent_obj = kInfinity;
   bool have_incumbent = false;
   bool search_truncated = false;
 
-  // Depth-first stack. Each entry carries the *complete* bound overrides of
-  // its path (small: only branched variables differ from the originals).
-  struct StackEntry {
-    std::vector<Node> path;  // bound changes from root to this node
+  // Depth-first search over bound deltas. Each frame carries ONE bound change
+  // relative to its parent; popping a frame rewinds exactly the abandoned
+  // suffix of the path (DFS order guarantees the trail prefix below `depth`
+  // is the new node's own ancestor path). No O(n) bound reset per node.
+  constexpr std::size_t kRoot = static_cast<std::size_t>(-1);
+  struct Frame {
+    std::size_t var = kRoot;  // branching variable (kRoot for the root node)
+    double lb = 0.0, ub = 0.0;
+    std::size_t depth = 0;  // trail length before this node's delta
+    std::shared_ptr<const BasisState> warm;  // parent's optimal basis
+    double parent_bound = -kInfinity;        // parent LP objective
   };
-  std::vector<StackEntry> stack;
-  stack.push_back({});
+
+  std::vector<Frame> stack;
+  stack.push_back(Frame{});
+  // Snapshot the solver's in-memory basis currently corresponds to; when a
+  // dive child's warm pointer matches, the restore is skipped entirely.
+  std::shared_ptr<const BasisState> live;
 
   while (!stack.empty()) {
     if (result.nodes_explored >= options.max_nodes) {
@@ -78,23 +105,37 @@ MipResult solve_mip(Model model, const MipOptions& options) {
       search_truncated = true;
       break;
     }
-    const StackEntry entry = std::move(stack.back());
+    const Frame frame = std::move(stack.back());
     stack.pop_back();
     ++result.nodes_explored;
 
-    // Apply this node's bounds.
-    for (std::size_t j = 0; j < n; ++j) model.set_bounds(j, orig_lb[j], orig_ub[j]);
-    bool bounds_ok = true;
-    for (const auto& nd : entry.path) {
-      if (nd.lb > nd.ub) {
-        bounds_ok = false;
-        break;
-      }
-      model.set_bounds(nd.var, nd.lb, nd.ub);
+    // Rewind to this node's branch point, then apply its single delta.
+    while (trail.size() > frame.depth) {
+      const TrailEntry& t = trail.back();
+      solver.set_bounds(t.var, t.lb, t.ub);
+      trail.pop_back();
     }
-    if (!bounds_ok) continue;
+    if (frame.var != kRoot) {
+      if (frame.lb > frame.ub) continue;  // empty branch interval
+      trail.push_back({frame.var, solver.lower_bound(frame.var),
+                       solver.upper_bound(frame.var)});
+      solver.set_bounds(frame.var, frame.lb, frame.ub);
+    }
 
-    const LpResult lp = solve_lp(model, options.lp);
+    // The child LP bound can only be worse than the parent's: prune on the
+    // parent objective before paying for the solve.
+    if (have_incumbent && frame.parent_bound >= incumbent_obj - 1e-9) continue;
+
+    LpResult lp;
+    if (options.warm_start) {
+      if (frame.warm && live != frame.warm) solver.restore(*frame.warm);
+      lp = solver.solve_warm();  // cold when no basis exists yet
+    } else {
+      lp = solver.solve();
+    }
+    live.reset();
+    result.simplex_iterations += lp.iterations;
+
     if (lp.status == LpStatus::Infeasible) continue;
     if (lp.status == LpStatus::IterationLimit) {
       search_truncated = true;
@@ -126,27 +167,29 @@ MipResult solve_mip(Model model, const MipOptions& options) {
       }
       if (options.first_feasible) {
         result.status = MipStatus::Feasible;
-        result.seconds = watch.seconds();
+        finalize(result);
         return result;
       }
       continue;
     }
 
     // Branch. Push the far child first so the near (nearest-integer) child is
-    // explored next -> diving behaviour.
+    // explored next -> diving behaviour. Both children share one snapshot of
+    // this node's optimal basis; the near child finds it still live in the
+    // solver and dives without a restore.
     const double v = lp.x[frac];
     const double floor_v = std::floor(v);
     const double ceil_v = floor_v + 1.0;
-    const std::size_t depth = entry.path.size();
-
-    // `model` currently carries this node's bounds, so its variable bounds
-    // are the effective ones to intersect with.
-    const double eff_lb = model.variable(frac).lb;
-    const double eff_ub = model.variable(frac).ub;
-    StackEntry down = entry;  // x_frac <= floor(v)
-    down.path.push_back({frac, eff_lb, floor_v, depth});
-    StackEntry up = entry;  // x_frac >= ceil(v)
-    up.path.push_back({frac, ceil_v, eff_ub, depth});
+    const double eff_lb = solver.lower_bound(frac);
+    const double eff_ub = solver.upper_bound(frac);
+    std::shared_ptr<const BasisState> snap;
+    if (options.warm_start) {
+      snap = std::make_shared<const BasisState>(solver.basis());
+      live = snap;
+    }
+    const std::size_t child_depth = trail.size();
+    Frame down{frac, eff_lb, floor_v, child_depth, snap, lp.objective};
+    Frame up{frac, ceil_v, eff_ub, child_depth, std::move(snap), lp.objective};
 
     const bool near_is_up = (v - floor_v) >= 0.5;
     if (near_is_up) {
@@ -158,7 +201,7 @@ MipResult solve_mip(Model model, const MipOptions& options) {
     }
   }
 
-  result.seconds = watch.seconds();
+  finalize(result);
   if (have_incumbent) {
     result.status = search_truncated ? MipStatus::Feasible : MipStatus::Optimal;
   } else if (search_truncated) {

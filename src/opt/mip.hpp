@@ -30,6 +30,9 @@ struct MipResult {
   double objective = 0.0;  // objective at x
   std::size_t nodes_explored = 0;
   double seconds = 0.0;
+  std::size_t simplex_iterations = 0;  // total LP pivots across all nodes
+  std::size_t lp_warm_solves = 0;      // nodes re-optimized by dual simplex
+  std::size_t lp_cold_solves = 0;      // nodes solved from the artificial basis
 
   [[nodiscard]] bool has_solution() const {
     return status == MipStatus::Optimal || status == MipStatus::Feasible;
@@ -41,6 +44,10 @@ struct MipOptions {
   bool first_feasible = false;
   /// Run presolve (bound tightening) on the root model before the search.
   bool use_presolve = true;
+  /// Warm-start each node's LP from its parent's basis via the dual simplex
+  /// (cold fallback when the dual iteration limit trips). Off reproduces the
+  /// historical cold-solve-per-node behaviour.
+  bool warm_start = true;
   std::size_t max_nodes = 200000;
   double time_limit_seconds = 60.0;
   double int_tol = 1e-6;
@@ -49,5 +56,11 @@ struct MipOptions {
 
 /// Solve a mixed-integer linear program by LP-based branch and bound.
 [[nodiscard]] MipResult solve_mip(Model model, const MipOptions& options = {});
+
+/// In-place variant sharing a caller-owned solver (e.g. the MIP attack's
+/// root-LP solver, whose basis then warm-starts the root node). Presolve
+/// mutates `model` bounds only; `solver` must have been built over `model`.
+[[nodiscard]] MipResult solve_mip(Model& model, SimplexSolver& solver,
+                                  const MipOptions& options = {});
 
 }  // namespace aspe::opt

@@ -72,6 +72,7 @@ void Model::set_bounds(std::size_t var, double lb, double ub) {
   require(lb <= ub, "Model::set_bounds: lb > ub");
   vars_[var].lb = lb;
   vars_[var].ub = ub;
+  ++bound_revision_;
 }
 
 }  // namespace aspe::opt

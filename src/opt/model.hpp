@@ -6,6 +6,7 @@
 // binary/continuous linear system, which this stack provides.
 #pragma once
 
+#include <cstdint>
 #include <limits>
 #include <string>
 #include <vector>
@@ -85,10 +86,16 @@ class Model {
   /// Mutable variable bounds (used by branch & bound).
   void set_bounds(std::size_t var, double lb, double ub);
 
+  /// Monotone counter bumped by every set_bounds call. Lets a solver that
+  /// mirrors the bounds (SimplexSolver::sync_bounds) skip the re-mirror when
+  /// nothing changed.
+  [[nodiscard]] std::uint64_t bound_revision() const { return bound_revision_; }
+
  private:
   std::vector<Variable> vars_;
   std::vector<Constraint> cons_;
   LinExpr objective_;
+  std::uint64_t bound_revision_ = 0;
 };
 
 }  // namespace aspe::opt

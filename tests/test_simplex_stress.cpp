@@ -164,6 +164,119 @@ TEST(SimplexStress, RandomLpsAgainstVertexEnumeration) {
   }
 }
 
+TEST(SimplexStress, FixedVariablesStayFixed) {
+  // lb == ub variables are never eligible to enter the basis; they act as
+  // constants folded into the rhs.
+  Model m;
+  const auto x = m.add_variable(0.0, kInfinity);
+  const auto f1 = m.add_variable(3.0, 3.0);   // fixed at 3
+  const auto f2 = m.add_variable(-2.0, -2.0);  // fixed at -2
+  m.add_constraint({{x, 1.0}, {f1, 2.0}, {f2, 1.0}}, Sense::LessEqual, 10.0);
+  m.add_constraint({{x, 1.0}, {f1, -1.0}}, Sense::GreaterEqual, -1.0);
+  m.set_objective({{x, -1.0}});
+  const LpResult r = solve_lp(m);
+  ASSERT_EQ(r.status, LpStatus::Optimal);
+  EXPECT_NEAR(r.x[f1], 3.0, 0.0);
+  EXPECT_NEAR(r.x[f2], -2.0, 0.0);
+  // x <= 10 - 2*3 - (-2) = 6.
+  EXPECT_NEAR(r.x[x], 6.0, 1e-7);
+  EXPECT_NEAR(r.objective, -6.0, 1e-7);
+}
+
+TEST(SimplexStress, AllVariablesFixedFeasibilityCheck) {
+  // Every variable fixed: the solve degenerates to a feasibility check of
+  // the constant point.
+  Model feasible;
+  feasible.add_variable(2.0, 2.0);
+  feasible.add_variable(5.0, 5.0);
+  feasible.add_constraint({{0, 1.0}, {1, 1.0}}, Sense::Equal, 7.0);
+  const LpResult ok = solve_lp(feasible);
+  ASSERT_EQ(ok.status, LpStatus::Optimal);
+  EXPECT_NEAR(ok.x[0], 2.0, 0.0);
+  EXPECT_NEAR(ok.x[1], 5.0, 0.0);
+
+  Model infeasible;
+  infeasible.add_variable(2.0, 2.0);
+  infeasible.add_variable(5.0, 5.0);
+  infeasible.add_constraint({{0, 1.0}, {1, 1.0}}, Sense::Equal, 8.0);
+  EXPECT_EQ(solve_lp(infeasible).status, LpStatus::Infeasible);
+}
+
+TEST(SimplexStress, BlandModeFromFirstIteration) {
+  // bland_threshold = 1 forces the anti-cycling rule for (almost) the whole
+  // solve: slower, but it must reach the same optimum on the pathological
+  // instances above.
+  SimplexOptions opts;
+  opts.bland_threshold = 1;
+
+  {  // Beale's cycling example.
+    Model m;
+    for (int j = 0; j < 4; ++j) m.add_variable(0.0, kInfinity);
+    m.add_constraint({{0, 0.25}, {1, -60.0}, {2, -1.0 / 25.0}, {3, 9.0}},
+                     Sense::LessEqual, 0.0);
+    m.add_constraint({{0, 0.5}, {1, -90.0}, {2, -1.0 / 50.0}, {3, 3.0}},
+                     Sense::LessEqual, 0.0);
+    m.add_constraint({{2, 1.0}}, Sense::LessEqual, 1.0);
+    m.set_objective({{0, -0.75}, {1, 150.0}, {2, -0.02}, {3, 6.0}});
+    const LpResult r = solve_lp(m, opts);
+    ASSERT_EQ(r.status, LpStatus::Optimal);
+    EXPECT_NEAR(r.objective, -0.05, 1e-8);
+  }
+  {  // Klee-Minty n = 5.
+    const std::size_t n = 5;
+    Model m;
+    for (std::size_t j = 0; j < n; ++j) m.add_variable(0.0, kInfinity);
+    for (std::size_t i = 0; i < n; ++i) {
+      LinExpr e;
+      for (std::size_t j = 0; j < i; ++j) {
+        e.push_back({j, 2.0 * std::pow(2.0, static_cast<double>(i - j))});
+      }
+      e.push_back({i, 1.0});
+      m.add_constraint(std::move(e), Sense::LessEqual,
+                       std::pow(5.0, static_cast<double>(i + 1)));
+    }
+    LinExpr obj;
+    for (std::size_t j = 0; j < n; ++j) {
+      obj.push_back({j, -std::pow(2.0, static_cast<double>(n - 1 - j))});
+    }
+    m.set_objective(std::move(obj));
+    const LpResult r = solve_lp(m, opts);
+    ASSERT_EQ(r.status, LpStatus::Optimal);
+    EXPECT_NEAR(r.objective, -std::pow(5.0, 5.0), 1e-6 * std::pow(5.0, 5.0));
+  }
+}
+
+TEST(SimplexStress, DegenerateTransportationPolytope) {
+  // Assignment polytope with every supply/demand equal: massively degenerate
+  // (each basic feasible solution has many zero basics). The solver has to
+  // pivot through ties without stalling.
+  const std::size_t k = 5;
+  Model m;
+  std::vector<std::vector<std::size_t>> x(k, std::vector<std::size_t>(k));
+  for (std::size_t i = 0; i < k; ++i) {
+    for (std::size_t j = 0; j < k; ++j) x[i][j] = m.add_variable(0.0, 1.0);
+  }
+  for (std::size_t i = 0; i < k; ++i) {
+    LinExpr row, col;
+    for (std::size_t j = 0; j < k; ++j) {
+      row.push_back({x[i][j], 1.0});
+      col.push_back({x[j][i], 1.0});
+    }
+    m.add_constraint(std::move(row), Sense::Equal, 1.0);
+    m.add_constraint(std::move(col), Sense::Equal, 1.0);
+  }
+  LinExpr obj;  // cheapest assignment is the identity permutation: cost k
+  for (std::size_t i = 0; i < k; ++i) {
+    for (std::size_t j = 0; j < k; ++j) {
+      obj.push_back({x[i][j], i == j ? 1.0 : 2.0 + static_cast<double>(i + j)});
+    }
+  }
+  m.set_objective(std::move(obj));
+  const LpResult r = solve_lp(m);
+  ASSERT_EQ(r.status, LpStatus::Optimal);
+  EXPECT_NEAR(r.objective, static_cast<double>(k), 1e-7);
+}
+
 TEST(SimplexStress, LargeSparseFeasibilitySystem) {
   // A chain system x_{i+1} - x_i = 1 with x_0 = 0: unique solution x_i = i.
   const std::size_t n = 60;

@@ -1,0 +1,322 @@
+// Warm-start correctness: dual-simplex re-solves after bound tightening must
+// agree with cold solves, basis snapshots must round-trip, and the
+// incremental branch-and-bound must match the cold-start search.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "opt/mip.hpp"
+#include "opt/simplex.hpp"
+#include "rng/rng.hpp"
+
+namespace aspe::opt {
+namespace {
+
+/// Random bounded LP that is feasible by construction: rhs values are set so
+/// a random interior point x0 satisfies every row.
+Model random_feasible_lp(rng::Rng& rng, std::size_t n, std::size_t rows) {
+  Model m;
+  Vec x0(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    m.add_variable(0.0, 10.0);
+    x0[j] = rng.uniform(1.0, 9.0);
+  }
+  for (std::size_t i = 0; i < rows; ++i) {
+    LinExpr e;
+    double lhs = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (rng.uniform(0.0, 1.0) < 0.4) continue;
+      const double a = rng.uniform(-2.0, 2.0);
+      e.push_back({j, a});
+      lhs += a * x0[j];
+    }
+    if (e.empty()) e.push_back({0, 1.0}), lhs = x0[0];
+    const double kind = rng.uniform(0.0, 1.0);
+    if (kind < 0.4) {
+      m.add_constraint(std::move(e), Sense::LessEqual,
+                       lhs + rng.uniform(0.1, 3.0));
+    } else if (kind < 0.8) {
+      m.add_constraint(std::move(e), Sense::GreaterEqual,
+                       lhs - rng.uniform(0.1, 3.0));
+    } else {
+      m.add_constraint(std::move(e), Sense::Equal, lhs);
+    }
+  }
+  LinExpr obj;
+  for (std::size_t j = 0; j < n; ++j) obj.push_back({j, rng.uniform(-1.0, 1.0)});
+  m.set_objective(std::move(obj));
+  return m;
+}
+
+TEST(WarmStart, DualResolveMatchesColdAfterTightening) {
+  // Solve, tighten one variable's bounds, warm re-solve; a fresh cold solver
+  // on the tightened model must agree on status and objective.
+  rng::Rng rng(1234);
+  int optimal_agreements = 0;
+  for (int trial = 0; trial < 60; ++trial) {
+    const std::size_t n = 3 + rng.uniform_int(0, 5);
+    const std::size_t rows = 2 + rng.uniform_int(0, 6);
+    Model model = random_feasible_lp(rng, n, rows);
+
+    SimplexSolver warm(model);
+    const LpResult root = warm.solve();
+    ASSERT_EQ(root.status, LpStatus::Optimal) << "trial " << trial;
+
+    // Tighten 1-3 variables the way branching would.
+    const int tightenings = 1 + static_cast<int>(rng.uniform_int(0, 2));
+    for (int t = 0; t < tightenings; ++t) {
+      const auto var = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(n) - 1));
+      const double lo = warm.lower_bound(var);
+      const double hi = warm.upper_bound(var);
+      const double split = lo + rng.uniform(0.2, 0.8) * (hi - lo);
+      if (rng.uniform(0.0, 1.0) < 0.5) {
+        warm.set_bounds(var, lo, std::floor(split));
+        model.set_bounds(var, lo, std::floor(split));
+      } else {
+        warm.set_bounds(var, std::ceil(split), hi);
+        model.set_bounds(var, std::ceil(split), hi);
+      }
+    }
+
+    const LpResult resolved = warm.solve_warm();
+    const LpResult cold = solve_lp(model);
+    ASSERT_EQ(resolved.status, cold.status) << "trial " << trial;
+    if (cold.status == LpStatus::Optimal) {
+      EXPECT_NEAR(resolved.objective, cold.objective, 1e-6)
+          << "trial " << trial;
+      ++optimal_agreements;
+    }
+  }
+  EXPECT_GT(optimal_agreements, 20);  // the sweep must exercise the dual path
+}
+
+TEST(WarmStart, SnapshotRestoreRoundTrip) {
+  rng::Rng rng(77);
+  Model model = random_feasible_lp(rng, 6, 8);
+  SimplexSolver solver(model);
+  const LpResult root = solver.solve();
+  ASSERT_EQ(root.status, LpStatus::Optimal);
+  const BasisState snapshot = solver.basis();
+
+  // Dive: tighten, re-solve (possibly several bases away from the root).
+  solver.set_bounds(0, 0.0, 1.0);
+  solver.set_bounds(2, 3.0, 10.0);
+  (void)solver.solve_warm();
+
+  // Backtrack: restore the root bounds AND the root basis; the warm re-solve
+  // must reproduce the root optimum exactly.
+  solver.set_bounds(0, 0.0, 10.0);
+  solver.set_bounds(2, 0.0, 10.0);
+  solver.restore(snapshot);
+  const LpResult again = solver.solve_warm();
+  ASSERT_EQ(again.status, LpStatus::Optimal);
+  EXPECT_NEAR(again.objective, root.objective, 1e-9);
+  for (std::size_t j = 0; j < model.num_variables(); ++j) {
+    EXPECT_NEAR(again.x[j], root.x[j], 1e-8) << "x[" << j << "]";
+  }
+}
+
+TEST(WarmStart, DualSimplexDetectsInfeasibleTightening) {
+  // x + y >= 8 with both variables boxed to [0, 2] after tightening.
+  Model model;
+  model.add_variable(0.0, 10.0);
+  model.add_variable(0.0, 10.0);
+  model.add_constraint({{0, 1.0}, {1, 1.0}}, Sense::GreaterEqual, 8.0);
+  model.set_objective({{0, 1.0}, {1, 2.0}});
+
+  SimplexSolver solver(model);
+  ASSERT_EQ(solver.solve().status, LpStatus::Optimal);
+  solver.set_bounds(0, 0.0, 2.0);
+  solver.set_bounds(1, 0.0, 2.0);
+  EXPECT_EQ(solver.solve_warm().status, LpStatus::Infeasible);
+
+  // The basis survives an infeasible probe: relaxing the bounds again must
+  // warm-solve back to the original optimum (x=8 at cost 8).
+  solver.set_bounds(0, 0.0, 10.0);
+  solver.set_bounds(1, 0.0, 10.0);
+  const LpResult back = solver.solve_warm();
+  ASSERT_EQ(back.status, LpStatus::Optimal);
+  EXPECT_NEAR(back.objective, 8.0, 1e-7);
+}
+
+TEST(WarmStart, WarmResolveIsCheaperThanCold) {
+  // After a one-variable tightening the dual simplex should need far fewer
+  // pivots than a from-scratch two-phase solve.
+  rng::Rng rng(5150);
+  Model model = random_feasible_lp(rng, 20, 30);
+  SimplexSolver solver(model);
+  const LpResult root = solver.solve();
+  ASSERT_EQ(root.status, LpStatus::Optimal);
+
+  solver.set_bounds(3, solver.lower_bound(3),
+                    std::max(root.x[3] - 0.5, solver.lower_bound(3)));
+  model.set_bounds(3, solver.lower_bound(3), solver.upper_bound(3));
+  const LpResult warm = solver.solve_warm();
+  const LpResult cold = solve_lp(model);
+  ASSERT_EQ(warm.status, LpStatus::Optimal);
+  ASSERT_EQ(cold.status, LpStatus::Optimal);
+  EXPECT_NEAR(warm.objective, cold.objective, 1e-6);
+  EXPECT_LT(warm.iterations, cold.iterations);
+  EXPECT_EQ(solver.stats().dual_fallbacks, 0u);
+  EXPECT_GT(solver.stats().dual_iterations, 0u);
+}
+
+TEST(WarmStart, SyncBoundsTracksModelRevision) {
+  Model model;
+  model.add_variable(0.0, 10.0);
+  model.add_variable(0.0, 10.0);
+  model.add_constraint({{0, 1.0}, {1, 1.0}}, Sense::LessEqual, 12.0);
+  model.set_objective({{0, -1.0}, {1, -1.0}});
+
+  SimplexSolver solver(model);
+  ASSERT_EQ(solver.solve().status, LpStatus::Optimal);
+  const auto rev = model.bound_revision();
+  model.set_bounds(0, 0.0, 4.0);
+  EXPECT_GT(model.bound_revision(), rev);
+  solver.sync_bounds();
+  EXPECT_EQ(solver.upper_bound(0), 4.0);
+  const LpResult r = solver.solve_warm();
+  ASSERT_EQ(r.status, LpStatus::Optimal);
+  EXPECT_NEAR(r.objective, -12.0, 1e-7);  // 4 + 8 still fills the row
+  EXPECT_LE(r.x[0], 4.0 + 1e-9);
+}
+
+TEST(WarmStart, FixedVariableDeltaInWarmResolve) {
+  // Branching a binary to lb == ub is the attack's hot path.
+  Model model;
+  model.add_variable(0.0, 1.0, VarType::Binary);
+  model.add_variable(0.0, 1.0, VarType::Binary);
+  model.add_variable(0.0, 5.0);
+  model.add_constraint({{0, 1.0}, {1, 1.0}, {2, 1.0}}, Sense::GreaterEqual,
+                       2.0);
+  model.set_objective({{0, 1.0}, {1, 1.5}, {2, 2.0}});
+
+  SimplexSolver solver(model);
+  ASSERT_EQ(solver.solve().status, LpStatus::Optimal);
+  solver.set_bounds(0, 0.0, 0.0);  // fix the cheap binary out
+  const LpResult r = solver.solve_warm();
+  ASSERT_EQ(r.status, LpStatus::Optimal);
+  EXPECT_NEAR(r.x[0], 0.0, 1e-9);
+  EXPECT_NEAR(r.objective, 1.5 + 2.0, 1e-7);  // q1 = 1 and x = 1
+}
+
+/// Random feasible MIP: a feasible LP plus some variables declared binary,
+/// with rhs re-centered on a random 0/1 point so integer feasibility exists.
+Model random_feasible_mip(rng::Rng& rng, std::size_t n, std::size_t rows) {
+  Model m;
+  Vec x0(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    if (j % 2 == 0) {
+      m.add_variable(0.0, 1.0, VarType::Binary);
+      x0[j] = rng.uniform(0.0, 1.0) < 0.5 ? 0.0 : 1.0;
+    } else {
+      m.add_variable(0.0, 10.0);
+      x0[j] = rng.uniform(0.5, 9.5);
+    }
+  }
+  for (std::size_t i = 0; i < rows; ++i) {
+    LinExpr e;
+    double lhs = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (rng.uniform(0.0, 1.0) < 0.5) continue;
+      const double a = rng.uniform(-2.0, 2.0);
+      e.push_back({j, a});
+      lhs += a * x0[j];
+    }
+    if (e.empty()) e.push_back({0, 1.0}), lhs = x0[0];
+    if (rng.uniform(0.0, 1.0) < 0.5) {
+      m.add_constraint(std::move(e), Sense::LessEqual,
+                       lhs + rng.uniform(0.05, 1.5));
+    } else {
+      m.add_constraint(std::move(e), Sense::GreaterEqual,
+                       lhs - rng.uniform(0.05, 1.5));
+    }
+  }
+  LinExpr obj;
+  for (std::size_t j = 0; j < n; ++j) obj.push_back({j, rng.uniform(-1.0, 1.0)});
+  m.set_objective(std::move(obj));
+  return m;
+}
+
+TEST(WarmStart, BranchAndBoundWarmMatchesColdOnRandomMips) {
+  rng::Rng rng(9001);
+  for (int trial = 0; trial < 25; ++trial) {
+    const std::size_t n = 4 + rng.uniform_int(0, 4);
+    const std::size_t rows = 3 + rng.uniform_int(0, 4);
+    const Model model = random_feasible_mip(rng, n, rows);
+
+    MipOptions warm_opts;
+    warm_opts.warm_start = true;
+    MipOptions cold_opts;
+    cold_opts.warm_start = false;
+
+    const MipResult warm = solve_mip(model, warm_opts);
+    const MipResult cold = solve_mip(model, cold_opts);
+    ASSERT_EQ(warm.status, cold.status) << "trial " << trial;
+    if (cold.has_solution()) {
+      EXPECT_NEAR(warm.objective, cold.objective, 1e-9) << "trial " << trial;
+      // Proved-optimal searches must also agree that the point is integral
+      // and feasible.
+      EXPECT_LE(model.max_violation(warm.x), 1e-6) << "trial " << trial;
+    }
+  }
+}
+
+TEST(WarmStart, WarmBranchAndBoundSpendsFewerIterations) {
+  // On a knapsack-style instance with a real search tree the warm path must
+  // beat the cold path on total simplex pivots (the PR's acceptance metric).
+  rng::Rng rng(4242);
+  const std::size_t n = 16;
+  Model m;
+  LinExpr weight, value;
+  for (std::size_t j = 0; j < n; ++j) {
+    m.add_variable(0.0, 1.0, VarType::Binary);
+    weight.push_back({j, std::floor(rng.uniform(1.0, 20.0))});
+    value.push_back({j, -std::floor(rng.uniform(1.0, 30.0))});
+  }
+  m.add_constraint(std::move(weight), Sense::LessEqual, 60.0);
+  m.set_objective(std::move(value));
+
+  MipOptions warm_opts;
+  warm_opts.warm_start = true;
+  MipOptions cold_opts;
+  cold_opts.warm_start = false;
+  const MipResult warm = solve_mip(m, warm_opts);
+  const MipResult cold = solve_mip(m, cold_opts);
+  ASSERT_EQ(warm.status, MipStatus::Optimal);
+  ASSERT_EQ(cold.status, MipStatus::Optimal);
+  EXPECT_NEAR(warm.objective, cold.objective, 1e-9);
+  EXPECT_GT(warm.lp_warm_solves, 0u);
+  EXPECT_EQ(cold.lp_warm_solves, 0u);
+  EXPECT_LT(warm.simplex_iterations, cold.simplex_iterations);
+}
+
+TEST(WarmStart, SharedSolverIsReusableAfterBranchAndBound) {
+  // The in-place overload must rewind its bound deltas on exit so the caller
+  // can keep using both the model and the solver.
+  rng::Rng rng(31337);
+  Model model = random_feasible_mip(rng, 8, 6);
+  SimplexSolver solver(model, {});
+  const LpResult root = solver.solve();
+  ASSERT_EQ(root.status, LpStatus::Optimal);
+  const double root_obj = root.objective;
+
+  MipOptions opts;
+  opts.use_presolve = false;  // keep the model bounds untouched too
+  const MipResult mip = solve_mip(model, solver, opts);
+  ASSERT_TRUE(mip.status == MipStatus::Optimal ||
+              mip.status == MipStatus::Infeasible);
+
+  for (std::size_t j = 0; j < model.num_variables(); ++j) {
+    EXPECT_EQ(solver.lower_bound(j), model.variable(j).lb) << "var " << j;
+    EXPECT_EQ(solver.upper_bound(j), model.variable(j).ub) << "var " << j;
+  }
+  const LpResult again = solver.solve_warm();
+  ASSERT_EQ(again.status, LpStatus::Optimal);
+  EXPECT_NEAR(again.objective, root_obj, 1e-7);
+}
+
+}  // namespace
+}  // namespace aspe::opt

@@ -14,4 +14,10 @@ cmake --build "$BUILD_DIR" -j "$(nproc)"
 # halt_on_error makes a data race fail the ctest invocation instead of just
 # printing a report; second_deadlock_stack improves lock-order diagnostics.
 export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1 ${TSAN_OPTIONS:-}"
+
+# Fast-fail pre-pass: the MIP attack drives the (serial) warm-started solver
+# from inside parallel heuristic probes; check those suites first.
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)" \
+  -R "WarmStart|MipAttack|Par\."
+
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"

@@ -105,11 +105,12 @@ int main(int argc, char** argv) {
     for (std::size_t qi = 0; qi < num_queries; ++qi) {
       const auto res =
           core::run_mip_attack(view, qi, opt.mu, opt.sigma, variant.options);
-      nodes += res.nodes;
-      lp_iters += res.simplex_iterations;
+      nodes += static_cast<std::size_t>(res.telemetry.counter("mip.bnb.nodes"));
+      lp_iters += static_cast<std::size_t>(
+          res.telemetry.counter("mip.bnb.simplex_iterations"));
       if (!res.found) continue;
       ++solved;
-      seconds += res.seconds;
+      seconds += res.telemetry.wall_seconds;
       prs.push_back(core::binary_precision_recall(queries[qi], res.query));
     }
     const auto avg = core::average(prs);

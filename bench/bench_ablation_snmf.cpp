@@ -133,10 +133,10 @@ int main(int argc, char** argv) {
   bench::TablePrinter table({"variant", "P", "R", "fit_err", "Time(s)"}, 12);
   table.print_header();
   for (const auto& variant : variants) {
-    rng::Rng rng(seed * 31 + 5);  // same attack seed across variants
-    Stopwatch watch;
-    const auto res = core::run_snmf_attack(s.view, variant.options, rng);
-    const double seconds = watch.seconds();
+    // Same attack seed across variants.
+    const core::ExecContext ctx{.seed = seed * 31 + 5};
+    const auto res = core::run_snmf_attack(s.view, variant.options, ctx);
+    const double seconds = res.telemetry.wall_seconds;
     const auto pr = evaluate(s, res);
     table.print_row({variant.name,
                      pr.precision_valid ? bench::fmt(pr.precision) : "-",

@@ -7,12 +7,64 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "common/cli.hpp"
+#include "obs/sinks.hpp"
 
 namespace aspe::bench {
+
+/// Telemetry flags shared by the paper-reproduction binaries:
+/// `--trace-json=PATH` streams chrome://tracing events for every attack run,
+/// `--metrics-json=PATH` aggregates counters/gauges across all runs and
+/// writes one metrics document at exit. `sink()` is null when neither flag
+/// was passed, so benches stay zero-overhead by default; attaching a sink
+/// never changes attack output (telemetry is observational only).
+class ObsFlags {
+ public:
+  explicit ObsFlags(const CliFlags& flags)
+      : metrics_path_(flags.get_string("metrics-json", "")) {
+    const std::string trace_path = flags.get_string("trace-json", "");
+    if (!trace_path.empty()) {
+      trace_.emplace(trace_path);
+      if (!trace_->ok()) {
+        std::fprintf(stderr, "cannot open --trace-json path: %s\n",
+                     trace_path.c_str());
+        std::exit(2);
+      }
+      tee_.add(&*trace_);
+    }
+    if (!metrics_path_.empty()) tee_.add(&memory_);
+  }
+
+  /// Sink to install in `core::ExecContext`, or nullptr when telemetry is off.
+  [[nodiscard]] obs::Sink* sink() {
+    return (trace_.has_value() || !metrics_path_.empty()) ? &tee_ : nullptr;
+  }
+
+  /// Flush files and report where they went. Call once after the last run.
+  void finish() {
+    if (trace_.has_value()) {
+      trace_->close();
+      std::printf("\nwrote trace events (chrome://tracing) via --trace-json\n");
+    }
+    if (!metrics_path_.empty()) {
+      std::ofstream out(metrics_path_);
+      memory_.write_metrics_json(out);
+      std::printf("\nwrote aggregated metrics to %s\n", metrics_path_.c_str());
+    }
+  }
+
+ private:
+  std::string metrics_path_;
+  std::optional<obs::JsonLinesSink> trace_;
+  obs::MemorySink memory_;
+  obs::TeeSink tee_;
+};
 
 /// Fixed-width table printer.
 class TablePrinter {

@@ -7,7 +7,7 @@
 // --full runs the paper's m grid with 10 queries.
 //
 // Usage: bench_fig2 [--full] [--d=500] [--ms=125,250,500] [--queries=N]
-//                   [--seed=S]
+//                   [--seed=S] [--trace-json=PATH] [--metrics-json=PATH]
 #include "bench_common.hpp"
 #include "core/metrics.hpp"
 #include "core/mip_attack.hpp"
@@ -27,6 +27,9 @@ int main(int argc, char** argv) {
   const auto num_queries =
       static_cast<std::size_t>(flags.get_int("queries", full ? 10 : 3));
   const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 2017));
+  bench::ObsFlags obs_flags(flags);
+  core::ExecContext actx;
+  actx.sink = obs_flags.sink();
 
   bench::print_banner(
       "Figure 2: MIP attack accuracy vs observed pairs m (Enron-style)",
@@ -80,10 +83,11 @@ int main(int argc, char** argv) {
     for (std::size_t qi = 0; qi < num_queries; ++qi) {
       core::MipAttackOptions aopt;
       aopt.solver.time_limit_seconds = 60.0;
-      const auto res = core::run_mip_attack(view, qi, opt.mu, opt.sigma, aopt);
+      const auto res =
+          core::run_mip_attack(view, qi, opt.mu, opt.sigma, aopt, actx);
       if (!res.found) continue;
       ++solved;
-      seconds += res.seconds;
+      seconds += res.telemetry.wall_seconds;
       prs.push_back(core::binary_precision_recall(queries[qi], res.query));
     }
     const auto avg = core::average(prs);
@@ -96,5 +100,6 @@ int main(int argc, char** argv) {
   std::printf(
       "\nShape to compare with the paper's Figure 2: precision and recall\n"
       "rise with m; by m >= 500 the reconstruction is close to exact.\n");
+  obs_flags.finish();
   return 0;
 }

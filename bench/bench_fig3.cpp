@@ -6,6 +6,7 @@
 // finishes in ~a minute; --full raises d to 100 and m up to 400.
 //
 // Usage: bench_fig3 [--full] [--d=24] [--ms=24,48,96] [--seed=S]
+//                   [--trace-json=PATH] [--metrics-json=PATH]
 #include "bench_common.hpp"
 #include "common/stopwatch.hpp"
 #include "core/metrics.hpp"
@@ -24,6 +25,7 @@ int main(int argc, char** argv) {
       "ms", full ? std::vector<int>{100, 200, 400}
                  : std::vector<int>{24, 48, 96});
   const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 2017));
+  bench::ObsFlags obs_flags(flags);
 
   bench::print_banner(
       "Figure 3: SNMF attack accuracy vs number of ciphertexts m = n",
@@ -72,12 +74,11 @@ int main(int argc, char** argv) {
     aopt.nmf.rel_tol = 1e-7;
     aopt.nmf.algorithm =
         full ? nmf::Algorithm::MultiplicativeUpdate : nmf::Algorithm::Anls;
-    rng::Rng attack_rng(seed * 11 + m);
-
-    Stopwatch watch;
+    const core::ExecContext actx{.seed = seed * 11 + m,
+                                 .sink = obs_flags.sink()};
     const auto res =
-        core::run_snmf_attack(sse::observe(system.server()), aopt, attack_rng);
-    const double seconds = watch.seconds();
+        core::run_snmf_attack(sse::observe(system.server()), aopt, actx);
+    const double seconds = res.telemetry.wall_seconds;
 
     const auto perm = core::align_latent_dimensions(
         system.plaintext_indexes(), system.plaintext_trapdoors(), res.indexes,
@@ -104,5 +105,6 @@ int main(int argc, char** argv) {
       "\nShape to compare with the paper's Figure 3: accuracy improves as\n"
       "more ciphertexts are observed — and ciphertexts are free for a COA\n"
       "adversary.\n");
+  obs_flags.finish();
   return 0;
 }

@@ -75,7 +75,7 @@ int main(int argc, char** argv) {
     if (res.found) {
       const auto pr = core::binary_precision_recall(q, res.query);
       std::printf("MIP : solution found in %.2fs; P=%.2f R=%.2f\n",
-                  res.seconds, pr.precision, pr.recall);
+                  res.telemetry.wall_seconds, pr.precision, pr.recall);
     } else {
       std::printf("MIP : no solution within limits\n");
     }
@@ -100,8 +100,8 @@ int main(int argc, char** argv) {
     aopt.rank = d;
     aopt.restarts = 3;
     aopt.nmf.max_iterations = 250;
-    rng::Rng attack_rng(seed + 5);
-    const auto res = core::run_snmf_attack(view, aopt, attack_rng);
+    const auto res = core::run_snmf_attack(view, aopt,
+                                           core::ExecContext{.seed = seed + 5});
     const auto perm = core::align_latent_dimensions(truth_idx, truth_trap,
                                                     res.indexes, res.trapdoors);
     std::vector<core::PrecisionRecall> prs;

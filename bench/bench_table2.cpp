@@ -8,6 +8,7 @@
 //
 // Usage: bench_table2 [--full] [--dims=50,100] [--rhos=0.05,0.2,0.35]
 //                     [--sigmas=0.5,1.0] [--queries=N] [--seed=S]
+//                     [--trace-json=PATH] [--metrics-json=PATH]
 #include "bench_common.hpp"
 #include "core/metrics.hpp"
 #include "core/mip_attack.hpp"
@@ -28,7 +29,8 @@ struct CellResult {
 };
 
 CellResult run_cell(std::size_t d, std::size_t m, double rho, double sigma,
-                    std::size_t num_queries, std::uint64_t seed) {
+                    std::size_t num_queries, std::uint64_t seed,
+                    obs::Sink* sink) {
   scheme::MrseOptions opt;
   opt.vocab_dim = d;
   opt.sigma = sigma;
@@ -60,10 +62,12 @@ CellResult run_cell(std::size_t d, std::size_t m, double rho, double sigma,
     ++cell.attempted;
     core::MipAttackOptions aopt;
     aopt.solver.time_limit_seconds = 30.0;
-    const auto res = core::run_mip_attack(view, qi, opt.mu, sigma, aopt);
+    core::ExecContext actx;
+    actx.sink = sink;
+    const auto res = core::run_mip_attack(view, qi, opt.mu, sigma, aopt, actx);
     if (!res.found) continue;
     ++cell.solved;
-    cell.avg_seconds += res.seconds;
+    cell.avg_seconds += res.telemetry.wall_seconds;
     prs.push_back(core::binary_precision_recall(queries[qi], res.query));
   }
   if (cell.solved > 0) cell.avg_seconds /= cell.solved;
@@ -88,6 +92,7 @@ int main(int argc, char** argv) {
   const auto num_queries = static_cast<std::size_t>(
       flags.get_int("queries", full ? 100 : 20));
   const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 2017));
+  bench::ObsFlags obs_flags(flags);
 
   bench::print_banner(
       "Table II: MIP attack on MRSE, synthetic (Quest-style) data",
@@ -104,7 +109,8 @@ int main(int argc, char** argv) {
         const CellResult cell =
             run_cell(d, d, rho, sigma, num_queries,
                      seed + d * 7 + std::size_t(rho * 100) * 3 +
-                         std::size_t(sigma * 10));
+                         std::size_t(sigma * 10),
+                     obs_flags.sink());
         table.print_row({bench::fmt(sigma, 1), std::to_string(d),
                          bench::fmt(rho, 2), bench::fmt(cell.precision),
                          bench::fmt(cell.recall),
@@ -119,5 +125,6 @@ int main(int argc, char** argv) {
       "\nShape to compare with the paper's Table II: accuracy is high for\n"
       "sigma = 0.5 at rho >= 20%%, degrades sharply for sigma = 1 (the\n"
       "\"excessive noise\" regime) and for very sparse data (rho = 5%%).\n");
+  obs_flags.finish();
   return 0;
 }

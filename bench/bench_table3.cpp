@@ -10,6 +10,7 @@
 //
 // Usage: bench_table3 [--full] [--dims=20,40] [--rhos=0.05,0.2,0.35]
 //                     [--restarts=L] [--iters=N] [--seed=S]
+//                     [--trace-json=PATH] [--metrics-json=PATH]
 #include "bench_common.hpp"
 #include "common/stopwatch.hpp"
 #include "core/metrics.hpp"
@@ -30,6 +31,7 @@ int main(int argc, char** argv) {
   const auto iters = static_cast<std::size_t>(
       flags.get_int("iters", full ? 300 : 250));
   const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 2017));
+  bench::ObsFlags obs_flags(flags);
 
   bench::print_banner(
       "Table III: SNMF attack on MKFSE-style ciphertexts, synthetic data",
@@ -73,11 +75,11 @@ int main(int argc, char** argv) {
       aopt.nmf.rel_tol = 1e-7;
       aopt.nmf.algorithm = full ? nmf::Algorithm::MultiplicativeUpdate
                                 : nmf::Algorithm::Anls;
-      rng::Rng attack_rng(seed * 7 + d + std::size_t(rho * 1000));
-
-      Stopwatch watch;
-      const auto res = core::run_snmf_attack(view, aopt, attack_rng);
-      const double seconds = watch.seconds();
+      const core::ExecContext actx{.seed = seed * 7 + d +
+                                           std::size_t(rho * 1000),
+                                   .sink = obs_flags.sink()};
+      const auto res = core::run_snmf_attack(view, aopt, actx);
+      const double seconds = res.telemetry.wall_seconds;
 
       const auto perm = core::align_latent_dimensions(truth_idx, truth_trap,
                                                       res.indexes,
@@ -104,5 +106,6 @@ int main(int argc, char** argv) {
       "\nShape to compare with the paper's Table III: high accuracy at\n"
       "rho in {20%%, 35%%}, collapse at rho = 5%% (sparse data admits many\n"
       "factorizations); runtime grows steeply with d.\n");
+  obs_flags.finish();
   return 0;
 }

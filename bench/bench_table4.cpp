@@ -6,6 +6,7 @@
 // Default here: 300 emails, d = 24; --full: 2000 emails, d = 100.
 //
 // Usage: bench_table4 [--full] [--emails=N] [--d=BITS] [--seed=S]
+//                     [--trace-json=PATH] [--metrics-json=PATH]
 #include <map>
 
 #include "bench_common.hpp"
@@ -25,6 +26,7 @@ int main(int argc, char** argv) {
       static_cast<std::size_t>(flags.get_int("emails", full ? 2000 : 300));
   const auto d = static_cast<std::size_t>(flags.get_int("d", full ? 100 : 24));
   const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 2017));
+  bench::ObsFlags obs_flags(flags);
 
   bench::print_banner(
       "Table IV: frequency distribution of the most frequent documents",
@@ -84,12 +86,13 @@ int main(int argc, char** argv) {
   aopt.nmf.rel_tol = 1e-7;
   aopt.nmf.algorithm =
       full ? nmf::Algorithm::MultiplicativeUpdate : nmf::Algorithm::Anls;
-  rng::Rng attack_rng(seed * 17 + 3);
-  Stopwatch watch;
   const auto res =
-      core::run_snmf_attack(sse::observe(system.server()), aopt, attack_rng);
+      core::run_snmf_attack(
+          sse::observe(system.server()), aopt,
+          core::ExecContext{.seed = seed * 17 + 3, .sink = obs_flags.sink()});
   const auto recon_freq = core::top_frequencies(res.indexes, 5);
-  std::printf("SNMF reconstruction took %.1f s\n\n", watch.seconds());
+  std::printf("SNMF reconstruction took %.1f s\n\n",
+              res.telemetry.wall_seconds);
 
   bench::TablePrinter table({"rank", "P_i freq", "I_i freq", "I*_i freq"}, 12);
   table.print_header();
@@ -106,5 +109,6 @@ int main(int argc, char** argv) {
       "match — duplicate documents stay duplicates through the (fully\n"
       "deterministic) bloom-filter pipeline AND through the ciphertext-only\n"
       "reconstruction, enabling classic frequency analysis.\n");
+  obs_flags.finish();
   return 0;
 }

@@ -48,9 +48,8 @@ int main() {
   aopt.rank = options.bloom_bits;
   aopt.restarts = 4;
   aopt.nmf.max_iterations = 300;
-  rng::Rng attack_rng(9);
-  const auto attack =
-      core::run_snmf_attack(sse::observe(system.server()), aopt, attack_rng);
+  const auto attack = core::run_snmf_attack(sse::observe(system.server()),
+                                            aopt, core::ExecContext{.seed = 9});
   const auto recon_top = core::top_frequencies(attack.indexes, 5);
 
   std::printf("five most frequent emails (plaintext vs ciphertext-only):\n");

@@ -65,9 +65,8 @@ int main() {
   aopt.rank = options.bloom_bits;
   aopt.restarts = 4;
   aopt.nmf.max_iterations = 300;
-  rng::Rng attack_rng(7);
   const auto recon = core::run_snmf_attack(sse::observe(server), aopt,
-                                           attack_rng);
+                                           core::ExecContext{.seed = 7});
 
   // Step 1: spot identical reconstructed indexes.
   const auto pairs = core::find_similar_pairs(recon.indexes, 0.99);

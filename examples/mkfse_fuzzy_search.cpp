@@ -55,9 +55,8 @@ int main() {
   aopt.rank = options.bloom_bits;
   aopt.restarts = 4;
   aopt.nmf.max_iterations = 300;
-  rng::Rng attack_rng(7);
-  const auto attack =
-      core::run_snmf_attack(sse::observe(system.server()), aopt, attack_rng);
+  const auto attack = core::run_snmf_attack(sse::observe(system.server()),
+                                            aopt, core::ExecContext{.seed = 7});
 
   const auto perm = core::align_latent_dimensions(
       system.plaintext_indexes(), system.plaintext_trapdoors(), attack.indexes,

@@ -96,7 +96,7 @@ int main() {
     return 0;
   }
   std::printf("\nMIP attack reconstructed the query in %.2fs:\n  {",
-              attack.seconds);
+              attack.telemetry.wall_seconds);
   for (std::size_t k = 0; k < d; ++k) {
     if (attack.query[k] != 0) std::printf(" %s", vocab[k].c_str());
   }

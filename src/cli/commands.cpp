@@ -3,6 +3,7 @@
 #include <fstream>
 #include <functional>
 #include <map>
+#include <optional>
 #include <ostream>
 #include <sstream>
 
@@ -14,6 +15,7 @@
 #include "data/quest.hpp"
 #include "io/key_io.hpp"
 #include "io/serialization.hpp"
+#include "obs/sinks.hpp"
 #include "par/thread_pool.hpp"
 #include "rng/rng.hpp"
 
@@ -54,6 +56,93 @@ core::ExecContext make_exec_context(const CliFlags& flags,
   }
   return ctx;
 }
+
+void write_json_string(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (char ch : s) {
+    switch (ch) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default: os << ch;
+    }
+  }
+  os << '"';
+}
+
+/// Telemetry wiring for the attack-* commands: `--trace-json=<path>` streams
+/// the run as a chrome://tracing / Perfetto event array, `--metrics-json=
+/// <path>` dumps the final AttackTelemetry block (wall time, per-span
+/// aggregates, counters, gauges) as one JSON object. Either flag attaches a
+/// sink to the ExecContext, which turns the recording machinery on; with
+/// neither flag sink() is null and the instrumented paths stay inert.
+class CommandObs {
+ public:
+  explicit CommandObs(const CliFlags& flags)
+      : trace_path_(flags.get_string("trace-json", "")),
+        metrics_path_(flags.get_string("metrics-json", "")) {
+    if (!trace_path_.empty()) {
+      trace_.emplace(trace_path_);
+      if (!trace_->ok()) {
+        throw io::IoError("cannot open trace file: " + trace_path_);
+      }
+      tee_.add(&*trace_);
+    } else if (!metrics_path_.empty()) {
+      // Metrics come from the result's telemetry block, but recording must
+      // still be switched on for the lower layers' counters to be captured.
+      tee_.add(&null_);
+    }
+  }
+
+  [[nodiscard]] obs::Sink* sink() {
+    return trace_path_.empty() && metrics_path_.empty() ? nullptr : &tee_;
+  }
+
+  /// Close the trace stream and write the metrics snapshot; call after the
+  /// attack returned (successful or not — a trace of a failed run is still
+  /// a trace).
+  void finish(const core::AttackTelemetry& telemetry, std::ostream& out) {
+    if (trace_) {
+      trace_->close();
+      out << "wrote trace events to " << trace_path_ << "\n";
+    }
+    if (metrics_path_.empty()) return;
+    auto f = open_output(metrics_path_);
+    f.precision(15);
+    f << "{\n  \"wall_seconds\": " << telemetry.wall_seconds
+      << ",\n  \"spans\": [";
+    for (std::size_t i = 0; i < telemetry.spans.size(); ++i) {
+      f << (i == 0 ? "\n" : ",\n") << "    {\"name\": ";
+      write_json_string(f, telemetry.spans[i].name);
+      f << ", \"count\": " << telemetry.spans[i].count
+        << ", \"total_seconds\": " << telemetry.spans[i].total_seconds << "}";
+    }
+    f << (telemetry.spans.empty() ? "]" : "\n  ]") << ",\n  \"counters\": {";
+    std::size_t i = 0;
+    for (const auto& [name, value] : telemetry.counters) {
+      f << (i++ == 0 ? "\n" : ",\n") << "    ";
+      write_json_string(f, name);
+      f << ": " << value;
+    }
+    f << (telemetry.counters.empty() ? "}" : "\n  }") << ",\n  \"gauges\": {";
+    i = 0;
+    for (const auto& [name, value] : telemetry.gauges) {
+      f << (i++ == 0 ? "\n" : ",\n") << "    ";
+      write_json_string(f, name);
+      f << ": " << value;
+    }
+    f << (telemetry.gauges.empty() ? "}" : "\n  }") << "\n}\n";
+    out << "wrote metrics to " << metrics_path_ << "\n";
+  }
+
+ private:
+  std::string trace_path_;
+  std::string metrics_path_;
+  std::optional<obs::JsonLinesSink> trace_;
+  obs::NullSink null_;
+  obs::TeeSink tee_;
+};
 
 // ----------------------------------------------------------------- commands
 
@@ -166,8 +255,10 @@ int cmd_attack_snmf(const CliFlags& flags, std::ostream& out) {
   view.cipher_indexes = io::read_encrypted_database(db_file);
   view.cipher_trapdoors = io::read_encrypted_database(trap_file);
 
-  const core::ExecContext ctx = make_exec_context(
+  CommandObs cobs(flags);
+  core::ExecContext ctx = make_exec_context(
       flags, static_cast<std::uint64_t>(flags.get_int("seed", 2017)));
+  ctx.sink = cobs.sink();
 
   core::SnmfAttackOptions aopt;
   aopt.rank = static_cast<std::size_t>(flags.get_int("rank", 0));
@@ -185,6 +276,7 @@ int cmd_attack_snmf(const CliFlags& flags, std::ostream& out) {
   aopt.nmf.max_iterations =
       static_cast<std::size_t>(flags.get_int("iters", 250));
   const auto res = core::run_snmf_attack(view, aopt, ctx);
+  cobs.finish(res.telemetry, out);
 
   auto f = open_output(required(flags, "out"));
   f << "# reconstructed indexes (" << res.indexes.size() << ")\n";
@@ -292,9 +384,13 @@ int cmd_attack_lep(const CliFlags& flags, std::ostream& out) {
                                 view.observed.cipher_indexes[i]});
   }
 
-  // LEP consumes no randomness; the context only carries the thread count.
-  const auto res = core::run_lep_attack(view, core::LepOptions{},
-                                        make_exec_context(flags, 0));
+  // LEP consumes no randomness; the context carries the thread count and
+  // the telemetry sink.
+  CommandObs cobs(flags);
+  core::ExecContext ctx = make_exec_context(flags, 0);
+  ctx.sink = cobs.sink();
+  const auto res = core::run_lep_attack(view, core::LepOptions{}, ctx);
+  cobs.finish(res.telemetry, out);
   auto rec_file = open_output(required(flags, "out-records"));
   io::write_vec_list(rec_file, res.records);
   auto query_file = open_output(required(flags, "out-queries"));
@@ -334,9 +430,14 @@ int cmd_attack_mip(const CliFlags& flags, std::ostream& out) {
       static_cast<std::size_t>(flags.get_int("trapdoor-id", 0));
   require(target < trapdoors.size(), "attack-mip: bad --trapdoor-id");
 
-  // MIP consumes no randomness; the context only carries the thread count.
-  const auto res = core::run_mip_attack(pairs, trapdoors[target], mu, sigma,
-                                        aopt, make_exec_context(flags, 0));
+  // MIP consumes no randomness; the context carries the thread count and
+  // the telemetry sink.
+  CommandObs cobs(flags);
+  core::ExecContext ctx = make_exec_context(flags, 0);
+  ctx.sink = cobs.sink();
+  const auto res =
+      core::run_mip_attack(pairs, trapdoors[target], mu, sigma, aopt, ctx);
+  cobs.finish(res.telemetry, out);
   if (!res.found) {
     out << "MIP attack: no feasible query found within limits\n";
     return 3;
@@ -344,8 +445,8 @@ int cmd_attack_mip(const CliFlags& flags, std::ostream& out) {
   auto f = open_output(required(flags, "out"));
   io::write_bitvec_list(f, {res.query});
   out << "MIP attack: reconstructed query with " << popcount(res.query)
-      << " keywords in " << res.seconds << "s (rhat=" << res.rhat
-      << ", that=" << res.that << ")\n";
+      << " keywords in " << res.telemetry.wall_seconds
+      << "s (rhat=" << res.rhat << ", that=" << res.that << ")\n";
   return 0;
 }
 
@@ -379,6 +480,12 @@ int cmd_help(std::ostream& out) {
          "Every attack-* command also accepts the global --threads=N flag:\n"
          "N parallel threads (0 or `all` = every hardware thread; default 1).\n"
          "Results are bit-identical for any thread count.\n"
+         "\n"
+         "Attack telemetry (see docs/observability.md):\n"
+         "  --trace-json=trace.json    span/counter event array for\n"
+         "                             chrome://tracing or ui.perfetto.dev\n"
+         "  --metrics-json=m.json      wall time, span aggregates, counters\n"
+         "Attaching either never changes attack output.\n"
          "\n"
          "Files use the io/ text formats; `score` and `attack-snmf` need no\n"
          "key — that is the point of the paper.\n";

@@ -73,7 +73,7 @@ MipBatchReport run_mip_attack_batch(const sse::MrseKpaView& view, double mu,
     ++report.attempted;
     if (entry.attack.found) {
       ++report.solved;
-      report.total_seconds += entry.attack.seconds;
+      report.total_seconds += entry.attack.telemetry.wall_seconds;
       if (!truth_queries.empty()) {
         entry.accuracy =
             binary_precision_recall(truth_queries[j], entry.attack.query);

@@ -2,16 +2,21 @@
 // points (run_lep_attack / run_mip_attack / run_snmf_attack).
 //
 // One struct carries everything that is about *how* an attack runs rather
-// than *what* it computes: the thread budget, the RNG seed, and the
-// determinism contract. All attacks guarantee bit-identical results across
-// thread counts for a fixed seed (timing fields excluded); see
-// README "Parallelism" for how that is achieved.
+// than *what* it computes: the thread budget, the RNG seed, the determinism
+// contract, and the telemetry sink. All attacks guarantee bit-identical
+// results across thread counts for a fixed seed — and with or without a
+// sink attached (telemetry fields excluded); see README "Parallelism" and
+// "Observability" for how that is achieved.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
 
 #include "par/thread_pool.hpp"
+
+namespace aspe::obs {
+class Sink;
+}  // namespace aspe::obs
 
 namespace aspe::core {
 
@@ -32,6 +37,13 @@ struct ExecContext {
   /// thread-count independent, but a different (order-independent) stream
   /// than the legacy one.
   bool deterministic = true;
+
+  /// Telemetry sink for this run (see src/obs/). Null — the default — means
+  /// no recording: the instrumented paths reduce to an inert branch and the
+  /// attack result's telemetry carries only the driver's own counters.
+  /// Telemetry is observational: attaching a sink never changes attack
+  /// output. The sink must outlive the attack call; the caller owns it.
+  obs::Sink* sink = nullptr;
 
   /// The width parallel sections should use (resolves the 0 default).
   [[nodiscard]] std::size_t resolved_threads() const {

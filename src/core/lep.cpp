@@ -1,8 +1,12 @@
 #include "core/lep.hpp"
 
+#include <optional>
+
 #include "common/error.hpp"
+#include "common/stopwatch.hpp"
 #include "linalg/lu.hpp"
 #include "linalg/solve.hpp"
+#include "obs/obs.hpp"
 #include "par/parallel.hpp"
 
 namespace aspe::core {
@@ -12,43 +16,45 @@ using linalg::LuDecomposition;
 using linalg::Matrix;
 using scheme::cipher_score;
 
-LepResult run_lep_attack(const sse::KpaView& view, const LepOptions& options) {
-  // Legacy entry point: serial execution, unchanged behavior.
-  ExecContext ctx;
-  ctx.threads = 1;
-  return run_lep_attack(view, options, ctx);
-}
-
 LepResult run_lep_attack(const sse::KpaView& view, const LepOptions& options,
                          const ExecContext& ctx) {
+  Stopwatch watch;
+  obs::ScopedRecording rec(ctx.sink);
+  std::optional<obs::Span> root;
+  if (rec.active()) root.emplace("lep/attack");
+
   const std::size_t threads = ctx.resolved_threads();
   require(!view.known_pairs.empty(), "LEP: no known plaintext-ciphertext pairs");
   const std::size_t n = view.known_pairs[0].plain_index.size();  // d + 1
 
   // Select n known pairs with linearly independent plain indexes.
-  IndependenceTracker pair_tracker(n, options.independence_tol);
   std::vector<std::size_t> chosen;
-  for (std::size_t i = 0; i < view.known_pairs.size() && !pair_tracker.complete();
-       ++i) {
-    require(view.known_pairs[i].plain_index.size() == n,
-            "LEP: inconsistent known-pair dimensions");
-    if (pair_tracker.try_add(view.known_pairs[i].plain_index)) {
-      chosen.push_back(i);
+  std::optional<LuDecomposition> a_lu;
+  {
+    obs::Span span("lep/select_known_basis");
+    IndependenceTracker pair_tracker(n, options.independence_tol);
+    for (std::size_t i = 0;
+         i < view.known_pairs.size() && !pair_tracker.complete(); ++i) {
+      require(view.known_pairs[i].plain_index.size() == n,
+              "LEP: inconsistent known-pair dimensions");
+      if (pair_tracker.try_add(view.known_pairs[i].plain_index)) {
+        chosen.push_back(i);
+      }
     }
-  }
-  if (!pair_tracker.complete()) {
-    throw NumericalError(
-        "LEP: fewer than d+1 linearly independent known records (the paper's "
-        "KPA assumption is not met)");
-  }
+    if (!pair_tracker.complete()) {
+      throw NumericalError(
+          "LEP: fewer than d+1 linearly independent known records (the "
+          "paper's KPA assumption is not met)");
+    }
 
-  // Step 1 system matrix A: rows are the chosen plain indexes I_i.
-  std::vector<Vec> a_rows;
-  a_rows.reserve(n);
-  for (auto i : chosen) a_rows.push_back(view.known_pairs[i].plain_index);
-  const LuDecomposition a_lu{Matrix::from_rows(a_rows)};
-  if (a_lu.is_singular()) {
-    throw NumericalError("LEP: known-pair system unexpectedly singular");
+    // Step 1 system matrix A: rows are the chosen plain indexes I_i.
+    std::vector<Vec> a_rows;
+    a_rows.reserve(n);
+    for (auto i : chosen) a_rows.push_back(view.known_pairs[i].plain_index);
+    a_lu.emplace(Matrix::from_rows(a_rows));
+    if (a_lu->is_singular()) {
+      throw NumericalError("LEP: known-pair system unexpectedly singular");
+    }
   }
 
   LepResult result;
@@ -58,24 +64,31 @@ LepResult run_lep_attack(const sse::KpaView& view, const LepOptions& options,
   // fan out; the basis scan below stays sequential so the selected basis (and
   // trapdoors_scanned_for_basis) matches the serial implementation exactly.
   result.trapdoors.assign(trapdoor_ciphers.size(), Vec{});
-  par::parallel_for(
-      0, trapdoor_ciphers.size(), 1,
-      [&](std::size_t j) {
-        Vec rhs(n);
-        for (std::size_t i = 0; i < n; ++i) {
-          rhs[i] = cipher_score(view.known_pairs[chosen[i]].cipher,
-                                trapdoor_ciphers[j]);
-        }
-        result.trapdoors[j] = a_lu.solve(rhs);
-      },
-      threads);
+  {
+    obs::Span span("lep/recover_trapdoors");
+    par::parallel_for(
+        0, trapdoor_ciphers.size(), 1,
+        [&](std::size_t j) {
+          Vec rhs(n);
+          for (std::size_t i = 0; i < n; ++i) {
+            rhs[i] = cipher_score(view.known_pairs[chosen[i]].cipher,
+                                  trapdoor_ciphers[j]);
+          }
+          result.trapdoors[j] = a_lu->solve(rhs);
+        },
+        threads);
+  }
 
+  std::size_t scanned_for_basis = 0;
   IndependenceTracker trapdoor_tracker(n, options.independence_tol);
   std::vector<std::size_t> basis_ids;
-  for (std::size_t j = 0;
-       j < result.trapdoors.size() && !trapdoor_tracker.complete(); ++j) {
-    result.trapdoors_scanned_for_basis = j + 1;
-    if (trapdoor_tracker.try_add(result.trapdoors[j])) basis_ids.push_back(j);
+  {
+    obs::Span span("lep/scan_trapdoor_basis");
+    for (std::size_t j = 0;
+         j < result.trapdoors.size() && !trapdoor_tracker.complete(); ++j) {
+      scanned_for_basis = j + 1;
+      if (trapdoor_tracker.try_add(result.trapdoors[j])) basis_ids.push_back(j);
+    }
   }
   if (!trapdoor_tracker.complete()) {
     throw NumericalError(
@@ -84,39 +97,63 @@ LepResult run_lep_attack(const sse::KpaView& view, const LepOptions& options,
   }
 
   // Recover Q_j, r_j from each T_j = r_j (Q_j, 1).
-  result.queries.reserve(result.trapdoors.size());
-  result.query_multipliers.reserve(result.trapdoors.size());
-  for (const auto& t : result.trapdoors) {
-    auto rq = scheme::query_from_trapdoor(t);
-    result.queries.push_back(std::move(rq.q));
-    result.query_multipliers.push_back(rq.r);
-  }
+  std::optional<LuDecomposition> b_lu_storage;
+  {
+    obs::Span span("lep/unpack_queries");
+    result.queries.reserve(result.trapdoors.size());
+    result.query_multipliers.reserve(result.trapdoors.size());
+    for (const auto& t : result.trapdoors) {
+      auto rq = scheme::query_from_trapdoor(t);
+      result.queries.push_back(std::move(rq.q));
+      result.query_multipliers.push_back(rq.r);
+    }
 
-  // Step 2 system matrix B: rows are the basis trapdoors T_j.
-  std::vector<Vec> b_rows;
-  b_rows.reserve(n);
-  for (auto j : basis_ids) b_rows.push_back(result.trapdoors[j]);
-  const LuDecomposition b_lu{Matrix::from_rows(b_rows)};
-  if (b_lu.is_singular()) {
-    throw NumericalError("LEP: trapdoor basis unexpectedly singular");
+    // Step 2 system matrix B: rows are the basis trapdoors T_j.
+    std::vector<Vec> b_rows;
+    b_rows.reserve(n);
+    for (auto j : basis_ids) b_rows.push_back(result.trapdoors[j]);
+    b_lu_storage.emplace(Matrix::from_rows(b_rows));
+    if (b_lu_storage->is_singular()) {
+      throw NumericalError("LEP: trapdoor basis unexpectedly singular");
+    }
   }
+  const LuDecomposition& b_lu = *b_lu_storage;
 
   const auto& index_ciphers = view.observed.cipher_indexes;
   result.indexes.assign(index_ciphers.size(), Vec{});
   result.records.assign(index_ciphers.size(), Vec{});
-  par::parallel_for(
-      0, index_ciphers.size(), 1,
-      [&](std::size_t idx) {
-        Vec rhs(n);
-        for (std::size_t k = 0; k < n; ++k) {
-          rhs[k] =
-              cipher_score(index_ciphers[idx], trapdoor_ciphers[basis_ids[k]]);
-        }
-        Vec index = b_lu.solve(rhs);
-        result.records[idx] = scheme::record_from_index(index);
-        result.indexes[idx] = std::move(index);
-      },
-      threads);
+  {
+    obs::Span span("lep/recover_indexes");
+    par::parallel_for(
+        0, index_ciphers.size(), 1,
+        [&](std::size_t idx) {
+          Vec rhs(n);
+          for (std::size_t k = 0; k < n; ++k) {
+            rhs[k] = cipher_score(index_ciphers[idx],
+                                  trapdoor_ciphers[basis_ids[k]]);
+          }
+          Vec index = b_lu.solve(rhs);
+          result.records[idx] = scheme::record_from_index(index);
+          result.indexes[idx] = std::move(index);
+        },
+        threads);
+  }
+
+  result.telemetry.counters["lep.dimension"] = static_cast<double>(n);
+  result.telemetry.counters["lep.trapdoor_solves"] =
+      static_cast<double>(trapdoor_ciphers.size());
+  result.telemetry.counters["lep.index_solves"] =
+      static_cast<double>(index_ciphers.size());
+  result.telemetry.counters["lep.trapdoors_scanned_for_basis"] =
+      static_cast<double>(scanned_for_basis);
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  result.trapdoors_scanned_for_basis = scanned_for_basis;
+#pragma GCC diagnostic pop
+
+  root.reset();
+  result.telemetry.wall_seconds = watch.seconds();
+  result.telemetry.absorb(rec.finish());
   return result;
 }
 

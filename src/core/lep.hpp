@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "core/exec_context.hpp"
+#include "core/telemetry.hpp"
 #include "scheme/plain_index.hpp"
 #include "sse/adversary_view.hpp"
 
@@ -43,12 +44,40 @@ struct LepResult {
   std::vector<Vec> indexes;
   std::vector<Vec> records;
 
-  /// How many trapdoors Step 1 processed before finding d+1 linearly
-  /// independent ones.
+  /// Wall time, span summary and counter snapshot for this run. Driver
+  /// counters: "lep.trapdoors_scanned_for_basis", "lep.trapdoor_solves",
+  /// "lep.index_solves", "lep.dimension".
+  AttackTelemetry telemetry;
+
+  /// Deprecated alias of
+  /// telemetry.counter("lep.trapdoors_scanned_for_basis"); still populated
+  /// for one release.
+  [[deprecated(
+      "read telemetry.counter(\"lep.trapdoors_scanned_for_basis\") instead")]]
   std::size_t trapdoors_scanned_for_basis = 0;
+
+  // Defaulted explicitly so copying the deprecated alias above does not
+  // warn at every implicit special-member instantiation.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  LepResult() = default;
+  LepResult(const LepResult&) = default;
+  LepResult(LepResult&&) = default;
+  LepResult& operator=(const LepResult&) = default;
+  LepResult& operator=(LepResult&&) = default;
+  ~LepResult() = default;
+#pragma GCC diagnostic pop
 };
 
-/// Run the LEP attack on a KPA view.
+/// Run the LEP attack on a KPA view. Signature convention (docs/api.md):
+/// inputs first, options next, ExecContext last, both defaulted — the
+/// default ExecContext runs serially, matching the historical two-argument
+/// form.
+///
+/// The per-trapdoor and per-index linear solves (the O((d+1)^3) bulk of
+/// Remark 1) fan out over ctx.threads; the basis scan stays sequential, so
+/// the result is bit-identical to the serial path. The attack consumes no
+/// randomness; ctx.seed is unused.
 ///
 /// Requirements (the paper's assumptions):
 ///  * view.known_pairs contains at least d+1 pairs whose plain indexes are
@@ -57,14 +86,7 @@ struct LepResult {
 ///  * view.observed.cipher_trapdoors contains at least d+1 trapdoors with
 ///    linearly independent plaintexts (throws NumericalError otherwise).
 [[nodiscard]] LepResult run_lep_attack(const sse::KpaView& view,
-                                       const LepOptions& options = {});
-
-/// ExecContext overload: the per-trapdoor and per-index linear solves (the
-/// O((d+1)^3) bulk of Remark 1) fan out over ctx.threads. The basis scan
-/// stays sequential, so the result is bit-identical to the serial path.
-/// The attack consumes no randomness; ctx.seed is unused.
-[[nodiscard]] LepResult run_lep_attack(const sse::KpaView& view,
-                                       const LepOptions& options,
-                                       const ExecContext& ctx);
+                                       const LepOptions& options = {},
+                                       const ExecContext& ctx = {});
 
 }  // namespace aspe::core

@@ -7,6 +7,7 @@
 
 #include "common/error.hpp"
 #include "common/stopwatch.hpp"
+#include "obs/obs.hpp"
 #include "opt/simplex.hpp"
 #include "par/parallel.hpp"
 
@@ -128,7 +129,7 @@ std::optional<MipAttackResult> primal_heuristic(
     const std::vector<sse::KnownBinaryPair>& known_pairs, const Vec& c,
     double mu, double sigma, const MipAttackOptions& options,
     const Model& model, std::optional<opt::SimplexSolver>& solver,
-    std::size_t threads) {
+    std::size_t threads, std::size_t& fit_probes) {
   const std::size_t d = known_pairs[0].record.size();
   const std::size_t m = known_pairs.size();
   const double lsigma = options.l * sigma;
@@ -147,6 +148,7 @@ std::optional<MipAttackResult> primal_heuristic(
 
   Vec relaxed_q(d, 0.0);
   if (use_lp) {
+    obs::Span span("mip/root_relaxation");
     // The solver outlives the heuristic: when rounding/repair fails, branch
     // and bound reuses both the built tableau and the root-LP basis.
     if (!solver.has_value()) solver.emplace(model, options.solver.lp);
@@ -156,6 +158,7 @@ std::optional<MipAttackResult> primal_heuristic(
       for (std::size_t k = 0; k < d; ++k) relaxed_q[k] = root.x[2 + k];
     }
   } else {
+    obs::Span span("mip/correlation_ordering");
     // Correlation ordering: corr(P_.k , c) per keyword, shifted into [0, 1]
     // so the grow phase's LP-support preference still works.
     double cbar = 0.0;
@@ -202,6 +205,7 @@ std::optional<MipAttackResult> primal_heuristic(
     Vec a = inner_products(q);
     std::vector<RtFit> fits(d);
     for (std::size_t round = 0; round < d; ++round) {
+      fit_probes += d;
       // Evaluate every candidate addition in parallel (each probe refits the
       // two continuous variables against a + column_k — exact integers, so
       // identical to the serial recomputation)...
@@ -316,7 +320,8 @@ std::optional<MipAttackResult> primal_heuristic(
   auto package = [&](BitVec q, RtFit fit) {
     MipAttackResult res;
     res.found = true;
-    res.status = opt::MipStatus::Feasible;
+    // The point came from the primal heuristic; branch and bound never ran.
+    res.status = opt::MipStatus::Heuristic;
     res.query = std::move(q);
     res.rhat = fit.rhat;
     res.that = fit.that;
@@ -342,17 +347,21 @@ std::optional<MipAttackResult> primal_heuristic(
   // of d alone; 16-ish chunks keep the rebuild cost a small fraction of the
   // fit_rt work.
   std::vector<RtFit> prefix_fits(d);
-  par::default_pool().run_chunked(
-      0, d, std::max<std::size_t>(1, (d + 15) / 16),
-      [&](std::size_t lo, std::size_t hi) {
-        Vec a(m, 0.0);
-        for (std::size_t s = 0; s < lo; ++s) add_column(a, order[s], 1.0);
-        for (std::size_t s = lo; s < hi; ++s) {
-          add_column(a, order[s], 1.0);
-          prefix_fits[s] = fit_rt(c, a, mu, lsigma, options);
-        }
-      },
-      threads);
+  fit_probes += d;
+  {
+    obs::Span span("mip/prefix_scan");
+    par::default_pool().run_chunked(
+        0, d, std::max<std::size_t>(1, (d + 15) / 16),
+        [&](std::size_t lo, std::size_t hi) {
+          Vec a(m, 0.0);
+          for (std::size_t s = 0; s < lo; ++s) add_column(a, order[s], 1.0);
+          for (std::size_t s = lo; s < hi; ++s) {
+            add_column(a, order[s], 1.0);
+            prefix_fits[s] = fit_rt(c, a, mu, lsigma, options);
+          }
+        },
+        threads);
+  }
 
   BitVec first_feasible;
   RtFit first_feasible_fit;
@@ -379,6 +388,7 @@ std::optional<MipAttackResult> primal_heuristic(
   // fits well), so descend from a ladder of support sizes and keep the
   // global minimum.
   {
+    obs::Span span("mip/ml_descent");
     BitVec best_ml;
     double best_sse = opt::kInfinity;
     std::size_t s = 1;
@@ -394,12 +404,14 @@ std::optional<MipAttackResult> primal_heuristic(
       s = std::max(s + 1, s + s / 3);  // geometric-ish ladder
     }
     if (!best_ml.empty()) {
+      fit_probes += 1;
       const RtFit fit = fit_rt(c, inner_products(best_ml), mu, lsigma, options);
       if (fit.feasible) return package(std::move(best_ml), fit);
     }
   }
 
   if (have_feasible) {
+    obs::Span span("mip/grow");
     auto [q, fit] = grow(std::move(first_feasible), first_feasible_fit);
     return package(std::move(q), fit);
   }
@@ -407,11 +419,13 @@ std::optional<MipAttackResult> primal_heuristic(
   // Greedy repair from the best rounding: flip the single bit that most
   // reduces the violation; stop at feasibility or a local minimum. Candidate
   // flips are probed in parallel, selected in ascending keyword order.
+  obs::Span repair_span("mip/repair");
   BitVec q = std::move(best_q);
   Vec a = inner_products(q);
   std::vector<RtFit> flip_fits(d);
   for (std::size_t flip = 0; flip < max_flips; ++flip) {
     const std::size_t ones = popcount(q);
+    fit_probes += d;
     par::parallel_for(
         0, d, grain_for(200 * m),
         [&](std::size_t k) {
@@ -448,20 +462,20 @@ std::optional<MipAttackResult> primal_heuristic(
 MipAttackResult run_mip_attack(
     const std::vector<sse::KnownBinaryPair>& known_pairs,
     const scheme::CipherPair& cipher_trapdoor, double mu, double sigma,
-    const MipAttackOptions& options) {
-  // Legacy entry point: serial execution, unchanged behavior.
-  ExecContext ctx;
-  ctx.threads = 1;
-  return run_mip_attack(known_pairs, cipher_trapdoor, mu, sigma, options, ctx);
-}
-
-MipAttackResult run_mip_attack(
-    const std::vector<sse::KnownBinaryPair>& known_pairs,
-    const scheme::CipherPair& cipher_trapdoor, double mu, double sigma,
     const MipAttackOptions& options, const ExecContext& ctx) {
-  Model model = build_mip_attack_model(known_pairs, cipher_trapdoor, mu, sigma,
-                                       options);
   Stopwatch watch;
+  obs::ScopedRecording rec(ctx.sink);
+  // Root span only when this overload owns the recording, so the trace has
+  // exactly one "mip/attack" root regardless of the entry point.
+  std::optional<obs::Span> root;
+  if (rec.active()) root.emplace("mip/attack");
+
+  Model model;
+  {
+    obs::Span span("mip/build_model");
+    model = build_mip_attack_model(known_pairs, cipher_trapdoor, mu, sigma,
+                                   options);
+  }
 
   // One solver for the whole attack: the heuristic's root LP builds the
   // tableau and leaves an optimal basis, which then warm-starts the root of
@@ -469,46 +483,66 @@ MipAttackResult run_mip_attack(
   // heuristic path usually returns without ever touching the simplex.
   std::optional<opt::SimplexSolver> solver;
 
+  MipAttackResult result;
+  std::size_t fit_probes = 0;
+  bool answered = false;
   if (options.use_heuristic) {
+    obs::Span span("mip/heuristic");
     Vec c(known_pairs.size());
     for (std::size_t i = 0; i < known_pairs.size(); ++i) {
       c[i] = cipher_score(known_pairs[i].cipher, cipher_trapdoor);
     }
-    auto heuristic = primal_heuristic(known_pairs, c, mu, sigma, options,
-                                      model, solver, ctx.resolved_threads());
+    auto heuristic =
+        primal_heuristic(known_pairs, c, mu, sigma, options, model, solver,
+                         ctx.resolved_threads(), fit_probes);
     if (heuristic.has_value()) {
-      heuristic->seconds = watch.seconds();
-      return *heuristic;
+      result = *std::move(heuristic);
+      answered = true;
+      obs::instant("mip/heuristic_feasible");
     }
   }
 
-  if (!solver.has_value()) solver.emplace(model, options.solver.lp);
-  const opt::MipResult mip = opt::solve_mip(model, *solver, options.solver);
-
-  MipAttackResult result;
-  result.status = mip.status;
-  result.seconds = watch.seconds();
-  result.nodes = mip.nodes_explored;
-  result.simplex_iterations = mip.simplex_iterations;
-  if (!mip.has_solution()) return result;
-
-  result.found = true;
-  result.rhat = mip.x[0];
-  result.that = mip.x[1];
-  const std::size_t d = known_pairs[0].record.size();
-  result.query.resize(d);
-  for (std::size_t k = 0; k < d; ++k) {
-    result.query[k] = mip.x[2 + k] > 0.5 ? 1 : 0;
+  std::size_t bnb_nodes = 0;
+  std::size_t bnb_pivots = 0;
+  if (!answered) {
+    obs::Span span("mip/branch_and_bound");
+    if (!solver.has_value()) solver.emplace(model, options.solver.lp);
+    const opt::MipResult mip = opt::solve_mip(model, *solver, options.solver);
+    result.status = mip.status;
+    bnb_nodes = mip.nodes_explored;
+    bnb_pivots = mip.simplex_iterations;
+    if (mip.has_solution()) {
+      result.found = true;
+      result.rhat = mip.x[0];
+      result.that = mip.x[1];
+      const std::size_t d = known_pairs[0].record.size();
+      result.query.resize(d);
+      for (std::size_t k = 0; k < d; ++k) {
+        result.query[k] = mip.x[2 + k] > 0.5 ? 1 : 0;
+      }
+    }
   }
-  return result;
-}
 
-MipAttackResult run_mip_attack(const sse::MrseKpaView& view,
-                               std::size_t trapdoor_id, double mu, double sigma,
-                               const MipAttackOptions& options) {
-  ExecContext ctx;
-  ctx.threads = 1;
-  return run_mip_attack(view, trapdoor_id, mu, sigma, options, ctx);
+  result.telemetry.counters["mip.model_rows"] =
+      static_cast<double>(model.num_constraints());
+  result.telemetry.counters["mip.model_cols"] =
+      static_cast<double>(model.num_variables());
+  result.telemetry.counters["mip.heuristic.fit_probes"] =
+      static_cast<double>(fit_probes);
+  result.telemetry.counters["mip.bnb.nodes"] = static_cast<double>(bnb_nodes);
+  result.telemetry.counters["mip.bnb.simplex_iterations"] =
+      static_cast<double>(bnb_pivots);
+
+  root.reset();
+  result.telemetry.wall_seconds = watch.seconds();
+  result.telemetry.absorb(rec.finish());
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  result.seconds = result.telemetry.wall_seconds;
+  result.nodes = bnb_nodes;
+  result.simplex_iterations = bnb_pivots;
+#pragma GCC diagnostic pop
+  return result;
 }
 
 MipAttackResult run_mip_attack(const sse::MrseKpaView& view,

@@ -19,6 +19,7 @@
 #include <optional>
 
 #include "core/exec_context.hpp"
+#include "core/telemetry.hpp"
 #include "opt/mip.hpp"
 #include "sse/adversary_view.hpp"
 
@@ -69,43 +70,62 @@ struct MipAttackResult {
   BitVec query;        // reconstructed Q_j
   double rhat = 0.0;   // 1 / r_j
   double that = 0.0;   // t_j / r_j
-  opt::MipStatus status = opt::MipStatus::NodeLimit;
+  /// How the feasible point (or failure) was produced: Heuristic when the
+  /// primal heuristic answered and branch and bound never ran; NotRun only
+  /// in a default-constructed result.
+  opt::MipStatus status = opt::MipStatus::NotRun;
+  /// Wall time, span summary and counter snapshot for this run. Driver
+  /// counters: "mip.bnb.nodes", "mip.bnb.simplex_iterations",
+  /// "mip.heuristic.fit_probes", "mip.model_rows".
+  AttackTelemetry telemetry;
+  /// Deprecated aliases of telemetry.wall_seconds,
+  /// telemetry.counter("mip.bnb.nodes") and
+  /// telemetry.counter("mip.bnb.simplex_iterations"); still populated for
+  /// one release.
+  [[deprecated("read telemetry.wall_seconds instead")]]
   double seconds = 0.0;
+  [[deprecated("read telemetry.counter(\"mip.bnb.nodes\") instead")]]
   std::size_t nodes = 0;
-  /// Simplex pivots spent in branch and bound (0 on the heuristic path).
+  [[deprecated(
+      "read telemetry.counter(\"mip.bnb.simplex_iterations\") instead")]]
   std::size_t simplex_iterations = 0;
+
+  // Defaulted explicitly so copying the deprecated aliases above does not
+  // warn at every implicit special-member instantiation.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  MipAttackResult() = default;
+  MipAttackResult(const MipAttackResult&) = default;
+  MipAttackResult(MipAttackResult&&) = default;
+  MipAttackResult& operator=(const MipAttackResult&) = default;
+  MipAttackResult& operator=(MipAttackResult&&) = default;
+  ~MipAttackResult() = default;
+#pragma GCC diagnostic pop
 };
 
 /// Attack one ciphertext trapdoor using the KPA view's known pairs.
 /// `mu` and `sigma` are MRSE's public noise parameters.
+///
+/// Signature convention (docs/api.md): inputs first, options next,
+/// ExecContext last, both defaulted — the default ExecContext runs serially,
+/// matching the historical options-only form.
+///
+/// The primal heuristic's candidate evaluations (the per-keyword fit_rt /
+/// SSE probes that dominate Algorithm 2's runtime) fan out over ctx.threads,
+/// with selection done serially in keyword order — the recovered query is
+/// bit-identical to the serial path. The attack consumes no randomness;
+/// ctx.seed is unused. Only telemetry (wall clock) varies across thread
+/// counts.
 [[nodiscard]] MipAttackResult run_mip_attack(
     const std::vector<sse::KnownBinaryPair>& known_pairs,
     const scheme::CipherPair& cipher_trapdoor, double mu, double sigma,
-    const MipAttackOptions& options = {});
-
-/// ExecContext overload: the primal heuristic's candidate evaluations (the
-/// per-keyword fit_rt / SSE probes that dominate Algorithm 2's runtime) fan
-/// out over ctx.threads, with selection done serially in keyword order —
-/// the recovered query is bit-identical to the serial path. The attack
-/// consumes no randomness; ctx.seed is unused. Only `seconds` (wall clock)
-/// varies across thread counts.
-[[nodiscard]] MipAttackResult run_mip_attack(
-    const std::vector<sse::KnownBinaryPair>& known_pairs,
-    const scheme::CipherPair& cipher_trapdoor, double mu, double sigma,
-    const MipAttackOptions& options, const ExecContext& ctx);
+    const MipAttackOptions& options = {}, const ExecContext& ctx = {});
 
 /// Convenience: attack the j-th observed trapdoor of an MRSE KPA view.
-[[nodiscard]] MipAttackResult run_mip_attack(const sse::MrseKpaView& view,
-                                             std::size_t trapdoor_id,
-                                             double mu, double sigma,
-                                             const MipAttackOptions& options = {});
-
-/// ExecContext overload of the per-view convenience entry point.
-[[nodiscard]] MipAttackResult run_mip_attack(const sse::MrseKpaView& view,
-                                             std::size_t trapdoor_id,
-                                             double mu, double sigma,
-                                             const MipAttackOptions& options,
-                                             const ExecContext& ctx);
+[[nodiscard]] MipAttackResult run_mip_attack(
+    const sse::MrseKpaView& view, std::size_t trapdoor_id, double mu,
+    double sigma, const MipAttackOptions& options = {},
+    const ExecContext& ctx = {});
 
 /// Build the Eq. (14) feasibility model (exposed for tests and ablations).
 [[nodiscard]] opt::Model build_mip_attack_model(

@@ -4,9 +4,14 @@
 #include <cmath>
 #include <utility>
 
+#include <optional>
+#include <string>
+
 #include "common/error.hpp"
+#include "common/stopwatch.hpp"
 #include "linalg/kernels.hpp"
 #include "linalg/svd.hpp"
+#include "obs/obs.hpp"
 #include "par/parallel.hpp"
 
 namespace aspe::core {
@@ -99,29 +104,55 @@ SnmfAttackResult run_restarts(const Matrix& scores,
                               std::size_t threads) {
   const std::size_t restarts = inits.size();
   std::vector<nmf::NmfResult> runs(restarts);
-  par::parallel_for(
-      0, restarts, 1,
-      [&](std::size_t l) {
-        // Inner NMF parallel sections serialize automatically when the
-        // restart itself runs inside a pool chunk (nested fallback).
-        runs[l] = nmf::sparse_nmf_from_init(scores, options.rank, options.nmf,
-                                            std::move(inits[l]), threads);
-      },
-      threads);
+  {
+    obs::Span restarts_span("snmf/restarts");
+    par::parallel_for(
+        0, restarts, 1,
+        [&](std::size_t l) {
+          // Inner NMF parallel sections serialize automatically when the
+          // restart itself runs inside a pool chunk (nested fallback).
+          obs::Span restart_span("snmf/restart");
+          runs[l] = nmf::sparse_nmf_from_init(scores, options.rank,
+                                              options.nmf, std::move(inits[l]),
+                                              threads);
+        },
+        threads);
+  }
 
   std::size_t best = 0;
   for (std::size_t l = 1; l < restarts; ++l) {
     if (runs[l].objective < runs[best].objective) best = l;
   }
+  std::size_t nmf_iterations = 0;
+  for (std::size_t l = 0; l < restarts; ++l) {
+    nmf_iterations += runs[l].iterations;
+  }
+  if (obs::enabled()) {
+    // Per-restart fit errors, the quantity the best-of-L selection ranks.
+    for (std::size_t l = 0; l < restarts; ++l) {
+      const std::string name = "snmf.restart_fit_error." + std::to_string(l);
+      obs::gauge_set(name.c_str(), runs[l].fit_error);
+    }
+  }
   nmf::NmfResult selected = std::move(runs[best]);
 
+  obs::Span binarize_span("snmf/binarize");
   if (options.balance) nmf::balance_rows(selected.w, selected.h);
   const Matrix wb = nmf::to_binary(selected.w, options.theta);
   const Matrix hb = nmf::to_binary(selected.h, options.theta);
 
   SnmfAttackResult result;
   result.best_fit_error = selected.fit_error;
+  result.telemetry.counters["snmf.restarts_run"] =
+      static_cast<double>(restarts);
+  result.telemetry.counters["snmf.nmf_iterations"] =
+      static_cast<double>(nmf_iterations);
+  result.telemetry.counters["snmf.selected_restart"] =
+      static_cast<double>(best);
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
   result.restarts_run = restarts;
+#pragma GCC diagnostic pop
   result.indexes.reserve(wb.cols());
   for (std::size_t i = 0; i < wb.cols(); ++i) {
     BitVec v(options.rank);
@@ -166,50 +197,81 @@ void validate(const SnmfAttackOptions& options) {
 SnmfAttackResult run_snmf_attack(const sse::CoaView& view,
                                  const SnmfAttackOptions& options,
                                  const ExecContext& ctx) {
-  return run_snmf_attack(
-      build_score_matrix(view.cipher_indexes, view.cipher_trapdoors,
-                         ctx.threads),
-      options, ctx);
+  Stopwatch watch;
+  obs::ScopedRecording rec(ctx.sink);
+  // Root span only when this overload owns the recording, so the trace has
+  // exactly one "snmf/attack" root regardless of the entry point.
+  std::optional<obs::Span> root;
+  if (rec.active()) root.emplace("snmf/attack");
+
+  Matrix scores;
+  {
+    obs::Span span("snmf/score_matrix");
+    scores = build_score_matrix(view.cipher_indexes, view.cipher_trapdoors,
+                                ctx.threads);
+  }
+  SnmfAttackResult result = run_snmf_attack(scores, options, ctx);
+
+  root.reset();
+  result.telemetry.wall_seconds = watch.seconds();
+  result.telemetry.absorb(rec.finish());
+  return result;
 }
 
 SnmfAttackResult run_snmf_attack(const Matrix& scores,
                                  const SnmfAttackOptions& options,
                                  const ExecContext& ctx) {
+  Stopwatch watch;
+  obs::ScopedRecording rec(ctx.sink);
+  std::optional<obs::Span> root;
+  if (rec.active()) root.emplace("snmf/attack");
+
   validate(options);
-  rng::Rng root(ctx.seed);
   std::vector<nmf::NmfInit> inits;
-  if (ctx.deterministic) {
-    inits = sequential_inits(scores, options, root);
-  } else {
-    // Order-independent split streams: restart l is seeded by (seed, l)
-    // alone. Still reproducible across thread counts, but a different
-    // stream than the legacy sequential draw.
-    inits.reserve(options.restarts);
-    for (std::size_t l = 0; l < options.restarts; ++l) {
-      rng::Rng stream = root.split(l);
-      inits.push_back(
-          nmf::nmf_initialize(scores, options.rank, options.nmf, stream));
+  {
+    obs::Span span("snmf/draw_inits");
+    rng::Rng root_rng(ctx.seed);
+    if (ctx.deterministic) {
+      inits = sequential_inits(scores, options, root_rng);
+    } else {
+      // Order-independent split streams: restart l is seeded by (seed, l)
+      // alone. Still reproducible across thread counts, but a different
+      // stream than the legacy sequential draw.
+      inits.reserve(options.restarts);
+      for (std::size_t l = 0; l < options.restarts; ++l) {
+        rng::Rng stream = root_rng.split(l);
+        inits.push_back(
+            nmf::nmf_initialize(scores, options.rank, options.nmf, stream));
+      }
     }
   }
-  return run_restarts(scores, options, std::move(inits), ctx.resolved_threads());
-}
+  SnmfAttackResult result =
+      run_snmf_attack(scores, std::move(inits), options, ctx);
 
-SnmfAttackResult run_snmf_attack(const sse::CoaView& view,
-                                 const SnmfAttackOptions& options,
-                                 rng::Rng& rng) {
-  return run_snmf_attack(
-      build_score_matrix(view.cipher_indexes, view.cipher_trapdoors), options,
-      rng);
+  root.reset();
+  result.telemetry.wall_seconds = watch.seconds();
+  result.telemetry.absorb(rec.finish());
+  return result;
 }
 
 SnmfAttackResult run_snmf_attack(const Matrix& scores,
+                                 std::vector<nmf::NmfInit> inits,
                                  const SnmfAttackOptions& options,
-                                 rng::Rng& rng) {
-  validate(options);
-  // Thin forwarding wrapper: draw from the caller's stream, run serially —
-  // RNG consumption and output match the pre-ExecContext implementation.
-  return run_restarts(scores, options, sequential_inits(scores, options, rng),
-                      /*threads=*/1);
+                                 const ExecContext& ctx) {
+  Stopwatch watch;
+  obs::ScopedRecording rec(ctx.sink);
+  std::optional<obs::Span> root;
+  if (rec.active()) root.emplace("snmf/attack");
+
+  require(options.rank > 0, "SNMF attack: rank (d) must be set");
+  require(!inits.empty(), "SNMF attack: need at least one restart");
+  SnmfAttackResult result =
+      run_restarts(scores, options, std::move(inits), ctx.resolved_threads());
+
+  root.reset();
+  result.telemetry.wall_seconds = watch.seconds();
+  result.telemetry.absorb(rec.finish());
+  return result;
 }
 
 }  // namespace aspe::core

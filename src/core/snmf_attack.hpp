@@ -7,11 +7,18 @@
 // keeps the best of L restarts, and binarizes at threshold theta = 0.5.
 // The columns of the factors are the reconstructed indexes I*_i and
 // trapdoors T*_j.
+//
+// Signature convention (docs/api.md): inputs first, options next, the
+// ExecContext (threads / seed / determinism / telemetry sink) last, both
+// defaulted.
 #pragma once
 
+#include <utility>
 #include <vector>
 
+#include "common/error.hpp"
 #include "core/exec_context.hpp"
+#include "core/telemetry.hpp"
 #include "linalg/matrix.hpp"
 #include "nmf/nmf.hpp"
 #include "rng/rng.hpp"
@@ -33,7 +40,26 @@ struct SnmfAttackResult {
   std::vector<BitVec> indexes;    // I*_i, one per ciphertext index
   std::vector<BitVec> trapdoors;  // T*_j, one per ciphertext trapdoor
   double best_fit_error = 0.0;    // ||R - W^T H||_F of the selected run
+  /// Wall time, span summary and counter snapshot for this run. Driver
+  /// counters: "snmf.restarts_run", "snmf.nmf_iterations",
+  /// "snmf.selected_restart".
+  AttackTelemetry telemetry;
+  /// Deprecated alias of telemetry.counter("snmf.restarts_run"); still
+  /// populated for one release.
+  [[deprecated("read telemetry.counter(\"snmf.restarts_run\") instead")]]
   std::size_t restarts_run = 0;
+
+  // Defaulted explicitly so copying the deprecated alias above does not
+  // warn at every implicit special-member instantiation.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  SnmfAttackResult() = default;
+  SnmfAttackResult(const SnmfAttackResult&) = default;
+  SnmfAttackResult(SnmfAttackResult&&) = default;
+  SnmfAttackResult& operator=(const SnmfAttackResult&) = default;
+  SnmfAttackResult& operator=(SnmfAttackResult&&) = default;
+  ~SnmfAttackResult() = default;
+#pragma GCC diagnostic pop
 };
 
 /// R[i][j] = I'_i^T T'_j — all the COA adversary needs. The all-pairs sweep
@@ -56,29 +82,70 @@ struct SnmfAttackResult {
 [[nodiscard]] std::size_t estimate_latent_dimension(linalg::Matrix&& scores,
                                                     double rel_tol = 1e-8);
 
-/// Run Algorithm 3 on a ciphertext-only view with an explicit execution
-/// policy. For a fixed ctx.seed the result is bit-identical for every
-/// ctx.threads, and (with ctx.deterministic, the default) also to the
-/// legacy rng::Rng& overload seeded with rng::Rng(ctx.seed).
+/// Run Algorithm 3 on a ciphertext-only view. For a fixed ctx.seed the
+/// result is bit-identical for every ctx.threads and with or without a
+/// telemetry sink; with ctx.deterministic (the default) it also matches the
+/// deprecated rng::Rng& overload seeded with rng::Rng(ctx.seed).
 [[nodiscard]] SnmfAttackResult run_snmf_attack(const sse::CoaView& view,
                                                const SnmfAttackOptions& options,
-                                               const ExecContext& ctx);
+                                               const ExecContext& ctx = {});
 
-/// Run Algorithm 3 on a precomputed score matrix with an execution policy.
+/// Run Algorithm 3 on a precomputed score matrix.
 [[nodiscard]] SnmfAttackResult run_snmf_attack(const linalg::Matrix& scores,
                                                const SnmfAttackOptions& options,
-                                               const ExecContext& ctx);
+                                               const ExecContext& ctx = {});
+
+/// Expert entry point: best-of-L restarts from caller-supplied
+/// initializations (options.restarts is ignored; inits.size() rules).
+/// ctx contributes threads and the sink only — no randomness is drawn.
+[[nodiscard]] SnmfAttackResult run_snmf_attack(const linalg::Matrix& scores,
+                                               std::vector<nmf::NmfInit> inits,
+                                               const SnmfAttackOptions& options,
+                                               const ExecContext& ctx = {});
+
+namespace detail {
+
+/// Shared body of the deprecated rng::Rng& entry points: validate in the
+/// legacy order, draw the L initializations serially from the caller's
+/// stream, and run the restarts single-threaded — RNG consumption and output
+/// are unchanged from the pre-ExecContext implementation.
+inline SnmfAttackResult snmf_attack_legacy(const linalg::Matrix& scores,
+                                           const SnmfAttackOptions& options,
+                                           rng::Rng& rng) {
+  require(options.rank > 0, "SNMF attack: rank (d) must be set");
+  require(options.restarts > 0, "SNMF attack: need at least one restart");
+  std::vector<nmf::NmfInit> inits;
+  inits.reserve(options.restarts);
+  for (std::size_t l = 0; l < options.restarts; ++l) {
+    inits.push_back(nmf::nmf_initialize(scores, options.rank, options.nmf, rng));
+  }
+  ExecContext ctx;
+  ctx.threads = 1;
+  return run_snmf_attack(scores, std::move(inits), options, ctx);
+}
+
+}  // namespace detail
 
 /// Legacy entry point: serial restarts drawing from the caller's stream.
-/// Thin wrapper over the ExecContext path; behavior (and RNG consumption)
-/// is unchanged from the pre-ExecContext versions.
-[[nodiscard]] SnmfAttackResult run_snmf_attack(const sse::CoaView& view,
-                                               const SnmfAttackOptions& options,
-                                               rng::Rng& rng);
+[[deprecated(
+    "use run_snmf_attack(view, options, ExecContext{...}) — ExecContext{1, "
+    "seed} reproduces this overload bit-for-bit")]]
+inline SnmfAttackResult run_snmf_attack(const sse::CoaView& view,
+                                        const SnmfAttackOptions& options,
+                                        rng::Rng& rng) {
+  return detail::snmf_attack_legacy(
+      build_score_matrix(view.cipher_indexes, view.cipher_trapdoors), options,
+      rng);
+}
 
 /// Legacy entry point on a precomputed score matrix (tests/ablations).
-[[nodiscard]] SnmfAttackResult run_snmf_attack(const linalg::Matrix& scores,
-                                               const SnmfAttackOptions& options,
-                                               rng::Rng& rng);
+[[deprecated(
+    "use run_snmf_attack(scores, options, ExecContext{...}) — ExecContext{1, "
+    "seed} reproduces this overload bit-for-bit")]]
+inline SnmfAttackResult run_snmf_attack(const linalg::Matrix& scores,
+                                        const SnmfAttackOptions& options,
+                                        rng::Rng& rng) {
+  return detail::snmf_attack_legacy(scores, options, rng);
+}
 
 }  // namespace aspe::core

@@ -1,0 +1,53 @@
+// core::AttackTelemetry — the shared cost-accounting block embedded in every
+// attack result (LepResult, MipAttackResult, SnmfAttackResult), replacing
+// the per-attack one-off fields of earlier releases.
+//
+// Counters are always populated by the attack drivers (they are cheap
+// scalars). The span summary is filled only when the run was recorded, i.e.
+// when ExecContext::sink was set; with no sink the vector stays empty and
+// the instrumented paths cost nothing.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/obs.hpp"
+
+namespace aspe::core {
+
+struct AttackTelemetry {
+  /// End-to-end wall time of the attack entry point, in seconds. Always set.
+  double wall_seconds = 0.0;
+
+  /// Per-span-name (count, total seconds) rows, descending by total time.
+  /// Empty unless a sink was attached to the ExecContext.
+  std::vector<obs::SpanStat> spans;
+
+  /// Named work counters ("lep.trapdoor_solves", "mip.bnb.nodes", ...).
+  /// The driver's own counters are always present; with a sink attached the
+  /// snapshot additionally includes everything the lower layers recorded
+  /// (simplex pivots, NMF iterations, GEMM flops, pool steals, ...).
+  std::map<std::string, double> counters;
+
+  /// Gauge snapshot (last write wins). Populated only when recorded.
+  std::map<std::string, double> gauges;
+
+  [[nodiscard]] double counter(const std::string& name,
+                               double fallback = 0.0) const {
+    auto it = counters.find(name);
+    return it == counters.end() ? fallback : it->second;
+  }
+
+  /// Fold a finished recording into this telemetry block: span aggregates
+  /// replace, counters/gauges merge (recorded values win on name clashes).
+  void absorb(const obs::Summary& summary) {
+    if (summary.empty()) return;
+    spans = obs::aggregate_spans(summary.spans);
+    for (const auto& [name, value] : summary.counters)
+      counters[name] = value;
+    for (const auto& [name, value] : summary.gauges) gauges[name] = value;
+  }
+};
+
+}  // namespace aspe::core

@@ -4,6 +4,7 @@
 #include <cstring>
 #include <vector>
 
+#include "obs/obs.hpp"
 #include "par/parallel.hpp"
 
 namespace aspe::linalg {
@@ -131,6 +132,7 @@ void pack_b(ConstMatrixView b, Op opb, std::size_t k0, std::size_t kb,
 #define ASPE_KERNEL_CLONES                                                    \
   __attribute__((noinline,                                                    \
                  target_clones("default", "arch=x86-64-v3", "arch=x86-64-v4")))
+#define ASPE_KERNEL_CLONES_ACTIVE 1
 #else
 #define ASPE_KERNEL_CLONES
 #endif
@@ -294,6 +296,30 @@ void gemv(double alpha, ConstMatrixView a, Op opa, ConstVecView x, double beta,
   }
 }
 
+int gemm_dispatch_arch_level() {
+#ifdef ASPE_KERNEL_CLONES_ACTIVE
+  // Mirror the loader's clone choice: the v4 clone needs the AVX-512
+  // x86-64-v4 feature set, the v3 clone AVX2+FMA. Feature probes are listed
+  // individually so this compiles on GCC versions without the
+  // "x86-64-v4" __builtin_cpu_supports alias.
+  static const int level = [] {
+    if (__builtin_cpu_supports("avx512f") &&
+        __builtin_cpu_supports("avx512vl") &&
+        __builtin_cpu_supports("avx512dq") &&
+        __builtin_cpu_supports("avx512bw")) {
+      return 2;
+    }
+    if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma")) {
+      return 1;
+    }
+    return 0;
+  }();
+  return level;
+#else
+  return 0;
+#endif
+}
+
 void gemm(double alpha, ConstMatrixView a, Op opa, ConstMatrixView b, Op opb,
           double beta, MatrixView c, std::size_t threads) {
   const std::size_t m = op_rows(a, opa);
@@ -306,6 +332,13 @@ void gemm(double alpha, ConstMatrixView a, Op opa, ConstMatrixView b, Op opb,
   if (m == 0 || n == 0 || kdim == 0 || alpha == 0.0) return;
 
   const std::size_t flops = m * n * kdim;
+  if (obs::enabled()) {
+    obs::counter_add("linalg.gemm.calls", 1.0);
+    // 2 mnk: one multiply + one add per inner-product term.
+    obs::counter_add("linalg.gemm.flops", 2.0 * static_cast<double>(flops));
+    obs::gauge_set("linalg.gemm.arch_level",
+                   static_cast<double>(gemm_dispatch_arch_level()));
+  }
   if (flops < kParallelFlopThreshold) {
     gemm_naive(alpha, a, opa, b, opb, c);
   } else {

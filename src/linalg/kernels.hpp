@@ -55,4 +55,11 @@ void gram(ConstMatrixView a, MatrixView g, std::size_t threads = 0);
 /// out = op(a) elementwise (cache-blocked copy; out must not alias a).
 void transpose_copy(ConstMatrixView a, MatrixView out);
 
+/// The micro-architecture level the multiversioned GEMM micro-kernel
+/// dispatches to on this machine: 0 = baseline x86-64 (or clones compiled
+/// out, e.g. under sanitizers / non-GCC), 1 = x86-64-v3 (AVX2+FMA),
+/// 2 = x86-64-v4 (AVX-512). Exposed for telemetry ("linalg.gemm.arch_level"
+/// gauge) and bench provenance.
+[[nodiscard]] int gemm_dispatch_arch_level();
+
 }  // namespace aspe::linalg

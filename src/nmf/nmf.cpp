@@ -6,6 +6,7 @@
 #include "linalg/kernels.hpp"
 #include "linalg/svd.hpp"
 #include "nmf/nnls.hpp"
+#include "obs/obs.hpp"
 #include "par/parallel.hpp"
 
 namespace aspe::nmf {
@@ -84,6 +85,7 @@ void update_h_anls(const Matrix& r, const Matrix& w, Matrix& h, double lambda,
   // Columns of H are independent NNLS solves — the ANLS hot spot. The view
   // form reads f's column and writes h's column in place: no per-column
   // Vec copies in the loop.
+  obs::counter_add("nmf.nnls_solves", static_cast<double>(n));
   for_each_index(n, d * d * d + d * d, threads, [&](std::size_t j) {
     nnls_gram(g, f.col_view(j), h.col_view(j));
   });
@@ -101,6 +103,7 @@ void update_w_anls(const Matrix& r, Matrix& w, const Matrix& h, double eta,
   Matrix f(d, m);
   linalg::gemm(1.0, h.cview(), Op::None, r.cview(), Op::Transpose, 0.0,
                f.view(), threads);
+  obs::counter_add("nmf.nnls_solves", static_cast<double>(m));
   for_each_index(m, d * d * d + d * d, threads, [&](std::size_t i) {
     nnls_gram(g, f.col_view(i), w.col_view(i));
   });
@@ -259,15 +262,18 @@ NmfResult sparse_nmf_from_init(const Matrix& r, std::size_t rank,
   result.w = std::move(init.w);
   result.h = std::move(init.h);
 
+  obs::Span run_span("nmf/run");
+  const bool anls = options.algorithm == Algorithm::Anls;
   double prev_obj = objective(r, result.w, result.h, options.eta,
                               options.lambda, nullptr);
   for (std::size_t it = 0; it < options.max_iterations; ++it) {
-    if (options.algorithm == Algorithm::Anls) {
+    if (anls) {
       update_h_anls(r, result.w, result.h, options.lambda, threads);
       update_w_anls(r, result.w, result.h, options.eta, threads);
     } else {
       update_mu(r, result.w, result.h, options.eta, options.lambda, threads);
     }
+    obs::counter_add(anls ? "nmf.anls_iterations" : "nmf.mu_iterations", 1.0);
     result.iterations = it + 1;
     const double obj = objective(r, result.w, result.h, options.eta,
                                  options.lambda, nullptr);

@@ -1,0 +1,155 @@
+// aspe::obs — low-overhead tracing + metrics for the attack/solver layers.
+//
+// The model is record-then-flush:
+//
+//  * Instrumentation sites (Span, counter_add, gauge_set, instant) write into
+//    per-thread buffers owned by the active recording. When no recording is
+//    active every site reduces to one relaxed atomic load and a branch, so
+//    instrumented hot paths cost nothing in production (ExecContext's sink
+//    pointer defaults to null; see BENCH_obs.json for the measured overhead).
+//  * A ScopedRecording installs a Sink for its lifetime. At finish() (or
+//    destruction) the per-thread buffers are merged — spans sorted by start
+//    time, counters summed, gauges resolved last-write-wins by timestamp —
+//    and the merged Summary is delivered to the sink in one call.
+//
+// Spans carry monotonic timestamps and parent links. The parent of a span is
+// the innermost open span *on the same thread*; aspe::par::ThreadPool
+// propagates the caller's open span into its workers (InheritedParentScope),
+// so spans opened inside pool chunks attach to the dispatching span and the
+// trace stays a single tree across threads.
+//
+// Exactly one recording is active per process at a time: constructing a
+// ScopedRecording while another is active yields a passive guard whose
+// finish() returns an empty Summary (the outer recording keeps collecting).
+// This lets attack entry points install ctx.sink unconditionally and still
+// nest (e.g. the CoaView overload of run_snmf_attack calling the score-matrix
+// overload).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace aspe::obs {
+
+/// One completed span. Timestamps are nanoseconds on the steady clock,
+/// relative to the recording's start; `epoch_ns` in the Summary places the
+/// recording itself on the process-wide timeline.
+struct SpanRecord {
+  std::string name;
+  std::uint64_t id = 0;      // unique within a recording, never 0
+  std::uint64_t parent = 0;  // 0 = root span
+  std::uint32_t tid = 0;     // small per-recording thread id (0 = installer)
+  std::uint64_t start_ns = 0;
+  std::uint64_t end_ns = 0;  // == start_ns for instant events
+};
+
+/// Aggregate view of all spans sharing a name.
+struct SpanStat {
+  std::string name;
+  std::size_t count = 0;
+  double total_seconds = 0.0;
+};
+
+/// Merged result of one recording.
+struct Summary {
+  /// Start of the recording on the process-wide obs timeline (nanoseconds
+  /// since the first obs call in the process); lets a sink receiving several
+  /// recordings lay them out sequentially.
+  std::uint64_t epoch_ns = 0;
+  std::vector<SpanRecord> spans;  // sorted by (start_ns, id)
+  std::map<std::string, double> counters;
+  std::map<std::string, double> gauges;
+
+  [[nodiscard]] bool empty() const {
+    return spans.empty() && counters.empty() && gauges.empty();
+  }
+};
+
+/// Collapse spans into per-name (count, total time) rows, ordered by
+/// descending total time (ties by name for determinism).
+[[nodiscard]] std::vector<SpanStat> aggregate_spans(
+    const std::vector<SpanRecord>& spans);
+
+/// Consumer of merged telemetry. consume() may be called several times over
+/// a sink's lifetime (one call per finished recording) and must be additive.
+class Sink {
+ public:
+  virtual ~Sink() = default;
+  virtual void consume(const Summary& summary) = 0;
+};
+
+/// True while a recording is active. One relaxed atomic load — callers may
+/// use it to gate instrumentation whose *arguments* are costly to compute.
+[[nodiscard]] bool enabled();
+
+/// Installs `sink` as the process-wide telemetry target for this scope.
+/// A null sink — or a recording already active — yields a passive guard.
+class ScopedRecording {
+ public:
+  explicit ScopedRecording(Sink* sink);
+  ~ScopedRecording();
+
+  ScopedRecording(const ScopedRecording&) = delete;
+  ScopedRecording& operator=(const ScopedRecording&) = delete;
+
+  /// True when this guard owns the active recording.
+  [[nodiscard]] bool active() const { return sink_ != nullptr; }
+
+  /// Stop recording, merge the per-thread buffers, deliver the Summary to
+  /// the sink and return it. Idempotent; a passive guard returns an empty
+  /// Summary. The destructor calls finish() if the caller has not.
+  Summary finish();
+
+ private:
+  Sink* sink_ = nullptr;
+};
+
+/// RAII span. Construction snapshots the monotonic clock and links to the
+/// innermost open span on this thread (or the inherited pool parent);
+/// destruction completes the record into the thread's buffer. `name` must
+/// outlive the span (string literals).
+class Span {
+ public:
+  explicit Span(const char* name);
+  ~Span();
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  const char* name_;
+  std::uint64_t id_ = 0;  // 0 = recording was not active at construction
+};
+
+/// Add `delta` to the named counter (merged by summation at flush).
+void counter_add(const char* name, double delta);
+
+/// Set the named gauge; flush keeps the latest write (by timestamp).
+void gauge_set(const char* name, double value);
+
+/// Zero-length marker span (rendered as an instant event by the JSON sink).
+void instant(const char* name);
+
+/// Id of the innermost open span on this thread (0 when none / disabled).
+[[nodiscard]] std::uint64_t current_span_id();
+
+/// Makes `parent_id` the default parent for spans opened on this thread
+/// while the scope is alive (used by the thread pool to attach worker-side
+/// spans to the span that dispatched the batch). A thread's own open spans
+/// still take precedence.
+class InheritedParentScope {
+ public:
+  explicit InheritedParentScope(std::uint64_t parent_id);
+  ~InheritedParentScope();
+
+  InheritedParentScope(const InheritedParentScope&) = delete;
+  InheritedParentScope& operator=(const InheritedParentScope&) = delete;
+
+ private:
+  std::uint64_t saved_;
+};
+
+}  // namespace aspe::obs

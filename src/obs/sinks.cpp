@@ -1,0 +1,156 @@
+#include "obs/sinks.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <iomanip>
+#include <sstream>
+
+namespace aspe::obs {
+namespace {
+
+/// Minimal JSON string escaping (span names are ASCII identifiers, but keep
+/// the writer safe for arbitrary input).
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char hex[8];
+          std::snprintf(hex, sizeof(hex), "\\u%04x", c);
+          out += hex;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_number(double v) {
+  if (!std::isfinite(v)) return "0";
+  std::ostringstream os;
+  os << std::setprecision(15) << v;
+  return os.str();
+}
+
+constexpr double kNsToUs = 1e-3;
+
+}  // namespace
+
+void MemorySink::consume(const Summary& summary) {
+  ++recordings_;
+  spans_.insert(spans_.end(), summary.spans.begin(), summary.spans.end());
+  for (const auto& [name, value] : summary.counters) counters_[name] += value;
+  for (const auto& [name, value] : summary.gauges) gauges_[name] = value;
+}
+
+double MemorySink::counter(const std::string& name, double fallback) const {
+  auto it = counters_.find(name);
+  return it == counters_.end() ? fallback : it->second;
+}
+
+void MemorySink::clear() {
+  spans_.clear();
+  counters_.clear();
+  gauges_.clear();
+  recordings_ = 0;
+}
+
+void MemorySink::write_metrics_json(std::ostream& out) const {
+  auto write_map = [&out](const std::map<std::string, double>& m) {
+    out << "{";
+    bool first = true;
+    for (const auto& [name, value] : m) {
+      if (!first) out << ",";
+      first = false;
+      out << "\n    \"" << json_escape(name) << "\": " << json_number(value);
+    }
+    if (!first) out << "\n  ";
+    out << "}";
+  };
+  out << "{\n  \"counters\": ";
+  write_map(counters_);
+  out << ",\n  \"gauges\": ";
+  write_map(gauges_);
+  out << "\n}\n";
+}
+
+JsonLinesSink::JsonLinesSink(const std::string& path) : out_(path) {
+  ok_ = out_.good();
+  if (!ok_) {
+    closed_ = true;
+    return;
+  }
+  out_ << "[\n";
+  out_ << R"({"ph":"M","name":"process_name","pid":1,"tid":0,"args":{"name":"aspe"}},)"
+       << "\n";
+}
+
+JsonLinesSink::~JsonLinesSink() { close(); }
+
+void JsonLinesSink::write_event(const std::string& line) {
+  out_ << line << ",\n";
+}
+
+void JsonLinesSink::consume(const Summary& summary) {
+  if (closed_) return;
+  const double base_us = static_cast<double>(summary.epoch_ns) * kNsToUs;
+  std::uint64_t last_end_ns = 0;
+  for (const SpanRecord& s : summary.spans) {
+    last_end_ns = std::max(last_end_ns, s.end_ns);
+    std::ostringstream os;
+    const double ts = base_us + static_cast<double>(s.start_ns) * kNsToUs;
+    if (s.end_ns == s.start_ns) {
+      os << R"({"ph":"i","name":")" << json_escape(s.name)
+         << R"(","cat":"aspe","pid":1,"tid":)" << s.tid << R"(,"ts":)"
+         << json_number(ts) << R"(,"s":"t","args":{"id":)" << s.id
+         << R"(,"parent":)" << s.parent << "}}";
+    } else {
+      const double dur =
+          static_cast<double>(s.end_ns - s.start_ns) * kNsToUs;
+      os << R"({"ph":"X","name":")" << json_escape(s.name)
+         << R"(","cat":"aspe","pid":1,"tid":)" << s.tid << R"(,"ts":)"
+         << json_number(ts) << R"(,"dur":)" << json_number(dur)
+         << R"(,"args":{"id":)" << s.id << R"(,"parent":)" << s.parent
+         << "}}";
+    }
+    write_event(os.str());
+  }
+  const double end_ts =
+      base_us + static_cast<double>(last_end_ns) * kNsToUs;
+  for (const auto& [name, value] : summary.counters) {
+    std::ostringstream os;
+    os << R"({"ph":"C","name":")" << json_escape(name)
+       << R"(","cat":"aspe","pid":1,"tid":0,"ts":)" << json_number(end_ts)
+       << R"(,"args":{"value":)" << json_number(value) << "}}";
+    write_event(os.str());
+  }
+  for (const auto& [name, value] : summary.gauges) {
+    std::ostringstream os;
+    os << R"({"ph":"C","name":")" << json_escape(name)
+       << R"(","cat":"aspe","pid":1,"tid":0,"ts":)" << json_number(end_ts)
+       << R"(,"args":{"value":)" << json_number(value) << "}}";
+    write_event(os.str());
+  }
+  out_.flush();
+}
+
+void JsonLinesSink::close() {
+  if (closed_) return;
+  closed_ = true;
+  // Terminate the array with a metadata event so the trailing comma of the
+  // last real event stays valid JSON.
+  out_ << R"({"ph":"M","name":"aspe_trace_end","pid":1,"tid":0,"args":{}})"
+       << "\n]\n";
+  out_.close();
+}
+
+}  // namespace aspe::obs

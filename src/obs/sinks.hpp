@@ -1,0 +1,107 @@
+// Standard obs::Sink implementations.
+//
+//  * NullSink      — accepts and discards; measures pure recording overhead.
+//  * MemorySink    — accumulates summaries in memory for tests, telemetry
+//                    embedding and --metrics-json.
+//  * JsonLinesSink — one JSON event per line in the Trace Event Format, so
+//                    the output loads directly into chrome://tracing or
+//                    https://ui.perfetto.dev.
+//  * TeeSink       — fans one recording out to several sinks.
+#pragma once
+
+#include <fstream>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "obs/obs.hpp"
+
+namespace aspe::obs {
+
+/// Discards everything. Attaching it still runs the full record/merge path,
+/// which is what the bench_micro overhead sweep measures.
+class NullSink final : public Sink {
+ public:
+  void consume(const Summary&) override {}
+};
+
+/// Accumulates every recording it receives: spans are appended, counters
+/// summed, gauges overwritten (recordings arrive in finish() order).
+class MemorySink final : public Sink {
+ public:
+  void consume(const Summary& summary) override;
+
+  [[nodiscard]] const std::vector<SpanRecord>& spans() const { return spans_; }
+  [[nodiscard]] const std::map<std::string, double>& counters() const {
+    return counters_;
+  }
+  [[nodiscard]] const std::map<std::string, double>& gauges() const {
+    return gauges_;
+  }
+  [[nodiscard]] std::size_t recordings() const { return recordings_; }
+
+  [[nodiscard]] double counter(const std::string& name,
+                               double fallback = 0.0) const;
+
+  void clear();
+
+  /// Write the accumulated counters and gauges as one pretty-printed JSON
+  /// object: {"counters": {...}, "gauges": {...}}.
+  void write_metrics_json(std::ostream& out) const;
+
+ private:
+  std::vector<SpanRecord> spans_;
+  std::map<std::string, double> counters_;
+  std::map<std::string, double> gauges_;
+  std::size_t recordings_ = 0;
+};
+
+/// Streams recordings to a file in the Chrome Trace Event Format, one event
+/// object per line inside a JSON array. Spans become complete ("X") events,
+/// instants (zero-length spans) become instant ("i") events, counters and
+/// gauges become counter ("C") samples stamped at the recording's end.
+/// Timestamps are microseconds on the process-wide obs timeline, so several
+/// recordings written to one sink appear in sequence.
+///
+/// The array is closed by close() (called from the destructor); a file from
+/// a crashed run still loads in chrome://tracing, which tolerates a missing
+/// terminator.
+class JsonLinesSink final : public Sink {
+ public:
+  explicit JsonLinesSink(const std::string& path);
+  ~JsonLinesSink() override;
+
+  void consume(const Summary& summary) override;
+
+  /// Flush and close the file; further consume() calls are ignored.
+  void close();
+
+  [[nodiscard]] bool ok() const { return ok_; }
+
+ private:
+  void write_event(const std::string& line);
+
+  std::ofstream out_;
+  bool ok_ = false;
+  bool closed_ = false;
+};
+
+/// Forwards each recording to every registered sink, in order.
+class TeeSink final : public Sink {
+ public:
+  TeeSink() = default;
+  explicit TeeSink(std::vector<Sink*> sinks) : sinks_(std::move(sinks)) {}
+
+  void add(Sink* sink) {
+    if (sink != nullptr) sinks_.push_back(sink);
+  }
+
+  void consume(const Summary& summary) override {
+    for (Sink* sink : sinks_) sink->consume(summary);
+  }
+
+ private:
+  std::vector<Sink*> sinks_;
+};
+
+}  // namespace aspe::obs

@@ -1,11 +1,13 @@
 #include "opt/mip.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <memory>
 #include <utility>
 #include <vector>
 
 #include "common/stopwatch.hpp"
+#include "obs/obs.hpp"
 #include "opt/presolve.hpp"
 
 namespace aspe::opt {
@@ -40,7 +42,16 @@ MipResult solve_mip(Model& model, SimplexSolver& solver,
                     const MipOptions& options) {
   MipResult result;
   Stopwatch watch;
+  obs::Span search_span("opt/solve_mip");
   const SolverStats entry_stats = solver.stats();
+
+  // B&B node-event tallies, accumulated locally (the search is serial) and
+  // emitted as counters once at exit — near-zero cost per node.
+  std::size_t pruned_parent_bound = 0;
+  std::size_t pruned_bound = 0;
+  std::size_t infeasible_nodes = 0;
+  std::size_t incumbents_found = 0;
+  std::size_t max_depth = 0;
 
   // Bound deltas applied to the solver on the way down the tree; rewound on
   // backtrack and fully on exit (the caller keeps a usable solver).
@@ -60,6 +71,28 @@ MipResult solve_mip(Model& model, SimplexSolver& solver,
     const SolverStats& s = solver.stats();
     r.lp_warm_solves = s.warm_solves - entry_stats.warm_solves;
     r.lp_cold_solves = s.cold_solves - entry_stats.cold_solves;
+    if (obs::enabled()) {
+      obs::counter_add("mip.bnb.nodes",
+                       static_cast<double>(r.nodes_explored));
+      obs::counter_add("mip.bnb.simplex_iterations",
+                       static_cast<double>(r.simplex_iterations));
+      obs::counter_add("mip.bnb.warm_solves",
+                       static_cast<double>(r.lp_warm_solves));
+      obs::counter_add("mip.bnb.cold_solves",
+                       static_cast<double>(r.lp_cold_solves));
+      obs::counter_add("mip.bnb.dual_fallbacks",
+                       static_cast<double>(s.dual_fallbacks -
+                                           entry_stats.dual_fallbacks));
+      obs::counter_add("mip.bnb.pruned_parent_bound",
+                       static_cast<double>(pruned_parent_bound));
+      obs::counter_add("mip.bnb.pruned_bound",
+                       static_cast<double>(pruned_bound));
+      obs::counter_add("mip.bnb.infeasible_nodes",
+                       static_cast<double>(infeasible_nodes));
+      obs::counter_add("mip.bnb.incumbents",
+                       static_cast<double>(incumbents_found));
+      obs::gauge_set("mip.bnb.max_depth", static_cast<double>(max_depth));
+    }
   };
 
   if (options.use_presolve) {
@@ -108,6 +141,7 @@ MipResult solve_mip(Model& model, SimplexSolver& solver,
     const Frame frame = std::move(stack.back());
     stack.pop_back();
     ++result.nodes_explored;
+    max_depth = std::max(max_depth, frame.depth);
 
     // Rewind to this node's branch point, then apply its single delta.
     while (trail.size() > frame.depth) {
@@ -124,7 +158,10 @@ MipResult solve_mip(Model& model, SimplexSolver& solver,
 
     // The child LP bound can only be worse than the parent's: prune on the
     // parent objective before paying for the solve.
-    if (have_incumbent && frame.parent_bound >= incumbent_obj - 1e-9) continue;
+    if (have_incumbent && frame.parent_bound >= incumbent_obj - 1e-9) {
+      ++pruned_parent_bound;
+      continue;
+    }
 
     LpResult lp;
     if (options.warm_start) {
@@ -136,7 +173,10 @@ MipResult solve_mip(Model& model, SimplexSolver& solver,
     live.reset();
     result.simplex_iterations += lp.iterations;
 
-    if (lp.status == LpStatus::Infeasible) continue;
+    if (lp.status == LpStatus::Infeasible) {
+      ++infeasible_nodes;
+      continue;
+    }
     if (lp.status == LpStatus::IterationLimit) {
       search_truncated = true;
       continue;
@@ -148,13 +188,18 @@ MipResult solve_mip(Model& model, SimplexSolver& solver,
     }
 
     // Bound pruning.
-    if (have_incumbent && lp.objective >= incumbent_obj - 1e-9) continue;
+    if (have_incumbent && lp.objective >= incumbent_obj - 1e-9) {
+      ++pruned_bound;
+      continue;
+    }
 
     const std::size_t frac = most_fractional(model, lp.x, options.int_tol);
     if (frac == n) {
       // Integer feasible.
       if (!have_incumbent || lp.objective < incumbent_obj) {
         have_incumbent = true;
+        ++incumbents_found;
+        if (obs::enabled()) obs::instant("mip/incumbent");
         incumbent_obj = lp.objective;
         result.x = lp.x;
         // Snap integer variables exactly.

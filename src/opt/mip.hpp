@@ -22,10 +22,12 @@ enum class MipStatus {
   Infeasible,     // proved infeasible
   NodeLimit,      // node budget exhausted without a feasible point
   TimeLimit,      // wall-clock budget exhausted without a feasible point
+  NotRun,         // the branch-and-bound search was never invoked
+  Heuristic,      // feasible point from a primal heuristic; search skipped
 };
 
 struct MipResult {
-  MipStatus status = MipStatus::NodeLimit;
+  MipStatus status = MipStatus::NotRun;
   Vec x;                   // best integer-feasible point (when found)
   double objective = 0.0;  // objective at x
   std::size_t nodes_explored = 0;

@@ -5,6 +5,7 @@
 
 #include "linalg/kernels.hpp"
 #include "linalg/lu.hpp"
+#include "obs/obs.hpp"
 
 namespace aspe::opt {
 
@@ -12,6 +13,30 @@ using linalg::ConstVecView;
 using linalg::Matrix;
 using linalg::Op;
 using linalg::VecView;
+
+namespace {
+
+/// Emits the growth of a cumulative stats field as an obs counter when the
+/// scope ends — one counter_add per optimize pass instead of one per pivot.
+class StatDeltaCounter {
+ public:
+  StatDeltaCounter(const char* name, const std::size_t& current)
+      : name_(name), current_(current), entry_(current) {}
+  ~StatDeltaCounter() {
+    if (current_ != entry_) {
+      obs::counter_add(name_, static_cast<double>(current_ - entry_));
+    }
+  }
+  StatDeltaCounter(const StatDeltaCounter&) = delete;
+  StatDeltaCounter& operator=(const StatDeltaCounter&) = delete;
+
+ private:
+  const char* name_;
+  const std::size_t& current_;
+  std::size_t entry_;
+};
+
+}  // namespace
 
 // Variable layout: [0, n) structural, [n, n+s) slacks (one per inequality
 // row), [n+s, n+s+m) artificials (one per row).
@@ -225,6 +250,7 @@ bool SimplexSolver::refactorize() {
   binv_valid_ = true;
   pivots_since_refactor_ = 0;
   ++stats_.refactorizations;
+  obs::counter_add("simplex.refactorizations", 1.0);
   return true;
 }
 
@@ -261,6 +287,8 @@ void SimplexSolver::maybe_refactorize() {
 
 LpStatus SimplexSolver::optimize(const Vec& cost,
                                  std::size_t& iteration_counter) {
+  StatDeltaCounter pivots("simplex.primal_iterations",
+                          stats_.primal_iterations);
   const std::size_t max_iters = opt_.max_iterations > 0
                                     ? opt_.max_iterations
                                     : 200 * (m_ + total_) + 2000;
@@ -414,6 +442,7 @@ LpStatus SimplexSolver::optimize(const Vec& cost,
 }
 
 LpStatus SimplexSolver::dual_optimize(std::size_t& iteration_counter) {
+  StatDeltaCounter pivots("simplex.dual_iterations", stats_.dual_iterations);
   const std::size_t max_iters = opt_.dual_iteration_limit > 0
                                     ? opt_.dual_iteration_limit
                                     : 40 * m_ + 400;
@@ -540,6 +569,8 @@ LpResult SimplexSolver::cold_fallback(std::size_t iterations_so_far) {
 }
 
 LpResult SimplexSolver::solve() {
+  obs::Span span("simplex/cold_solve");
+  obs::counter_add("simplex.cold_solves", 1.0);
   ++stats_.cold_solves;
   have_basis_ = false;
   std::size_t iterations = 0;
@@ -575,11 +606,15 @@ LpResult SimplexSolver::solve() {
 
 LpResult SimplexSolver::solve_warm() {
   if (!have_basis_) return solve();
+  obs::Span span("simplex/warm_solve");
+  obs::counter_add("simplex.warm_solves", 1.0);
   ++stats_.warm_solves;
   std::size_t iterations = 0;
 
   if (!binv_valid_ && !refactorize()) {
     ++stats_.dual_fallbacks;
+    obs::counter_add("simplex.dual_fallbacks", 1.0);
+    obs::instant("simplex/dual_fallback");
     return cold_fallback(iterations);
   }
   rebuild_phase2_cost();
@@ -595,6 +630,8 @@ LpResult SimplexSolver::solve_warm() {
   }
   if (dual == LpStatus::IterationLimit) {
     ++stats_.dual_fallbacks;
+    obs::counter_add("simplex.dual_fallbacks", 1.0);
+    obs::instant("simplex/dual_fallback");
     return cold_fallback(iterations);
   }
 
@@ -608,6 +645,8 @@ LpResult SimplexSolver::solve_warm() {
   }
   if (s2 != LpStatus::Optimal) {
     ++stats_.dual_fallbacks;
+    obs::counter_add("simplex.dual_fallbacks", 1.0);
+    obs::instant("simplex/dual_fallback");
     return cold_fallback(iterations);
   }
   return extract_result(LpStatus::Optimal, iterations);

@@ -4,6 +4,7 @@
 #include <atomic>
 
 #include "common/error.hpp"
+#include "obs/obs.hpp"
 
 namespace aspe::par {
 
@@ -35,6 +36,10 @@ struct ThreadPool::Batch {
   std::atomic<bool> cancelled{false};
   std::size_t inside = 0;  // workers currently in work_on (guarded by mu_)
   std::exception_ptr error;  // first chunk exception (guarded by mu_)
+  // Span open on the dispatching thread when the batch was issued; workers
+  // adopt it as the parent of spans they open inside chunks, keeping the
+  // trace a single tree across threads. 0 when no recording is active.
+  std::uint64_t parent_span = 0;
 };
 
 ThreadPool::ThreadPool(std::size_t threads) {
@@ -68,11 +73,14 @@ void ThreadPool::ensure_workers(std::size_t count) {
 bool ThreadPool::in_parallel_region() { return t_in_parallel_region; }
 
 void ThreadPool::work_on(Batch& batch, std::mutex& mu,
-                         std::condition_variable& done_cv) {
+                         std::condition_variable& done_cv, bool helper) {
   RegionGuard region;  // nested parallel sections inside chunks go serial
+  obs::InheritedParentScope trace_parent(batch.parent_span);
+  std::size_t claimed = 0;
   while (true) {
     const std::size_t c = batch.next.fetch_add(1, std::memory_order_relaxed);
     if (c >= batch.chunks) break;
+    ++claimed;
     const std::size_t lo = batch.begin + c * batch.grain;
     const std::size_t hi = std::min(batch.end, lo + batch.grain);
     if (!batch.cancelled.load(std::memory_order_relaxed)) {
@@ -91,6 +99,9 @@ void ThreadPool::work_on(Batch& batch, std::mutex& mu,
       done_cv.notify_all();
     }
   }
+  if (helper && claimed > 0 && obs::enabled()) {
+    obs::counter_add("par.steals", static_cast<double>(claimed));
+  }
 }
 
 void ThreadPool::worker_loop() {
@@ -106,7 +117,7 @@ void ThreadPool::worker_loop() {
     if (batch->inside >= batch->max_helpers) continue;  // width cap reached
     ++batch->inside;
     lock.unlock();
-    work_on(*batch, mu_, done_cv_);
+    work_on(*batch, mu_, done_cv_, /*helper=*/true);
     lock.lock();
     --batch->inside;
     if (batch->inside == 0) done_cv_.notify_all();
@@ -131,6 +142,7 @@ void ThreadPool::run_chunked(
     // Serial fallback (single thread requested, tiny range, a nested call,
     // or a batch already in flight from another thread): same chunk
     // boundaries, same order, exceptions propagate as-is.
+    if (obs::enabled()) obs::counter_add("par.serial_batches", 1.0);
     for (std::size_t c = 0; c < chunks; ++c) {
       const std::size_t lo = begin + c * grain;
       chunk_fn(lo, std::min(end, lo + grain));
@@ -149,6 +161,15 @@ void ThreadPool::run_chunked(
   batch.chunks = chunks;
   batch.max_helpers = width - 1;  // the caller participates too
   batch.pending.store(chunks, std::memory_order_relaxed);
+  if (obs::enabled()) {
+    batch.parent_span = obs::current_span_id();
+    obs::counter_add("par.batches", 1.0);
+    obs::counter_add("par.chunks", static_cast<double>(chunks));
+    // Depth of the chunk queue at dispatch: how much parallelism the batch
+    // exposed (claimed dynamically by caller + helpers).
+    obs::gauge_set("par.queue_depth", static_cast<double>(chunks));
+    obs::gauge_set("par.width", static_cast<double>(width));
+  }
 
   {
     std::unique_lock<std::mutex> lock(mu_);
@@ -164,7 +185,7 @@ void ThreadPool::run_chunked(
   }
   wake_cv_.notify_all();
 
-  work_on(batch, mu_, done_cv_);
+  work_on(batch, mu_, done_cv_, /*helper=*/false);
 
   std::unique_lock<std::mutex> lock(mu_);
   done_cv_.wait(lock, [&] {

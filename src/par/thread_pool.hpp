@@ -63,8 +63,10 @@ class ThreadPool {
   struct Batch;
 
   void worker_loop();
+  /// `helper` distinguishes pool workers from the dispatching caller: chunks
+  /// a helper claims count as steals in the obs telemetry.
   static void work_on(Batch& batch, std::mutex& mu,
-                      std::condition_variable& done_cv);
+                      std::condition_variable& done_cv, bool helper);
 
   mutable std::mutex mu_;
   std::condition_variable wake_cv_;  // workers wait here for a new batch

@@ -183,8 +183,8 @@ TEST_P(SnmfInvariants, BinarizedReconstructionApproximatesScoreMatrix) {
   aopt.rank = d;
   aopt.restarts = 3;
   aopt.nmf.max_iterations = 250;
-  rng::Rng attack_rng(seed * 7);
-  const auto res = core::run_snmf_attack(view, aopt, attack_rng);
+  const auto res =
+      core::run_snmf_attack(view, aopt, core::ExecContext{.seed = seed * 7});
 
   std::size_t matches = 0;
   for (std::size_t i = 0; i < m; ++i) {
@@ -217,8 +217,8 @@ TEST_P(SnmfInvariants, OutputShapesMatchInputs) {
   aopt.rank = d;
   aopt.restarts = 1;
   aopt.nmf.max_iterations = 50;
-  rng::Rng attack_rng(seed);
-  const auto res = core::run_snmf_attack(view, aopt, attack_rng);
+  const auto res =
+      core::run_snmf_attack(view, aopt, core::ExecContext{.seed = seed});
   ASSERT_EQ(res.indexes.size(), m);
   ASSERT_EQ(res.trapdoors.size(), n);
   for (const auto& v : res.indexes) EXPECT_EQ(v.size(), d);

@@ -114,9 +114,8 @@ TEST(Integration, SecurityRisk3_MkfseCoaReconstruction) {
   aopt.restarts = 6;
   aopt.nmf.max_iterations = 400;
   aopt.nmf.rel_tol = 1e-8;
-  rng::Rng attack_rng(13);
   const auto res = core::run_snmf_attack(sse::observe(system.server()), aopt,
-                                         attack_rng);
+                                         core::ExecContext{.seed = 13});
 
   // Measure recovery after optimal relabeling.
   const auto perm = core::align_latent_dimensions(

@@ -90,7 +90,8 @@ TEST(Lep, UsesMinimalTrapdoorPrefix) {
   const std::size_t d = 8;
   const Scenario s = make_scenario(d, 2, 12, 20, 7);
   const LepResult result = run_lep_attack(s.view);
-  EXPECT_EQ(result.trapdoors_scanned_for_basis, d + 1);
+  EXPECT_EQ(result.telemetry.counter("lep.trapdoors_scanned_for_basis", 0.0),
+            static_cast<double>(d + 1));
 }
 
 TEST(Lep, FailsLoudlyWithTooFewKnownPairs) {

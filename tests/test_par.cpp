@@ -175,11 +175,18 @@ TEST(ExecContextDeterminism, SnmfIdenticalAcrossThreadCountsAndToLegacy) {
   EXPECT_EQ(r1.indexes, r4.indexes);
   EXPECT_EQ(r1.trapdoors, r4.trapdoors);
   EXPECT_EQ(r1.best_fit_error, r4.best_fit_error);  // bit-identical
-  EXPECT_EQ(r1.restarts_run, r4.restarts_run);
+  EXPECT_EQ(r1.telemetry.counter("snmf.restarts_run", -1.0),
+            r4.telemetry.counter("snmf.restarts_run", -2.0));
 
-  // Deterministic contexts reproduce the legacy serial entry point exactly.
+  // Deterministic contexts reproduce the deprecated serial entry point
+  // exactly — this test deliberately exercises the legacy overload and its
+  // alias field until they are removed.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  EXPECT_EQ(r1.restarts_run, r4.restarts_run);
   rng::Rng legacy_rng(5);
   const auto legacy = core::run_snmf_attack(s.view, opt, legacy_rng);
+#pragma GCC diagnostic pop
   EXPECT_EQ(legacy.indexes, r1.indexes);
   EXPECT_EQ(legacy.trapdoors, r1.trapdoors);
   EXPECT_EQ(legacy.best_fit_error, r1.best_fit_error);
@@ -272,8 +279,15 @@ TEST(ExecContextDeterminism, LepIdenticalToLegacyEntryPoint) {
   EXPECT_EQ(legacy.query_multipliers, par_res.query_multipliers);
   EXPECT_EQ(legacy.indexes, par_res.indexes);
   EXPECT_EQ(legacy.records, par_res.records);
+  EXPECT_EQ(legacy.telemetry.counter("lep.trapdoors_scanned_for_basis", -1.0),
+            par_res.telemetry.counter("lep.trapdoors_scanned_for_basis", -2.0));
+  // The deprecated alias must stay in lockstep with the counter until it is
+  // removed.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
   EXPECT_EQ(legacy.trapdoors_scanned_for_basis,
             par_res.trapdoors_scanned_for_basis);
+#pragma GCC diagnostic pop
 }
 
 TEST(ExecContext, ResolvesProcessDefault) {

@@ -106,8 +106,7 @@ TEST(SimilarityInference, EndToEndThroughSnmfReconstruction) {
   aopt.rank = opt.bloom_bits;
   aopt.restarts = 4;
   aopt.nmf.max_iterations = 300;
-  rng::Rng attack_rng(4);
-  const auto res = run_snmf_attack(view, aopt, attack_rng);
+  const auto res = run_snmf_attack(view, aopt, ExecContext{.seed = 4});
 
   // Adversary knows doc 0's content; doc 2 (its duplicate) must inherit it.
   const auto labels =

@@ -82,9 +82,8 @@ TEST(SnmfAttack, RecoversBinaryVectorsAtModerateDensity) {
   // d = 10, m = n = 40 (>= 2d as in Table III), rho = 30%: the attack should
   // reconstruct most bits (after optimal relabeling; see DESIGN.md §4.5).
   const Scenario s = make_scenario(10, 40, 40, 0.3, 0.25, 2);
-  rng::Rng rng(3);
   const SnmfAttackResult res =
-      run_snmf_attack(s.view, fast_options(10), rng);
+      run_snmf_attack(s.view, fast_options(10), ExecContext{.seed = 3});
   ASSERT_EQ(res.indexes.size(), 40u);
   ASSERT_EQ(res.trapdoors.size(), 40u);
   const PrecisionRecall pr = evaluate(s, res);
@@ -96,9 +95,9 @@ TEST(SnmfAttack, LowDensityDegradesAccuracy) {
   // The paper's rho = 5% failure mode: sparse data admits many factorizations.
   const Scenario dense = make_scenario(10, 40, 40, 0.35, 0.3, 4);
   const Scenario sparse = make_scenario(10, 40, 40, 0.05, 0.05, 4);
-  rng::Rng rng(5);
-  const auto res_dense = run_snmf_attack(dense.view, fast_options(10), rng);
-  const auto res_sparse = run_snmf_attack(sparse.view, fast_options(10), rng);
+  const ExecContext ctx{.seed = 5};
+  const auto res_dense = run_snmf_attack(dense.view, fast_options(10), ctx);
+  const auto res_sparse = run_snmf_attack(sparse.view, fast_options(10), ctx);
   const auto pr_dense = evaluate(dense, res_dense);
   const auto pr_sparse = evaluate(sparse, res_sparse);
   const double f1_dense = pr_dense.precision + pr_dense.recall;
@@ -112,9 +111,9 @@ TEST(SnmfAttack, MoreCiphertextsImproveAccuracy) {
   // Figure 3's trend at miniature scale.
   const Scenario small = make_scenario(8, 10, 10, 0.3, 0.25, 6);
   const Scenario large = make_scenario(8, 48, 48, 0.3, 0.25, 6);
-  rng::Rng rng(7);
-  const auto res_small = run_snmf_attack(small.view, fast_options(8), rng);
-  const auto res_large = run_snmf_attack(large.view, fast_options(8), rng);
+  const ExecContext ctx{.seed = 7};
+  const auto res_small = run_snmf_attack(small.view, fast_options(8), ctx);
+  const auto res_large = run_snmf_attack(large.view, fast_options(8), ctx);
   const auto pr_small = evaluate(small, res_small);
   const auto pr_large = evaluate(large, res_large);
   EXPECT_GE(pr_large.precision + pr_large.recall,
@@ -141,8 +140,8 @@ TEST(SnmfAttack, FrequencyDistributionPreserved) {
     s.view.cipher_trapdoors.push_back(
         enc.encrypt_trapdoor(to_real(s.truth_trapdoors.back()), rng));
   }
-  rng::Rng attack_rng(9);
-  const auto res = run_snmf_attack(s.view, fast_options(d), attack_rng);
+  const auto res =
+      run_snmf_attack(s.view, fast_options(d), ExecContext{.seed = 9});
   const auto top = top_frequencies(res.indexes, 3);
   ASSERT_EQ(top.size(), 3u);
   EXPECT_EQ(top[0].second, 5u);
@@ -152,12 +151,11 @@ TEST(SnmfAttack, FrequencyDistributionPreserved) {
 
 TEST(SnmfAttack, MultiplicativeUpdateVariantAlsoWorks) {
   const Scenario s = make_scenario(8, 32, 32, 0.35, 0.3, 10);
-  rng::Rng rng(11);
   SnmfAttackOptions opt = fast_options(8);
   opt.nmf.algorithm = nmf::Algorithm::MultiplicativeUpdate;
   opt.nmf.max_iterations = 600;
   opt.restarts = 4;
-  const auto res = run_snmf_attack(s.view, opt, rng);
+  const auto res = run_snmf_attack(s.view, opt, ExecContext{.seed = 11});
   const auto pr = evaluate(s, res);
   EXPECT_GE(pr.precision, 0.55);
   EXPECT_GE(pr.recall, 0.55);
@@ -200,10 +198,9 @@ TEST(SnmfAttack, WorksAgainstRealMkfsePipeline) {
       s.view.cipher_trapdoors.push_back(scheme.encrypt_trapdoor(t, rng));
     }
   }
-  rng::Rng attack_rng(13);
   SnmfAttackOptions opt = fast_options(12);
   opt.restarts = 5;
-  const auto res = run_snmf_attack(s.view, opt, attack_rng);
+  const auto res = run_snmf_attack(s.view, opt, ExecContext{.seed = 13});
   const auto pr = evaluate(s, res);
   EXPECT_GE(pr.precision, 0.6);
   EXPECT_GE(pr.recall, 0.55);
@@ -232,14 +229,13 @@ TEST(SnmfAttack, LatentDimensionBoundedByObservations) {
 }
 
 TEST(SnmfAttack, Validation) {
-  rng::Rng rng(14);
   SnmfAttackOptions opt;  // rank unset
   sse::CoaView empty;
-  EXPECT_THROW(run_snmf_attack(empty, opt, rng), InvalidArgument);
+  EXPECT_THROW(run_snmf_attack(empty, opt), InvalidArgument);
   opt.rank = 4;
-  EXPECT_THROW(run_snmf_attack(empty, opt, rng), InvalidArgument);
+  EXPECT_THROW(run_snmf_attack(empty, opt), InvalidArgument);
   opt.restarts = 0;
-  EXPECT_THROW(run_snmf_attack(linalg::Matrix(2, 2, 1.0), opt, rng),
+  EXPECT_THROW(run_snmf_attack(linalg::Matrix(2, 2, 1.0), opt),
                InvalidArgument);
 }
 

@@ -17,7 +17,12 @@ cmake --build "$BUILD_DIR" -j "$(nproc)"
 export ASAN_OPTIONS="halt_on_error=1 detect_leaks=1 ${ASAN_OPTIONS:-}"
 export UBSAN_OPTIONS="halt_on_error=1 print_stacktrace=1 ${UBSAN_OPTIONS:-}"
 
-# Fast-fail pre-pass over the optimizer suites: the warm-start machinery
+# Fast-fail pre-pass over the obs layer first: per-thread span buffers and
+# the recording lifecycle are the newest lifetime-sensitive code, and the
+# suite runs in well under a second.
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)" -R "Obs\."
+
+# Second pre-pass over the optimizer suites: the warm-start machinery
 # (basis snapshots, trail rewinds, eta updates through row views) is the
 # pointer-heaviest code in the tree, so surface its reports in seconds
 # before paying for the full run.

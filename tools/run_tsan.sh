@@ -15,7 +15,12 @@ cmake --build "$BUILD_DIR" -j "$(nproc)"
 # printing a report; second_deadlock_stack improves lock-order diagnostics.
 export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1 ${TSAN_OPTIONS:-}"
 
-# Fast-fail pre-pass: the MIP attack drives the (serial) warm-started solver
+# Fast-fail pre-pass over the obs layer first: counter merges and span
+# buffers are written from every pool worker, so races surface here in
+# seconds before the full run pays for itself.
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)" -R "Obs\."
+
+# Second pre-pass: the MIP attack drives the (serial) warm-started solver
 # from inside parallel heuristic probes; check those suites first.
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)" \
   -R "WarmStart|MipAttack|Par\."

@@ -1,7 +1,11 @@
 // Table I (§VI): summary of the three attack algorithms, plus a quick
-// end-to-end sanity demonstration of each at miniature scale.
+// end-to-end sanity demonstration of each at miniature scale, plus an
+// aggregated view of every BENCH_*.json artifact found in the working
+// directory (whatever bench_micro produced — no hardcoded file list).
 //
 // Usage: bench_summary [--seed=S]
+#include <filesystem>
+
 #include "bench_common.hpp"
 #include "core/lep.hpp"
 #include "core/metrics.hpp"
@@ -14,6 +18,91 @@
 #include "sse/system.hpp"
 
 using namespace aspe;
+
+namespace {
+
+/// Top-level scalar fields of one BENCH_*.json document, in file order.
+/// Minimal hand parser for the shape this repo's writers emit: nested
+/// arrays/objects ("results", "overheads") are skipped wholesale; numbers,
+/// booleans and strings at depth 1 are the headline metrics.
+std::vector<std::pair<std::string, std::string>> bench_scalars(
+    const std::filesystem::path& path) {
+  std::vector<std::pair<std::string, std::string>> fields;
+  std::ifstream in(path);
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  int depth = 0;
+  std::size_t i = 0;
+  const auto read_string = [&] {
+    std::string s;
+    ++i;  // opening quote
+    while (i < text.size() && text[i] != '"') {
+      if (text[i] == '\\' && i + 1 < text.size()) ++i;
+      s += text[i++];
+    }
+    ++i;  // closing quote
+    return s;
+  };
+  while (i < text.size()) {
+    const char c = text[i];
+    if (c == '{' || c == '[') {
+      ++depth;
+      ++i;
+    } else if (c == '}' || c == ']') {
+      --depth;
+      ++i;
+    } else if (c == '"') {
+      const std::string key = read_string();
+      if (depth != 1) continue;
+      while (i < text.size() && (text[i] == ':' || std::isspace(text[i]))) ++i;
+      if (i >= text.size() || text[i] == '{' || text[i] == '[') continue;
+      if (text[i] == '"') {
+        fields.emplace_back(key, read_string());
+      } else {
+        std::string value;
+        while (i < text.size() && text[i] != ',' && text[i] != '}' &&
+               !std::isspace(text[i])) {
+          value += text[i++];
+        }
+        fields.emplace_back(key, value);
+      }
+    } else {
+      ++i;
+    }
+  }
+  return fields;
+}
+
+void print_bench_artifacts() {
+  namespace fs = std::filesystem;
+  std::vector<fs::path> files;
+  for (const auto& entry : fs::directory_iterator(fs::current_path())) {
+    if (!entry.is_regular_file()) continue;
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("BENCH_", 0) == 0 &&
+        name.size() > 5 && name.substr(name.size() - 5) == ".json") {
+      files.push_back(entry.path());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  std::printf("\n--- recorded benchmark artifacts (BENCH_*.json) ---\n\n");
+  if (files.empty()) {
+    std::printf("none found in %s (run bench_micro here first)\n",
+                fs::current_path().string().c_str());
+    return;
+  }
+  bench::TablePrinter table({"File", "Headline metric", "Value"}, 40);
+  table.print_header();
+  for (const auto& file : files) {
+    std::string shown = file.filename().string();
+    for (const auto& [key, value] : bench_scalars(file)) {
+      table.print_row({shown, key, value});
+      shown.clear();  // file name only on its first row
+    }
+  }
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   const CliFlags flags(argc, argv);
@@ -113,5 +202,7 @@ int main(int argc, char** argv) {
     std::printf("SNMF: ciphertext-only reconstruction; P=%.2f R=%.2f\n",
                 avg.precision, avg.recall);
   }
+
+  print_bench_artifacts();
   return 0;
 }

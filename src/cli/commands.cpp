@@ -265,9 +265,12 @@ int cmd_attack_snmf(const CliFlags& flags, std::ostream& out) {
   if (aopt.rank == 0) {
     // No --rank given: estimate d from the numerical rank of the score
     // matrix (rank(R) <= d with equality given enough ciphertexts). The
-    // temporary score matrix is donated to the SVD (rvalue overload).
-    aopt.rank = core::estimate_latent_dimension(core::build_score_matrix(
-        view.cipher_indexes, view.cipher_trapdoors, ctx.threads));
+    // temporary score matrix is donated to the SVD (rvalue overload); ctx
+    // routes large instances through the certified truncated path.
+    aopt.rank = core::estimate_latent_dimension(
+        core::build_score_matrix(view.cipher_indexes, view.cipher_trapdoors,
+                                 ctx.threads),
+        1e-8, ctx);
     require(aopt.rank > 0, "attack-snmf: rank estimation found a zero matrix");
     out << "estimated latent dimension d = " << aopt.rank
         << " from rank(R)\n";

@@ -11,6 +11,7 @@
 #include "common/stopwatch.hpp"
 #include "linalg/kernels.hpp"
 #include "linalg/svd.hpp"
+#include "linalg/truncated_svd.hpp"
 #include "obs/obs.hpp"
 #include "par/parallel.hpp"
 
@@ -69,27 +70,84 @@ Matrix build_score_matrix(
   return r;
 }
 
-std::size_t estimate_latent_dimension(const Matrix& scores, double rel_tol) {
-  require(scores.rows() > 0 && scores.cols() > 0,
-          "estimate_latent_dimension: empty score matrix");
-  // One-sided Jacobi SVD needs rows >= cols; rank is transpose-invariant,
-  // so the wide case reads the scores through a transposed view straight
-  // into the Svd working storage — no scores.transpose() temporary.
+namespace {
+
+// Score matrices whose small side is below this are ranked by the full
+// Jacobi SVD directly — it is already fast there and the randomized path's
+// fixed costs (sampling, QR, projected SVD) would not amortize.
+constexpr std::size_t kTruncatedMinDim = 128;
+
+/// Full-SVD rank with the convergence assert (a Jacobi factorization that
+/// ran out of sweeps is a best-effort iterate, not an SVD; ranking on it
+/// would silently return garbage).
+std::size_t latent_rank_full(const Matrix& scores, Matrix* donate,
+                             double rel_tol) {
+  obs::Span span("svd/full");
+  std::optional<linalg::Svd> svd;
+  // One-sided Jacobi needs rows >= cols; rank is transpose-invariant, so
+  // the wide case reads the scores through a transposed view straight into
+  // the Svd working storage — no scores.transpose() temporary.
   if (scores.rows() >= scores.cols()) {
-    return linalg::Svd(scores).rank(rel_tol);
+    if (donate != nullptr) {
+      // The Jacobi sweep rotates in place; moving the caller's matrix into
+      // the Svd avoids duplicating the full score matrix.
+      svd.emplace(std::move(*donate));
+    } else {
+      svd.emplace(scores);
+    }
+  } else {
+    svd.emplace(scores.cview(), linalg::Op::Transpose);
   }
-  return linalg::Svd(scores.cview(), linalg::Op::Transpose).rank(rel_tol);
+  if (!svd->converged()) {
+    throw NumericalError(
+        "estimate_latent_dimension: Jacobi SVD exhausted max_sweeps without "
+        "converging; refusing to rank an unconverged factorization");
+  }
+  return svd->rank(rel_tol);
 }
 
-std::size_t estimate_latent_dimension(Matrix&& scores, double rel_tol) {
+std::size_t latent_rank(const Matrix& scores, Matrix* donate, double rel_tol,
+                        const ExecContext& ctx) {
   require(scores.rows() > 0 && scores.cols() > 0,
           "estimate_latent_dimension: empty score matrix");
-  if (scores.rows() >= scores.cols()) {
-    // The Jacobi sweep rotates in place; moving the caller's matrix into
-    // the Svd avoids duplicating the full score matrix.
-    return linalg::Svd(std::move(scores)).rank(rel_tol);
+  const std::size_t minmn = std::min(scores.rows(), scores.cols());
+  if (minmn >= kTruncatedMinDim) {
+    obs::Span span("svd/truncated");
+    // Escalating sample size: start small (rank(R) <= d, typically far
+    // below the matrix dimensions), double until the residual certificate
+    // proves the count, and give up at ~minmn/2 — the crossover where the
+    // randomized path stops being cheaper than one full Jacobi.
+    for (std::size_t guess = 32; guess + 8 <= minmn / 2; guess *= 2) {
+      linalg::TruncatedSvdOptions opts;
+      opts.rank = guess;
+      opts.oversample = 8;
+      opts.power_iterations = 2;
+      opts.seed = ctx.seed;
+      opts.threads = ctx.resolved_threads();
+      const linalg::TruncatedSvd tsvd(scores.cview(), linalg::Op::None, opts);
+      obs::counter_add("svd.truncated_runs", 1.0);
+      if (const auto rank = tsvd.certified_rank(rel_tol)) {
+        obs::gauge_set("svd.truncated_sample",
+                       static_cast<double>(tsvd.sample_size()));
+        return *rank;
+      }
+    }
+    // Flat / ambiguous spectrum: no sample size could certify the gap.
+    obs::counter_add("svd.truncated_fallbacks", 1.0);
   }
-  return linalg::Svd(scores.cview(), linalg::Op::Transpose).rank(rel_tol);
+  return latent_rank_full(scores, donate, rel_tol);
+}
+
+}  // namespace
+
+std::size_t estimate_latent_dimension(const Matrix& scores, double rel_tol,
+                                      const ExecContext& ctx) {
+  return latent_rank(scores, nullptr, rel_tol, ctx);
+}
+
+std::size_t estimate_latent_dimension(Matrix&& scores, double rel_tol,
+                                      const ExecContext& ctx) {
+  return latent_rank(scores, &scores, rel_tol, ctx);
 }
 
 namespace {

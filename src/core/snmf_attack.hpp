@@ -74,13 +74,24 @@ struct SnmfAttackResult {
 /// R = I^T T has rank <= d, with equality once enough (dense-enough)
 /// indexes and trapdoors are observed. Lets a COA adversary run Algorithm 3
 /// without knowing the scheme's bloom-filter length a priori.
+///
+/// Large inputs go through the randomized truncated SVD
+/// (linalg::TruncatedSvd) with an escalating sample size, returning as soon
+/// as the residual certificate *proves* the rank at rel_tol; ambiguous
+/// spectra (and small inputs) run the full Jacobi SVD, whose convergence is
+/// asserted (NumericalError on max_sweeps exhaustion — a silent
+/// half-converged factorization would rank garbage). ctx supplies the
+/// Gaussian sample stream (ctx.seed) and the gemm/QR thread budget; the
+/// estimate is bit-identical at any thread count.
 [[nodiscard]] std::size_t estimate_latent_dimension(
-    const linalg::Matrix& scores, double rel_tol = 1e-8);
+    const linalg::Matrix& scores, double rel_tol = 1e-8,
+    const ExecContext& ctx = {});
 
 /// Rvalue overload: donates the caller's matrix to the SVD working storage
-/// on the rows >= cols path, skipping the full-matrix copy.
+/// on the full-SVD rows >= cols path, skipping the full-matrix copy.
 [[nodiscard]] std::size_t estimate_latent_dimension(linalg::Matrix&& scores,
-                                                    double rel_tol = 1e-8);
+                                                    double rel_tol = 1e-8,
+                                                    const ExecContext& ctx = {});
 
 /// Run Algorithm 3 on a ciphertext-only view. For a fixed ctx.seed the
 /// result is bit-identical for every ctx.threads and with or without a

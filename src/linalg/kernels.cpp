@@ -167,7 +167,11 @@ void gemm_blocked(double alpha, ConstMatrixView a, Op opa, ConstMatrixView b,
   const std::size_t m = c.rows();
   const std::size_t n = c.cols();
   const std::size_t kdim = op_cols(a, opa);
-  std::vector<double> bpack(kKc * std::min(n, kNc));
+  // pack_b zero-pads the right edge to a whole NR panel, so the buffer must
+  // round the column block up to a kNr multiple (nb = 300, kNr = 8 would
+  // otherwise overrun by (304 - 300) * kb doubles).
+  const std::size_t nc = std::min(n, kNc);
+  std::vector<double> bpack(kKc * ((nc + kNr - 1) / kNr) * kNr);
   const std::size_t ic_blocks = (m + kMc - 1) / kMc;
 
   for (std::size_t jc = 0; jc < n; jc += kNc) {

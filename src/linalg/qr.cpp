@@ -1,42 +1,136 @@
 #include "linalg/qr.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "linalg/kernels.hpp"
 
 namespace aspe::linalg {
 
-QrDecomposition::QrDecomposition(Matrix a) : qr_(std::move(a)) {
+QrDecomposition::QrDecomposition(Matrix a, const QrOptions& options)
+    : qr_(std::move(a)), options_(options) {
+  require(qr_.rows() >= qr_.cols(), "QrDecomposition: need rows >= cols");
+  require(qr_.cols() > 0, "QrDecomposition: empty matrix");
+  factor();
+}
+
+void QrDecomposition::factor() {
   const std::size_t m = qr_.rows();
   const std::size_t n = qr_.cols();
-  require(m >= n, "QrDecomposition: need rows >= cols");
-  require(n > 0, "QrDecomposition: empty matrix");
   tau_.assign(n, 0.0);
+  const std::size_t nb = std::max<std::size_t>(1, options_.block);
 
-  for (std::size_t k = 0; k < n; ++k) {
-    // Householder vector for column k below row k (a strided panel view).
-    const VecView panel_k = qr_.col_view(k).subvec(k, m - k);
-    const double norm = std::sqrt(dot(panel_k, panel_k));
-    if (norm == 0.0) {
-      tau_[k] = 0.0;  // zero column; R_kk = 0 marks rank deficiency
-      continue;
+  Matrix v_panel, t_panel, work;
+  for (std::size_t k0 = 0; k0 < n; k0 += nb) {
+    const std::size_t kb = std::min(nb, n - k0);
+
+    // Panel factorization: the classic unblocked loop restricted to columns
+    // [k0, k0 + kb). Within the panel, trailing columns are updated
+    // per-column — identical arithmetic to the unblocked algorithm, so a
+    // single-panel matrix (n <= block) reproduces it bit-for-bit.
+    for (std::size_t k = k0; k < k0 + kb; ++k) {
+      // Householder vector for column k below row k (a strided panel view).
+      const VecView panel_k = qr_.col_view(k).subvec(k, m - k);
+      const double norm = std::sqrt(dot(panel_k, panel_k));
+      if (norm == 0.0) {
+        tau_[k] = 0.0;  // zero column; R_kk = 0 marks rank deficiency
+        continue;
+      }
+      const double alpha = qr_(k, k) >= 0.0 ? -norm : norm;
+      // v = x - alpha e1 (stored in place, normalized so v[0] = 1).
+      const double v0 = qr_(k, k) - alpha;
+      qr_(k, k) = alpha;
+      const VecView v = qr_.col_view(k).subvec(k + 1, m - k - 1);
+      for (std::size_t i = 0; i < v.size(); ++i) v[i] /= v0;
+      tau_[k] = -v0 / alpha;  // beta = 2 / (v^T v) expressed via v0 and alpha
+
+      // Apply H = I - tau v v^T to the remaining columns of the panel.
+      for (std::size_t j = k + 1; j < k0 + kb; ++j) {
+        const VecView cj = qr_.col_view(j).subvec(k + 1, m - k - 1);
+        double s = tau_[k] * (qr_(k, j) + dot(v, cj));
+        qr_(k, j) -= s;
+        axpy(-s, v, cj);
+      }
     }
-    const double alpha = qr_(k, k) >= 0.0 ? -norm : norm;
-    // v = x - alpha e1 (stored in place, normalized so v[0] = 1).
-    const double v0 = qr_(k, k) - alpha;
-    qr_(k, k) = alpha;
-    const VecView v = qr_.col_view(k).subvec(k + 1, m - k - 1);
-    for (std::size_t i = 0; i < v.size(); ++i) v[i] /= v0;
-    tau_[k] = -v0 / alpha;  // beta = 2 / (v^T v) expressed via v0 and alpha
 
-    // Apply H = I - tau v v^T to the remaining columns.
-    for (std::size_t j = k + 1; j < n; ++j) {
-      const VecView cj = qr_.col_view(j).subvec(k + 1, m - k - 1);
-      double s = tau_[k] * (qr_(k, j) + dot(v, cj));
-      qr_(k, j) -= s;
-      axpy(-s, v, cj);
+    // Trailing update via compact-WY: C -= V (T^T (V^T C)), applying
+    // H_{kb-1} ... H_0 = Q_panel^T to every column right of the panel with
+    // two gemms instead of kb rank-1 passes.
+    const std::size_t trailing = n - (k0 + kb);
+    if (trailing == 0) continue;
+    build_panel(k0, kb, v_panel, t_panel);
+    const MatrixView c = qr_.block(k0, k0 + kb, m - k0, trailing);
+    work = Matrix(kb, trailing);
+    gemm(1.0, v_panel.cview(), Op::Transpose, ConstMatrixView(c), Op::None,
+         0.0, work.view(), options_.threads);
+    Matrix work2(kb, trailing);
+    gemm(1.0, t_panel.cview(), Op::Transpose, work.cview(), Op::None, 0.0,
+         work2.view(), options_.threads);
+    gemm(-1.0, v_panel.cview(), Op::None, work2.cview(), Op::None, 1.0, c,
+         options_.threads);
+  }
+}
+
+void QrDecomposition::build_panel(std::size_t k0, std::size_t kb, Matrix& v,
+                                  Matrix& t) const {
+  const std::size_t mk = qr_.rows() - k0;
+  // V: unit diagonal, Householder tails below, zeros above.
+  v = Matrix(mk, kb, 0.0);
+  for (std::size_t j = 0; j < kb; ++j) {
+    v(j, j) = 1.0;
+    for (std::size_t i = j + 1; i < mk; ++i) {
+      v(i, j) = qr_(k0 + i, k0 + j);
     }
   }
+  // T: forward accumulation of the triangular WY factor,
+  //   T_j = [ T_{j-1}  -tau_j T_{j-1} (V_{j-1}^T v_j) ]
+  //         [    0                tau_j               ]
+  // A tau of zero (zero column) makes H_j = I and the whole column of T
+  // zero, which the recurrence produces naturally.
+  t = Matrix(kb, kb, 0.0);
+  Vec y(kb);
+  for (std::size_t j = 0; j < kb; ++j) {
+    const double tau = tau_[k0 + j];
+    // y = V(:, 0..j)^T v_j; columns overlap only from row j down.
+    for (std::size_t c = 0; c < j; ++c) {
+      y[c] = dot(v.cview().col(c).subvec(j, mk - j),
+                 v.cview().col(j).subvec(j, mk - j));
+    }
+    for (std::size_t rr = 0; rr < j; ++rr) {
+      double s = 0.0;
+      for (std::size_t c = rr; c < j; ++c) s += t(rr, c) * y[c];
+      t(rr, j) = -tau * s;
+    }
+    t(j, j) = tau;
+  }
+}
+
+Matrix QrDecomposition::thin_q() const {
+  const std::size_t m = rows();
+  const std::size_t n = cols();
+  // Q = (I - V_0 T_0 V_0^T) ... (I - V_p T_p V_p^T) I_{m x n}: apply the
+  // panels to the identity in reverse order; panel k0 only touches rows
+  // k0 and below.
+  Matrix q(m, n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) q(i, i) = 1.0;
+  const std::size_t nb = std::max<std::size_t>(1, options_.block);
+  const std::size_t panels = (n + nb - 1) / nb;
+  Matrix v_panel, t_panel;
+  for (std::size_t p = panels; p-- > 0;) {
+    const std::size_t k0 = p * nb;
+    const std::size_t kb = std::min(nb, n - k0);
+    build_panel(k0, kb, v_panel, t_panel);
+    const MatrixView c = q.block(k0, 0, m - k0, n);
+    Matrix work(kb, n);
+    gemm(1.0, v_panel.cview(), Op::Transpose, ConstMatrixView(c), Op::None,
+         0.0, work.view(), options_.threads);
+    Matrix work2(kb, n);
+    gemm(1.0, t_panel.cview(), Op::None, work.cview(), Op::None, 0.0,
+         work2.view(), options_.threads);
+    gemm(-1.0, v_panel.cview(), Op::None, work2.cview(), Op::None, 1.0, c,
+         options_.threads);
+  }
+  return q;
 }
 
 Vec QrDecomposition::apply_qt(const Vec& b) const {

@@ -54,6 +54,7 @@ void Svd::factor(const SvdOptions& options) {
   // One-sided Jacobi: rotate column pairs of U until all are orthogonal.
   // Columns are strided views; the rotation is the shared rot kernel.
   const double scale = std::max(u_.max_abs(), 1e-300);
+  converged_ = false;
   for (std::size_t sweep = 0; sweep < options.max_sweeps; ++sweep) {
     bool converged = true;
     for (std::size_t p = 0; p + 1 < n; ++p) {
@@ -75,7 +76,10 @@ void Svd::factor(const SvdOptions& options) {
         rot(v_.col_view(p), v_.col_view(q), c, s);
       }
     }
-    if (converged) break;
+    if (converged) {
+      converged_ = true;
+      break;
+    }
   }
 
   // Singular values = column norms; normalize U.

@@ -30,6 +30,12 @@ class Svd {
   [[nodiscard]] const Vec& singular_values() const { return s_; }
   [[nodiscard]] const Matrix& v() const { return v_; }
 
+  /// Whether the Jacobi sweep loop reached the off-diagonal tolerance
+  /// before SvdOptions::max_sweeps ran out. When false the factors are the
+  /// best iterate so far, not a converged SVD — rank/gap decisions made on
+  /// them are unreliable and callers should check this first.
+  [[nodiscard]] bool converged() const { return converged_; }
+
   /// Numerical rank: singular values above rel_tol * s_max.
   [[nodiscard]] std::size_t rank(double rel_tol = 1e-10) const;
 
@@ -45,6 +51,7 @@ class Svd {
   Matrix u_;  // m x n
   Vec s_;     // n, descending
   Matrix v_;  // n x n
+  bool converged_ = false;
 };
 
 }  // namespace aspe::linalg

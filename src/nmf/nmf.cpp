@@ -5,6 +5,7 @@
 
 #include "linalg/kernels.hpp"
 #include "linalg/svd.hpp"
+#include "linalg/truncated_svd.hpp"
 #include "nmf/nnls.hpp"
 #include "obs/obs.hpp"
 #include "par/parallel.hpp"
@@ -19,6 +20,11 @@ namespace {
 // Loops below this many scalar operations run serially; the pool dispatch
 // costs more than it saves on the small factors of the unit tests.
 constexpr std::size_t kParallelWorkThreshold = std::size_t{1} << 16;
+
+// Inputs whose small side is below this run NNDSVD through the full Jacobi
+// SVD; above it the randomized truncated path wins (same crossover as
+// core::estimate_latent_dimension).
+constexpr std::size_t kTruncatedInitMinDim = 128;
 
 /// parallel_for with a work gate: fans out only when count * work_per_item
 /// justifies it. Every call site writes disjoint state per index, so the
@@ -43,20 +49,8 @@ Matrix gram_rows(const Matrix& m, std::size_t threads) {
   return g;
 }
 
-double objective(const Matrix& r, const Matrix& w, const Matrix& h, double eta,
-                 double lambda, double* fit_error) {
-  // fit = ||R - W^T H||_F^2, computed blockwise without forming W^T H.
-  double fit = 0.0;
-  const std::size_t d = w.rows();
-  for (std::size_t i = 0; i < r.rows(); ++i) {
-    for (std::size_t j = 0; j < r.cols(); ++j) {
-      double pred = 0.0;
-      for (std::size_t k = 0; k < d; ++k) pred += w(k, i) * h(k, j);
-      const double diff = r(i, j) - pred;
-      fit += diff * diff;
-    }
-  }
-  if (fit_error != nullptr) *fit_error = std::sqrt(fit);
+/// Penalty terms of Eq. (18): eta/2 ||W||_F^2 + lambda/2 sum_j ||h_j||_1^2.
+double penalty(const Matrix& w, const Matrix& h, double eta, double lambda) {
   double wfro = 0.0;
   for (auto x : w.data()) wfro += x * x;
   double l1sq = 0.0;
@@ -65,13 +59,59 @@ double objective(const Matrix& r, const Matrix& w, const Matrix& h, double eta,
     for (std::size_t k = 0; k < h.rows(); ++k) colsum += h(k, j);
     l1sq += colsum * colsum;
   }
-  return 0.5 * fit + 0.5 * eta * wfro + 0.5 * lambda * l1sq;
+  return 0.5 * eta * wfro + 0.5 * lambda * l1sq;
 }
+
+/// Eq. (18) via the Gram identity
+///   ||R - W^T H||_F^2 = ||R||_F^2 - 2 <F, W> + <W W^T, H H^T>,  F = H R^T,
+/// O(d^2 (m + n)) given F, against the naive O(m n d) residual sweep. F is
+/// a by-product of both the ANLS W-half-step and the MU W-numerator, so
+/// per-iteration convergence checks get it for free. The small clamp
+/// absorbs the cancellation roundoff that can push an (exactly tiny) fit a
+/// hair negative.
+double objective_from_gram(double r_fro2, const Matrix& f_w, const Matrix& w,
+                           const Matrix& h, double eta, double lambda,
+                           double* fit_error, std::size_t threads) {
+  double cross = 0.0;
+  {
+    const auto& fd = f_w.data();
+    const auto& wd = w.data();
+    for (std::size_t i = 0; i < fd.size(); ++i) cross += fd[i] * wd[i];
+  }
+  const Matrix gw = gram_rows(w, threads);
+  const Matrix gh = gram_rows(h, threads);
+  double quad = 0.0;
+  {
+    const auto& a = gw.data();
+    const auto& b = gh.data();
+    for (std::size_t i = 0; i < a.size(); ++i) quad += a[i] * b[i];
+  }
+  const double fit = std::max(0.0, r_fro2 - 2.0 * cross + quad);
+  if (fit_error != nullptr) *fit_error = std::sqrt(fit);
+  return 0.5 * fit + penalty(w, h, eta, lambda);
+}
+
+/// Batch NNLS statistics of one ANLS half-step, summed serially after the
+/// parallel column loop (the per-column numbers live in the workspaces).
+struct NnlsBatchStats {
+  double solves = 0.0;
+  double warm_starts = 0.0;
+  double warm_hits = 0.0;
+
+  void absorb(const std::vector<NnlsWorkspace>& ws) {
+    solves += static_cast<double>(ws.size());
+    for (const auto& w : ws) {
+      warm_starts += w.warm_started() ? 1.0 : 0.0;
+      warm_hits += w.passive_set_reused() ? 1.0 : 0.0;
+    }
+  }
+};
 
 /// ANLS half step: solve for H in min ||R - W^T H|| + lambda L1^2 columns.
 /// Gram trick: G = W W^T + lambda * ones, F = W R.
 void update_h_anls(const Matrix& r, const Matrix& w, Matrix& h, double lambda,
-                   std::size_t threads) {
+                   std::size_t threads, std::vector<NnlsWorkspace>& ws,
+                   bool warm, NnlsBatchStats& stats) {
   const std::size_t d = w.rows();
   Matrix g = gram_rows(w, threads);
   for (auto& x : g.data()) x += lambda;
@@ -84,34 +124,44 @@ void update_h_anls(const Matrix& r, const Matrix& w, Matrix& h, double lambda,
                threads);
   // Columns of H are independent NNLS solves — the ANLS hot spot. The view
   // form reads f's column and writes h's column in place: no per-column
-  // Vec copies in the loop.
+  // Vec copies in the loop. Each column owns its workspace, so the warm
+  // state threads through the parallel loop without sharing.
   obs::counter_add("nmf.nnls_solves", static_cast<double>(n));
   for_each_index(n, d * d * d + d * d, threads, [&](std::size_t j) {
-    nnls_gram(g, f.col_view(j), h.col_view(j));
+    if (!warm) ws[j].clear();
+    nnls_gram(g, f.col_view(j), h.col_view(j), ws[j]);
   });
+  stats.absorb(ws);
 }
 
 /// ANLS half step for W: min ||R^T - H^T W|| + eta ||W||^2.
-/// Gram: G = H H^T + eta I, F = H R^T.
+/// Gram: G = H H^T + eta I, F = H R^T. F depends only on (H, R), both
+/// fixed for the rest of the iteration, so it is exported through f_w for
+/// the objective evaluation that follows.
 void update_w_anls(const Matrix& r, Matrix& w, const Matrix& h, double eta,
-                   std::size_t threads) {
+                   std::size_t threads, std::vector<NnlsWorkspace>& ws,
+                   bool warm, NnlsBatchStats& stats, Matrix& f_w) {
   const std::size_t d = h.rows();
   Matrix g = gram_rows(h, threads);
   for (std::size_t k = 0; k < d; ++k) g(k, k) += eta + 1e-10;
   // F = H R^T (d x m): transposition is an op flag into gemm, not a copy.
   const std::size_t m = r.rows();
-  Matrix f(d, m);
+  if (f_w.rows() != d || f_w.cols() != m) f_w = Matrix(d, m);
   linalg::gemm(1.0, h.cview(), Op::None, r.cview(), Op::Transpose, 0.0,
-               f.view(), threads);
+               f_w.view(), threads);
   obs::counter_add("nmf.nnls_solves", static_cast<double>(m));
   for_each_index(m, d * d * d + d * d, threads, [&](std::size_t i) {
-    nnls_gram(g, f.col_view(i), w.col_view(i));
+    if (!warm) ws[i].clear();
+    nnls_gram(g, f_w.col_view(i), w.col_view(i), ws[i]);
   });
+  stats.absorb(ws);
 }
 
-/// Multiplicative updates for the same objective.
+/// Multiplicative updates for the same objective. The W-step numerator is
+/// H R^T with the already-updated H — exactly the F the objective needs —
+/// so it is computed straight into f_w.
 void update_mu(const Matrix& r, Matrix& w, Matrix& h, double eta,
-               double lambda, std::size_t threads) {
+               double lambda, std::size_t threads, Matrix& f_w) {
   constexpr double kEps = 1e-12;
   const std::size_t d = w.rows();
   const std::size_t m = w.cols();
@@ -142,39 +192,28 @@ void update_mu(const Matrix& r, Matrix& w, Matrix& h, double eta,
   // W <- W .* (H R^T) ./ (H H^T W + eta W + eps)
   {
     Matrix hht = gram_rows(h, threads);
-    Matrix numer(d, m);
+    if (f_w.rows() != d || f_w.cols() != m) f_w = Matrix(d, m);
     linalg::gemm(1.0, h.cview(), Op::None, r.cview(), Op::Transpose, 0.0,
-                 numer.view(), threads);
+                 f_w.view(), threads);
     Matrix denom(d, m);
     linalg::gemm(1.0, hht.cview(), Op::None, w.cview(), Op::None, 0.0,
                  denom.view(), threads);
     for_each_index(d, m, threads, [&](std::size_t k) {
       for (std::size_t i = 0; i < m; ++i) {
         denom(k, i) += eta * w(k, i);
-        w(k, i) *= numer(k, i) / (denom(k, i) + kEps);
+        w(k, i) *= f_w(k, i) / (denom(k, i) + kEps);
       }
     });
   }
 }
 
-/// NNDSVD: seed (W, H) from the leading singular triplets of R, keeping the
-/// dominant sign pattern of each rank-1 term (Boutsidis & Gallopoulos 2008,
-/// the "NNDSVDa"-style epsilon fill so multiplicative updates can escape
-/// exact zeros). W is d x m, H is d x n with R ~= W^T H.
-void nndsvd_init(const Matrix& r, std::size_t rank, Matrix& w, Matrix& h,
-                 double fill) {
-  const std::size_t m = r.rows();
-  const std::size_t n = r.cols();
-  // Svd needs rows >= cols; factor R or R^T accordingly and swap roles. The
-  // transpose is an op flag into the view constructor, not a materialized
-  // temporary.
-  const bool transposed = m < n;
-  const linalg::Svd svd(r.cview(), transposed ? Op::Transpose : Op::None);
-  // After the swap: left singular vectors correspond to rows of length
-  // max(m, n); map them back to the record side / trapdoor side.
-  const Matrix& left = svd.u();   // (max) x k
-  const Matrix& right = svd.v();  // (min) x k
-  const Vec& sing = svd.singular_values();
+/// Combine the leading singular triplets (left/right in the factored
+/// orientation, i.e. after any transpose swap) into the NNDSVD seed.
+void nndsvd_from_triplets(const Matrix& left, const Matrix& right,
+                          const Vec& sing, std::size_t rank, bool transposed,
+                          Matrix& w, Matrix& h, double fill) {
+  const std::size_t m = w.cols();
+  const std::size_t n = h.cols();
   const std::size_t k_avail = sing.size();
 
   for (auto& x : w.data()) x = fill;
@@ -218,6 +257,48 @@ void nndsvd_init(const Matrix& r, std::size_t rank, Matrix& w, Matrix& h,
   }
 }
 
+/// NNDSVD: seed (W, H) from the leading singular triplets of R, keeping the
+/// dominant sign pattern of each rank-1 term (Boutsidis & Gallopoulos 2008,
+/// the "NNDSVDa"-style epsilon fill so multiplicative updates can escape
+/// exact zeros). W is d x m, H is d x n with R ~= W^T H. Only the leading
+/// `rank` triplets are ever read, so on large inputs the randomized
+/// truncated SVD computes exactly what is needed instead of the full
+/// spectrum.
+void nndsvd_init(const Matrix& r, std::size_t rank, Matrix& w, Matrix& h,
+                 double fill, bool truncated) {
+  const std::size_t m = r.rows();
+  const std::size_t n = r.cols();
+  // Svd needs rows >= cols; factor R or R^T accordingly and swap roles. The
+  // transpose is an op flag into the view constructor, not a materialized
+  // temporary.
+  const bool transposed = m < n;
+  const Op op = transposed ? Op::Transpose : Op::None;
+
+  if (truncated && std::min(m, n) >= kTruncatedInitMinDim &&
+      rank + 8 < std::min(m, n)) {
+    obs::Span span("svd/truncated");
+    linalg::TruncatedSvdOptions o;
+    o.rank = rank;
+    // Fixed stream: NNDSVD stays a deterministic function of (R, rank),
+    // independent of any caller RNG, like the full-SVD path.
+    o.seed = 0x9e3779b97f4a7c15ull;
+    const linalg::TruncatedSvd tsvd(r.cview(), op, o);
+    if (tsvd.jacobi_converged()) {
+      nndsvd_from_triplets(tsvd.u(), tsvd.v(), tsvd.singular_values(), rank,
+                           transposed, w, h, fill);
+      return;
+    }
+    // Unconverged projected Jacobi (pathological): fall through to the
+    // full factorization below.
+  }
+  obs::Span span("svd/full");
+  const linalg::Svd svd(r.cview(), op);
+  // After the swap: left singular vectors correspond to rows of length
+  // max(m, n); map them back to the record side / trapdoor side.
+  nndsvd_from_triplets(svd.u(), svd.v(), svd.singular_values(), rank,
+                       transposed, w, h, fill);
+}
+
 }  // namespace
 
 NmfInit nmf_initialize(const Matrix& r, std::size_t rank,
@@ -241,7 +322,8 @@ NmfInit nmf_initialize(const Matrix& r, std::size_t rank,
   if (options.init == Initialization::Nndsvd) {
     // Deterministic SVD-based seed; the epsilon fill keeps multiplicative
     // updates from locking onto exact zeros.
-    nndsvd_init(r, rank, init.w, init.h, 0.01 * init_scale);
+    nndsvd_init(r, rank, init.w, init.h, 0.01 * init_scale,
+                options.truncated_init);
   } else {
     // Random non-negative init scaled so W^T H matches R's mean magnitude.
     for (auto& x : init.w.data()) x = rng.uniform(0.0, 1.0) * init_scale;
@@ -264,19 +346,40 @@ NmfResult sparse_nmf_from_init(const Matrix& r, std::size_t rank,
 
   obs::Span run_span("nmf/run");
   const bool anls = options.algorithm == Algorithm::Anls;
-  double prev_obj = objective(r, result.w, result.h, options.eta,
-                              options.lambda, nullptr);
+  const bool warm = anls && options.warm_start;
+
+  double r_fro2 = 0.0;
+  for (auto x : r.data()) r_fro2 += x * x;
+
+  // Per-column warm-start state, persisted across outer iterations (H
+  // columns and W columns are distinct NNLS problem families).
+  std::vector<NnlsWorkspace> ws_h(anls ? r.cols() : 0);
+  std::vector<NnlsWorkspace> ws_w(anls ? r.rows() : 0);
+  NnlsBatchStats stats;
+
+  // F = H R^T, maintained by every update step for the objective below.
+  Matrix f_w(rank, r.rows());
+  linalg::gemm(1.0, result.h.cview(), Op::None, r.cview(), Op::Transpose, 0.0,
+               f_w.view(), threads);
+
+  double prev_obj = objective_from_gram(r_fro2, f_w, result.w, result.h,
+                                        options.eta, options.lambda, nullptr,
+                                        threads);
   for (std::size_t it = 0; it < options.max_iterations; ++it) {
     if (anls) {
-      update_h_anls(r, result.w, result.h, options.lambda, threads);
-      update_w_anls(r, result.w, result.h, options.eta, threads);
+      update_h_anls(r, result.w, result.h, options.lambda, threads, ws_h,
+                    warm, stats);
+      update_w_anls(r, result.w, result.h, options.eta, threads, ws_w, warm,
+                    stats, f_w);
     } else {
-      update_mu(r, result.w, result.h, options.eta, options.lambda, threads);
+      update_mu(r, result.w, result.h, options.eta, options.lambda, threads,
+                f_w);
     }
     obs::counter_add(anls ? "nmf.anls_iterations" : "nmf.mu_iterations", 1.0);
     result.iterations = it + 1;
-    const double obj = objective(r, result.w, result.h, options.eta,
-                                 options.lambda, nullptr);
+    const double obj =
+        objective_from_gram(r_fro2, f_w, result.w, result.h, options.eta,
+                            options.lambda, nullptr, threads);
     if (std::abs(prev_obj - obj) <=
         options.rel_tol * std::max(1.0, std::abs(prev_obj))) {
       prev_obj = obj;
@@ -285,8 +388,16 @@ NmfResult sparse_nmf_from_init(const Matrix& r, std::size_t rank,
     prev_obj = obj;
   }
   result.objective =
-      objective(r, result.w, result.h, options.eta, options.lambda,
-                &result.fit_error);
+      objective_from_gram(r_fro2, f_w, result.w, result.h, options.eta,
+                          options.lambda, &result.fit_error, threads);
+  if (obs::enabled() && stats.solves > 0.0) {
+    obs::counter_add("nnls.solves", stats.solves);
+    obs::counter_add("nnls.warm_starts", stats.warm_starts);
+    obs::counter_add("nnls.warm_hits", stats.warm_hits);
+    // Fraction of solves that finished on the inherited passive set — the
+    // quantity that predicts the warm-start payoff for this input.
+    obs::gauge_set("nmf.passive_reuse_rate", stats.warm_hits / stats.solves);
+  }
   return result;
 }
 

@@ -38,6 +38,21 @@ struct SparseNmfOptions {
   double rel_tol = 1e-5;  // stop when relative objective change is below
   Algorithm algorithm = Algorithm::Anls;
   Initialization init = Initialization::Random;
+  /// ANLS only: carry each column's NNLS passive set across outer
+  /// iterations (NnlsWorkspace), so iteration t+1 starts from iteration
+  /// t's support instead of from zero. The warm and cold paths share every
+  /// solve formula and terminate on the same KKT support for
+  /// non-degenerate problems, so the factorization is bit-identical to
+  /// warm_start = false — just cheaper. Disable to benchmark the cold path
+  /// or to sidestep a (measure-zero) dual tie at the tolerance boundary.
+  bool warm_start = true;
+  /// Nndsvd only: seed from the randomized truncated SVD
+  /// (linalg::TruncatedSvd, rank + oversample triplets) instead of the
+  /// full Jacobi SVD when the input is large enough to profit. Falls back
+  /// to the full SVD for small inputs or when the projected Jacobi fails
+  /// to converge. Deterministic (fixed internal seed) like the full-SVD
+  /// path, but a numerically different — equally valid — initialization.
+  bool truncated_init = true;
 };
 
 struct NmfResult {

@@ -146,6 +146,22 @@ TEST(Gemm, AllOpCombosMatchReference) {
   }
 }
 
+TEST(Gemm, DeepKBlockWithRaggedColumns) {
+  // Regression: the packed-B buffer must round the column block up to a
+  // whole NR panel. With the inner dimension filling a full KC block and a
+  // column count that is not a multiple of NR, an exactly-sized buffer
+  // overflows by (padded - n) * kb doubles.
+  rng::Rng rng(113);
+  const std::size_t m = 24, k = 300, n = 300;
+  const Matrix a = random_rect(m, k, rng);
+  const Matrix b = random_rect(n, k, rng);  // consumed transposed
+  Matrix c(m, n, 0.0);
+  const Matrix expected =
+      reference_gemm(1.0, a, Op::None, b, Op::Transpose, 0.0, c);
+  gemm(1.0, a.cview(), Op::None, b.cview(), Op::Transpose, 0.0, c.view());
+  EXPECT_LE(max_abs_diff(c, expected), 1e-12 * static_cast<double>(k + 1));
+}
+
 TEST(Gemm, BetaZeroOverwritesGarbage) {
   rng::Rng rng(7);
   const Matrix a = random_rect(6, 5, rng);

@@ -89,5 +89,137 @@ TEST(Nnls, DimensionChecks) {
   EXPECT_THROW(nnls_gram(Matrix(2, 2), Vec{1}), InvalidArgument);
 }
 
+/// G = A^T A (full column rank a.s.) and f = A^T b for a fresh random A, b.
+void random_gram_problem(std::size_t k, rng::Rng& rng, Matrix& g, Vec& f) {
+  const std::size_t rows = k + 4;
+  Matrix a(rows, k);
+  for (auto& v : a.data()) v = rng.uniform(-1.0, 1.0);
+  g = Matrix(k, k, 0.0);
+  for (std::size_t i = 0; i < k; ++i) {
+    for (std::size_t j = 0; j < k; ++j) {
+      for (std::size_t r = 0; r < rows; ++r) g(i, j) += a(r, i) * a(r, j);
+    }
+  }
+  f = a.apply_transposed(rng.uniform_vec(rows, -1.0, 1.0));
+}
+
+/// KKT check against the Gram form: x >= 0, grad = Gx - f >= -tol
+/// everywhere and ~0 on the support.
+void expect_gram_kkt(const Matrix& g, const Vec& f, const Vec& x) {
+  const std::size_t k = g.rows();
+  for (std::size_t i = 0; i < k; ++i) {
+    double grad = -f[i];
+    for (std::size_t j = 0; j < k; ++j) grad += g(i, j) * x[j];
+    EXPECT_GE(x[i], 0.0);
+    EXPECT_GE(grad, -1e-6);
+    if (x[i] > 1e-8) EXPECT_NEAR(grad, 0.0, 1e-6);
+  }
+}
+
+TEST(Nnls, WarmMatchesColdBitwise) {
+  // ANLS-shaped sequence: the same column is re-solved against a drifting
+  // Gram matrix. The warm path carries its workspace (and previous x)
+  // across solves; the cold path starts from scratch every time. Both must
+  // return the same doubles bit for bit — warm starting is a pure
+  // optimization, never a numerical perturbation.
+  rng::Rng rng(21);
+  const std::size_t k = 8, rows = k + 4;
+  Matrix a(rows, k);
+  for (auto& v : a.data()) v = rng.uniform(-1.0, 1.0);
+  NnlsWorkspace ws;
+  Vec x_warm(k, 0.0);
+  for (int t = 0; t < 8; ++t) {
+    for (auto& v : a.data()) v += 0.05 * rng.uniform(-1.0, 1.0);
+    Matrix g(k, k, 0.0);
+    for (std::size_t i = 0; i < k; ++i) {
+      for (std::size_t j = 0; j < k; ++j) {
+        for (std::size_t r = 0; r < rows; ++r) g(i, j) += a(r, i) * a(r, j);
+      }
+    }
+    const Vec f = a.apply_transposed(rng.uniform_vec(rows, -1.0, 1.0));
+    nnls_gram(g, f, linalg::VecView(x_warm), ws);
+    const Vec x_cold = nnls_gram(g, f);
+    for (std::size_t j = 0; j < k; ++j) {
+      EXPECT_EQ(x_warm[j], x_cold[j]) << "t=" << t << " j=" << j;  // bitwise
+    }
+    expect_gram_kkt(g, f, x_warm);
+    if (t > 0) EXPECT_TRUE(ws.warm_started()) << t;
+  }
+}
+
+TEST(Nnls, WarmHitOnUnchangedProblem) {
+  rng::Rng rng(23);
+  Matrix g;
+  Vec f;
+  random_gram_problem(10, rng, g, f);
+  NnlsWorkspace ws;
+  Vec x(10, 0.0);
+  nnls_gram(g, f, linalg::VecView(x), ws);
+  const Vec first = x;
+  const std::size_t support = ws.passive_set().size();
+  ASSERT_GT(support, 0u);
+  const std::size_t cold_rows = ws.factor_rows_computed();
+  nnls_gram(g, f, linalg::VecView(x), ws);
+  EXPECT_TRUE(ws.warm_started());
+  EXPECT_TRUE(ws.passive_set_reused());
+  EXPECT_EQ(ws.outer_iterations(), 1u);  // one KKT check, no moves
+  // A warm hit refactors exactly the inherited support once; the cold solve
+  // paid for every insertion along the way.
+  EXPECT_EQ(ws.factor_rows_computed(), support);
+  EXPECT_LE(ws.factor_rows_computed(), cold_rows);
+  for (std::size_t j = 0; j < 10; ++j) EXPECT_EQ(x[j], first[j]);
+}
+
+TEST(Nnls, UpDowndateStress) {
+  // One workspace, many solves with a fixed Gram matrix and churning right-
+  // hand sides: variables enter and leave constantly, exercising the
+  // partial refactorization (insert at sorted position p, recompute rows
+  // >= p; prune, recompute from the lowest removed position). Every answer
+  // must satisfy KKT and match the cold solve bitwise.
+  rng::Rng rng(27);
+  Matrix g;
+  Vec f;
+  random_gram_problem(12, rng, g, f);
+  NnlsWorkspace ws;
+  Vec x(12, 0.0);
+  for (int t = 0; t < 40; ++t) {
+    Vec ft(12);
+    for (auto& v : ft) v = rng.uniform(-2.0, 2.0);
+    nnls_gram(g, ft, linalg::VecView(x), ws);
+    const Vec cold = nnls_gram(g, ft);
+    for (std::size_t j = 0; j < 12; ++j) {
+      EXPECT_EQ(x[j], cold[j]) << "t=" << t << " j=" << j;
+    }
+    expect_gram_kkt(g, ft, x);
+    // The carried set is exactly the support of the solution, ascending.
+    std::size_t prev = 0;
+    for (std::size_t idx : ws.passive_set()) {
+      EXPECT_TRUE(x[idx] > 0.0);
+      if (idx != ws.passive_set().front()) EXPECT_GT(idx, prev);
+      prev = idx;
+    }
+  }
+}
+
+TEST(Nnls, WorkspaceSanitizedOnProblemSizeChange) {
+  // Reusing a workspace on a different-sized Gram matrix must silently
+  // start cold, not read stale indices.
+  rng::Rng rng(31);
+  Matrix g4;
+  Vec f4;
+  random_gram_problem(4, rng, g4, f4);
+  NnlsWorkspace ws;
+  Vec x4(4, 0.0);
+  nnls_gram(g4, f4, linalg::VecView(x4), ws);
+  Matrix g7;
+  Vec f7;
+  random_gram_problem(7, rng, g7, f7);
+  Vec x7(7, 0.0);
+  nnls_gram(g7, f7, linalg::VecView(x7), ws);
+  EXPECT_FALSE(ws.warm_started());
+  const Vec cold = nnls_gram(g7, f7);
+  for (std::size_t j = 0; j < 7; ++j) EXPECT_EQ(x7[j], cold[j]);
+}
+
 }  // namespace
 }  // namespace aspe::nmf

@@ -106,5 +106,61 @@ TEST(Qr, Validation) {
   EXPECT_THROW(qr.solve(Vec{1, 2}), InvalidArgument);
 }
 
+TEST(Qr, BlockedAgreesWithSinglePanel) {
+  // block >= n runs the classic unblocked arithmetic; a small block goes
+  // through the compact-WY trailing update. Same R (Householder signs are
+  // determined by the per-column reflectors, which the panel path shares),
+  // tiny rounding differences at most.
+  rng::Rng rng(7);
+  Matrix a(40, 20);
+  for (auto& x : a.data()) x = rng.uniform(-1.0, 1.0);
+  QrOptions wide_panel;
+  wide_panel.block = 64;
+  QrOptions narrow_panel;
+  narrow_panel.block = 5;
+  const QrDecomposition ref(a, wide_panel);
+  const QrDecomposition blocked(a, narrow_panel);
+  const Matrix r_ref = ref.r();
+  const Matrix r_blk = blocked.r();
+  EXPECT_TRUE(r_blk.approx_equal(r_ref, 1e-10));
+  const Vec b = rng.uniform_vec(40, -1.0, 1.0);
+  EXPECT_TRUE(approx_equal(ref.solve(b), blocked.solve(b), 1e-9));
+}
+
+TEST(Qr, ThinQIsOrthonormalAndReconstructs) {
+  rng::Rng rng(8);
+  for (std::size_t block : {std::size_t{4}, std::size_t{32}}) {
+    Matrix a(30, 12);
+    for (auto& x : a.data()) x = rng.uniform(-1.0, 1.0);
+    QrOptions options;
+    options.block = block;
+    const QrDecomposition qr(a, options);
+    const Matrix q = qr.thin_q();
+    ASSERT_EQ(q.rows(), 30u);
+    ASSERT_EQ(q.cols(), 12u);
+    const Matrix gram = q.transpose() * q;
+    EXPECT_TRUE(gram.approx_equal(Matrix::identity(12), 1e-10))
+        << "block " << block;
+    EXPECT_TRUE((q * qr.r()).approx_equal(a, 1e-9)) << "block " << block;
+  }
+}
+
+TEST(Qr, ThinQConsistentWithApplyQt) {
+  // thin_q's columns are the first n columns of the full Q, so Q_thin^T b
+  // must equal the leading n entries of apply_qt(b).
+  rng::Rng rng(9);
+  Matrix a(18, 7);
+  for (auto& x : a.data()) x = rng.uniform(-1.0, 1.0);
+  const QrDecomposition qr(a);
+  const Vec b = rng.uniform_vec(18, -1.0, 1.0);
+  const Vec qtb = qr.apply_qt(b);
+  const Matrix q = qr.thin_q();
+  for (std::size_t j = 0; j < 7; ++j) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < 18; ++i) acc += q(i, j) * b[i];
+    EXPECT_NEAR(acc, qtb[j], 1e-10) << j;
+  }
+}
+
 }  // namespace
 }  // namespace aspe::linalg

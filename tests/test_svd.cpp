@@ -2,7 +2,14 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <tuple>
+#include <utility>
+
+#include "core/snmf_attack.hpp"
+#include "linalg/kernels.hpp"
 #include "linalg/random_matrix.hpp"
+#include "linalg/truncated_svd.hpp"
 #include "rng/rng.hpp"
 
 namespace aspe::linalg {
@@ -100,6 +107,144 @@ TEST(Svd, TruncatedReconstructionIsBestLowRank) {
 TEST(Svd, ShapeValidation) {
   EXPECT_THROW(Svd(Matrix(2, 3)), InvalidArgument);
   EXPECT_THROW(Svd(Matrix(0, 0)), InvalidArgument);
+}
+
+TEST(Svd, ReportsConvergence) {
+  rng::Rng rng(7);
+  Matrix a(10, 10);
+  for (auto& x : a.data()) x = rng.uniform(-1.0, 1.0);
+  EXPECT_TRUE(Svd(a).converged());
+  // A single sweep of a generic matrix still performs rotations, so the
+  // clean-sweep criterion cannot have been met.
+  SvdOptions starved;
+  starved.max_sweeps = 1;
+  EXPECT_FALSE(Svd(a, starved).converged());
+}
+
+/// Exact-rank-r fixture: R = W^T H with random non-negative factors — the
+/// shape of the SNMF attack's score matrix.
+Matrix low_rank_matrix(std::size_t m, std::size_t n, std::size_t r,
+                       std::uint64_t seed) {
+  rng::Rng rng(seed);
+  Matrix w(r, m), h(r, n);
+  for (auto& x : w.data()) x = rng.uniform(0.0, 1.0);
+  for (auto& x : h.data()) x = rng.uniform(0.0, 1.0);
+  Matrix out(m, n, 0.0);
+  for (std::size_t k = 0; k < r; ++k) {
+    for (std::size_t i = 0; i < m; ++i) {
+      for (std::size_t j = 0; j < n; ++j) out(i, j) += w(k, i) * h(k, j);
+    }
+  }
+  return out;
+}
+
+TEST(Svd, TruncatedAgreesWithFullOnLeadingTriplets) {
+  const Matrix a = low_rank_matrix(60, 50, 6, 11);
+  const Svd full(a);
+  TruncatedSvdOptions opts;
+  opts.rank = 6;
+  const TruncatedSvd trunc(a.cview(), Op::None, opts);
+  ASSERT_GE(trunc.singular_values().size(), 6u);
+  const double s_max = full.singular_values()[0];
+  for (std::size_t t = 0; t < 6; ++t) {
+    EXPECT_NEAR(trunc.singular_values()[t], full.singular_values()[t],
+                1e-8 * s_max)
+        << t;
+  }
+  // Subspace agreement: principal angles between the leading left/right
+  // singular subspaces vanish — checked per-vector because the random
+  // factors make the values simple (well separated) with overwhelming
+  // probability. Signs are ambiguous; compare |cos|.
+  for (std::size_t t = 0; t < 6; ++t) {
+    double cu = 0.0, cv = 0.0;
+    for (std::size_t i = 0; i < a.rows(); ++i) {
+      cu += full.u()(i, t) * trunc.u()(i, t);
+    }
+    for (std::size_t j = 0; j < a.cols(); ++j) {
+      cv += full.v()(j, t) * trunc.v()(j, t);
+    }
+    EXPECT_NEAR(std::abs(cu), 1.0, 1e-7) << t;
+    EXPECT_NEAR(std::abs(cv), 1.0, 1e-7) << t;
+  }
+  // Exact rank 6: the residual certificate resolves the rank.
+  EXPECT_NEAR(trunc.residual_fro(), 0.0, 1e-7 * s_max);
+  const auto certified = trunc.certified_rank(1e-8);
+  ASSERT_TRUE(certified.has_value());
+  EXPECT_EQ(*certified, 6u);
+  EXPECT_EQ(*certified, full.rank(1e-8));
+}
+
+TEST(Svd, TruncatedIsDeterministicAcrossThreadCounts) {
+  const Matrix a = low_rank_matrix(80, 70, 5, 13);
+  TruncatedSvdOptions o1;
+  o1.rank = 5;
+  o1.threads = 1;
+  TruncatedSvdOptions o4 = o1;
+  o4.threads = 4;
+  const TruncatedSvd t1(a.cview(), Op::None, o1);
+  const TruncatedSvd t4(a.cview(), Op::None, o4);
+  for (std::size_t t = 0; t < t1.singular_values().size(); ++t) {
+    EXPECT_EQ(t1.singular_values()[t], t4.singular_values()[t]);  // bitwise
+  }
+  EXPECT_EQ(t1.u().data(), t4.u().data());
+  EXPECT_EQ(t1.v().data(), t4.v().data());
+  EXPECT_EQ(t1.residual_fro(), t4.residual_fro());
+}
+
+TEST(Svd, TruncatedCertificateRefusesFlatSpectrum) {
+  // The identity has no spectrum gap at all: every sample sees only
+  // above-threshold values and a large uncaptured tail, so no count can be
+  // certified — the caller must fall back to the full SVD.
+  const Matrix eye = Matrix::identity(160);
+  TruncatedSvdOptions opts;
+  opts.rank = 16;
+  const TruncatedSvd trunc(eye.cview(), Op::None, opts);
+  EXPECT_FALSE(trunc.certified_rank(1e-8).has_value());
+}
+
+TEST(Svd, TruncatedHandlesWideInputsThroughOpFlag) {
+  const Matrix a = low_rank_matrix(40, 90, 4, 17);
+  TruncatedSvdOptions opts;
+  opts.rank = 4;
+  // Factor A directly (wide is fine for the randomized path) and through
+  // the transposed view of A^T; singular values must agree.
+  const TruncatedSvd direct(a.cview(), Op::None, opts);
+  Matrix at(a.cols(), a.rows());
+  transpose_copy(a.cview(), at.view());
+  const TruncatedSvd flipped(at.cview(), Op::Transpose, opts);
+  for (std::size_t t = 0; t < 4; ++t) {
+    EXPECT_NEAR(direct.singular_values()[t], flipped.singular_values()[t],
+                1e-8 * direct.singular_values()[0]);
+  }
+  const auto certified = direct.certified_rank(1e-8);
+  ASSERT_TRUE(certified.has_value());
+  EXPECT_EQ(*certified, 4u);
+}
+
+TEST(Svd, TruncatedValidation) {
+  TruncatedSvdOptions no_rank;
+  EXPECT_THROW(TruncatedSvd(Matrix(3, 3).cview(), Op::None, no_rank),
+               InvalidArgument);
+}
+
+TEST(Svd, LatentDimensionLvalueRvalueParity) {
+  // The rvalue overload donates storage but must not change the estimate,
+  // on both the truncated path (>= 128 per side) and the small full-SVD
+  // path.
+  core::ExecContext ctx;
+  ctx.seed = 23;
+  for (auto [m, n, r] : {std::tuple<std::size_t, std::size_t, std::size_t>{
+                             140, 130, 7},
+                         {60, 40, 5}}) {
+    const Matrix scores = low_rank_matrix(m, n, r, 29);
+    Matrix donated = scores;
+    const std::size_t from_lvalue =
+        core::estimate_latent_dimension(scores, 1e-8, ctx);
+    const std::size_t from_rvalue =
+        core::estimate_latent_dimension(std::move(donated), 1e-8, ctx);
+    EXPECT_EQ(from_lvalue, r) << m << "x" << n;
+    EXPECT_EQ(from_lvalue, from_rvalue) << m << "x" << n;
+  }
 }
 
 }  // namespace

@@ -1,0 +1,139 @@
+#!/usr/bin/env python3
+"""Compare fresh BENCH_*.json artifacts against committed baselines.
+
+Usage:
+    tools/check_bench.py [--fresh-dir DIR] [--baseline-dir DIR]
+                         [--threshold FRACTION]
+
+Every baseline document in --baseline-dir (default: bench/baselines/) must
+have a fresh counterpart of the same name in --fresh-dir (default: the
+current directory, where bench_micro writes its dumps). The *named series* —
+the top-level scalar fields each writer emits as its headline numbers — are
+compared direction-aware:
+
+  * keys containing "speedup", "gflops" or "reduction" are higher-is-better;
+  * keys containing "seconds" or "overhead" are lower-is-better;
+  * boolean series (e.g. attack_outputs_bit_identical) must not flip from
+    true to false;
+  * anything else is reported but never enforced.
+
+A regression beyond --threshold (default 0.15, i.e. 15%) on any enforced
+series fails the run with exit code 1. Per-record "results" entries are
+reported for context only — individual micro-timings are too noisy to gate
+on; the headline ratios are what the PRs' acceptance criteria name.
+
+Stdlib only; no third-party dependencies.
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+
+HIGHER_BETTER = ("speedup", "gflops", "reduction")
+LOWER_BETTER = ("seconds", "overhead")
+
+
+def direction(key):
+    """'higher', 'lower', or None (unenforced) for a series name."""
+    lowered = key.lower()
+    if any(tag in lowered for tag in HIGHER_BETTER):
+        return "higher"
+    if any(tag in lowered for tag in LOWER_BETTER):
+        return "lower"
+    return None
+
+
+def headline_series(doc):
+    """Top-level scalar fields of one BENCH document, insertion-ordered."""
+    return {
+        key: value
+        for key, value in doc.items()
+        if isinstance(value, (int, float, bool)) and not key.startswith("_")
+    }
+
+
+def check_file(baseline_path, fresh_path, threshold):
+    """Return a list of failure strings for one baseline/fresh pair."""
+    failures = []
+    with open(baseline_path, encoding="utf-8") as fp:
+        baseline = json.load(fp)
+    with open(fresh_path, encoding="utf-8") as fp:
+        fresh = json.load(fp)
+
+    base_series = headline_series(baseline)
+    fresh_series = headline_series(fresh)
+    name = baseline_path.name
+
+    for key, base_value in base_series.items():
+        if key not in fresh_series:
+            failures.append(f"{name}: series '{key}' missing from fresh run")
+            continue
+        fresh_value = fresh_series[key]
+        if isinstance(base_value, bool):
+            status = "ok" if (fresh_value or not base_value) else "FAIL"
+            print(f"  {key}: {base_value} -> {fresh_value} [{status}]")
+            if status == "FAIL":
+                failures.append(
+                    f"{name}: '{key}' flipped from {base_value} to {fresh_value}"
+                )
+            continue
+        sense = direction(key)
+        if sense is None or base_value == 0:
+            print(f"  {key}: {base_value:g} -> {fresh_value:g} [info]")
+            continue
+        ratio = fresh_value / base_value
+        regressed = (
+            ratio < 1.0 - threshold if sense == "higher" else ratio > 1.0 + threshold
+        )
+        status = "FAIL" if regressed else "ok"
+        print(
+            f"  {key}: {base_value:g} -> {fresh_value:g} "
+            f"({ratio:.2f}x, {sense}-is-better) [{status}]"
+        )
+        if regressed:
+            failures.append(
+                f"{name}: '{key}' regressed beyond {threshold:.0%}: "
+                f"{base_value:g} -> {fresh_value:g}"
+            )
+    return failures
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Fail on >threshold regressions of named benchmark series."
+    )
+    repo_root = pathlib.Path(__file__).resolve().parent.parent
+    parser.add_argument("--fresh-dir", type=pathlib.Path, default=pathlib.Path("."))
+    parser.add_argument(
+        "--baseline-dir", type=pathlib.Path, default=repo_root / "bench" / "baselines"
+    )
+    parser.add_argument("--threshold", type=float, default=0.15)
+    args = parser.parse_args()
+
+    baselines = sorted(args.baseline_dir.glob("BENCH_*.json"))
+    if not baselines:
+        print(f"no BENCH_*.json baselines under {args.baseline_dir}", file=sys.stderr)
+        return 2
+
+    failures = []
+    for baseline_path in baselines:
+        fresh_path = args.fresh_dir / baseline_path.name
+        print(f"{baseline_path.name}:")
+        if not fresh_path.is_file():
+            print("  (no fresh artifact — run bench_micro in --fresh-dir first)")
+            failures.append(f"{baseline_path.name}: fresh artifact missing")
+            continue
+        failures.extend(check_file(baseline_path, fresh_path, args.threshold))
+
+    if failures:
+        print("\nregressions detected:", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print("\nall named series within threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

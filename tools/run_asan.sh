@@ -29,4 +29,10 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)" -R "Obs\."
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)" \
   -R "WarmStart|SimplexStress|Simplex\.|Mip"
 
+# Third pre-pass over the truncated-SVD / warm-NNLS path: blocked QR panels,
+# workspace Cholesky up/downdates and per-column factor buffers are the
+# newest raw-pointer code (PR 5), and the suites run in well under a second.
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)" \
+  -R "Svd\.|Nnls\.|Qr\."
+
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"

@@ -25,4 +25,10 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)" -R "Obs\."
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)" \
   -R "WarmStart|MipAttack|Par\."
 
+# Third pre-pass: the truncated SVD fans gemm/QR panels over the pool and
+# the ANLS warm path keeps per-column workspaces that must stay disjoint
+# across workers; check the PR 5 suites before the full run.
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)" \
+  -R "Svd\.|Nnls\.|Qr\."
+
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"

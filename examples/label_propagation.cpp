@@ -12,8 +12,8 @@
 
 #include "core/similarity_inference.hpp"
 #include "core/snmf_attack.hpp"
+#include "io/codec.hpp"
 #include "io/key_io.hpp"
-#include "io/serialization.hpp"
 #include "sse/adversary_view.hpp"
 #include "sse/system.hpp"
 
@@ -44,14 +44,19 @@ int main() {
     }
   }
   std::stringstream db_file, key_file;
-  io::write_encrypted_database(db_file, db);
+  {
+    auto w = io::open_writer(db_file, io::Format::Binary);
+    w->write_cipher_database(db);
+    w->finish();
+  }
   io::write_split_encryptor(key_file, mkfse.encryptor());
   std::printf("persisted %zu ciphertexts (%zu bytes) and the owner key\n",
               db.size(), db_file.str().size());
 
-  // Server side: load the ciphertexts (no key!) and serve queries.
+  // Server side: load the ciphertexts (no key!) and serve queries. The
+  // reader sniffs the io::v2 magic, so the same line would load a text db.
   sse::CloudServer server;
-  for (auto& c : io::read_encrypted_database(db_file)) {
+  for (auto& c : io::open_reader(db_file)->read_cipher_database()) {
     server.upload_index(std::move(c));
   }
   for (int j = 0; j < 36; ++j) {

@@ -13,8 +13,8 @@
 #include "core/mip_attack.hpp"
 #include "core/snmf_attack.hpp"
 #include "data/quest.hpp"
+#include "io/codec.hpp"
 #include "io/key_io.hpp"
-#include "io/serialization.hpp"
 #include "obs/sinks.hpp"
 #include "par/thread_pool.hpp"
 #include "rng/rng.hpp"
@@ -39,6 +39,30 @@ std::string required(const CliFlags& flags, const std::string& name) {
   const std::string v = flags.get_string(name, "");
   require(!v.empty(), "missing required flag --" + name);
   return v;
+}
+
+/// Resolve the command's *primary input* path: its named flag, with
+/// `--input` accepted as the uniform alias every command shares.
+std::string required_input(const CliFlags& flags, const std::string& name) {
+  std::string v = flags.get_string(name, "");
+  if (v.empty()) v = flags.get_string("input", "");
+  require(!v.empty(), "missing required flag --" + name + " (or --input)");
+  return v;
+}
+
+/// Resolve the command's *primary output* path (`--output` is the alias).
+std::string required_output(const CliFlags& flags, const std::string& name) {
+  std::string v = flags.get_string(name, "");
+  if (v.empty()) v = flags.get_string("output", "");
+  require(!v.empty(), "missing required flag --" + name + " (or --output)");
+  return v;
+}
+
+/// The output encoding from `--format` (text when absent). Inputs never need
+/// the flag: readers open with Format::Auto and sniff the v2 magic, so every
+/// command consumes either encoding transparently.
+io::Format output_format(const CliFlags& flags) {
+  return io::parse_format(flags.get_string("format", "text"));
 }
 
 /// Build the execution policy for an attack command from the global
@@ -175,7 +199,7 @@ int cmd_gen_data(const CliFlags& flags, std::ostream& out) {
       as_vecs.push_back(rng.uniform_vec(d, lo, hi));
     }
     out << "wrote " << count << " real-valued records (d=" << d << ") to "
-        << flags.get_string("out", "") << "\n";
+        << required_output(flags, "out") << "\n";
   } else {
     data::QuestOptions qopt;
     qopt.num_items = d;
@@ -186,19 +210,20 @@ int cmd_gen_data(const CliFlags& flags, std::ostream& out) {
       as_vecs.push_back(to_real(r));
     }
     out << "wrote " << count << " binary records (d=" << d
-        << ", rho=" << qopt.density << ") to " << flags.get_string("out", "")
+        << ", rho=" << qopt.density << ") to " << required_output(flags, "out")
         << "\n";
   }
-  auto f = open_output(required(flags, "out"));
-  io::write_vec_list(f, as_vecs);
+  auto w = io::open_writer(required_output(flags, "out"), output_format(flags));
+  for (const auto& v : as_vecs) w->write_vec(v);
+  w->finish();
   return 0;
 }
 
 int cmd_encrypt(const CliFlags& flags, std::ostream& out, bool trapdoor) {
   auto key_file = open_input(required(flags, "key"));
   const scheme::SplitEncryptor key = io::read_split_encryptor(key_file);
-  auto plain_file = open_input(required(flags, "plain"));
-  const auto plain = io::read_vec_list(plain_file);
+  const auto plain =
+      io::open_reader(required_input(flags, "plain"))->read_vecs();
   require(!plain.empty(), "encrypt: no plaintext records in input");
   rng::Rng rng(static_cast<std::uint64_t>(flags.get_int("seed", 1)));
   std::vector<scheme::CipherPair> db;
@@ -207,8 +232,9 @@ int cmd_encrypt(const CliFlags& flags, std::ostream& out, bool trapdoor) {
     db.push_back(trapdoor ? key.encrypt_trapdoor(v, rng)
                           : key.encrypt_index(v, rng));
   }
-  auto f = open_output(required(flags, "out"));
-  io::write_encrypted_database(f, db);
+  auto w = io::open_writer(required_output(flags, "out"), output_format(flags));
+  w->write_cipher_database(db);
+  w->finish();
   out << "encrypted " << db.size() << (trapdoor ? " trapdoors" : " indexes")
       << " under " << flags.get_string("key", "") << "\n";
   return 0;
@@ -217,25 +243,26 @@ int cmd_encrypt(const CliFlags& flags, std::ostream& out, bool trapdoor) {
 int cmd_decrypt(const CliFlags& flags, std::ostream& out) {
   auto key_file = open_input(required(flags, "key"));
   const scheme::SplitEncryptor key = io::read_split_encryptor(key_file);
-  auto db_file = open_input(required(flags, "db"));
-  const auto db = io::read_encrypted_database(db_file);
+  const auto db =
+      io::open_reader(required_input(flags, "db"))->read_cipher_database();
   const bool trapdoor = flags.get_bool("trapdoor", false);
   std::vector<Vec> plain;
   plain.reserve(db.size());
   for (const auto& c : db) {
     plain.push_back(trapdoor ? key.decrypt_trapdoor(c) : key.decrypt_index(c));
   }
-  auto f = open_output(required(flags, "out"));
-  io::write_vec_list(f, plain);
+  auto w = io::open_writer(required_output(flags, "out"), output_format(flags));
+  for (const auto& v : plain) w->write_vec(v);
+  w->finish();
   out << "decrypted " << plain.size() << " records\n";
   return 0;
 }
 
 int cmd_score(const CliFlags& flags, std::ostream& out) {
-  auto db_file = open_input(required(flags, "db"));
-  const auto db = io::read_encrypted_database(db_file);
-  auto trap_file = open_input(required(flags, "trapdoors"));
-  const auto trapdoors = io::read_encrypted_database(trap_file);
+  const auto db =
+      io::open_reader(required_input(flags, "db"))->read_cipher_database();
+  const auto trapdoors =
+      io::open_reader(required(flags, "trapdoors"))->read_cipher_database();
   require(!db.empty() && !trapdoors.empty(), "score: empty inputs");
   out << "score matrix (" << db.size() << " x " << trapdoors.size() << ")\n";
   out.precision(6);
@@ -249,11 +276,11 @@ int cmd_score(const CliFlags& flags, std::ostream& out) {
 }
 
 int cmd_attack_snmf(const CliFlags& flags, std::ostream& out) {
-  auto db_file = open_input(required(flags, "db"));
-  auto trap_file = open_input(required(flags, "trapdoors"));
   sse::CoaView view;
-  view.cipher_indexes = io::read_encrypted_database(db_file);
-  view.cipher_trapdoors = io::read_encrypted_database(trap_file);
+  view.cipher_indexes =
+      io::open_reader(required_input(flags, "db"))->read_cipher_database();
+  view.cipher_trapdoors =
+      io::open_reader(required(flags, "trapdoors"))->read_cipher_database();
 
   CommandObs cobs(flags);
   core::ExecContext ctx = make_exec_context(
@@ -281,11 +308,24 @@ int cmd_attack_snmf(const CliFlags& flags, std::ostream& out) {
   const auto res = core::run_snmf_attack(view, aopt, ctx);
   cobs.finish(res.telemetry, out);
 
-  auto f = open_output(required(flags, "out"));
-  f << "# reconstructed indexes (" << res.indexes.size() << ")\n";
-  io::write_bitvec_list(f, res.indexes);
-  f << "# reconstructed trapdoors (" << res.trapdoors.size() << ")\n";
-  io::write_bitvec_list(f, res.trapdoors);
+  const std::string out_path = required_output(flags, "out");
+  if (output_format(flags) == io::Format::Binary) {
+    // One BitVecList container: the reconstructed indexes followed by the
+    // reconstructed trapdoors (the counts are reported on stdout; the text
+    // report's comment lines have no binary equivalent).
+    auto w = io::open_writer(out_path, io::Format::Binary);
+    for (const auto& v : res.indexes) w->write_bitvec(v);
+    for (const auto& v : res.trapdoors) w->write_bitvec(v);
+    w->finish();
+  } else {
+    auto f = open_output(out_path);
+    auto w = io::TextCodec::writer(f);
+    f << "# reconstructed indexes (" << res.indexes.size() << ")\n";
+    for (const auto& v : res.indexes) w->write_bitvec(v);
+    f << "# reconstructed trapdoors (" << res.trapdoors.size() << ")\n";
+    for (const auto& v : res.trapdoors) w->write_bitvec(v);
+    w->finish();
+  }
   out << "SNMF attack: reconstructed " << res.indexes.size()
       << " indexes and " << res.trapdoors.size()
       << " trapdoors (fit error " << res.best_fit_error << ")\n";
@@ -293,28 +333,30 @@ int cmd_attack_snmf(const CliFlags& flags, std::ostream& out) {
 }
 
 int cmd_make_index(const CliFlags& flags, std::ostream& out) {
-  auto plain_file = open_input(required(flags, "plain"));
-  const auto records = io::read_vec_list(plain_file);
+  const auto records =
+      io::open_reader(required_input(flags, "plain"))->read_vecs();
   std::vector<Vec> indexes;
   indexes.reserve(records.size());
   for (const auto& p : records) indexes.push_back(scheme::make_index(p));
-  auto f = open_output(required(flags, "out"));
-  io::write_vec_list(f, indexes);
+  auto w = io::open_writer(required_output(flags, "out"), output_format(flags));
+  for (const auto& v : indexes) w->write_vec(v);
+  w->finish();
   out << "built " << indexes.size() << " ASPE indexes (P, -0.5||P||^2)\n";
   return 0;
 }
 
 int cmd_make_trapdoor(const CliFlags& flags, std::ostream& out) {
-  auto plain_file = open_input(required(flags, "plain"));
-  const auto queries = io::read_vec_list(plain_file);
+  const auto queries =
+      io::open_reader(required_input(flags, "plain"))->read_vecs();
   rng::Rng rng(static_cast<std::uint64_t>(flags.get_int("seed", 1)));
   std::vector<Vec> trapdoors;
   trapdoors.reserve(queries.size());
   for (const auto& q : queries) {
     trapdoors.push_back(scheme::make_trapdoor(q, rng.uniform(0.5, 2.0)));
   }
-  auto f = open_output(required(flags, "out"));
-  io::write_vec_list(f, trapdoors);
+  auto w = io::open_writer(required_output(flags, "out"), output_format(flags));
+  for (const auto& v : trapdoors) w->write_vec(v);
+  w->finish();
   out << "built " << trapdoors.size() << " ASPE trapdoors r(Q, 1)\n";
   return 0;
 }
@@ -335,8 +377,8 @@ BitVec to_bits(const Vec& v) {
 }
 
 int cmd_mrse_index(const CliFlags& flags, std::ostream& out) {
-  auto plain_file = open_input(required(flags, "plain"));
-  const auto records = io::read_vec_list(plain_file);
+  const auto records =
+      io::open_reader(required_input(flags, "plain"))->read_vecs();
   require(!records.empty(), "mrse-index: no records");
   rng::Rng rng(static_cast<std::uint64_t>(flags.get_int("seed", 1)));
   const scheme::Mrse mrse = make_mrse(flags, records[0].size(), rng);
@@ -345,16 +387,17 @@ int cmd_mrse_index(const CliFlags& flags, std::ostream& out) {
   for (const auto& p : records) {
     indexes.push_back(mrse.build_index(to_bits(p), rng));
   }
-  auto f = open_output(required(flags, "out"));
-  io::write_vec_list(f, indexes);
+  auto w = io::open_writer(required_output(flags, "out"), output_format(flags));
+  for (const auto& v : indexes) w->write_vec(v);
+  w->finish();
   out << "built " << indexes.size() << " MRSE indexes (d+U+1 = "
       << indexes[0].size() << ")\n";
   return 0;
 }
 
 int cmd_mrse_trapdoor(const CliFlags& flags, std::ostream& out) {
-  auto plain_file = open_input(required(flags, "plain"));
-  const auto queries = io::read_vec_list(plain_file);
+  const auto queries =
+      io::open_reader(required_input(flags, "plain"))->read_vecs();
   require(!queries.empty(), "mrse-trapdoor: no queries");
   rng::Rng rng(static_cast<std::uint64_t>(flags.get_int("seed", 1)));
   const scheme::Mrse mrse = make_mrse(flags, queries[0].size(), rng);
@@ -363,8 +406,9 @@ int cmd_mrse_trapdoor(const CliFlags& flags, std::ostream& out) {
   for (const auto& q : queries) {
     trapdoors.push_back(mrse.build_trapdoor(to_bits(q), rng));
   }
-  auto f = open_output(required(flags, "out"));
-  io::write_vec_list(f, trapdoors);
+  auto w = io::open_writer(required_output(flags, "out"), output_format(flags));
+  for (const auto& v : trapdoors) w->write_vec(v);
+  w->finish();
   out << "built " << trapdoors.size() << " MRSE trapdoors\n";
   return 0;
 }
@@ -372,14 +416,14 @@ int cmd_mrse_trapdoor(const CliFlags& flags, std::ostream& out) {
 int cmd_attack_lep(const CliFlags& flags, std::ostream& out) {
   // Known pairs: plaintext *records* P_i (vec list) aligned with the first
   // entries of the ciphertext database. The attack derives I_i itself.
-  auto plain_file = open_input(required(flags, "known-plain"));
-  const auto known_records = io::read_vec_list(plain_file);
-  auto db_file = open_input(required(flags, "db"));
-  auto trap_file = open_input(required(flags, "trapdoors"));
+  const auto known_records =
+      io::open_reader(required(flags, "known-plain"))->read_vecs();
 
   sse::KpaView view;
-  view.observed.cipher_indexes = io::read_encrypted_database(db_file);
-  view.observed.cipher_trapdoors = io::read_encrypted_database(trap_file);
+  view.observed.cipher_indexes =
+      io::open_reader(required_input(flags, "db"))->read_cipher_database();
+  view.observed.cipher_trapdoors =
+      io::open_reader(required(flags, "trapdoors"))->read_cipher_database();
   require(known_records.size() <= view.observed.cipher_indexes.size(),
           "attack-lep: more known records than ciphertexts");
   for (std::size_t i = 0; i < known_records.size(); ++i) {
@@ -394,10 +438,13 @@ int cmd_attack_lep(const CliFlags& flags, std::ostream& out) {
   ctx.sink = cobs.sink();
   const auto res = core::run_lep_attack(view, core::LepOptions{}, ctx);
   cobs.finish(res.telemetry, out);
-  auto rec_file = open_output(required(flags, "out-records"));
-  io::write_vec_list(rec_file, res.records);
-  auto query_file = open_output(required(flags, "out-queries"));
-  io::write_vec_list(query_file, res.queries);
+  const io::Format fmt = output_format(flags);
+  auto rec_w = io::open_writer(required(flags, "out-records"), fmt);
+  for (const auto& v : res.records) rec_w->write_vec(v);
+  rec_w->finish();
+  auto query_w = io::open_writer(required(flags, "out-queries"), fmt);
+  for (const auto& v : res.queries) query_w->write_vec(v);
+  query_w->finish();
   out << "LEP attack: recovered " << res.records.size() << " records and "
       << res.queries.size() << " queries (complete disclosure)\n";
   return 0;
@@ -405,12 +452,12 @@ int cmd_attack_lep(const CliFlags& flags, std::ostream& out) {
 
 int cmd_attack_mip(const CliFlags& flags, std::ostream& out) {
   // Known pairs: binary plaintext records aligned with the ciphertext DB.
-  auto plain_file = open_input(required(flags, "known-plain"));
-  const auto known = io::read_vec_list(plain_file);
-  auto db_file = open_input(required(flags, "db"));
-  const auto db = io::read_encrypted_database(db_file);
-  auto trap_file = open_input(required(flags, "trapdoors"));
-  const auto trapdoors = io::read_encrypted_database(trap_file);
+  const auto known =
+      io::open_reader(required(flags, "known-plain"))->read_vecs();
+  const auto db =
+      io::open_reader(required_input(flags, "db"))->read_cipher_database();
+  const auto trapdoors =
+      io::open_reader(required(flags, "trapdoors"))->read_cipher_database();
   require(known.size() <= db.size(),
           "attack-mip: more known records than ciphertexts");
   require(!trapdoors.empty(), "attack-mip: no trapdoors");
@@ -445,17 +492,47 @@ int cmd_attack_mip(const CliFlags& flags, std::ostream& out) {
     out << "MIP attack: no feasible query found within limits\n";
     return 3;
   }
-  auto f = open_output(required(flags, "out"));
-  io::write_bitvec_list(f, {res.query});
+  auto w = io::open_writer(required_output(flags, "out"), output_format(flags));
+  w->write_bitvec(res.query);
+  w->finish();
   out << "MIP attack: reconstructed query with " << popcount(res.query)
       << " keywords in " << res.telemetry.wall_seconds
       << "s (rhat=" << res.rhat << ", that=" << res.that << ")\n";
   return 0;
 }
 
+int cmd_convert(const CliFlags& flags, std::ostream& out) {
+  const std::string in_path = required_input(flags, "in");
+  const std::string out_path = required_output(flags, "out");
+  // --format names the *target* encoding; the source encoding is sniffed.
+  const io::Format fmt = io::parse_format(required(flags, "format"));
+  auto reader = io::open_reader(in_path);
+  auto writer = io::open_writer(out_path, fmt);
+  std::size_t records = 0;
+  std::vector<scheme::CipherPair> pending_db;
+  while (auto r = reader->read_next()) {
+    ++records;
+    // Cipher pairs are buffered so the text target gets one framed
+    // encrypted_db (count up front) rather than a bare record stream.
+    if (r->kind == io::RecordKind::CipherPair) {
+      pending_db.push_back(std::move(r->cipher));
+    } else {
+      writer->write_record(*r);
+    }
+  }
+  if (!pending_db.empty()) writer->write_cipher_database(pending_db);
+  writer->finish();
+  out << "converted " << records << " records to "
+      << (fmt == io::Format::Binary ? "binary" : "text") << ": " << out_path
+      << "\n";
+  return 0;
+}
+
 int cmd_help(std::ostream& out) {
   out << "aspe_cli — drive the ASPE toolkit from files\n"
          "\n"
+         "  convert     --in=src --out=dst --format={text,bin}\n"
+         "              (re-encode any corpus file; source format is sniffed)\n"
          "  keygen      --dim=N --key=key.txt [--seed=S]\n"
          "  gen-data    --d=N --out=plain.txt [--rho=R] [--count=M] [--seed=S]\n"
          "              [--real [--lo=A] [--hi=B]]  (real-valued records)\n"
@@ -484,13 +561,20 @@ int cmd_help(std::ostream& out) {
          "N parallel threads (0 or `all` = every hardware thread; default 1).\n"
          "Results are bit-identical for any thread count.\n"
          "\n"
+         "Uniform I/O flags (see docs/io.md):\n"
+         "  --format={text,bin}        output encoding (default text); input\n"
+         "                             encodings are always auto-detected\n"
+         "  --input=..., --output=...  aliases for each command's primary\n"
+         "                             input/output flag (--db/--plain, --out)\n"
+         "\n"
          "Attack telemetry (see docs/observability.md):\n"
          "  --trace-json=trace.json    span/counter event array for\n"
          "                             chrome://tracing or ui.perfetto.dev\n"
          "  --metrics-json=m.json      wall time, span aggregates, counters\n"
          "Attaching either never changes attack output.\n"
          "\n"
-         "Files use the io/ text formats; `score` and `attack-snmf` need no\n"
+         "Corpus files use the io/ text format or the io::v2 binary\n"
+         "container (magic \"ASPEIO2\"); `score` and `attack-snmf` need no\n"
          "key — that is the point of the paper.\n";
   return 0;
 }
@@ -518,6 +602,7 @@ int run_command(const std::vector<std::string>& args, std::ostream& out,
     if (name == "make-trapdoor") return cmd_make_trapdoor(flags, out);
     if (name == "mrse-index") return cmd_mrse_index(flags, out);
     if (name == "mrse-trapdoor") return cmd_mrse_trapdoor(flags, out);
+    if (name == "convert") return cmd_convert(flags, out);
     if (name == "attack-snmf") return cmd_attack_snmf(flags, out);
     if (name == "attack-lep") return cmd_attack_lep(flags, out);
     if (name == "attack-mip") return cmd_attack_mip(flags, out);

@@ -38,6 +38,15 @@ struct ExecContext {
   /// than the legacy one.
   bool deterministic = true;
 
+  /// Approximate working-set budget in bytes for shardable stages: the
+  /// score-matrix build tiles its output rows and the SNMF driver groups its
+  /// restarts so the in-flight working set stays near the budget (out-of-core
+  /// runs over io::MappedCorpus views let the kernel pages be evicted between
+  /// tiles). 0 — the default — means unsharded: one tile, one group. The
+  /// budget shapes execution order only; attack outputs are bit-identical at
+  /// any budget, as they are at any thread count.
+  std::size_t memory_budget_bytes = 0;
+
   /// Telemetry sink for this run (see src/obs/). Null — the default — means
   /// no recording: the instrumented paths reduce to an inert branch and the
   /// attack result's telemetry carries only the driver's own counters.

@@ -33,7 +33,73 @@ Matrix pack_half(const std::vector<scheme::CipherPair>& pairs,
   return out;
 }
 
+/// Output rows per shard such that one tile's working set — its slices of
+/// the index halves, its output rows, and the (resident-throughout) trapdoor
+/// halves — stays near ctx.memory_budget_bytes. 0 budget = one tile.
+std::size_t score_tile_rows(std::size_t n, std::size_t m, std::size_t da,
+                            std::size_t db, const ExecContext& ctx) {
+  if (ctx.memory_budget_bytes == 0) return n;
+  const std::size_t per_row = (da + db + m) * sizeof(double);
+  const std::size_t resident = (da + db) * m * sizeof(double);
+  const std::size_t spare = ctx.memory_budget_bytes > resident
+                                ? ctx.memory_budget_bytes - resident
+                                : 0;
+  return std::clamp<std::size_t>(spare / std::max<std::size_t>(per_row, 1),
+                                 1, n);
+}
+
 }  // namespace
+
+Matrix build_score_matrix(linalg::ConstMatrixView index_a,
+                          linalg::ConstMatrixView index_b,
+                          linalg::ConstMatrixView trapdoor_a,
+                          linalg::ConstMatrixView trapdoor_b,
+                          const ExecContext& ctx) {
+  require(index_a.rows() > 0 && trapdoor_a.rows() > 0,
+          "build_score_matrix: need ciphertexts on both sides");
+  require(index_a.rows() == index_b.rows() &&
+              trapdoor_a.rows() == trapdoor_b.rows(),
+          "build_score_matrix: a/b half row counts disagree");
+  require(index_a.cols() == trapdoor_a.cols() &&
+              index_b.cols() == trapdoor_b.cols(),
+          "build_score_matrix: index/trapdoor dimensions disagree");
+  const std::size_t n = index_a.rows();
+  const std::size_t m = trapdoor_a.rows();
+  const std::size_t da = index_a.cols();
+  const std::size_t db = index_b.cols();
+  Matrix r(n, m);
+  // cipher_score(I, T) = I_a . T_a + I_b . T_b, so the all-pairs score
+  // sweep is two gemms over the stacked ciphertext halves:
+  // R = Ia Ta^T + Ib Tb^T (transposition is an op flag, never a copy).
+  // Sharding tiles the *output rows*: every R entry is still written by
+  // exactly one gemm pair, and the rounding below removes any
+  // summation-order jitter between tile sizes, so the result is
+  // bit-identical at any budget.
+  const std::size_t tile = score_tile_rows(n, m, da, db, ctx);
+  for (std::size_t r0 = 0; r0 < n; r0 += tile) {
+    const std::size_t nr = std::min(tile, n - r0);
+    obs::Span span("score/shard");
+    obs::counter_add("shard.count", 1.0);
+    auto block = r.view().block(r0, 0, nr, m);
+    linalg::gemm(1.0, index_a.block(r0, 0, nr, da), linalg::Op::None,
+                 trapdoor_a, linalg::Op::Transpose, 0.0, block, ctx.threads);
+    linalg::gemm(1.0, index_b.block(r0, 0, nr, db), linalg::Op::None,
+                 trapdoor_b, linalg::Op::Transpose, 1.0, block, ctx.threads);
+    // I_i and T_j are binary, so I_i^T T_j is a non-negative integer;
+    // rounding removes the encryption's floating-point noise (and any
+    // summation-order jitter between the blocked and naive gemm paths).
+    par::parallel_for(
+        r0, r0 + nr, 1,
+        [&](std::size_t i) {
+          double* ri = r.row_ptr(i);
+          for (std::size_t j = 0; j < m; ++j) {
+            ri[j] = std::max(0.0, std::round(ri[j]));
+          }
+        },
+        ctx.threads);
+  }
+  return r;
+}
 
 Matrix build_score_matrix(
     const std::vector<scheme::CipherPair>& cipher_indexes,
@@ -41,33 +107,16 @@ Matrix build_score_matrix(
     std::size_t threads) {
   require(!cipher_indexes.empty() && !cipher_trapdoors.empty(),
           "build_score_matrix: need ciphertexts on both sides");
-  // cipher_score(I, T) = I_a . T_a + I_b . T_b, so the all-pairs score
-  // sweep is two gemms over the stacked ciphertext halves:
-  // R = Ia Ta^T + Ib Tb^T (transposition is an op flag, never a copy).
   const std::size_t da = cipher_indexes[0].a.size();
   const std::size_t db = cipher_indexes[0].b.size();
   const Matrix ia = pack_half(cipher_indexes, da, true);
   const Matrix ib = pack_half(cipher_indexes, db, false);
   const Matrix ta = pack_half(cipher_trapdoors, da, true);
   const Matrix tb = pack_half(cipher_trapdoors, db, false);
-  Matrix r(cipher_indexes.size(), cipher_trapdoors.size());
-  linalg::gemm(1.0, ia.cview(), linalg::Op::None, ta.cview(),
-               linalg::Op::Transpose, 0.0, r.view(), threads);
-  linalg::gemm(1.0, ib.cview(), linalg::Op::None, tb.cview(),
-               linalg::Op::Transpose, 1.0, r.view(), threads);
-  // I_i and T_j are binary, so I_i^T T_j is a non-negative integer; rounding
-  // removes the encryption's floating-point noise (and any summation-order
-  // jitter between the blocked and naive gemm paths).
-  par::parallel_for(
-      0, r.rows(), 1,
-      [&](std::size_t i) {
-        double* ri = r.row_ptr(i);
-        for (std::size_t j = 0; j < r.cols(); ++j) {
-          ri[j] = std::max(0.0, std::round(ri[j]));
-        }
-      },
-      threads);
-  return r;
+  ExecContext ctx;
+  ctx.threads = threads;
+  return build_score_matrix(ia.cview(), ib.cview(), ta.cview(), tb.cview(),
+                            ctx);
 }
 
 namespace {
@@ -80,7 +129,7 @@ constexpr std::size_t kTruncatedMinDim = 128;
 /// Full-SVD rank with the convergence assert (a Jacobi factorization that
 /// ran out of sweeps is a best-effort iterate, not an SVD; ranking on it
 /// would silently return garbage).
-std::size_t latent_rank_full(const Matrix& scores, Matrix* donate,
+std::size_t latent_rank_full(linalg::ConstMatrixView scores, Matrix* donate,
                              double rel_tol) {
   obs::Span span("svd/full");
   std::optional<linalg::Svd> svd;
@@ -93,10 +142,10 @@ std::size_t latent_rank_full(const Matrix& scores, Matrix* donate,
       // the Svd avoids duplicating the full score matrix.
       svd.emplace(std::move(*donate));
     } else {
-      svd.emplace(scores);
+      svd.emplace(scores, linalg::Op::None);
     }
   } else {
-    svd.emplace(scores.cview(), linalg::Op::Transpose);
+    svd.emplace(scores, linalg::Op::Transpose);
   }
   if (!svd->converged()) {
     throw NumericalError(
@@ -106,8 +155,8 @@ std::size_t latent_rank_full(const Matrix& scores, Matrix* donate,
   return svd->rank(rel_tol);
 }
 
-std::size_t latent_rank(const Matrix& scores, Matrix* donate, double rel_tol,
-                        const ExecContext& ctx) {
+std::size_t latent_rank(linalg::ConstMatrixView scores, Matrix* donate,
+                        double rel_tol, const ExecContext& ctx) {
   require(scores.rows() > 0 && scores.cols() > 0,
           "estimate_latent_dimension: empty score matrix");
   const std::size_t minmn = std::min(scores.rows(), scores.cols());
@@ -124,7 +173,7 @@ std::size_t latent_rank(const Matrix& scores, Matrix* donate, double rel_tol,
       opts.power_iterations = 2;
       opts.seed = ctx.seed;
       opts.threads = ctx.resolved_threads();
-      const linalg::TruncatedSvd tsvd(scores.cview(), linalg::Op::None, opts);
+      const linalg::TruncatedSvd tsvd(scores, linalg::Op::None, opts);
       obs::counter_add("svd.truncated_runs", 1.0);
       if (const auto rank = tsvd.certified_rank(rel_tol)) {
         obs::gauge_set("svd.truncated_sample",
@@ -142,12 +191,17 @@ std::size_t latent_rank(const Matrix& scores, Matrix* donate, double rel_tol,
 
 std::size_t estimate_latent_dimension(const Matrix& scores, double rel_tol,
                                       const ExecContext& ctx) {
-  return latent_rank(scores, nullptr, rel_tol, ctx);
+  return latent_rank(scores.cview(), nullptr, rel_tol, ctx);
 }
 
 std::size_t estimate_latent_dimension(Matrix&& scores, double rel_tol,
                                       const ExecContext& ctx) {
-  return latent_rank(scores, &scores, rel_tol, ctx);
+  return latent_rank(scores.cview(), &scores, rel_tol, ctx);
+}
+
+std::size_t estimate_latent_dimension(linalg::ConstMatrixView scores,
+                                      double rel_tol, const ExecContext& ctx) {
+  return latent_rank(scores, nullptr, rel_tol, ctx);
 }
 
 namespace {
@@ -159,22 +213,41 @@ namespace {
 SnmfAttackResult run_restarts(const Matrix& scores,
                               const SnmfAttackOptions& options,
                               std::vector<nmf::NmfInit> inits,
-                              std::size_t threads) {
+                              const ExecContext& ctx) {
+  const std::size_t threads = ctx.resolved_threads();
   const std::size_t restarts = inits.size();
+  // Group the restarts so the concurrently-live factor/temporary working
+  // sets stay near ctx.memory_budget_bytes (one in-flight restart holds W,
+  // H and update temporaries of the same shapes — ~4 * rank * (rows + cols)
+  // doubles). Restarts are independent and the winner scan below is
+  // order-free, so grouping never changes the selected factorization.
+  std::size_t group = restarts;
+  if (ctx.memory_budget_bytes > 0) {
+    const std::size_t per_restart =
+        4 * options.rank * (scores.rows() + scores.cols()) * sizeof(double);
+    group = std::clamp<std::size_t>(
+        ctx.memory_budget_bytes / std::max<std::size_t>(per_restart, 1), 1,
+        restarts);
+  }
   std::vector<nmf::NmfResult> runs(restarts);
   {
     obs::Span restarts_span("snmf/restarts");
-    par::parallel_for(
-        0, restarts, 1,
-        [&](std::size_t l) {
-          // Inner NMF parallel sections serialize automatically when the
-          // restart itself runs inside a pool chunk (nested fallback).
-          obs::Span restart_span("snmf/restart");
-          runs[l] = nmf::sparse_nmf_from_init(scores, options.rank,
-                                              options.nmf, std::move(inits[l]),
-                                              threads);
-        },
-        threads);
+    for (std::size_t g0 = 0; g0 < restarts; g0 += group) {
+      const std::size_t g1 = std::min(restarts, g0 + group);
+      obs::Span shard_span("snmf/restart_shard");
+      obs::counter_add("shard.count", 1.0);
+      par::parallel_for(
+          g0, g1, 1,
+          [&](std::size_t l) {
+            // Inner NMF parallel sections serialize automatically when the
+            // restart itself runs inside a pool chunk (nested fallback).
+            obs::Span restart_span("snmf/restart");
+            runs[l] = nmf::sparse_nmf_from_init(scores, options.rank,
+                                                options.nmf,
+                                                std::move(inits[l]), threads);
+          },
+          threads);
+    }
   }
 
   std::size_t best = 0;
@@ -265,8 +338,18 @@ SnmfAttackResult run_snmf_attack(const sse::CoaView& view,
   Matrix scores;
   {
     obs::Span span("snmf/score_matrix");
-    scores = build_score_matrix(view.cipher_indexes, view.cipher_trapdoors,
-                                ctx.threads);
+    // Pack once, then go through the view overload so ctx's memory budget
+    // shards the build exactly as the mapped out-of-core path would.
+    require(!view.cipher_indexes.empty() && !view.cipher_trapdoors.empty(),
+            "build_score_matrix: need ciphertexts on both sides");
+    const std::size_t da = view.cipher_indexes[0].a.size();
+    const std::size_t db = view.cipher_indexes[0].b.size();
+    const Matrix ia = pack_half(view.cipher_indexes, da, true);
+    const Matrix ib = pack_half(view.cipher_indexes, db, false);
+    const Matrix ta = pack_half(view.cipher_trapdoors, da, true);
+    const Matrix tb = pack_half(view.cipher_trapdoors, db, false);
+    scores = build_score_matrix(ia.cview(), ib.cview(), ta.cview(),
+                                tb.cview(), ctx);
   }
   SnmfAttackResult result = run_snmf_attack(scores, options, ctx);
 
@@ -324,7 +407,7 @@ SnmfAttackResult run_snmf_attack(const Matrix& scores,
   require(options.rank > 0, "SNMF attack: rank (d) must be set");
   require(!inits.empty(), "SNMF attack: need at least one restart");
   SnmfAttackResult result =
-      run_restarts(scores, options, std::move(inits), ctx.resolved_threads());
+      run_restarts(scores, options, std::move(inits), ctx);
 
   root.reset();
   result.telemetry.wall_seconds = watch.seconds();

@@ -70,6 +70,19 @@ struct SnmfAttackResult {
     const std::vector<scheme::CipherPair>& cipher_trapdoors,
     std::size_t threads = 0);
 
+/// Zero-copy / out-of-core overload over pre-stacked ciphertext halves —
+/// exactly the views an io::MappedCorpus cipher database exposes
+/// (corpus.a_half() / corpus.b_half()), so the gemms read the mapped pages
+/// directly. The output is built in row tiles sized from
+/// ctx.memory_budget_bytes (one tile when 0); each tile runs under a
+/// "score/shard" span and bumps the "shard.count" counter. Rounding to the
+/// underlying integer scores makes the result bit-identical at any tile
+/// size and thread count.
+[[nodiscard]] linalg::Matrix build_score_matrix(
+    linalg::ConstMatrixView index_a, linalg::ConstMatrixView index_b,
+    linalg::ConstMatrixView trapdoor_a, linalg::ConstMatrixView trapdoor_b,
+    const ExecContext& ctx = {});
+
 /// Estimate the latent dimension d from the score matrix alone:
 /// R = I^T T has rank <= d, with equality once enough (dense-enough)
 /// indexes and trapdoors are observed. Lets a COA adversary run Algorithm 3
@@ -92,6 +105,13 @@ struct SnmfAttackResult {
 [[nodiscard]] std::size_t estimate_latent_dimension(linalg::Matrix&& scores,
                                                     double rel_tol = 1e-8,
                                                     const ExecContext& ctx = {});
+
+/// View overload for mapped / non-owning score matrices (e.g. an
+/// io::MappedCorpus score-matrix container): the truncated path samples the
+/// view in place; the full-SVD fallback copies once into working storage.
+[[nodiscard]] std::size_t estimate_latent_dimension(
+    linalg::ConstMatrixView scores, double rel_tol = 1e-8,
+    const ExecContext& ctx = {});
 
 /// Run Algorithm 3 on a ciphertext-only view. For a fixed ctx.seed the
 /// result is bit-identical for every ctx.threads and with or without a

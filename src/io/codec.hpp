@@ -1,0 +1,141 @@
+// Format-agnostic corpus serialization: the CorpusReader / CorpusWriter
+// codec interface, its Text and Binary implementations, and the
+// `open_reader` / `open_writer` factories.
+//
+// One pair of abstract classes replaces the per-type free functions of
+// io/serialization.hpp (now [[deprecated]] forwarders): a CorpusReader
+// iterates records with `read_next()` regardless of on-disk encoding, a
+// CorpusWriter accepts the same record vocabulary, and the factories pick
+// the codec from a Format selector — `Format::Auto` sniffs the io::v2 magic
+// bytes, so every CLI command reads either encoding transparently.
+//
+//   auto in  = io::open_reader(path);                  // sniffs text vs v2
+//   auto db  = in->read_cipher_database();
+//   auto out = io::open_writer(path2, io::Format::Binary);
+//   out->write_cipher_database(db);
+//   out->finish();
+//
+// The binary codec materializes records through the same validated header
+// path as io::MappedCorpus (mmap_file.hpp) — use MappedCorpus when you want
+// zero-copy views instead of owned objects.
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "io/format.hpp"
+#include "linalg/matrix.hpp"
+#include "scheme/split_encryptor.hpp"
+
+namespace aspe::io {
+
+/// Discriminator for the record vocabulary both codecs share.
+enum class RecordKind : std::uint8_t { Vec, BitVec, Matrix, CipherPair };
+
+/// One corpus record. Only the member selected by `kind` is meaningful.
+struct Record {
+  RecordKind kind = RecordKind::Vec;
+  Vec vec;
+  BitVec bits;
+  linalg::Matrix matrix;
+  scheme::CipherPair cipher;
+};
+
+/// Streaming read side of a codec. `read_next()` yields records in file
+/// order and std::nullopt at end of corpus; malformed input throws IoError
+/// at the offending record, never yielding a partially-filled object.
+class CorpusReader {
+ public:
+  virtual ~CorpusReader() = default;
+
+  [[nodiscard]] virtual std::optional<Record> read_next() = 0;
+
+  // Whole-corpus conveniences over read_next(). Each enforces the expected
+  // record kinds (IoError otherwise) and accounts the wall time spent
+  // parsing to the "io.parse_seconds" obs counter.
+
+  /// All remaining records as real vectors.
+  [[nodiscard]] std::vector<Vec> read_vecs();
+  /// All remaining records as binary vectors.
+  [[nodiscard]] std::vector<BitVec> read_bitvecs();
+  /// All remaining records as ciphertext pairs (text framing
+  /// `encrypted_db n` is consumed transparently).
+  [[nodiscard]] std::vector<scheme::CipherPair> read_cipher_database();
+  /// Exactly one matrix record.
+  [[nodiscard]] linalg::Matrix read_matrix();
+};
+
+/// Write side of a codec. Records may be streamed one at a time; `finish()`
+/// completes the container (the binary codec writes its header, section
+/// table and payload there) and must be called before the output is usable.
+/// Destruction without finish() is allowed but the file contents are then
+/// unspecified (e.g. an error path abandoning a partial write).
+class CorpusWriter {
+ public:
+  virtual ~CorpusWriter() = default;
+
+  virtual void write_vec(const Vec& v) = 0;
+  virtual void write_bitvec(const BitVec& v) = 0;
+  virtual void write_matrix(const linalg::Matrix& m) = 0;
+  /// A whole encrypted database (framed in the text encoding, stacked-half
+  /// sections in the binary one — which is why the count comes up front).
+  virtual void write_cipher_database(
+      const std::vector<scheme::CipherPair>& db) = 0;
+  virtual void write_record(const Record& r);
+  virtual void finish() = 0;
+};
+
+/// The line-based text codec (the original io/ format, unchanged on disk).
+struct TextCodec {
+  [[nodiscard]] static std::unique_ptr<CorpusReader> reader(std::istream& is);
+  [[nodiscard]] static std::unique_ptr<CorpusReader> reader(
+      const std::string& path);
+  [[nodiscard]] static std::unique_ptr<CorpusWriter> writer(std::ostream& os);
+  [[nodiscard]] static std::unique_ptr<CorpusWriter> writer(
+      const std::string& path);
+};
+
+/// The io::v2 binary container codec (format.hpp). The writer buffers
+/// sections and emits header + table + 64-byte-aligned payloads at
+/// finish(); the reader validates the complete header and section table
+/// before materializing any record.
+struct BinaryCodec {
+  [[nodiscard]] static std::unique_ptr<CorpusReader> reader(std::istream& is);
+  [[nodiscard]] static std::unique_ptr<CorpusReader> reader(
+      const std::string& path);
+  [[nodiscard]] static std::unique_ptr<CorpusWriter> writer(std::ostream& os);
+  [[nodiscard]] static std::unique_ptr<CorpusWriter> writer(
+      const std::string& path);
+};
+
+/// Open `path` for reading. Format::Auto (the default) sniffs the v2 magic
+/// bytes and falls back to text. Throws IoError when the file cannot be
+/// opened or the requested format does not match the content.
+[[nodiscard]] std::unique_ptr<CorpusReader> open_reader(
+    const std::string& path, Format format = Format::Auto);
+
+/// Stream variant (the stream must be seekable for Format::Auto / Binary).
+[[nodiscard]] std::unique_ptr<CorpusReader> open_reader(
+    std::istream& is, Format format = Format::Auto);
+
+/// Open `path` for writing in an explicit format (Auto is invalid here —
+/// a writer cannot guess an encoding).
+[[nodiscard]] std::unique_ptr<CorpusWriter> open_writer(
+    const std::string& path, Format format);
+
+[[nodiscard]] std::unique_ptr<CorpusWriter> open_writer(std::ostream& os,
+                                                        Format format);
+
+/// Parse a `--format` flag value: "text" / "bin" / "binary" (and "auto" when
+/// `allow_auto`). Throws InvalidArgument otherwise.
+[[nodiscard]] Format parse_format(const std::string& name,
+                                  bool allow_auto = false);
+
+/// True when the stream positioned at `is`'s current offset starts with the
+/// io::v2 magic; the stream position is restored.
+[[nodiscard]] bool sniff_binary(std::istream& is);
+
+}  // namespace aspe::io

@@ -1,0 +1,152 @@
+// The aspe::io::v2 on-disk container format — constants, header layout and
+// overflow-safe size arithmetic shared by the binary codec (io/codec.hpp)
+// and the zero-copy mapped reader (io/mmap_file.hpp).
+//
+// A v2 file is:
+//
+//   [ 64-byte header | 32-byte section entries ... | 64-byte-aligned payload
+//     sections ... ]
+//
+// Header (little-through-native endianness; the endian tag detects foreign
+// byte order), byte-level layout:
+//
+//   offset size  field
+//   0      8    magic "ASPEIO2\0"
+//   8      4    u32 format version (currently 2)
+//   12     4    u32 endianness tag 0x01020304, written in native order
+//   16     4    u32 content kind (ContentKind)
+//   20     4    u32 element dtype (DType)
+//   24     8    u64 section count
+//   32     8    u64 section-table offset (== 64, immediately after header)
+//   40     8    u64 total file size in bytes (truncation check)
+//   48     8    u64 logical record count (#vectors, #pairs, or 1 for a matrix)
+//   56     8    u64 reserved, must be 0
+//
+// Section entry (32 bytes): u64 payload offset (64-byte aligned), u64 payload
+// byte size, u64 rows, u64 cols. Payload is a dense row-major array of
+// rows x cols elements of the file's dtype; byte size must equal
+// rows * cols * sizeof(element) exactly.
+//
+// Content layouts:
+//   Matrix / ScoreMatrix : 1 f64 section, rows x cols.
+//   VecList              : uniform dims -> 1 f64 section (record per row);
+//                          ragged -> 1 section per vector (rows == 1).
+//   BitVecList           : same shapes with dtype u8.
+//   CipherDatabase       : 2 f64 sections — all `a` halves stacked row-wise,
+//                          then all `b` halves — so a mapped file exposes the
+//                          exact stacked-half matrices the score-matrix gemms
+//                          consume, with no per-pair materialization.
+//
+// Every reader validates the complete header and section table (magic,
+// version, endianness, dtype, alignment, in-bounds offsets, overflow-checked
+// element counts) before touching any payload byte, so malformed input can
+// never produce a partially-filled object or an attacker-sized allocation.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace aspe::io {
+
+/// Thrown on malformed input or stream failure.
+class IoError : public Error {
+ public:
+  explicit IoError(const std::string& what) : Error(what) {}
+};
+
+/// Serialization format selector for the codec factories (io/codec.hpp).
+/// `Auto` sniffs the v2 magic bytes on read and is invalid for writers.
+enum class Format : std::uint8_t { Auto, Text, Binary };
+
+namespace v2 {
+
+/// "ASPEIO2\0" — the first eight bytes of every v2 container.
+inline constexpr unsigned char kMagic[8] = {'A', 'S', 'P', 'E',
+                                            'I', 'O', '2', '\0'};
+inline constexpr std::uint32_t kVersion = 2;
+/// Written in native byte order; a reader on a foreign-endian host sees the
+/// byte-reversed value and rejects the file instead of loading garbage.
+inline constexpr std::uint32_t kEndianTag = 0x01020304u;
+inline constexpr std::size_t kHeaderBytes = 64;
+inline constexpr std::size_t kSectionEntryBytes = 32;
+/// Payload sections start on 64-byte boundaries (cache line / widest vector
+/// register), so mapped `ConstMatrixView`s are aligned for the gemm kernels.
+inline constexpr std::size_t kPayloadAlign = 64;
+
+enum class ContentKind : std::uint32_t {
+  VecList = 1,
+  BitVecList = 2,
+  Matrix = 3,
+  CipherDatabase = 4,
+  ScoreMatrix = 5,
+};
+
+enum class DType : std::uint32_t {
+  F64 = 1,
+  U8 = 2,
+};
+
+[[nodiscard]] inline std::size_t dtype_bytes(DType t) {
+  return t == DType::F64 ? 8 : 1;
+}
+
+struct SectionEntry {
+  std::uint64_t offset = 0;  // absolute file offset, kPayloadAlign-aligned
+  std::uint64_t bytes = 0;   // payload size; == rows * cols * dtype size
+  std::uint64_t rows = 0;
+  std::uint64_t cols = 0;
+};
+
+struct Header {
+  std::uint32_t version = kVersion;
+  ContentKind kind = ContentKind::VecList;
+  DType dtype = DType::F64;
+  std::uint64_t section_count = 0;
+  std::uint64_t table_offset = kHeaderBytes;
+  std::uint64_t file_bytes = 0;
+  std::uint64_t record_count = 0;
+};
+
+/// `x` rounded up to the next multiple of kPayloadAlign (overflow-checked).
+[[nodiscard]] std::size_t align_up(std::size_t x);
+
+// Envelope encode/decode shared by the binary codec and the mapped reader.
+
+/// Serialize `h` into a kHeaderBytes buffer (native byte order).
+void encode_header(unsigned char* buf, const Header& h);
+
+/// Serialize one section entry into a kSectionEntryBytes buffer.
+void encode_section(unsigned char* buf, const SectionEntry& s);
+
+/// Parse + validate a kHeaderBytes block: magic, version, endianness tag,
+/// kind/dtype ranges, table placement, and — when `actual_bytes` is nonzero —
+/// the header's claimed file size against it. Throws IoError on any mismatch.
+[[nodiscard]] Header decode_header(const unsigned char* buf,
+                                   std::size_t actual_bytes);
+
+/// Parse the section table (`table` points at the first entry).
+[[nodiscard]] std::vector<SectionEntry> decode_section_table(
+    const unsigned char* table, const Header& h);
+
+/// Validate alignment, shape/byte-size agreement, in-bounds extents and
+/// kind-specific section layout. Throws IoError.
+void validate_sections(const Header& h,
+                       const std::vector<SectionEntry>& sections);
+
+}  // namespace v2
+
+/// a * b with overflow detection — the guard every reader applies to
+/// advertised dimension fields before sizing an allocation or an offset.
+/// Throws IoError naming `what` on overflow.
+[[nodiscard]] std::size_t checked_mul(std::size_t a, std::size_t b,
+                                      const char* what);
+
+/// a + b with overflow detection; throws IoError naming `what`.
+[[nodiscard]] std::size_t checked_add(std::size_t a, std::size_t b,
+                                      const char* what);
+
+}  // namespace aspe::io

@@ -11,9 +11,9 @@ namespace aspe::io {
 void write_split_encryptor(std::ostream& os,
                            const scheme::SplitEncryptor& encryptor) {
   os << "split_encryptor_key_v1\n";
-  write_bitvec(os, encryptor.split_string());
-  write_matrix(os, encryptor.m1());
-  write_matrix(os, encryptor.m2());
+  detail::write_bitvec(os, encryptor.split_string());
+  detail::write_matrix(os, encryptor.m1());
+  detail::write_matrix(os, encryptor.m2());
 }
 
 scheme::SplitEncryptor read_split_encryptor(std::istream& is) {
@@ -22,9 +22,9 @@ scheme::SplitEncryptor read_split_encryptor(std::istream& is) {
   if (tag != "split_encryptor_key_v1") {
     throw IoError("unrecognized key format: " + tag);
   }
-  BitVec split = read_bitvec(is);
-  linalg::Matrix m1 = read_matrix(is);
-  linalg::Matrix m2 = read_matrix(is);
+  BitVec split = detail::read_bitvec(is);
+  linalg::Matrix m1 = detail::read_matrix(is);
+  linalg::Matrix m2 = detail::read_matrix(is);
   return scheme::SplitEncryptor(std::move(split), std::move(m1),
                                 std::move(m2));
 }

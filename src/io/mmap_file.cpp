@@ -1,0 +1,145 @@
+#include "io/mmap_file.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "obs/obs.hpp"
+
+namespace aspe::io {
+
+MmapFile::MmapFile(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    throw IoError("cannot open input file: " + path);
+  }
+  struct stat st {};
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    throw IoError("fstat failed for " + path);
+  }
+  size_ = static_cast<std::size_t>(st.st_size);
+  if (size_ > 0) {
+    void* addr = ::mmap(nullptr, size_, PROT_READ, MAP_PRIVATE, fd, 0);
+    if (addr == MAP_FAILED) {
+      const int err = errno;
+      ::close(fd);
+      throw IoError("mmap failed for " + path + ": " + std::strerror(err));
+    }
+    addr_ = addr;
+  }
+  ::close(fd);  // the established mapping keeps the pages alive
+  obs::counter_add("io.mmap_bytes", static_cast<double>(size_));
+}
+
+MmapFile::~MmapFile() {
+  if (addr_ != nullptr) ::munmap(addr_, size_);
+}
+
+MmapFile::MmapFile(MmapFile&& other) noexcept
+    : addr_(std::exchange(other.addr_, nullptr)),
+      size_(std::exchange(other.size_, 0)) {}
+
+MmapFile& MmapFile::operator=(MmapFile&& other) noexcept {
+  if (this != &other) {
+    if (addr_ != nullptr) ::munmap(addr_, size_);
+    addr_ = std::exchange(other.addr_, nullptr);
+    size_ = std::exchange(other.size_, 0);
+  }
+  return *this;
+}
+
+MappedCorpus::MappedCorpus(const std::string& path) : file_(path) {
+  if (file_.size() < v2::kHeaderBytes) {
+    throw IoError("io::v2: file shorter than the 64-byte header");
+  }
+  header_ = v2::decode_header(file_.data(), file_.size());
+  sections_ =
+      v2::decode_section_table(file_.data() + header_.table_offset, header_);
+  v2::validate_sections(header_, sections_);
+}
+
+linalg::ConstMatrixView MappedCorpus::section_view(std::size_t i) const {
+  if (header_.dtype != v2::DType::F64) {
+    throw IoError("io::v2: section_view wants an f64 container");
+  }
+  const auto& s = sections_.at(i);
+  return {reinterpret_cast<const double*>(file_.data() + s.offset),
+          static_cast<std::size_t>(s.rows), static_cast<std::size_t>(s.cols),
+          static_cast<std::size_t>(s.cols)};
+}
+
+linalg::ConstMatrixView MappedCorpus::matrix() const {
+  if (header_.kind != v2::ContentKind::Matrix &&
+      header_.kind != v2::ContentKind::ScoreMatrix) {
+    throw IoError("io::v2: container does not hold a matrix");
+  }
+  return section_view(0);
+}
+
+linalg::ConstMatrixView MappedCorpus::a_half() const {
+  if (header_.kind != v2::ContentKind::CipherDatabase) {
+    throw IoError("io::v2: container does not hold a cipher database");
+  }
+  return section_view(0);
+}
+
+linalg::ConstMatrixView MappedCorpus::b_half() const {
+  if (header_.kind != v2::ContentKind::CipherDatabase) {
+    throw IoError("io::v2: container does not hold a cipher database");
+  }
+  return section_view(1);
+}
+
+std::vector<Vec> MappedCorpus::to_vecs() const {
+  if (header_.kind != v2::ContentKind::VecList) {
+    throw IoError("io::v2: container does not hold a vector list");
+  }
+  std::vector<Vec> out;
+  out.reserve(record_count());
+  if (sections_.size() == 1 && !sections_.empty()) {
+    const auto view = section_view(0);
+    for (std::size_t r = 0; r < view.rows(); ++r) {
+      out.emplace_back(view.row_ptr(r), view.row_ptr(r) + view.cols());
+    }
+    return out;
+  }
+  for (std::size_t i = 0; i < sections_.size(); ++i) {
+    const auto view = section_view(i);
+    out.emplace_back(view.row_ptr(0), view.row_ptr(0) + view.cols());
+  }
+  return out;
+}
+
+std::vector<BitVec> MappedCorpus::to_bitvecs() const {
+  if (header_.kind != v2::ContentKind::BitVecList) {
+    throw IoError("io::v2: container does not hold a bit-vector list");
+  }
+  std::vector<BitVec> out;
+  out.reserve(record_count());
+  for (std::size_t i = 0; i < record_count(); ++i) {
+    const auto& s = sections_.size() == 1 ? sections_[0] : sections_[i];
+    const std::size_t row = sections_.size() == 1 ? i : 0;
+    const unsigned char* ptr = file_.data() + s.offset + row * s.cols;
+    out.emplace_back(ptr, ptr + s.cols);
+  }
+  return out;
+}
+
+std::vector<scheme::CipherPair> MappedCorpus::to_cipher_database() const {
+  const auto a = a_half();
+  const auto b = b_half();
+  std::vector<scheme::CipherPair> db(record_count());
+  for (std::size_t i = 0; i < db.size(); ++i) {
+    db[i].a.assign(a.row_ptr(i), a.row_ptr(i) + a.cols());
+    db[i].b.assign(b.row_ptr(i), b.row_ptr(i) + b.cols());
+  }
+  return db;
+}
+
+}  // namespace aspe::io

@@ -1,0 +1,95 @@
+// Zero-copy access to io::v2 binary containers (io/format.hpp) via POSIX
+// memory mapping.
+//
+// MmapFile is the RAII mapping of a whole file; MappedCorpus layers the v2
+// envelope validation on top and exposes the payload sections as
+// linalg::ConstMatrixView — no bytes are copied, so the packed-gemm kernels,
+// TruncatedSvd and build_score_matrix operate directly on the mapped pages.
+// Payload sections are 64-byte aligned on disk and mappings are
+// page-aligned, so the views satisfy the kernels' alignment expectations.
+//
+//   io::MappedCorpus corpus("db.aspeio");        // validates the envelope
+//   auto r = attack::build_score_matrix(corpus.a_half(), corpus.b_half(),
+//                                       trap_a, trap_b, ctx);
+//
+// The `to_*` conveniences materialize owned copies when a caller needs
+// objects rather than views (e.g. the deprecated free-function paths).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "io/format.hpp"
+#include "linalg/matrix_view.hpp"
+#include "scheme/split_encryptor.hpp"
+
+namespace aspe::io {
+
+/// Read-only memory mapping of a whole file. Move-only; the mapping (and
+/// therefore every view derived from it) lives until destruction. Each
+/// successful map adds the file size to the "io.mmap_bytes" obs counter.
+class MmapFile {
+ public:
+  explicit MmapFile(const std::string& path);
+  ~MmapFile();
+
+  MmapFile(MmapFile&& other) noexcept;
+  MmapFile& operator=(MmapFile&& other) noexcept;
+  MmapFile(const MmapFile&) = delete;
+  MmapFile& operator=(const MmapFile&) = delete;
+
+  [[nodiscard]] const unsigned char* data() const {
+    return static_cast<const unsigned char*>(addr_);
+  }
+  [[nodiscard]] std::size_t size() const { return size_; }
+
+ private:
+  void* addr_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+/// A validated v2 container mapped into memory. The constructor checks the
+/// complete envelope (header, section table, alignment, bounds) before any
+/// accessor can hand out a view; accessors additionally enforce the content
+/// kind they serve, throwing IoError on mismatch.
+class MappedCorpus {
+ public:
+  explicit MappedCorpus(const std::string& path);
+
+  [[nodiscard]] const v2::Header& header() const { return header_; }
+  [[nodiscard]] v2::ContentKind kind() const { return header_.kind; }
+  [[nodiscard]] std::size_t record_count() const {
+    return static_cast<std::size_t>(header_.record_count);
+  }
+  [[nodiscard]] std::size_t section_count() const { return sections_.size(); }
+  [[nodiscard]] const v2::SectionEntry& section(std::size_t i) const {
+    return sections_.at(i);
+  }
+
+  /// Dense f64 section `i` as a zero-copy view over the mapped pages.
+  [[nodiscard]] linalg::ConstMatrixView section_view(std::size_t i) const;
+
+  /// The matrix payload (kind Matrix or ScoreMatrix).
+  [[nodiscard]] linalg::ConstMatrixView matrix() const;
+
+  /// Stacked ciphertext halves (kind CipherDatabase): all `a` shares as an
+  /// n x da view and all `b` shares as an n x db view — exactly the operand
+  /// shapes the score-matrix gemms consume.
+  [[nodiscard]] linalg::ConstMatrixView a_half() const;
+  [[nodiscard]] linalg::ConstMatrixView b_half() const;
+
+  // Materializing conveniences (owned copies off the mapped pages).
+
+  [[nodiscard]] std::vector<Vec> to_vecs() const;
+  [[nodiscard]] std::vector<BitVec> to_bitvecs() const;
+  [[nodiscard]] std::vector<scheme::CipherPair> to_cipher_database() const;
+
+ private:
+  MmapFile file_;
+  v2::Header header_;
+  std::vector<v2::SectionEntry> sections_;
+};
+
+}  // namespace aspe::io

@@ -6,9 +6,44 @@
 
 namespace aspe::io {
 
+std::size_t checked_mul(std::size_t a, std::size_t b, const char* what) {
+  if (a != 0 && b > std::numeric_limits<std::size_t>::max() / a) {
+    throw IoError(std::string(what) + ": size overflows size_t");
+  }
+  return a * b;
+}
+
+std::size_t checked_add(std::size_t a, std::size_t b, const char* what) {
+  if (a > std::numeric_limits<std::size_t>::max() - b) {
+    throw IoError(std::string(what) + ": size overflows size_t");
+  }
+  return a + b;
+}
+
+namespace v2 {
+
+std::size_t align_up(std::size_t x) {
+  const std::size_t r = x % kPayloadAlign;
+  return r == 0 ? x : checked_add(x, kPayloadAlign - r, "align_up");
+}
+
+}  // namespace v2
+
+namespace detail {
+
 namespace {
 
 constexpr int kDoubleDigits = std::numeric_limits<double>::max_digits10;
+
+// Eager-allocation cap: a reader never sizes a buffer beyond this from an
+// advertised count alone — the stream must actually produce the elements
+// before the container grows past it, so "vec 9999999999" fails as a clean
+// IoError on the missing payload instead of an attacker-sized bad_alloc.
+constexpr std::size_t kEagerReserveElements = std::size_t{1} << 16;
+
+std::size_t capped_reserve(std::size_t advertised) {
+  return std::min(advertised, kEagerReserveElements);
+}
 
 void expect_tag(std::istream& is, const std::string& tag) {
   std::string got;
@@ -30,6 +65,17 @@ double read_double(std::istream& is, const char* what) {
   return x;
 }
 
+/// `count` whitespace-separated doubles, validated element by element so the
+/// buffer only ever grows as far as the stream actually delivers.
+Vec read_doubles(std::istream& is, std::size_t count, const char* what) {
+  Vec buf;
+  buf.reserve(capped_reserve(count));
+  for (std::size_t i = 0; i < count; ++i) {
+    buf.push_back(read_double(is, what));
+  }
+  return buf;
+}
+
 }  // namespace
 
 void write_vec(std::ostream& os, const Vec& v) {
@@ -39,12 +85,14 @@ void write_vec(std::ostream& os, const Vec& v) {
   os << '\n';
 }
 
+Vec read_vec_body(std::istream& is) {
+  const std::size_t n = read_size(is, "vec");
+  return read_doubles(is, n, "vec");
+}
+
 Vec read_vec(std::istream& is) {
   expect_tag(is, "vec");
-  const std::size_t n = read_size(is, "vec");
-  Vec v(n);
-  for (auto& x : v) x = read_double(is, "vec");
-  return v;
+  return read_vec_body(is);
 }
 
 void write_bitvec(std::ostream& os, const BitVec& v) {
@@ -53,12 +101,13 @@ void write_bitvec(std::ostream& os, const BitVec& v) {
   os << '\n';
 }
 
-BitVec read_bitvec(std::istream& is) {
-  expect_tag(is, "bits");
+BitVec read_bitvec_body(std::istream& is) {
   const std::size_t n = read_size(is, "bits");
   std::string payload;
   if (n > 0 && !(is >> payload)) throw IoError("truncated bit vector");
   if (n == 0) payload.clear();
+  // The payload token is bounded by the stream's real content, so comparing
+  // before allocating keeps a lying size field from sizing anything.
   if (payload.size() != n) throw IoError("bit vector length mismatch");
   BitVec v(n);
   for (std::size_t i = 0; i < n; ++i) {
@@ -70,6 +119,11 @@ BitVec read_bitvec(std::istream& is) {
   return v;
 }
 
+BitVec read_bitvec(std::istream& is) {
+  expect_tag(is, "bits");
+  return read_bitvec_body(is);
+}
+
 void write_matrix(std::ostream& os, const linalg::Matrix& m) {
   os.precision(kDoubleDigits);
   os << "matrix " << m.rows() << ' ' << m.cols();
@@ -77,13 +131,21 @@ void write_matrix(std::ostream& os, const linalg::Matrix& m) {
   os << '\n';
 }
 
-linalg::Matrix read_matrix(std::istream& is) {
-  expect_tag(is, "matrix");
+linalg::Matrix read_matrix_body(std::istream& is) {
   const std::size_t rows = read_size(is, "matrix rows");
   const std::size_t cols = read_size(is, "matrix cols");
+  const std::size_t elems = checked_mul(rows, cols, "matrix dimensions");
+  // Parse every element before sizing the matrix: the full allocation only
+  // happens once the stream has proven it holds rows * cols doubles.
+  Vec buf = read_doubles(is, elems, "matrix");
   linalg::Matrix m(rows, cols);
-  for (auto& x : m.data()) x = read_double(is, "matrix");
+  std::copy(buf.begin(), buf.end(), m.data().begin());
   return m;
+}
+
+linalg::Matrix read_matrix(std::istream& is) {
+  expect_tag(is, "matrix");
+  return read_matrix_body(is);
 }
 
 void write_cipher_pair(std::ostream& os, const scheme::CipherPair& c) {
@@ -92,12 +154,16 @@ void write_cipher_pair(std::ostream& os, const scheme::CipherPair& c) {
   write_vec(os, c.b);
 }
 
-scheme::CipherPair read_cipher_pair(std::istream& is) {
-  expect_tag(is, "cipher");
+scheme::CipherPair read_cipher_pair_body(std::istream& is) {
   scheme::CipherPair c;
   c.a = read_vec(is);
   c.b = read_vec(is);
   return c;
+}
+
+scheme::CipherPair read_cipher_pair(std::istream& is) {
+  expect_tag(is, "cipher");
+  return read_cipher_pair_body(is);
 }
 
 void write_encrypted_database(std::ostream& os,
@@ -110,7 +176,7 @@ std::vector<scheme::CipherPair> read_encrypted_database(std::istream& is) {
   expect_tag(is, "encrypted_db");
   const std::size_t n = read_size(is, "encrypted_db");
   std::vector<scheme::CipherPair> db;
-  db.reserve(n);
+  db.reserve(capped_reserve(n));
   for (std::size_t i = 0; i < n; ++i) db.push_back(read_cipher_pair(is));
   return db;
 }
@@ -143,4 +209,5 @@ std::vector<BitVec> read_bitvec_list(std::istream& is) {
   return out;
 }
 
+}  // namespace detail
 }  // namespace aspe::io

@@ -1,10 +1,18 @@
-// Plain-text serialization for the library's value types.
+// Plain-text serialization for the library's value types — now the *text
+// codec* behind the format-agnostic corpus API in io/codec.hpp.
 //
 // A deployed SSE system persists its encrypted database and ships
 // ciphertexts over the wire; this module provides a simple, versioned,
 // locale-independent text format for vectors, matrices and ciphertext
 // pairs, with strict parsing (malformed input throws aspe::IoError, never
-// yields partially-filled objects).
+// yields partially-filled objects, and never sizes an allocation from an
+// unvalidated header field).
+//
+// The free read_*/write_* functions below are the original public surface;
+// they are now thin [[deprecated]] forwarders over the io::detail
+// implementations that io::TextCodec shares. New code opens a
+// CorpusReader/CorpusWriter via io::open_reader / io::open_writer (or
+// io::TextCodec / io::BinaryCodec directly) — see docs/io.md.
 #pragma once
 
 #include <iosfwd>
@@ -12,19 +20,18 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "io/format.hpp"
 #include "linalg/matrix.hpp"
 #include "scheme/split_encryptor.hpp"
 
 namespace aspe::io {
 
-/// Thrown on malformed input or stream failure.
-class IoError : public Error {
- public:
-  explicit IoError(const std::string& what) : Error(what) {}
-};
+namespace detail {
 
-// Each writer emits a tagged, self-delimiting record; each reader validates
-// the tag and the advertised sizes.
+// Non-deprecated implementations — the text codec's record grammar. Each
+// writer emits a tagged, self-delimiting record; each reader validates the
+// tag and every advertised size before filling the result (allocation growth
+// is capped, so a lying size field fails as IoError, not bad_alloc).
 
 void write_vec(std::ostream& os, const Vec& v);
 [[nodiscard]] Vec read_vec(std::istream& is);
@@ -38,17 +45,97 @@ void write_matrix(std::ostream& os, const linalg::Matrix& m);
 void write_cipher_pair(std::ostream& os, const scheme::CipherPair& c);
 [[nodiscard]] scheme::CipherPair read_cipher_pair(std::istream& is);
 
-/// An encrypted database: ciphertext indexes in upload order.
 void write_encrypted_database(std::ostream& os,
                               const std::vector<scheme::CipherPair>& db);
 [[nodiscard]] std::vector<scheme::CipherPair> read_encrypted_database(
     std::istream& is);
 
-/// Unframed record lists: consecutive records until end of stream (the CLI
-/// file format for plaintext vectors / binary vectors).
 void write_vec_list(std::ostream& os, const std::vector<Vec>& vs);
 [[nodiscard]] std::vector<Vec> read_vec_list(std::istream& is);
 void write_bitvec_list(std::ostream& os, const std::vector<BitVec>& vs);
 [[nodiscard]] std::vector<BitVec> read_bitvec_list(std::istream& is);
+
+// Body parsers — the grammar after the record tag has already been consumed.
+// The streaming text reader (io::TextCodec) dispatches on the tag token and
+// hands the rest of the record to these.
+[[nodiscard]] Vec read_vec_body(std::istream& is);
+[[nodiscard]] BitVec read_bitvec_body(std::istream& is);
+[[nodiscard]] linalg::Matrix read_matrix_body(std::istream& is);
+[[nodiscard]] scheme::CipherPair read_cipher_pair_body(std::istream& is);
+
+}  // namespace detail
+
+// --------------------------------------------------------------------------
+// Deprecated free-function surface (one release, mirroring the PR 4/5
+// deprecate-then-migrate pattern). Each forwards to the detail:: text-codec
+// implementation unchanged.
+
+[[deprecated("open an io::CorpusWriter (io/codec.hpp) instead")]]
+inline void write_vec(std::ostream& os, const Vec& v) {
+  detail::write_vec(os, v);
+}
+[[deprecated("open an io::CorpusReader (io/codec.hpp) instead")]]
+[[nodiscard]] inline Vec read_vec(std::istream& is) {
+  return detail::read_vec(is);
+}
+
+[[deprecated("open an io::CorpusWriter (io/codec.hpp) instead")]]
+inline void write_bitvec(std::ostream& os, const BitVec& v) {
+  detail::write_bitvec(os, v);
+}
+[[deprecated("open an io::CorpusReader (io/codec.hpp) instead")]]
+[[nodiscard]] inline BitVec read_bitvec(std::istream& is) {
+  return detail::read_bitvec(is);
+}
+
+[[deprecated("open an io::CorpusWriter (io/codec.hpp) instead")]]
+inline void write_matrix(std::ostream& os, const linalg::Matrix& m) {
+  detail::write_matrix(os, m);
+}
+[[deprecated("open an io::CorpusReader (io/codec.hpp) instead")]]
+[[nodiscard]] inline linalg::Matrix read_matrix(std::istream& is) {
+  return detail::read_matrix(is);
+}
+
+[[deprecated("open an io::CorpusWriter (io/codec.hpp) instead")]]
+inline void write_cipher_pair(std::ostream& os, const scheme::CipherPair& c) {
+  detail::write_cipher_pair(os, c);
+}
+[[deprecated("open an io::CorpusReader (io/codec.hpp) instead")]]
+[[nodiscard]] inline scheme::CipherPair read_cipher_pair(std::istream& is) {
+  return detail::read_cipher_pair(is);
+}
+
+/// An encrypted database: ciphertext indexes in upload order.
+[[deprecated("open an io::CorpusWriter (io/codec.hpp) instead")]]
+inline void write_encrypted_database(
+    std::ostream& os, const std::vector<scheme::CipherPair>& db) {
+  detail::write_encrypted_database(os, db);
+}
+[[deprecated("open an io::CorpusReader (io/codec.hpp) instead")]]
+[[nodiscard]] inline std::vector<scheme::CipherPair> read_encrypted_database(
+    std::istream& is) {
+  return detail::read_encrypted_database(is);
+}
+
+/// Unframed record lists: consecutive records until end of stream (the CLI
+/// file format for plaintext vectors / binary vectors).
+[[deprecated("open an io::CorpusWriter (io/codec.hpp) instead")]]
+inline void write_vec_list(std::ostream& os, const std::vector<Vec>& vs) {
+  detail::write_vec_list(os, vs);
+}
+[[deprecated("open an io::CorpusReader (io/codec.hpp) instead")]]
+[[nodiscard]] inline std::vector<Vec> read_vec_list(std::istream& is) {
+  return detail::read_vec_list(is);
+}
+[[deprecated("open an io::CorpusWriter (io/codec.hpp) instead")]]
+inline void write_bitvec_list(std::ostream& os,
+                              const std::vector<BitVec>& vs) {
+  detail::write_bitvec_list(os, vs);
+}
+[[deprecated("open an io::CorpusReader (io/codec.hpp) instead")]]
+[[nodiscard]] inline std::vector<BitVec> read_bitvec_list(std::istream& is) {
+  return detail::read_bitvec_list(is);
+}
 
 }  // namespace aspe::io

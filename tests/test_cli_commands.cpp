@@ -10,6 +10,7 @@
 #include <sstream>
 
 #include "core/metrics.hpp"
+#include "io/codec.hpp"
 #include "io/serialization.hpp"
 
 namespace aspe::cli {
@@ -83,9 +84,8 @@ TEST_F(CliPipeline, FullEncryptScoreAttackRoundTrip) {
                  "--db=" + path("db.txt"), "--out=" + path("plain2.txt")}),
             0)
       << err_;
-  std::ifstream p1(path("plain.txt")), p2(path("plain2.txt"));
-  const auto v1 = io::read_vec_list(p1);
-  const auto v2 = io::read_vec_list(p2);
+  const auto v1 = io::open_reader(path("plain.txt"))->read_vecs();
+  const auto v2 = io::open_reader(path("plain2.txt"))->read_vecs();
   ASSERT_EQ(v1.size(), v2.size());
   for (std::size_t i = 0; i < v1.size(); ++i) {
     for (std::size_t k = 0; k < v1[i].size(); ++k) {
@@ -113,20 +113,27 @@ TEST_F(CliPipeline, FullEncryptScoreAttackRoundTrip) {
   std::string header;
   std::getline(rf, header);  // "# reconstructed indexes (...)"
   std::vector<BitVec> recon_idx, recon_trap;
-  for (int i = 0; i < 40; ++i) recon_idx.push_back(io::read_bitvec(rf));
+  for (int i = 0; i < 40; ++i) {
+    recon_idx.push_back(io::detail::read_bitvec(rf));
+  }
   rf >> std::ws;
   std::getline(rf, header);  // trapdoor header
-  for (int i = 0; i < 40; ++i) recon_trap.push_back(io::read_bitvec(rf));
+  for (int i = 0; i < 40; ++i) {
+    recon_trap.push_back(io::detail::read_bitvec(rf));
+  }
 
   auto to_bits = [](const Vec& v) {
     BitVec b(v.size());
     for (std::size_t k = 0; k < v.size(); ++k) b[k] = v[k] > 0.5 ? 1 : 0;
     return b;
   };
-  std::ifstream pf(path("plain.txt")), qf(path("queries.txt"));
   std::vector<BitVec> truth_idx, truth_trap;
-  for (const auto& v : io::read_vec_list(pf)) truth_idx.push_back(to_bits(v));
-  for (const auto& v : io::read_vec_list(qf)) truth_trap.push_back(to_bits(v));
+  for (const auto& v : io::open_reader(path("plain.txt"))->read_vecs()) {
+    truth_idx.push_back(to_bits(v));
+  }
+  for (const auto& v : io::open_reader(path("queries.txt"))->read_vecs()) {
+    truth_trap.push_back(to_bits(v));
+  }
 
   const auto perm = core::align_latent_dimensions(truth_idx, truth_trap,
                                                   recon_idx, recon_trap);
@@ -180,10 +187,10 @@ TEST_F(CliPipeline, LepAttackPipelineRecoversDatabase) {
   // KPA leak: all plaintext records (binary vectors repeat at small d, so
   // give the attack the whole pool; it selects an independent subset).
   {
-    std::ifstream rf(path("records.txt"));
-    const auto records = io::read_vec_list(rf);
-    std::ofstream lf(path("leak.txt"));
-    io::write_vec_list(lf, records);
+    const auto records = io::open_reader(path("records.txt"))->read_vecs();
+    auto lw = io::open_writer(path("leak.txt"), io::Format::Text);
+    for (const auto& v : records) lw->write_vec(v);
+    lw->finish();
   }
   ASSERT_EQ(run({"attack-lep", "--known-plain=" + path("leak.txt"),
                  "--db=" + path("db.txt"), "--trapdoors=" + path("trap.txt"),
@@ -193,18 +200,16 @@ TEST_F(CliPipeline, LepAttackPipelineRecoversDatabase) {
       << err_;
 
   // Complete disclosure: recovered records equal the originals.
-  std::ifstream truth_f(path("records.txt")), rec_f(path("rec.txt"));
-  const auto truth = io::read_vec_list(truth_f);
-  const auto recovered = io::read_vec_list(rec_f);
+  const auto truth = io::open_reader(path("records.txt"))->read_vecs();
+  const auto recovered = io::open_reader(path("rec.txt"))->read_vecs();
   ASSERT_EQ(recovered.size(), truth.size());
   for (std::size_t i = 0; i < truth.size(); ++i) {
     for (std::size_t k = 0; k < d; ++k) {
       EXPECT_NEAR(recovered[i][k], truth[i][k], 1e-5);
     }
   }
-  std::ifstream qt(path("queries.txt")), qr(path("q.txt"));
-  const auto true_q = io::read_vec_list(qt);
-  const auto rec_q = io::read_vec_list(qr);
+  const auto true_q = io::open_reader(path("queries.txt"))->read_vecs();
+  const auto rec_q = io::open_reader(path("q.txt"))->read_vecs();
   ASSERT_EQ(rec_q.size(), true_q.size());
   for (std::size_t j = 0; j < true_q.size(); ++j) {
     for (std::size_t k = 0; k < d; ++k) {
@@ -258,15 +263,94 @@ TEST_F(CliPipeline, MipAttackPipelineReconstructsQuery) {
   EXPECT_NE(text.find("reconstructed query"), std::string::npos);
 
   // Reconstruction should overlap the true query.
-  std::ifstream rf(path("recon.txt")), qf(path("query.txt"));
-  const BitVec recon = io::read_bitvec(rf);
-  const auto true_q_vec = io::read_vec_list(qf)[0];
+  const BitVec recon =
+      io::open_reader(path("recon.txt"))->read_bitvecs().at(0);
+  const auto true_q_vec =
+      io::open_reader(path("query.txt"))->read_vecs().at(0);
   BitVec truth(true_q_vec.size());
   for (std::size_t k = 0; k < truth.size(); ++k) {
     truth[k] = true_q_vec[k] > 0.5 ? 1 : 0;
   }
   const auto pr = core::binary_precision_recall(truth, recon);
   EXPECT_GE(pr.recall, 0.3);  // modest bar at this miniature scale
+}
+
+TEST_F(CliPipeline, BinaryOutputAndConvertRoundTrip) {
+  ASSERT_EQ(run({"gen-data", "--d=8", "--rho=0.3", "--count=15", "--seed=41",
+                 "--output=" + path("plain.bin"), "--format=bin"}),
+            0)
+      << err_;
+  // The file really is an io::v2 container, not text.
+  {
+    std::ifstream probe(path("plain.bin"), std::ios::binary);
+    EXPECT_TRUE(io::sniff_binary(probe));
+  }
+
+  // convert bin -> text -> bin; every reader sniffs, so both loads agree.
+  ASSERT_EQ(run({"convert", "--input=" + path("plain.bin"),
+                 "--output=" + path("plain.txt"), "--format=text"}),
+            0)
+      << err_;
+  ASSERT_EQ(run({"convert", "--in=" + path("plain.txt"),
+                 "--out=" + path("plain2.bin"), "--format=bin"}),
+            0)
+      << err_;
+  const auto orig = io::open_reader(path("plain.bin"))->read_vecs();
+  EXPECT_EQ(io::open_reader(path("plain.txt"))->read_vecs(), orig);
+  EXPECT_EQ(io::open_reader(path("plain2.bin"))->read_vecs(), orig);
+
+  // A binary encrypted database flows through the key holder's commands and
+  // the keyless scorer exactly like a text one.
+  ASSERT_EQ(run({"keygen", "--dim=8", "--key=" + path("key.txt"),
+                 "--seed=42"}),
+            0)
+      << err_;
+  ASSERT_EQ(run({"encrypt", "--key=" + path("key.txt"),
+                 "--input=" + path("plain.bin"), "--output=" + path("db.bin"),
+                 "--format=bin", "--seed=43"}),
+            0)
+      << err_;
+  ASSERT_EQ(run({"convert", "--in=" + path("db.bin"),
+                 "--out=" + path("db.txt"), "--format=text"}),
+            0)
+      << err_;
+  const auto from_bin = io::open_reader(path("db.bin"))->read_cipher_database();
+  const auto from_text =
+      io::open_reader(path("db.txt"))->read_cipher_database();
+  ASSERT_EQ(from_bin.size(), orig.size());
+  ASSERT_EQ(from_text.size(), from_bin.size());
+  for (std::size_t i = 0; i < from_bin.size(); ++i) {
+    EXPECT_EQ(from_text[i].a, from_bin[i].a);
+    EXPECT_EQ(from_text[i].b, from_bin[i].b);
+  }
+
+  std::string score_bin, score_text;
+  ASSERT_EQ(run({"score", "--db=" + path("db.bin"),
+                 "--trapdoors=" + path("db.bin")},
+                &score_bin),
+            0)
+      << err_;
+  ASSERT_EQ(run({"score", "--db=" + path("db.txt"),
+                 "--trapdoors=" + path("db.txt")},
+                &score_text),
+            0)
+      << err_;
+  EXPECT_EQ(score_bin, score_text);
+}
+
+TEST_F(CliPipeline, ConvertRejectsBadFlags) {
+  ASSERT_EQ(run({"gen-data", "--d=4", "--count=2", "--out=" + path("p.txt")}),
+            0)
+      << err_;
+  EXPECT_EQ(run({"convert", "--in=" + path("p.txt"),
+                 "--out=" + path("p.bin")}),
+            1);  // --format is required
+  EXPECT_EQ(run({"convert", "--in=" + path("p.txt"),
+                 "--out=" + path("p.bin"), "--format=json"}),
+            1);  // unknown format name
+  EXPECT_EQ(run({"convert", "--in=" + path("missing.txt"),
+                 "--out=" + path("p.bin"), "--format=bin"}),
+            1);
 }
 
 TEST_F(CliPipeline, HelpAndUnknownCommand) {

@@ -1,0 +1,187 @@
+// Out-of-core sharding (core::ExecContext::memory_budget_bytes): the score
+// build and the SNMF restart driver split their work into budget-sized
+// shards, emit "shard.count" telemetry — and stay bit-identical to the
+// unsharded run at every budget and thread count.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "core/snmf_attack.hpp"
+#include "linalg/matrix.hpp"
+#include "obs/obs.hpp"
+#include "obs/sinks.hpp"
+#include "rng/rng.hpp"
+
+namespace aspe::core {
+namespace {
+
+/// Binary ciphertext halves: scores are exact small integers, the regime the
+/// rounding in build_score_matrix is designed for.
+std::vector<scheme::CipherPair> binary_pairs(std::size_t n, std::size_t da,
+                                             std::size_t db,
+                                             std::uint64_t seed) {
+  rng::Rng rng(seed);
+  std::vector<scheme::CipherPair> out(n);
+  for (auto& c : out) {
+    c.a.resize(da);
+    c.b.resize(db);
+    for (auto& x : c.a) x = rng.uniform(0.0, 1.0) < 0.4 ? 1.0 : 0.0;
+    for (auto& x : c.b) x = rng.uniform(0.0, 1.0) < 0.4 ? 1.0 : 0.0;
+  }
+  return out;
+}
+
+linalg::Matrix pack(const std::vector<scheme::CipherPair>& pairs,
+                    bool first_half) {
+  const std::size_t dim = first_half ? pairs[0].a.size() : pairs[0].b.size();
+  linalg::Matrix out(pairs.size(), dim);
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    const Vec& h = first_half ? pairs[i].a : pairs[i].b;
+    std::copy(h.begin(), h.end(), out.row_ptr(i));
+  }
+  return out;
+}
+
+bool bitwise_equal(const linalg::Matrix& a, const linalg::Matrix& b) {
+  return a.rows() == b.rows() && a.cols() == b.cols() &&
+         std::memcmp(a.data().data(), b.data().data(),
+                     a.data().size() * sizeof(double)) == 0;
+}
+
+TEST(Shard, ScoreBuildBitIdenticalAcrossBudgetsAndThreads) {
+  const auto indexes = binary_pairs(50, 8, 6, 1);
+  const auto trapdoors = binary_pairs(20, 8, 6, 2);
+  const linalg::Matrix ia = pack(indexes, true), ib = pack(indexes, false);
+  const linalg::Matrix ta = pack(trapdoors, true), tb = pack(trapdoors, false);
+
+  // Ground truth: the in-core object path, serial.
+  const linalg::Matrix baseline = build_score_matrix(indexes, trapdoors, 1);
+
+  // Budgets spanning one-row tiles, mid-size tiles, and unsharded.
+  for (const std::size_t budget : {0UL, 1UL, 4096UL, 8192UL, 1UL << 20}) {
+    for (const std::size_t threads : {1UL, 4UL}) {
+      ExecContext ctx;
+      ctx.threads = threads;
+      ctx.memory_budget_bytes = budget;
+      const linalg::Matrix tiled = build_score_matrix(
+          ia.cview(), ib.cview(), ta.cview(), tb.cview(), ctx);
+      EXPECT_TRUE(bitwise_equal(tiled, baseline))
+          << "budget=" << budget << " threads=" << threads;
+    }
+  }
+}
+
+TEST(Shard, ScoreBuildEmitsOneSpanAndCounterPerTile) {
+  const auto indexes = binary_pairs(50, 8, 6, 3);
+  const auto trapdoors = binary_pairs(20, 8, 6, 4);
+  const linalg::Matrix ia = pack(indexes, true), ib = pack(indexes, false);
+  const linalg::Matrix ta = pack(trapdoors, true), tb = pack(trapdoors, false);
+
+  // resident trapdoor halves = (8+6)*20*8 = 2240 bytes; one output row's
+  // working set = (8+6+20)*8 = 272 bytes. Budget for exactly 10 rows/tile:
+  ExecContext ctx;
+  ctx.memory_budget_bytes = 2240 + 272 * 10;
+  obs::MemorySink sink;
+  {
+    obs::ScopedRecording rec(&sink);
+    (void)build_score_matrix(ia.cview(), ib.cview(), ta.cview(), tb.cview(),
+                             ctx);
+  }
+  EXPECT_EQ(sink.counter("shard.count"), 5.0);  // ceil(50 / 10)
+  std::size_t shard_spans = 0;
+  for (const auto& s : sink.spans()) shard_spans += (s.name == "score/shard");
+  EXPECT_EQ(shard_spans, 5u);
+
+  // Unsharded: a single tile, a single counter bump.
+  sink.clear();
+  {
+    obs::ScopedRecording rec(&sink);
+    (void)build_score_matrix(ia.cview(), ib.cview(), ta.cview(), tb.cview(),
+                             ExecContext{});
+  }
+  EXPECT_EQ(sink.counter("shard.count"), 1.0);
+}
+
+TEST(Shard, SnmfAttackBitIdenticalAcrossBudgetsAndThreads) {
+  // A low-rank non-negative score matrix, as the COA adversary sees it.
+  const auto indexes = binary_pairs(30, 10, 8, 5);
+  const auto trapdoors = binary_pairs(24, 10, 8, 6);
+  const linalg::Matrix scores = build_score_matrix(indexes, trapdoors, 1);
+
+  SnmfAttackOptions options;
+  options.rank = 6;
+  options.restarts = 5;
+  options.nmf.max_iterations = 60;
+
+  ExecContext base;
+  base.seed = 42;
+  const SnmfAttackResult reference = run_snmf_attack(scores, options, base);
+
+  // per-restart working set = 4 * rank * (rows + cols) * 8 bytes = 10368;
+  // budgets force group sizes 1, 2 and all-in-one.
+  for (const std::size_t budget : {1UL, 2 * 10368UL, 1UL << 24}) {
+    for (const std::size_t threads : {1UL, 4UL}) {
+      ExecContext ctx = base;
+      ctx.threads = threads;
+      ctx.memory_budget_bytes = budget;
+      const SnmfAttackResult run = run_snmf_attack(scores, options, ctx);
+      EXPECT_EQ(run.indexes, reference.indexes)
+          << "budget=" << budget << " threads=" << threads;
+      EXPECT_EQ(run.trapdoors, reference.trapdoors);
+      EXPECT_EQ(run.best_fit_error, reference.best_fit_error);
+    }
+  }
+}
+
+TEST(Shard, RestartGroupingReportsShardCount) {
+  const auto indexes = binary_pairs(30, 10, 8, 7);
+  const auto trapdoors = binary_pairs(24, 10, 8, 8);
+  const linalg::Matrix scores = build_score_matrix(indexes, trapdoors, 1);
+
+  SnmfAttackOptions options;
+  options.rank = 6;
+  options.restarts = 5;
+  options.nmf.max_iterations = 30;
+
+  // Group size 2 (budget = 2 restarts' working sets) -> ceil(5/2) = 3 shards.
+  ExecContext ctx;
+  ctx.memory_budget_bytes = 2 * 4 * options.rank *
+                            (scores.rows() + scores.cols()) * sizeof(double);
+  obs::MemorySink sink;
+  ctx.sink = &sink;
+  const SnmfAttackResult run = run_snmf_attack(scores, options, ctx);
+  EXPECT_EQ(sink.counter("shard.count"), 3.0);
+  // The driver absorbs the recording, so the result carries it too.
+  EXPECT_EQ(run.telemetry.counter("shard.count", 0.0), 3.0);
+}
+
+TEST(Shard, CoaViewEntryPointShardsEndToEnd) {
+  // The packaged entry point (what the CLI calls): a memory budget shards
+  // both the score build and the restarts without changing the output.
+  sse::CoaView view;
+  view.cipher_indexes = binary_pairs(40, 10, 8, 9);
+  view.cipher_trapdoors = binary_pairs(30, 10, 8, 10);
+
+  SnmfAttackOptions options;
+  options.rank = 6;
+  options.restarts = 3;
+  options.nmf.max_iterations = 40;
+
+  ExecContext plain;
+  plain.seed = 11;
+  const SnmfAttackResult reference = run_snmf_attack(view, options, plain);
+
+  ExecContext tight = plain;
+  tight.memory_budget_bytes = 16 * 1024;
+  obs::MemorySink sink;
+  tight.sink = &sink;
+  const SnmfAttackResult sharded = run_snmf_attack(view, options, tight);
+
+  EXPECT_EQ(sharded.indexes, reference.indexes);
+  EXPECT_EQ(sharded.trapdoors, reference.trapdoors);
+  EXPECT_EQ(sharded.best_fit_error, reference.best_fit_error);
+  EXPECT_GE(sink.counter("shard.count"), 2.0);
+}
+
+}  // namespace
+}  // namespace aspe::core

@@ -14,24 +14,24 @@ namespace {
 TEST(Serialization, VecRoundTripPreservesFullPrecision) {
   const Vec v = {1.0, -2.5, 3.141592653589793, 1e-17, -1e300};
   std::stringstream ss;
-  write_vec(ss, v);
-  EXPECT_EQ(read_vec(ss), v);  // exact, thanks to max_digits10
+  detail::write_vec(ss, v);
+  EXPECT_EQ(detail::read_vec(ss), v);  // exact, thanks to max_digits10
 }
 
 TEST(Serialization, EmptyVec) {
   std::stringstream ss;
-  write_vec(ss, {});
-  EXPECT_TRUE(read_vec(ss).empty());
+  detail::write_vec(ss, {});
+  EXPECT_TRUE(detail::read_vec(ss).empty());
 }
 
 TEST(Serialization, BitVecRoundTrip) {
   const BitVec v = {1, 0, 1, 1, 0, 0, 1};
   std::stringstream ss;
-  write_bitvec(ss, v);
-  EXPECT_EQ(read_bitvec(ss), v);
+  detail::write_bitvec(ss, v);
+  EXPECT_EQ(detail::read_bitvec(ss), v);
   std::stringstream empty_ss;
-  write_bitvec(empty_ss, {});
-  EXPECT_TRUE(read_bitvec(empty_ss).empty());
+  detail::write_bitvec(empty_ss, {});
+  EXPECT_TRUE(detail::read_bitvec(empty_ss).empty());
 }
 
 TEST(Serialization, MatrixRoundTrip) {
@@ -39,8 +39,8 @@ TEST(Serialization, MatrixRoundTrip) {
   linalg::Matrix m(3, 5);
   for (auto& x : m.data()) x = rng.uniform(-10.0, 10.0);
   std::stringstream ss;
-  write_matrix(ss, m);
-  EXPECT_TRUE(read_matrix(ss).approx_equal(m, 0.0));
+  detail::write_matrix(ss, m);
+  EXPECT_TRUE(detail::read_matrix(ss).approx_equal(m, 0.0));
 }
 
 TEST(Serialization, CipherPairRoundTrip) {
@@ -50,8 +50,8 @@ TEST(Serialization, CipherPairRoundTrip) {
   const scheme::AspeScheme2 scheme(opt, rng);
   const auto cipher = scheme.encrypt_record(rng.uniform_vec(4, -1.0, 1.0), rng);
   std::stringstream ss;
-  write_cipher_pair(ss, cipher);
-  const auto back = read_cipher_pair(ss);
+  detail::write_cipher_pair(ss, cipher);
+  const auto back = detail::read_cipher_pair(ss);
   EXPECT_EQ(back.a, cipher.a);
   EXPECT_EQ(back.b, cipher.b);
 }
@@ -70,8 +70,8 @@ TEST(Serialization, EncryptedDatabaseRoundTripPreservesScores) {
     db.push_back(scheme.encrypt_record(records.back(), rng));
   }
   std::stringstream ss;
-  write_encrypted_database(ss, db);
-  const auto loaded = read_encrypted_database(ss);
+  detail::write_encrypted_database(ss, db);
+  const auto loaded = detail::read_encrypted_database(ss);
   ASSERT_EQ(loaded.size(), db.size());
 
   const auto trapdoor = scheme.encrypt_query(rng.uniform_vec(5, -1.0, 1.0), rng);
@@ -83,68 +83,83 @@ TEST(Serialization, EncryptedDatabaseRoundTripPreservesScores) {
 
 TEST(Serialization, MultipleRecordsInOneStream) {
   std::stringstream ss;
-  write_vec(ss, {1, 2});
-  write_bitvec(ss, {1, 0});
-  write_vec(ss, {3});
-  EXPECT_EQ(read_vec(ss), (Vec{1, 2}));
-  EXPECT_EQ(read_bitvec(ss), (BitVec{1, 0}));
-  EXPECT_EQ(read_vec(ss), (Vec{3}));
+  detail::write_vec(ss, {1, 2});
+  detail::write_bitvec(ss, {1, 0});
+  detail::write_vec(ss, {3});
+  EXPECT_EQ(detail::read_vec(ss), (Vec{1, 2}));
+  EXPECT_EQ(detail::read_bitvec(ss), (BitVec{1, 0}));
+  EXPECT_EQ(detail::read_vec(ss), (Vec{3}));
 }
 
 TEST(Serialization, VecListRoundTrip) {
   const std::vector<Vec> vs = {{1, 2}, {3}, {}, {4, 5, 6}};
   std::stringstream ss;
-  write_vec_list(ss, vs);
-  EXPECT_EQ(read_vec_list(ss), vs);
+  detail::write_vec_list(ss, vs);
+  EXPECT_EQ(detail::read_vec_list(ss), vs);
 }
 
 TEST(Serialization, EmptyVecListGivesEmpty) {
   std::stringstream ss("");
-  EXPECT_TRUE(read_vec_list(ss).empty());
+  EXPECT_TRUE(detail::read_vec_list(ss).empty());
   std::stringstream ws("   \n\t  ");
-  EXPECT_TRUE(read_vec_list(ws).empty());
+  EXPECT_TRUE(detail::read_vec_list(ws).empty());
 }
 
 TEST(Serialization, BitVecListRoundTrip) {
   const std::vector<BitVec> vs = {{1, 0, 1}, {0}, {1, 1, 1, 1}};
   std::stringstream ss;
-  write_bitvec_list(ss, vs);
-  EXPECT_EQ(read_bitvec_list(ss), vs);
+  detail::write_bitvec_list(ss, vs);
+  EXPECT_EQ(detail::read_bitvec_list(ss), vs);
 }
 
 TEST(Serialization, VecListStopsAtMalformedRecord) {
   std::stringstream ss("vec 2 1 2\nvex 1 3\n");
-  EXPECT_THROW(read_vec_list(ss), IoError);
+  EXPECT_THROW(detail::read_vec_list(ss), IoError);
+}
+
+TEST(Serialization, DeprecatedForwardersStillWork) {
+  // The free-function surface is deprecated for one release but must keep
+  // forwarding to the detail:: implementations unchanged.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  const Vec v = {1.5, -2.0};
+  std::stringstream ss;
+  write_vec(ss, v);
+  EXPECT_EQ(read_vec(ss), v);
+  std::stringstream ds;
+  write_encrypted_database(ds, {});
+  EXPECT_TRUE(read_encrypted_database(ds).empty());
+#pragma GCC diagnostic pop
 }
 
 TEST(Serialization, MalformedInputThrows) {
   {
     std::stringstream ss("vex 2 1 2");
-    EXPECT_THROW(read_vec(ss), IoError);  // wrong tag
+    EXPECT_THROW(detail::read_vec(ss), IoError);  // wrong tag
   }
   {
     std::stringstream ss("vec -1");
-    EXPECT_THROW(read_vec(ss), IoError);  // negative size
+    EXPECT_THROW(detail::read_vec(ss), IoError);  // negative size
   }
   {
     std::stringstream ss("vec 3 1.0 2.0");
-    EXPECT_THROW(read_vec(ss), IoError);  // truncated payload
+    EXPECT_THROW(detail::read_vec(ss), IoError);  // truncated payload
   }
   {
     std::stringstream ss("bits 4 10x0");
-    EXPECT_THROW(read_bitvec(ss), IoError);  // non-binary character
+    EXPECT_THROW(detail::read_bitvec(ss), IoError);  // non-binary character
   }
   {
     std::stringstream ss("bits 4 101");
-    EXPECT_THROW(read_bitvec(ss), IoError);  // length mismatch
+    EXPECT_THROW(detail::read_bitvec(ss), IoError);  // length mismatch
   }
   {
     std::stringstream ss("matrix 2 2 1 2 3");
-    EXPECT_THROW(read_matrix(ss), IoError);  // truncated
+    EXPECT_THROW(detail::read_matrix(ss), IoError);  // truncated
   }
   {
     std::stringstream ss("");
-    EXPECT_THROW(read_cipher_pair(ss), IoError);  // empty stream
+    EXPECT_THROW(detail::read_cipher_pair(ss), IoError);  // empty stream
   }
 }
 

@@ -35,4 +35,11 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)" \
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)" \
   -R "Svd\.|Nnls\.|Qr\."
 
+# Fourth pre-pass over the io::v2 / mmap layer: envelope decoding walks
+# attacker-controlled offsets, the mutation tests feed deliberately
+# malformed containers, and MappedCorpus reads straight off mapped pages —
+# exactly where an out-of-bounds read would hide. Runs in under a second.
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)" \
+  -R "Codec\.|IoV2\.|MappedCorpus|Shard\.|Serialization\."
+
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"

@@ -31,4 +31,10 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)" \
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)" \
   -R "Svd\.|Nnls\.|Qr\."
 
+# Fourth pre-pass: sharded execution fans gemm tiles and restart groups
+# over the pool while every worker reads the same mapped pages; the Shard
+# suites sweep budgets x thread counts, so tile races surface here first.
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)" \
+  -R "Codec\.|IoV2\.|MappedCorpus|Shard\."
+
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"

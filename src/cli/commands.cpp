@@ -11,10 +11,12 @@
 #include "common/error.hpp"
 #include "core/lep.hpp"
 #include "core/mip_attack.hpp"
+#include "core/session.hpp"
 #include "core/snmf_attack.hpp"
 #include "data/quest.hpp"
 #include "io/codec.hpp"
 #include "io/key_io.hpp"
+#include "io/session_io.hpp"
 #include "obs/sinks.hpp"
 #include "par/thread_pool.hpp"
 #include "rng/rng.hpp"
@@ -276,6 +278,16 @@ int cmd_score(const CliFlags& flags, std::ostream& out) {
 }
 
 int cmd_attack_snmf(const CliFlags& flags, std::ostream& out) {
+  // --session=PATH runs the attack through an incremental core::CoaSession
+  // persisted at PATH. Without --append the inputs seed a fresh session
+  // (the attack itself is bit-identical to the batch path); with --append
+  // the inputs are the *delta* — new ciphertexts folded into the restored
+  // session, whose factorization then warm-restarts.
+  const std::string session_path = flags.get_string("session", "");
+  const bool append = flags.get_bool("append", false);
+  require(!append || !session_path.empty(),
+          "attack-snmf: --append needs --session=PATH");
+
   sse::CoaView view;
   view.cipher_indexes =
       io::open_reader(required_input(flags, "db"))->read_cipher_database();
@@ -289,23 +301,49 @@ int cmd_attack_snmf(const CliFlags& flags, std::ostream& out) {
 
   core::SnmfAttackOptions aopt;
   aopt.rank = static_cast<std::size_t>(flags.get_int("rank", 0));
-  if (aopt.rank == 0) {
-    // No --rank given: estimate d from the numerical rank of the score
-    // matrix (rank(R) <= d with equality given enough ciphertexts). The
-    // temporary score matrix is donated to the SVD (rvalue overload); ctx
-    // routes large instances through the certified truncated path.
-    aopt.rank = core::estimate_latent_dimension(
-        core::build_score_matrix(view.cipher_indexes, view.cipher_trapdoors,
-                                 ctx.threads),
-        1e-8, ctx);
-    require(aopt.rank > 0, "attack-snmf: rank estimation found a zero matrix");
-    out << "estimated latent dimension d = " << aopt.rank
-        << " from rank(R)\n";
-  }
   aopt.restarts = static_cast<std::size_t>(flags.get_int("restarts", 3));
   aopt.nmf.max_iterations =
       static_cast<std::size_t>(flags.get_int("iters", 250));
-  const auto res = core::run_snmf_attack(view, aopt, ctx);
+
+  core::SnmfAttackResult res;
+  if (!session_path.empty()) {
+    std::optional<core::CoaSession> session;
+    if (append) {
+      session.emplace(io::load_coa_session(session_path), aopt, ctx);
+    } else {
+      session.emplace(aopt, ctx);
+    }
+    session->append_ciphertexts(view);
+    if (aopt.rank == 0) {
+      const std::size_t rank = session->estimate_rank();
+      require(rank > 0, "attack-snmf: rank estimation found a zero matrix");
+      out << "estimated latent dimension d = " << rank << " from rank(R)\n";
+      session->set_rank(rank);
+    } else {
+      session->set_rank(aopt.rank);
+    }
+    res = session->attack();
+    io::save_coa_session(session_path, session->snapshot());
+    out << "session: " << session->num_indexes() << " indexes / "
+        << session->num_trapdoors() << " trapdoors -> " << session_path
+        << "\n";
+  } else {
+    if (aopt.rank == 0) {
+      // No --rank given: estimate d from the numerical rank of the score
+      // matrix (rank(R) <= d with equality given enough ciphertexts). The
+      // temporary score matrix is donated to the SVD (rvalue overload); ctx
+      // routes large instances through the certified truncated path.
+      aopt.rank = core::estimate_latent_dimension(
+          core::build_score_matrix(view.cipher_indexes, view.cipher_trapdoors,
+                                   ctx.threads),
+          1e-8, ctx);
+      require(aopt.rank > 0,
+              "attack-snmf: rank estimation found a zero matrix");
+      out << "estimated latent dimension d = " << aopt.rank
+          << " from rank(R)\n";
+    }
+    res = core::run_snmf_attack(view, aopt, ctx);
+  }
   cobs.finish(res.telemetry, out);
 
   const std::string out_path = required_output(flags, "out");
@@ -414,21 +452,45 @@ int cmd_mrse_trapdoor(const CliFlags& flags, std::ostream& out) {
 }
 
 int cmd_attack_lep(const CliFlags& flags, std::ostream& out) {
-  // Known pairs: plaintext *records* P_i (vec list) aligned with the first
-  // entries of the ciphertext database. The attack derives I_i itself.
-  const auto known_records =
-      io::open_reader(required(flags, "known-plain"))->read_vecs();
+  // --session=PATH runs the attack through an incremental core::LepSession
+  // persisted at PATH; with --append the inputs are the *delta* (new leaks
+  // and ciphertexts) and every input flag becomes optional. A session that
+  // is not yet ready (a basis still incomplete) saves its state, reports
+  // what it is waiting for, and exits 0 without writing outputs.
+  const std::string session_path = flags.get_string("session", "");
+  const bool append = flags.get_bool("append", false);
+  require(!append || !session_path.empty(),
+          "attack-lep: --append needs --session=PATH");
 
-  sse::KpaView view;
-  view.observed.cipher_indexes =
-      io::open_reader(required_input(flags, "db"))->read_cipher_database();
-  view.observed.cipher_trapdoors =
-      io::open_reader(required(flags, "trapdoors"))->read_cipher_database();
-  require(known_records.size() <= view.observed.cipher_indexes.size(),
+  // Known pairs: plaintext *records* P_i (vec list) aligned with the first
+  // entries of the ciphertext database (the delta database under --append).
+  // The attack derives I_i itself.
+  const bool session_mode = !session_path.empty();
+  const auto read_vecs_flag = [&](const char* name) {
+    const std::string path = session_mode
+                                 ? flags.get_string(name, "")
+                                 : required(flags, name);
+    return path.empty() ? std::vector<Vec>{}
+                        : io::open_reader(path)->read_vecs();
+  };
+  const auto read_db_flag = [&](const char* name, bool primary) {
+    std::string path = flags.get_string(name, "");
+    if (path.empty() && primary) path = flags.get_string("input", "");
+    if (path.empty() && !session_mode) path = required_input(flags, name);
+    return path.empty() ? std::vector<scheme::CipherPair>{}
+                        : io::open_reader(path)->read_cipher_database();
+  };
+  const auto known_records = read_vecs_flag("known-plain");
+  sse::CoaView observed;
+  observed.cipher_indexes = read_db_flag("db", true);
+  observed.cipher_trapdoors = read_db_flag("trapdoors", false);
+  require(known_records.size() <= observed.cipher_indexes.size(),
           "attack-lep: more known records than ciphertexts");
+  std::vector<sse::KnownIndexPair> known_pairs;
+  known_pairs.reserve(known_records.size());
   for (std::size_t i = 0; i < known_records.size(); ++i) {
-    view.known_pairs.push_back({scheme::make_index(known_records[i]),
-                                view.observed.cipher_indexes[i]});
+    known_pairs.push_back({scheme::make_index(known_records[i]),
+                           observed.cipher_indexes[i]});
   }
 
   // LEP consumes no randomness; the context carries the thread count and
@@ -436,7 +498,38 @@ int cmd_attack_lep(const CliFlags& flags, std::ostream& out) {
   CommandObs cobs(flags);
   core::ExecContext ctx = make_exec_context(flags, 0);
   ctx.sink = cobs.sink();
-  const auto res = core::run_lep_attack(view, core::LepOptions{}, ctx);
+
+  core::LepResult res;
+  if (session_mode) {
+    std::optional<core::LepSession> session;
+    if (append) {
+      session.emplace(io::load_lep_session(session_path), core::LepOptions{},
+                      ctx);
+    } else {
+      session.emplace(core::LepOptions{}, ctx);
+    }
+    session->add_known_pairs(known_pairs);
+    session->append_ciphertexts(observed);
+    io::save_lep_session(session_path, session->snapshot());
+    if (!session->ready()) {
+      out << "LEP session: waiting for "
+          << (!session->pair_basis_complete()
+                  ? "d+1 independent known pairs"
+                  : "d+1 independent trapdoors")
+          << " (" << session->num_indexes() << " indexes / "
+          << session->num_trapdoors() << " trapdoors observed); state -> "
+          << session_path << "\n";
+      return 0;
+    }
+    res = session->result();
+    out << "session: " << session->warm_resolves()
+        << " warm re-solves; state -> " << session_path << "\n";
+  } else {
+    sse::KpaView view;
+    view.known_pairs = std::move(known_pairs);
+    view.observed = std::move(observed);
+    res = core::run_lep_attack(view, core::LepOptions{}, ctx);
+  }
   cobs.finish(res.telemetry, out);
   const io::Format fmt = output_format(flags);
   auto rec_w = io::open_writer(required(flags, "out-records"), fmt);
@@ -548,8 +641,10 @@ int cmd_help(std::ostream& out) {
          "  attack-snmf --db=db.txt --trapdoors=trap.txt --out=recon.txt\n"
          "              [--rank=N (estimated from rank(R) when omitted)]\n"
          "              [--restarts=L] [--iters=N] [--seed=S]\n"
+         "              [--session=s.txt [--append]]\n"
          "  attack-lep  --known-plain=leak.txt --db=db.txt --trapdoors=trap.txt\n"
          "              --out-records=rec.txt --out-queries=q.txt\n"
+         "              [--session=s.txt [--append]]\n"
          "              (leak.txt: records aligned with the first db entries;\n"
          "               needs d+1 linearly independent ones)\n"
          "  attack-mip  --known-plain=leak.txt --db=db.txt --trapdoors=trap.txt\n"
@@ -566,6 +661,13 @@ int cmd_help(std::ostream& out) {
          "                             encodings are always auto-detected\n"
          "  --input=..., --output=...  aliases for each command's primary\n"
          "                             input/output flag (--db/--plain, --out)\n"
+         "\n"
+         "Incremental sessions (see docs/incremental.md):\n"
+         "  --session=PATH  run attack-snmf / attack-lep through a persistent\n"
+         "                  incremental session stored at PATH\n"
+         "  --append        inputs are a *delta* folded into the restored\n"
+         "                  session (score matrix grows in place, the\n"
+         "                  factorization / LU solves warm-restart)\n"
          "\n"
          "Attack telemetry (see docs/observability.md):\n"
          "  --trace-json=trace.json    span/counter event array for\n"

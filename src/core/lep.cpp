@@ -146,10 +146,6 @@ LepResult run_lep_attack(const sse::KpaView& view, const LepOptions& options,
       static_cast<double>(index_ciphers.size());
   result.telemetry.counters["lep.trapdoors_scanned_for_basis"] =
       static_cast<double>(scanned_for_basis);
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  result.trapdoors_scanned_for_basis = scanned_for_basis;
-#pragma GCC diagnostic pop
 
   root.reset();
   result.telemetry.wall_seconds = watch.seconds();

@@ -46,27 +46,9 @@ struct LepResult {
 
   /// Wall time, span summary and counter snapshot for this run. Driver
   /// counters: "lep.trapdoors_scanned_for_basis", "lep.trapdoor_solves",
-  /// "lep.index_solves", "lep.dimension".
+  /// "lep.index_solves", "lep.dimension" (and "lep.warm_resolves" when the
+  /// result was assembled by a LepSession).
   AttackTelemetry telemetry;
-
-  /// Deprecated alias of
-  /// telemetry.counter("lep.trapdoors_scanned_for_basis"); still populated
-  /// for one release.
-  [[deprecated(
-      "read telemetry.counter(\"lep.trapdoors_scanned_for_basis\") instead")]]
-  std::size_t trapdoors_scanned_for_basis = 0;
-
-  // Defaulted explicitly so copying the deprecated alias above does not
-  // warn at every implicit special-member instantiation.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  LepResult() = default;
-  LepResult(const LepResult&) = default;
-  LepResult(LepResult&&) = default;
-  LepResult& operator=(const LepResult&) = default;
-  LepResult& operator=(LepResult&&) = default;
-  ~LepResult() = default;
-#pragma GCC diagnostic pop
 };
 
 /// Run the LEP attack on a KPA view. Signature convention (docs/api.md):

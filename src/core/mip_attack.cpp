@@ -536,12 +536,6 @@ MipAttackResult run_mip_attack(
   root.reset();
   result.telemetry.wall_seconds = watch.seconds();
   result.telemetry.absorb(rec.finish());
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  result.seconds = result.telemetry.wall_seconds;
-  result.nodes = bnb_nodes;
-  result.simplex_iterations = bnb_pivots;
-#pragma GCC diagnostic pop
   return result;
 }
 

@@ -78,29 +78,6 @@ struct MipAttackResult {
   /// counters: "mip.bnb.nodes", "mip.bnb.simplex_iterations",
   /// "mip.heuristic.fit_probes", "mip.model_rows".
   AttackTelemetry telemetry;
-  /// Deprecated aliases of telemetry.wall_seconds,
-  /// telemetry.counter("mip.bnb.nodes") and
-  /// telemetry.counter("mip.bnb.simplex_iterations"); still populated for
-  /// one release.
-  [[deprecated("read telemetry.wall_seconds instead")]]
-  double seconds = 0.0;
-  [[deprecated("read telemetry.counter(\"mip.bnb.nodes\") instead")]]
-  std::size_t nodes = 0;
-  [[deprecated(
-      "read telemetry.counter(\"mip.bnb.simplex_iterations\") instead")]]
-  std::size_t simplex_iterations = 0;
-
-  // Defaulted explicitly so copying the deprecated aliases above does not
-  // warn at every implicit special-member instantiation.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  MipAttackResult() = default;
-  MipAttackResult(const MipAttackResult&) = default;
-  MipAttackResult(MipAttackResult&&) = default;
-  MipAttackResult& operator=(const MipAttackResult&) = default;
-  MipAttackResult& operator=(MipAttackResult&&) = default;
-  ~MipAttackResult() = default;
-#pragma GCC diagnostic pop
 };
 
 /// Attack one ciphertext trapdoor using the KPA view's known pairs.

@@ -14,6 +14,7 @@
 #include "linalg/truncated_svd.hpp"
 #include "obs/obs.hpp"
 #include "par/parallel.hpp"
+#include "rng/rng.hpp"
 
 namespace aspe::core {
 
@@ -155,34 +156,51 @@ std::size_t latent_rank_full(linalg::ConstMatrixView scores, Matrix* donate,
   return svd->rank(rel_tol);
 }
 
+/// Escalating fresh-sample loop of the truncated path. On success the
+/// certified TruncatedSvd is left in `state` (for incremental callers);
+/// nullopt means no sample size could certify the gap.
+std::optional<std::size_t> certified_truncated_rank(
+    linalg::ConstMatrixView scores,
+    std::optional<linalg::TruncatedSvd>& state, double rel_tol,
+    const ExecContext& ctx) {
+  const std::size_t minmn = std::min(scores.rows(), scores.cols());
+  obs::Span span("svd/truncated");
+  // Escalating sample size: start small (rank(R) <= d, typically far
+  // below the matrix dimensions), double until the residual certificate
+  // proves the count, and give up at ~minmn/2 — the crossover where the
+  // randomized path stops being cheaper than one full Jacobi.
+  for (std::size_t guess = 32; guess + 8 <= minmn / 2; guess *= 2) {
+    linalg::TruncatedSvdOptions opts;
+    opts.rank = guess;
+    opts.oversample = 8;
+    opts.power_iterations = 2;
+    opts.seed = ctx.seed;
+    opts.threads = ctx.resolved_threads();
+    state.emplace(scores, linalg::Op::None, opts);
+    obs::counter_add("svd.truncated_runs", 1.0);
+    if (const auto rank = state->certified_rank(rel_tol)) {
+      obs::gauge_set("svd.truncated_sample",
+                     static_cast<double>(state->sample_size()));
+      return rank;
+    }
+  }
+  // Flat / ambiguous spectrum: no sample size could certify the gap.
+  obs::counter_add("svd.truncated_fallbacks", 1.0);
+  state.reset();
+  return std::nullopt;
+}
+
 std::size_t latent_rank(linalg::ConstMatrixView scores, Matrix* donate,
                         double rel_tol, const ExecContext& ctx) {
   require(scores.rows() > 0 && scores.cols() > 0,
           "estimate_latent_dimension: empty score matrix");
   const std::size_t minmn = std::min(scores.rows(), scores.cols());
   if (minmn >= kTruncatedMinDim) {
-    obs::Span span("svd/truncated");
-    // Escalating sample size: start small (rank(R) <= d, typically far
-    // below the matrix dimensions), double until the residual certificate
-    // proves the count, and give up at ~minmn/2 — the crossover where the
-    // randomized path stops being cheaper than one full Jacobi.
-    for (std::size_t guess = 32; guess + 8 <= minmn / 2; guess *= 2) {
-      linalg::TruncatedSvdOptions opts;
-      opts.rank = guess;
-      opts.oversample = 8;
-      opts.power_iterations = 2;
-      opts.seed = ctx.seed;
-      opts.threads = ctx.resolved_threads();
-      const linalg::TruncatedSvd tsvd(scores, linalg::Op::None, opts);
-      obs::counter_add("svd.truncated_runs", 1.0);
-      if (const auto rank = tsvd.certified_rank(rel_tol)) {
-        obs::gauge_set("svd.truncated_sample",
-                       static_cast<double>(tsvd.sample_size()));
-        return *rank;
-      }
+    std::optional<linalg::TruncatedSvd> state;
+    if (const auto rank =
+            certified_truncated_rank(scores, state, rel_tol, ctx)) {
+      return *rank;
     }
-    // Flat / ambiguous spectrum: no sample size could certify the gap.
-    obs::counter_add("svd.truncated_fallbacks", 1.0);
   }
   return latent_rank_full(scores, donate, rel_tol);
 }
@@ -204,16 +222,67 @@ std::size_t estimate_latent_dimension(linalg::ConstMatrixView scores,
   return latent_rank(scores, nullptr, rel_tol, ctx);
 }
 
-namespace {
+std::size_t estimate_latent_dimension(linalg::ConstMatrixView scores,
+                                      std::optional<linalg::TruncatedSvd>& state,
+                                      double rel_tol, const ExecContext& ctx) {
+  require(scores.rows() > 0 && scores.cols() > 0,
+          "estimate_latent_dimension: empty score matrix");
+  const std::size_t minmn = std::min(scores.rows(), scores.cols());
+  if (minmn < kTruncatedMinDim) {
+    // Below the truncated crossover the full Jacobi decides; any carried
+    // sample is from a different regime and would go stale.
+    state.reset();
+    return latent_rank_full(scores, nullptr, rel_tol);
+  }
+  if (state.has_value()) {
+    const std::size_t m0 = state->u().rows();
+    const std::size_t n0 = state->v().rows();
+    if (m0 <= scores.rows() && n0 <= scores.cols()) {
+      if (m0 < scores.rows() || n0 < scores.cols()) {
+        // Fold the growth in: first the new trailing columns restricted to
+        // the old rows, then the new full-width rows. Order matters — the
+        // column update needs U's row count to match, the row update V's.
+        obs::Span span("svd/update");
+        if (n0 < scores.cols()) {
+          state->update_cols(scores.block(0, n0, m0, scores.cols() - n0));
+        }
+        if (m0 < scores.rows()) {
+          state->update_rows(
+              scores.block(m0, 0, scores.rows() - m0, scores.cols()));
+        }
+        obs::counter_add("svd.updates", 1.0);
+      }
+      if (state->u().rows() == scores.rows() &&
+          state->v().rows() == scores.cols()) {
+        if (const auto rank = state->certified_rank(rel_tol)) {
+          obs::gauge_set("svd.truncated_sample",
+                         static_cast<double>(state->sample_size()));
+          return *rank;
+        }
+        // Updated sample can no longer certify (rank grew past it, gap
+        // closed): resample from scratch below.
+        obs::counter_add("svd.update_recertify_failures", 1.0);
+      }
+    }
+    // Stale (matrix shrank or shape mismatch) or uncertified state.
+    state.reset();
+  }
+  if (const auto rank = certified_truncated_rank(scores, state, rel_tol, ctx)) {
+    return *rank;
+  }
+  return latent_rank_full(scores, nullptr, rel_tol);
+}
 
 /// Best-of-L restarts from pre-drawn initializations (Algorithm 3's loop).
 /// Restarts run in parallel; the winner is the lowest objective with ties
 /// broken toward the smallest restart id, which is exactly what the serial
 /// first-strictly-better scan selects.
-SnmfAttackResult run_restarts(const Matrix& scores,
-                              const SnmfAttackOptions& options,
-                              std::vector<nmf::NmfInit> inits,
-                              const ExecContext& ctx) {
+SnmfSelection run_snmf_restarts(const Matrix& scores,
+                                const SnmfAttackOptions& options,
+                                std::vector<nmf::NmfInit> inits,
+                                const ExecContext& ctx) {
+  require(options.rank > 0, "SNMF attack: rank (d) must be set");
+  require(!inits.empty(), "SNMF attack: need at least one restart");
   const std::size_t threads = ctx.resolved_threads();
   const std::size_t restarts = inits.size();
   // Group the restarts so the concurrently-live factor/temporary working
@@ -265,25 +334,34 @@ SnmfAttackResult run_restarts(const Matrix& scores,
       obs::gauge_set(name.c_str(), runs[l].fit_error);
     }
   }
-  nmf::NmfResult selected = std::move(runs[best]);
 
+  SnmfSelection selection;
+  selection.factorization = std::move(runs[best]);
+  selection.selected_restart = best;
+  selection.restarts_run = restarts;
+  selection.nmf_iterations = nmf_iterations;
+  return selection;
+}
+
+SnmfAttackResult binarize_snmf_selection(const SnmfSelection& selection,
+                                         const SnmfAttackOptions& options) {
   obs::Span binarize_span("snmf/binarize");
-  if (options.balance) nmf::balance_rows(selected.w, selected.h);
-  const Matrix wb = nmf::to_binary(selected.w, options.theta);
-  const Matrix hb = nmf::to_binary(selected.h, options.theta);
+  // Balancing rescales in place; work on copies so the caller's selection
+  // stays a valid warm seed for the next resume.
+  Matrix w = selection.factorization.w;
+  Matrix h = selection.factorization.h;
+  if (options.balance) nmf::balance_rows(w, h);
+  const Matrix wb = nmf::to_binary(w, options.theta);
+  const Matrix hb = nmf::to_binary(h, options.theta);
 
   SnmfAttackResult result;
-  result.best_fit_error = selected.fit_error;
+  result.best_fit_error = selection.factorization.fit_error;
   result.telemetry.counters["snmf.restarts_run"] =
-      static_cast<double>(restarts);
+      static_cast<double>(selection.restarts_run);
   result.telemetry.counters["snmf.nmf_iterations"] =
-      static_cast<double>(nmf_iterations);
+      static_cast<double>(selection.nmf_iterations);
   result.telemetry.counters["snmf.selected_restart"] =
-      static_cast<double>(best);
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  result.restarts_run = restarts;
-#pragma GCC diagnostic pop
+      static_cast<double>(selection.selected_restart);
   result.indexes.reserve(wb.cols());
   for (std::size_t i = 0; i < wb.cols(); ++i) {
     BitVec v(options.rank);
@@ -303,27 +381,35 @@ SnmfAttackResult run_restarts(const Matrix& scores,
   return result;
 }
 
-/// Draw the L restart initializations in restart order from `root` — the
-/// same RNG-consumption schedule as the legacy serial loop (the NMF
-/// iterations themselves consume no randomness), so parallel restarts stay
-/// bit-identical to it.
-std::vector<nmf::NmfInit> sequential_inits(const Matrix& scores,
-                                           const SnmfAttackOptions& options,
-                                           rng::Rng& root) {
+std::vector<nmf::NmfInit> draw_snmf_inits(const Matrix& scores,
+                                          const SnmfAttackOptions& options,
+                                          const ExecContext& ctx) {
+  require(options.rank > 0, "SNMF attack: rank (d) must be set");
+  require(options.restarts > 0, "SNMF attack: need at least one restart");
+  obs::Span span("snmf/draw_inits");
+  rng::Rng root_rng(ctx.seed);
   std::vector<nmf::NmfInit> inits;
   inits.reserve(options.restarts);
-  for (std::size_t l = 0; l < options.restarts; ++l) {
-    inits.push_back(nmf::nmf_initialize(scores, options.rank, options.nmf, root));
+  if (ctx.deterministic) {
+    // Restart order from one sequential stream: the NMF iterations consume
+    // no randomness, so parallel restarts stay bit-identical to the serial
+    // loop.
+    for (std::size_t l = 0; l < options.restarts; ++l) {
+      inits.push_back(
+          nmf::nmf_initialize(scores, options.rank, options.nmf, root_rng));
+    }
+  } else {
+    // Order-independent split streams: restart l is seeded by (seed, l)
+    // alone. Still reproducible across thread counts, but a different
+    // stream than the sequential draw.
+    for (std::size_t l = 0; l < options.restarts; ++l) {
+      rng::Rng stream = root_rng.split(l);
+      inits.push_back(
+          nmf::nmf_initialize(scores, options.rank, options.nmf, stream));
+    }
   }
   return inits;
 }
-
-void validate(const SnmfAttackOptions& options) {
-  require(options.rank > 0, "SNMF attack: rank (d) must be set");
-  require(options.restarts > 0, "SNMF attack: need at least one restart");
-}
-
-}  // namespace
 
 SnmfAttackResult run_snmf_attack(const sse::CoaView& view,
                                  const SnmfAttackOptions& options,
@@ -367,25 +453,7 @@ SnmfAttackResult run_snmf_attack(const Matrix& scores,
   std::optional<obs::Span> root;
   if (rec.active()) root.emplace("snmf/attack");
 
-  validate(options);
-  std::vector<nmf::NmfInit> inits;
-  {
-    obs::Span span("snmf/draw_inits");
-    rng::Rng root_rng(ctx.seed);
-    if (ctx.deterministic) {
-      inits = sequential_inits(scores, options, root_rng);
-    } else {
-      // Order-independent split streams: restart l is seeded by (seed, l)
-      // alone. Still reproducible across thread counts, but a different
-      // stream than the legacy sequential draw.
-      inits.reserve(options.restarts);
-      for (std::size_t l = 0; l < options.restarts; ++l) {
-        rng::Rng stream = root_rng.split(l);
-        inits.push_back(
-            nmf::nmf_initialize(scores, options.rank, options.nmf, stream));
-      }
-    }
-  }
+  std::vector<nmf::NmfInit> inits = draw_snmf_inits(scores, options, ctx);
   SnmfAttackResult result =
       run_snmf_attack(scores, std::move(inits), options, ctx);
 
@@ -404,10 +472,9 @@ SnmfAttackResult run_snmf_attack(const Matrix& scores,
   std::optional<obs::Span> root;
   if (rec.active()) root.emplace("snmf/attack");
 
-  require(options.rank > 0, "SNMF attack: rank (d) must be set");
-  require(!inits.empty(), "SNMF attack: need at least one restart");
-  SnmfAttackResult result =
-      run_restarts(scores, options, std::move(inits), ctx);
+  SnmfSelection selection =
+      run_snmf_restarts(scores, options, std::move(inits), ctx);
+  SnmfAttackResult result = binarize_snmf_selection(selection, options);
 
   root.reset();
   result.telemetry.wall_seconds = watch.seconds();

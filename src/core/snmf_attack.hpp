@@ -13,6 +13,7 @@
 // defaulted.
 #pragma once
 
+#include <optional>
 #include <utility>
 #include <vector>
 
@@ -20,8 +21,8 @@
 #include "core/exec_context.hpp"
 #include "core/telemetry.hpp"
 #include "linalg/matrix.hpp"
+#include "linalg/truncated_svd.hpp"
 #include "nmf/nmf.hpp"
-#include "rng/rng.hpp"
 #include "sse/adversary_view.hpp"
 
 namespace aspe::core {
@@ -34,6 +35,13 @@ struct SnmfAttackOptions {
   /// Rescale latent rows before thresholding (W^T H invariant); makes the
   /// fixed theta meaningful under NMF's diagonal-scale ambiguity.
   bool balance = true;
+  /// ANLS iteration budget of one warm resume (CoaSession's incremental
+  /// attack; 0 = nmf.max_iterations). A warm seed restarts one run instead
+  /// of the L-restart sweep, and every appended batch buys it another
+  /// budget's worth of polish on nearly the same matrix — so a small
+  /// per-delta budget amortizes to at least the batch pipeline's quality
+  /// (by its own objective) at a fraction of the iterations.
+  std::size_t resume_iterations = 40;
 };
 
 struct SnmfAttackResult {
@@ -42,24 +50,9 @@ struct SnmfAttackResult {
   double best_fit_error = 0.0;    // ||R - W^T H||_F of the selected run
   /// Wall time, span summary and counter snapshot for this run. Driver
   /// counters: "snmf.restarts_run", "snmf.nmf_iterations",
-  /// "snmf.selected_restart".
+  /// "snmf.selected_restart" (and "snmf.resumes" on the CoaSession resume
+  /// path).
   AttackTelemetry telemetry;
-  /// Deprecated alias of telemetry.counter("snmf.restarts_run"); still
-  /// populated for one release.
-  [[deprecated("read telemetry.counter(\"snmf.restarts_run\") instead")]]
-  std::size_t restarts_run = 0;
-
-  // Defaulted explicitly so copying the deprecated alias above does not
-  // warn at every implicit special-member instantiation.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  SnmfAttackResult() = default;
-  SnmfAttackResult(const SnmfAttackResult&) = default;
-  SnmfAttackResult(SnmfAttackResult&&) = default;
-  SnmfAttackResult& operator=(const SnmfAttackResult&) = default;
-  SnmfAttackResult& operator=(SnmfAttackResult&&) = default;
-  ~SnmfAttackResult() = default;
-#pragma GCC diagnostic pop
 };
 
 /// R[i][j] = I'_i^T T'_j — all the COA adversary needs. The all-pairs sweep
@@ -113,10 +106,24 @@ struct SnmfAttackResult {
     linalg::ConstMatrixView scores, double rel_tol = 1e-8,
     const ExecContext& ctx = {});
 
+/// Stateful overload for growing score matrices (CoaSession): when `state`
+/// holds the truncated factorization of a leading block of `scores`, the new
+/// trailing columns and rows are folded in through TruncatedSvd::update_cols
+/// / update_rows (span "svd/update") and the residual certificate is
+/// re-checked — an O((l+k)^2 (m+n)) update instead of a fresh O(m n l)
+/// sample. Only when the updated certificate fails does it fall back to the
+/// escalating fresh-sample loop (and then the full Jacobi SVD), storing
+/// whatever certified state it ends with back into `state` (reset when the
+/// full SVD decided, or when the input is below the truncated crossover).
+/// The returned rank always equals the stateless overloads'.
+[[nodiscard]] std::size_t estimate_latent_dimension(
+    linalg::ConstMatrixView scores,
+    std::optional<linalg::TruncatedSvd>& state, double rel_tol = 1e-8,
+    const ExecContext& ctx = {});
+
 /// Run Algorithm 3 on a ciphertext-only view. For a fixed ctx.seed the
 /// result is bit-identical for every ctx.threads and with or without a
-/// telemetry sink; with ctx.deterministic (the default) it also matches the
-/// deprecated rng::Rng& overload seeded with rng::Rng(ctx.seed).
+/// telemetry sink.
 [[nodiscard]] SnmfAttackResult run_snmf_attack(const sse::CoaView& view,
                                                const SnmfAttackOptions& options,
                                                const ExecContext& ctx = {});
@@ -134,49 +141,37 @@ struct SnmfAttackResult {
                                                const SnmfAttackOptions& options,
                                                const ExecContext& ctx = {});
 
-namespace detail {
+// ---- Decomposed restart machinery (shared by run_snmf_attack and
+// core::CoaSession, which must keep the selected factorization alive as the
+// warm seed of its next incremental resume).
 
-/// Shared body of the deprecated rng::Rng& entry points: validate in the
-/// legacy order, draw the L initializations serially from the caller's
-/// stream, and run the restarts single-threaded — RNG consumption and output
-/// are unchanged from the pre-ExecContext implementation.
-inline SnmfAttackResult snmf_attack_legacy(const linalg::Matrix& scores,
-                                           const SnmfAttackOptions& options,
-                                           rng::Rng& rng) {
-  require(options.rank > 0, "SNMF attack: rank (d) must be set");
-  require(options.restarts > 0, "SNMF attack: need at least one restart");
-  std::vector<nmf::NmfInit> inits;
-  inits.reserve(options.restarts);
-  for (std::size_t l = 0; l < options.restarts; ++l) {
-    inits.push_back(nmf::nmf_initialize(scores, options.rank, options.nmf, rng));
-  }
-  ExecContext ctx;
-  ctx.threads = 1;
-  return run_snmf_attack(scores, std::move(inits), options, ctx);
-}
+/// The winner of a best-of-L restart sweep, before balancing/thresholding.
+struct SnmfSelection {
+  nmf::NmfResult factorization;      // un-balanced W/H of the selected run
+  std::size_t selected_restart = 0;  // restart id of the winner
+  std::size_t restarts_run = 0;
+  std::size_t nmf_iterations = 0;  // summed over all restarts
+};
 
-}  // namespace detail
+/// Draw the L restart initializations exactly as run_snmf_attack(scores,
+/// options, ctx) does: sequentially from rng::Rng(ctx.seed) when
+/// ctx.deterministic, from per-restart split streams otherwise.
+[[nodiscard]] std::vector<nmf::NmfInit> draw_snmf_inits(
+    const linalg::Matrix& scores, const SnmfAttackOptions& options,
+    const ExecContext& ctx = {});
 
-/// Legacy entry point: serial restarts drawing from the caller's stream.
-[[deprecated(
-    "use run_snmf_attack(view, options, ExecContext{...}) — ExecContext{1, "
-    "seed} reproduces this overload bit-for-bit")]]
-inline SnmfAttackResult run_snmf_attack(const sse::CoaView& view,
-                                        const SnmfAttackOptions& options,
-                                        rng::Rng& rng) {
-  return detail::snmf_attack_legacy(
-      build_score_matrix(view.cipher_indexes, view.cipher_trapdoors), options,
-      rng);
-}
+/// Best-of-L restarts from pre-drawn initializations (Algorithm 3's loop):
+/// runs in parallel under ctx, selects the lowest objective (ties toward the
+/// smallest restart id), and returns the winning factorization un-binarized.
+[[nodiscard]] SnmfSelection run_snmf_restarts(const linalg::Matrix& scores,
+                                              const SnmfAttackOptions& options,
+                                              std::vector<nmf::NmfInit> inits,
+                                              const ExecContext& ctx = {});
 
-/// Legacy entry point on a precomputed score matrix (tests/ablations).
-[[deprecated(
-    "use run_snmf_attack(scores, options, ExecContext{...}) — ExecContext{1, "
-    "seed} reproduces this overload bit-for-bit")]]
-inline SnmfAttackResult run_snmf_attack(const linalg::Matrix& scores,
-                                        const SnmfAttackOptions& options,
-                                        rng::Rng& rng) {
-  return detail::snmf_attack_legacy(scores, options, rng);
-}
+/// Balance + threshold a selection into the attack result (Algorithm 3's
+/// ConvertToBinaryMatrix step) and populate the driver counters. The
+/// selection's factors are copied, not consumed — sessions keep them.
+[[nodiscard]] SnmfAttackResult binarize_snmf_selection(
+    const SnmfSelection& selection, const SnmfAttackOptions& options);
 
 }  // namespace aspe::core

@@ -294,6 +294,18 @@ class TextReader final : public CorpusReader {
     }
   }
 
+  bool refresh() override {
+    // A reader that drained the stream carries a sticky eof/fail state;
+    // clear it and peek so records appended to the file since then parse.
+    is_->clear();
+    is_->peek();
+    if (is_->eof()) {
+      is_->clear();
+      return false;
+    }
+    return is_->good();
+  }
+
  private:
   std::unique_ptr<std::ifstream> file_;
   std::istream* is_;
@@ -544,10 +556,29 @@ class BinaryWriter final : public CorpusWriter {
 class BinaryReader final : public CorpusReader {
  public:
   explicit BinaryReader(std::istream& is) { load(is); }
-  explicit BinaryReader(const std::string& path) {
+  explicit BinaryReader(const std::string& path) : path_(path) {
     std::ifstream f(path, std::ios::binary);
     if (!f) throw IoError("cannot open input file: " + path);
     load(f);
+  }
+
+  bool refresh() override {
+    // v2 containers are finished atomically (header last write wins), so a
+    // grown corpus means a *rewritten* container: re-open, re-validate, and
+    // keep the record cursor. Only a path-opened reader can do this.
+    if (path_.empty()) return false;
+    std::ifstream f(path_, std::ios::binary);
+    if (!f) throw IoError("cannot open input file: " + path_);
+    const v2::ContentKind kind = header_.kind;
+    const std::size_t seen = header_.record_count;
+    load(f);
+    if (header_.kind != kind) {
+      throw IoError("io::v2: refreshed container changed its content kind");
+    }
+    if (header_.record_count < seen) {
+      throw IoError("io::v2: refreshed container lost records");
+    }
+    return next_ < header_.record_count;
   }
 
   std::optional<Record> read_next() override {
@@ -621,6 +652,7 @@ class BinaryReader final : public CorpusReader {
             s.cols};
   }
 
+  std::string path_;  // empty for stream-opened readers (no refresh)
   std::vector<char> buf_;
   v2::Header header_;
   std::vector<v2::SectionEntry> sections_;

@@ -2,11 +2,11 @@
 // codec interface, its Text and Binary implementations, and the
 // `open_reader` / `open_writer` factories.
 //
-// One pair of abstract classes replaces the per-type free functions of
-// io/serialization.hpp (now [[deprecated]] forwarders): a CorpusReader
-// iterates records with `read_next()` regardless of on-disk encoding, a
-// CorpusWriter accepts the same record vocabulary, and the factories pick
-// the codec from a Format selector — `Format::Auto` sniffs the io::v2 magic
+// One pair of abstract classes replaces the per-type free functions that
+// io/serialization.hpp once exported (its record grammar now lives in
+// io::detail): a CorpusReader iterates records with `read_next()` regardless
+// of on-disk encoding, a CorpusWriter accepts the same record vocabulary,
+// and the factories pick the codec from a Format selector — `Format::Auto` sniffs the io::v2 magic
 // bytes, so every CLI command reads either encoding transparently.
 //
 //   auto in  = io::open_reader(path);                  // sniffs text vs v2
@@ -52,6 +52,16 @@ class CorpusReader {
   virtual ~CorpusReader() = default;
 
   [[nodiscard]] virtual std::optional<Record> read_next() = 0;
+
+  /// Re-probe the underlying source for records appended since the reader
+  /// was opened (an incremental attack session tailing a growing corpus).
+  /// Returns true when further read_next() calls will yield new records.
+  /// The text reader clears a sticky EOF and peeks for fresh bytes; the
+  /// path-opened binary reader re-opens and re-validates the container
+  /// (which must still hold the same content kind — IoError otherwise) and
+  /// keeps its record cursor. The default — and the stream-opened binary
+  /// reader, whose stream was consumed on open — reports no new data.
+  [[nodiscard]] virtual bool refresh() { return false; }
 
   // Whole-corpus conveniences over read_next(). Each enforces the expected
   // record kinds (IoError otherwise) and accounts the wall time spent

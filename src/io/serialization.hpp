@@ -8,9 +8,9 @@
 // yields partially-filled objects, and never sizes an allocation from an
 // unvalidated header field).
 //
-// The free read_*/write_* functions below are the original public surface;
-// they are now thin [[deprecated]] forwarders over the io::detail
-// implementations that io::TextCodec shares. New code opens a
+// The io::detail functions are the text codec's record grammar, shared by
+// io::TextCodec and the session snapshot format (io/session_io.hpp). The
+// public surface is the format-agnostic corpus API: open a
 // CorpusReader/CorpusWriter via io::open_reader / io::open_writer (or
 // io::TextCodec / io::BinaryCodec directly) — see docs/io.md.
 #pragma once
@@ -64,78 +64,5 @@ void write_bitvec_list(std::ostream& os, const std::vector<BitVec>& vs);
 [[nodiscard]] scheme::CipherPair read_cipher_pair_body(std::istream& is);
 
 }  // namespace detail
-
-// --------------------------------------------------------------------------
-// Deprecated free-function surface (one release, mirroring the PR 4/5
-// deprecate-then-migrate pattern). Each forwards to the detail:: text-codec
-// implementation unchanged.
-
-[[deprecated("open an io::CorpusWriter (io/codec.hpp) instead")]]
-inline void write_vec(std::ostream& os, const Vec& v) {
-  detail::write_vec(os, v);
-}
-[[deprecated("open an io::CorpusReader (io/codec.hpp) instead")]]
-[[nodiscard]] inline Vec read_vec(std::istream& is) {
-  return detail::read_vec(is);
-}
-
-[[deprecated("open an io::CorpusWriter (io/codec.hpp) instead")]]
-inline void write_bitvec(std::ostream& os, const BitVec& v) {
-  detail::write_bitvec(os, v);
-}
-[[deprecated("open an io::CorpusReader (io/codec.hpp) instead")]]
-[[nodiscard]] inline BitVec read_bitvec(std::istream& is) {
-  return detail::read_bitvec(is);
-}
-
-[[deprecated("open an io::CorpusWriter (io/codec.hpp) instead")]]
-inline void write_matrix(std::ostream& os, const linalg::Matrix& m) {
-  detail::write_matrix(os, m);
-}
-[[deprecated("open an io::CorpusReader (io/codec.hpp) instead")]]
-[[nodiscard]] inline linalg::Matrix read_matrix(std::istream& is) {
-  return detail::read_matrix(is);
-}
-
-[[deprecated("open an io::CorpusWriter (io/codec.hpp) instead")]]
-inline void write_cipher_pair(std::ostream& os, const scheme::CipherPair& c) {
-  detail::write_cipher_pair(os, c);
-}
-[[deprecated("open an io::CorpusReader (io/codec.hpp) instead")]]
-[[nodiscard]] inline scheme::CipherPair read_cipher_pair(std::istream& is) {
-  return detail::read_cipher_pair(is);
-}
-
-/// An encrypted database: ciphertext indexes in upload order.
-[[deprecated("open an io::CorpusWriter (io/codec.hpp) instead")]]
-inline void write_encrypted_database(
-    std::ostream& os, const std::vector<scheme::CipherPair>& db) {
-  detail::write_encrypted_database(os, db);
-}
-[[deprecated("open an io::CorpusReader (io/codec.hpp) instead")]]
-[[nodiscard]] inline std::vector<scheme::CipherPair> read_encrypted_database(
-    std::istream& is) {
-  return detail::read_encrypted_database(is);
-}
-
-/// Unframed record lists: consecutive records until end of stream (the CLI
-/// file format for plaintext vectors / binary vectors).
-[[deprecated("open an io::CorpusWriter (io/codec.hpp) instead")]]
-inline void write_vec_list(std::ostream& os, const std::vector<Vec>& vs) {
-  detail::write_vec_list(os, vs);
-}
-[[deprecated("open an io::CorpusReader (io/codec.hpp) instead")]]
-[[nodiscard]] inline std::vector<Vec> read_vec_list(std::istream& is) {
-  return detail::read_vec_list(is);
-}
-[[deprecated("open an io::CorpusWriter (io/codec.hpp) instead")]]
-inline void write_bitvec_list(std::ostream& os,
-                              const std::vector<BitVec>& vs) {
-  detail::write_bitvec_list(os, vs);
-}
-[[deprecated("open an io::CorpusReader (io/codec.hpp) instead")]]
-[[nodiscard]] inline std::vector<BitVec> read_bitvec_list(std::istream& is) {
-  return detail::read_bitvec_list(is);
-}
 
 }  // namespace aspe::io

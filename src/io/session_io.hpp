@@ -1,0 +1,44 @@
+// Persistence for incremental attack sessions (core/session.hpp).
+//
+// A snapshot is plain data — stacked ciphertext halves, the score matrix,
+// the warm factorization seed (CoaSession), or the raw observations and
+// solved plaintexts (LepSession) — serialized in the io text record grammar
+// (io::detail, serialization.hpp) under a tagged, versioned frame:
+//
+//   coa_session 1            lep_session 1
+//   matrix ...  (x5)         vec 2  <dimension> <warm_resolves>
+//   vec 1 <has_fact>         vec 1 <n>  then n x (vec, cipher) known pairs
+//   [matrix w, matrix h,     vec 1 <n>  then n cipher trapdoors
+//    vec 3 obj fit iters]    vec 1 <n>  then n solved trapdoor vecs
+//                            vec 1 <n>  then n cipher indexes
+//                            vec 1 <n>  then n solved index vecs
+//
+// Loading validates the frame and every count strictly (IoError on
+// malformed input); the session constructors then re-validate shape
+// consistency and replay the derived state (trackers, LU factorizations,
+// unpacked queries), so a tampered-but-well-formed snapshot fails loudly
+// rather than yielding a corrupt session.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/session.hpp"
+
+namespace aspe::io {
+
+void save_coa_session(std::ostream& os, const core::CoaSessionSnapshot& s);
+void save_coa_session(const std::string& path,
+                      const core::CoaSessionSnapshot& s);
+[[nodiscard]] core::CoaSessionSnapshot load_coa_session(std::istream& is);
+[[nodiscard]] core::CoaSessionSnapshot load_coa_session(
+    const std::string& path);
+
+void save_lep_session(std::ostream& os, const core::LepSessionSnapshot& s);
+void save_lep_session(const std::string& path,
+                      const core::LepSessionSnapshot& s);
+[[nodiscard]] core::LepSessionSnapshot load_lep_session(std::istream& is);
+[[nodiscard]] core::LepSessionSnapshot load_lep_session(
+    const std::string& path);
+
+}  // namespace aspe::io

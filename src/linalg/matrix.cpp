@@ -58,6 +58,25 @@ void Matrix::set_col(std::size_t c, const Vec& v) {
   for (std::size_t r = 0; r < rows_; ++r) (*this)(r, c) = v[r];
 }
 
+void Matrix::conservative_resize(std::size_t new_rows, std::size_t new_cols,
+                                 double fill) {
+  if (new_rows == rows_ && new_cols == cols_) return;
+  if (new_cols == cols_) {
+    data_.resize(new_rows * new_cols, fill);
+    rows_ = new_rows;
+    return;
+  }
+  Vec grown(new_rows * new_cols, fill);
+  const std::size_t copy_rows = std::min(rows_, new_rows);
+  const std::size_t copy_cols = std::min(cols_, new_cols);
+  for (std::size_t r = 0; r < copy_rows; ++r) {
+    std::copy_n(row_ptr(r), copy_cols, grown.data() + r * new_cols);
+  }
+  data_ = std::move(grown);
+  rows_ = new_rows;
+  cols_ = new_cols;
+}
+
 Matrix Matrix::transpose() const {
   Matrix t(cols_, rows_);
   transpose_copy(cview(), t.view());

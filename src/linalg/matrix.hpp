@@ -94,6 +94,13 @@ class Matrix {
     return cview().col(c);
   }
 
+  /// Grow (or shrink) in place to new_rows x new_cols, preserving the
+  /// overlapping top-left block; fresh entries read `fill`. Row-only growth
+  /// appends storage without moving existing data; column changes re-stride
+  /// every surviving row once. Outstanding views are invalidated.
+  void conservative_resize(std::size_t new_rows, std::size_t new_cols,
+                           double fill = 0.0);
+
   [[nodiscard]] Matrix transpose() const;
 
   Matrix& operator+=(const Matrix& o);

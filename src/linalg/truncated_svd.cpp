@@ -28,7 +28,8 @@ Matrix orthonormalize(Matrix y, std::size_t threads) {
 }  // namespace
 
 TruncatedSvd::TruncatedSvd(ConstMatrixView a, Op op,
-                           const TruncatedSvdOptions& options) {
+                           const TruncatedSvdOptions& options)
+    : options_(options) {
   const std::size_t m = op_rows(a, op);
   const std::size_t n = op_cols(a, op);
   require(m > 0 && n > 0, "TruncatedSvd: empty matrix");
@@ -113,6 +114,134 @@ TruncatedSvd::TruncatedSvd(ConstMatrixView a, Op op,
     }
     residual_fro_ = std::sqrt(r2);
   }
+}
+
+void TruncatedSvd::update_rows(ConstMatrixView e) {
+  const std::size_t k = e.rows();
+  if (k == 0) return;
+  const std::size_t m = u_.rows();
+  const std::size_t n = v_.rows();
+  const std::size_t l = sample_;
+  require(e.cols() == n, "TruncatedSvd::update_rows: column count mismatch");
+  const std::size_t threads = options_.threads;
+
+  // The grown matrix factors exactly as blkdiag(U, I_k) * B_new + [R; 0]
+  // with B_new = [diag(s) V^T; E] and R the old out-of-subspace residual.
+  // The basis is orthonormal, so the exact SVD of the small B_new
+  // re-diagonalizes everything the sample captured plus the new rows.
+  Matrix b(l + k, n);
+  for (std::size_t i = 0; i < l; ++i) {
+    double* row = b.row_ptr(i);
+    const double si = s_[i];
+    for (std::size_t j = 0; j < n; ++j) row[j] = si * v_(j, i);
+  }
+  for (std::size_t i = 0; i < k; ++i) {
+    const double* src = e.row_ptr(i);
+    std::copy(src, src + n, b.row_ptr(l + i));
+  }
+
+  // Exact Jacobi on the small problem; the one-sided sweep needs the tall
+  // orientation, so transpose when B_new is wide.
+  const Op small_op = n >= l + k ? Op::Transpose : Op::None;
+  const Svd small(b.cview(), small_op, options_.jacobi);
+  jacobi_converged_ = jacobi_converged_ && small.converged();
+  const Matrix& u2 = small_op == Op::Transpose ? small.v() : small.u();
+  const Matrix& v2 = small_op == Op::Transpose ? small.u() : small.v();
+  const Vec& s2 = small.singular_values();
+  const std::size_t keep = std::min(l, s2.size());
+
+  // U' = blkdiag(U, I_k) * U2, truncated to the leading `keep` triplets —
+  // a product of orthonormal factors, so updates compose without drift.
+  Matrix u_new(m + k, keep);
+  gemm(1.0, u_.cview(), Op::None, u2.block(0, 0, l, keep), Op::None, 0.0,
+       u_new.block(0, 0, m, keep), threads);
+  for (std::size_t i = 0; i < k; ++i) {
+    const double* src = u2.row_ptr(l + i);
+    std::copy(src, src + keep, u_new.row_ptr(m + i));
+  }
+  Matrix v_new(n, keep);
+  for (std::size_t j = 0; j < n; ++j) {
+    const double* src = v2.row_ptr(j);
+    std::copy(src, src + keep, v_new.row_ptr(j));
+  }
+
+  // Dropped Ritz directions live in range(blkdiag(U, I_k)) and the old
+  // residual is orthogonal to it, so the certificate norms add exactly in
+  // quadrature: residual'^2 = residual^2 + sum of truncated tail values^2.
+  double tail2 = 0.0;
+  for (std::size_t i = keep; i < s2.size(); ++i) tail2 += s2[i] * s2[i];
+  residual_fro_ = std::sqrt(residual_fro_ * residual_fro_ + tail2);
+
+  u_ = std::move(u_new);
+  v_ = std::move(v_new);
+  s_.assign(s2.begin(), s2.begin() + static_cast<std::ptrdiff_t>(keep));
+  sample_ = keep;
+}
+
+void TruncatedSvd::update_cols(ConstMatrixView c) {
+  const std::size_t c_new = c.cols();
+  if (c_new == 0) return;
+  const std::size_t m = u_.rows();
+  const std::size_t n = v_.rows();
+  const std::size_t l = sample_;
+  require(c.rows() == m, "TruncatedSvd::update_cols: row count mismatch");
+  const std::size_t threads = options_.threads;
+
+  // Split the new columns into the captured part P = U^T C and the
+  // out-of-subspace remainder C - U P. The captured part joins the small
+  // problem B_new = [diag(s) V^T, P]; the remainder can only be accounted
+  // by the certificate, so its norm joins the residual in quadrature.
+  Matrix p(l, c_new);
+  gemm(1.0, u_.cview(), Op::Transpose, c, Op::None, 0.0, p.view(), threads);
+  Matrix up(m, c_new);
+  gemm(1.0, u_.cview(), Op::None, p.cview(), Op::None, 0.0, up.view(),
+       threads);
+  // Measured entrywise: the Pythagoras form ||C||^2 - ||P||^2 cancels to
+  // noise exactly in the near-captured case the certificate cares about.
+  double miss2 = 0.0;
+  for (std::size_t i = 0; i < m; ++i) {
+    const double* up_row = up.row_ptr(i);
+    for (std::size_t j = 0; j < c_new; ++j) {
+      const double d = c(i, j) - up_row[j];
+      miss2 += d * d;
+    }
+  }
+
+  Matrix b(l, n + c_new);
+  for (std::size_t i = 0; i < l; ++i) {
+    double* row = b.row_ptr(i);
+    const double si = s_[i];
+    for (std::size_t j = 0; j < n; ++j) row[j] = si * v_(j, i);
+    const double* p_row = p.row_ptr(i);
+    std::copy(p_row, p_row + c_new, row + n);
+  }
+
+  // l <= n always, so B_new is wide: factor the transpose (tall).
+  const Svd small(b.cview(), Op::Transpose, options_.jacobi);
+  jacobi_converged_ = jacobi_converged_ && small.converged();
+  const Matrix& u2 = small.v();  // l x t
+  const Matrix& v2 = small.u();  // (n + c_new) x t
+  const Vec& s2 = small.singular_values();
+  const std::size_t keep = std::min(l, s2.size());
+
+  Matrix u_new(m, keep);
+  gemm(1.0, u_.cview(), Op::None, u2.block(0, 0, l, keep), Op::None, 0.0,
+       u_new.view(), threads);
+  Matrix v_new(n + c_new, keep);
+  for (std::size_t j = 0; j < n + c_new; ++j) {
+    const double* src = v2.row_ptr(j);
+    std::copy(src, src + keep, v_new.row_ptr(j));
+  }
+
+  double tail2 = 0.0;
+  for (std::size_t i = keep; i < s2.size(); ++i) tail2 += s2[i] * s2[i];
+  residual_fro_ =
+      std::sqrt(residual_fro_ * residual_fro_ + miss2 + tail2);
+
+  u_ = std::move(u_new);
+  v_ = std::move(v_new);
+  s_.assign(s2.begin(), s2.begin() + static_cast<std::ptrdiff_t>(keep));
+  sample_ = keep;
 }
 
 std::optional<std::size_t> TruncatedSvd::certified_rank(double rel_tol) const {

@@ -79,7 +79,28 @@ class TruncatedSvd {
   [[nodiscard]] std::optional<std::size_t> certified_rank(
       double rel_tol) const;
 
+  /// Incrementally fold k new trailing rows of op(A) into the
+  /// factorization: `e` is the k x n block appended below the rows already
+  /// factored. The augmented basis blkdiag(U, I_k) captures both the old
+  /// subspace and the new rows exactly, so the exact small SVD of
+  /// [diag(s) V^T; E] re-diagonalizes it at cost O((l + k)^2 (m + n))
+  /// instead of a fresh O(m n l) sample. The residual certificate is
+  /// updated *exactly*: the old residual is orthogonal to range(U), hence
+  /// orthogonal to every dropped Ritz direction, so the norms add in
+  /// quadrature with the truncated tail. After the update u()/v() have
+  /// m + k / n rows and updates compose.
+  void update_rows(ConstMatrixView e);
+
+  /// Same for c new trailing columns of op(A) (`c` is m x c_new). The new
+  /// columns are split into their projection onto range(U) — folded into
+  /// the small problem [diag(s) V^T, U^T C] — and the out-of-subspace part,
+  /// whose Frobenius norm is measured entrywise (the Pythagoras difference
+  /// cancels exactly when the columns are nearly captured) and added to the
+  /// residual in quadrature.
+  void update_cols(ConstMatrixView c);
+
  private:
+  TruncatedSvdOptions options_;
   Matrix u_;
   Vec s_;
   Matrix v_;

@@ -356,6 +356,17 @@ NmfResult sparse_nmf_from_init(const Matrix& r, std::size_t rank,
   std::vector<NnlsWorkspace> ws_h(anls ? r.cols() : 0);
   std::vector<NnlsWorkspace> ws_w(anls ? r.rows() : 0);
   NnlsBatchStats stats;
+  if (warm && options.resume_from_init) {
+    // The init is a near-solution (sparse_nmf_resume): arm every column's
+    // warm start with its support, so even the first half-steps refactor an
+    // inherited passive set instead of rebuilding it from zero.
+    for (std::size_t j = 0; j < ws_h.size(); ++j) {
+      ws_h[j].seed_from_support(result.h.col_view(j));
+    }
+    for (std::size_t i = 0; i < ws_w.size(); ++i) {
+      ws_w[i].seed_from_support(result.w.col_view(i));
+    }
+  }
 
   // F = H R^T, maintained by every update step for the objective below.
   Matrix f_w(rank, r.rows());
@@ -405,6 +416,72 @@ NmfResult sparse_nmf(const Matrix& r, std::size_t rank,
                      const SparseNmfOptions& options, rng::Rng& rng) {
   return sparse_nmf_from_init(r, rank, options,
                               nmf_initialize(r, rank, options, rng));
+}
+
+NmfResult sparse_nmf_resume(const Matrix& r, std::size_t rank,
+                            const SparseNmfOptions& options,
+                            const NmfResult& prev, std::size_t threads) {
+  require(rank > 0 && prev.w.rows() == rank && prev.h.rows() == rank,
+          "sparse_nmf_resume: rank mismatch with previous factorization");
+  const std::size_t m_old = prev.w.cols();
+  const std::size_t n_old = prev.h.cols();
+  require(m_old > 0 && n_old > 0,
+          "sparse_nmf_resume: empty previous factorization");
+  require(r.rows() >= m_old && r.cols() >= n_old,
+          "sparse_nmf_resume: input shrank below previous factorization");
+  const std::size_t m = r.rows();
+  const std::size_t n = r.cols();
+
+  obs::Span span("nmf/resume");
+
+  NmfInit init;
+  init.w = Matrix(rank, m);
+  init.h = Matrix(rank, n);
+  for (std::size_t k = 0; k < rank; ++k) {
+    std::copy_n(prev.w.row_ptr(k), m_old, init.w.row_ptr(k));
+    std::copy_n(prev.h.row_ptr(k), n_old, init.h.row_ptr(k));
+  }
+
+  // New H columns — one per appended column of R — from an NNLS projection
+  // against the carried W. The fresh W columns are still zero here, so the
+  // full-matrix Gram and gemm see exactly the old factor over the old rows:
+  // same G = W W^T + lambda (+ ridge) and F = W R as update_h_anls.
+  if (n > n_old) {
+    const std::size_t c = n - n_old;
+    Matrix g = gram_rows(init.w, threads);
+    for (auto& x : g.data()) x += options.lambda;
+    for (std::size_t k = 0; k < rank; ++k) g(k, k) += 1e-10;
+    Matrix f(rank, c);
+    linalg::gemm(1.0, init.w.cview(), Op::None, r.block(0, n_old, m, c),
+                 Op::None, 0.0, f.view(), threads);
+    for_each_index(c, rank * rank * rank + rank * rank, threads,
+                   [&](std::size_t j) {
+                     NnlsWorkspace ws;
+                     nnls_gram(g, f.col_view(j), init.h.col_view(n_old + j),
+                               ws);
+                   });
+  }
+
+  // New W columns — one per appended row of R — against the extended H:
+  // G = H H^T + eta (+ ridge) I and F = H R_new^T as in update_w_anls.
+  if (m > m_old) {
+    const std::size_t k_new = m - m_old;
+    Matrix g = gram_rows(init.h, threads);
+    for (std::size_t k = 0; k < rank; ++k) g(k, k) += options.eta + 1e-10;
+    Matrix f(rank, k_new);
+    linalg::gemm(1.0, init.h.cview(), Op::None, r.block(m_old, 0, k_new, n),
+                 Op::Transpose, 0.0, f.view(), threads);
+    for_each_index(k_new, rank * rank * rank + rank * rank, threads,
+                   [&](std::size_t i) {
+                     NnlsWorkspace ws;
+                     nnls_gram(g, f.col_view(i), init.w.col_view(m_old + i),
+                               ws);
+                   });
+  }
+
+  SparseNmfOptions resumed = options;
+  resumed.resume_from_init = true;
+  return sparse_nmf_from_init(r, rank, resumed, std::move(init), threads);
 }
 
 void balance_rows(Matrix& w, Matrix& h) {

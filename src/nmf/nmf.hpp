@@ -53,6 +53,12 @@ struct SparseNmfOptions {
   /// to converge. Deterministic (fixed internal seed) like the full-SVD
   /// path, but a numerically different — equally valid — initialization.
   bool truncated_init = true;
+  /// ANLS + warm_start only: treat the caller's init as a near-solution
+  /// and seed every column's NNLS passive set from the init's support
+  /// before the first half-step, instead of discovering the supports from
+  /// zero. This is what sparse_nmf_resume sets; it changes nothing but the
+  /// warm-start state, so the fixed point reached is the same.
+  bool resume_from_init = false;
 };
 
 struct NmfResult {
@@ -93,6 +99,20 @@ struct NmfInit {
 [[nodiscard]] NmfResult sparse_nmf(const linalg::Matrix& r, std::size_t rank,
                                    const SparseNmfOptions& options,
                                    rng::Rng& rng);
+
+/// Warm-restart a factorization after R grew: `prev` factored the leading
+/// prev.w.cols() x prev.h.cols() block of the new r (same rank). New W / H
+/// columns — one per appended row / column of R — are initialized by a
+/// single NNLS projection against the carried opposite factor, then the
+/// ANLS loop runs from the extended pair with every column's passive set
+/// seeded from its support (resume_from_init). On an unchanged R this
+/// terminates in one or two cheap verification iterations; after a small
+/// append it converges in a handful, against max_iterations from scratch.
+[[nodiscard]] NmfResult sparse_nmf_resume(const linalg::Matrix& r,
+                                          std::size_t rank,
+                                          const SparseNmfOptions& options,
+                                          const NmfResult& prev,
+                                          std::size_t threads = 0);
 
 /// Rescale latent dimensions so rows of W and H carry comparable magnitude
 /// (W^T H is invariant). Makes the fixed binarization threshold meaningful.

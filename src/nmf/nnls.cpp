@@ -17,6 +17,17 @@ void NnlsWorkspace::clear() {
   std::fill(in_passive_.begin(), in_passive_.end(), false);
 }
 
+void NnlsWorkspace::seed_from_support(ConstVecView x) {
+  passive_.clear();
+  in_passive_.assign(x.size(), false);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    if (x[i] > 0.0) {
+      passive_.push_back(i);
+      in_passive_[i] = true;
+    }
+  }
+}
+
 void NnlsWorkspace::ensure_capacity(std::size_t k, std::size_t n) {
   if (l_.rows() >= k) return;
   // Geometric growth, clamped to the Gram dimension (the support can never

@@ -40,6 +40,13 @@ class NnlsWorkspace {
   /// Forget the carried passive set; the next solve starts cold.
   void clear();
 
+  /// Adopt the support of x (its strictly positive entries) as the carried
+  /// passive set, as if a previous solve had terminated on it. This is how
+  /// a resumed ANLS run re-arms warm starts from a deserialized or
+  /// dimension-extended factor: the next nnls_gram call on this workspace
+  /// must then pass that same x, per the warm-start contract below.
+  void seed_from_support(linalg::ConstVecView x);
+
   /// Support of the last solution, ascending.
   [[nodiscard]] const std::vector<std::size_t>& passive_set() const {
     return passive_;

@@ -218,6 +218,219 @@ TEST_F(CliPipeline, LepAttackPipelineRecoversDatabase) {
   }
 }
 
+// Copies ciphertexts [begin, end) of a database file into a new file — the
+// session tests feed a corpus to the CLI in slices.
+void slice_cipher_db(const std::string& in, const std::string& out,
+                     std::size_t begin, std::size_t end) {
+  const auto db = io::open_reader(in)->read_cipher_database();
+  ASSERT_LE(end, db.size());
+  auto w = io::open_writer(out, io::Format::Text);
+  w->write_cipher_database(
+      std::vector<scheme::CipherPair>(db.begin() + begin, db.begin() + end));
+  w->finish();
+}
+
+void slice_vecs(const std::string& in, const std::string& out,
+                std::size_t begin, std::size_t end) {
+  const auto vecs = io::open_reader(in)->read_vecs();
+  ASSERT_LE(end, vecs.size());
+  auto w = io::open_writer(out, io::Format::Text);
+  for (std::size_t i = begin; i < end; ++i) w->write_vec(vecs[i]);
+  w->finish();
+}
+
+std::string slurp(const std::string& p) {
+  std::ifstream f(p);
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  return ss.str();
+}
+
+TEST_F(CliPipeline, SnmfSessionMatchesBatchThenResumesAcrossAppends) {
+  const std::size_t d = 8;
+  ASSERT_EQ(run({"keygen", "--dim=" + std::to_string(d),
+                 "--key=" + path("key.txt"), "--seed=5"}),
+            0)
+      << err_;
+  ASSERT_EQ(run({"gen-data", "--d=" + std::to_string(d), "--rho=0.3",
+                 "--count=32", "--seed=6", "--out=" + path("plain.txt")}),
+            0)
+      << err_;
+  ASSERT_EQ(run({"gen-data", "--d=" + std::to_string(d), "--rho=0.25",
+                 "--count=32", "--seed=7", "--out=" + path("queries.txt")}),
+            0)
+      << err_;
+  ASSERT_EQ(run({"encrypt", "--key=" + path("key.txt"),
+                 "--plain=" + path("plain.txt"), "--out=" + path("db.txt"),
+                 "--seed=8"}),
+            0)
+      << err_;
+  ASSERT_EQ(run({"trapdoor", "--key=" + path("key.txt"),
+                 "--plain=" + path("queries.txt"),
+                 "--out=" + path("trap.txt"), "--seed=9"}),
+            0)
+      << err_;
+  slice_cipher_db(path("db.txt"), path("db_head.txt"), 0, 24);
+  slice_cipher_db(path("db.txt"), path("db_tail.txt"), 24, 32);
+  slice_cipher_db(path("trap.txt"), path("trap_head.txt"), 0, 24);
+  slice_cipher_db(path("trap.txt"), path("trap_tail.txt"), 24, 32);
+
+  // --append without --session is a usage error.
+  EXPECT_EQ(run({"attack-snmf", "--append", "--db=" + path("db_head.txt"),
+                 "--trapdoors=" + path("trap_head.txt")}),
+            1);
+
+  // The first attack of a fresh session is bit-identical to the batch
+  // driver on the same inputs: the reconstruction files must match byte
+  // for byte.
+  ASSERT_EQ(run({"attack-snmf", "--db=" + path("db_head.txt"),
+                 "--trapdoors=" + path("trap_head.txt"),
+                 "--rank=" + std::to_string(d), "--restarts=2", "--iters=60",
+                 "--out=" + path("recon_batch.txt"), "--seed=10"}),
+            0)
+      << err_;
+  std::string fresh_text;
+  ASSERT_EQ(run({"attack-snmf", "--db=" + path("db_head.txt"),
+                 "--trapdoors=" + path("trap_head.txt"),
+                 "--rank=" + std::to_string(d), "--restarts=2", "--iters=60",
+                 "--out=" + path("recon_s1.txt"), "--seed=10",
+                 "--session=" + path("session.txt")},
+                &fresh_text),
+            0)
+      << err_;
+  EXPECT_NE(fresh_text.find("session: 24 indexes / 24 trapdoors"),
+            std::string::npos)
+      << fresh_text;
+  EXPECT_EQ(slurp(path("recon_batch.txt")), slurp(path("recon_s1.txt")));
+  ASSERT_TRUE(fs::exists(path("session.txt")));
+
+  // --append folds the tail slice into the restored session and
+  // warm-restarts the factorization over the grown corpus.
+  std::string append_text;
+  ASSERT_EQ(run({"attack-snmf", "--db=" + path("db_tail.txt"),
+                 "--trapdoors=" + path("trap_tail.txt"),
+                 "--rank=" + std::to_string(d), "--restarts=2", "--iters=60",
+                 "--out=" + path("recon_s2.txt"), "--seed=11",
+                 "--session=" + path("session.txt"), "--append"},
+                &append_text),
+            0)
+      << err_;
+  EXPECT_NE(append_text.find("session: 32 indexes / 32 trapdoors"),
+            std::string::npos)
+      << append_text;
+
+  // The grown reconstruction covers the whole corpus.
+  std::ifstream rf(path("recon_s2.txt"));
+  std::string header;
+  std::getline(rf, header);
+  EXPECT_NE(header.find("reconstructed indexes (32)"), std::string::npos)
+      << header;
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_EQ(io::detail::read_bitvec(rf).size(), d);
+  }
+}
+
+TEST_F(CliPipeline, LepSessionWaitsForBasisThenWarmResolves) {
+  const std::size_t d = 5;
+  ASSERT_EQ(run({"gen-data", "--d=" + std::to_string(d), "--real",
+                 "--count=12", "--seed=21", "--out=" + path("records.txt")}),
+            0)
+      << err_;
+  ASSERT_EQ(run({"gen-data", "--d=" + std::to_string(d), "--real",
+                 "--count=9", "--seed=22", "--out=" + path("queries.txt")}),
+            0)
+      << err_;
+  ASSERT_EQ(run({"make-index", "--plain=" + path("records.txt"),
+                 "--out=" + path("indexes.txt")}),
+            0)
+      << err_;
+  ASSERT_EQ(run({"make-trapdoor", "--plain=" + path("queries.txt"),
+                 "--out=" + path("trapdoors.txt"), "--seed=23"}),
+            0)
+      << err_;
+  ASSERT_EQ(run({"keygen", "--dim=" + std::to_string(d + 1),
+                 "--key=" + path("key.txt"), "--seed=24"}),
+            0)
+      << err_;
+  ASSERT_EQ(run({"encrypt", "--key=" + path("key.txt"),
+                 "--plain=" + path("indexes.txt"), "--out=" + path("db.txt"),
+                 "--seed=25"}),
+            0)
+      << err_;
+  ASSERT_EQ(run({"trapdoor", "--key=" + path("key.txt"),
+                 "--plain=" + path("trapdoors.txt"),
+                 "--out=" + path("trap.txt"), "--seed=26"}),
+            0)
+      << err_;
+  // Arrival slices: 3 leaked pairs first (not enough for a (d+1)-basis),
+  // then the rest of the corpus, then one final late trapdoor.
+  slice_cipher_db(path("db.txt"), path("db_1.txt"), 0, 3);
+  slice_cipher_db(path("db.txt"), path("db_2.txt"), 3, 12);
+  slice_cipher_db(path("trap.txt"), path("trap_1.txt"), 0, 8);
+  slice_cipher_db(path("trap.txt"), path("trap_2.txt"), 8, 9);
+  slice_vecs(path("records.txt"), path("leak_1.txt"), 0, 3);
+  slice_vecs(path("records.txt"), path("leak_2.txt"), 3, 12);
+
+  // Three pairs cannot complete the pair basis: the session saves its
+  // state, says what it is waiting for and exits 0 without outputs.
+  std::string wait_text;
+  ASSERT_EQ(run({"attack-lep", "--session=" + path("lep_session.txt"),
+                 "--known-plain=" + path("leak_1.txt"),
+                 "--db=" + path("db_1.txt")},
+                &wait_text),
+            0)
+      << err_;
+  EXPECT_NE(wait_text.find("waiting for d+1 independent known pairs"),
+            std::string::npos)
+      << wait_text;
+  ASSERT_TRUE(fs::exists(path("lep_session.txt")));
+
+  // The second delta completes both bases; everything queued drains cold
+  // (the session was not ready at entry), so zero warm re-solves.
+  std::string solve_text;
+  ASSERT_EQ(run({"attack-lep", "--session=" + path("lep_session.txt"),
+                 "--append", "--known-plain=" + path("leak_2.txt"),
+                 "--db=" + path("db_2.txt"),
+                 "--trapdoors=" + path("trap_1.txt"),
+                 "--out-records=" + path("rec_1.txt"),
+                 "--out-queries=" + path("q_1.txt")},
+                &solve_text),
+            0)
+      << err_;
+  EXPECT_NE(solve_text.find("session: 0 warm re-solves"), std::string::npos)
+      << solve_text;
+
+  // A trapdoor arriving after both bases are stored costs one warm
+  // back-substitution; the recovered corpus is complete disclosure.
+  std::string warm_text;
+  ASSERT_EQ(run({"attack-lep", "--session=" + path("lep_session.txt"),
+                 "--append", "--trapdoors=" + path("trap_2.txt"),
+                 "--out-records=" + path("rec_2.txt"),
+                 "--out-queries=" + path("q_2.txt")},
+                &warm_text),
+            0)
+      << err_;
+  EXPECT_NE(warm_text.find("session: 1 warm re-solves"), std::string::npos)
+      << warm_text;
+
+  const auto truth = io::open_reader(path("records.txt"))->read_vecs();
+  const auto recovered = io::open_reader(path("rec_2.txt"))->read_vecs();
+  ASSERT_EQ(recovered.size(), truth.size());
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    for (std::size_t k = 0; k < d; ++k) {
+      EXPECT_NEAR(recovered[i][k], truth[i][k], 1e-5);
+    }
+  }
+  const auto true_q = io::open_reader(path("queries.txt"))->read_vecs();
+  const auto rec_q = io::open_reader(path("q_2.txt"))->read_vecs();
+  ASSERT_EQ(rec_q.size(), true_q.size());
+  for (std::size_t j = 0; j < true_q.size(); ++j) {
+    for (std::size_t k = 0; k < d; ++k) {
+      EXPECT_NEAR(rec_q[j][k], true_q[j][k], 1e-5);
+    }
+  }
+}
+
 TEST_F(CliPipeline, MipAttackPipelineReconstructsQuery) {
   const std::size_t d = 24;
   ASSERT_EQ(run({"gen-data", "--d=" + std::to_string(d), "--rho=0.25",

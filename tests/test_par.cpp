@@ -178,10 +178,9 @@ TEST(ExecContextDeterminism, SnmfIdenticalAcrossThreadCountsAndToLegacy) {
   EXPECT_EQ(r1.telemetry.counter("snmf.restarts_run", -1.0),
             r4.telemetry.counter("snmf.restarts_run", -2.0));
 
-  // Deterministic contexts reproduce the legacy serial draw schedule
-  // exactly: a fresh serial context with the same seed must match the
-  // parallel runs bit-for-bit (the deprecated rng::Rng& forwarders reduce
-  // to exactly this call).
+  // Deterministic contexts reproduce the serial draw schedule exactly: a
+  // fresh serial context with the same seed must match the parallel runs
+  // bit-for-bit.
   core::ExecContext legacy_ctx;
   legacy_ctx.threads = 1;
   legacy_ctx.seed = 5;

@@ -117,21 +117,6 @@ TEST(Serialization, VecListStopsAtMalformedRecord) {
   EXPECT_THROW(detail::read_vec_list(ss), IoError);
 }
 
-TEST(Serialization, DeprecatedForwardersStillWork) {
-  // The free-function surface is deprecated for one release but must keep
-  // forwarding to the detail:: implementations unchanged.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  const Vec v = {1.5, -2.0};
-  std::stringstream ss;
-  write_vec(ss, v);
-  EXPECT_EQ(read_vec(ss), v);
-  std::stringstream ds;
-  write_encrypted_database(ds, {});
-  EXPECT_TRUE(read_encrypted_database(ds).empty());
-#pragma GCC diagnostic pop
-}
-
 TEST(Serialization, MalformedInputThrows) {
   {
     std::stringstream ss("vex 2 1 2");

@@ -1,0 +1,559 @@
+// Append-equivalence properties of the incremental attack sessions
+// (core/session.hpp): a session fed the corpus in pieces must agree with
+// the batch pipeline fed everything at once — bitwise for the score matrix
+// and the LEP outputs, within solver tolerance for the factorization — at
+// any thread count, plus snapshot round-trips (io/session_io.hpp) and
+// CorpusReader::refresh() tailing a growing file.
+#include "core/session.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <unistd.h>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+#include "core/lep.hpp"
+#include "core/snmf_attack.hpp"
+#include "data/queries.hpp"
+#include "io/codec.hpp"
+#include "io/session_io.hpp"
+#include "linalg/kernels.hpp"
+#include "linalg/truncated_svd.hpp"
+#include "nmf/nmf.hpp"
+#include "rng/rng.hpp"
+#include "scheme/split_encryptor.hpp"
+#include "sse/adversary_view.hpp"
+#include "sse/system.hpp"
+
+namespace aspe::core {
+namespace {
+
+namespace fs = std::filesystem;
+
+sse::CoaView make_corpus(std::size_t d, std::size_t m, std::size_t n,
+                         std::uint64_t seed) {
+  rng::Rng rng(seed);
+  scheme::SplitEncryptor enc(d, rng);
+  sse::CoaView v;
+  for (std::size_t i = 0; i < m; ++i) {
+    v.cipher_indexes.push_back(
+        enc.encrypt_index(to_real(rng.binary_bernoulli(d, 0.3)), rng));
+  }
+  for (std::size_t j = 0; j < n; ++j) {
+    v.cipher_trapdoors.push_back(
+        enc.encrypt_trapdoor(to_real(rng.binary_bernoulli(d, 0.25)), rng));
+  }
+  return v;
+}
+
+sse::CoaView slice(const sse::CoaView& v, std::size_t i0, std::size_t i1,
+                   std::size_t j0, std::size_t j1) {
+  sse::CoaView out;
+  out.cipher_indexes.assign(v.cipher_indexes.begin() + long(i0),
+                            v.cipher_indexes.begin() + long(i1));
+  out.cipher_trapdoors.assign(v.cipher_trapdoors.begin() + long(j0),
+                              v.cipher_trapdoors.begin() + long(j1));
+  return out;
+}
+
+// ---------------------------------------------------------------- CoaSession
+
+TEST(CoaSession, AppendMatchesBatchScoreMatrixBitwise) {
+  const sse::CoaView full = make_corpus(8, 30, 26, 41);
+  const linalg::Matrix batch = build_score_matrix(
+      full.cipher_indexes, full.cipher_trapdoors, 1);
+
+  for (std::size_t threads : {std::size_t{1}, std::size_t{8}}) {
+    ExecContext ctx;
+    ctx.threads = threads;
+    SnmfAttackOptions opt;
+    CoaSession session(opt, ctx);
+    // Three uneven appends, including one trapdoor-only and one index-only.
+    session.append_ciphertexts(slice(full, 0, 10, 0, 18));
+    session.append_ciphertexts(slice(full, 10, 10, 18, 26));  // cols only
+    session.append_ciphertexts(slice(full, 10, 30, 26, 26));  // rows only
+    ASSERT_EQ(session.num_indexes(), 30u);
+    ASSERT_EQ(session.num_trapdoors(), 26u);
+    EXPECT_TRUE(session.scores() == batch) << "threads=" << threads;
+  }
+}
+
+TEST(CoaSession, EmptyAppendIsNoop) {
+  CoaSession session(SnmfAttackOptions{});
+  session.append_ciphertexts(sse::CoaView{});
+  EXPECT_EQ(session.num_indexes(), 0u);
+  EXPECT_EQ(session.num_trapdoors(), 0u);
+
+  const sse::CoaView full = make_corpus(6, 8, 8, 7);
+  session.append_ciphertexts(full);
+  const linalg::Matrix before = session.scores();
+  session.append_ciphertexts(sse::CoaView{});
+  EXPECT_TRUE(session.scores() == before);
+}
+
+TEST(CoaSession, SingleCiphertextAppendsMatchBatch) {
+  const sse::CoaView full = make_corpus(6, 9, 9, 13);
+  const linalg::Matrix batch = build_score_matrix(
+      full.cipher_indexes, full.cipher_trapdoors, 1);
+
+  CoaSession session(SnmfAttackOptions{});
+  for (std::size_t i = 0; i < 9; ++i) {
+    session.append_ciphertexts(slice(full, i, i + 1, i, i + 1));
+  }
+  EXPECT_TRUE(session.scores() == batch);
+}
+
+TEST(CoaSession, FirstAttackMatchesBatchBitwise) {
+  const sse::CoaView full = make_corpus(8, 24, 24, 19);
+  SnmfAttackOptions opt;
+  opt.rank = 8;
+  opt.restarts = 2;
+  opt.nmf.max_iterations = 60;
+  ExecContext ctx;
+  ctx.seed = 5;
+
+  const SnmfAttackResult batch = run_snmf_attack(full, opt, ctx);
+
+  CoaSession session(opt, ctx);
+  session.append_ciphertexts(slice(full, 0, 12, 0, 24));
+  session.append_ciphertexts(slice(full, 12, 24, 24, 24));
+  session.set_rank(8);
+  const SnmfAttackResult first = session.attack();
+
+  EXPECT_EQ(first.indexes, batch.indexes);
+  EXPECT_EQ(first.trapdoors, batch.trapdoors);
+  EXPECT_EQ(first.best_fit_error, batch.best_fit_error);  // bit-identical
+}
+
+TEST(CoaSession, ResumedAttackStaysWithinToleranceOfBatch) {
+  const sse::CoaView full = make_corpus(8, 40, 40, 23);
+  SnmfAttackOptions opt;
+  opt.rank = 8;
+  opt.restarts = 2;
+  opt.nmf.max_iterations = 80;
+  ExecContext ctx;
+  ctx.seed = 9;
+
+  CoaSession session(opt, ctx);
+  session.append_ciphertexts(slice(full, 0, 32, 0, 32));
+  session.set_rank(8);
+  (void)session.attack();  // cold sweep; seeds the warm state
+
+  session.append_ciphertexts(slice(full, 32, 40, 32, 40));
+  const SnmfAttackResult resumed = session.attack();
+  EXPECT_EQ(resumed.telemetry.counter("snmf.resumes", 0.0), 1.0);
+
+  const SnmfAttackResult batch = run_snmf_attack(full, opt, ctx);
+  // Different paths, same fixed-point family: the resumed factorization
+  // must explain the grown matrix about as well as the cold sweep (the
+  // warm seed usually does better — it has strictly more iterations on
+  // nearly the same data).
+  EXPECT_LE(resumed.best_fit_error, batch.best_fit_error * 1.25);
+}
+
+TEST(CoaSession, RankEstimateMatchesBatchAfterAppends) {
+  // Sides >= 128 so the truncated SVD path (and its incremental update)
+  // is exercised rather than the small-input full-SVD shortcut.
+  const sse::CoaView full = make_corpus(16, 160, 160, 29);
+  ExecContext ctx;
+
+  CoaSession session(SnmfAttackOptions{}, ctx);
+  session.append_ciphertexts(slice(full, 0, 144, 0, 144));
+  EXPECT_EQ(session.estimate_rank(),
+            estimate_latent_dimension(
+                build_score_matrix(
+                    slice(full, 0, 144, 0, 144).cipher_indexes,
+                    slice(full, 0, 144, 0, 144).cipher_trapdoors, 1),
+                1e-8, ctx));
+
+  session.append_ciphertexts(slice(full, 144, 160, 144, 160));
+  const std::size_t incremental = session.estimate_rank();
+  const std::size_t batch = estimate_latent_dimension(
+      build_score_matrix(full.cipher_indexes, full.cipher_trapdoors, 1), 1e-8,
+      ctx);
+  EXPECT_EQ(incremental, batch);
+}
+
+TEST(CoaSession, SetRankChangeInvalidatesWarmSeed) {
+  const sse::CoaView full = make_corpus(8, 20, 20, 57);
+  SnmfAttackOptions opt;
+  opt.restarts = 1;
+  opt.nmf.max_iterations = 30;
+  CoaSession session(opt, ExecContext{});
+  session.append_ciphertexts(full);
+  session.set_rank(8);
+  (void)session.attack();
+  ASSERT_TRUE(session.factorization().has_value());
+  session.set_rank(6);  // different rank: warm seed no longer fits
+  EXPECT_FALSE(session.factorization().has_value());
+  const SnmfAttackResult cold = session.attack();
+  EXPECT_EQ(cold.telemetry.counter("snmf.resumes", 0.0), 0.0);
+}
+
+TEST(CoaSession, SnapshotRoundTripsThroughSessionIo) {
+  const sse::CoaView full = make_corpus(8, 18, 18, 67);
+  SnmfAttackOptions opt;
+  opt.rank = 8;
+  opt.restarts = 1;
+  opt.nmf.max_iterations = 40;
+  CoaSession session(opt, ExecContext{});
+  session.append_ciphertexts(slice(full, 0, 12, 0, 12));
+  session.set_rank(8);
+  (void)session.attack();
+
+  std::stringstream buffer;
+  io::save_coa_session(buffer, session.snapshot());
+  CoaSession restored(io::load_coa_session(buffer), opt, ExecContext{});
+
+  // Both sessions absorb the same delta and resume: identical inputs +
+  // identical warm state => identical results.
+  const sse::CoaView delta = slice(full, 12, 18, 12, 18);
+  session.append_ciphertexts(delta);
+  restored.append_ciphertexts(delta);
+  EXPECT_TRUE(restored.scores() == session.scores());
+  const SnmfAttackResult a = session.attack();
+  const SnmfAttackResult b = restored.attack();
+  EXPECT_EQ(a.indexes, b.indexes);
+  EXPECT_EQ(a.trapdoors, b.trapdoors);
+  EXPECT_EQ(a.best_fit_error, b.best_fit_error);
+}
+
+TEST(CoaSessionIo, RejectsTamperedSnapshots) {
+  const sse::CoaView full = make_corpus(6, 8, 8, 71);
+  CoaSession session(SnmfAttackOptions{}, ExecContext{});
+  session.append_ciphertexts(full);
+  CoaSessionSnapshot snapshot = session.snapshot();
+  snapshot.scores = linalg::Matrix(3, 3);  // no longer matches the halves
+  EXPECT_THROW(CoaSession(std::move(snapshot), SnmfAttackOptions{},
+                          ExecContext{}),
+               InvalidArgument);
+
+  std::stringstream truncated("coa_session 1\n");
+  EXPECT_THROW((void)io::load_coa_session(truncated), io::IoError);
+  std::stringstream wrong_tag("lep_session 1\n");
+  EXPECT_THROW((void)io::load_coa_session(wrong_tag), io::IoError);
+}
+
+// ------------------------------------------------------------ IncrementalSvd
+
+TEST(IncrementalSvd, UpdateRowsMatchesFreshFactorization) {
+  rng::Rng rng(101);
+  const std::size_t m = 60, n = 40, k = 6, rank = 5;
+  linalg::Matrix left(m + k, rank), right(rank, n);
+  for (std::size_t i = 0; i < m + k; ++i)
+    for (std::size_t r = 0; r < rank; ++r)
+      left(i, r) = rng.uniform(-1.0, 1.0);
+  for (std::size_t r = 0; r < rank; ++r)
+    for (std::size_t j = 0; j < n; ++j)
+      right(r, j) = rng.uniform(-1.0, 1.0);
+  linalg::Matrix a(m + k, n);
+  linalg::gemm(1.0, left.cview(), linalg::Op::None, right.cview(),
+               linalg::Op::None, 0.0, a.view(), 1);
+
+  linalg::TruncatedSvdOptions opt;
+  opt.rank = rank;
+  opt.oversample = 4;
+  linalg::TruncatedSvd updated(a.cview().block(0, 0, m, n), linalg::Op::None,
+                               opt);
+  updated.update_rows(a.cview().block(m, 0, k, n));
+  const linalg::TruncatedSvd fresh(a.cview(), linalg::Op::None, opt);
+
+  ASSERT_EQ(updated.u().rows(), m + k);
+  for (std::size_t r = 0; r < rank; ++r) {
+    EXPECT_NEAR(updated.singular_values()[r], fresh.singular_values()[r],
+                1e-8 * fresh.singular_values()[0]);
+  }
+  EXPECT_EQ(updated.certified_rank(1e-8), fresh.certified_rank(1e-8));
+}
+
+TEST(IncrementalSvd, UpdateColsMatchesFreshFactorization) {
+  rng::Rng rng(103);
+  const std::size_t m = 50, n = 44, c = 8, rank = 4;
+  linalg::Matrix left(m, rank), right(rank, n + c);
+  for (std::size_t i = 0; i < m; ++i)
+    for (std::size_t r = 0; r < rank; ++r)
+      left(i, r) = rng.uniform(-1.0, 1.0);
+  for (std::size_t r = 0; r < rank; ++r)
+    for (std::size_t j = 0; j < n + c; ++j)
+      right(r, j) = rng.uniform(-1.0, 1.0);
+  linalg::Matrix a(m, n + c);
+  linalg::gemm(1.0, left.cview(), linalg::Op::None, right.cview(),
+               linalg::Op::None, 0.0, a.view(), 1);
+
+  linalg::TruncatedSvdOptions opt;
+  opt.rank = rank;
+  opt.oversample = 4;
+  linalg::TruncatedSvd updated(a.cview().block(0, 0, m, n), linalg::Op::None,
+                               opt);
+  updated.update_cols(a.cview().block(0, n, m, c));
+  const linalg::TruncatedSvd fresh(a.cview(), linalg::Op::None, opt);
+
+  ASSERT_EQ(updated.v().rows(), n + c);
+  for (std::size_t r = 0; r < rank; ++r) {
+    EXPECT_NEAR(updated.singular_values()[r], fresh.singular_values()[r],
+                1e-8 * fresh.singular_values()[0]);
+  }
+  EXPECT_EQ(updated.certified_rank(1e-8), fresh.certified_rank(1e-8));
+}
+
+// ------------------------------------------------------------------ NmfResume
+
+TEST(NmfResume, UnchangedMatrixKeepsTheFactorization) {
+  const sse::CoaView full = make_corpus(6, 16, 16, 83);
+  const linalg::Matrix scores =
+      build_score_matrix(full.cipher_indexes, full.cipher_trapdoors, 1);
+  SnmfAttackOptions opt;
+  opt.rank = 6;
+  opt.restarts = 1;
+  opt.nmf.max_iterations = 150;
+  const auto inits = draw_snmf_inits(scores, opt, ExecContext{});
+  const SnmfSelection sel =
+      run_snmf_restarts(scores, opt, inits, ExecContext{});
+
+  const nmf::NmfResult resumed = nmf::sparse_nmf_resume(
+      scores, 6, opt.nmf, sel.factorization, 1);
+  // Same matrix, warm passive sets: the resume must not make things worse.
+  EXPECT_LE(resumed.objective, sel.factorization.objective * (1.0 + 1e-9));
+}
+
+TEST(NmfResume, GrownMatrixExtendsShapes) {
+  const sse::CoaView full = make_corpus(6, 20, 18, 89);
+  const linalg::Matrix base = build_score_matrix(
+      slice(full, 0, 14, 0, 12).cipher_indexes,
+      slice(full, 0, 14, 0, 12).cipher_trapdoors, 1);
+  const linalg::Matrix grown =
+      build_score_matrix(full.cipher_indexes, full.cipher_trapdoors, 1);
+
+  SnmfAttackOptions opt;
+  opt.rank = 6;
+  opt.restarts = 1;
+  opt.nmf.max_iterations = 60;
+  const auto inits = draw_snmf_inits(base, opt, ExecContext{});
+  const SnmfSelection sel = run_snmf_restarts(base, opt, inits, ExecContext{});
+
+  const nmf::NmfResult resumed =
+      nmf::sparse_nmf_resume(grown, 6, opt.nmf, sel.factorization, 1);
+  EXPECT_EQ(resumed.w.cols(), 20u);
+  EXPECT_EQ(resumed.h.cols(), 18u);
+  EXPECT_GT(resumed.iterations, 0u);
+}
+
+// ----------------------------------------------------------------- LepSession
+
+struct LepScenario {
+  sse::KpaView view;
+};
+
+LepScenario make_lep_scenario(std::size_t d, std::uint64_t seed) {
+  scheme::Scheme2Options opt;
+  opt.record_dim = d;
+  opt.padding_dims = 3;
+  sse::SecureKnnSystem system(opt, seed);
+  rng::Rng rng(seed ^ 0x77);
+  LepScenario s;
+  const auto records = data::real_records(d + 9, d, -3.0, 3.0, rng);
+  system.upload_records(records);
+  for (std::size_t j = 0; j < d + 5; ++j) {
+    system.knn_query(rng.uniform_vec(d, -3.0, 3.0), 3);
+  }
+  std::vector<std::size_t> ids;
+  for (std::size_t i = 0; i <= d; ++i) ids.push_back(i);
+  s.view = sse::leak_known_records(system, ids);
+  return s;
+}
+
+void expect_lep_equal(const LepResult& a, const LepResult& b) {
+  EXPECT_EQ(a.trapdoors, b.trapdoors);
+  EXPECT_EQ(a.queries, b.queries);
+  EXPECT_EQ(a.query_multipliers, b.query_multipliers);
+  EXPECT_EQ(a.indexes, b.indexes);
+  EXPECT_EQ(a.records, b.records);
+}
+
+TEST(LepSession, MatchesBatchBitwiseAtOneAndEightThreads) {
+  const LepScenario s = make_lep_scenario(10, 211);
+  const LepResult batch = run_lep_attack(s.view);
+
+  for (std::size_t threads : {std::size_t{1}, std::size_t{8}}) {
+    ExecContext ctx;
+    ctx.threads = threads;
+    LepSession session({}, ctx);
+    session.add_known_pairs(s.view.known_pairs);
+    const std::size_t nt = s.view.observed.cipher_trapdoors.size();
+    const std::size_t ni = s.view.observed.cipher_indexes.size();
+    session.append_ciphertexts(
+        slice(s.view.observed, 0, ni / 2, 0, nt / 2));
+    session.append_ciphertexts(
+        slice(s.view.observed, ni / 2, ni, nt / 2, nt));
+    ASSERT_TRUE(session.ready());
+    expect_lep_equal(session.result(), batch);
+  }
+}
+
+TEST(LepSession, CiphertextsQueueUntilBasesComplete) {
+  const LepScenario s = make_lep_scenario(8, 223);
+  LepSession session;
+  // Ciphertexts arrive before any known pair: nothing solvable yet (and
+  // result() rejects exactly like the batch attack on an empty KPA view).
+  session.append_ciphertexts(s.view.observed);
+  EXPECT_FALSE(session.pair_basis_complete());
+  EXPECT_THROW((void)session.result(), InvalidArgument);
+
+  // Too few pairs: the pair basis stays incomplete.
+  std::vector<sse::KnownIndexPair> some(s.view.known_pairs.begin(),
+                                        s.view.known_pairs.begin() + 4);
+  session.add_known_pairs(some);
+  EXPECT_FALSE(session.pair_basis_complete());
+  EXPECT_THROW((void)session.result(), NumericalError);
+
+  // The rest of the pairs complete the basis and drain every queue.
+  std::vector<sse::KnownIndexPair> rest(s.view.known_pairs.begin() + 4,
+                                        s.view.known_pairs.end());
+  session.add_known_pairs(rest);
+  ASSERT_TRUE(session.ready());
+  // Nothing was re-solved warm: both bases completed after their queues.
+  EXPECT_EQ(session.warm_resolves(), 0u);
+  expect_lep_equal(session.result(), run_lep_attack(s.view));
+}
+
+TEST(LepSession, WarmResolvesCountLateArrivalsAndStayBitwise) {
+  const LepScenario s = make_lep_scenario(9, 227);
+  const std::size_t nt = s.view.observed.cipher_trapdoors.size();
+  const std::size_t ni = s.view.observed.cipher_indexes.size();
+
+  LepSession session;
+  session.add_known_pairs(s.view.known_pairs);
+  session.append_ciphertexts(slice(s.view.observed, 0, ni - 2, 0, nt - 3));
+  ASSERT_TRUE(session.ready());
+  EXPECT_EQ(session.warm_resolves(), 0u);
+
+  // Everything arriving now hits both stored LU factorizations.
+  session.append_ciphertexts(slice(s.view.observed, ni - 2, ni, nt - 3, nt));
+  EXPECT_EQ(session.warm_resolves(), 5u);
+
+  const LepResult warm = session.result();
+  EXPECT_EQ(warm.telemetry.counter("lep.warm_resolves", -1.0), 5.0);
+  expect_lep_equal(warm, run_lep_attack(s.view));
+}
+
+TEST(LepSession, SnapshotRoundTripsAndKeepsWarmPath) {
+  const LepScenario s = make_lep_scenario(8, 229);
+  const std::size_t nt = s.view.observed.cipher_trapdoors.size();
+  const std::size_t ni = s.view.observed.cipher_indexes.size();
+
+  LepSession session;
+  session.add_known_pairs(s.view.known_pairs);
+  session.append_ciphertexts(slice(s.view.observed, 0, ni - 1, 0, nt - 1));
+
+  std::stringstream buffer;
+  io::save_lep_session(buffer, session.snapshot());
+  LepSession restored(io::load_lep_session(buffer));
+  EXPECT_EQ(restored.dimension(), session.dimension());
+  EXPECT_TRUE(restored.ready());
+
+  const sse::CoaView delta = slice(s.view.observed, ni - 1, ni, nt - 1, nt);
+  restored.append_ciphertexts(delta);
+  EXPECT_EQ(restored.warm_resolves(), 2u);
+  expect_lep_equal(restored.result(), run_lep_attack(s.view));
+}
+
+TEST(LepSessionIo, RejectsTamperedSnapshots) {
+  const LepScenario s = make_lep_scenario(6, 233);
+  LepSession session;
+  session.add_known_pairs(s.view.known_pairs);
+  session.append_ciphertexts(s.view.observed);
+
+  LepSessionSnapshot snapshot = session.snapshot();
+  snapshot.trapdoors.pop_back();  // solves no longer cover the ciphers
+  EXPECT_THROW(LepSession{std::move(snapshot)}, InvalidArgument);
+
+  std::stringstream truncated("lep_session 1\nvec 2 7 0\n");
+  EXPECT_THROW((void)io::load_lep_session(truncated), io::IoError);
+}
+
+// --------------------------------------------------------------- CorpusRefresh
+
+class CorpusRefresh : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("aspe_refresh_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+  fs::path dir_;
+};
+
+TEST_F(CorpusRefresh, TextReaderSeesAppendedRecords) {
+  const std::string path = (dir_ / "grow.txt").string();
+  {
+    auto writer = io::TextCodec::writer(path);
+    writer->write_vec({1.0, 2.0});
+    writer->finish();
+  }
+  auto reader = io::TextCodec::reader(path);
+  ASSERT_TRUE(reader->read_next().has_value());
+  EXPECT_FALSE(reader->read_next().has_value());  // EOF
+  EXPECT_FALSE(reader->refresh());                // nothing new yet
+
+  {
+    std::ofstream append(path, std::ios::app);
+    append << "vec 3 4 5 6\n";
+  }
+  ASSERT_TRUE(reader->refresh());
+  const auto record = reader->read_next();
+  ASSERT_TRUE(record.has_value());
+  EXPECT_EQ(record->vec, (Vec{4.0, 5.0, 6.0}));
+}
+
+TEST_F(CorpusRefresh, BinaryReaderReopensGrownContainer) {
+  const std::string path = (dir_ / "grow.bin").string();
+  auto write_vecs = [&](std::size_t count) {
+    auto writer = io::BinaryCodec::writer(path);
+    for (std::size_t i = 0; i < count; ++i) {
+      writer->write_vec({double(i), double(i + 1)});
+    }
+    writer->finish();
+  };
+  write_vecs(2);
+  auto reader = io::BinaryCodec::reader(path);
+  ASSERT_TRUE(reader->read_next().has_value());
+  ASSERT_TRUE(reader->read_next().has_value());
+  EXPECT_FALSE(reader->read_next().has_value());
+  EXPECT_FALSE(reader->refresh());  // same container, no new records
+
+  write_vecs(4);  // rewrite the container with two more records
+  ASSERT_TRUE(reader->refresh());
+  const auto record = reader->read_next();  // cursor kept: record #2
+  ASSERT_TRUE(record.has_value());
+  EXPECT_EQ(record->vec, (Vec{2.0, 3.0}));
+  ASSERT_TRUE(reader->read_next().has_value());
+  EXPECT_FALSE(reader->read_next().has_value());
+}
+
+TEST_F(CorpusRefresh, BinaryReaderRejectsShrunkOrRetypedContainers) {
+  const std::string path = (dir_ / "grow.bin").string();
+  {
+    auto writer = io::BinaryCodec::writer(path);
+    writer->write_vec({1.0});
+    writer->write_vec({2.0});
+    writer->finish();
+  }
+  auto reader = io::BinaryCodec::reader(path);
+  ASSERT_TRUE(reader->read_next().has_value());
+
+  {
+    auto writer = io::BinaryCodec::writer(path);
+    writer->write_vec({9.0});  // fewer records than before
+    writer->finish();
+  }
+  EXPECT_THROW((void)reader->refresh(), io::IoError);
+}
+
+}  // namespace
+}  // namespace aspe::core

@@ -42,4 +42,11 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)" \
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)" \
   -R "Codec\.|IoV2\.|MappedCorpus|Shard\.|Serialization\."
 
+# Fifth pre-pass over the incremental sessions: score-matrix bands grown in
+# place, SVD row/column updates against cached factors and NMF warm seeds
+# handed across attack() calls are the newest stateful code (PR 7); the
+# snapshot round-trips also re-read freshly written session files.
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)" \
+  -R "CoaSession|LepSession|IncrementalSvd|NmfResume|CorpusRefresh"
+
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"

@@ -37,4 +37,11 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)" \
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)" \
   -R "Codec\.|IoV2\.|MappedCorpus|Shard\."
 
+# Fifth pre-pass: the incremental sessions grow the score matrix by gemm
+# bands fanned over the pool and the append-equivalence properties run at
+# 1 and 8 threads against the same session state — the exact shape where a
+# band race would break the bitwise guarantee.
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)" \
+  -R "CoaSession|LepSession|IncrementalSvd|NmfResume|CorpusRefresh"
+
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"

@@ -567,6 +567,10 @@ int cmd_attack_mip(const CliFlags& flags, std::ostream& out) {
   core::MipAttackOptions aopt;
   aopt.l = flags.get_double("l", 3.0);
   aopt.solver.time_limit_seconds = flags.get_double("time-limit", 30.0);
+  const int max_nodes =
+      flags.get_int("max-nodes", static_cast<int>(aopt.solver.max_nodes));
+  require(max_nodes > 0, "attack-mip: --max-nodes must be positive");
+  aopt.solver.max_nodes = static_cast<std::size_t>(max_nodes);
   const double mu = flags.get_double("mu", 1.0);
   const double sigma = flags.get_double("sigma", 0.5);
   const auto target =
@@ -649,7 +653,9 @@ int cmd_help(std::ostream& out) {
          "               needs d+1 linearly independent ones)\n"
          "  attack-mip  --known-plain=leak.txt --db=db.txt --trapdoors=trap.txt\n"
          "              --out=q.txt [--trapdoor-id=J] [--mu=..] [--sigma=..]\n"
-         "              [--l=3] [--time-limit=30]\n"
+         "              [--l=3] [--time-limit=30] [--max-nodes=200000]\n"
+         "              (--max-nodes caps branch-and-bound nodes; the attack\n"
+         "               reports NodeLimit when the cap trips first)\n"
          "  help\n"
          "\n"
          "Every attack-* command also accepts the global --threads=N flag:\n"

@@ -486,6 +486,21 @@ TEST_F(CliPipeline, MipAttackPipelineReconstructsQuery) {
   }
   const auto pr = core::binary_precision_recall(truth, recon);
   EXPECT_GE(pr.recall, 0.3);  // modest bar at this miniature scale
+
+  // --max-nodes caps the branch-and-bound budget; a generous cap still
+  // succeeds, zero is rejected up front.
+  EXPECT_EQ(run({"attack-mip", "--known-plain=" + path("records.txt"),
+                 "--db=" + path("db.txt"), "--trapdoors=" + path("trap.txt"),
+                 "--out=" + path("recon2.txt"), "--mu=1.0", "--sigma=0.5",
+                 "--max-nodes=50000"}),
+            0)
+      << err_;
+  EXPECT_NE(run({"attack-mip", "--known-plain=" + path("records.txt"),
+                 "--db=" + path("db.txt"), "--trapdoors=" + path("trap.txt"),
+                 "--out=" + path("recon3.txt"), "--mu=1.0", "--sigma=0.5",
+                 "--max-nodes=0"}),
+            0);
+  EXPECT_NE(err_.find("--max-nodes"), std::string::npos);
 }
 
 TEST_F(CliPipeline, BinaryOutputAndConvertRoundTrip) {

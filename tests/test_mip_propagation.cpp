@@ -1,0 +1,411 @@
+// Tests for the propagation techniques layered on the B&B MIP solver:
+// root cuts (Gomory / cover), reduced-cost fixing, pseudo-cost branching
+// with strong-branching probes, best-first node selection and restarts.
+#include "opt/mip.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "opt/presolve.hpp"
+#include "rng/rng.hpp"
+
+namespace aspe::opt {
+namespace {
+
+MipOptions with_all_techniques() {
+  MipOptions o;
+  o.gomory_cuts = true;
+  o.cover_cuts = true;
+  o.reduced_cost_fixing = true;
+  o.pseudo_cost_branching = true;
+  return o;
+}
+
+/// Brute-force optimum of a pure-binary model (n <= ~16).
+double enumerate_best(const Model& m) {
+  const std::size_t n = m.num_variables();
+  double best = kInfinity;
+  Vec x(n);
+  for (unsigned mask = 0; mask < (1u << n); ++mask) {
+    for (std::size_t j = 0; j < n; ++j) x[j] = (mask >> j) & 1u ? 1.0 : 0.0;
+    if (m.max_violation(x) > 1e-9) continue;
+    best = std::min(best, m.objective_value(x));
+  }
+  return best;
+}
+
+TEST(MipPropagation, GomoryCutClosesIntegralityGapWithoutBranching) {
+  // min -(x+y) s.t. 2x + 2y <= 3, binary. LP optimum -1.5 at x=y=0.75;
+  // the integer optimum is -1. A single GMI round separates x + y <= 1.
+  Model m;
+  const auto x = m.add_binary();
+  const auto y = m.add_binary();
+  m.add_constraint({{x, 2.0}, {y, 2.0}}, Sense::LessEqual, 3.0);
+  m.set_objective({{x, -1.0}, {y, -1.0}});
+  MipOptions o;
+  o.gomory_cuts = true;
+  o.use_presolve = false;  // keep the fractional vertex alive
+  const MipResult r = solve_mip(m, o);
+  ASSERT_EQ(r.status, MipStatus::Optimal);
+  EXPECT_NEAR(r.objective, -1.0, 1e-6);
+  EXPECT_GE(r.cuts_added, 1u);
+}
+
+TEST(MipPropagation, CoverCutSeparatedFromKnapsackRow) {
+  // min -(x1+x2+x3) s.t. 3x1 + 3x2 + 3x3 <= 7: the LP sits at x_i = 7/9,
+  // the minimal cover {1,2,3} gives x1 + x2 + x3 <= 2 with violation 1/3.
+  Model m;
+  for (int i = 0; i < 3; ++i) m.add_binary();
+  m.add_constraint({{0, 3.0}, {1, 3.0}, {2, 3.0}}, Sense::LessEqual, 7.0);
+  m.set_objective({{0, -1.0}, {1, -1.0}, {2, -1.0}});
+  MipOptions o;
+  o.cover_cuts = true;
+  o.use_presolve = false;
+  const MipResult r = solve_mip(m, o);
+  ASSERT_EQ(r.status, MipStatus::Optimal);
+  EXPECT_NEAR(r.objective, -2.0, 1e-6);
+  EXPECT_GE(r.cuts_added, 1u);
+}
+
+TEST(MipPropagation, AppendedCutsAreValidForEveryIntegerPoint) {
+  // Cuts must never exclude an integer-feasible point: enumerate them all
+  // against the rows the cut loop appended to the shared model.
+  rng::Rng rng(77);
+  for (int trial = 0; trial < 8; ++trial) {
+    const std::size_t n = 8;
+    Model m;
+    for (std::size_t j = 0; j < n; ++j) m.add_binary();
+    LinExpr obj;
+    for (std::size_t j = 0; j < n; ++j) {
+      obj.push_back({j, std::round(rng.uniform(-5.0, 5.0))});
+    }
+    m.set_objective(obj);
+    for (int row = 0; row < 4; ++row) {
+      LinExpr e;
+      for (std::size_t j = 0; j < n; ++j) {
+        const double c = std::round(rng.uniform(-3.0, 3.0));
+        if (c != 0.0) e.push_back({j, c});
+      }
+      if (e.empty()) continue;
+      m.add_constraint(std::move(e), Sense::LessEqual,
+                       std::round(rng.uniform(1.0, 5.0)) + 0.5);
+    }
+    const double best = enumerate_best(m);
+    const std::size_t orig_rows = m.num_constraints();
+
+    Model work = m;  // solve_mip(Model&, ...) mutates bounds and adds cuts
+    SimplexSolver solver(work, {});
+    const MipResult r = solve_mip(work, solver, with_all_techniques());
+
+    if (best == kInfinity) {
+      EXPECT_EQ(r.status, MipStatus::Infeasible) << "trial " << trial;
+    } else {
+      ASSERT_EQ(r.status, MipStatus::Optimal) << "trial " << trial;
+      EXPECT_NEAR(r.objective, best, 1e-6) << "trial " << trial;
+    }
+    EXPECT_EQ(work.num_constraints() - orig_rows, work.num_cut_rows());
+
+    // Every integer point feasible for the ORIGINAL rows must satisfy every
+    // appended cut row (use the original model: `work` may carry tightened
+    // bounds that are themselves objective-dependent only via rc fixing,
+    // which never runs at the root of an exhausted optimal search... the cut
+    // rows alone are checked here).
+    Vec x(n);
+    for (unsigned mask = 0; mask < (1u << n); ++mask) {
+      for (std::size_t j = 0; j < n; ++j) {
+        x[j] = (mask >> j) & 1u ? 1.0 : 0.0;
+      }
+      if (m.max_violation(x) > 1e-9) continue;
+      for (std::size_t row = orig_rows; row < work.num_constraints(); ++row) {
+        const Constraint& c = work.constraint(row);
+        double lhs = 0.0;
+        for (const auto& t : c.terms) lhs += t.coef * x[t.var];
+        const double viol = c.sense == Sense::LessEqual ? lhs - c.rhs
+                                                        : c.rhs - lhs;
+        EXPECT_LE(viol, 1e-6)
+            << "trial " << trial << " cut row " << row << " cuts off mask "
+            << mask;
+      }
+    }
+  }
+}
+
+TEST(MipPropagation, ReducedCostFixingPreservesOptimum) {
+  // Random weighted covering problems: min c.x s.t. random GE rows. The
+  // optimum must match enumeration with rc fixing on, and across the batch
+  // the technique must actually fire.
+  rng::Rng rng(31);
+  std::size_t total_fixings = 0;
+  for (int trial = 0; trial < 12; ++trial) {
+    const std::size_t n = 10;
+    Model m;
+    for (std::size_t j = 0; j < n; ++j) m.add_binary();
+    LinExpr obj;
+    for (std::size_t j = 0; j < n; ++j) {
+      obj.push_back({j, std::round(rng.uniform(1.0, 9.0))});
+    }
+    m.set_objective(obj);
+    for (int row = 0; row < 5; ++row) {
+      LinExpr e;
+      for (std::size_t j = 0; j < n; ++j) {
+        const double c = std::round(rng.uniform(0.0, 2.0));
+        if (c != 0.0) e.push_back({j, c});
+      }
+      if (e.empty()) continue;
+      m.add_constraint(std::move(e), Sense::GreaterEqual,
+                       std::round(rng.uniform(1.0, 4.0)) + 0.5);
+    }
+    const double best = enumerate_best(m);
+    MipOptions o;
+    o.reduced_cost_fixing = true;
+    const MipResult r = solve_mip(m, o);
+    if (best == kInfinity) {
+      EXPECT_EQ(r.status, MipStatus::Infeasible) << "trial " << trial;
+    } else {
+      ASSERT_EQ(r.status, MipStatus::Optimal) << "trial " << trial;
+      EXPECT_NEAR(r.objective, best, 1e-6) << "trial " << trial;
+    }
+    total_fixings += r.rc_fixings;
+  }
+  EXPECT_GT(total_fixings, 0u);
+}
+
+TEST(MipPropagation, PseudoCostBranchingIsDeterministic) {
+  rng::Rng rng(41);
+  const std::size_t n = 12;
+  Model m;
+  for (std::size_t j = 0; j < n; ++j) m.add_binary();
+  LinExpr obj, row;
+  for (std::size_t j = 0; j < n; ++j) {
+    obj.push_back({j, std::round(rng.uniform(-6.0, 6.0))});
+    row.push_back({j, std::round(rng.uniform(1.0, 4.0))});
+  }
+  m.set_objective(obj);
+  m.add_constraint(row, Sense::LessEqual, 9.5);
+  MipOptions o;
+  o.pseudo_cost_branching = true;
+  const MipResult a = solve_mip(m, o);
+  const MipResult b = solve_mip(m, o);
+  ASSERT_EQ(a.status, b.status);
+  EXPECT_EQ(a.nodes_explored, b.nodes_explored);
+  EXPECT_EQ(a.simplex_iterations, b.simplex_iterations);
+  EXPECT_EQ(a.strong_branches, b.strong_branches);
+  if (a.has_solution()) {
+    ASSERT_EQ(a.x.size(), b.x.size());
+    for (std::size_t j = 0; j < a.x.size(); ++j) EXPECT_EQ(a.x[j], b.x[j]);
+  }
+  EXPECT_EQ(a.objective, b.objective);
+  if (a.has_solution()) {
+    EXPECT_GT(a.strong_branches, 0u);
+  }
+}
+
+TEST(MipPropagation, BestFirstSelectionFindsTheOptimum) {
+  rng::Rng rng(53);
+  for (int trial = 0; trial < 8; ++trial) {
+    const std::size_t n = 9;
+    Model m;
+    for (std::size_t j = 0; j < n; ++j) m.add_binary();
+    LinExpr obj;
+    for (std::size_t j = 0; j < n; ++j) {
+      obj.push_back({j, std::round(rng.uniform(-5.0, 5.0))});
+    }
+    m.set_objective(obj);
+    for (int row = 0; row < 3; ++row) {
+      LinExpr e;
+      for (std::size_t j = 0; j < n; ++j) {
+        const double c = std::round(rng.uniform(-2.0, 3.0));
+        if (c != 0.0) e.push_back({j, c});
+      }
+      if (e.empty()) continue;
+      m.add_constraint(std::move(e), Sense::LessEqual,
+                       std::round(rng.uniform(0.0, 4.0)) + 0.5);
+    }
+    const double best = enumerate_best(m);
+    MipOptions o;
+    o.node_selection = NodeSelection::BestFirst;
+    o.plunge_depth = 3;
+    const MipResult r = solve_mip(m, o);
+    if (best == kInfinity) {
+      EXPECT_EQ(r.status, MipStatus::Infeasible) << "trial " << trial;
+    } else {
+      ASSERT_EQ(r.status, MipStatus::Optimal) << "trial " << trial;
+      EXPECT_NEAR(r.objective, best, 1e-6) << "trial " << trial;
+    }
+  }
+}
+
+TEST(MipPropagation, RestartsFireAndPreserveCorrectness) {
+  // An equal-split feasibility search that needs many nodes: with a small
+  // restart interval the search must restart (and still terminate with the
+  // right answer).
+  rng::Rng rng(7);
+  Model m;
+  LinExpr sum;
+  for (int i = 0; i < 12; ++i) {
+    m.add_binary();
+    sum.push_back({static_cast<std::size_t>(i), rng.uniform(0.9, 1.1)});
+  }
+  m.add_constraint(sum, Sense::Equal, 5.9431);  // no exact integer hit
+  MipOptions o;
+  o.restarts = true;
+  o.restart_interval = 16;
+  o.max_restarts = 2;
+  o.max_nodes = 20000;
+  const MipResult r = solve_mip(m, o);
+  EXPECT_EQ(r.status, MipStatus::Infeasible);
+  EXPECT_GE(r.restarts, 1u);
+  EXPECT_LE(r.restarts, 2u);
+}
+
+TEST(MipPropagation, AllTechniquesTogetherMatchEnumeration) {
+  rng::Rng rng(97);
+  for (int trial = 0; trial < 10; ++trial) {
+    const std::size_t n = 10;
+    Model m;
+    for (std::size_t j = 0; j < n; ++j) m.add_binary();
+    LinExpr obj;
+    for (std::size_t j = 0; j < n; ++j) {
+      obj.push_back({j, std::round(rng.uniform(-7.0, 7.0))});
+    }
+    m.set_objective(obj);
+    for (int row = 0; row < 4; ++row) {
+      LinExpr e;
+      for (std::size_t j = 0; j < n; ++j) {
+        const double c = std::round(rng.uniform(-3.0, 3.0));
+        if (c != 0.0) e.push_back({j, c});
+      }
+      if (e.empty()) continue;
+      m.add_constraint(std::move(e),
+                       rng.bernoulli(0.5) ? Sense::LessEqual
+                                          : Sense::GreaterEqual,
+                       std::round(rng.uniform(-1.0, 3.0)) + 0.5);
+    }
+    const double best = enumerate_best(m);
+    MipOptions o = with_all_techniques();
+    o.node_selection = NodeSelection::BestFirst;
+    o.restarts = true;
+    o.restart_interval = 64;
+    const MipResult r = solve_mip(m, o);
+    if (best == kInfinity) {
+      EXPECT_EQ(r.status, MipStatus::Infeasible) << "trial " << trial;
+    } else {
+      ASSERT_EQ(r.status, MipStatus::Optimal) << "trial " << trial;
+      EXPECT_NEAR(r.objective, best, 1e-6) << "trial " << trial;
+    }
+  }
+}
+
+TEST(MipPropagation, DefaultOptionsAreBitwiseDeterministic) {
+  // All techniques default off: two runs of the plain warm-started DFS must
+  // agree on every count and every solution bit (the PR-3 baseline search).
+  rng::Rng rng(61);
+  const std::size_t n = 14;
+  Model m;
+  LinExpr sum;
+  for (std::size_t j = 0; j < n; ++j) {
+    m.add_binary();
+    sum.push_back({j, rng.uniform(0.9, 1.1)});
+  }
+  m.add_constraint(sum, Sense::LessEqual, 6.3);
+  m.add_constraint(sum, Sense::GreaterEqual, 5.7);
+  LinExpr obj;
+  for (std::size_t j = 0; j < n; ++j) {
+    obj.push_back({j, std::round(rng.uniform(-4.0, 4.0))});
+  }
+  m.set_objective(obj);
+  const MipOptions o;  // everything off
+  EXPECT_FALSE(o.gomory_cuts || o.cover_cuts || o.reduced_cost_fixing ||
+               o.pseudo_cost_branching || o.restarts);
+  EXPECT_EQ(o.node_selection, NodeSelection::DepthFirst);
+  const MipResult a = solve_mip(m, o);
+  const MipResult b = solve_mip(m, o);
+  EXPECT_EQ(a.status, b.status);
+  EXPECT_EQ(a.nodes_explored, b.nodes_explored);
+  EXPECT_EQ(a.simplex_iterations, b.simplex_iterations);
+  EXPECT_EQ(a.objective, b.objective);
+  EXPECT_EQ(a.cuts_added, 0u);
+  EXPECT_EQ(a.rc_fixings, 0u);
+  EXPECT_EQ(a.strong_branches, 0u);
+  EXPECT_EQ(a.restarts, 0u);
+  if (a.has_solution()) {
+    ASSERT_EQ(a.x.size(), b.x.size());
+    for (std::size_t j = 0; j < a.x.size(); ++j) EXPECT_EQ(a.x[j], b.x[j]);
+  }
+}
+
+TEST(MipPropagation, KnapsackRelaxationComplementsAndForces) {
+  // 5x + 4y - 3z <= 4 with binaries: z complements to 5x + 4y + 3(1-z) - 3,
+  // i.e. weights {5,4,3} against capacity 7; the x item (5 <= 7) stays, and
+  // with capacity shrunk below an item's weight the item is forced to zero.
+  Model m;
+  const auto x = m.add_binary();
+  const auto y = m.add_binary();
+  const auto z = m.add_binary();
+  const std::size_t row =
+      m.add_constraint({{x, 5.0}, {y, 4.0}, {z, -3.0}}, Sense::LessEqual, 4.0);
+  const auto ks = binary_knapsack_relaxation(m, row);
+  ASSERT_TRUE(ks.has_value());
+  EXPECT_NEAR(ks->capacity, 7.0, 1e-12);
+  EXPECT_EQ(ks->vars.size(), 3u);
+  EXPECT_TRUE(ks->forced_zero_vars.empty());
+
+  Model m2;
+  const auto a = m2.add_binary();
+  const auto b = m2.add_binary();
+  const auto c = m2.add_binary();
+  const std::size_t row2 = m2.add_constraint(
+      {{a, 9.0}, {b, 2.0}, {c, 2.0}}, Sense::LessEqual, 3.0);
+  const auto ks2 = binary_knapsack_relaxation(m2, row2);
+  ASSERT_TRUE(ks2.has_value());
+  ASSERT_EQ(ks2->forced_zero_vars.size(), 1u);
+  EXPECT_EQ(ks2->forced_zero_vars[0], a);
+  EXPECT_FALSE(ks2->forced_zero_complemented[0]);
+}
+
+TEST(MipPropagation, ModelTracksCutRowsAndGlobalTrail) {
+  Model m;
+  m.add_binary();
+  m.add_binary();
+  const std::uint64_t rev0 = m.row_revision();
+  m.add_constraint({{0, 1.0}, {1, 1.0}}, Sense::LessEqual, 1.5);
+  EXPECT_EQ(m.row_revision(), rev0 + 1);
+  EXPECT_EQ(m.num_cut_rows(), 0u);
+  m.add_cut_row({{0, 1.0}, {1, 1.0}}, Sense::LessEqual, 1.0);
+  EXPECT_EQ(m.num_cut_rows(), 1u);
+  EXPECT_EQ(m.row_revision(), rev0 + 2);
+  EXPECT_THROW(m.add_cut_row({{0, 1.0}}, Sense::Equal, 1.0), InvalidArgument);
+
+  EXPECT_TRUE(m.global_bound_trail().empty());
+  m.record_global_tightening(0, 0.0, 0.0);
+  ASSERT_EQ(m.global_bound_trail().size(), 1u);
+  EXPECT_EQ(m.global_bound_trail()[0].var, 0u);
+  EXPECT_EQ(m.variable(0).ub, 0.0);
+  m.clear_global_bound_trail();
+  EXPECT_TRUE(m.global_bound_trail().empty());
+}
+
+TEST(MipPropagation, SolverMirrorsAppendedCutRows) {
+  // Append a cut row mid-flight and confirm the warm re-solve honours it.
+  Model m;
+  const auto x = m.add_binary();
+  const auto y = m.add_binary();
+  m.add_constraint({{x, 2.0}, {y, 2.0}}, Sense::LessEqual, 3.0);
+  m.set_objective({{x, -1.0}, {y, -1.0}});
+  SimplexSolver solver(m, {});
+  LpResult lp = solver.solve();
+  ASSERT_EQ(lp.status, LpStatus::Optimal);
+  EXPECT_NEAR(lp.objective, -1.5, 1e-7);
+
+  m.add_cut_row({{x, 1.0}, {y, 1.0}}, Sense::LessEqual, 1.0);
+  solver.append_model_rows();
+  EXPECT_EQ(solver.num_rows(), 2u);
+  lp = solver.solve_warm();
+  ASSERT_EQ(lp.status, LpStatus::Optimal);
+  EXPECT_NEAR(lp.objective, -1.0, 1e-7);
+  EXPECT_LE(lp.x[x] + lp.x[y], 1.0 + 1e-7);
+}
+
+}  // namespace
+}  // namespace aspe::opt

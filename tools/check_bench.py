@@ -3,7 +3,7 @@
 
 Usage:
     tools/check_bench.py [--fresh-dir DIR] [--baseline-dir DIR]
-                         [--threshold FRACTION]
+                         [--threshold FRACTION] [--strict]
 
 Every baseline document in --baseline-dir (default: bench/baselines/) must
 have a fresh counterpart of the same name in --fresh-dir (default: the
@@ -18,9 +18,12 @@ compared direction-aware:
   * anything else is reported but never enforced.
 
 A regression beyond --threshold (default 0.15, i.e. 15%) on any enforced
-series fails the run with exit code 1. Per-record "results" entries are
-reported for context only — individual micro-timings are too noisy to gate
-on; the headline ratios are what the PRs' acceptance criteria name.
+series fails the run with exit code 1. Series present in the fresh run but
+absent from the baseline (fresh-only keys — usually a bench gained a new
+headline whose baseline was never re-seeded) are *warnings*; --strict
+promotes them to failures. Per-record "results" entries are reported for
+context only — individual micro-timings are too noisy to gate on; the
+headline ratios are what the PRs' acceptance criteria name.
 
 Stdlib only; no third-party dependencies.
 """
@@ -54,8 +57,9 @@ def headline_series(doc):
 
 
 def check_file(baseline_path, fresh_path, threshold):
-    """Return a list of failure strings for one baseline/fresh pair."""
+    """Return (failures, warnings) string lists for one baseline/fresh pair."""
     failures = []
+    warnings = []
     with open(baseline_path, encoding="utf-8") as fp:
         baseline = json.load(fp)
     with open(fresh_path, encoding="utf-8") as fp:
@@ -64,6 +68,14 @@ def check_file(baseline_path, fresh_path, threshold):
     base_series = headline_series(baseline)
     fresh_series = headline_series(fresh)
     name = baseline_path.name
+
+    for key in fresh_series:
+        if key not in base_series:
+            print(f"  {key}: (fresh only — baseline never re-seeded) [warn]")
+            warnings.append(
+                f"{name}: series '{key}' present in fresh run but missing "
+                f"from the baseline; re-seed bench/baselines/{name}"
+            )
 
     for key, base_value in base_series.items():
         if key not in fresh_series:
@@ -96,7 +108,7 @@ def check_file(baseline_path, fresh_path, threshold):
                 f"{name}: '{key}' regressed beyond {threshold:.0%}: "
                 f"{base_value:g} -> {fresh_value:g}"
             )
-    return failures
+    return failures, warnings
 
 
 def main():
@@ -109,6 +121,11 @@ def main():
         "--baseline-dir", type=pathlib.Path, default=repo_root / "bench" / "baselines"
     )
     parser.add_argument("--threshold", type=float, default=0.15)
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="treat warnings (e.g. fresh-only series keys) as failures",
+    )
     args = parser.parse_args()
 
     baselines = sorted(args.baseline_dir.glob("BENCH_*.json"))
@@ -117,6 +134,7 @@ def main():
         return 2
 
     failures = []
+    warnings = []
     for baseline_path in baselines:
         fresh_path = args.fresh_dir / baseline_path.name
         print(f"{baseline_path.name}:")
@@ -124,7 +142,18 @@ def main():
             print("  (no fresh artifact — run bench_micro in --fresh-dir first)")
             failures.append(f"{baseline_path.name}: fresh artifact missing")
             continue
-        failures.extend(check_file(baseline_path, fresh_path, args.threshold))
+        file_failures, file_warnings = check_file(
+            baseline_path, fresh_path, args.threshold
+        )
+        failures.extend(file_failures)
+        warnings.extend(file_warnings)
+
+    if warnings:
+        print("\nwarnings:", file=sys.stderr)
+        for warning in warnings:
+            print(f"  {warning}", file=sys.stderr)
+        if args.strict:
+            failures.extend(warnings)
 
     if failures:
         print("\nregressions detected:", file=sys.stderr)

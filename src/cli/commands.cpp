@@ -6,9 +6,11 @@
 #include <optional>
 #include <ostream>
 #include <sstream>
+#include <variant>
 
 #include "common/cli.hpp"
 #include "common/error.hpp"
+#include "core/attack_api.hpp"
 #include "core/lep.hpp"
 #include "core/mip_attack.hpp"
 #include "core/session.hpp"
@@ -20,6 +22,8 @@
 #include "obs/sinks.hpp"
 #include "par/thread_pool.hpp"
 #include "rng/rng.hpp"
+#include "svc/client.hpp"
+#include "svc/daemon.hpp"
 
 namespace aspe::cli {
 
@@ -125,6 +129,8 @@ class CommandObs {
     return trace_path_.empty() && metrics_path_.empty() ? nullptr : &tee_;
   }
 
+  [[nodiscard]] bool wants_metrics() const { return !metrics_path_.empty(); }
+
   /// Close the trace stream and write the metrics snapshot; call after the
   /// attack returned (successful or not — a trace of a failed run is still
   /// a trace).
@@ -169,6 +175,127 @@ class CommandObs {
   obs::NullSink null_;
   obs::TeeSink tee_;
 };
+
+// ------------------------------------------------------- request builders
+//
+// Flags -> core::*Request, once per attack kind. attack-lep / attack-mip /
+// attack-snmf and `submit --attack=...` all parse through these, so the CLI
+// and the daemon describe a job with the same vocabulary and the old
+// per-command flag-translation blocks are gone.
+
+core::LepRequest build_lep_request(const CliFlags& flags) {
+  core::LepRequest req;
+  req.known_plain = core::CorpusRef::from_path(required(flags, "known-plain"));
+  req.db = core::CorpusRef::from_path(required_input(flags, "db"));
+  req.trapdoors = core::CorpusRef::from_path(required(flags, "trapdoors"));
+  return req;
+}
+
+core::MipRequest build_mip_request(const CliFlags& flags) {
+  core::MipRequest req;
+  req.known_plain = core::CorpusRef::from_path(required(flags, "known-plain"));
+  req.db = core::CorpusRef::from_path(required_input(flags, "db"));
+  req.trapdoors = core::CorpusRef::from_path(required(flags, "trapdoors"));
+  req.trapdoor_id = static_cast<std::size_t>(flags.get_int("trapdoor-id", 0));
+  req.mu = flags.get_double("mu", 1.0);
+  req.sigma = flags.get_double("sigma", 0.5);
+  req.options.l = flags.get_double("l", 3.0);
+  req.options.solver.time_limit_seconds = flags.get_double("time-limit", 30.0);
+  const int max_nodes = flags.get_int(
+      "max-nodes", static_cast<int>(req.options.solver.max_nodes));
+  require(max_nodes > 0, "attack-mip: --max-nodes must be positive");
+  req.options.solver.max_nodes = static_cast<std::size_t>(max_nodes);
+  return req;
+}
+
+core::SnmfRequest build_snmf_request(const CliFlags& flags) {
+  core::SnmfRequest req;
+  req.db = core::CorpusRef::from_path(required_input(flags, "db"));
+  req.trapdoors = core::CorpusRef::from_path(required(flags, "trapdoors"));
+  req.options.rank = static_cast<std::size_t>(flags.get_int("rank", 0));
+  req.options.restarts =
+      static_cast<std::size_t>(flags.get_int("restarts", 3));
+  req.options.nmf.max_iterations =
+      static_cast<std::size_t>(flags.get_int("iters", 250));
+  req.reuse_session = flags.get_bool("reuse-session", false);
+  return req;
+}
+
+/// Raise a failed response as the typed error the top-level handler maps to
+/// its exit code.
+void require_ok(const core::AttackResponse& resp) {
+  if (!resp.ok()) throw core::Error(resp.error, resp.message);
+}
+
+/// Print the rank-estimation report line when dispatch chose d itself
+/// (exactly the line the pre-dispatch CLI printed).
+void report_estimated_rank(const core::AttackResponse& resp,
+                           std::ostream& out) {
+  const double rank = resp.telemetry.counter("snmf.estimated_rank");
+  if (rank > 0) {
+    out << "estimated latent dimension d = "
+        << static_cast<std::size_t>(rank) << " from rank(R)\n";
+  }
+}
+
+// --------------------------------------------------------- result writers
+//
+// Shared by the in-process attack commands and `submit` (daemon results),
+// so a job produces byte-identical output files either way.
+
+void write_snmf_outputs(const core::SnmfAttackResult& res,
+                        const CliFlags& flags, std::ostream& out) {
+  const std::string out_path = required_output(flags, "out");
+  if (output_format(flags) == io::Format::Binary) {
+    // One BitVecList container: the reconstructed indexes followed by the
+    // reconstructed trapdoors (the counts are reported on stdout; the text
+    // report's comment lines have no binary equivalent).
+    auto w = io::open_writer(out_path, io::Format::Binary);
+    for (const auto& v : res.indexes) w->write_bitvec(v);
+    for (const auto& v : res.trapdoors) w->write_bitvec(v);
+    w->finish();
+  } else {
+    auto f = open_output(out_path);
+    auto w = io::TextCodec::writer(f);
+    f << "# reconstructed indexes (" << res.indexes.size() << ")\n";
+    for (const auto& v : res.indexes) w->write_bitvec(v);
+    f << "# reconstructed trapdoors (" << res.trapdoors.size() << ")\n";
+    for (const auto& v : res.trapdoors) w->write_bitvec(v);
+    w->finish();
+  }
+  out << "SNMF attack: reconstructed " << res.indexes.size()
+      << " indexes and " << res.trapdoors.size()
+      << " trapdoors (fit error " << res.best_fit_error << ")\n";
+}
+
+void write_lep_outputs(const core::LepResult& res, const CliFlags& flags,
+                       std::ostream& out) {
+  const io::Format fmt = output_format(flags);
+  auto rec_w = io::open_writer(required(flags, "out-records"), fmt);
+  for (const auto& v : res.records) rec_w->write_vec(v);
+  rec_w->finish();
+  auto query_w = io::open_writer(required(flags, "out-queries"), fmt);
+  for (const auto& v : res.queries) query_w->write_vec(v);
+  query_w->finish();
+  out << "LEP attack: recovered " << res.records.size() << " records and "
+      << res.queries.size() << " queries (complete disclosure)\n";
+}
+
+int write_mip_outputs(const core::AttackResponse& resp, const CliFlags& flags,
+                      std::ostream& out) {
+  if (resp.status == core::AttackStatus::NoSolution) {
+    out << "MIP attack: no feasible query found within limits\n";
+    return 3;
+  }
+  const auto& res = resp.mip();
+  auto w = io::open_writer(required_output(flags, "out"), output_format(flags));
+  w->write_bitvec(res.query);
+  w->finish();
+  out << "MIP attack: reconstructed query with " << popcount(res.query)
+      << " keywords in " << res.telemetry.wall_seconds
+      << "s (rhat=" << res.rhat << ", that=" << res.that << ")\n";
+  return 0;
+}
 
 // ----------------------------------------------------------------- commands
 
@@ -288,39 +415,32 @@ int cmd_attack_snmf(const CliFlags& flags, std::ostream& out) {
   require(!append || !session_path.empty(),
           "attack-snmf: --append needs --session=PATH");
 
-  sse::CoaView view;
-  view.cipher_indexes =
-      io::open_reader(required_input(flags, "db"))->read_cipher_database();
-  view.cipher_trapdoors =
-      io::open_reader(required(flags, "trapdoors"))->read_cipher_database();
-
+  core::SnmfRequest req = build_snmf_request(flags);
   CommandObs cobs(flags);
   core::ExecContext ctx = make_exec_context(
       flags, static_cast<std::uint64_t>(flags.get_int("seed", 2017)));
   ctx.sink = cobs.sink();
 
-  core::SnmfAttackOptions aopt;
-  aopt.rank = static_cast<std::size_t>(flags.get_int("rank", 0));
-  aopt.restarts = static_cast<std::size_t>(flags.get_int("restarts", 3));
-  aopt.nmf.max_iterations =
-      static_cast<std::size_t>(flags.get_int("iters", 250));
-
   core::SnmfAttackResult res;
   if (!session_path.empty()) {
+    sse::CoaView view;
+    view.cipher_indexes = *req.db.load_ciphers("attack-snmf db");
+    view.cipher_trapdoors =
+        *req.trapdoors.load_ciphers("attack-snmf trapdoors");
     std::optional<core::CoaSession> session;
     if (append) {
-      session.emplace(io::load_coa_session(session_path), aopt, ctx);
+      session.emplace(io::load_coa_session(session_path), req.options, ctx);
     } else {
-      session.emplace(aopt, ctx);
+      session.emplace(req.options, ctx);
     }
     session->append_ciphertexts(view);
-    if (aopt.rank == 0) {
+    if (req.options.rank == 0) {
       const std::size_t rank = session->estimate_rank();
       require(rank > 0, "attack-snmf: rank estimation found a zero matrix");
       out << "estimated latent dimension d = " << rank << " from rank(R)\n";
       session->set_rank(rank);
     } else {
-      session->set_rank(aopt.rank);
+      session->set_rank(req.options.rank);
     }
     res = session->attack();
     io::save_coa_session(session_path, session->snapshot());
@@ -328,45 +448,15 @@ int cmd_attack_snmf(const CliFlags& flags, std::ostream& out) {
         << session->num_trapdoors() << " trapdoors -> " << session_path
         << "\n";
   } else {
-    if (aopt.rank == 0) {
-      // No --rank given: estimate d from the numerical rank of the score
-      // matrix (rank(R) <= d with equality given enough ciphertexts). The
-      // temporary score matrix is donated to the SVD (rvalue overload); ctx
-      // routes large instances through the certified truncated path.
-      aopt.rank = core::estimate_latent_dimension(
-          core::build_score_matrix(view.cipher_indexes, view.cipher_trapdoors,
-                                   ctx.threads),
-          1e-8, ctx);
-      require(aopt.rank > 0,
-              "attack-snmf: rank estimation found a zero matrix");
-      out << "estimated latent dimension d = " << aopt.rank
-          << " from rank(R)\n";
-    }
-    res = core::run_snmf_attack(view, aopt, ctx);
+    core::AttackRequest areq;
+    areq.request = std::move(req);
+    core::AttackResponse resp = core::dispatch_attack(areq, ctx);
+    require_ok(resp);
+    report_estimated_rank(resp, out);
+    res = std::get<core::SnmfAttackResult>(std::move(resp.result));
   }
   cobs.finish(res.telemetry, out);
-
-  const std::string out_path = required_output(flags, "out");
-  if (output_format(flags) == io::Format::Binary) {
-    // One BitVecList container: the reconstructed indexes followed by the
-    // reconstructed trapdoors (the counts are reported on stdout; the text
-    // report's comment lines have no binary equivalent).
-    auto w = io::open_writer(out_path, io::Format::Binary);
-    for (const auto& v : res.indexes) w->write_bitvec(v);
-    for (const auto& v : res.trapdoors) w->write_bitvec(v);
-    w->finish();
-  } else {
-    auto f = open_output(out_path);
-    auto w = io::TextCodec::writer(f);
-    f << "# reconstructed indexes (" << res.indexes.size() << ")\n";
-    for (const auto& v : res.indexes) w->write_bitvec(v);
-    f << "# reconstructed trapdoors (" << res.trapdoors.size() << ")\n";
-    for (const auto& v : res.trapdoors) w->write_bitvec(v);
-    w->finish();
-  }
-  out << "SNMF attack: reconstructed " << res.indexes.size()
-      << " indexes and " << res.trapdoors.size()
-      << " trapdoors (fit error " << res.best_fit_error << ")\n";
+  write_snmf_outputs(res, flags, out);
   return 0;
 }
 
@@ -462,37 +552,6 @@ int cmd_attack_lep(const CliFlags& flags, std::ostream& out) {
   require(!append || !session_path.empty(),
           "attack-lep: --append needs --session=PATH");
 
-  // Known pairs: plaintext *records* P_i (vec list) aligned with the first
-  // entries of the ciphertext database (the delta database under --append).
-  // The attack derives I_i itself.
-  const bool session_mode = !session_path.empty();
-  const auto read_vecs_flag = [&](const char* name) {
-    const std::string path = session_mode
-                                 ? flags.get_string(name, "")
-                                 : required(flags, name);
-    return path.empty() ? std::vector<Vec>{}
-                        : io::open_reader(path)->read_vecs();
-  };
-  const auto read_db_flag = [&](const char* name, bool primary) {
-    std::string path = flags.get_string(name, "");
-    if (path.empty() && primary) path = flags.get_string("input", "");
-    if (path.empty() && !session_mode) path = required_input(flags, name);
-    return path.empty() ? std::vector<scheme::CipherPair>{}
-                        : io::open_reader(path)->read_cipher_database();
-  };
-  const auto known_records = read_vecs_flag("known-plain");
-  sse::CoaView observed;
-  observed.cipher_indexes = read_db_flag("db", true);
-  observed.cipher_trapdoors = read_db_flag("trapdoors", false);
-  require(known_records.size() <= observed.cipher_indexes.size(),
-          "attack-lep: more known records than ciphertexts");
-  std::vector<sse::KnownIndexPair> known_pairs;
-  known_pairs.reserve(known_records.size());
-  for (std::size_t i = 0; i < known_records.size(); ++i) {
-    known_pairs.push_back({scheme::make_index(known_records[i]),
-                           observed.cipher_indexes[i]});
-  }
-
   // LEP consumes no randomness; the context carries the thread count and
   // the telemetry sink.
   CommandObs cobs(flags);
@@ -500,7 +559,33 @@ int cmd_attack_lep(const CliFlags& flags, std::ostream& out) {
   ctx.sink = cobs.sink();
 
   core::LepResult res;
-  if (session_mode) {
+  if (!session_path.empty()) {
+    // Session mode keeps its own input handling: under --append every flag
+    // is optional (the inputs are a delta) and the known pairs are built
+    // against the delta database.
+    const auto read_vecs_flag = [&](const char* name) {
+      const std::string path = flags.get_string(name, "");
+      return path.empty() ? std::vector<Vec>{}
+                          : io::open_reader(path)->read_vecs();
+    };
+    const auto read_db_flag = [&](const char* name, bool primary) {
+      std::string path = flags.get_string(name, "");
+      if (path.empty() && primary) path = flags.get_string("input", "");
+      return path.empty() ? std::vector<scheme::CipherPair>{}
+                          : io::open_reader(path)->read_cipher_database();
+    };
+    const auto known_records = read_vecs_flag("known-plain");
+    sse::CoaView observed;
+    observed.cipher_indexes = read_db_flag("db", true);
+    observed.cipher_trapdoors = read_db_flag("trapdoors", false);
+    require(known_records.size() <= observed.cipher_indexes.size(),
+            "attack-lep: more known records than ciphertexts");
+    std::vector<sse::KnownIndexPair> known_pairs;
+    known_pairs.reserve(known_records.size());
+    for (std::size_t i = 0; i < known_records.size(); ++i) {
+      known_pairs.push_back({scheme::make_index(known_records[i]),
+                             observed.cipher_indexes[i]});
+    }
     std::optional<core::LepSession> session;
     if (append) {
       session.emplace(io::load_lep_session(session_path), core::LepOptions{},
@@ -525,77 +610,30 @@ int cmd_attack_lep(const CliFlags& flags, std::ostream& out) {
     out << "session: " << session->warm_resolves()
         << " warm re-solves; state -> " << session_path << "\n";
   } else {
-    sse::KpaView view;
-    view.known_pairs = std::move(known_pairs);
-    view.observed = std::move(observed);
-    res = core::run_lep_attack(view, core::LepOptions{}, ctx);
+    core::AttackRequest areq;
+    areq.request = build_lep_request(flags);
+    core::AttackResponse resp = core::dispatch_attack(areq, ctx);
+    require_ok(resp);
+    res = std::get<core::LepResult>(std::move(resp.result));
   }
   cobs.finish(res.telemetry, out);
-  const io::Format fmt = output_format(flags);
-  auto rec_w = io::open_writer(required(flags, "out-records"), fmt);
-  for (const auto& v : res.records) rec_w->write_vec(v);
-  rec_w->finish();
-  auto query_w = io::open_writer(required(flags, "out-queries"), fmt);
-  for (const auto& v : res.queries) query_w->write_vec(v);
-  query_w->finish();
-  out << "LEP attack: recovered " << res.records.size() << " records and "
-      << res.queries.size() << " queries (complete disclosure)\n";
+  write_lep_outputs(res, flags, out);
   return 0;
 }
 
 int cmd_attack_mip(const CliFlags& flags, std::ostream& out) {
-  // Known pairs: binary plaintext records aligned with the ciphertext DB.
-  const auto known =
-      io::open_reader(required(flags, "known-plain"))->read_vecs();
-  const auto db =
-      io::open_reader(required_input(flags, "db"))->read_cipher_database();
-  const auto trapdoors =
-      io::open_reader(required(flags, "trapdoors"))->read_cipher_database();
-  require(known.size() <= db.size(),
-          "attack-mip: more known records than ciphertexts");
-  require(!trapdoors.empty(), "attack-mip: no trapdoors");
-
-  std::vector<sse::KnownBinaryPair> pairs;
-  for (std::size_t i = 0; i < known.size(); ++i) {
-    BitVec bits(known[i].size());
-    for (std::size_t k = 0; k < known[i].size(); ++k) {
-      bits[k] = known[i][k] > 0.5 ? 1 : 0;
-    }
-    pairs.push_back({std::move(bits), db[i]});
-  }
-
-  core::MipAttackOptions aopt;
-  aopt.l = flags.get_double("l", 3.0);
-  aopt.solver.time_limit_seconds = flags.get_double("time-limit", 30.0);
-  const int max_nodes =
-      flags.get_int("max-nodes", static_cast<int>(aopt.solver.max_nodes));
-  require(max_nodes > 0, "attack-mip: --max-nodes must be positive");
-  aopt.solver.max_nodes = static_cast<std::size_t>(max_nodes);
-  const double mu = flags.get_double("mu", 1.0);
-  const double sigma = flags.get_double("sigma", 0.5);
-  const auto target =
-      static_cast<std::size_t>(flags.get_int("trapdoor-id", 0));
-  require(target < trapdoors.size(), "attack-mip: bad --trapdoor-id");
-
   // MIP consumes no randomness; the context carries the thread count and
   // the telemetry sink.
   CommandObs cobs(flags);
   core::ExecContext ctx = make_exec_context(flags, 0);
   ctx.sink = cobs.sink();
-  const auto res =
-      core::run_mip_attack(pairs, trapdoors[target], mu, sigma, aopt, ctx);
-  cobs.finish(res.telemetry, out);
-  if (!res.found) {
-    out << "MIP attack: no feasible query found within limits\n";
-    return 3;
-  }
-  auto w = io::open_writer(required_output(flags, "out"), output_format(flags));
-  w->write_bitvec(res.query);
-  w->finish();
-  out << "MIP attack: reconstructed query with " << popcount(res.query)
-      << " keywords in " << res.telemetry.wall_seconds
-      << "s (rhat=" << res.rhat << ", that=" << res.that << ")\n";
-  return 0;
+
+  core::AttackRequest areq;
+  areq.request = build_mip_request(flags);
+  const core::AttackResponse resp = core::dispatch_attack(areq, ctx);
+  require_ok(resp);
+  cobs.finish(resp.telemetry, out);
+  return write_mip_outputs(resp, flags, out);
 }
 
 int cmd_convert(const CliFlags& flags, std::ostream& out) {
@@ -622,6 +660,129 @@ int cmd_convert(const CliFlags& flags, std::ostream& out) {
   out << "converted " << records << " records to "
       << (fmt == io::Format::Binary ? "binary" : "text") << ": " << out_path
       << "\n";
+  return 0;
+}
+
+// -------------------------------------------------------------- svc surface
+
+int cmd_serve(const CliFlags& flags, std::ostream& out) {
+  const std::string socket = required(flags, "socket");
+  CommandObs cobs(flags);  // --trace-json streams every job's recording
+
+  svc::DaemonOptions dopt;
+  const int workers = flags.get_int("workers", 1);
+  require(workers > 0, "serve: --workers must be positive");
+  dopt.workers = static_cast<std::size_t>(workers);
+  const int queue = flags.get_int("queue", 64);
+  require(queue > 0, "serve: --queue must be positive");
+  dopt.queue_capacity = static_cast<std::size_t>(queue);
+  dopt.sink = cobs.sink();
+  if (flags.has("threads")) {
+    par::set_default_threads(flags.get_threads(1));
+  }
+
+  svc::Daemon daemon(dopt);
+  svc::ServerOptions sopt;
+  sopt.socket_path = socket;
+  svc::Server server(daemon, sopt);
+  out << "svc: serving on " << socket << " (" << dopt.workers
+      << " worker" << (dopt.workers == 1 ? "" : "s") << ", queue "
+      << dopt.queue_capacity << ")\n";
+  out.flush();  // clients may block until this line appears
+
+  server.wait();  // until a client sends Shutdown
+  server.stop();
+  daemon.stop();
+  const svc::DaemonStats st = daemon.stats();
+  out << "svc: stopped after " << st.submitted << " jobs (" << st.completed
+      << " completed, " << st.rejected << " rejected, " << st.expired
+      << " expired, " << st.cancelled << " cancelled; "
+      << st.corpus_cache_hits << " corpus / " << st.rank_cache_hits
+      << " rank / " << st.lep_session_hits << " session cache hits)\n";
+  cobs.finish(core::AttackTelemetry{}, out);
+  return 0;
+}
+
+/// Convert a request's path refs into inline payloads (`submit --inline`):
+/// the corpora are read client-side and shipped inside the Submit frame,
+/// for daemons that cannot see the client's filesystem.
+core::AttackRequest inline_request(core::AttackRequest req) {
+  const auto to_ciphers = [](core::CorpusRef& ref) {
+    if (!ref.path.empty()) {
+      ref = core::CorpusRef::inline_ciphers(
+          *ref.load_ciphers("submit corpus"));
+    }
+  };
+  const auto to_vecs = [](core::CorpusRef& ref) {
+    if (!ref.path.empty()) {
+      ref = core::CorpusRef::inline_vecs(*ref.load_vecs("submit corpus"));
+    }
+  };
+  std::visit(
+      [&](auto& typed) {
+        using T = std::decay_t<decltype(typed)>;
+        if constexpr (std::is_same_v<T, core::SnmfRequest>) {
+          to_ciphers(typed.db);
+          to_ciphers(typed.trapdoors);
+        } else {
+          to_vecs(typed.known_plain);
+          to_ciphers(typed.db);
+          to_ciphers(typed.trapdoors);
+        }
+      },
+      req.request);
+  return req;
+}
+
+int cmd_submit(const CliFlags& flags, std::ostream& out) {
+  svc::Client client(required(flags, "socket"));
+  if (flags.get_bool("ping", false)) {
+    require(client.ping(), "submit: daemon did not answer the ping");
+    out << "pong\n";
+    return 0;
+  }
+  if (flags.get_bool("shutdown", false)) {
+    client.shutdown_server();
+    out << "svc: daemon shutting down\n";
+    return 0;
+  }
+
+  const std::string attack = required(flags, "attack");
+  core::AttackRequest req;
+  if (attack == "lep") {
+    req.request = build_lep_request(flags);
+  } else if (attack == "mip") {
+    req.request = build_mip_request(flags);
+  } else if (attack == "snmf") {
+    req.request = build_snmf_request(flags);
+  } else {
+    throw InvalidArgument("submit: unknown --attack kind: " + attack);
+  }
+  if (flags.get_bool("inline", false)) req = inline_request(std::move(req));
+
+  CommandObs cobs(flags);  // metrics only: spans are recorded daemon-side
+  svc::JobOptions jopts;
+  jopts.threads = flags.get_threads(1);
+  // Same seeds the in-process commands use, so daemon results match the
+  // CLI bit for bit (LEP and MIP consume no randomness).
+  jopts.seed = attack == "snmf"
+                   ? static_cast<std::uint64_t>(flags.get_int("seed", 2017))
+                   : 0;
+  jopts.deadline_ms =
+      static_cast<std::uint64_t>(flags.get_int("deadline-ms", 0));
+  jopts.want_telemetry = cobs.sink() != nullptr;
+
+  core::AttackResponse resp = client.run(req, jopts);
+  require_ok(resp);
+  if (attack == "snmf") report_estimated_rank(resp, out);
+  cobs.finish(resp.telemetry, out);
+  if (attack == "lep") {
+    write_lep_outputs(resp.lep(), flags, out);
+  } else if (attack == "mip") {
+    return write_mip_outputs(resp, flags, out);
+  } else {
+    write_snmf_outputs(resp.snmf(), flags, out);
+  }
   return 0;
 }
 
@@ -656,6 +817,13 @@ int cmd_help(std::ostream& out) {
          "              [--l=3] [--time-limit=30] [--max-nodes=200000]\n"
          "              (--max-nodes caps branch-and-bound nodes; the attack\n"
          "               reports NodeLimit when the cap trips first)\n"
+         "  serve       --socket=PATH [--workers=N] [--queue=N]\n"
+         "              (attack-service daemon on a Unix socket; warm corpus/\n"
+         "               session caches, bounded job queue — docs/svc.md)\n"
+         "  submit      --socket=PATH --attack={lep,mip,snmf} <attack flags>\n"
+         "              [--deadline-ms=N] [--inline] | --ping | --shutdown\n"
+         "              (ship one job to a running daemon; same flags and\n"
+         "               same output files as the attack-* commands)\n"
          "  help\n"
          "\n"
          "Every attack-* command also accepts the global --threads=N flag:\n"
@@ -680,6 +848,10 @@ int cmd_help(std::ostream& out) {
          "                             chrome://tracing or ui.perfetto.dev\n"
          "  --metrics-json=m.json      wall time, span aggregates, counters\n"
          "Attaching either never changes attack output.\n"
+         "\n"
+         "Exit codes (docs/api.md): 0 ok, 1 internal error, 2 bad input,\n"
+         "3 no feasible solution (attack-mip), 4 attack preconditions not\n"
+         "met yet, 5 budget exhausted (deadline / queue / limits).\n"
          "\n"
          "Corpus files use the io/ text format or the io::v2 binary\n"
          "container (magic \"ASPEIO2\"); `score` and `attack-snmf` need no\n"
@@ -714,13 +886,18 @@ int run_command(const std::vector<std::string>& args, std::ostream& out,
     if (name == "attack-snmf") return cmd_attack_snmf(flags, out);
     if (name == "attack-lep") return cmd_attack_lep(flags, out);
     if (name == "attack-mip") return cmd_attack_mip(flags, out);
+    if (name == "serve") return cmd_serve(flags, out);
+    if (name == "submit") return cmd_submit(flags, out);
     if (name == "help" || name == "--help") return cmd_help(out);
     err << "unknown command: " << name << "\n";
     cmd_help(err);
     return 2;
-  } catch (const Error& e) {
+  } catch (const std::exception& e) {
+    // The one error boundary: classify onto the ErrorCode taxonomy and map
+    // to the documented exit codes (2 bad input, 4 not ready, 5 budget,
+    // 1 internal).
     err << "error: " << e.what() << "\n";
-    return 1;
+    return core::exit_code_for(core::error_code_of(e));
   }
 }
 

@@ -1,0 +1,149 @@
+#include "svc/client.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace aspe::svc {
+
+Client::Client(const std::string& socket_path, std::size_t max_frame_bytes)
+    : max_frame_bytes_(max_frame_bytes) {
+  sockaddr_un addr{};
+  if (socket_path.size() >= sizeof(addr.sun_path)) {
+    throw InvalidArgument("svc: socket path too long: " + socket_path);
+  }
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    throw io::IoError(std::string("svc: socket(): ") + std::strerror(errno));
+  }
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, socket_path.c_str(), sizeof(addr.sun_path) - 1);
+  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const int err = errno;
+    ::close(fd_);
+    fd_ = -1;
+    throw io::IoError("svc: connect(" + socket_path +
+                      "): " + std::strerror(err));
+  }
+}
+
+Client::~Client() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void Client::pump(const char* waiting_for) {
+  auto frame = recv_frame(fd_, max_frame_bytes_);
+  if (!frame) {
+    throw io::IoError(std::string("svc: server closed the connection while "
+                                  "waiting for ") +
+                      waiting_for);
+  }
+  switch (frame->type) {
+    case FrameType::Accepted: {
+      WireReader r(frame->payload);
+      accepted_.push_back(r.u64());
+      r.expect_end("svc accepted frame");
+      break;
+    }
+    case FrameType::Result: {
+      WireReader r(frame->payload);
+      const std::uint64_t id = r.u64();
+      core::AttackResponse resp = decode_response(r);
+      r.expect_end("svc result frame");
+      results_.emplace(id, std::move(resp));
+      break;
+    }
+    case FrameType::CancelAck: {
+      WireReader r(frame->payload);
+      const std::uint64_t id = r.u64();
+      const bool hit = r.u8() != 0;
+      r.expect_end("svc cancel-ack frame");
+      cancel_acks_.emplace_back(id, hit);
+      break;
+    }
+    case FrameType::Pong:
+      ++pongs_;
+      break;
+    case FrameType::ShutdownAck:
+      shutdown_acked_ = true;
+      break;
+    case FrameType::ProtocolError: {
+      WireReader r(frame->payload);
+      throw io::IoError("svc: server protocol error: " + r.str());
+    }
+    default:
+      throw io::IoError("svc: unexpected frame type " +
+                        std::to_string(static_cast<std::uint32_t>(
+                            frame->type)) +
+                        " from server");
+  }
+}
+
+std::uint64_t Client::submit(const core::AttackRequest& request,
+                             const JobOptions& options) {
+  if (!send_frame(fd_, FrameType::Submit,
+                  build_submit_payload(request, options))) {
+    throw io::IoError("svc: connection lost sending a job");
+  }
+  while (accepted_.empty()) pump("job acceptance");
+  const std::uint64_t id = accepted_.front();
+  accepted_.pop_front();
+  return id;
+}
+
+core::AttackResponse Client::wait(std::uint64_t job_id) {
+  for (;;) {
+    const auto it = results_.find(job_id);
+    if (it != results_.end()) {
+      core::AttackResponse resp = std::move(it->second);
+      results_.erase(it);
+      return resp;
+    }
+    pump("a job result");
+  }
+}
+
+core::AttackResponse Client::run(const core::AttackRequest& request,
+                                 const JobOptions& options) {
+  return wait(submit(request, options));
+}
+
+bool Client::cancel(std::uint64_t job_id) {
+  WireWriter w;
+  w.u64(job_id);
+  if (!send_frame(fd_, FrameType::Cancel, w.bytes())) {
+    throw io::IoError("svc: connection lost sending a cancel");
+  }
+  while (cancel_acks_.empty()) pump("a cancel acknowledgement");
+  const auto [id, hit] = cancel_acks_.front();
+  cancel_acks_.pop_front();
+  if (id != job_id) {
+    throw io::IoError("svc: cancel acknowledgement for unexpected job " +
+                      std::to_string(id));
+  }
+  return hit;
+}
+
+bool Client::ping() {
+  if (!send_frame(fd_, FrameType::Ping, {})) return false;
+  try {
+    while (pongs_ == 0) pump("a pong");
+  } catch (const io::IoError&) {
+    return false;
+  }
+  --pongs_;
+  return true;
+}
+
+void Client::shutdown_server() {
+  if (!send_frame(fd_, FrameType::Shutdown, {})) {
+    throw io::IoError("svc: connection lost sending a shutdown");
+  }
+  while (!shutdown_acked_) pump("the shutdown acknowledgement");
+}
+
+}  // namespace aspe::svc

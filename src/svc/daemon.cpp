@@ -1,0 +1,720 @@
+#include "svc/daemon.hpp"
+
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <sstream>
+#include <utility>
+
+#include "scheme/plain_index.hpp"
+#include "sse/adversary_view.hpp"
+
+namespace aspe::svc {
+
+namespace {
+
+/// Per-job recording target: keeps the merged Summary for the response and
+/// forwards it to the daemon-wide sink (when one is configured).
+class ForwardSink final : public obs::Sink {
+ public:
+  explicit ForwardSink(obs::Sink* downstream) : downstream_(downstream) {}
+
+  void consume(const obs::Summary& summary) override {
+    last_ = summary;
+    if (downstream_ != nullptr) downstream_->consume(summary);
+  }
+
+  [[nodiscard]] const obs::Summary& last() const { return last_; }
+
+ private:
+  obs::Sink* downstream_;
+  obs::Summary last_;
+};
+
+/// Corpus identity for the warm caches: path plus size plus mtime. Nullopt
+/// when the file cannot be stat'ed (the subsequent load reports the real
+/// error with the io layer's message).
+std::optional<std::string> stat_fingerprint(const std::string& path) {
+  struct ::stat st {};
+  if (::stat(path.c_str(), &st) != 0) return std::nullopt;
+  std::ostringstream os;
+  os << path << '|' << st.st_size << '|' << st.st_mtim.tv_sec << '.'
+     << st.st_mtim.tv_nsec;
+  return os.str();
+}
+
+core::ExecContext job_context(const JobOptions& opts) {
+  core::ExecContext ctx;
+  ctx.threads = opts.threads;
+  ctx.seed = opts.seed;
+  ctx.deterministic = opts.deterministic;
+  return ctx;
+}
+
+}  // namespace
+
+// ------------------------------------------------------------------ daemon
+
+Daemon::Daemon(DaemonOptions options) : options_(options) {
+  workers_.reserve(options_.workers);
+  for (std::size_t i = 0; i < options_.workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+Daemon::~Daemon() { stop(); }
+
+core::AttackResponse Daemon::refused(core::ErrorCode code,
+                                     const std::string& message) const {
+  core::AttackResponse resp;
+  resp.status = core::AttackStatus::Failed;
+  resp.error = code;
+  resp.message = message;
+  return resp;
+}
+
+std::uint64_t Daemon::submit(core::AttackRequest request, JobOptions options,
+                             Deliver deliver) {
+  const std::uint64_t id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+
+  auto job = std::make_shared<Job>();
+  job->id = id;
+  job->request = std::move(request);
+  job->options = options;
+  job->deliver = std::move(deliver);
+  if (options.deadline_ms > 0) {
+    job->deadline = std::chrono::steady_clock::now() +
+                    std::chrono::milliseconds(options.deadline_ms);
+  }
+
+  bool stopping = false;
+  bool queued = false;
+  {
+    std::lock_guard<std::mutex> lk(queue_mu_);
+    stopping = stopping_;
+    if (!stopping && queue_.size() < options_.queue_capacity) {
+      queue_.push_back(job);
+      queued = true;
+    }
+  }
+  if (queued) {
+    queue_cv_.notify_one();
+    return id;
+  }
+  rejected_.fetch_add(1, std::memory_order_relaxed);
+  job->deliver(id, refused(core::ErrorCode::Budget,
+                           stopping ? "daemon is stopping"
+                                    : "queue full: job refused"));
+  return id;
+}
+
+bool Daemon::cancel(std::uint64_t job_id) {
+  std::shared_ptr<Job> job;
+  {
+    std::lock_guard<std::mutex> lk(queue_mu_);
+    const auto it =
+        std::find_if(queue_.begin(), queue_.end(),
+                     [job_id](const auto& j) { return j->id == job_id; });
+    if (it == queue_.end()) return false;
+    job = *it;
+    queue_.erase(it);
+  }
+  cancelled_.fetch_add(1, std::memory_order_relaxed);
+  job->deliver(job->id, refused(core::ErrorCode::Budget,
+                                "job cancelled before execution"));
+  return true;
+}
+
+bool Daemon::run_one() {
+  std::shared_ptr<Job> job;
+  {
+    std::lock_guard<std::mutex> lk(queue_mu_);
+    if (queue_.empty()) return false;
+    job = std::move(queue_.front());
+    queue_.pop_front();
+  }
+  run_job(std::move(*job));
+  return true;
+}
+
+void Daemon::worker_loop() {
+  for (;;) {
+    std::shared_ptr<Job> job;
+    {
+      std::unique_lock<std::mutex> lk(queue_mu_);
+      queue_cv_.wait(lk, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_, queue drained by stop()
+      job = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    run_job(std::move(*job));
+  }
+}
+
+void Daemon::run_job(Job&& job) {
+  if (job.deadline != std::chrono::steady_clock::time_point{} &&
+      std::chrono::steady_clock::now() > job.deadline) {
+    expired_.fetch_add(1, std::memory_order_relaxed);
+    job.deliver(job.id,
+                refused(core::ErrorCode::Budget,
+                        "deadline of " + std::to_string(job.options.deadline_ms) +
+                            " ms expired before the job started"));
+    return;
+  }
+  core::AttackResponse resp = execute(job.request, job.options);
+  completed_.fetch_add(1, std::memory_order_relaxed);
+  job.deliver(job.id, std::move(resp));
+}
+
+void Daemon::stop() {
+  std::deque<std::shared_ptr<Job>> orphaned;
+  {
+    std::lock_guard<std::mutex> lk(queue_mu_);
+    stopping_ = true;
+    orphaned.swap(queue_);
+  }
+  queue_cv_.notify_all();
+  for (const auto& job : orphaned) {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    job->deliver(job->id, refused(core::ErrorCode::Budget,
+                                  "daemon stopped before execution"));
+  }
+  for (auto& t : workers_) {
+    if (t.joinable()) t.join();
+  }
+  workers_.clear();
+}
+
+DaemonStats Daemon::stats() const {
+  DaemonStats s;
+  s.submitted = submitted_.load(std::memory_order_relaxed);
+  s.completed = completed_.load(std::memory_order_relaxed);
+  s.cancelled = cancelled_.load(std::memory_order_relaxed);
+  s.expired = expired_.load(std::memory_order_relaxed);
+  s.rejected = rejected_.load(std::memory_order_relaxed);
+  s.corpus_cache_hits = corpus_hits_.load(std::memory_order_relaxed);
+  s.rank_cache_hits = rank_hits_.load(std::memory_order_relaxed);
+  s.lep_session_hits = lep_hits_.load(std::memory_order_relaxed);
+  s.snmf_resumes = snmf_resumes_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lk(queue_mu_);
+    s.queue_depth = queue_.size();
+  }
+  return s;
+}
+
+// ------------------------------------------------------------- warm caches
+
+core::CorpusRef Daemon::resolve_ciphers(const core::CorpusRef& ref,
+                                        std::string* fingerprint_out) {
+  if (fingerprint_out != nullptr) fingerprint_out->clear();
+  if (ref.ciphers != nullptr || ref.vecs != nullptr || ref.path.empty()) {
+    return ref;  // inline (no stable identity) or empty (dispatch validates)
+  }
+  const auto fp = stat_fingerprint(ref.path);
+  if (!fp) return ref;  // unreadable: let the loader raise the io error
+  {
+    std::lock_guard<std::mutex> lk(cache_mu_);
+    const auto it = corpus_cache_.find(ref.path);
+    if (it != corpus_cache_.end() && it->second.fingerprint == *fp &&
+        it->second.ciphers != nullptr) {
+      corpus_hits_.fetch_add(1, std::memory_order_relaxed);
+      if (fingerprint_out != nullptr) *fingerprint_out = *fp;
+      core::CorpusRef out;
+      out.ciphers = it->second.ciphers;
+      return out;
+    }
+  }
+  auto loaded = ref.load_ciphers("corpus");
+  {
+    std::lock_guard<std::mutex> lk(cache_mu_);
+    if (corpus_cache_.size() >= options_.max_cache_entries &&
+        corpus_cache_.count(ref.path) == 0) {
+      corpus_cache_.clear();
+    }
+    auto& entry = corpus_cache_[ref.path];
+    if (entry.fingerprint != *fp) entry.vecs.reset();  // file changed on disk
+    entry.fingerprint = *fp;
+    entry.ciphers = loaded;
+  }
+  if (fingerprint_out != nullptr) *fingerprint_out = *fp;
+  core::CorpusRef out;
+  out.ciphers = std::move(loaded);
+  return out;
+}
+
+core::CorpusRef Daemon::resolve_vecs(const core::CorpusRef& ref,
+                                     std::string* fingerprint_out) {
+  if (fingerprint_out != nullptr) fingerprint_out->clear();
+  if (ref.ciphers != nullptr || ref.vecs != nullptr || ref.path.empty()) {
+    return ref;
+  }
+  const auto fp = stat_fingerprint(ref.path);
+  if (!fp) return ref;
+  {
+    std::lock_guard<std::mutex> lk(cache_mu_);
+    const auto it = corpus_cache_.find(ref.path);
+    if (it != corpus_cache_.end() && it->second.fingerprint == *fp &&
+        it->second.vecs != nullptr) {
+      corpus_hits_.fetch_add(1, std::memory_order_relaxed);
+      if (fingerprint_out != nullptr) *fingerprint_out = *fp;
+      core::CorpusRef out;
+      out.vecs = it->second.vecs;
+      return out;
+    }
+  }
+  auto loaded = ref.load_vecs("corpus");
+  {
+    std::lock_guard<std::mutex> lk(cache_mu_);
+    if (corpus_cache_.size() >= options_.max_cache_entries &&
+        corpus_cache_.count(ref.path) == 0) {
+      corpus_cache_.clear();
+    }
+    auto& entry = corpus_cache_[ref.path];
+    if (entry.fingerprint != *fp) entry.ciphers.reset();
+    entry.fingerprint = *fp;
+    entry.vecs = loaded;
+  }
+  if (fingerprint_out != nullptr) *fingerprint_out = *fp;
+  core::CorpusRef out;
+  out.vecs = std::move(loaded);
+  return out;
+}
+
+// --------------------------------------------------------------- execution
+
+core::AttackResponse Daemon::execute(const core::AttackRequest& request,
+                                     const JobOptions& options) {
+  try {
+    return execute_resolved(request, options);
+  } catch (const std::exception& e) {
+    return refused(core::error_code_of(e), e.what());
+  }
+}
+
+core::AttackResponse Daemon::execute_resolved(
+    const core::AttackRequest& request, const JobOptions& options) {
+  core::ExecContext ctx = job_context(options);
+  ForwardSink collector(options_.sink);
+  if (options.want_telemetry || options_.sink != nullptr) {
+    ctx.sink = &collector;
+  }
+
+  core::AttackResponse resp = std::visit(
+      [&](const auto& typed) -> core::AttackResponse {
+        using T = std::decay_t<decltype(typed)>;
+        if constexpr (std::is_same_v<T, core::LepRequest>) {
+          core::LepRequest r = typed;
+          std::string kp_fp, db_fp, td_fp;
+          r.known_plain = resolve_vecs(typed.known_plain, &kp_fp);
+          r.db = resolve_ciphers(typed.db, &db_fp);
+          r.trapdoors = resolve_ciphers(typed.trapdoors, &td_fp);
+          if (!kp_fp.empty() && !db_fp.empty() && !td_fp.empty()) {
+            std::ostringstream key;
+            key << kp_fp << '#' << db_fp << '#' << td_fp
+                << "#tol=" << r.options.independence_tol;
+            return execute_lep_warm(r, key.str(), ctx);
+          }
+          core::AttackRequest resolved;
+          resolved.request = std::move(r);
+          return core::dispatch_attack(resolved, ctx);
+        } else if constexpr (std::is_same_v<T, core::MipRequest>) {
+          core::MipRequest r = typed;
+          r.known_plain = resolve_vecs(typed.known_plain, nullptr);
+          r.db = resolve_ciphers(typed.db, nullptr);
+          r.trapdoors = resolve_ciphers(typed.trapdoors, nullptr);
+          core::AttackRequest resolved;
+          resolved.request = std::move(r);
+          return core::dispatch_attack(resolved, ctx);
+        } else {
+          core::SnmfRequest r = typed;
+          std::string db_fp, td_fp;
+          r.db = resolve_ciphers(typed.db, &db_fp);
+          r.trapdoors = resolve_ciphers(typed.trapdoors, &td_fp);
+          const bool identified = !db_fp.empty() && !td_fp.empty();
+          if (r.reuse_session && identified) {
+            std::ostringstream key;
+            key << db_fp << '#' << td_fp << "#rank=" << r.options.rank
+                << "#restarts=" << r.options.restarts
+                << "#iters=" << r.options.nmf.max_iterations
+                << "#theta=" << r.options.theta << "#seed=" << ctx.seed;
+            return execute_snmf_warm(r, key.str(), ctx);
+          }
+          // Rank-estimate cache: the estimate is deterministic per
+          // (corpus, seed), so replaying a cached rank reproduces the
+          // cold run bit for bit while skipping the SVD.
+          std::string rank_key;
+          std::size_t cached_rank = 0;
+          if (r.options.rank == 0 && identified) {
+            rank_key = db_fp + "#" + td_fp +
+                       "#seed=" + std::to_string(ctx.seed);
+            std::lock_guard<std::mutex> lk(cache_mu_);
+            const auto it = rank_cache_.find(rank_key);
+            if (it != rank_cache_.end()) cached_rank = it->second;
+          }
+          if (cached_rank > 0) {
+            rank_hits_.fetch_add(1, std::memory_order_relaxed);
+            r.options.rank = cached_rank;
+            core::AttackRequest resolved;
+            resolved.request = std::move(r);
+            core::AttackResponse out = core::dispatch_attack(resolved, ctx);
+            if (out.ok()) {
+              const auto rank = static_cast<double>(cached_rank);
+              out.telemetry.counters["snmf.estimated_rank"] = rank;
+              if (auto* res =
+                      std::get_if<core::SnmfAttackResult>(&out.result)) {
+                res->telemetry.counters["snmf.estimated_rank"] = rank;
+              }
+            }
+            return out;
+          }
+          core::AttackRequest resolved;
+          resolved.request = std::move(r);
+          core::AttackResponse out = core::dispatch_attack(resolved, ctx);
+          if (!rank_key.empty() && out.ok()) {
+            const auto rank = static_cast<std::size_t>(
+                out.telemetry.counter("snmf.estimated_rank"));
+            if (rank > 0) {
+              std::lock_guard<std::mutex> lk(cache_mu_);
+              if (rank_cache_.size() >= options_.max_cache_entries &&
+                  rank_cache_.count(rank_key) == 0) {
+                rank_cache_.clear();
+              }
+              rank_cache_[rank_key] = rank;
+            }
+          }
+          return out;
+        }
+      },
+      request.request);
+
+  if (!options.want_telemetry) {
+    resp.telemetry.spans.clear();
+    resp.telemetry.gauges.clear();
+  }
+  return resp;
+}
+
+core::AttackResponse Daemon::execute_lep_warm(const core::LepRequest& req,
+                                              const std::string& key,
+                                              const core::ExecContext& ctx) {
+  std::shared_ptr<LepEntry> entry;
+  {
+    std::lock_guard<std::mutex> lk(cache_mu_);
+    if (lep_sessions_.size() >= options_.max_cache_entries &&
+        lep_sessions_.count(key) == 0) {
+      lep_sessions_.clear();
+    }
+    auto& slot = lep_sessions_[key];
+    if (slot == nullptr) slot = std::make_shared<LepEntry>();
+    entry = slot;
+  }
+
+  // The recording wraps session build *and* assemble; the session itself
+  // runs with a null sink (its spans land in this recording).
+  obs::ScopedRecording rec(ctx.sink);
+  std::lock_guard<std::mutex> lk(entry->mu);
+  if (entry->session.has_value()) {
+    lep_hits_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    const auto known = req.known_plain.load_vecs("lep known-plain");
+    const auto db = req.db.load_ciphers("lep db");
+    const auto trapdoors = req.trapdoors.load_ciphers("lep trapdoors");
+    if (known->size() > db->size()) {
+      throw core::Error(core::ErrorCode::BadInput,
+                        "lep: more known records than ciphertexts");
+    }
+    core::ExecContext session_ctx = ctx;
+    session_ctx.sink = nullptr;
+    try {
+      entry->session.emplace(req.options, session_ctx);
+      std::vector<sse::KnownIndexPair> pairs;
+      pairs.reserve(known->size());
+      for (std::size_t i = 0; i < known->size(); ++i) {
+        pairs.push_back({scheme::make_index((*known)[i]), (*db)[i]});
+      }
+      entry->session->add_known_pairs(pairs);
+      sse::CoaView view;
+      view.cipher_indexes = *db;
+      view.cipher_trapdoors = *trapdoors;
+      entry->session->append_ciphertexts(view);
+    } catch (...) {
+      entry->session.reset();  // never cache a half-built session
+      throw;
+    }
+  }
+
+  core::AttackResponse resp;
+  // result() is bit-identical to run_lep_attack on the same view (the
+  // session contract), so warm hits return exactly the cold answer.
+  auto res = entry->session->result();
+  res.telemetry.absorb(rec.finish());
+  resp.telemetry = res.telemetry;
+  resp.result = std::move(res);
+  resp.status = core::AttackStatus::Ok;
+  resp.error = core::ErrorCode::Ok;
+  return resp;
+}
+
+core::AttackResponse Daemon::execute_snmf_warm(const core::SnmfRequest& req,
+                                               const std::string& key,
+                                               const core::ExecContext& ctx) {
+  std::shared_ptr<CoaEntry> entry;
+  {
+    std::lock_guard<std::mutex> lk(cache_mu_);
+    if (coa_sessions_.size() >= options_.max_cache_entries &&
+        coa_sessions_.count(key) == 0) {
+      coa_sessions_.clear();
+    }
+    auto& slot = coa_sessions_[key];
+    if (slot == nullptr) slot = std::make_shared<CoaEntry>();
+    entry = slot;
+  }
+
+  obs::ScopedRecording rec(ctx.sink);
+  std::lock_guard<std::mutex> lk(entry->mu);
+  const bool fresh = !entry->session.has_value();
+  if (fresh) {
+    const auto db = req.db.load_ciphers("snmf db");
+    const auto trapdoors = req.trapdoors.load_ciphers("snmf trapdoors");
+    core::ExecContext session_ctx = ctx;
+    session_ctx.sink = nullptr;
+    try {
+      entry->session.emplace(req.options, session_ctx);
+      sse::CoaView view;
+      view.cipher_indexes = *db;
+      view.cipher_trapdoors = *trapdoors;
+      entry->session->append_ciphertexts(view);
+      std::size_t rank = req.options.rank;
+      if (rank == 0) {
+        rank = entry->session->estimate_rank(1e-8);
+        if (rank == 0) {
+          throw core::Error(core::ErrorCode::NotReady,
+                            "snmf: rank estimation found a zero matrix");
+        }
+      }
+      entry->session->set_rank(rank);
+      entry->rank = rank;
+    } catch (...) {
+      entry->session.reset();
+      throw;
+    }
+  } else {
+    snmf_resumes_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  core::AttackResponse resp;
+  // First attack of a fresh session == run_snmf_attack bit for bit; later
+  // calls warm-resume (same fixed point, not bitwise — which is why this
+  // path requires the reuse_session opt-in).
+  auto res = entry->session->attack();
+  if (req.options.rank == 0) {
+    res.telemetry.counters["snmf.estimated_rank"] =
+        static_cast<double>(entry->rank);
+  }
+  res.telemetry.absorb(rec.finish());
+  resp.telemetry = res.telemetry;
+  resp.result = std::move(res);
+  resp.status = core::AttackStatus::Ok;
+  resp.error = core::ErrorCode::Ok;
+  return resp;
+}
+
+// ------------------------------------------------------------------ server
+
+struct Server::Connection {
+  int fd = -1;
+  std::mutex write_mu;
+  std::atomic<bool> open{true};
+
+  ~Connection() {
+    if (fd >= 0) ::close(fd);
+  }
+
+  /// Serialized frame write; false (and closed-for-writing) once the peer
+  /// is gone. A daemon worker delivering to a vanished client lands here
+  /// harmlessly — the job itself already ran to completion.
+  bool send(FrameType type, const std::vector<std::uint8_t>& payload) {
+    std::lock_guard<std::mutex> lk(write_mu);
+    if (!open.load(std::memory_order_relaxed)) return false;
+    if (!send_frame(fd, type, payload)) {
+      open.store(false, std::memory_order_relaxed);
+      return false;
+    }
+    return true;
+  }
+};
+
+Server::Server(Daemon& daemon, ServerOptions options)
+    : daemon_(daemon), options_(std::move(options)) {
+  sockaddr_un addr{};
+  if (options_.socket_path.empty()) {
+    throw InvalidArgument("svc: server requires a socket path");
+  }
+  if (options_.socket_path.size() >= sizeof(addr.sun_path)) {
+    throw InvalidArgument("svc: socket path too long: " + options_.socket_path);
+  }
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    throw io::IoError(std::string("svc: socket(): ") + std::strerror(errno));
+  }
+  ::unlink(options_.socket_path.c_str());  // replace a stale socket file
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, options_.socket_path.c_str(),
+               sizeof(addr.sun_path) - 1);
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    const int err = errno;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw io::IoError("svc: bind(" + options_.socket_path +
+                      "): " + std::strerror(err));
+  }
+  if (::listen(listen_fd_, 64) != 0) {
+    const int err = errno;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw io::IoError(std::string("svc: listen(): ") + std::strerror(err));
+  }
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+Server::~Server() { stop(); }
+
+void Server::accept_loop() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // listener shut down by stop()
+    }
+    auto conn = std::make_shared<Connection>();
+    conn->fd = fd;
+    std::lock_guard<std::mutex> lk(mu_);
+    if (stopped_) return;  // conn destructor closes the fd
+    connections_.push_back(conn);
+    handlers_.emplace_back([this, conn] { handle_connection(conn); });
+  }
+}
+
+void Server::handle_connection(const std::shared_ptr<Connection>& conn) {
+  try {
+    for (;;) {
+      auto frame = recv_frame(conn->fd, options_.max_frame_bytes);
+      if (!frame) return;  // clean disconnect at a frame boundary
+      switch (frame->type) {
+        case FrameType::Submit: {
+          WireReader r(frame->payload);
+          JobOptions jopts = decode_job_options(r);
+          core::AttackRequest req = decode_request(r);
+          r.expect_end("svc submit frame");
+          // Accepted must precede Result on the wire even when the daemon
+          // delivers synchronously (queue-full refusal) or a worker
+          // finishes before submit() returns — both deliver paths and the
+          // handler race through this once-guard with the same id.
+          auto accept_once = std::make_shared<std::once_flag>();
+          auto send_accepted = [conn, accept_once](std::uint64_t id) {
+            std::call_once(*accept_once, [&] {
+              WireWriter w;
+              w.u64(id);
+              conn->send(FrameType::Accepted, w.bytes());
+            });
+          };
+          const auto id = daemon_.submit(
+              std::move(req), jopts,
+              [conn, send_accepted](std::uint64_t job_id,
+                                    core::AttackResponse&& resp) {
+                send_accepted(job_id);
+                conn->send(FrameType::Result,
+                           build_result_payload(job_id, resp));
+              });
+          send_accepted(id);
+          break;
+        }
+        case FrameType::Cancel: {
+          WireReader r(frame->payload);
+          const std::uint64_t id = r.u64();
+          r.expect_end("svc cancel frame");
+          const bool hit = daemon_.cancel(id);
+          WireWriter w;
+          w.u64(id);
+          w.u8(hit ? 1 : 0);
+          conn->send(FrameType::CancelAck, w.bytes());
+          break;
+        }
+        case FrameType::Ping: {
+          conn->send(FrameType::Pong, {});
+          break;
+        }
+        case FrameType::Shutdown: {
+          conn->send(FrameType::ShutdownAck, {});
+          {
+            std::lock_guard<std::mutex> lk(mu_);
+            shutdown_requested_ = true;
+          }
+          shutdown_cv_.notify_all();
+          return;
+        }
+        default:
+          throw io::IoError("svc: unexpected frame type " +
+                            std::to_string(static_cast<std::uint32_t>(
+                                frame->type)));
+      }
+    }
+  } catch (const std::exception& e) {
+    // Malformed input: decode state past the first bad byte is unknowable,
+    // so answer (best effort) and drop only this connection.
+    WireWriter w;
+    w.str(e.what());
+    conn->send(FrameType::ProtocolError, w.bytes());
+    conn->open.store(false, std::memory_order_relaxed);
+    ::shutdown(conn->fd, SHUT_RDWR);
+  }
+}
+
+void Server::wait() {
+  std::unique_lock<std::mutex> lk(mu_);
+  shutdown_cv_.wait(lk, [this] { return shutdown_requested_ || stopped_; });
+}
+
+void Server::stop() {
+  std::vector<std::thread> handlers;
+  bool was_stopped = false;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    was_stopped = stopped_;
+    if (!stopped_) {
+      stopped_ = true;
+      shutdown_requested_ = true;
+      // shutdown() unblocks accept()/recv() on Linux; the fds are closed
+      // after the threads holding them have been joined.
+      if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+      for (const auto& weak : connections_) {
+        if (auto conn = weak.lock()) {
+          conn->open.store(false, std::memory_order_relaxed);
+          ::shutdown(conn->fd, SHUT_RDWR);
+        }
+      }
+    }
+    handlers.swap(handlers_);
+  }
+  shutdown_cv_.notify_all();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  for (auto& t : handlers) {
+    if (t.joinable()) t.join();
+  }
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  if (!was_stopped) ::unlink(options_.socket_path.c_str());
+}
+
+}  // namespace aspe::svc

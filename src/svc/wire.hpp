@@ -1,0 +1,155 @@
+// Bounds-checked binary encode/decode primitives for the aspe::svc
+// protocol (svc/protocol.hpp).
+//
+// WireWriter appends fixed-width native-endian scalars and length-prefixed
+// containers to a byte buffer; WireReader walks the same layout and throws
+// io::IoError the moment a read would cross the end of the message —
+// *before* any allocation is sized from an attacker-controlled length
+// field. Every element-count multiplication goes through io::checked_mul,
+// the same guard the io::v2 envelope uses, so an oversized length prefix is
+// rejected as malformed instead of becoming a giant allocation.
+//
+// Native byte order is fine here: both ends of a Unix-domain socket are the
+// same host (the io::v2 container makes the same choice and tags it).
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "io/format.hpp"
+
+namespace aspe::svc {
+
+class WireWriter {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+
+  void u32(std::uint32_t v) { append(&v, sizeof v); }
+
+  void u64(std::uint64_t v) { append(&v, sizeof v); }
+
+  void f64(double v) { append(&v, sizeof v); }
+
+  void str(const std::string& s) {
+    u64(s.size());
+    append(s.data(), s.size());
+  }
+
+  void vec(const Vec& v) {
+    u64(v.size());
+    append(v.data(), v.size() * sizeof(double));
+  }
+
+  void bits(const BitVec& v) {
+    u64(v.size());
+    for (const std::uint8_t b : v) u8(b);
+  }
+
+  [[nodiscard]] const std::vector<std::uint8_t>& bytes() const { return buf_; }
+  [[nodiscard]] std::vector<std::uint8_t> take() { return std::move(buf_); }
+
+ private:
+  void append(const void* p, std::size_t n) {
+    const auto* b = static_cast<const std::uint8_t*>(p);
+    buf_.insert(buf_.end(), b, b + n);
+  }
+
+  std::vector<std::uint8_t> buf_;
+};
+
+class WireReader {
+ public:
+  WireReader(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+
+  explicit WireReader(const std::vector<std::uint8_t>& buf)
+      : WireReader(buf.data(), buf.size()) {}
+
+  [[nodiscard]] std::uint8_t u8() {
+    need(1, "u8");
+    return data_[off_++];
+  }
+
+  [[nodiscard]] std::uint32_t u32() {
+    std::uint32_t v;
+    copy(&v, sizeof v, "u32");
+    return v;
+  }
+
+  [[nodiscard]] std::uint64_t u64() {
+    std::uint64_t v;
+    copy(&v, sizeof v, "u64");
+    return v;
+  }
+
+  [[nodiscard]] double f64() {
+    double v;
+    copy(&v, sizeof v, "f64");
+    return v;
+  }
+
+  /// Read a length-prefixed count and prove that `count * elem_bytes` more
+  /// payload actually exists before the caller allocates anything.
+  [[nodiscard]] std::size_t count(std::size_t elem_bytes, const char* what) {
+    const std::uint64_t n = u64();
+    const std::size_t total =
+        io::checked_mul(static_cast<std::size_t>(n), elem_bytes, what);
+    need(total, what);
+    return static_cast<std::size_t>(n);
+  }
+
+  [[nodiscard]] std::string str() {
+    const std::size_t n = count(1, "svc wire string");
+    std::string s(reinterpret_cast<const char*>(data_ + off_), n);
+    off_ += n;
+    return s;
+  }
+
+  [[nodiscard]] Vec vec() {
+    const std::size_t n = count(sizeof(double), "svc wire vec");
+    Vec v(n);
+    std::memcpy(v.data(), data_ + off_, n * sizeof(double));
+    off_ += n * sizeof(double);
+    return v;
+  }
+
+  [[nodiscard]] BitVec bits() {
+    const std::size_t n = count(1, "svc wire bitvec");
+    BitVec v(n);
+    for (std::size_t i = 0; i < n; ++i) v[i] = data_[off_ + i];
+    off_ += n;
+    return v;
+  }
+
+  [[nodiscard]] std::size_t remaining() const { return size_ - off_; }
+
+  /// Every decoder calls this last: trailing bytes mean the two ends
+  /// disagree about the message layout, which must not pass silently.
+  void expect_end(const char* what) const {
+    if (off_ != size_) {
+      throw io::IoError(std::string(what) + ": trailing bytes in message");
+    }
+  }
+
+ private:
+  void need(std::size_t n, const char* what) const {
+    if (size_ - off_ < n) {
+      throw io::IoError(std::string("svc: truncated message reading ") + what);
+    }
+  }
+
+  void copy(void* out, std::size_t n, const char* what) {
+    need(n, what);
+    std::memcpy(out, data_ + off_, n);
+    off_ += n;
+  }
+
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t off_ = 0;
+};
+
+}  // namespace aspe::svc

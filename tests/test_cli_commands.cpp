@@ -275,10 +275,10 @@ TEST_F(CliPipeline, SnmfSessionMatchesBatchThenResumesAcrossAppends) {
   slice_cipher_db(path("trap.txt"), path("trap_head.txt"), 0, 24);
   slice_cipher_db(path("trap.txt"), path("trap_tail.txt"), 24, 32);
 
-  // --append without --session is a usage error.
+  // --append without --session is a usage error (BadInput -> exit 2).
   EXPECT_EQ(run({"attack-snmf", "--append", "--db=" + path("db_head.txt"),
                  "--trapdoors=" + path("trap_head.txt")}),
-            1);
+            2);
 
   // The first attack of a fresh session is bit-identical to the batch
   // driver on the same inputs: the reconstruction files must match byte
@@ -572,13 +572,13 @@ TEST_F(CliPipeline, ConvertRejectsBadFlags) {
       << err_;
   EXPECT_EQ(run({"convert", "--in=" + path("p.txt"),
                  "--out=" + path("p.bin")}),
-            1);  // --format is required
+            2);  // --format is required
   EXPECT_EQ(run({"convert", "--in=" + path("p.txt"),
                  "--out=" + path("p.bin"), "--format=json"}),
-            1);  // unknown format name
+            2);  // unknown format name
   EXPECT_EQ(run({"convert", "--in=" + path("missing.txt"),
                  "--out=" + path("p.bin"), "--format=bin"}),
-            1);
+            2);
 }
 
 TEST_F(CliPipeline, HelpAndUnknownCommand) {
@@ -590,11 +590,12 @@ TEST_F(CliPipeline, HelpAndUnknownCommand) {
 }
 
 TEST_F(CliPipeline, MissingFlagsFailCleanly) {
-  EXPECT_EQ(run({"keygen"}), 1);              // no --dim/--key
-  EXPECT_EQ(run({"encrypt"}), 1);             // no --key
-  EXPECT_EQ(run({"attack-snmf"}), 1);         // no inputs
+  // Bad or missing input maps onto ErrorCode::BadInput -> exit 2.
+  EXPECT_EQ(run({"keygen"}), 2);              // no --dim/--key
+  EXPECT_EQ(run({"encrypt"}), 2);             // no --key
+  EXPECT_EQ(run({"attack-snmf"}), 2);         // no inputs
   EXPECT_EQ(run({"score", "--db=/nonexistent/x", "--trapdoors=/nonexistent/y"}),
-            1);
+            2);
 }
 
 TEST_F(CliPipeline, KeyMismatchDetectedByDimensions) {
@@ -604,7 +605,62 @@ TEST_F(CliPipeline, KeyMismatchDetectedByDimensions) {
   // Encrypting 6-dimensional plaintext under a 4-dimensional key must fail.
   EXPECT_EQ(run({"encrypt", "--key=" + path("k4.txt"),
                  "--plain=" + path("p6.txt"), "--out=" + path("db.txt")}),
-            1);
+            2);
+}
+
+// The documented exit-code contract (docs/api.md): every command funnels
+// errors through one handler that classifies onto core::ErrorCode and maps
+// to a distinct exit code. Pins 0 (ok), 2 (bad input) and 4 (preconditions
+// not met yet); 3 (attack-mip no-solution) is pinned by the MIP pipeline
+// test and 5 (budget) by the svc deadline/queue tests.
+TEST_F(CliPipeline, ExitCodesFollowErrorTaxonomy) {
+  const std::size_t d = 5;
+  ASSERT_EQ(run({"keygen", "--dim=" + std::to_string(d + 1),
+                 "--key=" + path("key.txt")}),
+            0)
+      << err_;
+  ASSERT_EQ(run({"gen-data", "--d=" + std::to_string(d), "--real",
+                 "--count=12", "--out=" + path("records.txt")}),
+            0)
+      << err_;
+  ASSERT_EQ(run({"make-index", "--plain=" + path("records.txt"),
+                 "--out=" + path("indexes.txt")}),
+            0)
+      << err_;
+  ASSERT_EQ(run({"encrypt", "--key=" + path("key.txt"),
+                 "--plain=" + path("indexes.txt"), "--out=" + path("db.txt")}),
+            0)
+      << err_;
+  ASSERT_EQ(run({"make-trapdoor", "--plain=" + path("records.txt"),
+                 "--out=" + path("raw_td.txt")}),
+            0)
+      << err_;
+  ASSERT_EQ(run({"trapdoor", "--key=" + path("key.txt"),
+                 "--plain=" + path("raw_td.txt"), "--out=" + path("td.txt")}),
+            0)
+      << err_;
+  // Two known pairs cannot span a 6-dimensional index space: the LEP
+  // preconditions are not met *yet* -> NotReady -> exit 4.
+  {
+    std::ostringstream leak;
+    auto r = io::open_reader(path("records.txt"))->read_vecs();
+    auto w = io::TextCodec::writer(leak);
+    w->write_vec(r[0]);
+    w->write_vec(r[1]);
+    w->finish();
+    std::ofstream f(path("leak2.txt"));
+    f << leak.str();
+  }
+  EXPECT_EQ(run({"attack-lep", "--known-plain=" + path("leak2.txt"),
+                 "--db=" + path("db.txt"), "--trapdoors=" + path("td.txt"),
+                 "--out-records=" + path("r.txt"),
+                 "--out-queries=" + path("q.txt")}),
+            4);
+  // A trapdoor id past the corpus is bad input -> exit 2.
+  EXPECT_EQ(run({"attack-mip", "--known-plain=" + path("records.txt"),
+                 "--db=" + path("db.txt"), "--trapdoors=" + path("td.txt"),
+                 "--trapdoor-id=999", "--out=" + path("m.txt")}),
+            2);
 }
 
 }  // namespace

@@ -57,4 +57,12 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)" \
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)" \
   -R "MipPropagation|MipBudget|Mip\.|Presolve"
 
+# Seventh pre-pass over the svc daemon: framed protocol decoding walks
+# attacker-controlled length prefixes, connection handlers hand shared_ptr
+# connections to worker-thread delivery lambdas, and the server teardown
+# shuts sockets down before joining — the newest lifetime-sensitive code
+# (PR 9). The suites include deliberately malformed frames.
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)" \
+  -R "Svc"
+
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"

@@ -51,4 +51,11 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)" \
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)" \
   -R "MipPropagation|MipBudget"
 
+# Seventh pre-pass: the svc daemon is the most concurrent code in the tree —
+# worker threads against the bounded queue, per-connection handler threads
+# delivering results under per-connection write locks, warm caches shared
+# across jobs, and a shutdown path that races accept/recv against teardown.
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)" \
+  -R "Svc"
+
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"

@@ -217,6 +217,9 @@ core::SnmfRequest build_snmf_request(const CliFlags& flags) {
       static_cast<std::size_t>(flags.get_int("restarts", 3));
   req.options.nmf.max_iterations =
       static_cast<std::size_t>(flags.get_int("iters", 250));
+  req.options.rank_tol = flags.get_double("rank-tol", req.options.rank_tol);
+  require(req.options.rank_tol > 0,
+          "attack-snmf: --rank-tol must be positive");
   req.reuse_session = flags.get_bool("reuse-session", false);
   return req;
 }
@@ -243,9 +246,14 @@ void report_estimated_rank(const core::AttackResponse& resp,
 // Shared by the in-process attack commands and `submit` (daemon results),
 // so a job produces byte-identical output files either way.
 
+// `suffix` is appended to every output path — "" for the single-job
+// commands, ".jobN" when `submit` fans one invocation out over several
+// inputs and each job needs its own files.
+
 void write_snmf_outputs(const core::SnmfAttackResult& res,
-                        const CliFlags& flags, std::ostream& out) {
-  const std::string out_path = required_output(flags, "out");
+                        const CliFlags& flags, std::ostream& out,
+                        const std::string& suffix = "") {
+  const std::string out_path = required_output(flags, "out") + suffix;
   if (output_format(flags) == io::Format::Binary) {
     // One BitVecList container: the reconstructed indexes followed by the
     // reconstructed trapdoors (the counts are reported on stdout; the text
@@ -269,12 +277,12 @@ void write_snmf_outputs(const core::SnmfAttackResult& res,
 }
 
 void write_lep_outputs(const core::LepResult& res, const CliFlags& flags,
-                       std::ostream& out) {
+                       std::ostream& out, const std::string& suffix = "") {
   const io::Format fmt = output_format(flags);
-  auto rec_w = io::open_writer(required(flags, "out-records"), fmt);
+  auto rec_w = io::open_writer(required(flags, "out-records") + suffix, fmt);
   for (const auto& v : res.records) rec_w->write_vec(v);
   rec_w->finish();
-  auto query_w = io::open_writer(required(flags, "out-queries"), fmt);
+  auto query_w = io::open_writer(required(flags, "out-queries") + suffix, fmt);
   for (const auto& v : res.queries) query_w->write_vec(v);
   query_w->finish();
   out << "LEP attack: recovered " << res.records.size() << " records and "
@@ -282,13 +290,14 @@ void write_lep_outputs(const core::LepResult& res, const CliFlags& flags,
 }
 
 int write_mip_outputs(const core::AttackResponse& resp, const CliFlags& flags,
-                      std::ostream& out) {
+                      std::ostream& out, const std::string& suffix = "") {
   if (resp.status == core::AttackStatus::NoSolution) {
     out << "MIP attack: no feasible query found within limits\n";
     return 3;
   }
   const auto& res = resp.mip();
-  auto w = io::open_writer(required_output(flags, "out"), output_format(flags));
+  auto w = io::open_writer(required_output(flags, "out") + suffix,
+                           output_format(flags));
   w->write_bitvec(res.query);
   w->finish();
   out << "MIP attack: reconstructed query with " << popcount(res.query)
@@ -676,6 +685,10 @@ int cmd_serve(const CliFlags& flags, std::ostream& out) {
   const int queue = flags.get_int("queue", 64);
   require(queue > 0, "serve: --queue must be positive");
   dopt.queue_capacity = static_cast<std::size_t>(queue);
+  const int budget_mb = flags.get_int("memory-budget-mb", 0);
+  require(budget_mb >= 0, "serve: --memory-budget-mb must be >= 0");
+  dopt.memory_budget_bytes =
+      static_cast<std::size_t>(budget_mb) * 1024 * 1024;
   dopt.sink = cobs.sink();
   if (flags.has("threads")) {
     par::set_default_threads(flags.get_threads(1));
@@ -698,7 +711,10 @@ int cmd_serve(const CliFlags& flags, std::ostream& out) {
       << " completed, " << st.rejected << " rejected, " << st.expired
       << " expired, " << st.cancelled << " cancelled; "
       << st.corpus_cache_hits << " corpus / " << st.rank_cache_hits
-      << " rank / " << st.lep_session_hits << " session cache hits)\n";
+      << " rank / " << st.lep_session_hits << " session cache hits; "
+      << st.batched_jobs << " jobs fused into " << st.batches_formed
+      << " sweeps, " << st.score_cache_hits << " score / "
+      << st.basis_cache_hits << " basis cache hits)\n";
   cobs.finish(core::AttackTelemetry{}, out);
   return 0;
 }
@@ -734,20 +750,12 @@ core::AttackRequest inline_request(core::AttackRequest req) {
   return req;
 }
 
-int cmd_submit(const CliFlags& flags, std::ostream& out) {
-  svc::Client client(required(flags, "socket"));
-  if (flags.get_bool("ping", false)) {
-    require(client.ping(), "submit: daemon did not answer the ping");
-    out << "pong\n";
-    return 0;
-  }
-  if (flags.get_bool("shutdown", false)) {
-    client.shutdown_server();
-    out << "svc: daemon shutting down\n";
-    return 0;
-  }
-
-  const std::string attack = required(flags, "attack");
+/// Build the request `submit` describes with its flags. `db_path`, when
+/// non-empty, overrides the database corpus — the multi-input path builds
+/// one request per `--input` entry this way, all other flags shared.
+core::AttackRequest build_submit_request(const std::string& attack,
+                                         const CliFlags& flags,
+                                         const std::string& db_path) {
   core::AttackRequest req;
   if (attack == "lep") {
     req.request = build_lep_request(flags);
@@ -758,7 +766,51 @@ int cmd_submit(const CliFlags& flags, std::ostream& out) {
   } else {
     throw InvalidArgument("submit: unknown --attack kind: " + attack);
   }
+  if (!db_path.empty()) {
+    std::visit(
+        [&](auto& typed) { typed.db = core::CorpusRef::from_path(db_path); },
+        req.request);
+  }
   if (flags.get_bool("inline", false)) req = inline_request(std::move(req));
+  return req;
+}
+
+/// One human line summarizing a stats-bearing Pong.
+void print_daemon_stats(const svc::DaemonStats& st, std::ostream& out) {
+  out << "pong: " << st.submitted << " submitted, " << st.completed
+      << " completed, " << st.rejected << " rejected, " << st.queue_depth
+      << " queued; " << st.batched_jobs << " jobs fused into "
+      << st.batches_formed << " sweeps, " << st.affinity_hits
+      << " affinity hits; cache hits: " << st.corpus_cache_hits
+      << " corpus, " << st.rank_cache_hits << " rank, "
+      << st.lep_session_hits << " session, " << st.basis_cache_hits
+      << " basis, " << st.score_cache_hits << " score ("
+      << st.score_cache_misses << " misses, " << st.score_cache_evictions
+      << " evicted, " << st.score_cache_bytes << " bytes resident)\n";
+}
+
+int cmd_submit(const CliFlags& flags, std::ostream& out) {
+  svc::Client client(required(flags, "socket"));
+  if (flags.get_bool("ping", false)) {
+    // Stats-bearing daemons answer the Pong with a DaemonStats payload; a
+    // bare "pong" covers servers that predate it.
+    const auto stats = client.ping_stats();
+    if (stats) {
+      print_daemon_stats(*stats, out);
+    } else {
+      require(client.ping(), "submit: daemon did not answer the ping");
+      out << "pong\n";
+    }
+    return 0;
+  }
+  if (flags.get_bool("shutdown", false)) {
+    client.shutdown_server();
+    out << "svc: daemon shutting down\n";
+    return 0;
+  }
+
+  const std::string attack = required(flags, "attack");
+  const std::vector<std::string> inputs = flags.get_string_list("input", {});
 
   CommandObs cobs(flags);  // metrics only: spans are recorded daemon-side
   svc::JobOptions jopts;
@@ -772,18 +824,56 @@ int cmd_submit(const CliFlags& flags, std::ostream& out) {
       static_cast<std::uint64_t>(flags.get_int("deadline-ms", 0));
   jopts.want_telemetry = cobs.sink() != nullptr;
 
-  core::AttackResponse resp = client.run(req, jopts);
-  require_ok(resp);
-  if (attack == "snmf") report_estimated_rank(resp, out);
-  cobs.finish(resp.telemetry, out);
-  if (attack == "lep") {
-    write_lep_outputs(resp.lep(), flags, out);
-  } else if (attack == "mip") {
-    return write_mip_outputs(resp, flags, out);
-  } else {
-    write_snmf_outputs(resp.snmf(), flags, out);
+  if (inputs.size() <= 1) {
+    core::AttackRequest req = build_submit_request(attack, flags, "");
+    core::AttackResponse resp = client.run(req, jopts);
+    require_ok(resp);
+    if (attack == "snmf") report_estimated_rank(resp, out);
+    cobs.finish(resp.telemetry, out);
+    if (attack == "lep") {
+      write_lep_outputs(resp.lep(), flags, out);
+    } else if (attack == "mip") {
+      return write_mip_outputs(resp, flags, out);
+    } else {
+      write_snmf_outputs(resp.snmf(), flags, out);
+    }
+    return 0;
   }
-  return 0;
+
+  // Several --input databases: one job per input, shipped in a single
+  // SubmitBatch frame over this connection so the daemon's scheduler can
+  // coalesce compatible jobs. Each job writes its own output files (the
+  // --out paths suffixed ".jobN") and reports its own status line; the
+  // command's exit code is the first failing job's.
+  std::vector<svc::BatchJob> jobs;
+  jobs.reserve(inputs.size());
+  for (const std::string& input : inputs) {
+    jobs.push_back({build_submit_request(attack, flags, input), jopts});
+  }
+  const std::vector<std::uint64_t> ids = client.submit_batch(jobs);
+  int exit_code = 0;
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    core::AttackResponse resp = client.wait(ids[i]);
+    const std::string suffix = ".job" + std::to_string(i);
+    out << "job " << i << " (" << inputs[i] << "): ";
+    if (!resp.ok()) {
+      out << "error: " << resp.message << "\n";
+      if (exit_code == 0) exit_code = core::exit_code_for(resp.error);
+      continue;
+    }
+    if (attack == "snmf") report_estimated_rank(resp, out);
+    int job_code = 0;
+    if (attack == "lep") {
+      write_lep_outputs(resp.lep(), flags, out, suffix);
+    } else if (attack == "mip") {
+      job_code = write_mip_outputs(resp, flags, out, suffix);
+    } else {
+      write_snmf_outputs(resp.snmf(), flags, out, suffix);
+    }
+    if (exit_code == 0) exit_code = job_code;
+  }
+  cobs.finish(core::AttackTelemetry{}, out);
+  return exit_code;
 }
 
 int cmd_help(std::ostream& out) {
@@ -805,6 +895,7 @@ int cmd_help(std::ostream& out) {
          "  score       --db=db.txt --trapdoors=trap.txt\n"
          "  attack-snmf --db=db.txt --trapdoors=trap.txt --out=recon.txt\n"
          "              [--rank=N (estimated from rank(R) when omitted)]\n"
+         "              [--rank-tol=T (rank-estimate tolerance, default 1e-8)]\n"
          "              [--restarts=L] [--iters=N] [--seed=S]\n"
          "              [--session=s.txt [--append]]\n"
          "  attack-lep  --known-plain=leak.txt --db=db.txt --trapdoors=trap.txt\n"
@@ -818,12 +909,17 @@ int cmd_help(std::ostream& out) {
          "              (--max-nodes caps branch-and-bound nodes; the attack\n"
          "               reports NodeLimit when the cap trips first)\n"
          "  serve       --socket=PATH [--workers=N] [--queue=N]\n"
+         "              [--memory-budget-mb=N (score-matrix cache budget)]\n"
          "              (attack-service daemon on a Unix socket; warm corpus/\n"
-         "               session caches, bounded job queue — docs/svc.md)\n"
+         "               session caches, cache-affine batching scheduler,\n"
+         "               bounded job queue — docs/svc.md)\n"
          "  submit      --socket=PATH --attack={lep,mip,snmf} <attack flags>\n"
          "              [--deadline-ms=N] [--inline] | --ping | --shutdown\n"
          "              (ship one job to a running daemon; same flags and\n"
-         "               same output files as the attack-* commands)\n"
+         "               same output files as the attack-* commands;\n"
+         "               --input=a,b,c ships one job per database in a\n"
+         "               single batch — outputs suffixed .jobN, one status\n"
+         "               line each; --ping prints the daemon's stats line)\n"
          "  help\n"
          "\n"
          "Every attack-* command also accepts the global --threads=N flag:\n"

@@ -86,6 +86,14 @@ std::vector<double> CliFlags::get_double_list(
                             [](const std::string& s) { return std::stod(s); });
 }
 
+std::vector<std::string> CliFlags::get_string_list(
+    const std::string& name, const std::vector<std::string>& fallback) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  return parse_list<std::string>(it->second,
+                                 [](const std::string& s) { return s; });
+}
+
 std::size_t CliFlags::get_threads(std::size_t fallback) const {
   const auto it = values_.find("threads");
   if (it == values_.end()) return fallback;

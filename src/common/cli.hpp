@@ -34,6 +34,10 @@ class CliFlags {
   [[nodiscard]] std::vector<double> get_double_list(
       const std::string& name, const std::vector<double>& fallback) const;
 
+  /// Comma-separated list of strings, e.g. --input=a.txt,b.txt,c.txt.
+  [[nodiscard]] std::vector<std::string> get_string_list(
+      const std::string& name, const std::vector<std::string>& fallback) const;
+
   /// The global `--threads N` flag: N >= 1 is an explicit width, `--threads 0`
   /// (or `--threads all`) means every hardware thread. Returns `fallback`
   /// when the flag is absent; commands default to 1 so existing invocations

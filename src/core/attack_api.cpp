@@ -127,7 +127,8 @@ AttackResponse dispatch_lep(const LepRequest& req, const ExecContext& ctx) {
   return resp;
 }
 
-AttackResponse dispatch_mip(const MipRequest& req, const ExecContext& ctx) {
+AttackResponse dispatch_mip(const MipRequest& req, const ExecContext& ctx,
+                            const DispatchHooks& hooks) {
   const auto known = req.known_plain.load_vecs("mip known-plain");
   const auto db = req.db.load_ciphers("mip db");
   const auto trapdoors = req.trapdoors.load_ciphers("mip trapdoors");
@@ -155,7 +156,7 @@ AttackResponse dispatch_mip(const MipRequest& req, const ExecContext& ctx) {
 
   AttackResponse resp;
   auto res = run_mip_attack(pairs, (*trapdoors)[req.trapdoor_id], req.mu,
-                            req.sigma, req.options, ctx);
+                            req.sigma, req.options, ctx, hooks.mip_warm);
   resp.status = res.found ? AttackStatus::Ok : AttackStatus::NoSolution;
   resp.error = ErrorCode::Ok;
   resp.telemetry = res.telemetry;
@@ -163,24 +164,31 @@ AttackResponse dispatch_mip(const MipRequest& req, const ExecContext& ctx) {
   return resp;
 }
 
-AttackResponse dispatch_snmf(const SnmfRequest& req, const ExecContext& ctx) {
+AttackResponse dispatch_snmf(const SnmfRequest& req, const ExecContext& ctx,
+                             const DispatchHooks& hooks) {
   const auto db = req.db.load_ciphers("snmf db");
   const auto trapdoors = req.trapdoors.load_ciphers("snmf trapdoors");
 
-  sse::CoaView view;
-  view.cipher_indexes = *db;
-  view.cipher_trapdoors = *trapdoors;
+  // Build (or fetch) the score matrix exactly once per request: the rank
+  // estimate and the restart sweep read the same R. Pre-hooks dispatch
+  // built it twice on the rank == 0 path — once for the estimate, once
+  // inside run_snmf_attack(view, ...). The build is deterministic at any
+  // thread count, so a cache hit is bit-identical to a rebuild.
+  std::shared_ptr<const linalg::Matrix> scores;
+  const auto build = [&] {
+    return build_score_matrix(*db, *trapdoors, ctx.threads);
+  };
+  if (hooks.score_cache != nullptr && !hooks.score_key.empty()) {
+    scores = hooks.score_cache->get_or_build(
+        hooks.score_key, ctx.memory_budget_bytes, build);
+  } else {
+    scores = std::make_shared<const linalg::Matrix>(build());
+  }
 
   SnmfAttackOptions options = req.options;
   bool estimated = false;
   if (options.rank == 0) {
-    // No rank given: estimate d from rank(R), exactly as the CLI always
-    // did before dispatch existed. The temporary score matrix is donated
-    // to the SVD (rvalue overload).
-    options.rank = estimate_latent_dimension(
-        build_score_matrix(view.cipher_indexes, view.cipher_trapdoors,
-                           ctx.threads),
-        1e-8, ctx);
+    options.rank = estimate_latent_dimension(*scores, options.rank_tol, ctx);
     if (options.rank == 0) {
       throw Error(ErrorCode::NotReady,
                   "snmf: rank estimation found a zero matrix");
@@ -189,7 +197,7 @@ AttackResponse dispatch_snmf(const SnmfRequest& req, const ExecContext& ctx) {
   }
 
   AttackResponse resp;
-  auto res = run_snmf_attack(view, options, ctx);
+  auto res = run_snmf_attack(*scores, options, ctx);
   if (estimated) {
     // Recorded whether or not a sink was attached, like the driver's own
     // counters, so callers (the CLI's report line, the daemon's rank cache)
@@ -208,6 +216,12 @@ AttackResponse dispatch_snmf(const SnmfRequest& req, const ExecContext& ctx) {
 
 AttackResponse dispatch_attack(const AttackRequest& request,
                                const ExecContext& ctx) {
+  return dispatch_attack(request, ctx, DispatchHooks{});
+}
+
+AttackResponse dispatch_attack(const AttackRequest& request,
+                               const ExecContext& ctx,
+                               const DispatchHooks& hooks) {
   try {
     return std::visit(
         [&](const auto& req) -> AttackResponse {
@@ -215,9 +229,9 @@ AttackResponse dispatch_attack(const AttackRequest& request,
           if constexpr (std::is_same_v<T, LepRequest>) {
             return dispatch_lep(req, ctx);
           } else if constexpr (std::is_same_v<T, MipRequest>) {
-            return dispatch_mip(req, ctx);
+            return dispatch_mip(req, ctx, hooks);
           } else {
-            return dispatch_snmf(req, ctx);
+            return dispatch_snmf(req, ctx, hooks);
           }
         },
         request.request);

@@ -34,6 +34,7 @@
 #include "core/exec_context.hpp"
 #include "core/lep.hpp"
 #include "core/mip_attack.hpp"
+#include "core/score_cache.hpp"
 #include "core/snmf_attack.hpp"
 #include "scheme/split_encryptor.hpp"
 
@@ -214,6 +215,28 @@ struct AttackResponse {
   }
 };
 
+// ------------------------------------------------------------------- hooks
+
+/// Optional warm state a long-lived host (the svc daemon) threads through
+/// dispatch. Everything here is an accelerator, never an input: a dispatch
+/// with hooks returns bit-identical results to one without (the MIP warm
+/// state differs only in skipped simplex pivots, which canonicalization
+/// makes invisible — see core::MipWarmState).
+struct DispatchHooks {
+  /// Shared score-matrix cache for SNMF. Only consulted when `score_key` is
+  /// non-empty; the key must identify the (db, trapdoors) corpus pair
+  /// *content* — the daemon keys on stat fingerprints. The per-call
+  /// ctx.memory_budget_bytes bounds the cache's resident bytes.
+  ScoreMatrixCache* score_cache = nullptr;
+  std::string score_key;
+
+  /// Persistent MIP basis + cut-pool state, keyed by the caller (the daemon
+  /// keys on corpus fingerprints + attack parameters). Dispatch hands it to
+  /// the 7-arg run_mip_attack, which self-invalidates on model-digest
+  /// mismatch. The caller owns lifetime and cross-job locking.
+  MipWarmState* mip_warm = nullptr;
+};
+
 /// The single entry point the CLI, the daemon and the bench harnesses route
 /// through: resolve corpora, assemble the adversary view, validate the
 /// paper's preconditions, run the attack kernel, and map any failure onto
@@ -221,8 +244,15 @@ struct AttackResponse {
 /// the outcome. Results are bit-identical to calling the per-attack free
 /// functions on the same resolved inputs (dispatch adds only corpus
 /// resolution and, for SNMF with rank == 0, the same rank estimation the
-/// CLI used to perform).
+/// CLI used to perform — at options.rank_tol, over a score matrix built
+/// once and shared with the factorization).
 [[nodiscard]] AttackResponse dispatch_attack(const AttackRequest& request,
                                              const ExecContext& ctx = {});
+
+/// Hook-carrying overload for warm hosts (see DispatchHooks). Passing a
+/// default-constructed hooks object is exactly the 2-arg form.
+[[nodiscard]] AttackResponse dispatch_attack(const AttackRequest& request,
+                                             const ExecContext& ctx,
+                                             const DispatchHooks& hooks);
 
 }  // namespace aspe::core

@@ -16,6 +16,7 @@
 // DESIGN.md §4.1).
 #pragma once
 
+#include <cstdint>
 #include <optional>
 
 #include "core/exec_context.hpp"
@@ -91,6 +92,29 @@ struct MipAttackResult {
   AttackTelemetry telemetry;
 };
 
+/// Persistent cross-job warm state for run_mip_attack: the root-LP basis of
+/// the primal heuristic plus the branch-and-bound root snapshot
+/// (opt::WarmCutPool). Keyed by a digest over the *full* numeric content of
+/// the built model — two jobs warm-share state only when their models are
+/// identical down to every coefficient bit, which (with a deterministic
+/// solver) makes the warm answer bit-identical to the cold one. A digest
+/// mismatch resets the state and re-exports from the current job.
+///
+/// The attack canonicalizes its root LP whether or not a state is attached
+/// (basis exported, restored, re-solved warm), so solo runs, exporting runs
+/// and attaching runs all follow one pivot sequence.
+struct MipWarmState {
+  std::uint64_t model_digest = 0;
+  bool has_root_basis = false;
+  opt::BasisState root_basis;  // heuristic root-LP basis
+  opt::WarmCutPool bnb;        // branch-and-bound root snapshot
+};
+
+/// FNV-1a digest over a model's complete numeric content (variable bounds,
+/// types, constraint terms, senses, right-hand sides, objective). Used to
+/// key MipWarmState.
+[[nodiscard]] std::uint64_t mip_model_digest(const opt::Model& model);
+
 /// Attack one ciphertext trapdoor using the KPA view's known pairs.
 /// `mu` and `sigma` are MRSE's public noise parameters.
 ///
@@ -108,6 +132,15 @@ struct MipAttackResult {
     const std::vector<sse::KnownBinaryPair>& known_pairs,
     const scheme::CipherPair& cipher_trapdoor, double mu, double sigma,
     const MipAttackOptions& options = {}, const ExecContext& ctx = {});
+
+/// Variant with a persistent warm state (see MipWarmState): a repeated job
+/// whose model digest matches skips the cold root LP and the first root cut
+/// loop, bit-identically. Pass nullptr for the plain behaviour.
+[[nodiscard]] MipAttackResult run_mip_attack(
+    const std::vector<sse::KnownBinaryPair>& known_pairs,
+    const scheme::CipherPair& cipher_trapdoor, double mu, double sigma,
+    const MipAttackOptions& options, const ExecContext& ctx,
+    MipWarmState* warm);
 
 /// Convenience: attack the j-th observed trapdoor of an MRSE KPA view.
 [[nodiscard]] MipAttackResult run_mip_attack(

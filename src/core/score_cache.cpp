@@ -1,0 +1,107 @@
+#include "core/score_cache.hpp"
+
+#include <utility>
+#include <vector>
+
+#include "obs/obs.hpp"
+
+namespace aspe::core {
+
+namespace {
+
+std::size_t matrix_bytes(const linalg::Matrix& m) {
+  return m.rows() * m.cols() * sizeof(double);
+}
+
+}  // namespace
+
+std::shared_ptr<const linalg::Matrix> ScoreMatrixCache::get_or_build(
+    const std::string& key, std::size_t memory_budget_bytes,
+    const Builder& build) {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    auto it = entries_.find(key);
+    if (it == entries_.end()) break;
+    if (it->second.matrix != nullptr) {
+      ++stats_.hits;
+      it->second.last_use = ++tick_;
+      obs::counter_add("score_cache.hits", 1.0);
+      return it->second.matrix;
+    }
+    // Another caller is building this key: wait for it rather than paying
+    // for a duplicate O(n^2 d) build. The builder may also fail and erase
+    // the entry, in which case the loop falls through to a fresh build.
+    build_cv_.wait(lock);
+  }
+
+  ++stats_.misses;
+  obs::counter_add("score_cache.misses", 1.0);
+  entries_.emplace(key, Entry{});  // building marker
+  lock.unlock();
+
+  std::shared_ptr<const linalg::Matrix> built;
+  try {
+    built = std::make_shared<const linalg::Matrix>(build());
+  } catch (...) {
+    lock.lock();
+    entries_.erase(key);
+    build_cv_.notify_all();
+    throw;
+  }
+
+  lock.lock();
+  Entry& entry = entries_[key];
+  entry.matrix = built;
+  entry.bytes = matrix_bytes(*built);
+  entry.last_use = ++tick_;
+  stats_.resident_bytes += entry.bytes;
+  if (memory_budget_bytes > 0) evict_to_budget(memory_budget_bytes);
+  build_cv_.notify_all();
+  return built;
+}
+
+std::shared_ptr<const linalg::Matrix> ScoreMatrixCache::peek(
+    const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(key);
+  if (it == entries_.end() || it->second.matrix == nullptr) return nullptr;
+  return it->second.matrix;
+}
+
+ScoreMatrixCache::Stats ScoreMatrixCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void ScoreMatrixCache::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (it->second.matrix == nullptr) {
+      ++it;  // never drop a building marker from under its builder
+    } else {
+      stats_.resident_bytes -= it->second.bytes;
+      it = entries_.erase(it);
+    }
+  }
+}
+
+void ScoreMatrixCache::evict_to_budget(std::size_t budget) {
+  while (stats_.resident_bytes > budget) {
+    auto victim = entries_.end();
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+      if (it->second.matrix == nullptr) continue;          // building
+      if (it->second.matrix.use_count() > 1) continue;     // held by a job
+      if (victim == entries_.end() ||
+          it->second.last_use < victim->second.last_use) {
+        victim = it;
+      }
+    }
+    if (victim == entries_.end()) return;  // everything resident is in use
+    stats_.resident_bytes -= victim->second.bytes;
+    ++stats_.evictions;
+    obs::counter_add("score_cache.evictions", 1.0);
+    entries_.erase(victim);
+  }
+}
+
+}  // namespace aspe::core

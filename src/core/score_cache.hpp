@@ -1,0 +1,83 @@
+// Shared, fingerprint-keyed cache of score matrices (R[i][j] = I'_i^T T'_j).
+//
+// Every SNMF-family consumer of a corpus pair — the rank estimate, the
+// restart sweep, a CoaSession being warmed up — needs the same O(n^2 d)
+// score matrix. A daemon serving many jobs over one corpus rebuilds it per
+// job without this cache; with it, the first job builds and every later job
+// (and every stage within one job) shares the build through a
+// shared_ptr<const Matrix>.
+//
+// Contract (docs/api.md, "Score-matrix cache"):
+//   * Keys are caller-chosen strings; the daemon keys on corpus
+//     *fingerprints* (path + size + mtime), so an edited corpus never
+//     resurfaces a stale matrix.
+//   * get_or_build returns a shared_ptr that stays valid for as long as the
+//     caller holds it, eviction or not.
+//   * Eviction is memory-budget-aware and refcount-safe: only entries no
+//     caller holds (use_count() == 1) are evicted, least-recently-used
+//     first, until resident bytes fit the per-call budget
+//     (ExecContext::memory_budget_bytes; 0 = unbounded).
+//   * The cache stores whatever the builder returns — it never alters a
+//     matrix — so a cache hit is bit-identical to a rebuild by construction
+//     (score-matrix builds are deterministic at any thread count).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <condition_variable>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "linalg/matrix.hpp"
+
+namespace aspe::core {
+
+class ScoreMatrixCache {
+ public:
+  struct Stats {
+    std::size_t hits = 0;
+    std::size_t misses = 0;
+    std::size_t evictions = 0;
+    std::size_t resident_bytes = 0;
+  };
+
+  using Builder = std::function<linalg::Matrix()>;
+
+  /// Return the matrix cached under `key`, running `build` on a miss.
+  /// Concurrent callers of the same key block until the one builder
+  /// finishes (and count as hits); different keys build concurrently.
+  /// After inserting, entries are evicted (LRU, unreferenced only) until
+  /// resident bytes fit `memory_budget_bytes` (0 = no limit).
+  [[nodiscard]] std::shared_ptr<const linalg::Matrix> get_or_build(
+      const std::string& key, std::size_t memory_budget_bytes,
+      const Builder& build);
+
+  /// Probe without building; nullptr on miss (does not count toward stats).
+  [[nodiscard]] std::shared_ptr<const linalg::Matrix> peek(
+      const std::string& key) const;
+
+  [[nodiscard]] Stats stats() const;
+  void clear();
+
+ private:
+  struct Entry {
+    std::shared_ptr<const linalg::Matrix> matrix;  // null while building
+    std::size_t bytes = 0;
+    std::uint64_t last_use = 0;
+  };
+
+  /// Evict LRU entries nobody references until resident fits the budget.
+  /// Caller holds mu_.
+  void evict_to_budget(std::size_t budget);
+
+  mutable std::mutex mu_;
+  std::condition_variable build_cv_;
+  std::unordered_map<std::string, Entry> entries_;
+  std::uint64_t tick_ = 0;
+  Stats stats_;
+};
+
+}  // namespace aspe::core

@@ -32,6 +32,11 @@ struct SnmfAttackOptions {
   double theta = 0.5;        // binarization threshold (the paper's choice)
   std::size_t restarts = 3;  // L — number of sparse_NMF runs
   nmf::SparseNmfOptions nmf;
+  /// Relative tolerance of the latent-dimension estimate used when
+  /// rank == 0 (forwarded to estimate_latent_dimension). Part of the
+  /// estimation identity: anything caching an estimated rank must key on it
+  /// alongside the corpus fingerprint and seed.
+  double rank_tol = 1e-8;
   /// Rescale latent rows before thresholding (W^T H invariant); makes the
   /// fixed theta meaningful under NMF's diagonal-scale ambiguity.
   bool balance = true;
@@ -140,6 +145,26 @@ struct SnmfAttackResult {
                                                std::vector<nmf::NmfInit> inits,
                                                const SnmfAttackOptions& options,
                                                const ExecContext& ctx = {});
+
+/// One job of a fused multi-job restart sweep (run_snmf_attack_batch).
+/// options.rank must be resolved (> 0) by the caller — a shared rank
+/// estimate is exactly what batching is for.
+struct SnmfBatchJob {
+  SnmfAttackOptions options;
+  ExecContext ctx;
+};
+
+/// Run several SNMF attacks over ONE score matrix as a single fused restart
+/// sweep: each job's initializations are drawn with that job's own options
+/// and context (the exact streams the solo path draws), all restarts run in
+/// one merged pool, and per-job winners are selected by the same
+/// first-strictly-better scan run_snmf_restarts uses. Every per-restart
+/// factorization is a pure function of (scores, rank, nmf options, init) —
+/// bit-identical at any thread count — so result j equals
+/// run_snmf_attack(scores, jobs[j].options, jobs[j].ctx) bit for bit
+/// (telemetry wall time excepted).
+[[nodiscard]] std::vector<SnmfAttackResult> run_snmf_attack_batch(
+    const linalg::Matrix& scores, const std::vector<SnmfBatchJob>& jobs);
 
 // ---- Decomposed restart machinery (shared by run_snmf_attack and
 // core::CoaSession, which must keep the selected factorization alive as the

@@ -39,14 +39,10 @@ std::size_t most_fractional(const Model& model, const Vec& x, double tol) {
 
 /// A separated-but-not-yet-appended cut over structural variables. Cuts live
 /// in a pool; each round the most violated ones (by efficacy, violation over
-/// coefficient norm) are appended as permanent model rows.
-struct CandidateCut {
-  LinExpr terms;  // ascending var index, no duplicates
-  Sense sense = Sense::GreaterEqual;
-  double rhs = 0.0;
-  double norm = 1.0;     // 2-norm of the coefficients
-  std::size_t seq = 0;   // generation order — deterministic tie-break
-};
+/// coefficient norm) are appended as permanent model rows. The public
+/// PoolCut carries exactly the fields the loop needs, so WarmCutPool
+/// snapshots copy the pool verbatim.
+using CandidateCut = PoolCut;
 
 double cut_violation(const CandidateCut& cut, const Vec& x) {
   double lhs = 0.0;
@@ -262,10 +258,21 @@ MipResult solve_mip(Model model, const MipOptions& options) {
 
 MipResult solve_mip(Model& model, SimplexSolver& solver,
                     const MipOptions& options) {
+  return solve_mip(model, solver, options, nullptr);
+}
+
+MipResult solve_mip(Model& model, SimplexSolver& solver,
+                    const MipOptions& options, WarmCutPool* warm) {
   MipResult result;
   Stopwatch watch;
   obs::Span search_span("opt/solve_mip");
   const SolverStats entry_stats = solver.stats();
+
+  // Warm root-state bookkeeping: rows/trail watermarks delimit what this
+  // run's first cut loop contributes (and therefore what gets exported).
+  const std::size_t rows_at_entry = model.num_constraints();
+  const std::size_t trail_at_entry = model.global_bound_trail().size();
+  const bool attach_warm = warm != nullptr && warm->has_basis;
 
   // B&B node-event tallies, accumulated locally (the search is serial) and
   // emitted as counters once at exit — near-zero cost per node.
@@ -376,6 +383,26 @@ MipResult solve_mip(Model& model, SimplexSolver& solver,
     solver.sync_bounds();
   }
 
+  // ---- warm root-state replay --------------------------------------------
+  // Re-apply the exporting run's first-cut-loop outcome to this (freshly
+  // built, structurally identical) model: appended cut rows, global bound
+  // tightenings, and the root basis. The counters the exporting run accrued
+  // for that loop are credited too, so warm and cold telemetry agree on
+  // everything except the skipped LP pivots.
+  if (attach_warm) {
+    for (const PoolCut& c : warm->applied) {
+      model.add_cut_row(c.terms, c.sense, c.rhs);
+      ++result.cuts_added;
+    }
+    if (!warm->applied.empty()) solver.append_model_rows();
+    for (const GlobalBound& g : warm->tightenings) {
+      model.record_global_tightening(g.var, g.lb, g.ub);
+      ++result.rc_fixings;
+    }
+    if (!warm->tightenings.empty()) solver.sync_bounds();
+    solver.warm_attach(warm->basis);
+  }
+
   const std::size_t n = model.num_variables();
   double incumbent_obj = kInfinity;
   bool have_incumbent = false;
@@ -387,6 +414,10 @@ MipResult solve_mip(Model& model, SimplexSolver& solver,
   // mirrored into the solver with the warm basis kept.
   std::vector<CandidateCut> pool;
   std::size_t cut_seq = 0;
+  if (attach_warm) {
+    pool = warm->pool;
+    cut_seq = warm->cut_seq;
+  }
   const std::size_t orig_rows = model.num_constraints() - model.num_cut_rows();
   const bool cuts_enabled =
       (options.gomory_cuts || options.cover_cuts) &&
@@ -510,11 +541,37 @@ MipResult solve_mip(Model& model, SimplexSolver& solver,
     return false;
   };
 
-  if (run_cut_loop()) {
-    result.status = MipStatus::Infeasible;
-    finalize(result);
-    return result;
+  if (!attach_warm) {
+    if (run_cut_loop()) {
+      result.status = MipStatus::Infeasible;
+      finalize(result);
+      return result;
+    }
+    if (warm != nullptr) {
+      // Export the first loop's outcome, then canonicalize the solver: a
+      // later attach refactorizes B^{-1} from the restored basis, so this
+      // run must enter the search from exactly that state or the two pivot
+      // sequences (and results) could drift apart by ulps.
+      warm->applied.clear();
+      for (std::size_t i = rows_at_entry; i < model.num_constraints(); ++i) {
+        const Constraint& c = model.constraint(i);
+        warm->applied.push_back(PoolCut{c.terms, c.sense, c.rhs, 1.0, 0});
+      }
+      warm->pool = pool;
+      warm->cut_seq = cut_seq;
+      const auto& trail = model.global_bound_trail();
+      warm->tightenings.assign(trail.begin() +
+                                   static_cast<std::ptrdiff_t>(trail_at_entry),
+                               trail.end());
+      if (solver.has_basis()) {
+        warm->basis = solver.basis();
+        solver.restore(warm->basis);
+        warm->has_basis = true;
+      }
+    }
   }
+  // attach_warm: the first cut loop was replayed from the snapshot above;
+  // restart-triggered cut loops still run live (with the replayed pool).
 
   // ---- pseudo-cost state ---------------------------------------------------
   Vec pc_sum_dn, pc_sum_up;

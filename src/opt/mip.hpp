@@ -139,6 +139,38 @@ struct MipOptions {
   std::size_t max_restarts = 2;
 };
 
+/// A separated cut over structural variables. Pool cuts carry their
+/// efficacy-ranking metadata (coefficient norm, generation sequence) so a
+/// replayed pool re-scores exactly as the original run did; cuts already
+/// appended as model rows only need terms/sense/rhs.
+struct PoolCut {
+  LinExpr terms;  // ascending var index, no duplicates
+  Sense sense = Sense::GreaterEqual;
+  double rhs = 0.0;
+  double norm = 1.0;    // 2-norm of the coefficients
+  std::size_t seq = 0;  // generation order — deterministic tie-break
+};
+
+/// Snapshot of one root cut loop, attachable to a later solve of a
+/// *structurally identical, freshly built* model (same variables, rows and
+/// coefficients — the caller keys snapshots, e.g. by a model digest).
+///
+/// On the first solve (has_basis == false at entry) the snapshot is filled:
+/// the cuts appended as model rows, the leftover un-appended pool, the cut
+/// sequence counter, the global bound tightenings recorded during the loop,
+/// and the root basis. On a later solve the snapshot replays all of that and
+/// the first cut loop is skipped, so the search resumes from a state
+/// bit-identical to the exporting run's — warm results equal cold results
+/// bit for bit.
+struct WarmCutPool {
+  std::vector<PoolCut> applied;          // cuts appended as model rows
+  std::vector<PoolCut> pool;             // separated but never appended
+  std::size_t cut_seq = 0;               // next cut generation number
+  std::vector<GlobalBound> tightenings;  // global fixings from the loop
+  BasisState basis;                      // root basis after the cut loop
+  bool has_basis = false;
+};
+
 /// Solve a mixed-integer linear program by LP-based branch and bound.
 [[nodiscard]] MipResult solve_mip(Model model, const MipOptions& options = {});
 
@@ -149,5 +181,16 @@ struct MipOptions {
 /// `solver` must have been built over `model`.
 [[nodiscard]] MipResult solve_mip(Model& model, SimplexSolver& solver,
                                   const MipOptions& options = {});
+
+/// Variant with a persistent root-state snapshot (see WarmCutPool). When
+/// `warm` is non-null and empty it is filled from this run's first cut loop;
+/// when it already carries a basis the root state is replayed instead of
+/// recomputed. Either way the solver state entering the tree search is
+/// canonicalized (basis restored, factorization rebuilt lazily), so a run
+/// that exports, a run that attaches, and a run with an empty throwaway
+/// snapshot all produce bit-identical results. Passing nullptr reproduces
+/// the plain two-argument overload exactly.
+[[nodiscard]] MipResult solve_mip(Model& model, SimplexSolver& solver,
+                                  const MipOptions& options, WarmCutPool* warm);
 
 }  // namespace aspe::opt

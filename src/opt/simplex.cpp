@@ -812,6 +812,17 @@ void SimplexSolver::restore(const BasisState& state) {
   binv_valid_ = false;  // refactorized lazily by the next solve_warm
 }
 
+void SimplexSolver::warm_attach(const BasisState& state) {
+  restore(state);
+  for (std::size_t a = 0; a < m_; ++a) {
+    ub_[art_begin_ + a] = 0.0;
+    if (status_[art_begin_ + a] == VarStatus::AtUpper) {
+      status_[art_begin_ + a] = VarStatus::AtLower;
+    }
+  }
+  arts_pinned_ = true;
+}
+
 LpResult solve_lp(const Model& model, const SimplexOptions& options) {
   require(model.num_variables() > 0, "solve_lp: model has no variables");
   require(model.num_constraints() > 0, "solve_lp: model has no constraints");

@@ -132,6 +132,14 @@ class SimplexSolver {
   /// lazily on the next solve_warm.
   void restore(const BasisState& state);
 
+  /// Attach a basis exported by *another solver over an identical model*
+  /// (same variables, rows and column layout): restore + pin the artificial
+  /// columns to zero, reproducing the exporting solver's post-phase-1 state.
+  /// A plain restore is not enough on a never-solved solver — its artificials
+  /// still have infinite upper bounds, so a dual re-solve could pivot one
+  /// back in and diverge from the exporting solver bit-for-bit.
+  void warm_attach(const BasisState& state);
+
   [[nodiscard]] const SolverStats& stats() const { return stats_; }
 
   [[nodiscard]] std::size_t num_structural() const { return n_; }

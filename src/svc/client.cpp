@@ -66,7 +66,7 @@ void Client::pump(const char* waiting_for) {
       break;
     }
     case FrameType::Pong:
-      ++pongs_;
+      pongs_.push_back(std::move(frame->payload));
       break;
     case FrameType::ShutdownAck:
       shutdown_acked_ = true;
@@ -93,6 +93,23 @@ std::uint64_t Client::submit(const core::AttackRequest& request,
   const std::uint64_t id = accepted_.front();
   accepted_.pop_front();
   return id;
+}
+
+std::vector<std::uint64_t> Client::submit_batch(
+    const std::vector<BatchJob>& jobs) {
+  if (jobs.empty()) return {};
+  if (!send_frame(fd_, FrameType::SubmitBatch,
+                  build_submit_batch_payload(jobs))) {
+    throw io::IoError("svc: connection lost sending a job batch");
+  }
+  std::vector<std::uint64_t> ids;
+  ids.reserve(jobs.size());
+  while (ids.size() < jobs.size()) {
+    while (accepted_.empty()) pump("batch acceptance");
+    ids.push_back(accepted_.front());
+    accepted_.pop_front();
+  }
+  return ids;
 }
 
 core::AttackResponse Client::wait(std::uint64_t job_id) {
@@ -131,12 +148,28 @@ bool Client::cancel(std::uint64_t job_id) {
 bool Client::ping() {
   if (!send_frame(fd_, FrameType::Ping, {})) return false;
   try {
-    while (pongs_ == 0) pump("a pong");
+    while (pongs_.empty()) pump("a pong");
   } catch (const io::IoError&) {
     return false;
   }
-  --pongs_;
+  pongs_.pop_front();
   return true;
+}
+
+std::optional<DaemonStats> Client::ping_stats() {
+  if (!send_frame(fd_, FrameType::Ping, {})) return std::nullopt;
+  try {
+    while (pongs_.empty()) pump("a pong");
+  } catch (const io::IoError&) {
+    return std::nullopt;
+  }
+  const std::vector<std::uint8_t> payload = std::move(pongs_.front());
+  pongs_.pop_front();
+  if (payload.empty()) return std::nullopt;  // pre-stats server
+  WireReader r(payload);
+  DaemonStats stats = decode_daemon_stats(r);
+  r.expect_end("svc pong frame");
+  return stats;
 }
 
 void Client::shutdown_server() {

@@ -11,8 +11,10 @@
 #include <cstdint>
 #include <deque>
 #include <map>
+#include <optional>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "core/attack_api.hpp"
 #include "svc/protocol.hpp"
@@ -35,6 +37,12 @@ class Client {
   std::uint64_t submit(const core::AttackRequest& request,
                        const JobOptions& options = {});
 
+  /// Ship several jobs in one SubmitBatch frame; blocks until every job's
+  /// Accepted frame and returns the ids in submission order. The daemon's
+  /// scheduler sees the whole batch at once, so compatible SNMF jobs
+  /// coalesce into one fused sweep. Results arrive via wait(), any order.
+  std::vector<std::uint64_t> submit_batch(const std::vector<BatchJob>& jobs);
+
   /// Block until the Result frame for `job_id` arrives.
   core::AttackResponse wait(std::uint64_t job_id);
 
@@ -49,6 +57,11 @@ class Client {
 
   /// Round-trip a Ping. False when the connection is dead.
   bool ping();
+
+  /// Round-trip a Ping and return the daemon stats its Pong carried.
+  /// nullopt when the connection is dead or the server predates the stats
+  /// payload (an empty Pong).
+  std::optional<DaemonStats> ping_stats();
 
   /// Request daemon shutdown and wait for the acknowledgement.
   void shutdown_server();
@@ -67,7 +80,7 @@ class Client {
   std::deque<std::uint64_t> accepted_;
   std::map<std::uint64_t, core::AttackResponse> results_;
   std::deque<std::pair<std::uint64_t, bool>> cancel_acks_;
-  std::size_t pongs_ = 0;
+  std::deque<std::vector<std::uint8_t>> pongs_;
   bool shutdown_acked_ = false;
 };
 

@@ -9,6 +9,8 @@
 #include <cerrno>
 #include <chrono>
 #include <cstring>
+#include <initializer_list>
+#include <set>
 #include <sstream>
 #include <utility>
 
@@ -57,6 +59,41 @@ core::ExecContext job_context(const JobOptions& opts) {
   return ctx;
 }
 
+/// Corpus identity for cache-affine scheduling: every corpus path of the
+/// request joined with '|'. Empty when any corpus is inline or unnamed —
+/// those jobs have no stable warm state to be affine to.
+std::string affinity_key_of(const core::AttackRequest& request) {
+  const auto join = [](std::initializer_list<const core::CorpusRef*> refs) {
+    std::string key;
+    for (const auto* ref : refs) {
+      if (ref->path.empty()) return std::string();
+      if (!key.empty()) key += '|';
+      key += ref->path;
+    }
+    return key;
+  };
+  return std::visit(
+      [&](const auto& req) {
+        using T = std::decay_t<decltype(req)>;
+        if constexpr (std::is_same_v<T, core::LepRequest>) {
+          return join({&req.known_plain, &req.db, &req.trapdoors});
+        } else if constexpr (std::is_same_v<T, core::MipRequest>) {
+          return join({&req.known_plain, &req.db, &req.trapdoors});
+        } else {
+          return join({&req.db, &req.trapdoors});
+        }
+      },
+      request.request);
+}
+
+/// Format a double for a cache-key string (round-trippable, locale-free).
+std::string key_f64(double v) {
+  std::ostringstream os;
+  os.precision(17);
+  os << v;
+  return os.str();
+}
+
 }  // namespace
 
 // ------------------------------------------------------------------ daemon
@@ -89,6 +126,7 @@ std::uint64_t Daemon::submit(core::AttackRequest request, JobOptions options,
   job->request = std::move(request);
   job->options = options;
   job->deliver = std::move(deliver);
+  job->affinity_key = affinity_key_of(job->request);
   if (options.deadline_ms > 0) {
     job->deadline = std::chrono::steady_clock::now() +
                     std::chrono::milliseconds(options.deadline_ms);
@@ -113,6 +151,47 @@ std::uint64_t Daemon::submit(core::AttackRequest request, JobOptions options,
                            stopping ? "daemon is stopping"
                                     : "queue full: job refused"));
   return id;
+}
+
+std::vector<std::uint64_t> Daemon::submit_batch(std::vector<BatchJob> jobs,
+                                                Deliver deliver) {
+  std::vector<std::uint64_t> ids;
+  ids.reserve(jobs.size());
+  std::vector<std::shared_ptr<Job>> refusals;
+  bool stopping = false;
+  {
+    std::lock_guard<std::mutex> lk(queue_mu_);
+    stopping = stopping_;
+    for (BatchJob& bj : jobs) {
+      const std::uint64_t id =
+          next_id_.fetch_add(1, std::memory_order_relaxed);
+      submitted_.fetch_add(1, std::memory_order_relaxed);
+      ids.push_back(id);
+      auto job = std::make_shared<Job>();
+      job->id = id;
+      job->request = std::move(bj.request);
+      job->options = bj.options;
+      job->deliver = deliver;
+      job->affinity_key = affinity_key_of(job->request);
+      if (bj.options.deadline_ms > 0) {
+        job->deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(bj.options.deadline_ms);
+      }
+      if (!stopping && queue_.size() < options_.queue_capacity) {
+        queue_.push_back(std::move(job));
+      } else {
+        rejected_.fetch_add(1, std::memory_order_relaxed);
+        refusals.push_back(std::move(job));
+      }
+    }
+  }
+  queue_cv_.notify_all();
+  for (const auto& job : refusals) {
+    job->deliver(job->id, refused(core::ErrorCode::Budget,
+                                  stopping ? "daemon is stopping"
+                                           : "queue full: job refused"));
+  }
+  return ids;
 }
 
 bool Daemon::cancel(std::uint64_t job_id) {
@@ -146,16 +225,97 @@ bool Daemon::run_one() {
 
 void Daemon::worker_loop() {
   for (;;) {
-    std::shared_ptr<Job> job;
     {
       std::unique_lock<std::mutex> lk(queue_mu_);
       queue_cv_.wait(lk, [this] { return stopping_ || !queue_.empty(); });
-      if (queue_.empty()) return;  // stopping_, queue drained by stop()
-      job = std::move(queue_.front());
-      queue_.pop_front();
+      if (stopping_ && queue_.empty()) return;  // queue drained by stop()
     }
-    run_job(std::move(*job));
+    // Raced pops (another worker emptied the queue between the wait and
+    // here) return 0 and loop back into the wait.
+    run_scheduled();
   }
+}
+
+std::vector<std::shared_ptr<Daemon::Job>> Daemon::take_batch_locked() {
+  std::vector<std::shared_ptr<Job>> out;
+  if (queue_.empty()) return out;
+
+  // --- cache-affine pick -------------------------------------------------
+  // Prefer the first queued job whose corpus state is warm (affinity key ==
+  // the last scheduled job's), but never jump over a deadline-bearing job
+  // or one already bypassed max_affinity_bypass times — the starvation
+  // bound that keeps deadlines meaningful. Ties break on queue order, so
+  // the schedule is deterministic for a given queue state.
+  std::size_t pick = 0;
+  if (!last_affinity_.empty()) {
+    std::size_t match = queue_.size();
+    for (std::size_t i = 0; i < queue_.size(); ++i) {
+      if (queue_[i]->affinity_key == last_affinity_) {
+        match = i;
+        break;
+      }
+    }
+    if (match < queue_.size()) {
+      bool allowed = true;
+      for (std::size_t i = 0; i < match; ++i) {
+        if (queue_[i]->deadline != std::chrono::steady_clock::time_point{} ||
+            queue_[i]->bypassed >= options_.max_affinity_bypass) {
+          allowed = false;
+          break;
+        }
+      }
+      if (allowed) pick = match;
+    }
+  }
+  std::shared_ptr<Job> first = queue_[pick];
+  if (!last_affinity_.empty() && first->affinity_key == last_affinity_) {
+    affinity_hits_.fetch_add(1, std::memory_order_relaxed);
+  }
+  for (std::size_t i = 0; i < pick; ++i) ++queue_[i]->bypassed;
+  queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(pick));
+  if (!first->affinity_key.empty()) last_affinity_ = first->affinity_key;
+  out.push_back(first);
+
+  // --- SNMF coalescing ---------------------------------------------------
+  // Extract queued jobs the fused sweep can serve together with the pick:
+  // same corpus pair, cold restart path, no per-job recording. Extraction
+  // keeps queue order, so demuxed delivery order is deterministic too.
+  const auto batchable = [this](const Job& job) {
+    if (job.affinity_key.empty() || job.options.want_telemetry ||
+        options_.sink != nullptr) {
+      return false;
+    }
+    const auto* snmf = std::get_if<core::SnmfRequest>(&job.request.request);
+    return snmf != nullptr && !snmf->reuse_session &&
+           !snmf->db.path.empty() && !snmf->trapdoors.path.empty();
+  };
+  if (!batchable(*first)) return out;
+  for (auto it = queue_.begin();
+       it != queue_.end() && out.size() < options_.max_snmf_batch;) {
+    if ((*it)->affinity_key == first->affinity_key && batchable(**it)) {
+      out.push_back(*it);
+      it = queue_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return out;
+}
+
+std::size_t Daemon::run_scheduled() {
+  std::vector<std::shared_ptr<Job>> picked;
+  {
+    std::lock_guard<std::mutex> lk(queue_mu_);
+    picked = take_batch_locked();
+  }
+  const std::size_t n = picked.size();
+  if (n == 0) return 0;
+  if (n == 1) {
+    run_job(std::move(*picked.front()));
+    return 1;
+  }
+  run_snmf_batch(std::move(picked));
+  return n;
 }
 
 void Daemon::run_job(Job&& job) {
@@ -171,6 +331,132 @@ void Daemon::run_job(Job&& job) {
   core::AttackResponse resp = execute(job.request, job.options);
   completed_.fetch_add(1, std::memory_order_relaxed);
   job.deliver(job.id, std::move(resp));
+}
+
+void Daemon::run_snmf_batch(std::vector<std::shared_ptr<Job>> jobs) {
+  // Per-job deadline refusals first, exactly as run_job would have issued
+  // them — riding in a batch never relaxes a deadline.
+  const auto now = std::chrono::steady_clock::now();
+  std::vector<std::shared_ptr<Job>> live;
+  live.reserve(jobs.size());
+  for (auto& job : jobs) {
+    if (job->deadline != std::chrono::steady_clock::time_point{} &&
+        now > job->deadline) {
+      expired_.fetch_add(1, std::memory_order_relaxed);
+      job->deliver(job->id,
+                   refused(core::ErrorCode::Budget,
+                           "deadline of " +
+                               std::to_string(job->options.deadline_ms) +
+                               " ms expired before the job started"));
+    } else {
+      live.push_back(std::move(job));
+    }
+  }
+  if (live.empty()) return;
+  if (live.size() == 1) {
+    run_job(std::move(*live.front()));
+    return;
+  }
+
+  std::size_t delivered = 0;
+  try {
+    // One corpus resolve, one score-matrix build (or cache hit), one rank
+    // estimate per distinct (seed, tol) — then a single fused restart
+    // sweep. Each job's initializations come from its own options and
+    // context, so the demuxed results are bit-identical to solo runs.
+    const auto& proto = std::get<core::SnmfRequest>(live.front()->request.request);
+    std::string db_fp, td_fp;
+    const core::CorpusRef db = resolve_ciphers(proto.db, &db_fp);
+    const core::CorpusRef td = resolve_ciphers(proto.trapdoors, &td_fp);
+    if (db_fp.empty() || td_fp.empty()) {
+      throw core::Error(core::ErrorCode::BadInput,
+                        "snmf batch: corpus has no stable identity");
+    }
+    std::size_t sweep_threads = 1;
+    for (const auto& job : live) {
+      sweep_threads =
+          std::max(sweep_threads, job_context(job->options).resolved_threads());
+    }
+    const std::string score_key = db_fp + "#" + td_fp;
+    const auto scores = score_cache_.get_or_build(
+        score_key, options_.memory_budget_bytes, [&] {
+          return core::build_score_matrix(*db.ciphers, *td.ciphers,
+                                          sweep_threads);
+        });
+
+    std::vector<core::SnmfBatchJob> batch(live.size());
+    std::vector<std::size_t> estimated(live.size(), 0);
+    for (std::size_t i = 0; i < live.size(); ++i) {
+      const auto& req = std::get<core::SnmfRequest>(live[i]->request.request);
+      core::ExecContext ctx = job_context(live[i]->options);
+      ctx.memory_budget_bytes = options_.memory_budget_bytes;
+      core::SnmfAttackOptions opts = req.options;
+      if (opts.rank == 0) {
+        // The same rank-estimate cache the solo path keeps: keyed on
+        // corpus, seed AND tolerance (the estimation identity).
+        const std::string rank_key = db_fp + "#" + td_fp +
+                                     "#seed=" + std::to_string(ctx.seed) +
+                                     "#tol=" + key_f64(opts.rank_tol);
+        std::size_t rank = 0;
+        {
+          std::lock_guard<std::mutex> lk(cache_mu_);
+          const auto it = rank_cache_.find(rank_key);
+          if (it != rank_cache_.end()) rank = it->second;
+        }
+        if (rank > 0) {
+          rank_hits_.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          rank = core::estimate_latent_dimension(*scores, opts.rank_tol, ctx);
+          if (rank == 0) {
+            throw core::Error(core::ErrorCode::NotReady,
+                              "snmf: rank estimation found a zero matrix");
+          }
+          std::lock_guard<std::mutex> lk(cache_mu_);
+          if (rank_cache_.size() >= options_.max_cache_entries &&
+              rank_cache_.count(rank_key) == 0) {
+            rank_cache_.clear();
+          }
+          rank_cache_[rank_key] = rank;
+        }
+        opts.rank = rank;
+        estimated[i] = rank;
+      }
+      batch[i].options = opts;
+      batch[i].ctx = ctx;
+    }
+
+    std::vector<core::SnmfAttackResult> results =
+        core::run_snmf_attack_batch(*scores, batch);
+
+    batches_formed_.fetch_add(1, std::memory_order_relaxed);
+    batched_jobs_.fetch_add(live.size(), std::memory_order_relaxed);
+    for (std::size_t i = 0; i < live.size(); ++i) {
+      core::AttackResponse resp;
+      auto res = std::move(results[i]);
+      if (estimated[i] > 0) {
+        res.telemetry.counters["snmf.estimated_rank"] =
+            static_cast<double>(estimated[i]);
+      }
+      resp.telemetry = res.telemetry;
+      resp.result = std::move(res);
+      resp.status = core::AttackStatus::Ok;
+      resp.error = core::ErrorCode::Ok;
+      // Batched jobs never carry want_telemetry; strip exactly as
+      // execute_resolved does.
+      resp.telemetry.spans.clear();
+      resp.telemetry.gauges.clear();
+      completed_.fetch_add(1, std::memory_order_relaxed);
+      live[i]->deliver(live[i]->id, std::move(resp));
+      ++delivered;
+    }
+  } catch (...) {
+    // Anything the fused path cannot serve (unreadable corpus, rank
+    // failure, ...) falls back to solo execution, which reports the real
+    // per-job error through the normal taxonomy.
+    for (std::size_t i = delivered; i < live.size(); ++i) {
+      run_job(std::move(*live[i]));
+    }
+  }
 }
 
 void Daemon::stop() {
@@ -203,6 +489,17 @@ DaemonStats Daemon::stats() const {
   s.rank_cache_hits = rank_hits_.load(std::memory_order_relaxed);
   s.lep_session_hits = lep_hits_.load(std::memory_order_relaxed);
   s.snmf_resumes = snmf_resumes_.load(std::memory_order_relaxed);
+  s.batches_formed = batches_formed_.load(std::memory_order_relaxed);
+  s.batched_jobs = batched_jobs_.load(std::memory_order_relaxed);
+  s.affinity_hits = affinity_hits_.load(std::memory_order_relaxed);
+  s.basis_cache_hits = basis_hits_.load(std::memory_order_relaxed);
+  {
+    const auto sc = score_cache_.stats();
+    s.score_cache_hits = sc.hits;
+    s.score_cache_misses = sc.misses;
+    s.score_cache_evictions = sc.evictions;
+    s.score_cache_bytes = sc.resident_bytes;
+  }
   {
     std::lock_guard<std::mutex> lk(queue_mu_);
     s.queue_depth = queue_.size();
@@ -302,6 +599,7 @@ core::AttackResponse Daemon::execute(const core::AttackRequest& request,
 core::AttackResponse Daemon::execute_resolved(
     const core::AttackRequest& request, const JobOptions& options) {
   core::ExecContext ctx = job_context(options);
+  ctx.memory_budget_bytes = options_.memory_budget_bytes;
   ForwardSink collector(options_.sink);
   if (options.want_telemetry || options_.sink != nullptr) {
     ctx.sink = &collector;
@@ -327,12 +625,45 @@ core::AttackResponse Daemon::execute_resolved(
           return core::dispatch_attack(resolved, ctx);
         } else if constexpr (std::is_same_v<T, core::MipRequest>) {
           core::MipRequest r = typed;
-          r.known_plain = resolve_vecs(typed.known_plain, nullptr);
-          r.db = resolve_ciphers(typed.db, nullptr);
-          r.trapdoors = resolve_ciphers(typed.trapdoors, nullptr);
+          std::string kp_fp, db_fp, td_fp;
+          r.known_plain = resolve_vecs(typed.known_plain, &kp_fp);
+          r.db = resolve_ciphers(typed.db, &db_fp);
+          r.trapdoors = resolve_ciphers(typed.trapdoors, &td_fp);
+          const bool identified =
+              !kp_fp.empty() && !db_fp.empty() && !td_fp.empty();
           core::AttackRequest resolved;
           resolved.request = std::move(r);
-          return core::dispatch_attack(resolved, ctx);
+          if (!identified) return core::dispatch_attack(resolved, ctx);
+          // Persistent MIP basis cache: repeated jobs over the same corpora
+          // and parameters warm-start the root LP and reuse the root cut
+          // pool. run_mip_attack self-invalidates on model-digest mismatch,
+          // so the parameter key only scopes contention; correctness never
+          // depends on it. The entry mutex serializes the whole attack per
+          // key — two identical jobs never race on the shared basis.
+          std::ostringstream key;
+          key << kp_fp << '#' << db_fp << '#' << td_fp
+              << "#tid=" << typed.trapdoor_id << "#mu=" << key_f64(typed.mu)
+              << "#sigma=" << key_f64(typed.sigma)
+              << "#l=" << key_f64(typed.options.l)
+              << "#tl=" << key_f64(typed.options.solver.time_limit_seconds)
+              << "#nodes=" << typed.options.solver.max_nodes;
+          std::shared_ptr<MipBasisEntry> entry;
+          {
+            std::lock_guard<std::mutex> lk(cache_mu_);
+            if (mip_basis_.size() >= options_.max_cache_entries &&
+                mip_basis_.count(key.str()) == 0) {
+              mip_basis_.clear();
+            }
+            auto& slot = mip_basis_[key.str()];
+            if (slot == nullptr) slot = std::make_shared<MipBasisEntry>();
+            entry = slot;
+          }
+          std::lock_guard<std::mutex> lk(entry->mu);
+          const bool warm = entry->state.has_root_basis;
+          if (warm) basis_hits_.fetch_add(1, std::memory_order_relaxed);
+          core::DispatchHooks hooks;
+          hooks.mip_warm = &entry->state;
+          return core::dispatch_attack(resolved, ctx, hooks);
         } else {
           core::SnmfRequest r = typed;
           std::string db_fp, td_fp;
@@ -344,17 +675,30 @@ core::AttackResponse Daemon::execute_resolved(
             key << db_fp << '#' << td_fp << "#rank=" << r.options.rank
                 << "#restarts=" << r.options.restarts
                 << "#iters=" << r.options.nmf.max_iterations
-                << "#theta=" << r.options.theta << "#seed=" << ctx.seed;
+                << "#theta=" << r.options.theta
+                << "#tol=" << key_f64(r.options.rank_tol)
+                << "#seed=" << ctx.seed;
             return execute_snmf_warm(r, key.str(), ctx);
           }
+          // Shared score-matrix cache: every stage of this job (and every
+          // later job over the same corpora) reads one resident R. A cache
+          // hit is bit-identical to a rebuild, so this never changes output.
+          core::DispatchHooks hooks;
+          if (identified) {
+            hooks.score_cache = &score_cache_;
+            hooks.score_key = db_fp + "#" + td_fp;
+          }
           // Rank-estimate cache: the estimate is deterministic per
-          // (corpus, seed), so replaying a cached rank reproduces the
-          // cold run bit for bit while skipping the SVD.
+          // (corpus, seed, tolerance), so replaying a cached rank
+          // reproduces the cold run bit for bit while skipping the SVD.
+          // The tolerance is part of the key — two jobs differing only in
+          // rank_tol may legitimately disagree on the estimate.
           std::string rank_key;
           std::size_t cached_rank = 0;
           if (r.options.rank == 0 && identified) {
             rank_key = db_fp + "#" + td_fp +
-                       "#seed=" + std::to_string(ctx.seed);
+                       "#seed=" + std::to_string(ctx.seed) +
+                       "#tol=" + key_f64(r.options.rank_tol);
             std::lock_guard<std::mutex> lk(cache_mu_);
             const auto it = rank_cache_.find(rank_key);
             if (it != rank_cache_.end()) cached_rank = it->second;
@@ -364,7 +708,8 @@ core::AttackResponse Daemon::execute_resolved(
             r.options.rank = cached_rank;
             core::AttackRequest resolved;
             resolved.request = std::move(r);
-            core::AttackResponse out = core::dispatch_attack(resolved, ctx);
+            core::AttackResponse out =
+                core::dispatch_attack(resolved, ctx, hooks);
             if (out.ok()) {
               const auto rank = static_cast<double>(cached_rank);
               out.telemetry.counters["snmf.estimated_rank"] = rank;
@@ -377,7 +722,8 @@ core::AttackResponse Daemon::execute_resolved(
           }
           core::AttackRequest resolved;
           resolved.request = std::move(r);
-          core::AttackResponse out = core::dispatch_attack(resolved, ctx);
+          core::AttackResponse out =
+              core::dispatch_attack(resolved, ctx, hooks);
           if (!rank_key.empty() && out.ok()) {
             const auto rank = static_cast<std::size_t>(
                 out.telemetry.counter("snmf.estimated_rank"));
@@ -494,7 +840,7 @@ core::AttackResponse Daemon::execute_snmf_warm(const core::SnmfRequest& req,
       entry->session->append_ciphertexts(view);
       std::size_t rank = req.options.rank;
       if (rank == 0) {
-        rank = entry->session->estimate_rank(1e-8);
+        rank = entry->session->estimate_rank(req.options.rank_tol);
         if (rank == 0) {
           throw core::Error(core::ErrorCode::NotReady,
                             "snmf: rank estimation found a zero matrix");
@@ -638,6 +984,48 @@ void Server::handle_connection(const std::shared_ptr<Connection>& conn) {
           send_accepted(id);
           break;
         }
+        case FrameType::SubmitBatch: {
+          WireReader r(frame->payload);
+          // Minimum bytes per job: the fixed-size JobOptions block (26)
+          // plus a one-byte request tag.
+          const std::size_t n = r.count(27, "svc submit-batch job count");
+          std::vector<BatchJob> jobs(n);
+          for (auto& job : jobs) {
+            job.options = decode_job_options(r);
+            job.request = decode_request(r);
+          }
+          r.expect_end("svc submit-batch frame");
+          // Per job, its Accepted frame precedes its Result frame — the
+          // Submit once-guard generalized to a set of ids, since a worker
+          // (or a synchronous refusal) can deliver before submit_batch
+          // returns the id list to this thread.
+          struct AcceptGuard {
+            std::mutex mu;
+            std::set<std::uint64_t> sent;
+            bool first(std::uint64_t id) {
+              std::lock_guard<std::mutex> lk(mu);
+              return sent.insert(id).second;
+            }
+          };
+          auto guard = std::make_shared<AcceptGuard>();
+          const auto send_accepted = [conn, guard](std::uint64_t id) {
+            if (guard->first(id)) {
+              WireWriter w;
+              w.u64(id);
+              conn->send(FrameType::Accepted, w.bytes());
+            }
+          };
+          const auto ids = daemon_.submit_batch(
+              std::move(jobs),
+              [conn, send_accepted](std::uint64_t job_id,
+                                    core::AttackResponse&& resp) {
+                send_accepted(job_id);
+                conn->send(FrameType::Result,
+                           build_result_payload(job_id, resp));
+              });
+          for (const auto id : ids) send_accepted(id);
+          break;
+        }
         case FrameType::Cancel: {
           WireReader r(frame->payload);
           const std::uint64_t id = r.u64();
@@ -650,7 +1038,11 @@ void Server::handle_connection(const std::shared_ptr<Connection>& conn) {
           break;
         }
         case FrameType::Ping: {
-          conn->send(FrameType::Pong, {});
+          // The Pong carries the daemon's stats block; a client that does
+          // not care simply ignores the payload.
+          WireWriter w;
+          encode_daemon_stats(w, daemon_.stats());
+          conn->send(FrameType::Pong, w.bytes());
           break;
         }
         case FrameType::Shutdown: {

@@ -46,32 +46,29 @@ namespace aspe::svc {
 
 struct DaemonOptions {
   /// Job-execution threads. 0 builds a stepping daemon that runs jobs only
-  /// through run_one() — the deterministic mode the queue tests drive.
+  /// through run_one() / run_scheduled() — the deterministic mode the queue
+  /// and scheduler tests drive.
   std::size_t workers = 1;
   /// Bounded queue depth; a Submit arriving with the queue full is refused
   /// immediately with ErrorCode::Budget (backpressure, not buffering).
   std::size_t queue_capacity = 64;
   /// Daemon-wide telemetry stream: every job's recording is also delivered
   /// here (e.g. a JsonLinesSink from `aspe_cli serve --trace-json`). The
-  /// sink must outlive the daemon. May be null.
+  /// sink must outlive the daemon. May be null. A non-null sink disables
+  /// SNMF batch coalescing (a fused sweep cannot attribute spans per job).
   obs::Sink* sink = nullptr;
-  /// Warm-cache entry cap (corpora, rank estimates and sessions each); the
-  /// cache is cleared wholesale when it would exceed this.
+  /// Warm-cache entry cap (corpora, rank estimates, sessions and MIP basis
+  /// states each); a cache is cleared wholesale when it would exceed this.
   std::size_t max_cache_entries = 64;
-};
-
-/// Monotonic counters describing the daemon's life so far.
-struct DaemonStats {
-  std::uint64_t submitted = 0;
-  std::uint64_t completed = 0;  // executed, any status
-  std::uint64_t cancelled = 0;  // cancelled while still queued
-  std::uint64_t expired = 0;    // deadline passed before execution
-  std::uint64_t rejected = 0;   // refused at submit (queue full)
-  std::uint64_t corpus_cache_hits = 0;
-  std::uint64_t rank_cache_hits = 0;
-  std::uint64_t lep_session_hits = 0;
-  std::uint64_t snmf_resumes = 0;
-  std::size_t queue_depth = 0;  // snapshot, not monotonic
+  /// Resident-byte budget of the shared score-matrix cache, and the
+  /// ExecContext::memory_budget_bytes every job runs under. 0 = unbounded.
+  std::size_t memory_budget_bytes = 0;
+  /// Most SNMF jobs one fused restart sweep may coalesce.
+  std::size_t max_snmf_batch = 16;
+  /// Most jobs a queued job may be bypassed by for cache affinity before it
+  /// becomes un-bypassable (the starvation bound; deadline-bearing jobs are
+  /// never bypassed at all).
+  std::size_t max_affinity_bypass = 4;
 };
 
 class Daemon {
@@ -93,16 +90,31 @@ class Daemon {
   std::uint64_t submit(core::AttackRequest request, JobOptions options,
                        Deliver deliver);
 
+  /// Enqueue several jobs atomically (one lock acquisition), so the
+  /// scheduler sees the whole batch at once and compatible SNMF jobs can
+  /// coalesce into one fused sweep. Ids are assigned in order; jobs beyond
+  /// the queue capacity are refused individually, exactly like submit().
+  std::vector<std::uint64_t> submit_batch(std::vector<BatchJob> jobs,
+                                          Deliver deliver);
+
   /// Cancel a job that is still queued: it is removed and its response
   /// (ErrorCode::Budget, "job cancelled before execution") is delivered.
   /// Returns false when the job already started, finished, or never
   /// existed — a running attack is never killed (docs/svc.md).
   bool cancel(std::uint64_t job_id);
 
-  /// Pop and execute one queued job on the calling thread. False when the
-  /// queue was empty. This is the workers == 0 stepping mode; with worker
-  /// threads running it simply competes with them.
+  /// Pop and execute one queued job on the calling thread, strictly FIFO —
+  /// no affinity reordering, no coalescing. False when the queue was empty.
+  /// This is the workers == 0 stepping mode; with worker threads running it
+  /// simply competes with them.
   bool run_one();
+
+  /// One scheduler step on the calling thread: pop the next job in
+  /// cache-affine order plus any compatible queued SNMF peers, and execute
+  /// them (fused when more than one). Returns the number of jobs executed
+  /// (0 = queue empty). This is exactly what each worker thread loops over;
+  /// exposed so scheduler tests can step it deterministically.
+  std::size_t run_scheduled();
 
   /// Execute a request synchronously through the warm caches, bypassing
   /// the queue (used by the workers, and directly by benches/tests).
@@ -125,6 +137,13 @@ class Daemon {
     JobOptions options;
     Deliver deliver;
     std::chrono::steady_clock::time_point deadline{};  // epoch() = none
+    /// Corpus identity for cache-affine scheduling: the request's corpus
+    /// paths joined with '|' ("" when any corpus is inline — no stable
+    /// identity, no affinity). Computed once at submit.
+    std::string affinity_key;
+    /// Times an affinity pick has jumped over this job while it was queued;
+    /// at max_affinity_bypass the job becomes un-bypassable.
+    std::size_t bypassed = 0;
   };
 
   struct LepEntry {
@@ -141,9 +160,23 @@ class Daemon {
     std::shared_ptr<const std::vector<scheme::CipherPair>> ciphers;
     std::shared_ptr<const std::vector<Vec>> vecs;
   };
+  /// One persistent MIP warm state (root basis + cut pool). Serialized per
+  /// key: the entry mutex is held across the whole attack, so two identical
+  /// MIP jobs never race on the shared basis.
+  struct MipBasisEntry {
+    std::mutex mu;
+    core::MipWarmState state;
+  };
 
   void worker_loop();
   void run_job(Job&& job);
+  /// Pop the next job in cache-affine order plus compatible SNMF peers.
+  /// Caller holds queue_mu_. Empty when the queue is empty.
+  std::vector<std::shared_ptr<Job>> take_batch_locked();
+  /// Execute >= 2 coalesced SNMF jobs as one fused restart sweep,
+  /// demultiplexing per-job responses. Falls back to solo execution for any
+  /// job the fused path cannot serve.
+  void run_snmf_batch(std::vector<std::shared_ptr<Job>> jobs);
   [[nodiscard]] core::AttackResponse refused(core::ErrorCode code,
                                              const std::string& message) const;
 
@@ -170,19 +203,27 @@ class Daemon {
   mutable std::mutex queue_mu_;
   std::condition_variable queue_cv_;
   std::deque<std::shared_ptr<Job>> queue_;
+  /// Affinity key of the job most recently popped by the scheduler — the
+  /// corpus whose parsed form, score matrix and sessions are warmest.
+  /// Guarded by queue_mu_.
+  std::string last_affinity_;
   bool stopping_ = false;
   std::vector<std::thread> workers_;
   std::atomic<std::uint64_t> next_id_{1};
 
-  std::mutex cache_mu_;  // guards the three maps (not the entries)
+  std::mutex cache_mu_;  // guards the maps (not the entries)
   std::map<std::string, CorpusEntry> corpus_cache_;
   std::map<std::string, std::size_t> rank_cache_;
   std::map<std::string, std::shared_ptr<LepEntry>> lep_sessions_;
   std::map<std::string, std::shared_ptr<CoaEntry>> coa_sessions_;
+  std::map<std::string, std::shared_ptr<MipBasisEntry>> mip_basis_;
+
+  core::ScoreMatrixCache score_cache_;
 
   std::atomic<std::uint64_t> submitted_{0}, completed_{0}, cancelled_{0},
       expired_{0}, rejected_{0}, corpus_hits_{0}, rank_hits_{0},
-      lep_hits_{0}, snmf_resumes_{0};
+      lep_hits_{0}, snmf_resumes_{0}, batches_formed_{0}, batched_jobs_{0},
+      affinity_hits_{0}, basis_hits_{0};
 };
 
 // ------------------------------------------------------------------ server

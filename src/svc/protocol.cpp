@@ -196,6 +196,7 @@ void encode_request(WireWriter& w, const core::AttackRequest& req) {
       w.u64(snmf.options.restarts);
       w.u64(snmf.options.nmf.max_iterations);
       w.f64(snmf.options.theta);
+      w.f64(snmf.options.rank_tol);
       w.u8(snmf.reuse_session ? 1 : 0);
       break;
     }
@@ -237,6 +238,7 @@ core::AttackRequest decode_request(WireReader& r) {
       snmf.options.restarts = static_cast<std::size_t>(r.u64());
       snmf.options.nmf.max_iterations = static_cast<std::size_t>(r.u64());
       snmf.options.theta = r.f64();
+      snmf.options.rank_tol = r.f64();
       snmf.reuse_session = r.u8() != 0;
       out.request = std::move(snmf);
       return out;
@@ -348,11 +350,66 @@ core::AttackResponse decode_response(WireReader& r) {
   return resp;
 }
 
+void encode_daemon_stats(WireWriter& w, const DaemonStats& stats) {
+  w.u64(stats.submitted);
+  w.u64(stats.completed);
+  w.u64(stats.cancelled);
+  w.u64(stats.expired);
+  w.u64(stats.rejected);
+  w.u64(stats.corpus_cache_hits);
+  w.u64(stats.rank_cache_hits);
+  w.u64(stats.lep_session_hits);
+  w.u64(stats.snmf_resumes);
+  w.u64(stats.batches_formed);
+  w.u64(stats.batched_jobs);
+  w.u64(stats.affinity_hits);
+  w.u64(stats.basis_cache_hits);
+  w.u64(stats.score_cache_hits);
+  w.u64(stats.score_cache_misses);
+  w.u64(stats.score_cache_evictions);
+  w.u64(stats.score_cache_bytes);
+  w.u64(stats.queue_depth);
+}
+
+DaemonStats decode_daemon_stats(WireReader& r) {
+  DaemonStats stats;
+  stats.submitted = r.u64();
+  stats.completed = r.u64();
+  stats.cancelled = r.u64();
+  stats.expired = r.u64();
+  stats.rejected = r.u64();
+  stats.corpus_cache_hits = r.u64();
+  stats.rank_cache_hits = r.u64();
+  stats.lep_session_hits = r.u64();
+  stats.snmf_resumes = r.u64();
+  stats.batches_formed = r.u64();
+  stats.batched_jobs = r.u64();
+  stats.affinity_hits = r.u64();
+  stats.basis_cache_hits = r.u64();
+  stats.score_cache_hits = r.u64();
+  stats.score_cache_misses = r.u64();
+  stats.score_cache_evictions = r.u64();
+  stats.score_cache_bytes = r.u64();
+  stats.queue_depth = static_cast<std::size_t>(r.u64());
+  return stats;
+}
+
 std::vector<std::uint8_t> build_submit_payload(const core::AttackRequest& req,
                                                const JobOptions& opts) {
   WireWriter w;
   encode_job_options(w, opts);
   encode_request(w, req);
+  return w.take();
+}
+
+std::vector<std::uint8_t> build_submit_batch_payload(
+    const std::vector<BatchJob>& jobs) {
+  WireWriter w;
+  w.u64(jobs.size());
+  for (const BatchJob& job : jobs) {
+    encode_job_options(w, job.options);
+    encode_request(w, job.request);
+  }
   return w.take();
 }
 

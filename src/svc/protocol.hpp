@@ -54,6 +54,12 @@ enum class FrameType : std::uint32_t {
   Cancel = 2,
   Ping = 3,
   Shutdown = 4,
+  /// N jobs in one frame: u64 count, then count x (JobOptions, request).
+  /// The server answers with one Accepted frame per job, in submission
+  /// order, before any Result — so the client learns every id up front —
+  /// and the daemon's scheduler sees the whole batch at once (compatible
+  /// SNMF jobs coalesce into one fused sweep; see docs/svc.md).
+  SubmitBatch = 5,
   // server -> client
   Accepted = 16,
   Result = 17,
@@ -85,6 +91,32 @@ struct Frame {
   std::vector<std::uint8_t> payload;
 };
 
+/// Monotonic counters describing the daemon's life so far. Shipped verbatim
+/// in the Pong payload (encode_daemon_stats), so `aspe_cli submit --ping`
+/// can print a one-line health summary without a side channel. An empty
+/// Pong payload (a pre-stats server) decodes as "no stats".
+struct DaemonStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;  // executed, any status
+  std::uint64_t cancelled = 0;  // cancelled while still queued
+  std::uint64_t expired = 0;    // deadline passed before execution
+  std::uint64_t rejected = 0;   // refused at submit (queue full)
+  std::uint64_t corpus_cache_hits = 0;
+  std::uint64_t rank_cache_hits = 0;
+  std::uint64_t lep_session_hits = 0;
+  std::uint64_t snmf_resumes = 0;
+  // Batched scheduling (PR 10): fused SNMF sweeps and warm-state reuse.
+  std::uint64_t batches_formed = 0;   // fused sweeps executed
+  std::uint64_t batched_jobs = 0;     // jobs that rode in a fused sweep
+  std::uint64_t affinity_hits = 0;    // jobs scheduled onto warm state
+  std::uint64_t basis_cache_hits = 0; // MIP jobs warm-started from a basis
+  std::uint64_t score_cache_hits = 0;
+  std::uint64_t score_cache_misses = 0;
+  std::uint64_t score_cache_evictions = 0;
+  std::uint64_t score_cache_bytes = 0;  // snapshot, not monotonic
+  std::size_t queue_depth = 0;          // snapshot, not monotonic
+};
+
 // --------------------------------------------------------- payload codecs
 
 void encode_job_options(WireWriter& w, const JobOptions& opts);
@@ -100,9 +132,21 @@ void encode_request(WireWriter& w, const core::AttackRequest& req);
 void encode_response(WireWriter& w, const core::AttackResponse& resp);
 [[nodiscard]] core::AttackResponse decode_response(WireReader& r);
 
+/// Encode/decode the daemon stats block of a Pong payload.
+void encode_daemon_stats(WireWriter& w, const DaemonStats& stats);
+[[nodiscard]] DaemonStats decode_daemon_stats(WireReader& r);
+
+/// One job of a SubmitBatch frame.
+struct BatchJob {
+  core::AttackRequest request;
+  JobOptions options;
+};
+
 // Whole-frame payload builders used by client and server.
 [[nodiscard]] std::vector<std::uint8_t> build_submit_payload(
     const core::AttackRequest& req, const JobOptions& opts);
+[[nodiscard]] std::vector<std::uint8_t> build_submit_batch_payload(
+    const std::vector<BatchJob>& jobs);
 [[nodiscard]] std::vector<std::uint8_t> build_result_payload(
     std::uint64_t job_id, const core::AttackResponse& resp);
 

@@ -8,11 +8,15 @@
 #include <unistd.h>
 
 #include <chrono>
+#include <condition_variable>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <map>
+#include <mutex>
 #include <sstream>
 #include <thread>
+#include <vector>
 
 #include "cli/commands.hpp"
 #include "io/codec.hpp"
@@ -747,6 +751,383 @@ TEST_F(SvcEndToEnd, DaemonMatchesCliBitForBitAtOneAndEightThreads) {
   // never changes results.
   EXPECT_EQ(read_file(path("snmf_cli_t1.txt")),
             read_file(path("snmf_cli_t8.txt")));
+}
+
+// ------------------------------------- batched, cache-affine scheduling
+
+class SvcScheduler : public SvcPipeline {
+ protected:
+  /// Copy the SNMF corpus under new names: identical content, different
+  /// paths, so the copy is a distinct corpus identity (affinity key,
+  /// fingerprint, score-cache key).
+  void copy_snmf_corpus(const std::string& db2, const std::string& td2) {
+    fs::copy_file(path("db.txt"), path(db2));
+    fs::copy_file(path("td.txt"), path(td2));
+  }
+
+  core::AttackRequest snmf_request_at(const std::string& db,
+                                      const std::string& td) const {
+    core::AttackRequest req;
+    core::SnmfRequest snmf;
+    snmf.db = core::CorpusRef::from_path(path(db));
+    snmf.trapdoors = core::CorpusRef::from_path(path(td));
+    req.request = snmf;
+    return req;
+  }
+
+  /// MRSE-style corpus for the MIP attack (the known-good recipe from the
+  /// CLI pipeline tests: binary records, mrse indexes/trapdoor, key of
+  /// dimension d + 8 + 1).
+  void make_mip_corpus(std::size_t d = 24) {
+    ASSERT_EQ(run({"gen-data", "--d=" + std::to_string(d), "--rho=0.25",
+                   "--count=" + std::to_string(d), "--seed=31",
+                   "--out=" + path("mrecords.txt")}),
+              0)
+        << last_err_;
+    ASSERT_EQ(run({"gen-data", "--d=" + std::to_string(d), "--rho=0.2",
+                   "--count=1", "--seed=32", "--out=" + path("mquery.txt")}),
+              0)
+        << last_err_;
+    ASSERT_EQ(run({"mrse-index", "--plain=" + path("mrecords.txt"),
+                   "--out=" + path("mindexes.txt"), "--seed=33"}),
+              0)
+        << last_err_;
+    ASSERT_EQ(run({"mrse-trapdoor", "--plain=" + path("mquery.txt"),
+                   "--out=" + path("mtd_plain.txt"), "--seed=34"}),
+              0)
+        << last_err_;
+    ASSERT_EQ(run({"keygen", "--dim=" + std::to_string(d + 8 + 1),
+                   "--key=" + path("mkey.txt"), "--seed=35"}),
+              0)
+        << last_err_;
+    ASSERT_EQ(run({"encrypt", "--key=" + path("mkey.txt"),
+                   "--plain=" + path("mindexes.txt"),
+                   "--out=" + path("mdb.txt"), "--seed=36"}),
+              0)
+        << last_err_;
+    ASSERT_EQ(run({"trapdoor", "--key=" + path("mkey.txt"),
+                   "--plain=" + path("mtd_plain.txt"),
+                   "--out=" + path("mtd.txt"), "--seed=37"}),
+              0)
+        << last_err_;
+  }
+
+  core::AttackRequest mip_request(double l = 3.0) const {
+    core::AttackRequest req;
+    core::MipRequest mip;
+    mip.known_plain = core::CorpusRef::from_path(path("mrecords.txt"));
+    mip.db = core::CorpusRef::from_path(path("mdb.txt"));
+    mip.trapdoors = core::CorpusRef::from_path(path("mtd.txt"));
+    mip.mu = 1.0;
+    mip.sigma = 0.5;
+    mip.options.l = l;
+    req.request = mip;
+    return req;
+  }
+
+  static void expect_same_snmf(const core::AttackResponse& a,
+                               const core::AttackResponse& b) {
+    ASSERT_TRUE(a.ok()) << a.message;
+    ASSERT_TRUE(b.ok()) << b.message;
+    EXPECT_EQ(a.snmf().indexes, b.snmf().indexes);
+    EXPECT_EQ(a.snmf().trapdoors, b.snmf().trapdoors);
+    EXPECT_EQ(a.snmf().best_fit_error, b.snmf().best_fit_error);
+    EXPECT_EQ(a.telemetry.counter("snmf.estimated_rank"),
+              b.telemetry.counter("snmf.estimated_rank"));
+  }
+};
+
+TEST_F(SvcScheduler, FusedSnmfSweepIsBitIdenticalToSolo) {
+  make_snmf_corpus();
+
+  // Solo references from a fresh daemon: seed 2017 (the CLI default) and
+  // one odd seed, so the fused sweep must demultiplex per-job state.
+  JobOptions defaults;  // seed 2017
+  JobOptions odd;
+  odd.seed = 7;
+  Daemon solo{DaemonOptions{}};
+  const core::AttackResponse ref_default =
+      solo.execute(snmf_request(), defaults);
+  const core::AttackResponse ref_odd = solo.execute(snmf_request(), odd);
+  ASSERT_TRUE(ref_default.ok()) << ref_default.message;
+  ASSERT_TRUE(ref_odd.ok()) << ref_odd.message;
+
+  DaemonOptions dopt;
+  dopt.workers = 0;  // stepping mode: one run_scheduled call = one batch
+  Daemon daemon(dopt);
+  std::vector<std::uint64_t> order;
+  std::map<std::uint64_t, core::AttackResponse> got;
+  const auto deliver = [&](std::uint64_t id, core::AttackResponse&& resp) {
+    order.push_back(id);
+    got.emplace(id, std::move(resp));
+  };
+  std::vector<std::uint64_t> ids;
+  for (int i = 0; i < 8; ++i) {
+    ids.push_back(
+        daemon.submit(snmf_request(), i == 3 ? odd : defaults, deliver));
+  }
+
+  // All eight coalesce into one fused restart sweep...
+  EXPECT_EQ(daemon.run_scheduled(), 8u);
+  const DaemonStats st = daemon.stats();
+  EXPECT_EQ(st.batches_formed, 1u);
+  EXPECT_EQ(st.batched_jobs, 8u);
+  EXPECT_EQ(st.completed, 8u);
+  // ...delivered in submission order, each bit-identical to its solo run.
+  EXPECT_EQ(order, ids);
+  ASSERT_EQ(got.size(), 8u);
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    expect_same_snmf(got.at(ids[i]), i == 3 ? ref_odd : ref_default);
+  }
+}
+
+TEST_F(SvcScheduler, BatchSubmitMatchesSoloAtEightWorkers) {
+  make_snmf_corpus();
+  Daemon solo{DaemonOptions{}};
+  const core::AttackResponse ref = solo.execute(snmf_request(), {});
+  ASSERT_TRUE(ref.ok()) << ref.message;
+
+  DaemonOptions dopt;
+  dopt.workers = 8;
+  Daemon daemon(dopt);
+  std::vector<BatchJob> jobs(8);
+  for (auto& job : jobs) job.request = snmf_request();
+
+  std::mutex mu;
+  std::condition_variable cv;
+  std::map<std::uint64_t, core::AttackResponse> got;
+  const std::vector<std::uint64_t> ids =
+      daemon.submit_batch(jobs, [&](std::uint64_t id,
+                                    core::AttackResponse&& resp) {
+        std::lock_guard<std::mutex> lk(mu);
+        got.emplace(id, std::move(resp));
+        cv.notify_all();
+      });
+  ASSERT_EQ(ids.size(), 8u);
+  {
+    std::unique_lock<std::mutex> lk(mu);
+    ASSERT_TRUE(cv.wait_for(lk, 120s, [&] { return got.size() == 8u; }));
+  }
+  // Regardless of how the workers raced for the batch, every job's output
+  // is bit-identical to the solo run.
+  for (const std::uint64_t id : ids) expect_same_snmf(got.at(id), ref);
+}
+
+TEST_F(SvcScheduler, AffinityPickNeverJumpsDeadlineJobs) {
+  make_snmf_corpus();
+  copy_snmf_corpus("db2.txt", "td2.txt");
+
+  DaemonOptions dopt;
+  dopt.workers = 0;
+  Daemon daemon(dopt);
+  std::vector<std::uint64_t> order;
+  const auto deliver = [&](std::uint64_t id, core::AttackResponse&& resp) {
+    EXPECT_TRUE(resp.ok()) << resp.message;
+    order.push_back(id);
+  };
+
+  // Warm the scheduler's affinity onto corpus X.
+  const std::uint64_t warm = daemon.submit(snmf_request(), {}, deliver);
+  EXPECT_EQ(daemon.run_scheduled(), 1u);
+
+  // A deadline-bearing job on corpus Y queued ahead of an X job: affinity
+  // would prefer the X job, but the starvation bound forbids jumping a
+  // deadline-bearing job.
+  JobOptions with_deadline;
+  with_deadline.deadline_ms = 60'000;  // far future: bears a deadline, holds
+  const std::uint64_t y_job = daemon.submit(
+      snmf_request_at("db2.txt", "td2.txt"), with_deadline, deliver);
+  const std::uint64_t x_job = daemon.submit(snmf_request(), {}, deliver);
+
+  EXPECT_EQ(daemon.run_scheduled(), 1u);  // Y, despite the warm X state
+  EXPECT_EQ(daemon.run_scheduled(), 1u);  // then X
+  EXPECT_EQ(order, (std::vector<std::uint64_t>{warm, y_job, x_job}));
+}
+
+TEST_F(SvcScheduler, AffinityBypassBoundIsEnforced) {
+  make_snmf_corpus();
+  copy_snmf_corpus("db2.txt", "td2.txt");
+
+  DaemonOptions dopt;
+  dopt.workers = 0;
+  dopt.max_affinity_bypass = 1;
+  Daemon daemon(dopt);
+  std::vector<std::uint64_t> order;
+  const auto deliver = [&](std::uint64_t id, core::AttackResponse&& resp) {
+    EXPECT_TRUE(resp.ok()) << resp.message;
+    order.push_back(id);
+  };
+
+  const std::uint64_t warm = daemon.submit(snmf_request(), {}, deliver);
+  EXPECT_EQ(daemon.run_scheduled(), 1u);
+
+  // want_telemetry suppresses coalescing, so the X jobs exercise the pure
+  // affinity pick rather than riding one fused sweep.
+  JobOptions telemetry;
+  telemetry.want_telemetry = true;
+  const std::uint64_t y_job = daemon.submit(
+      snmf_request_at("db2.txt", "td2.txt"), telemetry, deliver);
+  const std::uint64_t x1 = daemon.submit(snmf_request(), telemetry, deliver);
+  const std::uint64_t x2 = daemon.submit(snmf_request(), telemetry, deliver);
+
+  // Step 1: affinity picks x1, bypassing y_job once (now at the bound).
+  // Step 2: x2 still matches the warm state, but y_job is un-bypassable —
+  // FIFO front wins. Step 3: x2.
+  EXPECT_EQ(daemon.run_scheduled(), 1u);
+  EXPECT_EQ(daemon.run_scheduled(), 1u);
+  EXPECT_EQ(daemon.run_scheduled(), 1u);
+  EXPECT_EQ(order, (std::vector<std::uint64_t>{warm, x1, y_job, x2}));
+  EXPECT_GE(daemon.stats().affinity_hits, 1u);
+}
+
+TEST_F(SvcScheduler, MipBasisCacheIsBitIdenticalAndShapeKeyed) {
+  make_mip_corpus();
+  Daemon daemon{DaemonOptions{}};
+
+  const core::AttackResponse cold = daemon.execute(mip_request(), {});
+  ASSERT_TRUE(cold.ok()) << cold.message;
+  const core::AttackResponse warm = daemon.execute(mip_request(), {});
+  ASSERT_TRUE(warm.ok()) << warm.message;
+  // The repeat warm-started from the cached root basis and produced the
+  // exact same reconstruction.
+  EXPECT_EQ(daemon.stats().basis_cache_hits, 1u);
+  EXPECT_EQ(cold.mip().query, warm.mip().query);
+  EXPECT_EQ(cold.mip().rhat, warm.mip().rhat);
+  EXPECT_EQ(cold.mip().that, warm.mip().that);
+
+  // Changing the model shape (here the relaxation width l, which changes
+  // the LP's bounds) must miss the cache, not warm-start from a stale
+  // basis: the hit counter stays put and the result matches a fresh
+  // daemon's cold answer for the new shape.
+  const core::AttackResponse reshaped = daemon.execute(mip_request(4.0), {});
+  ASSERT_TRUE(reshaped.ok()) << reshaped.message;
+  EXPECT_EQ(daemon.stats().basis_cache_hits, 1u);
+  Daemon fresh{DaemonOptions{}};
+  const core::AttackResponse fresh_reshaped =
+      fresh.execute(mip_request(4.0), {});
+  ASSERT_TRUE(fresh_reshaped.ok()) << fresh_reshaped.message;
+  EXPECT_EQ(reshaped.mip().query, fresh_reshaped.mip().query);
+  EXPECT_EQ(reshaped.mip().rhat, fresh_reshaped.mip().rhat);
+  EXPECT_EQ(reshaped.mip().that, fresh_reshaped.mip().that);
+
+  // And the new shape's basis is itself cached.
+  const core::AttackResponse reshaped_warm =
+      daemon.execute(mip_request(4.0), {});
+  ASSERT_TRUE(reshaped_warm.ok()) << reshaped_warm.message;
+  EXPECT_EQ(daemon.stats().basis_cache_hits, 2u);
+  EXPECT_EQ(reshaped.mip().query, reshaped_warm.mip().query);
+}
+
+TEST_F(SvcScheduler, ScoreCacheEvictsUnderTightMemoryBudget) {
+  make_snmf_corpus();
+  copy_snmf_corpus("db2.txt", "td2.txt");
+
+  DaemonOptions dopt;
+  dopt.memory_budget_bytes = 1;  // nothing fits: every new matrix evicts
+  Daemon daemon(dopt);
+  const core::AttackResponse first = daemon.execute(snmf_request(), {});
+  ASSERT_TRUE(first.ok()) << first.message;
+  const core::AttackResponse second =
+      daemon.execute(snmf_request_at("db2.txt", "td2.txt"), {});
+  ASSERT_TRUE(second.ok()) << second.message;
+
+  const DaemonStats st = daemon.stats();
+  EXPECT_EQ(st.score_cache_misses, 2u);
+  EXPECT_GE(st.score_cache_evictions, 1u);
+  // Eviction under pressure never changes answers: the budget-starved runs
+  // match an unbudgeted daemon's bit for bit.
+  Daemon roomy{DaemonOptions{}};
+  expect_same_snmf(first, roomy.execute(snmf_request(), {}));
+}
+
+TEST_F(SvcScheduler, RankEstimateCacheKeysOnTolerance) {
+  make_snmf_corpus();
+  Daemon daemon{DaemonOptions{}};
+
+  const core::AttackResponse base = daemon.execute(snmf_request(), {});
+  ASSERT_TRUE(base.ok()) << base.message;
+  EXPECT_EQ(daemon.stats().rank_cache_hits, 0u);
+
+  // Same corpus and seed, different estimation tolerance: the cached rank
+  // from the default tolerance must NOT be served (the pre-fix cache keyed
+  // only on corpus + seed and silently reused it).
+  core::AttackRequest coarse = snmf_request();
+  std::get<core::SnmfRequest>(coarse.request).options.rank_tol = 0.5;
+  const core::AttackResponse coarse_cold = daemon.execute(coarse, {});
+  ASSERT_TRUE(coarse_cold.ok()) << coarse_cold.message;
+  EXPECT_EQ(daemon.stats().rank_cache_hits, 0u);
+
+  // Each tolerance keeps its own entry: repeats of either hit.
+  const core::AttackResponse coarse_warm = daemon.execute(coarse, {});
+  ASSERT_TRUE(coarse_warm.ok()) << coarse_warm.message;
+  EXPECT_EQ(daemon.stats().rank_cache_hits, 1u);
+  expect_same_snmf(coarse_cold, coarse_warm);
+  const core::AttackResponse base_warm = daemon.execute(snmf_request(), {});
+  ASSERT_TRUE(base_warm.ok()) << base_warm.message;
+  EXPECT_EQ(daemon.stats().rank_cache_hits, 2u);
+  expect_same_snmf(base, base_warm);
+}
+
+TEST_F(SvcServerTest, SubmitBatchAndStatsPongOverSocket) {
+  make_snmf_corpus();
+  start_server(2);
+
+  Client client(socket_path());
+  std::vector<BatchJob> jobs(3);
+  for (auto& job : jobs) job.request = snmf_request();
+  const std::vector<std::uint64_t> ids = client.submit_batch(jobs);
+  ASSERT_EQ(ids.size(), 3u);
+
+  std::vector<core::AttackResponse> resps;
+  for (const std::uint64_t id : ids) resps.push_back(client.wait(id));
+  for (const auto& resp : resps) {
+    ASSERT_TRUE(resp.ok()) << resp.message;
+    EXPECT_EQ(resp.snmf().indexes, resps.front().snmf().indexes);
+    EXPECT_EQ(resp.snmf().best_fit_error, resps.front().snmf().best_fit_error);
+  }
+
+  const auto stats = client.ping_stats();
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_EQ(stats->submitted, 3u);
+  EXPECT_EQ(stats->completed, 3u);
+  EXPECT_EQ(stats->queue_depth, 0u);
+  EXPECT_TRUE(client.ping());  // plain ping still round-trips
+}
+
+TEST_F(SvcEndToEnd, MultiInputSubmitWritesPerJobOutputs) {
+  make_snmf_corpus();
+  fs::copy_file(path("db.txt"), path("db2.txt"));
+  start_cli_server();
+
+  // Reference: the one-shot CLI on the same corpus.
+  ASSERT_EQ(run({"attack-snmf", "--db=" + path("db.txt"),
+                 "--trapdoors=" + path("td.txt"),
+                 "--out=" + path("solo.txt")}),
+            0)
+      << last_err_;
+
+  // Two databases through one submit invocation: one SubmitBatch frame,
+  // per-job outputs suffixed .jobN, per-job status lines.
+  std::string text;
+  ASSERT_EQ(run({"submit", "--socket=" + path("svc.sock"), "--attack=snmf",
+                 "--input=" + path("db.txt") + "," + path("db2.txt"),
+                 "--trapdoors=" + path("td.txt"),
+                 "--out=" + path("multi.txt")},
+                &text),
+            0)
+        << last_err_;
+  EXPECT_NE(text.find("job 0"), std::string::npos) << text;
+  EXPECT_NE(text.find("job 1"), std::string::npos) << text;
+  EXPECT_EQ(read_file(path("multi.txt.job0")), read_file(path("solo.txt")));
+  // db2 is a byte-for-byte copy, so its job reconstructs identically.
+  EXPECT_EQ(read_file(path("multi.txt.job1")), read_file(path("solo.txt")));
+
+  // --ping now reports the daemon's stats in one line.
+  ASSERT_EQ(run({"submit", "--socket=" + path("svc.sock"), "--ping"}, &text),
+            0)
+      << last_err_;
+  EXPECT_EQ(text.rfind("pong", 0), 0u) << text;
+  EXPECT_NE(text.find("submitted"), std::string::npos) << text;
 }
 
 TEST_F(SvcEndToEnd, SubmitHonorsDeadlineExitCode) {

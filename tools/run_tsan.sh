@@ -51,10 +51,18 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)" \
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)" \
   -R "MipPropagation|MipBudget"
 
-# Seventh pre-pass: the svc daemon is the most concurrent code in the tree —
-# worker threads against the bounded queue, per-connection handler threads
-# delivering results under per-connection write locks, warm caches shared
-# across jobs, and a shutdown path that races accept/recv against teardown.
+# Seventh pre-pass: the batching scheduler — fused SNMF sweeps demuxed to
+# concurrent waiters, the refcounted score-matrix cache with its building
+# markers, and the warm MIP basis state mutated across jobs. The scheduler
+# suites assert bitwise solo/batched equality at 1 and 8 workers, which a
+# racing restart slot or cache entry would break under TSan first.
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)" \
+  -R "SvcScheduler|ScoreCache"
+
+# Eighth pre-pass: the rest of the svc daemon — worker threads against the
+# bounded queue, per-connection handler threads delivering results under
+# per-connection write locks, warm caches shared across jobs, and a
+# shutdown path that races accept/recv against teardown.
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)" \
   -R "Svc"
 
